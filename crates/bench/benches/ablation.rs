@@ -1,0 +1,107 @@
+//! Ablation benchmarks for the design decisions DESIGN.md §6 calls out:
+//!
+//! 1. shared partition-independent cost arrays vs recomputing per
+//!    partition (the implementation's central performance lever);
+//! 2. restart count `Z` sweep for the alternating optimisation;
+//! 3. predictive-LSB cost model vs DALTA's accurate fill (quality is
+//!    studied in tests/experiments; here we show the models cost the
+//!    same, i.e. the accuracy win is free).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+use dalut_decomp::{bit_costs, opt_for_part, LsbFill, OptParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> (TruthTable, InputDistribution, Vec<Partition>) {
+    let n = 10;
+    let target = Benchmark::Ln.table(Scale::Reduced(n)).unwrap();
+    let dist = InputDistribution::uniform(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let parts: Vec<Partition> = (0..8).map(|_| Partition::random(n, 6, &mut rng)).collect();
+    (target, dist, parts)
+}
+
+/// Ablation 1: cost arrays shared across partitions vs recomputed.
+fn bench_cost_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cost_sharing");
+    group.sample_size(10);
+    let (target, dist, parts) = fixture();
+    let opt = OptParams {
+        restarts: 6,
+        max_iters: 64,
+    };
+
+    group.bench_function("shared_costs_8_partitions", |b| {
+        b.iter(|| {
+            let costs = bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            parts
+                .iter()
+                .map(|&p| opt_for_part(&costs, p, opt, &mut rng).0)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("recomputed_costs_8_partitions", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            parts
+                .iter()
+                .map(|&p| {
+                    // What a naive implementation does: rebuild the cost
+                    // model for every candidate partition.
+                    let costs =
+                        bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
+                    opt_for_part(&costs, p, opt, &mut rng).0
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2: restart count Z.
+fn bench_restarts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_restarts");
+    group.sample_size(15);
+    let (target, dist, parts) = fixture();
+    let costs = bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
+    for z in [1usize, 8, 30] {
+        group.bench_with_input(BenchmarkId::new("z", z), &z, |b, &z| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                opt_for_part(
+                    &costs,
+                    parts[0],
+                    OptParams {
+                        restarts: z,
+                        max_iters: 64,
+                    },
+                    &mut rng,
+                )
+                .0
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: LSB-fill model cost parity.
+fn bench_fill_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fill_models");
+    group.sample_size(20);
+    let (target, dist, _) = fixture();
+    for (name, fill) in [
+        ("accurate_dalta", LsbFill::Accurate),
+        ("predictive_bssa", LsbFill::Predictive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| bit_costs(&target, &target, 5, &dist, fill).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_sharing, bench_restarts, bench_fill_models);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Architecture-measurement benchmarks: building and characterising the
+//! three decomposition architectures on one configuration (the inner
+//! loop of the Fig. 5 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::InputDistribution;
+use dalut_core::{run_bs_sa, ApproxLutConfig, ArchPolicy, BsSaParams};
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::CellLibrary;
+
+fn config_for(policy: ArchPolicy) -> ApproxLutConfig {
+    let n = 8;
+    let target = Benchmark::Exp.table(Scale::Reduced(n)).unwrap();
+    let dist = InputDistribution::uniform(n).unwrap();
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 4;
+    run_bs_sa(&target, &dist, &params, policy).unwrap().config
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_build");
+    group.sample_size(20);
+    let normal = config_for(ArchPolicy::NormalOnly);
+    let nd = config_for(ArchPolicy::bto_normal_nd_paper());
+    group.bench_function("dalta_arch", |b| {
+        b.iter(|| build_approx_lut(&normal, ArchStyle::Dalta).unwrap())
+    });
+    group.bench_function("bto_normal_arch", |b| {
+        b.iter(|| build_approx_lut(&normal, ArchStyle::BtoNormal).unwrap())
+    });
+    group.bench_function("bto_normal_nd_arch", |b| {
+        b.iter(|| build_approx_lut(&nd, ArchStyle::BtoNormalNd).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_characterize");
+    group.sample_size(10);
+    let lib = CellLibrary::nangate45();
+    let cfg = config_for(ArchPolicy::bto_normal_nd_paper());
+    let inst = build_approx_lut(&cfg, ArchStyle::BtoNormalNd).unwrap();
+    for reads in [256usize, 1024] {
+        let trace: Vec<u32> = (0..reads as u32).map(|i| (i * 37) % 256).collect();
+        group.bench_with_input(BenchmarkId::new("reads", reads), &reads, |b, _| {
+            b.iter(|| characterize(&inst, &trace, &lib, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_characterize);
+criterion_main!(benches);

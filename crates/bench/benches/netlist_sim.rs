@@ -1,0 +1,85 @@
+//! Netlist-substrate benchmarks: simulation throughput and analysis cost
+//! on DFF-RAM LUT structures (the building block every Fig. 5 energy
+//! number is measured on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dalut_hw::lut::dff_lut;
+use dalut_netlist::{area_um2, critical_path_ns, CellLibrary, Netlist, Simulator, ROOT_DOMAIN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_lut(addr_bits: usize) -> (Netlist, Vec<(dalut_netlist::NetId, bool)>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut nl = Netlist::new("lut");
+    let addr = nl.input_bus("a", addr_bits);
+    let contents: Vec<bool> = (0..1usize << addr_bits).map(|_| rng.random()).collect();
+    let lut = dff_lut(&mut nl, &contents, &addr, ROOT_DOMAIN);
+    nl.output("y", lut.output);
+    (nl, lut.presets)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_sim");
+    group.sample_size(20);
+    for addr_bits in [6usize, 8, 10] {
+        let (nl, presets) = build_lut(addr_bits);
+        group.bench_with_input(
+            BenchmarkId::new("reads_256", addr_bits),
+            &addr_bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(&nl).unwrap();
+                    for &(q, v) in &presets {
+                        sim.preset_dff(q, v);
+                    }
+                    let mut acc = 0u64;
+                    for i in 0..256u64 {
+                        acc ^= sim.eval_word(i % (1 << bits));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_analysis");
+    group.sample_size(20);
+    let lib = CellLibrary::nangate45();
+    let (nl, _) = build_lut(10);
+    group.bench_function("critical_path_1k_lut", |b| {
+        b.iter(|| critical_path_ns(&nl, &lib).unwrap())
+    });
+    group.bench_function("area_1k_lut", |b| b.iter(|| area_um2(&nl, &lib)));
+    group.bench_function("topo_order_1k_lut", |b| b.iter(|| nl.topo_order().unwrap()));
+    group.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    use dalut_netlist::{equivalent_random, optimize};
+    let mut group = c.benchmark_group("netlist_opt");
+    group.sample_size(20);
+    // A routing-heavy netlist: static mux trees that fold to wires.
+    let build = || {
+        let mut nl = Netlist::new("routed");
+        let ins = nl.input_bus("x", 8);
+        for j in 0..8usize {
+            let sel: Vec<_> = (0..3).map(|b| nl.constant((j >> b) & 1 == 1)).collect();
+            let y = nl.mux_tree(&ins, &sel);
+            nl.output(format!("y[{j}]"), y);
+        }
+        nl
+    };
+    let nl = build();
+    group.bench_function("optimize_static_crossbar", |b| b.iter(|| optimize(&nl)));
+    let (opt, _) = optimize(&nl);
+    group.bench_function("equiv_random_64", |b| {
+        b.iter(|| equivalent_random(&nl, &opt, 64, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_analysis, bench_opt);
+criterion_main!(benches);

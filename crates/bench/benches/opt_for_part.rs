@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the `OptForPart` kernel — the hot loop
+//! both search algorithms spend most of their runtime in (paper §V-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::{InputDistribution, Partition};
+use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_bto, opt_for_part_nd, LsbFill, OptParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_opt_for_part(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_for_part");
+    group.sample_size(20);
+    for n in [8usize, 10, 12] {
+        let target = Benchmark::Cos.table(Scale::Reduced(n)).unwrap();
+        let dist = InputDistribution::uniform(n).unwrap();
+        let costs = bit_costs(&target, &target, n - 1, &dist, LsbFill::Accurate).unwrap();
+        let b = (n * 9 + 8) / 16;
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = Partition::random(n, b, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("normal_z8", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                opt_for_part(
+                    &costs,
+                    part,
+                    OptParams {
+                        restarts: 8,
+                        max_iters: 64,
+                    },
+                    &mut rng,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bto", n), &n, |bench, _| {
+            bench.iter(|| opt_for_part_bto(&costs, part))
+        });
+        group.bench_with_input(BenchmarkId::new("nd_z8", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                opt_for_part_nd(
+                    &costs,
+                    part,
+                    OptParams {
+                        restarts: 8,
+                        max_iters: 64,
+                    },
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_costs");
+    group.sample_size(30);
+    let target = Benchmark::Multiplier.table(Scale::Reduced(12)).unwrap();
+    let dist = InputDistribution::uniform(12).unwrap();
+    for fill in [LsbFill::FromApprox, LsbFill::Accurate, LsbFill::Predictive] {
+        group.bench_with_input(
+            BenchmarkId::new("fill", format!("{fill:?}")),
+            &fill,
+            |bench, &fill| {
+                bench.iter(|| bit_costs(&target, &target, 6, &dist, fill).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_for_part, bench_bit_costs);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end search benchmarks: DALTA vs BS-SA wall-clock on one
+//! benchmark function — the runtime comparison behind Table II's Time
+//! columns (the paper reports BS-SA at roughly half DALTA's runtime with
+//! its `P = 500` vs `P = 1000` budgets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::InputDistribution;
+use dalut_core::{run_bs_sa, run_dalta, ArchPolicy, BsSaParams, DaltaParams, SearchParams};
+
+fn scaled_search(n: usize) -> SearchParams {
+    SearchParams {
+        bound_size: (n * 9 + 8) / 16,
+        rounds: 2,
+        initial_patterns: 6,
+        threads: 1,
+        seed: 3,
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    let n = 8;
+    let target = Benchmark::Cos.table(Scale::Reduced(n)).unwrap();
+    let dist = InputDistribution::uniform(n).unwrap();
+
+    // Budgets in the paper's 2:1 ratio (P = 1000 vs 500).
+    let dalta = DaltaParams {
+        search: scaled_search(n),
+        partition_limit: 24,
+    };
+    let bssa = BsSaParams {
+        search: scaled_search(n),
+        partition_limit: 12,
+        beam_width: 3,
+        neighbors: 5,
+        initial_temp: 0.2,
+        alpha: 0.9,
+        sa_processes: 2,
+        stall_limit: 3,
+        round1_fill: dalut_decomp::LsbFill::Predictive,
+    };
+
+    group.bench_function("dalta_cos8", |b| {
+        b.iter(|| run_dalta(&target, &dist, &dalta).unwrap())
+    });
+    group.bench_function("bssa_cos8", |b| {
+        b.iter(|| run_bs_sa(&target, &dist, &bssa, ArchPolicy::NormalOnly).unwrap())
+    });
+    group.bench_function("bssa_cos8_nd_policy", |b| {
+        b.iter(|| run_bs_sa(&target, &dist, &bssa, ArchPolicy::bto_normal_nd_paper()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Minimal CLI-argument handling shared by the harness binaries (no CLI
+//! dependency: two flags and three numeric options).
+
+use dalut_benchfns::Scale;
+
+/// Common harness options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Run the paper's full scale and parameters.
+    pub full: bool,
+    /// Total input bits for reduced-scale runs (even, 4..=16).
+    pub scale_bits: usize,
+    /// Number of repetition runs (Table II uses 10).
+    pub runs: usize,
+    /// Whether `--runs` was given explicitly (overrides the `--full`
+    /// default of 10).
+    pub runs_explicit: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads for partition evaluation.
+    pub threads: usize,
+    /// Restrict to one benchmark by name, if given.
+    pub only: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            full: false,
+            scale_bits: 10,
+            runs: 3,
+            runs_explicit: false,
+            seed: 1,
+            threads: 1,
+            only: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--full`, `--scale N`, `--runs N`, `--seed N`,
+    /// `--threads N`, `--only NAME` from an iterator of arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--scale" => out.scale_bits = num(&mut args, "--scale")?,
+                "--runs" => {
+                    out.runs = num(&mut args, "--runs")?;
+                    out.runs_explicit = true;
+                }
+                "--seed" => out.seed = num(&mut args, "--seed")?,
+                "--threads" => out.threads = num(&mut args, "--threads")?,
+                "--only" => {
+                    out.only = Some(args.next().ok_or("--only needs a benchmark name")?)
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] [--only NAME]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with the usage string on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The benchmark scale these arguments select.
+    pub fn scale(&self) -> Scale {
+        if self.full {
+            Scale::Paper
+        } else {
+            Scale::Reduced(self.scale_bits)
+        }
+    }
+
+    /// Number of runs: the paper's 10 under `--full`, unless `--runs`
+    /// was given explicitly.
+    pub fn effective_runs(&self) -> usize {
+        if self.full && !self.runs_explicit {
+            10
+        } else {
+            self.runs
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<T, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a numeric value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_reduced_scale() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.full);
+        assert_eq!(a.scale(), Scale::Reduced(10));
+        assert_eq!(a.effective_runs(), 3);
+    }
+
+    #[test]
+    fn full_flag_selects_paper_scale() {
+        let a = parse(&["--full"]).unwrap();
+        assert_eq!(a.scale(), Scale::Paper);
+        assert_eq!(a.effective_runs(), 10);
+        // Explicit --runs overrides the paper default.
+        let a = parse(&["--full", "--runs", "1"]).unwrap();
+        assert_eq!(a.effective_runs(), 1);
+    }
+
+    #[test]
+    fn numeric_options_parse() {
+        let a = parse(&["--scale", "12", "--runs", "5", "--seed", "9", "--threads", "4"]).unwrap();
+        assert_eq!(a.scale_bits, 12);
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 4);
+    }
+
+    #[test]
+    fn only_filter_parses() {
+        let a = parse(&["--only", "cos"]).unwrap();
+        assert_eq!(a.only.as_deref(), Some("cos"));
+    }
+
+    #[test]
+    fn malformed_arguments_error() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--runs", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! CLI: search a benchmark function and write the resulting
+//! architecture configuration as JSON (consumed by `synth`).
+//!
+//! ```sh
+//! cargo run -p dalut-bench --release --bin configure -- --only cos --scale 10 > cos.json
+//! ```
+
+use dalut_bench::setup::bssa_params;
+use dalut_bench::HarnessArgs;
+use dalut_benchfns::Benchmark;
+use dalut_boolfn::InputDistribution;
+use dalut_core::{error_breakdown, run_bs_sa, ArchPolicy};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let bench: Benchmark = args
+        .only
+        .as_deref()
+        .unwrap_or("cos")
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let target = bench.table(args.scale()).expect("benchmark builds");
+    let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
+    let mut params = bssa_params(&args, target.inputs());
+    params.search.seed = args.seed;
+    eprintln!(
+        "configuring {bench} ({} in / {} out) with BS-SA, BTO-Normal-ND policy...",
+        target.inputs(),
+        target.outputs()
+    );
+    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+        .expect("search succeeds");
+    let (bto, normal, nd) = outcome.config.mode_counts();
+    eprintln!(
+        "MED {:.4}, modes (BTO/Normal/ND) = {bto}/{normal}/{nd}, {} LUT entries",
+        outcome.med,
+        outcome.config.lut_entries()
+    );
+    // Per-bit error diagnostics: where does the MED come from?
+    let breakdown =
+        error_breakdown(&outcome.config, &target, &dist).expect("same dimensions");
+    eprintln!("bit  mode    flip-rate  marginal-MED  repair-gain");
+    for b in &breakdown.bits {
+        eprintln!(
+            "{:>3}  {:<7} {:>8.4}  {:>11.4}  {:>10.4}",
+            b.bit,
+            format!("{:?}", b.mode),
+            b.flip_rate,
+            b.marginal_med,
+            b.repair_gain
+        );
+    }
+    if let Some(dom) = breakdown.dominant_bit() {
+        eprintln!("dominant error source: output bit {dom}");
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&outcome.config).expect("config serialises")
+    );
+}

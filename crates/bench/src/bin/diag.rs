@@ -1,0 +1,49 @@
+//! Diagnostic harness (ablation runner): isolates which BS-SA ingredient
+//! drives the quality difference vs DALTA on one benchmark — the
+//! predictive LSB model vs accurate fill, and the SA budget.
+
+use dalut_bench::setup::{bssa_params, dalta_params};
+use dalut_bench::HarnessArgs;
+use dalut_benchfns::Benchmark;
+use dalut_boolfn::InputDistribution;
+use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_decomp::LsbFill;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale();
+    let bench: Benchmark = args
+        .only
+        .as_deref()
+        .unwrap_or("cos")
+        .parse()
+        .expect("valid benchmark");
+    let target = bench.table(scale).expect("builds");
+    let dist = InputDistribution::uniform(target.inputs()).unwrap();
+    let n = target.inputs();
+
+    for run in 0..args.runs {
+        let seed = args.seed + 1000 * run as u64;
+        let mut dp = dalta_params(&args, n);
+        dp.search.seed = seed;
+        let dalta = run_dalta(&target, &dist, &dp).unwrap();
+
+        let mut bp = bssa_params(&args, n);
+        bp.search.seed = seed;
+        let pred = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).unwrap();
+
+        let mut bp2 = bp;
+        bp2.round1_fill = LsbFill::Accurate;
+        let acc = run_bs_sa(&target, &dist, &bp2, ArchPolicy::NormalOnly).unwrap();
+
+        println!(
+            "run {run}: DALTA {:.3} (rounds {:?}) | BS-SA/pred {:.3} (rounds {:?}) | BS-SA/acc {:.3} (rounds {:?})",
+            dalta.med,
+            dalta.round_meds.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            pred.med,
+            pred.round_meds.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            acc.med,
+            acc.round_meds.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Regenerates **Fig. 6**: the accuracy–energy trade-off of the cosine
+//! function on BTO-Normal-ND — one point per (#BTO, #Normal, #ND)
+//! per-bit mode allocation along the upgrade frontier, with the DALTA
+//! reference point.
+//!
+//! The paper's headline: at least six consecutive configurations
+//! dominate DALTA in both error and energy.
+
+use dalut_bench::report::{f3, write_json};
+use dalut_bench::setup::{bssa_params, dalta_params, ENERGY_READS};
+use dalut_bench::{HarnessArgs, Table};
+use dalut_benchfns::Benchmark;
+use dalut_boolfn::InputDistribution;
+use dalut_core::{mode_sweep, run_bs_sa, run_dalta, ArchPolicy};
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::{critical_path_ns, CellLibrary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    bto: usize,
+    normal: usize,
+    nd: usize,
+    med: f64,
+    energy_per_read_fj: f64,
+    dominates_dalta: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Fig6Results {
+    dalta_med: f64,
+    dalta_energy_fj: f64,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale();
+    let lib = CellLibrary::nangate45();
+    let bench = Benchmark::Cos;
+    eprintln!("fig6: {} at scale {scale:?}", bench.name());
+
+    let target = bench.table(scale).expect("benchmark builds");
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n).expect("valid width");
+
+    // DALTA reference point: best of the repeat runs, as the paper
+    // configures DALTA from its best Table-II result (§V-B).
+    let mut dalta: Option<dalut_core::SearchOutcome> = None;
+    for run in 0..args.effective_runs() {
+        let mut dp = dalta_params(&args, n);
+        dp.search.seed = args.seed + 1000 * run as u64;
+        let out = run_dalta(&target, &dist, &dp).expect("dalta runs");
+        if dalta.as_ref().is_none_or(|b| out.med < b.med) {
+            dalta = Some(out);
+        }
+    }
+    let dalta = dalta.expect("at least one run");
+    // BS-SA with all three modes available, recording per-bit options.
+    // The paper runs BS-SA once thanks to its stability at P = 500; the
+    // reduced-scale default compensates for its noisier small-budget
+    // behaviour with the same best-of-runs treatment.
+    let mut outcome: Option<dalut_core::SearchOutcome> = None;
+    for run in 0..args.effective_runs() {
+        let mut bp = bssa_params(&args, n);
+        bp.search.seed = args.seed + 1000 * run as u64;
+        let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper())
+            .expect("bs-sa runs");
+        if outcome.as_ref().is_none_or(|b| out.med < b.med) {
+            outcome = Some(out);
+        }
+    }
+    let outcome = outcome.expect("at least one run");
+    let options = outcome.mode_options.expect("policy records options");
+    let points = mode_sweep(&target, &dist, &options).expect("sweep");
+
+    // Common clock: slowest of all builds.
+    let mut instances = vec![(
+        build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("normal-only"),
+        dalta.med,
+        (0usize, dalta.config.outputs(), 0usize),
+    )];
+    for p in &points {
+        instances.push((
+            build_approx_lut(&p.config, ArchStyle::BtoNormalNd).expect("any config"),
+            p.med,
+            p.mode_counts,
+        ));
+    }
+    let clock = instances
+        .iter()
+        .map(|(i, _, _)| critical_path_ns(i.netlist(), &lib).expect("acyclic"))
+        .fold(0.0f64, f64::max)
+        * 1.05;
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF166);
+    let reads: Vec<u32> = (0..ENERGY_READS)
+        .map(|_| rng.random_range(0..(1u32 << n)))
+        .collect();
+
+    let mut energies = Vec::new();
+    for (inst, _, _) in &instances {
+        let rep = characterize(inst, &reads, &lib, clock).expect("characterise");
+        energies.push(rep.energy_per_read_fj);
+    }
+    let (dalta_energy, sweep_energies) = (energies[0], &energies[1..]);
+
+    let mut table = Table::new(&["(#BTO,#Normal,#ND)", "MED", "Energy fJ/read", "<= DALTA?"]);
+    let mut results = Fig6Results {
+        dalta_med: dalta.med,
+        dalta_energy_fj: dalta_energy,
+        points: Vec::new(),
+    };
+    table.row(vec![
+        "DALTA (reference)".to_string(),
+        f3(dalta.med),
+        f3(dalta_energy),
+        "-".to_string(),
+    ]);
+    let mut dominating = 0usize;
+    for (p, &e) in points.iter().zip(sweep_energies) {
+        let dom = p.med <= dalta.med && e <= dalta_energy;
+        dominating += usize::from(dom);
+        let (a, b, c) = p.mode_counts;
+        table.row(vec![
+            format!("({a},{b},{c})"),
+            f3(p.med),
+            f3(e),
+            if dom { "yes" } else { "no" }.to_string(),
+        ]);
+        results.points.push(SweepPoint {
+            bto: a,
+            normal: b,
+            nd: c,
+            med: p.med,
+            energy_per_read_fj: e,
+            dominates_dalta: dom,
+        });
+    }
+    println!("\nFig. 6. Accuracy-energy trade-off of cos(x) on BTO-Normal-ND.\n");
+    println!("{}", table.render());
+    println!("{dominating} configurations dominate DALTA in both error and energy.");
+    write_json("fig6_results.json", &results).expect("write results");
+    eprintln!("wrote fig6_results.json");
+}

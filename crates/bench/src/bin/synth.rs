@@ -1,0 +1,92 @@
+//! CLI: read an architecture configuration (JSON from `configure`) on
+//! stdin, map it onto the BTO-Normal-ND hardware, optionally harden it,
+//! and emit structural Verilog on stdout with a characterisation report
+//! on stderr.
+//!
+//! ```sh
+//! cargo run -p dalut-bench --release --bin configure -- --only exp > exp.json
+//! cargo run -p dalut-bench --release --bin synth < exp.json > exp.v
+//! cargo run -p dalut-bench --release --bin synth -- --harden < exp.json > exp_hard.v
+//! cargo run -p dalut-bench --release --bin synth -- --vcd trace.vcd < exp.json > exp.v
+//! cargo run -p dalut-bench --release --bin synth -- --arch bto-normal < exp.json > exp.v
+//! ```
+
+use dalut_core::ApproxLutConfig;
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::{vcd::VcdRecorder, CellLibrary};
+use std::io::Read;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let harden = argv.iter().any(|a| a == "--harden");
+    let vcd_path = argv
+        .iter()
+        .position(|a| a == "--vcd")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let style = match argv
+        .iter()
+        .position(|a| a == "--arch")
+        .and_then(|i| argv.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("bto-normal-nd") => ArchStyle::BtoNormalNd,
+        Some("bto-normal") => ArchStyle::BtoNormal,
+        Some("dalta") => ArchStyle::Dalta,
+        Some(other) => {
+            eprintln!("unknown --arch '{other}' (dalta | bto-normal | bto-normal-nd)");
+            std::process::exit(2);
+        }
+    };
+    let mut json = String::new();
+    std::io::stdin()
+        .read_to_string(&mut json)
+        .expect("read stdin");
+    let config: ApproxLutConfig = serde_json::from_str(&json).unwrap_or_else(|e| {
+        eprintln!("invalid configuration JSON: {e}");
+        std::process::exit(2);
+    });
+
+    let inst = build_approx_lut(&config, style).unwrap_or_else(|e| {
+        eprintln!("cannot map configuration: {e}");
+        std::process::exit(2);
+    });
+    let inst = if harden { inst.hardened() } else { inst };
+
+    // Functional sign-off against the software model on a sample, with
+    // an optional VCD trace of the sweep (the VCS artefact).
+    let mut sim = inst.simulator().expect("acyclic netlist");
+    let mut recorder = vcd_path.as_ref().map(|_| VcdRecorder::ports(inst.netlist()));
+    let step = ((1u32 << config.inputs()) / 256).max(1);
+    for (t, x) in (0..1u32 << config.inputs()).step_by(step as usize).enumerate() {
+        assert_eq!(
+            inst.read(&mut sim, x),
+            config.eval(x),
+            "hardware/model mismatch at input {x:#x}"
+        );
+        if let Some(rec) = recorder.as_mut() {
+            rec.sample(&sim, t as u64);
+        }
+    }
+    if let (Some(path), Some(rec)) = (vcd_path, recorder) {
+        std::fs::write(&path, rec.finish()).expect("write VCD");
+        eprintln!("wrote waveform trace to {path}");
+    }
+
+    let lib = CellLibrary::nangate45();
+    let reads: Vec<u32> = (0..256u32)
+        .map(|i| (i.wrapping_mul(2654435761)) & ((1 << config.inputs()) - 1))
+        .collect();
+    let rep = characterize(&inst, &reads, &lib, 2.0).expect("characterise");
+    eprintln!(
+        "{}{}: {} cells, {} DFFs, {:.0} um^2, {:.2} ns critical path, {:.0} fJ/read",
+        inst.netlist().name(),
+        if harden { " (hardened)" } else { "" },
+        inst.netlist().cell_count(),
+        inst.netlist().total_dffs(),
+        rep.area_um2,
+        rep.critical_path_ns,
+        rep.energy_per_read_fj,
+    );
+    println!("{}", inst.to_verilog());
+}

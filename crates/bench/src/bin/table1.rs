@@ -1,0 +1,35 @@
+//! Regenerates **Table I**: the benchmark list with domains, ranges and
+//! bit widths, verified against the actually constructed truth tables.
+
+use dalut_bench::{HarnessArgs, Table};
+use dalut_benchfns::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale();
+
+    let mut cont = Table::new(&["Continuous", "Domain", "Range", "#input", "#output"]);
+    let mut disc = Table::new(&["Non-continuous", "#input", "#output"]);
+    for b in Benchmark::all() {
+        let t = b.table(scale).expect("benchmark builds at this scale");
+        assert_eq!(t.outputs(), b.output_bits(scale), "{b}: width metadata");
+        if b.is_continuous() {
+            cont.row(vec![
+                b.name().to_string(),
+                b.domain().unwrap().to_string(),
+                b.range().unwrap().to_string(),
+                t.inputs().to_string(),
+                t.outputs().to_string(),
+            ]);
+        } else {
+            disc.row(vec![
+                b.name().to_string(),
+                t.inputs().to_string(),
+                t.outputs().to_string(),
+            ]);
+        }
+    }
+    println!("Table I. Benchmarks used in the experiments (scale: {scale:?}).\n");
+    println!("{}", cont.render());
+    println!("{}", disc.render());
+}

@@ -1,0 +1,132 @@
+//! Regenerates **Table II**: DALTA's algorithm vs BS-SA — minimum,
+//! average and standard deviation of the MED plus average runtime over
+//! repeated runs, per benchmark, with geometric-mean summary rows.
+//!
+//! The paper's headline: BS-SA reduces the minimum MED by 11.1 % and the
+//! standard deviation by 97.1 % using about half of DALTA's runtime.
+
+use dalut_bench::report::{f2, write_json};
+use dalut_bench::setup::{bssa_params, dalta_params};
+use dalut_bench::{geomean, HarnessArgs, RunStats, Table};
+use dalut_benchfns::Benchmark;
+use dalut_boolfn::InputDistribution;
+use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct BenchResult {
+    benchmark: String,
+    dalta_med: Vec<f64>,
+    dalta_secs: Vec<f64>,
+    bssa_med: Vec<f64>,
+    bssa_secs: Vec<f64>,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale();
+    let runs = args.effective_runs();
+    eprintln!(
+        "table2: scale {scale:?}, {runs} runs per algorithm{}",
+        if args.full { " (paper parameters)" } else { "" }
+    );
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    for bench in Benchmark::all() {
+        if let Some(only) = &args.only {
+            if !bench.name().eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let target = bench.table(scale).expect("benchmark builds");
+        let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
+        let mut r = BenchResult {
+            benchmark: bench.name().to_string(),
+            dalta_med: Vec::new(),
+            dalta_secs: Vec::new(),
+            bssa_med: Vec::new(),
+            bssa_secs: Vec::new(),
+        };
+        for run in 0..runs {
+            let seed = args.seed + 1000 * run as u64;
+            let mut dp = dalta_params(&args, target.inputs());
+            dp.search.seed = seed;
+            let out = run_dalta(&target, &dist, &dp).expect("dalta runs");
+            r.dalta_med.push(out.med);
+            r.dalta_secs.push(out.elapsed.as_secs_f64());
+
+            let mut bp = bssa_params(&args, target.inputs());
+            bp.search.seed = seed;
+            // Table II compares the normal mode only (as the paper does,
+            // since DALTA has no other mode).
+            let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly)
+                .expect("bs-sa runs");
+            r.bssa_med.push(out.med);
+            r.bssa_secs.push(out.elapsed.as_secs_f64());
+            eprintln!(
+                "  {} run {}: DALTA med {:.4}, BS-SA med {:.4}",
+                bench.name(),
+                run + 1,
+                r.dalta_med.last().unwrap(),
+                r.bssa_med.last().unwrap()
+            );
+        }
+        results.push(r);
+    }
+
+    let mut table = Table::new(&[
+        "benchmark",
+        "DALTA Min",
+        "DALTA Avg",
+        "DALTA Stdev",
+        "DALTA Time(s)",
+        "BS-SA Min",
+        "BS-SA Avg",
+        "BS-SA Stdev",
+        "BS-SA Time(s)",
+    ]);
+    let mut cols: [Vec<f64>; 8] = Default::default();
+    for r in &results {
+        let d = RunStats::from_samples(&r.dalta_med);
+        let b = RunStats::from_samples(&r.bssa_med);
+        let dt = r.dalta_secs.iter().sum::<f64>() / r.dalta_secs.len() as f64;
+        let bt = r.bssa_secs.iter().sum::<f64>() / r.bssa_secs.len() as f64;
+        for (c, v) in cols
+            .iter_mut()
+            .zip([d.min, d.avg, d.stdev, dt, b.min, b.avg, b.stdev, bt])
+        {
+            c.push(v);
+        }
+        table.row(vec![
+            r.benchmark.clone(),
+            f2(d.min),
+            f2(d.avg),
+            f2(d.stdev),
+            f2(dt),
+            f2(b.min),
+            f2(b.avg),
+            f2(b.stdev),
+            f2(bt),
+        ]);
+    }
+    if results.len() > 1 {
+        let g: Vec<f64> = cols.iter().map(|c| geomean(c)).collect();
+        table.row(
+            std::iter::once("GEOMEAN".to_string())
+                .chain(g.iter().map(|&v| f2(v)))
+                .collect(),
+        );
+        println!("\nTable II. Comparison of DALTA's algorithm and BS-SA.\n");
+        println!("{}", table.render());
+        println!(
+            "BS-SA vs DALTA (geomean): min MED {:+.1}%, stdev {:+.1}%, runtime {:.2}x",
+            (g[4] / g[0] - 1.0) * 100.0,
+            (g[6] / g[2] - 1.0) * 100.0,
+            g[7] / g[3],
+        );
+    } else {
+        println!("{}", table.render());
+    }
+    write_json("table2_results.json", &results).expect("write results");
+    eprintln!("wrote table2_results.json");
+}

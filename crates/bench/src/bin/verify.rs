@@ -1,0 +1,124 @@
+//! Full functional sign-off (the paper's "functionality is verified by
+//! Synopsys VCS" step): for every benchmark, search a configuration, map
+//! it onto each architecture that supports it, and check the hardware
+//! against the software model on **every** input. Also cross-checks the
+//! Verilog export through the bundled interpreter on a sample.
+//!
+//! ```sh
+//! cargo run -p dalut-bench --release --bin verify
+//! ```
+
+use dalut_bench::report::write_json;
+use dalut_bench::setup::bssa_params;
+use dalut_bench::{HarnessArgs, Table};
+use dalut_benchfns::Benchmark;
+use dalut_boolfn::InputDistribution;
+use dalut_core::{run_bs_sa, ArchPolicy};
+use dalut_hw::{build_approx_lut, ArchStyle};
+use dalut_netlist::VerilogModule;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct VerifyRow {
+    benchmark: String,
+    arch: String,
+    inputs_checked: usize,
+    mismatches: usize,
+    verilog_sample_ok: bool,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale();
+    eprintln!("verify: exhaustive hardware sign-off at scale {scale:?}");
+
+    let mut rows: Vec<VerifyRow> = Vec::new();
+    let mut table = Table::new(&["benchmark", "architecture", "inputs", "mismatches", "verilog"]);
+    for bench in Benchmark::all() {
+        if let Some(only) = &args.only {
+            if !bench.name().eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let target = bench.table(scale).expect("benchmark builds");
+        let n = target.inputs();
+        let dist = InputDistribution::uniform(n).expect("valid width");
+        let mut params = bssa_params(&args, n);
+        params.search.seed = args.seed;
+        let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+            .expect("search succeeds");
+        let all_normal = outcome.config.mode_counts() == (0, outcome.config.outputs(), 0);
+
+        let styles: Vec<ArchStyle> = [ArchStyle::Dalta, ArchStyle::BtoNormal, ArchStyle::BtoNormalNd]
+            .into_iter()
+            .filter(|s| match s {
+                ArchStyle::Dalta => all_normal,
+                ArchStyle::BtoNormal => outcome.config.mode_counts().2 == 0,
+                ArchStyle::BtoNormalNd => true,
+            })
+            .collect();
+        for style in styles {
+            let inst = build_approx_lut(&outcome.config, style).expect("maps");
+            let mut sim = inst.simulator().expect("acyclic");
+            let mut mismatches = 0usize;
+            for x in 0..(1u32 << n) {
+                if inst.read(&mut sim, x) != outcome.config.eval(x) {
+                    mismatches += 1;
+                }
+            }
+            // Verilog export sample check through the interpreter.
+            let module = VerilogModule::parse(&inst.to_verilog());
+            let verilog_ok = match module {
+                Err(_) => false,
+                Ok(m) => {
+                    let mut vs = m.interpreter();
+                    let disabled: std::collections::HashSet<usize> = inst
+                        .disabled_domains()
+                        .iter()
+                        .map(|d| d.index())
+                        .collect();
+                    let enables: Vec<bool> = (1..inst.netlist().domains().len())
+                        .map(|d| !disabled.contains(&d))
+                        .collect();
+                    (0..(1u32 << n)).step_by(((1usize << n) / 64).max(1)).all(|x| {
+                        let mut vin = enables.clone();
+                        vin.extend((0..n).map(|i| (x >> i) & 1 == 1));
+                        let out = vs.step(&vin);
+                        let word = out
+                            .iter()
+                            .enumerate()
+                            .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+                        word == outcome.config.eval(x)
+                    })
+                }
+            };
+            table.row(vec![
+                bench.name().to_string(),
+                style.name().to_string(),
+                (1usize << n).to_string(),
+                mismatches.to_string(),
+                if verilog_ok { "ok" } else { "FAIL" }.to_string(),
+            ]);
+            rows.push(VerifyRow {
+                benchmark: bench.name().to_string(),
+                arch: style.name().to_string(),
+                inputs_checked: 1 << n,
+                mismatches,
+                verilog_sample_ok: verilog_ok,
+            });
+        }
+    }
+    println!("\nFunctional sign-off report.\n");
+    println!("{}", table.render());
+    let clean = rows.iter().all(|r| r.mismatches == 0 && r.verilog_sample_ok);
+    println!(
+        "verdict: {}",
+        if clean {
+            "all architectures bit-exact against their models"
+        } else {
+            "MISMATCHES FOUND"
+        }
+    );
+    write_json("verify_results.json", &rows).expect("write results");
+    std::process::exit(i32::from(!clean));
+}

@@ -1,0 +1,25 @@
+//! # dalut-bench
+//!
+//! Experiment harness for the DALUT reproduction: shared statistics,
+//! CLI-argument handling and experiment orchestration used by the
+//! table/figure regeneration binaries (`table1`, `table2`, `fig5`,
+//! `fig6`) and the Criterion micro-benchmarks.
+//!
+//! Every binary accepts `--full` to run the paper's exact scale and
+//! parameters (16-bit functions, `P = 1000/500`, `Z = 30`, `R = 5`,
+//! 10 repetition runs); the default is a reduced configuration sized for
+//! a small machine that preserves the qualitative shape of each result
+//! (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod report;
+pub mod setup;
+pub mod stats;
+
+pub use args::HarnessArgs;
+pub use report::{write_json, Table};
+pub use stats::{geomean, RunStats};

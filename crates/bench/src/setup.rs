@@ -1,0 +1,103 @@
+//! Parameter derivation for the harness: paper-exact values under
+//! `--full`, proportionally scaled values otherwise.
+
+use crate::args::HarnessArgs;
+use dalut_core::{BsSaParams, DaltaParams, SearchParams};
+
+/// Bound-set size for a given input width: the paper's `b = 9` at
+/// `n = 16`, scaled proportionally (and clamped to a valid 0 < b < n).
+pub fn bound_size(n: usize) -> usize {
+    ((n * 9 + 8) / 16).clamp(1, n - 1)
+}
+
+/// RoundIn's dropped input bits: the paper's `w = 6` at `n = 16`, scaled.
+pub fn round_in_w(n: usize) -> usize {
+    ((n * 6 + 8) / 16).clamp(1, n - 1)
+}
+
+fn search_params(args: &HarnessArgs, n: usize) -> SearchParams {
+    if args.full {
+        let mut p = SearchParams::paper();
+        p.threads = args.threads;
+        p.seed = args.seed;
+        p
+    } else {
+        SearchParams {
+            bound_size: bound_size(n),
+            rounds: 3,
+            initial_patterns: 8,
+            threads: args.threads,
+            seed: args.seed,
+        }
+    }
+}
+
+/// DALTA parameters for the given width (paper: `P = 1000`).
+pub fn dalta_params(args: &HarnessArgs, n: usize) -> DaltaParams {
+    DaltaParams {
+        search: search_params(args, n),
+        partition_limit: if args.full { 1000 } else { 120 },
+    }
+}
+
+/// BS-SA parameters for the given width (paper: `P = 500`, `N_beam = 3`,
+/// `N_nb = 5`, `τ0 = 0.2`, `α = 0.9`, 10 SA processes).
+pub fn bssa_params(args: &HarnessArgs, n: usize) -> BsSaParams {
+    BsSaParams {
+        search: search_params(args, n),
+        partition_limit: if args.full { 500 } else { 60 },
+        beam_width: 3,
+        neighbors: 5,
+        initial_temp: 0.2,
+        alpha: 0.9,
+        sa_processes: if args.full { 10 } else { 4 },
+        stall_limit: 3,
+        round1_fill: dalut_decomp::LsbFill::Predictive,
+    }
+}
+
+/// The paper measures the energy of 1024 read operations.
+pub const ENERGY_READS: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_size_matches_paper_at_16() {
+        assert_eq!(bound_size(16), 9);
+        assert_eq!(round_in_w(16), 6);
+    }
+
+    #[test]
+    fn scaled_sizes_stay_valid() {
+        for n in 4..=16 {
+            let b = bound_size(n);
+            assert!(b >= 1 && b < n, "n={n} b={b}");
+            let w = round_in_w(n);
+            assert!(w >= 1 && w < n);
+        }
+    }
+
+    #[test]
+    fn full_args_use_paper_parameters() {
+        let args = HarnessArgs {
+            full: true,
+            ..HarnessArgs::default()
+        };
+        let d = dalta_params(&args, 16);
+        assert_eq!(d.partition_limit, 1000);
+        assert_eq!(d.search.rounds, 5);
+        let b = bssa_params(&args, 16);
+        assert_eq!(b.partition_limit, 500);
+        assert_eq!(b.sa_processes, 10);
+    }
+
+    #[test]
+    fn reduced_args_scale_down() {
+        let args = HarnessArgs::default();
+        let d = dalta_params(&args, 10);
+        assert!(d.partition_limit < DaltaParams::paper().partition_limit);
+        assert_eq!(d.search.bound_size, bound_size(10));
+    }
+}

@@ -1,0 +1,98 @@
+//! Statistics helpers for the experiment tables.
+
+/// Geometric mean of strictly useful (finite, non-negative) samples.
+/// Zero samples are clamped to a tiny epsilon, matching how the paper's
+/// geomean rows must have treated near-zero MEDs (Brent-Kung's 0.09).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v.is_finite() && v >= 0.0, "geomean requires finite non-negative values");
+            v.max(1e-12).ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Min / average / sample-standard-deviation summary of repeated runs —
+/// the three MED columns of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub stdev: f64,
+}
+
+impl RunStats {
+    /// Summarises a non-empty sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "stats of empty slice");
+        let n = samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let avg = samples.iter().sum::<f64>() / n;
+        let stdev = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|&s| (s - avg) * (s - avg)).sum::<f64>()
+                / (n - 1.0);
+            var.sqrt()
+        };
+        Self { min, avg, stdev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_known_value() {
+        // sqrt(2 * 8) = 4.
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_handles_zero_samples() {
+        let g = geomean(&[0.0, 1.0]);
+        assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn run_stats_matches_hand_computation() {
+        let s = RunStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert!((s.avg - 2.5).abs() < 1e-12);
+        // Sample stdev of 1..4 = sqrt(5/3).
+        assert!((s.stdev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_single_sample_has_zero_stdev() {
+        let s = RunStats::from_samples(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.stdev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+}

@@ -1,0 +1,194 @@
+//! The four non-continuous benchmarks (AxBench-style): each 16-bit input
+//! is the concatenation of two 8-bit operands of the original function,
+//! exactly as the paper prepares them (§V, Table I). Widths are
+//! parameterised so reduced-scale runs use the same code path.
+
+use crate::brent_kung::brent_kung_add;
+use dalut_boolfn::{BoolFnError, TruthTable};
+
+/// Robot-arm link lengths used by the kinematics benchmarks (both 0.5, so
+/// the reachable workspace is the unit disc).
+pub const LINK1: f64 = 0.5;
+/// Second link length.
+pub const LINK2: f64 = 0.5;
+
+fn split_operands(x: u32, half: usize) -> (u32, u32) {
+    let mask = (1u32 << half) - 1;
+    (x & mask, (x >> half) & mask)
+}
+
+/// Operand code → real value in `[lo, hi]`.
+fn dequant(code: u32, half: usize, lo: f64, hi: f64) -> f64 {
+    let steps = ((1u64 << half) - 1) as f64;
+    lo + (hi - lo) * (code as f64) / steps
+}
+
+/// Real value in `[lo, hi]` → code of `bits` bits (round, clamp).
+fn quant(v: f64, bits: usize, lo: f64, hi: f64) -> u32 {
+    let max_code = ((1u64 << bits) - 1) as f64;
+    (((v - lo) / (hi - lo)) * max_code).round().clamp(0.0, max_code) as u32
+}
+
+/// The Brent–Kung adder benchmark: `2·half`-bit input (two stitched
+/// operands), `(half + 1)`-bit output. The paper's instance is
+/// `half = 8` → 16 in / 9 out.
+///
+/// # Errors
+///
+/// Returns an error if the widths fall outside the supported range.
+pub fn brent_kung_table(half: usize) -> Result<TruthTable, BoolFnError> {
+    TruthTable::from_fn(2 * half, half + 1, |x| {
+        let (a, b) = split_operands(x, half);
+        brent_kung_add(a, b, half)
+    })
+}
+
+/// The unsigned array-multiplier benchmark: `2·half`-bit input, `2·half`-
+/// bit output (`half = 8` → 16 in / 16 out in the paper).
+///
+/// # Errors
+///
+/// Returns an error if the widths fall outside the supported range.
+pub fn multiplier_table(half: usize) -> Result<TruthTable, BoolFnError> {
+    TruthTable::from_fn(2 * half, 2 * half, |x| {
+        let (a, b) = split_operands(x, half);
+        a * b
+    })
+}
+
+/// Forward kinematics of a 2-joint arm (`forwardk2j`): the two operands
+/// are joint angles `θ1, θ2 ∈ [0, π/2]`; the output is the end-effector
+/// `x` coordinate `l1·cos(θ1) + l2·cos(θ1 + θ2) ∈ [−l2, l1 + l2]`,
+/// quantised to `2·half` bits.
+///
+/// # Errors
+///
+/// Returns an error if the widths fall outside the supported range.
+pub fn forwardk2j_table(half: usize) -> Result<TruthTable, BoolFnError> {
+    use std::f64::consts::FRAC_PI_2;
+    TruthTable::from_fn(2 * half, 2 * half, |code| {
+        let (c1, c2) = split_operands(code, half);
+        let t1 = dequant(c1, half, 0.0, FRAC_PI_2);
+        let t2 = dequant(c2, half, 0.0, FRAC_PI_2);
+        let x = LINK1 * t1.cos() + LINK2 * (t1 + t2).cos();
+        quant(x, 2 * half, -LINK2, LINK1 + LINK2)
+    })
+}
+
+/// Inverse kinematics of a 2-joint arm (`inversek2j`): the two operands
+/// are a target point `(x, y) ∈ [0, 1]²`; the output stitches the two
+/// joint angles: `θ1` quantised to `half` bits over `[−π, π]` and `θ2`
+/// over `[0, π]`.
+/// Unreachable targets clamp the elbow-angle cosine, which makes the
+/// function non-continuous — the very case Taylor-based approximate LUTs
+/// cannot handle and decomposition can (paper §I).
+///
+/// # Errors
+///
+/// Returns an error if the widths fall outside the supported range.
+pub fn inversek2j_table(half: usize) -> Result<TruthTable, BoolFnError> {
+    use std::f64::consts::PI;
+    TruthTable::from_fn(2 * half, 2 * half, |code| {
+        let (cx, cy) = split_operands(code, half);
+        let x = dequant(cx, half, 0.0, 1.0);
+        let y = dequant(cy, half, 0.0, 1.0);
+        let d2 = x * x + y * y;
+        let cos_t2 = ((d2 - LINK1 * LINK1 - LINK2 * LINK2) / (2.0 * LINK1 * LINK2))
+            .clamp(-1.0, 1.0);
+        let t2 = cos_t2.acos();
+        let t1 = y.atan2(x) - (LINK2 * t2.sin()).atan2(LINK1 + LINK2 * t2.cos());
+        let q1 = quant(t1.clamp(-PI, PI), half, -PI, PI);
+        let q2 = quant(t2, half, 0.0, PI);
+        q1 | (q2 << half)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_kung_table_is_addition() {
+        let t = brent_kung_table(4).unwrap();
+        assert_eq!(t.inputs(), 8);
+        assert_eq!(t.outputs(), 5);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(t.eval(a | (b << 4)), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_table_is_multiplication() {
+        let t = multiplier_table(4).unwrap();
+        assert_eq!(t.outputs(), 8);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(t.eval(a | (b << 4)), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn forwardk2j_endpoints() {
+        let t = forwardk2j_table(4).unwrap();
+        // θ1 = θ2 = 0 -> x = l1 + l2 = 1.0 -> max code.
+        assert_eq!(t.eval(0), 255);
+        // θ1 = θ2 = π/2 -> x = 0·l1... x = l1·cos(π/2) + l2·cos(π) = −0.5
+        // -> min code.
+        assert_eq!(t.eval(0xFF), 0);
+    }
+
+    #[test]
+    fn forwardk2j_x_is_monotone_decreasing_in_theta1_at_zero_theta2() {
+        let t = forwardk2j_table(4).unwrap();
+        let mut prev = u32::MAX;
+        for c1 in 0..16u32 {
+            let v = t.eval(c1);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn inversek2j_round_trips_reachable_points() {
+        use std::f64::consts::PI;
+        let half = 6;
+        let t = inversek2j_table(half).unwrap();
+        // Pick reachable targets (inside the unit disc, away from edges),
+        // decode the angles and check forward kinematics returns the
+        // target within quantisation error.
+        let steps = ((1u32 << half) - 1) as f64;
+        for (x, y) in [(0.5, 0.5), (0.3, 0.6), (0.7, 0.2), (0.4, 0.4)] {
+            let cx = (x * steps).round() as u32;
+            let cy = (y * steps).round() as u32;
+            let out = t.eval(cx | (cy << half));
+            let q1 = out & ((1 << half) - 1);
+            let q2 = out >> half;
+            let t1 = -PI + 2.0 * PI * f64::from(q1) / steps;
+            let t2 = PI * f64::from(q2) / steps;
+            let fx = LINK1 * t1.cos() + LINK2 * (t1 + t2).cos();
+            let fy = LINK1 * t1.sin() + LINK2 * (t1 + t2).sin();
+            let tol = 4.0 / steps; // a few quantisation steps
+            let xq = f64::from(cx) / steps;
+            let yq = f64::from(cy) / steps;
+            assert!(
+                (fx - xq).abs() < tol && (fy - yq).abs() < tol,
+                "target ({xq},{yq}) got ({fx},{fy})"
+            );
+        }
+    }
+
+    #[test]
+    fn inversek2j_clamps_unreachable_points() {
+        // (1, 1) is outside the unit disc; the function must still return
+        // a well-defined clamped value (θ2 = 0, arm fully extended).
+        let half = 6;
+        let t = inversek2j_table(half).unwrap();
+        let max = (1u32 << half) - 1;
+        let out = t.eval(max | (max << half));
+        let q2 = out >> half;
+        assert_eq!(q2, 0, "fully stretched arm for unreachable target");
+    }
+}

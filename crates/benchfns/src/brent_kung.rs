@@ -1,0 +1,134 @@
+//! A bit-level Brent–Kung parallel-prefix adder.
+//!
+//! The paper's `Brent-Kung` benchmark is the Boolean function of a
+//! Brent–Kung adder: two `w`-bit operands in, a `(w+1)`-bit sum out. We
+//! implement the actual prefix network (generate/propagate tree) rather
+//! than `a + b`, so the structure the benchmark is named after is really
+//! exercised — and then verify against plain addition in tests.
+
+/// Computes `a + b` for `w`-bit operands through an explicit Brent–Kung
+/// prefix network, returning the `(w + 1)`-bit sum.
+///
+/// # Panics
+///
+/// Panics if `w == 0`, `w > 16`, or an operand does not fit in `w` bits.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_benchfns::brent_kung::brent_kung_add;
+/// assert_eq!(brent_kung_add(200, 100, 8), 300);
+/// assert_eq!(brent_kung_add(255, 255, 8), 510);
+/// ```
+pub fn brent_kung_add(a: u32, b: u32, w: usize) -> u32 {
+    assert!(w > 0 && w <= 16, "operand width out of range");
+    let mask = (1u32 << w) - 1;
+    assert!(a <= mask && b <= mask, "operand does not fit in width");
+
+    // Bit-level generate and propagate.
+    let mut g = [false; 17];
+    let mut p = [false; 17];
+    for i in 0..w {
+        let ai = (a >> i) & 1 == 1;
+        let bi = (b >> i) & 1 == 1;
+        g[i] = ai && bi;
+        p[i] = ai ^ bi;
+    }
+
+    // Group generate/propagate, (G, P) per node; prefix combine:
+    // (G2, P2) ∘ (G1, P1) = (G2 | (P2 & G1), P2 & P1),
+    // where the node covering higher bits is applied on the left.
+    let mut gg = g;
+    let mut gp = p;
+
+    // Up-sweep (reduce): distance d = 1, 2, 4, ... combine index
+    // i = k·2d + 2d − 1 with its partner at i − d.
+    let mut d = 1usize;
+    while d < w {
+        let mut i = 2 * d - 1;
+        while i < w {
+            let (gh, ph) = (gg[i], gp[i]);
+            let (gl, pl) = (gg[i - d], gp[i - d]);
+            gg[i] = gh || (ph && gl);
+            gp[i] = ph && pl;
+            i += 2 * d;
+        }
+        d *= 2;
+    }
+
+    // Down-sweep: fill in the intermediate prefixes.
+    d /= 2;
+    while d >= 1 {
+        let mut i = 3 * d - 1;
+        while i < w {
+            let (gh, ph) = (gg[i], gp[i]);
+            let (gl, pl) = (gg[i - d], gp[i - d]);
+            gg[i] = gh || (ph && gl);
+            gp[i] = ph && pl;
+            i += 2 * d;
+        }
+        if d == 1 {
+            break;
+        }
+        d /= 2;
+    }
+
+    // Carries: c[0] = 0; c[i+1] = prefix generate of bits 0..=i.
+    let mut sum = 0u32;
+    let mut carry = false;
+    for i in 0..w {
+        let s = p[i] ^ carry;
+        if s {
+            sum |= 1 << i;
+        }
+        carry = gg[i];
+    }
+    if carry {
+        sum |= 1 << w;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_plain_addition_exhaustively_small() {
+        for w in 1..=6usize {
+            let lim = 1u32 << w;
+            for a in 0..lim {
+                for b in 0..lim {
+                    assert_eq!(brent_kung_add(a, b, w), a + b, "w={w} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_plain_addition_sampled_8bit() {
+        for a in 0..256u32 {
+            for b in (0..256u32).step_by(7) {
+                assert_eq!(brent_kung_add(a, b, 8), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_is_bit_w() {
+        assert_eq!(brent_kung_add(0xFF, 0x01, 8), 0x100);
+        assert_eq!(brent_kung_add(0xFFFF, 0xFFFF, 16), 0x1FFFE);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_operand() {
+        let _ = brent_kung_add(256, 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn rejects_zero_width() {
+        let _ = brent_kung_add(0, 0, 0);
+    }
+}

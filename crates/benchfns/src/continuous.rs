@@ -1,0 +1,137 @@
+//! The six continuous benchmarks (paper Table I): elementary functions
+//! quantised with the domains and ranges the paper lists. The paper uses
+//! 16-bit inputs and outputs; widths are parameters so reduced-scale runs
+//! use the identical code path.
+
+use crate::math;
+use dalut_boolfn::builder::QuantizedFn;
+use dalut_boolfn::{BoolFnError, TruthTable};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Builds the quantised `cos(x)` benchmark: domain `[0, π/2]`, range
+/// `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn cos_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 0.0, FRAC_PI_2, 0.0, 1.0).build(f64::cos)
+}
+
+/// `tan(x)`: domain `[0, 2π/5]`, range `[0, 3.08]`.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn tan_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 0.0, 2.0 * PI / 5.0, 0.0, 3.08).build(f64::tan)
+}
+
+/// `exp(x)`: domain `[0, 3]`, range `[0, 20.09]`.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn exp_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 0.0, 3.0, 0.0, 20.09).build(f64::exp)
+}
+
+/// `ln(x)`: domain `[1, 10]`, range `[0, 2.30]`.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn ln_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 1.0, 10.0, 0.0, 2.30).build(f64::ln)
+}
+
+/// `erf(x)`: domain `[0, 3]`, range `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn erf_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 0.0, 3.0, 0.0, 1.0).build(math::erf)
+}
+
+/// `denoise(x)`: domain `[0, 3]`, range `[0, 0.81]` (see
+/// [`math::denoise`] for the documented substitution).
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn denoise_table(bits_in: usize, bits_out: usize) -> Result<TruthTable, BoolFnError> {
+    QuantizedFn::new(bits_in, bits_out, 0.0, 3.0, 0.0, 0.81).build(math::denoise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cos_is_monotone_decreasing() {
+        let t = cos_table(10, 10).unwrap();
+        let mut prev = t.eval(0);
+        assert_eq!(prev, 1023); // cos(0) = 1 -> full scale
+        for x in 1..1024u32 {
+            let v = t.eval(x);
+            assert!(v <= prev);
+            prev = v;
+        }
+        assert_eq!(t.eval(1023), 0); // cos(π/2) = 0
+    }
+
+    #[test]
+    fn tan_spans_declared_range() {
+        let t = tan_table(10, 10).unwrap();
+        assert_eq!(t.eval(0), 0);
+        // tan(2π/5) = 3.0776835; scaled by 3.08 it's code ≈ 1022.3.
+        assert!(t.eval(1023) >= 1020);
+    }
+
+    #[test]
+    fn exp_hits_both_ends() {
+        let t = exp_table(12, 12).unwrap();
+        // exp(0) = 1 of 20.09 -> code ≈ 204.
+        let lo = t.eval(0);
+        assert!((lo as i64 - 204).abs() <= 2, "exp(0) code {lo}");
+        // exp(3) = 20.0855 of 20.09 -> nearly full scale.
+        assert!(t.eval(4095) >= 4090);
+    }
+
+    #[test]
+    fn ln_matches_at_known_points() {
+        let t = ln_table(12, 12).unwrap();
+        assert_eq!(t.eval(0), 0); // ln(1) = 0
+        // ln(10) = 2.302585 vs range max 2.30 -> clamps to full scale.
+        assert_eq!(t.eval(4095), 4095);
+    }
+
+    #[test]
+    fn erf_covers_range() {
+        let t = erf_table(10, 10).unwrap();
+        assert_eq!(t.eval(0), 0);
+        assert!(t.eval(1023) >= 1022); // erf(3) ≈ 0.99998
+    }
+
+    #[test]
+    fn denoise_peaks_inside_domain() {
+        let t = denoise_table(10, 10).unwrap();
+        // Peak at x = 1, i.e. input code ≈ 1023/3.
+        let peak_code = 1023 / 3;
+        let peak = t.eval(peak_code);
+        assert!(peak >= 1020, "peak {peak}");
+        assert!(t.eval(0) < peak);
+        assert!(t.eval(1023) < 40);
+    }
+
+    #[test]
+    fn all_tables_build_at_paper_scale() {
+        // 16-bit in / 16-bit out, as in the paper (smoke test: ~0.3 MB
+        // each, must build without panicking).
+        for f in [cos_table, tan_table, exp_table, ln_table, erf_table, denoise_table] {
+            let t = f(16, 16).unwrap();
+            assert_eq!(t.len(), 65536);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # dalut-benchfns
+//!
+//! The ten benchmark functions of the DALUT paper (DATE 2023, Table I):
+//! six continuous elementary functions (`cos`, `tan`, `exp`, `ln`, `erf`,
+//! `denoise`) quantised to the paper's domains and ranges, and four
+//! non-continuous AxBench-style arithmetic functions (a real Brent–Kung
+//! prefix adder, 2-joint forward/inverse kinematics, and an 8×8
+//! multiplier) whose 16-bit inputs stitch two 8-bit operands.
+//!
+//! All builders are width-parameterised: [`Scale::Paper`] reproduces the
+//! paper's 16-bit tables, [`Scale::Reduced`] builds smaller instances of
+//! the same functions for fast experimentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_benchfns::{Benchmark, Scale};
+//!
+//! let cos = Benchmark::Cos.table(Scale::Reduced(10)).unwrap();
+//! assert_eq!(cos.inputs(), 10);
+//! assert_eq!(cos.eval(0), 1023); // cos(0) = 1.0 at full scale
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod axbench;
+pub mod brent_kung;
+pub mod continuous;
+pub mod math;
+pub mod suite;
+
+pub use suite::{Benchmark, Scale};

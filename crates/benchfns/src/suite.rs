@@ -1,0 +1,222 @@
+//! The benchmark suite: the paper's ten functions with Table-I metadata.
+
+use crate::{axbench, continuous};
+use dalut_boolfn::{BoolFnError, TruthTable};
+use serde::{Deserialize, Serialize};
+
+/// Which scale to build a benchmark at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's scale: 16-bit inputs (continuous functions also have
+    /// 16-bit outputs; non-continuous widths per Table I).
+    Paper,
+    /// Reduced scale with the given total input width (must be even and
+    /// in `4..=16`); preserves every function's shape at lower cost.
+    Reduced(usize),
+}
+
+impl Scale {
+    /// Total input bits at this scale.
+    pub fn input_bits(self) -> usize {
+        match self {
+            Scale::Paper => 16,
+            Scale::Reduced(n) => n,
+        }
+    }
+
+    fn validate(self) -> Result<usize, BoolFnError> {
+        let n = self.input_bits();
+        if !(4..=16).contains(&n) || !n.is_multiple_of(2) {
+            return Err(BoolFnError::InputWidth(n));
+        }
+        Ok(n)
+    }
+}
+
+/// One of the paper's ten benchmarks (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Cos,
+    Tan,
+    Exp,
+    Ln,
+    Erf,
+    Denoise,
+    BrentKung,
+    Forwardk2j,
+    Inversek2j,
+    Multiplier,
+}
+
+impl Benchmark {
+    /// All ten benchmarks in the paper's Table-II order.
+    pub fn all() -> [Benchmark; 10] {
+        use Benchmark::*;
+        [
+            Cos, Tan, Exp, Ln, Erf, Denoise, BrentKung, Forwardk2j, Inversek2j, Multiplier,
+        ]
+    }
+
+    /// The lowercase name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Cos => "cos",
+            Self::Tan => "tan",
+            Self::Exp => "exp",
+            Self::Ln => "ln",
+            Self::Erf => "erf",
+            Self::Denoise => "denoise",
+            Self::BrentKung => "Brent-Kung",
+            Self::Forwardk2j => "Forwardk2j",
+            Self::Inversek2j => "Inversek2j",
+            Self::Multiplier => "Multiplier",
+        }
+    }
+
+    /// True for the six continuous functions.
+    pub fn is_continuous(self) -> bool {
+        matches!(
+            self,
+            Self::Cos | Self::Tan | Self::Exp | Self::Ln | Self::Erf | Self::Denoise
+        )
+    }
+
+    /// The domain string of Table I (continuous functions only).
+    pub fn domain(self) -> Option<&'static str> {
+        match self {
+            Self::Cos => Some("[0, pi/2]"),
+            Self::Tan => Some("[0, 2pi/5]"),
+            Self::Exp => Some("[0, 3]"),
+            Self::Ln => Some("[1, 10]"),
+            Self::Erf => Some("[0, 3]"),
+            Self::Denoise => Some("[0, 3]"),
+            _ => None,
+        }
+    }
+
+    /// The range string of Table I (continuous functions only).
+    pub fn range(self) -> Option<&'static str> {
+        match self {
+            Self::Cos => Some("[0, 1]"),
+            Self::Tan => Some("[0, 3.08]"),
+            Self::Exp => Some("[0, 20.09]"),
+            Self::Ln => Some("[0, 2.30]"),
+            Self::Erf => Some("[0, 1]"),
+            Self::Denoise => Some("[0, 0.81]"),
+            _ => None,
+        }
+    }
+
+    /// Output bits at the given scale (Table I: continuous functions and
+    /// the stitched AxBench functions are 16-out except Brent-Kung's 9).
+    pub fn output_bits(self, scale: Scale) -> usize {
+        let n = scale.input_bits();
+        match self {
+            Self::BrentKung => n / 2 + 1,
+            _ => n,
+        }
+    }
+
+    /// Builds the benchmark's truth table at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scale is invalid.
+    pub fn table(self, scale: Scale) -> Result<TruthTable, BoolFnError> {
+        let n = scale.validate()?;
+        let half = n / 2;
+        match self {
+            Self::Cos => continuous::cos_table(n, n),
+            Self::Tan => continuous::tan_table(n, n),
+            Self::Exp => continuous::exp_table(n, n),
+            Self::Ln => continuous::ln_table(n, n),
+            Self::Erf => continuous::erf_table(n, n),
+            Self::Denoise => continuous::denoise_table(n, n),
+            Self::BrentKung => axbench::brent_kung_table(half),
+            Self::Forwardk2j => axbench::forwardk2j_table(half),
+            Self::Inversek2j => axbench::inversek2j_table(half),
+            Self::Multiplier => axbench::multiplier_table(half),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown benchmark '{s}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_build_at_reduced_scale() {
+        for b in Benchmark::all() {
+            let t = b.table(Scale::Reduced(8)).unwrap();
+            assert_eq!(t.inputs(), 8, "{b}");
+            assert_eq!(t.outputs(), b.output_bits(Scale::Reduced(8)), "{b}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_widths_match_table_i() {
+        assert_eq!(Benchmark::BrentKung.output_bits(Scale::Paper), 9);
+        for b in [
+            Benchmark::Forwardk2j,
+            Benchmark::Inversek2j,
+            Benchmark::Multiplier,
+            Benchmark::Cos,
+        ] {
+            assert_eq!(b.output_bits(Scale::Paper), 16);
+        }
+        assert_eq!(Scale::Paper.input_bits(), 16);
+    }
+
+    #[test]
+    fn continuous_metadata_is_complete() {
+        for b in Benchmark::all() {
+            assert_eq!(b.domain().is_some(), b.is_continuous());
+            assert_eq!(b.range().is_some(), b.is_continuous());
+        }
+        assert_eq!(
+            Benchmark::all().iter().filter(|b| b.is_continuous()).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert!(Benchmark::Cos.table(Scale::Reduced(5)).is_err()); // odd
+        assert!(Benchmark::Cos.table(Scale::Reduced(2)).is_err()); // too small
+        assert!(Benchmark::Cos.table(Scale::Reduced(18)).is_err()); // too big
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for b in Benchmark::all() {
+            let parsed: Benchmark = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+            let parsed: Benchmark = b.name().to_uppercase().parse().unwrap();
+            assert_eq!(parsed, b);
+        }
+        assert!("nonesuch".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::BrentKung.to_string(), "Brent-Kung");
+    }
+}

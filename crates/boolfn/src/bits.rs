@@ -1,0 +1,230 @@
+//! Bit-manipulation primitives used throughout the crate.
+//!
+//! The decomposition algorithms constantly move between a "flat" input index
+//! `x` (an `n`-bit integer) and its projection onto a variable subset (the
+//! free or bound set of a partition). These projections are the classic
+//! parallel bit *extract* / *deposit* operations, implemented here portably
+//! so the crate has no dependency on BMI2 intrinsics.
+
+/// Extracts the bits of `value` selected by `mask` and packs them
+/// contiguously into the low bits of the result (software PEXT).
+///
+/// Bits are taken in ascending bit-position order: the lowest set bit of
+/// `mask` selects the bit that lands at position 0 of the result.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::bits::extract_bits;
+/// // mask selects bits 1 and 3; value has bit3=1, bit1=0 -> packed 0b10.
+/// assert_eq!(extract_bits(0b1000, 0b1010), 0b10);
+/// assert_eq!(extract_bits(0b1111, 0b1010), 0b11);
+/// ```
+#[inline]
+pub fn extract_bits(value: u32, mask: u32) -> u32 {
+    let mut result = 0u32;
+    let mut out_pos = 0u32;
+    let mut m = mask;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if value & bit != 0 {
+            result |= 1 << out_pos;
+        }
+        out_pos += 1;
+        m &= m - 1;
+    }
+    result
+}
+
+/// Deposits the low bits of `value` into the bit positions selected by
+/// `mask` (software PDEP). Inverse of [`extract_bits`] on the masked bits.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::bits::{deposit_bits, extract_bits};
+/// assert_eq!(deposit_bits(0b10, 0b1010), 0b1000);
+/// let (v, m) = (0xBEEF, 0x0FF0);
+/// assert_eq!(deposit_bits(extract_bits(v, m), m), v & m);
+/// ```
+#[inline]
+pub fn deposit_bits(value: u32, mask: u32) -> u32 {
+    let mut result = 0u32;
+    let mut in_pos = 0u32;
+    let mut m = mask;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if value & (1 << in_pos) != 0 {
+            result |= bit;
+        }
+        in_pos += 1;
+        m &= m - 1;
+    }
+    result
+}
+
+/// Returns the positions (ascending) of the set bits of `mask`.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::bits::bit_positions;
+/// assert_eq!(bit_positions(0b1010), vec![1, 3]);
+/// ```
+pub fn bit_positions(mask: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        out.push(m.trailing_zeros());
+        m &= m - 1;
+    }
+    out
+}
+
+/// A precomputed scatter table mapping `(row, col)` coordinates of a 2-D
+/// truth table back to flat input indices.
+///
+/// For a partition with free mask `F` (rows) and bound mask `B` (columns),
+/// the flat index of cell `(r, c)` is `deposit(r, F) | deposit(c, B)`.
+/// Recomputing the deposit per cell costs a bit-loop; this table amortises
+/// it into two linear passes so the 2-D remap used by `OptForPart` is a
+/// pair of indexed lookups per cell.
+#[derive(Debug, Clone)]
+pub struct ScatterTable {
+    row_part: Vec<u32>,
+    col_part: Vec<u32>,
+}
+
+impl ScatterTable {
+    /// Builds the scatter table for `rows = 2^popcount(free_mask)` and
+    /// `cols = 2^popcount(bound_mask)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks overlap.
+    pub fn new(free_mask: u32, bound_mask: u32) -> Self {
+        assert_eq!(
+            free_mask & bound_mask,
+            0,
+            "free and bound masks must be disjoint"
+        );
+        let rows = 1usize << free_mask.count_ones();
+        let cols = 1usize << bound_mask.count_ones();
+        let row_part = (0..rows as u32)
+            .map(|r| deposit_bits(r, free_mask))
+            .collect();
+        let col_part = (0..cols as u32)
+            .map(|c| deposit_bits(c, bound_mask))
+            .collect();
+        Self { row_part, col_part }
+    }
+
+    /// Number of rows (free-set assignments).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.row_part.len()
+    }
+
+    /// Number of columns (bound-set assignments).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.col_part.len()
+    }
+
+    /// Flat input index of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn flat_index(&self, row: usize, col: usize) -> usize {
+        (self.row_part[row] | self.col_part[col]) as usize
+    }
+
+    /// The flat-index contribution of a row (all column bits zero).
+    #[inline]
+    pub fn row_bits(&self, row: usize) -> u32 {
+        self.row_part[row]
+    }
+
+    /// The flat-index contribution of a column (all row bits zero).
+    #[inline]
+    pub fn col_bits(&self, col: usize) -> u32 {
+        self.col_part[col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_empty_mask_is_zero() {
+        assert_eq!(extract_bits(0xFFFF_FFFF, 0), 0);
+    }
+
+    #[test]
+    fn extract_full_mask_is_identity() {
+        for v in [0u32, 1, 0xABCD, 0xFFFF] {
+            assert_eq!(extract_bits(v, 0xFFFF), v & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn deposit_then_extract_roundtrips() {
+        let mask: u32 = 0b1011_0101;
+        for v in 0..(1u32 << mask.count_ones()) {
+            assert_eq!(extract_bits(deposit_bits(v, mask), mask), v);
+        }
+    }
+
+    #[test]
+    fn extract_then_deposit_recovers_masked_bits() {
+        let mask = 0x0F0F;
+        for v in [0u32, 0x1234, 0xFFFF, 0xDEAD] {
+            assert_eq!(deposit_bits(extract_bits(v, mask), mask), v & mask);
+        }
+    }
+
+    #[test]
+    fn bit_positions_enumerates_ascending() {
+        assert_eq!(bit_positions(0), Vec::<u32>::new());
+        assert_eq!(bit_positions(0b1), vec![0]);
+        assert_eq!(bit_positions(0b1000_0001), vec![0, 7]);
+        assert_eq!(bit_positions(u32::MAX), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_table_covers_all_inputs_exactly_once() {
+        let free = 0b0011u32;
+        let bound = 0b1100u32;
+        let table = ScatterTable::new(free, bound);
+        let mut seen = [false; 16];
+        for r in 0..table.rows() {
+            for c in 0..table.cols() {
+                let x = table.flat_index(r, c);
+                assert!(!seen[x], "index {x} hit twice");
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scatter_table_agrees_with_extract() {
+        let free = 0b1010_1010u32;
+        let bound = 0b0101_0101u32;
+        let table = ScatterTable::new(free, bound);
+        for x in 0..256usize {
+            let r = extract_bits(x as u32, free) as usize;
+            let c = extract_bits(x as u32, bound) as usize;
+            assert_eq!(table.flat_index(r, c), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn scatter_table_rejects_overlapping_masks() {
+        let _ = ScatterTable::new(0b11, 0b10);
+    }
+}

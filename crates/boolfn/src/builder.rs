@@ -1,0 +1,222 @@
+//! Builders for truth tables from real-valued functions and random sources.
+
+use crate::error::BoolFnError;
+use crate::truth_table::TruthTable;
+use rand::Rng;
+
+/// Quantisation recipe for turning a real-valued function `f : [lo, hi] →
+/// [out_lo, out_hi]` into an `n`-bit-in / `m`-bit-out truth table, the way
+/// the paper prepares its six continuous benchmarks (16-bit in / 16-bit
+/// out).
+///
+/// Input code `i` maps to `x = lo + (hi − lo) · i / (2^n − 1)`; the output
+/// is affinely scaled to `[0, 2^m − 1]` and rounded to nearest (clamped).
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::builder::QuantizedFn;
+///
+/// let q = QuantizedFn::new(4, 4, 0.0, 1.0, 0.0, 1.0);
+/// let t = q.build(|x| x).unwrap(); // identity ramp
+/// assert_eq!(t.eval(0), 0);
+/// assert_eq!(t.eval(15), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedFn {
+    inputs: usize,
+    outputs: usize,
+    in_lo: f64,
+    in_hi: f64,
+    out_lo: f64,
+    out_hi: f64,
+}
+
+impl QuantizedFn {
+    /// Creates a quantisation recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_hi <= in_lo` or `out_hi <= out_lo`.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        in_lo: f64,
+        in_hi: f64,
+        out_lo: f64,
+        out_hi: f64,
+    ) -> Self {
+        assert!(in_hi > in_lo, "empty input domain");
+        assert!(out_hi > out_lo, "empty output range");
+        Self {
+            inputs,
+            outputs,
+            in_lo,
+            in_hi,
+            out_lo,
+            out_hi,
+        }
+    }
+
+    /// The real input value represented by input code `i`.
+    #[inline]
+    pub fn input_value(&self, i: u32) -> f64 {
+        let steps = ((1u64 << self.inputs) - 1) as f64;
+        self.in_lo + (self.in_hi - self.in_lo) * (i as f64) / steps
+    }
+
+    /// The output code representing real value `y` (clamped to range).
+    #[inline]
+    pub fn output_code(&self, y: f64) -> u32 {
+        let max_code = ((1u64 << self.outputs) - 1) as f64;
+        let scaled = (y - self.out_lo) / (self.out_hi - self.out_lo) * max_code;
+        scaled.round().clamp(0.0, max_code) as u32
+    }
+
+    /// The real value represented by output code `c` (inverse of
+    /// [`Self::output_code`] up to quantisation).
+    #[inline]
+    pub fn output_value(&self, c: u32) -> f64 {
+        let max_code = ((1u64 << self.outputs) - 1) as f64;
+        self.out_lo + (self.out_hi - self.out_lo) * (c as f64) / max_code
+    }
+
+    /// Builds the quantised truth table of `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the widths are out of range.
+    pub fn build(&self, mut f: impl FnMut(f64) -> f64) -> Result<TruthTable, BoolFnError> {
+        TruthTable::from_fn(self.inputs, self.outputs, |i| {
+            self.output_code(f(self.input_value(i)))
+        })
+    }
+}
+
+/// Builds a uniformly random `n`-in / `m`-out truth table (useful for
+/// tests and fuzzing).
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn random_table(
+    inputs: usize,
+    outputs: usize,
+    rng: &mut impl Rng,
+) -> Result<TruthTable, BoolFnError> {
+    let mask = if outputs >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << outputs) - 1
+    };
+    TruthTable::from_fn(inputs, outputs, |_| rng.random::<u32>() & mask)
+}
+
+/// Builds a function that is *exactly* disjoint-decomposable under the
+/// given bound mask: `f(X) = F(φ(B), A)` for random `φ` and `F`. Used as a
+/// positive oracle for decomposition tests.
+///
+/// # Errors
+///
+/// Returns an error if widths are out of range.
+pub fn random_decomposable(
+    inputs: usize,
+    bound_mask: u32,
+    rng: &mut impl Rng,
+) -> Result<TruthTable, BoolFnError> {
+    let free_mask = ((1u32 << inputs) - 1) & !bound_mask;
+    let b = bound_mask.count_ones() as usize;
+    let a = inputs - b;
+    let phi: Vec<bool> = (0..1usize << b).map(|_| rng.random()).collect();
+    let big_f: Vec<bool> = (0..1usize << (a + 1)).map(|_| rng.random()).collect();
+    TruthTable::from_fn(inputs, 1, |x| {
+        let col = crate::bits::extract_bits(x, bound_mask) as usize;
+        let row = crate::bits::extract_bits(x, free_mask) as usize;
+        let phi_out = usize::from(phi[col]);
+        u32::from(big_f[(row << 1) | phi_out])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantized_identity_hits_endpoints() {
+        let q = QuantizedFn::new(8, 8, 0.0, 1.0, 0.0, 1.0);
+        let t = q.build(|x| x).unwrap();
+        assert_eq!(t.eval(0), 0);
+        assert_eq!(t.eval(255), 255);
+        // Monotone function stays monotone after quantisation.
+        for i in 1..256u32 {
+            assert!(t.eval(i) >= t.eval(i - 1));
+        }
+    }
+
+    #[test]
+    fn output_code_clamps_out_of_range() {
+        let q = QuantizedFn::new(4, 4, 0.0, 1.0, 0.0, 1.0);
+        assert_eq!(q.output_code(-0.5), 0);
+        assert_eq!(q.output_code(2.0), 15);
+    }
+
+    #[test]
+    fn output_value_inverts_code_on_grid() {
+        let q = QuantizedFn::new(4, 6, 0.0, 1.0, -1.0, 3.0);
+        for c in 0..64u32 {
+            assert_eq!(q.output_code(q.output_value(c)), c);
+        }
+    }
+
+    #[test]
+    fn input_value_spans_domain() {
+        let q = QuantizedFn::new(4, 4, 2.0, 10.0, 0.0, 1.0);
+        assert!((q.input_value(0) - 2.0).abs() < 1e-12);
+        assert!((q.input_value(15) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input domain")]
+    fn rejects_empty_domain() {
+        let _ = QuantizedFn::new(4, 4, 1.0, 1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn random_table_respects_width() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = random_table(6, 5, &mut rng).unwrap();
+        for (_, y) in t.iter() {
+            assert!(y < 32);
+        }
+    }
+
+    #[test]
+    fn random_decomposable_has_ashenhurst_structure() {
+        // Every row of the 2-D table must be one of: all-0, all-1, V, ~V.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let f = random_decomposable(6, 0b001101, &mut rng).unwrap();
+            let p = crate::partition::Partition::new(6, 0b001101).unwrap();
+            let t = crate::view2d::TwoDimTable::new(&f, p).unwrap();
+            // Collect distinct non-constant row patterns.
+            let mut patterns: Vec<Vec<bool>> = Vec::new();
+            for r in 0..t.grid().rows() {
+                let row = t.row_pattern(r).to_vec();
+                if row.iter().all(|&v| !v) || row.iter().all(|&v| v) {
+                    continue;
+                }
+                if !patterns.contains(&row) {
+                    patterns.push(row);
+                }
+            }
+            // At most V and its complement.
+            assert!(patterns.len() <= 2);
+            if patterns.len() == 2 {
+                let complement: Vec<bool> = patterns[0].iter().map(|&v| !v).collect();
+                assert_eq!(patterns[1], complement);
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Input occurrence-probability distributions `p_X`.
+
+use crate::error::BoolFnError;
+use serde::{Deserialize, Serialize};
+
+/// A probability distribution over the `2^n` inputs of a Boolean function.
+///
+/// The paper's experiments assume uniformly distributed inputs, but the MED
+/// definition and the non-disjoint decomposition (which conditions on a
+/// shared bit, Eq. (2)) are stated for arbitrary distributions, so both are
+/// supported.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::InputDistribution;
+///
+/// let u = InputDistribution::uniform(3).unwrap();
+/// assert!((u.prob(5) - 0.125).abs() < 1e-12);
+///
+/// let w = InputDistribution::from_weights(vec![1.0, 3.0]).unwrap();
+/// assert!((w.prob(1) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputDistribution {
+    inputs: u8,
+    kind: DistKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum DistKind {
+    Uniform,
+    Explicit(Vec<f64>),
+}
+
+impl InputDistribution {
+    /// The uniform distribution over `2^n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is outside `1..=16`.
+    pub fn uniform(n: usize) -> Result<Self, BoolFnError> {
+        if n == 0 || n > crate::truth_table::MAX_INPUTS {
+            return Err(BoolFnError::InputWidth(n));
+        }
+        Ok(Self {
+            inputs: n as u8,
+            kind: DistKind::Uniform,
+        })
+    }
+
+    /// A discretised Gaussian over the input codes: code `i` gets weight
+    /// `exp(−(i − µ)² / 2σ²)` with `µ = mean_frac · (2^n − 1)` and
+    /// `σ = sigma_frac · 2^n`. Models workloads concentrated around an
+    /// operating point (e.g. sensor values near a setpoint), where the
+    /// MED objective should spend its error budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is out of range or the parameters give a
+    /// degenerate (zero-mass) distribution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dalut_boolfn::InputDistribution;
+    /// let d = InputDistribution::gaussian(8, 0.5, 0.1).unwrap();
+    /// // Mass peaks at the centre code and decays towards the edges.
+    /// assert!(d.prob(128) > d.prob(0));
+    /// assert!(d.prob(128) > d.prob(255));
+    /// ```
+    pub fn gaussian(n: usize, mean_frac: f64, sigma_frac: f64) -> Result<Self, BoolFnError> {
+        if n == 0 || n > crate::truth_table::MAX_INPUTS {
+            return Err(BoolFnError::InputWidth(n));
+        }
+        if !(sigma_frac.is_finite() && sigma_frac > 0.0 && mean_frac.is_finite()) {
+            return Err(BoolFnError::InvalidDistribution(format!(
+                "gaussian(mean_frac={mean_frac}, sigma_frac={sigma_frac})"
+            )));
+        }
+        let len = 1usize << n;
+        let mu = mean_frac * (len as f64 - 1.0);
+        let sigma = sigma_frac * len as f64;
+        let weights: Vec<f64> = (0..len)
+            .map(|i| {
+                let z = (i as f64 - mu) / sigma;
+                (-0.5 * z * z).exp()
+            })
+            .collect();
+        Self::from_weights(weights)
+    }
+
+    /// Builds a distribution from non-negative weights (normalised to 1).
+    /// The length must be a power of two in `2..=2^16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid length, a negative/non-finite weight, or
+    /// zero total mass.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, BoolFnError> {
+        let len = weights.len();
+        if !len.is_power_of_two() || !(2..=(1 << crate::truth_table::MAX_INPUTS)).contains(&len) {
+            return Err(BoolFnError::InvalidDistribution(format!(
+                "length {len} is not a power of two in range"
+            )));
+        }
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(BoolFnError::InvalidDistribution(format!(
+                    "weight {w} at index {i} is invalid"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(BoolFnError::InvalidDistribution("zero total mass".into()));
+        }
+        let probs = weights.into_iter().map(|w| w / total).collect();
+        Ok(Self {
+            inputs: len.trailing_zeros() as u8,
+            kind: DistKind::Explicit(probs),
+        })
+    }
+
+    /// Number of input bits `n`.
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Number of inputs, `2^n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Always `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 2^n`.
+    #[inline]
+    pub fn prob(&self, x: u32) -> f64 {
+        match &self.kind {
+            DistKind::Uniform => {
+                assert!((x as usize) < self.len(), "input out of range");
+                1.0 / self.len() as f64
+            }
+            DistKind::Explicit(p) => p[x as usize],
+        }
+    }
+
+    /// True if this is the lazily-represented uniform distribution.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.kind, DistKind::Uniform)
+    }
+
+    /// Marginal probability `P(bit s of X = value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n`.
+    pub fn bit_marginal(&self, s: usize, value: bool) -> f64 {
+        assert!(s < self.inputs(), "bit out of range");
+        match &self.kind {
+            DistKind::Uniform => 0.5,
+            DistKind::Explicit(p) => p
+                .iter()
+                .enumerate()
+                .filter(|(x, _)| ((x >> s) & 1 == 1) == value)
+                .map(|(_, &pr)| pr)
+                .sum(),
+        }
+    }
+
+    /// Conditions on `bit s = value` and removes the bit, yielding the event
+    /// probability and the conditional distribution over the remaining
+    /// `n - 1` variables (bits above `s` shift down by one).
+    ///
+    /// This is the `P(X | x_s = j)` needed by the non-disjoint decomposition
+    /// (paper Eq. (2)). If the event has zero probability, the conditional
+    /// distribution is uniform (its choice cannot affect the MED).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n` or `n == 1`.
+    pub fn condition_on_bit(&self, s: usize, value: bool) -> (f64, InputDistribution) {
+        assert!(s < self.inputs(), "bit out of range");
+        assert!(self.inputs() > 1, "cannot condition a 1-variable distribution");
+        let reduced_n = self.inputs() - 1;
+        match &self.kind {
+            DistKind::Uniform => (
+                0.5,
+                InputDistribution {
+                    inputs: reduced_n as u8,
+                    kind: DistKind::Uniform,
+                },
+            ),
+            DistKind::Explicit(p) => {
+                let low_mask = (1u32 << s) - 1;
+                let mut cond = vec![0.0f64; 1 << reduced_n];
+                let mut event = 0.0f64;
+                for (x, &pr) in p.iter().enumerate() {
+                    let x = x as u32;
+                    if ((x >> s) & 1 == 1) != value {
+                        continue;
+                    }
+                    let reduced = (x & low_mask) | ((x >> 1) & !low_mask);
+                    cond[reduced as usize] += pr;
+                    event += pr;
+                }
+                if event <= 0.0 {
+                    return (
+                        0.0,
+                        InputDistribution {
+                            inputs: reduced_n as u8,
+                            kind: DistKind::Uniform,
+                        },
+                    );
+                }
+                for c in &mut cond {
+                    *c /= event;
+                }
+                (
+                    event,
+                    InputDistribution {
+                        inputs: reduced_n as u8,
+                        kind: DistKind::Explicit(cond),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Materialises the probability vector (length `2^n`).
+    pub fn to_vec(&self) -> Vec<f64> {
+        match &self.kind {
+            DistKind::Uniform => vec![1.0 / self.len() as f64; self.len()],
+            DistKind::Explicit(p) => p.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(d: &InputDistribution) -> f64 {
+        (0..d.len() as u32).map(|x| d.prob(x)).sum()
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let d = InputDistribution::uniform(6).unwrap();
+        assert!((total(&d) - 1.0).abs() < 1e-12);
+        assert!(d.is_uniform());
+    }
+
+    #[test]
+    fn uniform_rejects_bad_width() {
+        assert!(InputDistribution::uniform(0).is_err());
+        assert!(InputDistribution::uniform(17).is_err());
+    }
+
+    #[test]
+    fn from_weights_normalises() {
+        let d = InputDistribution::from_weights(vec![1.0, 1.0, 2.0, 0.0]).unwrap();
+        assert!((d.prob(2) - 0.5).abs() < 1e-12);
+        assert!((d.prob(3)).abs() < 1e-12);
+        assert!((total(&d) - 1.0).abs() < 1e-12);
+        assert!(!d.is_uniform());
+    }
+
+    #[test]
+    fn from_weights_validates() {
+        assert!(InputDistribution::from_weights(vec![1.0; 3]).is_err());
+        assert!(InputDistribution::from_weights(vec![1.0, -1.0]).is_err());
+        assert!(InputDistribution::from_weights(vec![0.0, 0.0]).is_err());
+        assert!(InputDistribution::from_weights(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn gaussian_is_normalised_and_peaked() {
+        let d = InputDistribution::gaussian(6, 0.25, 0.1).unwrap();
+        assert!((total(&d) - 1.0).abs() < 1e-12);
+        // Peak near code 16 (0.25 of 63).
+        let peak = (0..64u32).max_by(|&a, &b| {
+            d.prob(a).partial_cmp(&d.prob(b)).unwrap()
+        });
+        let p = peak.unwrap();
+        assert!((14..=18).contains(&p), "peak at {p}");
+        assert!(InputDistribution::gaussian(6, 0.5, 0.0).is_err());
+        assert!(InputDistribution::gaussian(0, 0.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn bit_marginal_uniform_is_half() {
+        let d = InputDistribution::uniform(4).unwrap();
+        for s in 0..4 {
+            assert!((d.bit_marginal(s, true) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bit_marginal_explicit() {
+        // Mass only on x=0b10 and x=0b11.
+        let d = InputDistribution::from_weights(vec![0.0, 0.0, 1.0, 3.0]).unwrap();
+        assert!((d.bit_marginal(1, true) - 1.0).abs() < 1e-12);
+        assert!((d.bit_marginal(0, true) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_on_bit_uniform() {
+        let d = InputDistribution::uniform(4).unwrap();
+        let (p, cond) = d.condition_on_bit(2, true);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert_eq!(cond.inputs(), 3);
+        assert!(cond.is_uniform());
+    }
+
+    #[test]
+    fn condition_on_bit_explicit_law_of_total_probability() {
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let d = InputDistribution::from_weights(weights).unwrap();
+        for s in 0..3 {
+            let (p0, c0) = d.condition_on_bit(s, false);
+            let (p1, c1) = d.condition_on_bit(s, true);
+            assert!((p0 + p1 - 1.0).abs() < 1e-12);
+            assert!((total(&c0) - 1.0).abs() < 1e-12);
+            assert!((total(&c1) - 1.0).abs() < 1e-12);
+            // Reconstruct joint probabilities.
+            let low_mask = (1u32 << s) - 1;
+            for x in 0..8u32 {
+                let reduced = (x & low_mask) | ((x >> 1) & !low_mask);
+                let (pe, c) = if (x >> s) & 1 == 1 {
+                    (p1, &c1)
+                } else {
+                    (p0, &c0)
+                };
+                assert!((pe * c.prob(reduced) - d.prob(x)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn condition_on_zero_probability_event() {
+        let d = InputDistribution::from_weights(vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let (p, cond) = d.condition_on_bit(0, true);
+        assert_eq!(p, 0.0);
+        assert!((total(&cond) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_vec_matches_prob() {
+        let d = InputDistribution::from_weights(vec![2.0, 1.0, 1.0, 0.0]).unwrap();
+        let v = d.to_vec();
+        for x in 0..4u32 {
+            assert_eq!(v[x as usize], d.prob(x));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the Boolean-function substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing or combining Boolean-function objects.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoolFnError {
+    /// Input width outside the supported `1..=16` range.
+    InputWidth(usize),
+    /// Output width outside the supported `1..=31` range.
+    OutputWidth(usize),
+    /// A value table had the wrong length for the declared input width.
+    ValueLength {
+        /// Expected number of entries (`2^n`).
+        expected: usize,
+        /// Number of entries actually supplied.
+        actual: usize,
+    },
+    /// An output value does not fit in the declared output width.
+    ValueRange {
+        /// Flat input index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: u32,
+        /// Declared output width in bits.
+        output_bits: usize,
+    },
+    /// A probability table was invalid (negative entry or zero total mass).
+    InvalidDistribution(String),
+    /// Two objects that must share a dimension disagree.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for BoolFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InputWidth(n) => {
+                write!(f, "input width {n} outside supported range 1..=16")
+            }
+            Self::OutputWidth(m) => {
+                write!(f, "output width {m} outside supported range 1..=31")
+            }
+            Self::ValueLength { expected, actual } => write!(
+                f,
+                "value table has {actual} entries, expected {expected}"
+            ),
+            Self::ValueRange {
+                index,
+                value,
+                output_bits,
+            } => write!(
+                f,
+                "value {value:#x} at index {index} does not fit in {output_bits} output bits"
+            ),
+            Self::InvalidDistribution(msg) => {
+                write!(f, "invalid input distribution: {msg}")
+            }
+            Self::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BoolFnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = BoolFnError::ValueLength {
+            expected: 16,
+            actual: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("16") && msg.contains('4'));
+        assert!(BoolFnError::InputWidth(40).to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(BoolFnError::OutputWidth(0));
+    }
+}

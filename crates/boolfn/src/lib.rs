@@ -1,0 +1,57 @@
+//! # dalut-boolfn
+//!
+//! Multi-output Boolean-function substrate for the DALUT project — a Rust
+//! reproduction of *"High-accuracy Low-power Reconfigurable Architectures
+//! for Decomposition-based Approximate Lookup Table"* (DATE 2023).
+//!
+//! This crate provides the data model everything else is built on:
+//!
+//! * [`TruthTable`] — dense `n`-input / `m`-output Boolean functions
+//!   (`n ≤ 16`), with per-bit access and splicing of approximate component
+//!   functions;
+//! * [`Partition`] — variable partitions `ω = (A, B)` into free and bound
+//!   sets, including the swap-neighbourhood used by simulated annealing;
+//! * [`InputDistribution`] — input occurrence probabilities `p_X`,
+//!   including the bit-conditioning needed by non-disjoint decomposition;
+//! * [`view2d::TwoDimTable`] — Ashenhurst 2-D truth-table charts;
+//! * [`metrics`] — mean error distance (MED) and related error metrics;
+//! * [`builder`] — quantised real-function and random-table builders;
+//! * [`bits`] — portable PEXT/PDEP-style bit projection utilities.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable, metrics};
+//!
+//! // An 8-bit quantised cosine and a crude approximation of it.
+//! let q = QuantizedFn::new(8, 8, 0.0, std::f64::consts::FRAC_PI_2, 0.0, 1.0);
+//! let cos = q.build(f64::cos).unwrap();
+//! let flat = TruthTable::from_fn(8, 8, |_| 128).unwrap();
+//! let dist = InputDistribution::uniform(8).unwrap();
+//! let med = metrics::med(&cos, &flat, &dist).unwrap();
+//! assert!(med > 0.0);
+//!
+//! // Partition the 8 inputs into a 5-variable bound set and 3 free vars.
+//! let part = Partition::new(8, 0b0001_1111).unwrap();
+//! assert_eq!(part.rows(), 8);
+//! assert_eq!(part.cols(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bits;
+pub mod builder;
+pub mod distribution;
+pub mod error;
+pub mod metrics;
+pub mod partition;
+pub mod truth_table;
+pub mod view2d;
+
+pub use distribution::InputDistribution;
+pub use error::BoolFnError;
+pub use partition::Partition;
+pub use truth_table::TruthTable;
+pub use view2d::{Grid, TwoDimTable};

@@ -1,0 +1,275 @@
+//! Error metrics between an accurate function and its approximation.
+
+use crate::distribution::InputDistribution;
+use crate::error::BoolFnError;
+use crate::truth_table::TruthTable;
+
+/// Mean error distance (the paper's quality metric):
+///
+/// `MED(G, Ĝ) = Σ_X p_X · |Bin(G(X)) − Bin(Ĝ(X))|`.
+///
+/// # Errors
+///
+/// Returns an error if the tables differ in shape or the distribution width
+/// does not match.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{TruthTable, InputDistribution, metrics};
+///
+/// let g = TruthTable::from_fn(2, 3, |x| x + 1).unwrap();
+/// let h = TruthTable::from_fn(2, 3, |x| x).unwrap();
+/// let d = InputDistribution::uniform(2).unwrap();
+/// assert!((metrics::med(&g, &h, &d).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn med(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<f64, BoolFnError> {
+    check(g, g_hat, dist)?;
+    let mut total = 0.0f64;
+    for ((x, a), b) in g.iter().zip(g_hat.values()) {
+        total += dist.prob(x) * f64::from(a.abs_diff(*b));
+    }
+    Ok(total)
+}
+
+/// Worst-case (maximum) error distance over inputs with non-zero
+/// probability.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn max_error_distance(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<u32, BoolFnError> {
+    check(g, g_hat, dist)?;
+    Ok(g
+        .iter()
+        .zip(g_hat.values())
+        .filter(|((x, _), _)| dist.prob(*x) > 0.0)
+        .map(|((_, a), b)| a.abs_diff(*b))
+        .max()
+        .unwrap_or(0))
+}
+
+/// Probability that the approximation differs from the accurate output at
+/// all (error rate).
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn error_rate(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<f64, BoolFnError> {
+    check(g, g_hat, dist)?;
+    Ok(g
+        .iter()
+        .zip(g_hat.values())
+        .filter(|((_, a), b)| a != *b)
+        .map(|((x, _), _)| dist.prob(x))
+        .sum())
+}
+
+/// Root-mean-square error distance, `sqrt(Σ p_X (Bin(G)−Bin(Ĝ))²)`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn rms_error(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<f64, BoolFnError> {
+    check(g, g_hat, dist)?;
+    let mut total = 0.0f64;
+    for ((x, a), b) in g.iter().zip(g_hat.values()) {
+        let d = f64::from(a.abs_diff(*b));
+        total += dist.prob(x) * d * d;
+    }
+    Ok(total.sqrt())
+}
+
+/// Probability that output bit `bit` of the approximation is wrong.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+///
+/// # Panics
+///
+/// Panics if `bit >= m`.
+pub fn bit_flip_rate(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+    bit: usize,
+) -> Result<f64, BoolFnError> {
+    check(g, g_hat, dist)?;
+    assert!(bit < g.outputs(), "output bit out of range");
+    Ok(g
+        .iter()
+        .zip(g_hat.values())
+        .filter(|((_, a), b)| (a ^ *b) >> bit & 1 == 1)
+        .map(|((x, _), _)| dist.prob(x))
+        .sum())
+}
+
+/// A bundle of all supported metrics, computed in one pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Mean error distance.
+    pub med: f64,
+    /// Maximum error distance.
+    pub max_ed: u32,
+    /// Probability of any output mismatch.
+    pub error_rate: f64,
+    /// Root-mean-square error distance.
+    pub rms: f64,
+}
+
+/// Computes [`ErrorReport`] for `(g, g_hat)` under `dist`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn error_report(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<ErrorReport, BoolFnError> {
+    check(g, g_hat, dist)?;
+    let mut med = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut er = 0.0f64;
+    let mut max_ed = 0u32;
+    for ((x, a), b) in g.iter().zip(g_hat.values()) {
+        let p = dist.prob(x);
+        let d = a.abs_diff(*b);
+        if d > 0 {
+            er += p;
+            if p > 0.0 && d > max_ed {
+                max_ed = d;
+            }
+        }
+        let df = f64::from(d);
+        med += p * df;
+        sq += p * df * df;
+    }
+    Ok(ErrorReport {
+        med,
+        max_ed,
+        error_rate: er,
+        rms: sq.sqrt(),
+    })
+}
+
+fn check(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<(), BoolFnError> {
+    g.check_same_shape(g_hat)?;
+    if dist.inputs() != g.inputs() {
+        return Err(BoolFnError::DimensionMismatch(format!(
+            "distribution over {} bits, function over {}",
+            dist.inputs(),
+            g.inputs()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TruthTable, TruthTable, InputDistribution) {
+        let g = TruthTable::from_fn(3, 4, |x| x + 2).unwrap();
+        let h = TruthTable::from_fn(3, 4, |x| if x == 3 { 9 } else { x + 2 }).unwrap();
+        let d = InputDistribution::uniform(3).unwrap();
+        (g, h, d)
+    }
+
+    #[test]
+    fn med_of_identical_tables_is_zero() {
+        let (g, _, d) = setup();
+        assert_eq!(med(&g, &g, &d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn med_weights_single_error_by_probability() {
+        let (g, h, d) = setup();
+        // One input (x=3) errs by |5-9| = 4 with p = 1/8.
+        assert!((med(&g, &h, &d).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error_distance_finds_worst_case() {
+        let (g, h, d) = setup();
+        assert_eq!(max_error_distance(&g, &h, &d).unwrap(), 4);
+    }
+
+    #[test]
+    fn max_error_distance_ignores_zero_probability_inputs() {
+        let (g, h, _) = setup();
+        let mut w = vec![1.0; 8];
+        w[3] = 0.0;
+        let d = InputDistribution::from_weights(w).unwrap();
+        assert_eq!(max_error_distance(&g, &h, &d).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_rate_counts_probability_mass() {
+        let (g, h, d) = setup();
+        assert!((error_rate(&g, &h, &d).unwrap() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_matches_hand_computation() {
+        let (g, h, d) = setup();
+        // sqrt(16/8) = sqrt(2)
+        assert!((rms_error(&g, &h, &d).unwrap() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_flip_rate_isolates_bits() {
+        let g = TruthTable::from_fn(2, 2, |_| 0b00).unwrap();
+        let h = TruthTable::from_fn(2, 2, |x| if x == 0 { 0b10 } else { 0b00 }).unwrap();
+        let d = InputDistribution::uniform(2).unwrap();
+        assert!((bit_flip_rate(&g, &h, &d, 1).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(bit_flip_rate(&g, &h, &d, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn error_report_agrees_with_individual_metrics() {
+        let (g, h, d) = setup();
+        let r = error_report(&g, &h, &d).unwrap();
+        assert_eq!(r.med, med(&g, &h, &d).unwrap());
+        assert_eq!(r.max_ed, max_error_distance(&g, &h, &d).unwrap());
+        assert_eq!(r.error_rate, error_rate(&g, &h, &d).unwrap());
+        assert_eq!(r.rms, rms_error(&g, &h, &d).unwrap());
+    }
+
+    #[test]
+    fn metrics_reject_mismatched_shapes() {
+        let g = TruthTable::from_fn(3, 4, |x| x).unwrap();
+        let h = TruthTable::from_fn(3, 5, |x| x).unwrap();
+        let d = InputDistribution::uniform(3).unwrap();
+        assert!(med(&g, &h, &d).is_err());
+        let d2 = InputDistribution::uniform(4).unwrap();
+        assert!(med(&g, &g, &d2).is_err());
+    }
+
+    #[test]
+    fn med_is_symmetric() {
+        let (g, h, d) = setup();
+        assert_eq!(med(&g, &h, &d).unwrap(), med(&h, &g, &d).unwrap());
+    }
+}

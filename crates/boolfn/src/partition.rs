@@ -1,0 +1,282 @@
+//! Variable partitions `ω = (A, B)` and their neighbourhood structure.
+
+use crate::bits::{bit_positions, ScatterTable};
+use crate::error::BoolFnError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A partition of the `n` input variables into a *free set* `A` (indexing
+/// the rows of the 2-D truth table / the free-table address) and a *bound
+/// set* `B` (indexing the columns / the bound-table address).
+///
+/// Stored as the bit mask of the bound set; variable `i` is input bit `i`.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::Partition;
+///
+/// // 4 variables; bound set B = {x0, x1} (mask 0b0011).
+/// let p = Partition::new(4, 0b0011).unwrap();
+/// assert_eq!(p.bound_size(), 2);
+/// assert_eq!(p.free_mask(), 0b1100);
+/// assert_eq!(p.row_of(0b0110), 0b01); // free bits (x2,x3) = (1,0)
+/// assert_eq!(p.col_of(0b0110), 0b10); // bound bits (x0,x1) = (0,1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Partition {
+    n: u8,
+    bound_mask: u32,
+}
+
+impl Partition {
+    /// Creates a partition of `n` variables with the given bound-set mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is out of range, the mask selects bits at or
+    /// above `n`, or the bound set is empty or equal to the full set.
+    pub fn new(n: usize, bound_mask: u32) -> Result<Self, BoolFnError> {
+        if n == 0 || n > crate::truth_table::MAX_INPUTS {
+            return Err(BoolFnError::InputWidth(n));
+        }
+        let full = full_mask(n);
+        if bound_mask & !full != 0 {
+            return Err(BoolFnError::DimensionMismatch(format!(
+                "bound mask {bound_mask:#b} selects variables beyond n={n}"
+            )));
+        }
+        if bound_mask == 0 || bound_mask == full {
+            return Err(BoolFnError::DimensionMismatch(
+                "bound set must be a proper non-empty subset".into(),
+            ));
+        }
+        Ok(Self {
+            n: n as u8,
+            bound_mask,
+        })
+    }
+
+    /// Draws a uniformly random partition with bound-set size `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` or `b >= n`.
+    pub fn random(n: usize, b: usize, rng: &mut impl Rng) -> Self {
+        assert!(b > 0 && b < n, "bound size must satisfy 0 < b < n");
+        let mut vars: Vec<u32> = (0..n as u32).collect();
+        vars.shuffle(rng);
+        let mask = vars[..b].iter().fold(0u32, |m, &v| m | (1 << v));
+        Self {
+            n: n as u8,
+            bound_mask: mask,
+        }
+    }
+
+    /// Number of variables `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Bound-set mask (set bits are members of `B`).
+    #[inline]
+    pub fn bound_mask(&self) -> u32 {
+        self.bound_mask
+    }
+
+    /// Free-set mask (set bits are members of `A`).
+    #[inline]
+    pub fn free_mask(&self) -> u32 {
+        full_mask(self.n as usize) & !self.bound_mask
+    }
+
+    /// Size of the bound set `b = |B|`.
+    #[inline]
+    pub fn bound_size(&self) -> usize {
+        self.bound_mask.count_ones() as usize
+    }
+
+    /// Size of the free set `|A| = n - b`.
+    #[inline]
+    pub fn free_size(&self) -> usize {
+        self.n as usize - self.bound_size()
+    }
+
+    /// Number of rows of the 2-D truth table, `2^|A|`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        1usize << self.free_size()
+    }
+
+    /// Number of columns of the 2-D truth table, `2^|B|`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        1usize << self.bound_size()
+    }
+
+    /// Row index (free-set projection) of flat input `x`.
+    #[inline]
+    pub fn row_of(&self, x: u32) -> u32 {
+        crate::bits::extract_bits(x, self.free_mask())
+    }
+
+    /// Column index (bound-set projection) of flat input `x`.
+    #[inline]
+    pub fn col_of(&self, x: u32) -> u32 {
+        crate::bits::extract_bits(x, self.bound_mask)
+    }
+
+    /// Precomputes the `(row, col) -> x` scatter table for this partition.
+    pub fn scatter_table(&self) -> ScatterTable {
+        ScatterTable::new(self.free_mask(), self.bound_mask)
+    }
+
+    /// Variable indices of the bound set, ascending.
+    pub fn bound_vars(&self) -> Vec<u32> {
+        bit_positions(self.bound_mask)
+    }
+
+    /// Variable indices of the free set, ascending.
+    pub fn free_vars(&self) -> Vec<u32> {
+        bit_positions(self.free_mask())
+    }
+
+    /// All *neighbour* partitions: those obtained by swapping one free
+    /// variable with one bound variable, so the free set differs in exactly
+    /// one element while `b` stays fixed (the hardware bound-table width).
+    pub fn neighbors(&self) -> Vec<Partition> {
+        let mut out = Vec::with_capacity(self.free_size() * self.bound_size());
+        for a in self.free_vars() {
+            for b in self.bound_vars() {
+                let mask = (self.bound_mask & !(1 << b)) | (1 << a);
+                out.push(Partition {
+                    n: self.n,
+                    bound_mask: mask,
+                });
+            }
+        }
+        out
+    }
+
+    /// Samples `count` distinct random neighbours (`GenNeib` in the paper).
+    /// Returns all neighbours if `count` exceeds the neighbourhood size.
+    pub fn random_neighbors(&self, count: usize, rng: &mut impl Rng) -> Vec<Partition> {
+        let mut all = self.neighbors();
+        all.shuffle(rng);
+        all.truncate(count);
+        all
+    }
+
+    /// True if `other` is a neighbour of `self`.
+    pub fn is_neighbor(&self, other: &Partition) -> bool {
+        self.n == other.n
+            && self.bound_size() == other.bound_size()
+            && (self.bound_mask ^ other.bound_mask).count_ones() == 2
+    }
+}
+
+#[inline]
+fn full_mask(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates_mask() {
+        assert!(Partition::new(4, 0b0011).is_ok());
+        assert!(Partition::new(4, 0).is_err());
+        assert!(Partition::new(4, 0b1111).is_err());
+        assert!(Partition::new(4, 0b10000).is_err());
+        assert!(Partition::new(0, 0b1).is_err());
+    }
+
+    #[test]
+    fn masks_partition_the_variables() {
+        let p = Partition::new(6, 0b010110).unwrap();
+        assert_eq!(p.bound_mask() | p.free_mask(), 0b111111);
+        assert_eq!(p.bound_mask() & p.free_mask(), 0);
+        assert_eq!(p.bound_size() + p.free_size(), 6);
+    }
+
+    #[test]
+    fn row_col_projections_cover_input() {
+        let p = Partition::new(5, 0b00101).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..32u32 {
+            seen.insert((p.row_of(x), p.col_of(x)));
+        }
+        assert_eq!(seen.len(), 32);
+        assert_eq!(p.rows() * p.cols(), 32);
+    }
+
+    #[test]
+    fn random_respects_bound_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let p = Partition::random(10, 4, &mut rng);
+            assert_eq!(p.bound_size(), 4);
+            assert_eq!(p.n(), 10);
+        }
+    }
+
+    #[test]
+    fn neighbors_swap_exactly_one_pair() {
+        let p = Partition::new(6, 0b000111).unwrap();
+        let ns = p.neighbors();
+        assert_eq!(ns.len(), 3 * 3);
+        for nb in &ns {
+            assert!(p.is_neighbor(nb), "{nb:?} not a neighbour of {p:?}");
+            assert_eq!(nb.bound_size(), p.bound_size());
+            assert_ne!(*nb, p);
+        }
+        // All distinct.
+        let set: std::collections::HashSet<_> = ns.iter().collect();
+        assert_eq!(set.len(), ns.len());
+    }
+
+    #[test]
+    fn random_neighbors_are_distinct_subset() {
+        let p = Partition::new(8, 0b0011_1100).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = p.random_neighbors(5, &mut rng);
+        assert_eq!(sample.len(), 5);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        assert_eq!(set.len(), 5);
+        for nb in &sample {
+            assert!(p.is_neighbor(nb));
+        }
+        // Requesting more than exist returns all of them.
+        let all = p.random_neighbors(usize::MAX, &mut rng);
+        assert_eq!(all.len(), p.neighbors().len());
+    }
+
+    #[test]
+    fn is_neighbor_rejects_same_partition_and_far_partitions() {
+        let p = Partition::new(6, 0b000111).unwrap();
+        assert!(!p.is_neighbor(&p));
+        let far = Partition::new(6, 0b111000).unwrap();
+        assert!(!p.is_neighbor(&far));
+    }
+
+    #[test]
+    fn scatter_table_matches_projections() {
+        let p = Partition::new(6, 0b011010).unwrap();
+        let st = p.scatter_table();
+        for x in 0..64u32 {
+            let r = p.row_of(x) as usize;
+            let c = p.col_of(x) as usize;
+            assert_eq!(st.flat_index(r, c), x as usize);
+        }
+    }
+}

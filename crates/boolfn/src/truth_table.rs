@@ -1,0 +1,407 @@
+//! Dense truth-table representation of a multi-output Boolean function.
+
+use crate::error::BoolFnError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported number of input bits.
+pub const MAX_INPUTS: usize = 16;
+/// Maximum supported number of output bits.
+pub const MAX_OUTPUTS: usize = 31;
+
+/// A completely specified `n`-input, `m`-output Boolean function
+/// `Y = G(X)`, stored as a dense table of `2^n` output words.
+///
+/// Output bit `k` (0-based) carries binary weight `2^k`; the paper's
+/// 1-based "k-th output bit" with weight `2^(k-1)` corresponds to our bit
+/// `k - 1`. The value `Bin(Y)` from the paper is exactly the stored `u32`
+/// word.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::TruthTable;
+///
+/// // A 4-input, 5-output function: Y = X + 3.
+/// let g = TruthTable::from_fn(4, 5, |x| x + 3).unwrap();
+/// assert_eq!(g.eval(2), 5);
+/// assert!(g.output_bit(0, 2)); // 5 = 0b101
+/// assert!(!g.output_bit(1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthTable {
+    inputs: u8,
+    outputs: u8,
+    values: Vec<u32>,
+}
+
+impl TruthTable {
+    /// Creates a truth table by evaluating `f` on every input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a width is out of range or `f` produces a value
+    /// that does not fit in `outputs` bits.
+    pub fn from_fn(
+        inputs: usize,
+        outputs: usize,
+        mut f: impl FnMut(u32) -> u32,
+    ) -> Result<Self, BoolFnError> {
+        check_widths(inputs, outputs)?;
+        let size = 1usize << inputs;
+        let mut values = Vec::with_capacity(size);
+        let mask = out_mask(outputs);
+        for x in 0..size as u32 {
+            let y = f(x);
+            if y & !mask != 0 {
+                return Err(BoolFnError::ValueRange {
+                    index: x as usize,
+                    value: y,
+                    output_bits: outputs,
+                });
+            }
+            values.push(y);
+        }
+        Ok(Self {
+            inputs: inputs as u8,
+            outputs: outputs as u8,
+            values,
+        })
+    }
+
+    /// Creates a truth table from an explicit value vector of length `2^n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on width/length mismatch or out-of-range values.
+    pub fn from_values(
+        inputs: usize,
+        outputs: usize,
+        values: Vec<u32>,
+    ) -> Result<Self, BoolFnError> {
+        check_widths(inputs, outputs)?;
+        let expected = 1usize << inputs;
+        if values.len() != expected {
+            return Err(BoolFnError::ValueLength {
+                expected,
+                actual: values.len(),
+            });
+        }
+        let mask = out_mask(outputs);
+        for (i, &v) in values.iter().enumerate() {
+            if v & !mask != 0 {
+                return Err(BoolFnError::ValueRange {
+                    index: i,
+                    value: v,
+                    output_bits: outputs,
+                });
+            }
+        }
+        Ok(Self {
+            inputs: inputs as u8,
+            outputs: outputs as u8,
+            values,
+        })
+    }
+
+    /// Creates a single-output truth table from a slice of bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bits.len() != 2^inputs`.
+    pub fn from_bits(inputs: usize, bits: &[bool]) -> Result<Self, BoolFnError> {
+        Self::from_values(inputs, 1, bits.iter().map(|&b| u32::from(b)).collect())
+    }
+
+    /// Number of input bits `n`.
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Number of output bits `m`.
+    #[inline]
+    pub fn outputs(&self) -> usize {
+        self.outputs as usize
+    }
+
+    /// Number of table entries, `2^n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: a truth table has at least two entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the function on input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 2^n`.
+    #[inline]
+    pub fn eval(&self, x: u32) -> u32 {
+        self.values[x as usize]
+    }
+
+    /// The output word table, indexed by flat input.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Value of output bit `bit` (0-based, weight `2^bit`) on input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 2^n` or `bit >= m`.
+    #[inline]
+    pub fn output_bit(&self, bit: usize, x: u32) -> bool {
+        assert!(bit < self.outputs as usize, "output bit out of range");
+        (self.values[x as usize] >> bit) & 1 == 1
+    }
+
+    /// Extracts output bit `bit` as a single-output truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= m`.
+    pub fn component(&self, bit: usize) -> TruthTable {
+        assert!(bit < self.outputs as usize, "output bit out of range");
+        TruthTable {
+            inputs: self.inputs,
+            outputs: 1,
+            values: self.values.iter().map(|&v| (v >> bit) & 1).collect(),
+        }
+    }
+
+    /// Returns a copy with output bit `bit` replaced by `new_bit(x)`.
+    ///
+    /// This is how an approximate component function `ĝ_k` is spliced into
+    /// the running approximation `Ĝ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= m`.
+    pub fn with_bit_replaced(&self, bit: usize, mut new_bit: impl FnMut(u32) -> bool) -> Self {
+        assert!(bit < self.outputs as usize, "output bit out of range");
+        let mask = 1u32 << bit;
+        let values = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(x, &v)| {
+                if new_bit(x as u32) {
+                    v | mask
+                } else {
+                    v & !mask
+                }
+            })
+            .collect();
+        Self {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            values,
+        }
+    }
+
+    /// Replaces output bit `bit` in place using a bit table of length `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= m` or `bits.len() != 2^n`.
+    pub fn set_bit_column(&mut self, bit: usize, bits: &[bool]) {
+        assert!(bit < self.outputs as usize, "output bit out of range");
+        assert_eq!(bits.len(), self.values.len(), "bit column length mismatch");
+        let mask = 1u32 << bit;
+        for (v, &b) in self.values.iter_mut().zip(bits) {
+            if b {
+                *v |= mask;
+            } else {
+                *v &= !mask;
+            }
+        }
+    }
+
+    /// Iterator over `(x, G(x))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.values.iter().enumerate().map(|(x, &v)| (x as u32, v))
+    }
+
+    /// Counts inputs on which `self` and `other` differ (Hamming distance
+    /// of the value tables as words).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dimensions disagree.
+    pub fn diff_count(&self, other: &TruthTable) -> Result<usize, BoolFnError> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a != b)
+            .count())
+    }
+
+    /// Verifies that `other` has the same input and output widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFnError::DimensionMismatch`] when shapes differ.
+    pub fn check_same_shape(&self, other: &TruthTable) -> Result<(), BoolFnError> {
+        if self.inputs != other.inputs || self.outputs != other.outputs {
+            return Err(BoolFnError::DimensionMismatch(format!(
+                "({}-in,{}-out) vs ({}-in,{}-out)",
+                self.inputs, self.outputs, other.inputs, other.outputs
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_widths(inputs: usize, outputs: usize) -> Result<(), BoolFnError> {
+    if inputs == 0 || inputs > MAX_INPUTS {
+        return Err(BoolFnError::InputWidth(inputs));
+    }
+    if outputs == 0 || outputs > MAX_OUTPUTS {
+        return Err(BoolFnError::OutputWidth(outputs));
+    }
+    Ok(())
+}
+
+#[inline]
+fn out_mask(outputs: usize) -> u32 {
+    if outputs >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << outputs) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_builds_identity() {
+        let t = TruthTable::from_fn(4, 4, |x| x).unwrap();
+        assert_eq!(t.inputs(), 4);
+        assert_eq!(t.outputs(), 4);
+        assert_eq!(t.len(), 16);
+        for x in 0..16 {
+            assert_eq!(t.eval(x), x);
+        }
+    }
+
+    #[test]
+    fn from_fn_rejects_out_of_range_values() {
+        let err = TruthTable::from_fn(2, 2, |x| x + 2).unwrap_err();
+        assert!(matches!(err, BoolFnError::ValueRange { .. }));
+    }
+
+    #[test]
+    fn from_fn_rejects_bad_widths() {
+        assert!(matches!(
+            TruthTable::from_fn(0, 1, |_| 0),
+            Err(BoolFnError::InputWidth(0))
+        ));
+        assert!(matches!(
+            TruthTable::from_fn(17, 1, |_| 0),
+            Err(BoolFnError::InputWidth(17))
+        ));
+        assert!(matches!(
+            TruthTable::from_fn(4, 0, |_| 0),
+            Err(BoolFnError::OutputWidth(0))
+        ));
+        assert!(matches!(
+            TruthTable::from_fn(4, 32, |_| 0),
+            Err(BoolFnError::OutputWidth(32))
+        ));
+    }
+
+    #[test]
+    fn from_values_checks_length() {
+        let err = TruthTable::from_values(3, 1, vec![0; 7]).unwrap_err();
+        assert_eq!(
+            err,
+            BoolFnError::ValueLength {
+                expected: 8,
+                actual: 7
+            }
+        );
+    }
+
+    #[test]
+    fn output_bit_matches_eval() {
+        let t = TruthTable::from_fn(5, 6, |x| (x * 2) % 64).unwrap();
+        for x in 0..32 {
+            let y = t.eval(x);
+            for k in 0..6 {
+                assert_eq!(t.output_bit(k, x), (y >> k) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn component_extracts_single_bit() {
+        let t = TruthTable::from_fn(3, 3, |x| x ^ 0b101).unwrap();
+        let c = t.component(2);
+        assert_eq!(c.outputs(), 1);
+        for x in 0..8 {
+            assert_eq!(c.eval(x) == 1, t.output_bit(2, x));
+        }
+    }
+
+    #[test]
+    fn with_bit_replaced_only_touches_target_bit() {
+        let t = TruthTable::from_fn(3, 3, |x| x).unwrap();
+        let r = t.with_bit_replaced(1, |_| true);
+        for x in 0..8u32 {
+            assert_eq!(r.eval(x), t.eval(x) | 0b010);
+        }
+    }
+
+    #[test]
+    fn set_bit_column_round_trips() {
+        let mut t = TruthTable::from_fn(3, 2, |x| x % 4).unwrap();
+        let orig = t.clone();
+        let col: Vec<bool> = (0..8).map(|x| orig.output_bit(0, x)).collect();
+        t.set_bit_column(0, &col);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn diff_count_counts_word_mismatches() {
+        let a = TruthTable::from_fn(3, 2, |x| x % 4).unwrap();
+        let b = a.with_bit_replaced(0, |x| x % 2 == 0);
+        // Bit 0 of x%4 is x%2==1; the replacement inverts it everywhere.
+        assert_eq!(a.diff_count(&b).unwrap(), 8);
+        assert_eq!(a.diff_count(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn diff_count_rejects_shape_mismatch() {
+        let a = TruthTable::from_fn(3, 2, |_| 0).unwrap();
+        let b = TruthTable::from_fn(4, 2, |_| 0).unwrap();
+        assert!(a.diff_count(&b).is_err());
+    }
+
+    #[test]
+    fn from_bits_builds_single_output() {
+        let bits = [true, false, false, true];
+        let t = TruthTable::from_bits(2, &bits).unwrap();
+        assert_eq!(t.outputs(), 1);
+        assert_eq!(t.values(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_table() {
+        let t = TruthTable::from_fn(4, 3, |x| x % 8).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TruthTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

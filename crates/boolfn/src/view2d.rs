@@ -1,0 +1,220 @@
+//! 2-D truth-table views (Ashenhurst decomposition charts).
+
+use crate::error::BoolFnError;
+use crate::partition::Partition;
+use crate::truth_table::TruthTable;
+
+/// A small dense row-major grid, used for 2-D truth tables and for the
+/// per-cell cost matrices of the approximate decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Grid<T> {
+    /// Creates a grid from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "grid data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        &self.data[row * self.cols + col]
+    }
+
+    /// Mutable element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
+        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// Row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "grid row out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl Grid<f64> {
+    /// A zero-filled grid.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::from_vec(rows, cols, vec![0.0; rows * cols])
+    }
+}
+
+/// The 2-D truth table of a *single-output* function under a partition:
+/// rows indexed by the free-set assignment, columns by the bound-set
+/// assignment (paper Fig. 1(a)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoDimTable {
+    grid: Grid<bool>,
+    partition: Partition,
+}
+
+impl TwoDimTable {
+    /// Builds the 2-D view of single-output `f` under `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `f` is not single-output or widths disagree.
+    pub fn new(f: &TruthTable, partition: Partition) -> Result<Self, BoolFnError> {
+        if f.outputs() != 1 {
+            return Err(BoolFnError::DimensionMismatch(format!(
+                "2-D view requires a single-output function, got {} outputs",
+                f.outputs()
+            )));
+        }
+        if f.inputs() != partition.n() {
+            return Err(BoolFnError::DimensionMismatch(format!(
+                "function over {} inputs, partition over {}",
+                f.inputs(),
+                partition.n()
+            )));
+        }
+        let st = partition.scatter_table();
+        let mut data = Vec::with_capacity(st.rows() * st.cols());
+        for r in 0..st.rows() {
+            for c in 0..st.cols() {
+                data.push(f.eval(st.flat_index(r, c) as u32) == 1);
+            }
+        }
+        Ok(Self {
+            grid: Grid::from_vec(st.rows(), st.cols(), data),
+            partition,
+        })
+    }
+
+    /// The underlying grid of cell values.
+    #[inline]
+    pub fn grid(&self) -> &Grid<bool> {
+        &self.grid
+    }
+
+    /// The partition defining this view.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Cell value at `(row, col)`.
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> bool {
+        *self.grid.get(row, col)
+    }
+
+    /// Row `row` as a pattern of bits.
+    #[inline]
+    pub fn row_pattern(&self, row: usize) -> &[bool] {
+        self.grid.row(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_is_row_major() {
+        let g = Grid::from_vec(2, 3, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(*g.get(0, 2), 2);
+        assert_eq!(*g.get(1, 0), 3);
+        assert_eq!(g.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn grid_rejects_bad_length() {
+        let _ = Grid::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn two_dim_table_matches_direct_eval() {
+        // f(x) = parity of x, 4 inputs; any partition view must agree with
+        // direct evaluation through the scatter mapping.
+        let f = TruthTable::from_fn(4, 1, |x| u32::from(x.count_ones() % 2 == 1)).unwrap();
+        let p = Partition::new(4, 0b0101).unwrap();
+        let t = TwoDimTable::new(&f, p).unwrap();
+        let st = p.scatter_table();
+        for r in 0..t.grid().rows() {
+            for c in 0..t.grid().cols() {
+                let x = st.flat_index(r, c) as u32;
+                assert_eq!(t.cell(r, c), f.eval(x) == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_1_table_layout() {
+        // Fig. 1(a): A = {x1, x2} (rows), B = {x3, x4} (cols).
+        // Our variables are 0-based: A = {x0, x1}, B = {x2, x3}.
+        // Row patterns: row00 = 0110, row01 = 1001, row10 = 1111, row11 = 0000.
+        let rows: [[u32; 4]; 4] = [[0, 1, 1, 0], [1, 0, 0, 1], [1, 1, 1, 1], [0, 0, 0, 0]];
+        let f = TruthTable::from_fn(4, 1, |x| {
+            let a = (x & 0b0011) as usize;
+            let b = ((x >> 2) & 0b11) as usize;
+            rows[a][b]
+        })
+        .unwrap();
+        let p = Partition::new(4, 0b1100).unwrap();
+        let t = TwoDimTable::new(&f, p).unwrap();
+        assert_eq!(t.row_pattern(0), &[false, true, true, false]);
+        assert_eq!(t.row_pattern(1), &[true, false, false, true]);
+        assert_eq!(t.row_pattern(2), &[true, true, true, true]);
+        assert_eq!(t.row_pattern(3), &[false, false, false, false]);
+    }
+
+    #[test]
+    fn two_dim_table_rejects_multi_output() {
+        let f = TruthTable::from_fn(4, 2, |x| x % 4).unwrap();
+        let p = Partition::new(4, 0b0011).unwrap();
+        assert!(TwoDimTable::new(&f, p).is_err());
+    }
+
+    #[test]
+    fn two_dim_table_rejects_width_mismatch() {
+        let f = TruthTable::from_fn(5, 1, |_| 0).unwrap();
+        let p = Partition::new(4, 0b0011).unwrap();
+        assert!(TwoDimTable::new(&f, p).is_err());
+    }
+}

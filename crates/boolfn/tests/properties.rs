@@ -1,0 +1,155 @@
+//! Property-based tests for the Boolean-function substrate.
+
+use dalut_boolfn::bits::{bit_positions, deposit_bits, extract_bits, ScatterTable};
+use dalut_boolfn::builder::QuantizedFn;
+use dalut_boolfn::{metrics, InputDistribution, Partition, TruthTable, TwoDimTable};
+use proptest::prelude::*;
+
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    (2usize..=8).prop_flat_map(|n| {
+        (Just(n), 1u32..((1 << n) - 1)).prop_filter_map("proper subset", |(n, mask)| {
+            Partition::new(n, mask).ok()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// PEXT/PDEP are mutually inverse on their masked domains.
+    #[test]
+    fn extract_deposit_inverse(value: u32, mask: u32) {
+        let packed = extract_bits(value, mask);
+        prop_assert_eq!(deposit_bits(packed, mask), value & mask);
+        prop_assert_eq!(extract_bits(deposit_bits(packed, mask), mask), packed);
+    }
+
+    /// The number of extracted bits equals the mask's popcount.
+    #[test]
+    fn extract_respects_popcount(value: u32, mask: u32) {
+        let packed = extract_bits(value, mask);
+        let width = mask.count_ones();
+        if width < 32 {
+            prop_assert!(packed < (1u32 << width));
+        }
+        prop_assert_eq!(bit_positions(mask).len(), width as usize);
+    }
+
+    /// Every partition's row/col projections are a bijection onto the
+    /// full input space.
+    #[test]
+    fn partition_projections_are_bijective(part in arb_partition()) {
+        let n = part.n();
+        let mut seen = vec![false; 1 << n];
+        let st = part.scatter_table();
+        for r in 0..part.rows() {
+            for c in 0..part.cols() {
+                let x = st.flat_index(r, c);
+                prop_assert!(!seen[x]);
+                seen[x] = true;
+                prop_assert_eq!(part.row_of(x as u32) as usize, r);
+                prop_assert_eq!(part.col_of(x as u32) as usize, c);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Neighbour partitions always differ by exactly one swapped pair and
+    /// keep the bound size.
+    #[test]
+    fn neighbors_preserve_bound_size(part in arb_partition()) {
+        for nb in part.neighbors() {
+            prop_assert_eq!(nb.bound_size(), part.bound_size());
+            prop_assert_eq!((nb.bound_mask() ^ part.bound_mask()).count_ones(), 2);
+        }
+        // Neighbour count = |A| * |B|.
+        prop_assert_eq!(part.neighbors().len(), part.free_size() * part.bound_size());
+    }
+
+    /// MED of a table against itself shifted by a constant equals that
+    /// constant (when no clamping occurs).
+    #[test]
+    fn med_of_constant_shift(shift in 1u32..8) {
+        let g = TruthTable::from_fn(6, 8, |x| x % 200).unwrap();
+        let h = TruthTable::from_fn(6, 8, |x| x % 200 + shift).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let med = metrics::med(&g, &h, &d).unwrap();
+        prop_assert!((med - f64::from(shift)).abs() < 1e-9);
+    }
+
+    /// A 2-D view contains every truth-table entry exactly once.
+    #[test]
+    fn two_dim_view_is_complete(part in arb_partition(), seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = TruthTable::from_fn(part.n(), 1, |_| u32::from(rng.random::<bool>())).unwrap();
+        let view = TwoDimTable::new(&f, part).unwrap();
+        let mut ones_in_view = 0usize;
+        for r in 0..part.rows() {
+            for c in 0..part.cols() {
+                ones_in_view += usize::from(view.cell(r, c));
+            }
+        }
+        let ones_in_table = f.values().iter().filter(|&&v| v == 1).count();
+        prop_assert_eq!(ones_in_view, ones_in_table);
+    }
+
+    /// Quantisation round-trips output codes exactly on the code grid.
+    #[test]
+    fn output_code_value_roundtrip(
+        bits in 2usize..10,
+        lo in -10.0f64..0.0,
+        span in 0.1f64..100.0,
+    ) {
+        let q = QuantizedFn::new(4, bits, 0.0, 1.0, lo, lo + span);
+        for code in 0..(1u32 << bits) {
+            prop_assert_eq!(q.output_code(q.output_value(code)), code);
+        }
+    }
+
+    /// Explicit distributions always sum to one after normalisation.
+    #[test]
+    fn distributions_are_normalised(
+        weights in proptest::collection::vec(0.0f64..10.0, 8),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let d = InputDistribution::from_weights(weights).unwrap();
+        let total: f64 = (0..8u32).map(|x| d.prob(x)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Conditioning then recombining reproduces the joint distribution.
+    #[test]
+    fn conditioning_is_consistent(
+        weights in proptest::collection::vec(0.01f64..10.0, 16),
+        s in 0usize..4,
+    ) {
+        let d = InputDistribution::from_weights(weights).unwrap();
+        let (p0, c0) = d.condition_on_bit(s, false);
+        let (p1, c1) = d.condition_on_bit(s, true);
+        prop_assert!((p0 + p1 - 1.0).abs() < 1e-9);
+        for x in 0..16u32 {
+            let rx = {
+                let low = x & ((1 << s) - 1);
+                low | ((x >> 1) & !((1u32 << s) - 1))
+            };
+            let (pe, c) = if (x >> s) & 1 == 1 { (p1, &c1) } else { (p0, &c0) };
+            prop_assert!((pe * c.prob(rx) - d.prob(x)).abs() < 1e-9);
+        }
+    }
+}
+
+/// ScatterTable agrees with the bit primitives on random masks.
+#[test]
+fn scatter_table_matches_primitives() {
+    for (free, bound) in [(0b0011u32, 0b1100u32), (0b0101, 0b1010), (0b1001, 0b0110)] {
+        let st = ScatterTable::new(free, bound);
+        for r in 0..st.rows() {
+            for c in 0..st.cols() {
+                let x = st.flat_index(r, c) as u32;
+                assert_eq!(extract_bits(x, free), r as u32);
+                assert_eq!(extract_bits(x, bound), c as u32);
+            }
+        }
+    }
+}

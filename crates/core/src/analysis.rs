@@ -1,0 +1,202 @@
+//! Post-search error analysis: where does a configuration's MED come
+//! from, bit by bit?
+//!
+//! The MED is not a per-bit additive quantity (bit errors interact
+//! through `|Bin(G) − Bin(Ĝ)|`), but two per-bit views are exact and
+//! actionable:
+//!
+//! * the **flip rate** of each output bit (how often its decomposition
+//!   is wrong), and
+//! * the **marginal MED** of each bit — the MED obtained by making *only*
+//!   that bit approximate and keeping every other bit accurate, which is
+//!   `flip_rate · 2^bit` exactly;
+//!
+//! plus the **leave-one-out repair gain** — how much the total MED drops
+//! if that single bit is restored to accuracy.
+
+use crate::config::{ApproxLutConfig, BitMode};
+use dalut_boolfn::{metrics, BoolFnError, InputDistribution, TruthTable};
+use serde::{Deserialize, Serialize};
+
+/// Per-bit error diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitErrorReport {
+    /// Output bit index.
+    pub bit: usize,
+    /// Operating mode of the bit.
+    pub mode: BitMode,
+    /// Probability that this bit's decomposition disagrees with the
+    /// accurate bit.
+    pub flip_rate: f64,
+    /// MED if only this bit were approximate: `flip_rate * 2^bit`.
+    pub marginal_med: f64,
+    /// Total MED reduction if this bit alone were repaired to accurate.
+    pub repair_gain: f64,
+}
+
+/// Full configuration diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBreakdown {
+    /// The configuration's total MED.
+    pub total_med: f64,
+    /// Per-bit diagnostics, ascending by bit.
+    pub bits: Vec<BitErrorReport>,
+}
+
+impl ErrorBreakdown {
+    /// The bit whose repair would reduce the MED the most, if any bit
+    /// has a positive repair gain.
+    pub fn dominant_bit(&self) -> Option<usize> {
+        self.bits
+            .iter()
+            .max_by(|a, b| {
+                a.repair_gain
+                    .partial_cmp(&b.repair_gain)
+                    .expect("gains never NaN")
+            })
+            .filter(|r| r.repair_gain > 0.0)
+            .map(|r| r.bit)
+    }
+}
+
+/// Computes the per-bit error breakdown of `config` against `target`.
+///
+/// # Errors
+///
+/// Returns an error on dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{InputDistribution, TruthTable};
+/// use dalut_core::{error_breakdown, ApproxLutBuilder, BsSaParams};
+///
+/// let g = TruthTable::from_fn(6, 3, |x| x % 8).unwrap();
+/// let dist = InputDistribution::uniform(6).unwrap();
+/// let outcome = ApproxLutBuilder::new(&g).bs_sa(BsSaParams::fast()).run().unwrap();
+/// let breakdown = error_breakdown(&outcome.config, &g, &dist).unwrap();
+/// assert_eq!(breakdown.bits.len(), 3);
+/// assert!((breakdown.total_med - outcome.med).abs() < 1e-12);
+/// ```
+pub fn error_breakdown(
+    config: &ApproxLutConfig,
+    target: &TruthTable,
+    dist: &InputDistribution,
+) -> Result<ErrorBreakdown, BoolFnError> {
+    let approx = config.to_truth_table();
+    let total_med = metrics::med(target, &approx, dist)?;
+    let mut bits = Vec::with_capacity(config.outputs());
+    for bc in config.bits() {
+        let flip_rate = metrics::bit_flip_rate(target, &approx, dist, bc.bit)?;
+        // Repair: restore this bit to accurate, keep the others approximate.
+        let repaired =
+            approx.with_bit_replaced(bc.bit, |x| target.output_bit(bc.bit, x));
+        let repaired_med = metrics::med(target, &repaired, dist)?;
+        bits.push(BitErrorReport {
+            bit: bc.bit,
+            mode: bc.mode(),
+            flip_rate,
+            marginal_med: flip_rate * f64::from(1u32 << bc.bit),
+            repair_gain: total_med - repaired_med,
+        });
+    }
+    Ok(ErrorBreakdown { total_med, bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::run_bs_sa;
+    use crate::params::{ArchPolicy, BsSaParams};
+    use dalut_boolfn::builder::random_table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (TruthTable, InputDistribution, ApproxLutConfig) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = random_table(6, 4, &mut rng).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        (g, d, out.config)
+    }
+
+    #[test]
+    fn breakdown_covers_every_bit() {
+        let (g, d, cfg) = fixture();
+        let br = error_breakdown(&cfg, &g, &d).unwrap();
+        assert_eq!(br.bits.len(), 4);
+        for (i, b) in br.bits.iter().enumerate() {
+            assert_eq!(b.bit, i);
+            assert!((0.0..=1.0).contains(&b.flip_rate));
+            assert!(b.marginal_med >= 0.0);
+        }
+    }
+
+    #[test]
+    fn marginal_med_is_flip_rate_times_weight() {
+        let (g, d, cfg) = fixture();
+        let br = error_breakdown(&cfg, &g, &d).unwrap();
+        for b in &br.bits {
+            // Verify the identity directly: splice only this bit into the
+            // accurate function.
+            let only_this = g.with_bit_replaced(b.bit, |x| {
+                cfg.bits()[b.bit].decomp.eval_bit(x)
+            });
+            let med = metrics::med(&g, &only_this, &d).unwrap();
+            assert!(
+                (med - b.marginal_med).abs() < 1e-12,
+                "bit {}: {med} vs {}",
+                b.bit,
+                b.marginal_med
+            );
+        }
+    }
+
+    #[test]
+    fn repair_gains_are_bounded_by_total() {
+        let (g, d, cfg) = fixture();
+        let br = error_breakdown(&cfg, &g, &d).unwrap();
+        for b in &br.bits {
+            assert!(b.repair_gain <= br.total_med + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_config_has_zero_everything() {
+        // Build a config that is exactly the target.
+        use crate::config::BitConfig;
+        use dalut_decomp::{AnyDecomp, BtoDecomp};
+        let p = dalut_boolfn::Partition::new(4, 0b0011).unwrap();
+        let bto = BtoDecomp::new(p, vec![false, true, true, false]).unwrap();
+        let cfg = ApproxLutConfig::new(
+            4,
+            1,
+            vec![BitConfig {
+                bit: 0,
+                decomp: AnyDecomp::Bto(bto.clone()),
+                expected_error: 0.0,
+            }],
+        )
+        .unwrap();
+        let target = cfg.to_truth_table();
+        let d = InputDistribution::uniform(4).unwrap();
+        let br = error_breakdown(&cfg, &target, &d).unwrap();
+        assert_eq!(br.total_med, 0.0);
+        assert_eq!(br.bits[0].flip_rate, 0.0);
+        assert!(br.dominant_bit().is_none());
+    }
+
+    #[test]
+    fn dominant_bit_has_max_gain() {
+        let (g, d, cfg) = fixture();
+        let br = error_breakdown(&cfg, &g, &d).unwrap();
+        if let Some(dom) = br.dominant_bit() {
+            let max = br
+                .bits
+                .iter()
+                .map(|b| b.repair_gain)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(br.bits[dom].repair_gain, max);
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The proposed BS-SA search (paper Algorithm 1): beam search over
+//! decomposition-setting sequences in the first round, SA-driven
+//! refinement (and per-bit mode selection) in later rounds.
+
+use crate::config::{ApproxLutConfig, BitConfig};
+use crate::outcome::{BitModeOptions, SearchOutcome};
+use crate::params::{ArchPolicy, BsSaParams};
+use crate::sa::{find_best_settings, DecompMode};
+use dalut_boolfn::{metrics, BoolFnError, InputDistribution, TruthTable};
+use dalut_decomp::{bit_costs, column_error, LsbFill, Setting};
+use std::time::Instant;
+
+/// A partial decomposition-setting sequence during the beam phase.
+#[derive(Debug, Clone)]
+struct SeqState {
+    /// Per-bit settings; `None` for bits not yet optimised.
+    settings: Vec<Option<Setting>>,
+    /// Error of the most recently assigned setting — the predictive-model
+    /// MED of the whole sequence at that point.
+    score: f64,
+}
+
+impl SeqState {
+    fn empty(m: usize) -> Self {
+        Self {
+            settings: vec![None; m],
+            score: f64::INFINITY,
+        }
+    }
+
+    fn with(&self, bit: usize, setting: Setting) -> Self {
+        let mut s = self.clone();
+        s.score = setting.error;
+        s.settings[bit] = Some(setting);
+        s
+    }
+
+    /// Materialises the approximation: set bits take their decomposition,
+    /// unset bits stay accurate (their influence on the cost model is
+    /// governed by the LSB-fill mode, not by these placeholder values).
+    fn materialize(&self, target: &TruthTable) -> TruthTable {
+        let mut t = target.clone();
+        for (bit, s) in self.settings.iter().enumerate() {
+            if let Some(s) = s {
+                t.set_bit_column(bit, &s.decomp.to_bit_column());
+            }
+        }
+        t
+    }
+}
+
+/// Derives a per-call seed from the run seed and the call coordinates so
+/// results do not depend on evaluation order.
+fn call_seed(base: u64, round: usize, bit: usize, branch: usize) -> u64 {
+    let mut h = base ^ 0xD6E8_FEB8_6659_FD93u64;
+    for v in [round as u64, bit as u64, branch as u64] {
+        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Applies the paper's mode-selection rule (§IV-A / §IV-B2) to the best
+/// settings found per mode. `E` is the normal-mode error.
+fn choose_mode(
+    policy: ArchPolicy,
+    normal: &Setting,
+    bto: Option<&Setting>,
+    nd: Option<&Setting>,
+) -> Setting {
+    let e = normal.error;
+    match policy {
+        ArchPolicy::NormalOnly => normal.clone(),
+        ArchPolicy::BtoNormal { delta } => match bto {
+            Some(b) if b.error <= (1.0 + delta) * e => b.clone(),
+            _ => normal.clone(),
+        },
+        ArchPolicy::BtoNormalNd { delta, delta_prime } => {
+            let e_bto = bto.map(|s| s.error);
+            let e_nd = nd.map(|s| s.error);
+            if let (Some(eb), Some(en)) = (e_bto, e_nd) {
+                if eb <= (1.0 + delta) * e && en >= (1.0 - delta_prime) * e {
+                    return bto.expect("checked above").clone();
+                }
+                if en < (1.0 - delta) * e {
+                    return nd.expect("checked above").clone();
+                }
+            }
+            normal.clone()
+        }
+    }
+}
+
+/// Runs the BS-SA search and configures the architecture given by
+/// `policy`.
+///
+/// Round 1 is a beam search over the output bits from the MSB down: for
+/// every sequence in the beam, `FindBestSettings` (Algorithm 2) proposes
+/// the top `N_beam` settings for the current bit under the predictive LSB
+/// model (§III-B), and the best `N_beam` extended sequences survive.
+/// Rounds 2..R re-optimise each bit greedily against the materialised
+/// approximation; in the **final** round the best BTO / ND settings are
+/// also computed and the paper's `δ`/`δ'` rule picks each bit's operating
+/// mode.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch between `target` and `dist`.
+///
+/// # Panics
+///
+/// Panics if `params.search.bound_size` is not in `1..target.inputs()`.
+pub fn run_bs_sa(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+) -> Result<SearchOutcome, BoolFnError> {
+    let start = Instant::now();
+    let n = target.inputs();
+    let m = target.outputs();
+    let b = params.search.bound_size;
+    assert!(b > 0 && b < n, "bound size must satisfy 0 < b < n");
+    if dist.inputs() != n {
+        return Err(BoolFnError::DimensionMismatch(format!(
+            "distribution over {} bits, function over {n}",
+            dist.inputs()
+        )));
+    }
+    let seed = params.search.seed;
+    let mut round_meds = Vec::with_capacity(params.search.rounds);
+
+    // ---- Round 1: beam search (Algorithm 1, lines 1-10). ----
+    let mut beam: Vec<SeqState> = vec![SeqState::empty(m)];
+    for k in (0..m).rev() {
+        let mut candidates: Vec<SeqState> = Vec::new();
+        for (bi, seq) in beam.iter().enumerate() {
+            let g_hat = seq.materialize(target);
+            let costs = bit_costs(target, &g_hat, k, dist, params.round1_fill)?;
+            let tops = find_best_settings(
+                &costs,
+                n,
+                DecompMode::Normal,
+                params,
+                params.beam_width,
+                call_seed(seed, 1, k, bi),
+                None,
+            );
+            for s in tops {
+                candidates.push(seq.with(k, s));
+            }
+        }
+        candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores never NaN"));
+        candidates.truncate(params.beam_width.max(1));
+        beam = candidates;
+    }
+    let mut best = beam.into_iter().next().expect("beam is never empty");
+    {
+        let g_hat = best.materialize(target);
+        round_meds.push(metrics::med(target, &g_hat, dist)?);
+    }
+
+    // ---- Rounds 2..R: greedy refinement + mode selection (lines 11-15). ----
+    let mut mode_options: Option<Vec<BitModeOptions>> = None;
+    for round in 2..=params.search.rounds {
+        let is_final = round == params.search.rounds;
+        let mut final_options: Vec<BitModeOptions> = Vec::with_capacity(m);
+        for k in (0..m).rev() {
+            let g_hat = best.materialize(target);
+            let costs = bit_costs(target, &g_hat, k, dist, LsbFill::FromApprox)?;
+            // The incumbent setting, re-scored under the current context:
+            // refinement must never silently lose to it within its own
+            // mode class, and its partition seeds the first SA chain.
+            let incumbent = best.settings[k]
+                .as_ref()
+                .map(|s| {
+                    let col = s.decomp.to_bit_column();
+                    Setting::new(column_error(&costs, &col), s.decomp.clone())
+                })
+                .expect("every bit assigned in round 1");
+            let start = Some(incumbent.decomp.partition());
+            let better = |sa: Option<Setting>, mode: &str| -> Option<Setting> {
+                match sa {
+                    Some(sa) if incumbent.decomp.mode_name() != mode || sa.error <= incumbent.error => Some(sa),
+                    Some(_) => Some(incumbent.clone()),
+                    None => None,
+                }
+            };
+            let normal = better(
+                find_best_settings(
+                    &costs,
+                    n,
+                    DecompMode::Normal,
+                    params,
+                    1,
+                    call_seed(seed, round, k, 0),
+                    start,
+                )
+                .into_iter()
+                .next(),
+                "normal",
+            )
+            .expect("SA always returns at least one setting");
+
+            // Mode selection happens at line 14 of every later round; the
+            // alternatives from the final round are additionally recorded
+            // for trade-off sweeps.
+            let (bto, nd) = if policy.allows_bto() {
+                let bto = better(
+                    find_best_settings(
+                        &costs,
+                        n,
+                        DecompMode::Bto,
+                        params,
+                        1,
+                        call_seed(seed, round, k, 1),
+                        start,
+                    )
+                    .into_iter()
+                    .next(),
+                    "bto",
+                );
+                let nd = if policy.allows_nd() {
+                    better(
+                        find_best_settings(
+                            &costs,
+                            n,
+                            DecompMode::NonDisjoint,
+                            params,
+                            1,
+                            call_seed(seed, round, k, 2),
+                            start,
+                        )
+                        .into_iter()
+                        .next(),
+                        "nd",
+                    )
+                } else {
+                    None
+                };
+                (bto, nd)
+            } else {
+                (None, None)
+            };
+
+            let chosen = choose_mode(policy, &normal, bto.as_ref(), nd.as_ref());
+            if is_final && policy.allows_bto() {
+                final_options.push(BitModeOptions {
+                    bit: k,
+                    normal,
+                    bto,
+                    nd,
+                });
+            }
+            best = best.with(k, chosen);
+        }
+        let g_hat = best.materialize(target);
+        round_meds.push(metrics::med(target, &g_hat, dist)?);
+        if is_final && policy.allows_bto() {
+            final_options.reverse(); // ascending by bit
+            mode_options = Some(final_options);
+        }
+    }
+
+    let bits = best
+        .settings
+        .into_iter()
+        .enumerate()
+        .map(|(bit, s)| {
+            BitConfig::from_setting(bit, s.expect("every bit assigned in round 1"))
+        })
+        .collect();
+    let config = ApproxLutConfig::new(n, m, bits)?;
+    let med = config.med(target, dist)?;
+    Ok(SearchOutcome {
+        config,
+        med,
+        round_meds,
+        elapsed: start.elapsed(),
+        mode_options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::builder::random_table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            random_table(n, m, &mut rng).unwrap(),
+            InputDistribution::uniform(n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn bs_sa_produces_valid_outcome() {
+        let (g, d) = problem(1, 6, 3);
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        assert_eq!(out.config.outputs(), 3);
+        assert!((out.config.med(&g, &d).unwrap() - out.med).abs() < 1e-12);
+        assert_eq!(out.round_meds.len(), BsSaParams::fast().search.rounds);
+        assert!(out.mode_options.is_none());
+    }
+
+    #[test]
+    fn bs_sa_is_deterministic_given_seed() {
+        let (g, d) = problem(2, 6, 3);
+        let a = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        let b = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        assert_eq!(a.config, b.config);
+    }
+
+    #[test]
+    fn bto_normal_policy_records_options_and_modes() {
+        let (g, d) = problem(3, 6, 3);
+        let out = run_bs_sa(
+            &g,
+            &d,
+            &BsSaParams::fast(),
+            ArchPolicy::bto_normal_paper(),
+        )
+        .unwrap();
+        let opts = out.mode_options.as_ref().expect("options recorded");
+        assert_eq!(opts.len(), 3);
+        for (i, o) in opts.iter().enumerate() {
+            assert_eq!(o.bit, i);
+            assert!(o.bto.is_some());
+            assert!(o.nd.is_none());
+            // BTO restricted search can never beat normal on error.
+            assert!(o.bto.as_ref().unwrap().error >= o.normal.error - 1e-12);
+        }
+        // No ND bits can appear under BtoNormal.
+        assert_eq!(out.config.mode_counts().2, 0);
+    }
+
+    #[test]
+    fn bto_normal_nd_policy_can_use_all_modes() {
+        let (g, d) = problem(4, 7, 4);
+        let out = run_bs_sa(
+            &g,
+            &d,
+            &BsSaParams::fast(),
+            ArchPolicy::bto_normal_nd_paper(),
+        )
+        .unwrap();
+        let opts = out.mode_options.as_ref().expect("options recorded");
+        for o in opts {
+            assert!(o.bto.is_some());
+            assert!(o.nd.is_some());
+        }
+        let (bto, normal, nd) = out.config.mode_counts();
+        assert_eq!(bto + normal + nd, 4);
+    }
+
+    #[test]
+    fn choose_mode_implements_paper_rule() {
+        use dalut_boolfn::Partition;
+        use dalut_decomp::{AnyDecomp, BtoDecomp};
+        let p = Partition::new(6, 0b000111).unwrap();
+        let mk = |e: f64| {
+            Setting::new(
+                e,
+                AnyDecomp::Bto(BtoDecomp::new(p, vec![false; p.cols()]).unwrap()),
+            )
+        };
+        let normal = mk(10.0);
+        // BTO within (1+delta): chosen under BtoNormal.
+        let sel = choose_mode(
+            ArchPolicy::BtoNormal { delta: 0.05 },
+            &normal,
+            Some(&mk(10.4)),
+            None,
+        );
+        assert_eq!(sel.error, 10.4);
+        // BTO too bad: normal stays.
+        let sel = choose_mode(
+            ArchPolicy::BtoNormal { delta: 0.05 },
+            &normal,
+            Some(&mk(11.0)),
+            None,
+        );
+        assert_eq!(sel.error, 10.0);
+        // ND much better than normal: ND chosen.
+        let sel = choose_mode(
+            ArchPolicy::BtoNormalNd {
+                delta: 0.01,
+                delta_prime: 0.1,
+            },
+            &normal,
+            Some(&mk(10.05)),
+            Some(&mk(8.0)),
+        );
+        assert_eq!(sel.error, 8.0);
+        // ND only slightly better AND BTO close: BTO wins (power saving).
+        let sel = choose_mode(
+            ArchPolicy::BtoNormalNd {
+                delta: 0.01,
+                delta_prime: 0.1,
+            },
+            &normal,
+            Some(&mk(10.05)),
+            Some(&mk(9.5)),
+        );
+        assert_eq!(sel.error, 10.05);
+        // Neither BTO close nor ND much better: normal.
+        let sel = choose_mode(
+            ArchPolicy::BtoNormalNd {
+                delta: 0.01,
+                delta_prime: 0.1,
+            },
+            &normal,
+            Some(&mk(11.0)),
+            Some(&mk(9.95)),
+        );
+        assert_eq!(sel.error, 10.0);
+    }
+
+    #[test]
+    fn call_seed_is_injective_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..6 {
+            for k in 0..16 {
+                for br in 0..4 {
+                    assert!(seen.insert(call_seed(42, r, k, br)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beam_width_one_still_works() {
+        let (g, d) = problem(5, 6, 2);
+        let mut params = BsSaParams::fast();
+        params.beam_width = 1;
+        let out = run_bs_sa(&g, &d, &params, ArchPolicy::NormalOnly).unwrap();
+        assert!(out.med.is_finite());
+    }
+
+    #[test]
+    fn final_med_equals_last_round_med() {
+        // Algorithm 1 replaces settings unconditionally in later rounds
+        // (line 15), so the MED need not be monotone across rounds — but
+        // the outcome's MED must be the last round's materialised MED.
+        let (g, d) = problem(6, 7, 3);
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        let last = *out.round_meds.last().unwrap();
+        assert!((out.med - last).abs() < 1e-12);
+        for m in &out.round_meds {
+            assert!(m.is_finite());
+        }
+    }
+}

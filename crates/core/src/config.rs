@@ -1,0 +1,302 @@
+//! Per-bit architecture configuration produced by the searches and
+//! consumed by the hardware models.
+
+use dalut_boolfn::{BoolFnError, InputDistribution, TruthTable};
+use dalut_decomp::{AnyDecomp, Setting};
+use serde::{Deserialize, Serialize};
+
+/// The operating mode of one approximate single-output LUT (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitMode {
+    /// Bound-table-only: free table(s) clock-gated.
+    Bto,
+    /// Normal disjoint decomposition: one free table active.
+    Normal,
+    /// Non-disjoint decomposition: both free tables active.
+    NonDisjoint,
+}
+
+/// Configuration of a single output bit: its decomposition (which implies
+/// the routing-box setting and both tables' contents) and the error the
+/// search expected from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitConfig {
+    /// Output bit index (0-based, weight `2^bit`).
+    pub bit: usize,
+    /// The decomposition realised by this bit's tables.
+    pub decomp: AnyDecomp,
+    /// The MED the search attributed to the approximation when this
+    /// setting was chosen.
+    pub expected_error: f64,
+}
+
+impl BitConfig {
+    /// The operating mode implied by the decomposition shape.
+    pub fn mode(&self) -> BitMode {
+        match self.decomp {
+            AnyDecomp::Bto(_) => BitMode::Bto,
+            AnyDecomp::Normal(_) => BitMode::Normal,
+            AnyDecomp::NonDisjoint(_) => BitMode::NonDisjoint,
+        }
+    }
+
+    /// Creates a bit configuration from a scored [`Setting`].
+    pub fn from_setting(bit: usize, setting: Setting) -> Self {
+        Self {
+            bit,
+            decomp: setting.decomp,
+            expected_error: setting.error,
+        }
+    }
+}
+
+/// A complete approximate-LUT configuration: one decomposition per output
+/// bit of an `n`-input / `m`-output function.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{InputDistribution, TruthTable};
+/// use dalut_core::{run_dalta, DaltaParams};
+///
+/// let g = TruthTable::from_fn(6, 3, |x| (x >> 3) ^ (x & 7)).unwrap();
+/// let dist = InputDistribution::uniform(6).unwrap();
+/// let outcome = run_dalta(&g, &dist, &DaltaParams::fast()).unwrap();
+/// let approx = outcome.config.to_truth_table();
+/// assert_eq!(approx.inputs(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApproxLutConfig {
+    inputs: usize,
+    outputs: usize,
+    bits: Vec<BitConfig>,
+}
+
+impl ApproxLutConfig {
+    /// Creates a configuration from per-bit configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless there is exactly one config per output bit
+    /// (in ascending order) and every decomposition is over `inputs`
+    /// variables.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        bits: Vec<BitConfig>,
+    ) -> Result<Self, BoolFnError> {
+        if bits.len() != outputs {
+            return Err(BoolFnError::DimensionMismatch(format!(
+                "{} bit configs for {} output bits",
+                bits.len(),
+                outputs
+            )));
+        }
+        for (i, bc) in bits.iter().enumerate() {
+            if bc.bit != i {
+                return Err(BoolFnError::DimensionMismatch(format!(
+                    "bit config at position {i} is for bit {}",
+                    bc.bit
+                )));
+            }
+            if bc.decomp.partition().n() != inputs {
+                return Err(BoolFnError::DimensionMismatch(format!(
+                    "bit {} decomposition over {} inputs, expected {inputs}",
+                    i,
+                    bc.decomp.partition().n()
+                )));
+            }
+        }
+        Ok(Self {
+            inputs,
+            outputs,
+            bits,
+        })
+    }
+
+    /// Number of input bits `n`.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output bits `m`.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The per-bit configurations, ascending by bit.
+    pub fn bits(&self) -> &[BitConfig] {
+        &self.bits
+    }
+
+    /// Evaluates the approximate function on input `x`.
+    pub fn eval(&self, x: u32) -> u32 {
+        self.bits
+            .iter()
+            .fold(0u32, |acc, bc| acc | (u32::from(bc.decomp.eval_bit(x)) << bc.bit))
+    }
+
+    /// Materialises the approximate function as a truth table.
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.inputs, self.outputs, |x| self.eval(x))
+            .expect("config dimensions are valid by construction")
+    }
+
+    /// MED of this configuration against `target` under `dist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn med(
+        &self,
+        target: &TruthTable,
+        dist: &InputDistribution,
+    ) -> Result<f64, BoolFnError> {
+        dalut_boolfn::metrics::med(target, &self.to_truth_table(), dist)
+    }
+
+    /// Counts of output bits per mode: `(BTO, Normal, ND)` — the triple
+    /// the paper annotates in Fig. 6.
+    pub fn mode_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for bc in &self.bits {
+            match bc.mode() {
+                BitMode::Bto => c.0 += 1,
+                BitMode::Normal => c.1 += 1,
+                BitMode::NonDisjoint => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Total LUT entries across all bits: `2^b` for each bound table plus
+    /// `2^(n−b+1)` per active free table (two for ND bits; the paper's
+    /// reconfigurable hardware always *instantiates* the tables — this
+    /// counts the entries a non-reconfigurable realisation would store,
+    /// the paper's headline compression metric versus the `m · 2^n` exact
+    /// table).
+    pub fn lut_entries(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|bc| {
+                let p = bc.decomp.partition();
+                let bound = 1usize << p.bound_size();
+                let free = 1usize << (p.free_size() + 1);
+                match bc.mode() {
+                    BitMode::Bto => bound,
+                    BitMode::Normal => bound + free,
+                    // Each ND half's free table covers the same free set.
+                    BitMode::NonDisjoint => bound + 2 * free,
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::Partition;
+    use dalut_decomp::{BtoDecomp, DisjointDecomp, RowType};
+
+    fn bto_bit(bit: usize, n: usize, mask: u32, pattern_bit: bool) -> BitConfig {
+        let p = Partition::new(n, mask).unwrap();
+        BitConfig {
+            bit,
+            decomp: AnyDecomp::Bto(BtoDecomp::new(p, vec![pattern_bit; p.cols()]).unwrap()),
+            expected_error: 0.0,
+        }
+    }
+
+    fn normal_bit(bit: usize, n: usize, mask: u32) -> BitConfig {
+        let p = Partition::new(n, mask).unwrap();
+        BitConfig {
+            bit,
+            decomp: AnyDecomp::Normal(
+                DisjointDecomp::new(
+                    p,
+                    vec![true; p.cols()],
+                    vec![RowType::Pattern; p.rows()],
+                )
+                .unwrap(),
+            ),
+            expected_error: 0.0,
+        }
+    }
+
+    #[test]
+    fn eval_combines_bits() {
+        let cfg = ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(0, 4, 0b0011, true), bto_bit(1, 4, 0b0011, false)],
+        )
+        .unwrap();
+        for x in 0..16u32 {
+            assert_eq!(cfg.eval(x), 0b01);
+        }
+        let tt = cfg.to_truth_table();
+        assert_eq!(tt.outputs(), 2);
+        assert_eq!(tt.eval(5), 1);
+    }
+
+    #[test]
+    fn new_validates_bit_order_and_width() {
+        // Wrong count.
+        assert!(ApproxLutConfig::new(4, 2, vec![bto_bit(0, 4, 0b0011, true)]).is_err());
+        // Wrong order.
+        assert!(ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(1, 4, 0b0011, true), bto_bit(0, 4, 0b0011, true)]
+        )
+        .is_err());
+        // Wrong input width.
+        assert!(ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(0, 5, 0b00011, true), bto_bit(1, 4, 0b0011, true)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mode_counts_and_entries() {
+        let cfg = ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(0, 4, 0b0011, true), normal_bit(1, 4, 0b0111)],
+        )
+        .unwrap();
+        assert_eq!(cfg.mode_counts(), (1, 1, 0));
+        // Bit 0: BTO with b=2 -> 4 entries. Bit 1: b=3 -> 8 + 2^(1+1)=4.
+        assert_eq!(cfg.lut_entries(), 4 + 12);
+    }
+
+    #[test]
+    fn med_of_exact_config_is_zero() {
+        // Build a config that exactly equals its target.
+        let cfg = ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(0, 4, 0b0011, true), bto_bit(1, 4, 0b0011, false)],
+        )
+        .unwrap();
+        let target = cfg.to_truth_table();
+        let dist = InputDistribution::uniform(4).unwrap();
+        assert_eq!(cfg.med(&target, &dist).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ApproxLutConfig::new(
+            4,
+            2,
+            vec![bto_bit(0, 4, 0b0011, true), normal_bit(1, 4, 0b0111)],
+        )
+        .unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ApproxLutConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! # dalut-core
+//!
+//! The primary contribution of the DALUT paper (DATE 2023): the **BS-SA**
+//! approximate-decomposition search (beam search over output bits +
+//! simulated annealing over variable partitions), the **DALTA** baseline
+//! it is compared against, per-bit **mode selection** for the two proposed
+//! reconfigurable architectures (BTO-Normal and BTO-Normal-ND), and
+//! accuracy–energy **trade-off sweeps**.
+//!
+//! The flow mirrors the paper:
+//!
+//! 1. [`run_dalta`] — baseline: for each output bit (MSB→LSB, `R` rounds)
+//!    draw `P` random partitions, call `OptForPart` on each, keep the best
+//!    greedily (§II-B).
+//! 2. [`run_bs_sa`] — proposed: round 1 is a beam search keeping the
+//!    `N_beam` best setting *sequences*, scoring candidates under the
+//!    predictive LSB model (§III-B); rounds 2..R refine each bit with the
+//!    SA-based [`find_best_settings`] (Algorithm 2) and apply the `δ`/`δ'`
+//!    mode-selection rule of the requested [`ArchPolicy`] (§IV).
+//! 3. [`mode_sweep`] — enumerate (#BTO, #Normal, #ND) allocations for the
+//!    Fig. 6 accuracy–energy study.
+//!
+//! The crate is deterministic for a fixed seed when run single-threaded;
+//! [`parallel::run_tasks`] distributes partition evaluations across
+//! worker threads exactly like the paper's 44-thread setup distributes
+//! `OptForPart` calls.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::TruthTable;
+//! use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams};
+//!
+//! // A 10-bit squarer approximated with the BTO-Normal-ND architecture.
+//! let target = TruthTable::from_fn(10, 8, |x| (x * x >> 12) & 0xFF).unwrap();
+//! let outcome = ApproxLutBuilder::new(&target)
+//!     .bs_sa(BsSaParams::fast())
+//!     .policy(ArchPolicy::bto_normal_nd_paper())
+//!     .run()
+//!     .unwrap();
+//! let (bto, normal, nd) = outcome.config.mode_counts();
+//! assert_eq!(bto + normal + nd, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod beam;
+pub mod config;
+pub mod dalta;
+pub mod outcome;
+pub mod parallel;
+pub mod params;
+pub mod pipeline;
+pub mod sa;
+pub mod tradeoff;
+pub mod visited;
+
+pub use analysis::{error_breakdown, BitErrorReport, ErrorBreakdown};
+pub use beam::run_bs_sa;
+pub use config::{ApproxLutConfig, BitConfig, BitMode};
+pub use dalta::run_dalta;
+pub use outcome::{BitModeOptions, SearchOutcome};
+pub use params::{ArchPolicy, BsSaParams, DaltaParams, SearchParams};
+pub use pipeline::{Algorithm, ApproxLutBuilder};
+pub use sa::{find_best_settings, DecompMode};
+pub use tradeoff::{mode_sweep, pareto_front, TradeoffPoint};

@@ -1,0 +1,66 @@
+//! Result types shared by the search algorithms.
+
+use crate::config::ApproxLutConfig;
+use dalut_decomp::Setting;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The per-bit mode alternatives discovered in the final optimisation
+/// round: the best setting for each available operating mode. Used for
+/// mode selection and for sweeping accuracy–energy trade-offs (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitModeOptions {
+    /// Output bit index.
+    pub bit: usize,
+    /// Best normal-mode setting.
+    pub normal: Setting,
+    /// Best BTO-mode setting (if the policy allowed BTO).
+    pub bto: Option<Setting>,
+    /// Best ND-mode setting (if the policy allowed ND).
+    pub nd: Option<Setting>,
+}
+
+/// The result of running a search algorithm on one target function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The chosen per-bit configuration.
+    pub config: ApproxLutConfig,
+    /// The true MED of `config` against the target (not the search's
+    /// internal estimate).
+    pub med: f64,
+    /// True MED measured after each completed round (round 1 first).
+    pub round_meds: Vec<f64>,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Final-round per-bit mode alternatives, when the search evaluated
+    /// them (BS-SA with a BTO/ND-capable policy).
+    pub mode_options: Option<Vec<BitModeOptions>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BitConfig;
+    use dalut_boolfn::Partition;
+    use dalut_decomp::{AnyDecomp, BtoDecomp};
+
+    #[test]
+    fn outcome_serde_round_trip() {
+        let p = Partition::new(4, 0b0011).unwrap();
+        let mk = |bit| BitConfig {
+            bit,
+            decomp: AnyDecomp::Bto(BtoDecomp::new(p, vec![false; 4]).unwrap()),
+            expected_error: 0.25,
+        };
+        let outcome = SearchOutcome {
+            config: ApproxLutConfig::new(4, 2, vec![mk(0), mk(1)]).unwrap(),
+            med: 0.5,
+            round_meds: vec![0.7, 0.5],
+            elapsed: Duration::from_millis(12),
+            mode_options: None,
+        };
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: SearchOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(outcome, back);
+    }
+}

@@ -1,0 +1,245 @@
+//! Parameter bundles for the search algorithms.
+//!
+//! `paper()` constructors return the exact values of the paper's §V
+//! experimental setup; `fast()` constructors return reduced values that
+//! preserve the algorithms' behaviour at a fraction of the runtime (used
+//! by tests, examples, and the default harness runs on small machines).
+
+use dalut_decomp::{LsbFill, OptParams};
+use serde::{Deserialize, Serialize};
+
+/// Parameters shared by the DALTA baseline and BS-SA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Bound-set size `b` (the paper uses 9 for 16-input functions).
+    pub bound_size: usize,
+    /// Number of optimisation rounds `R` (paper: 5).
+    pub rounds: usize,
+    /// Number of random initial pattern vectors `Z` per `OptForPart`
+    /// (paper: 30).
+    pub initial_patterns: usize,
+    /// Worker threads used to evaluate candidate partitions in parallel
+    /// (the paper uses 44; results are thread-count independent for DALTA
+    /// and for BS-SA with one SA process).
+    pub threads: usize,
+    /// RNG seed; every run is fully determined by it (given one thread).
+    pub seed: u64,
+}
+
+impl SearchParams {
+    /// The paper's setup: `b = 9`, `R = 5`, `Z = 30`.
+    pub fn paper() -> Self {
+        Self {
+            bound_size: 9,
+            rounds: 5,
+            initial_patterns: 30,
+            threads: 1,
+            seed: 0,
+        }
+    }
+
+    /// Reduced setup for fast runs and tests.
+    pub fn fast() -> Self {
+        Self {
+            bound_size: 4,
+            rounds: 2,
+            initial_patterns: 6,
+            threads: 1,
+            seed: 0,
+        }
+    }
+
+    /// The [`OptParams`] implied by these search parameters.
+    pub fn opt_params(&self) -> OptParams {
+        OptParams {
+            restarts: self.initial_patterns,
+            max_iters: 64,
+        }
+    }
+
+    /// Returns a copy with a different seed (for repeated-run studies).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Parameters for the DALTA baseline algorithm (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaltaParams {
+    /// Shared search parameters.
+    pub search: SearchParams,
+    /// Number of random candidate partitions `P` per bit per round
+    /// (paper: 1000).
+    pub partition_limit: usize,
+}
+
+impl DaltaParams {
+    /// The paper's setup (`P = 1000`).
+    pub fn paper() -> Self {
+        Self {
+            search: SearchParams::paper(),
+            partition_limit: 1000,
+        }
+    }
+
+    /// Reduced setup for fast runs and tests.
+    pub fn fast() -> Self {
+        Self {
+            search: SearchParams::fast(),
+            partition_limit: 12,
+        }
+    }
+}
+
+/// Parameters for the proposed BS-SA algorithm (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BsSaParams {
+    /// Shared search parameters.
+    pub search: SearchParams,
+    /// Visited-partition limit `P` (paper: 500).
+    pub partition_limit: usize,
+    /// Beam width `N_beam` (paper: 3).
+    pub beam_width: usize,
+    /// Neighbours sampled per SA iteration `N_nb` (paper: 5).
+    pub neighbors: usize,
+    /// Initial SA temperature `τ0` (paper: 0.2).
+    pub initial_temp: f64,
+    /// Temperature decrease factor `α ∈ (0, 1)` (paper: 0.9).
+    pub alpha: f64,
+    /// Number of SA processes sharing one visited set `Φ` (the paper runs
+    /// 10 concurrently to saturate its 44 threads).
+    pub sa_processes: usize,
+    /// Terminate a chain after this many successive iterations without a
+    /// change to `Φ` (paper: 3).
+    pub stall_limit: usize,
+    /// How the not-yet-optimised LSBs are modelled in round 1: the
+    /// paper's predictive model (§III-B) or DALTA's accurate fill
+    /// (ablation knob).
+    pub round1_fill: LsbFill,
+}
+
+impl BsSaParams {
+    /// The paper's setup.
+    pub fn paper() -> Self {
+        Self {
+            search: SearchParams::paper(),
+            partition_limit: 500,
+            beam_width: 3,
+            neighbors: 5,
+            initial_temp: 0.2,
+            alpha: 0.9,
+            sa_processes: 10,
+            stall_limit: 3,
+            round1_fill: LsbFill::Predictive,
+        }
+    }
+
+    /// Reduced setup for fast runs and tests.
+    pub fn fast() -> Self {
+        Self {
+            search: SearchParams::fast(),
+            partition_limit: 8,
+            beam_width: 2,
+            neighbors: 3,
+            initial_temp: 0.2,
+            alpha: 0.9,
+            sa_processes: 1,
+            stall_limit: 3,
+            round1_fill: LsbFill::Predictive,
+        }
+    }
+}
+
+/// Which reconfigurable architecture the search should configure, i.e.
+/// which per-bit operating modes are available for mode selection
+/// (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArchPolicy {
+    /// DALTA's fixed architecture: every bit in normal mode.
+    NormalOnly,
+    /// BTO-Normal: a bit may gate off its free table when the BTO error is
+    /// within `(1 + delta)` of the normal error.
+    BtoNormal {
+        /// Mode-selection factor `δ > 0` (paper: 0.01).
+        delta: f64,
+    },
+    /// BTO-Normal-ND: additionally allows the non-disjoint mode when it
+    /// improves the error by more than `δ` (and BTO is chosen only if ND
+    /// would not improve by more than `δ'`).
+    BtoNormalNd {
+        /// Mode-selection factor `δ` (paper: 0.01).
+        delta: f64,
+        /// Mode-selection factor `δ' > δ` (paper: 0.1).
+        delta_prime: f64,
+    },
+}
+
+impl ArchPolicy {
+    /// The paper's BTO-Normal policy (`δ = 0.01`).
+    pub fn bto_normal_paper() -> Self {
+        Self::BtoNormal { delta: 0.01 }
+    }
+
+    /// The paper's BTO-Normal-ND policy (`δ = 0.01`, `δ' = 0.1`).
+    pub fn bto_normal_nd_paper() -> Self {
+        Self::BtoNormalNd {
+            delta: 0.01,
+            delta_prime: 0.1,
+        }
+    }
+
+    /// True if the BTO mode is available.
+    pub fn allows_bto(&self) -> bool {
+        !matches!(self, Self::NormalOnly)
+    }
+
+    /// True if the ND mode is available.
+    pub fn allows_nd(&self) -> bool {
+        matches!(self, Self::BtoNormalNd { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_section_v() {
+        let d = DaltaParams::paper();
+        assert_eq!(d.search.bound_size, 9);
+        assert_eq!(d.search.rounds, 5);
+        assert_eq!(d.search.initial_patterns, 30);
+        assert_eq!(d.partition_limit, 1000);
+
+        let b = BsSaParams::paper();
+        assert_eq!(b.partition_limit, 500);
+        assert_eq!(b.beam_width, 3);
+        assert_eq!(b.neighbors, 5);
+        assert!((b.initial_temp - 0.2).abs() < 1e-12);
+        assert!((b.alpha - 0.9).abs() < 1e-12);
+        assert_eq!(b.sa_processes, 10);
+    }
+
+    #[test]
+    fn policy_capabilities() {
+        assert!(!ArchPolicy::NormalOnly.allows_bto());
+        assert!(ArchPolicy::bto_normal_paper().allows_bto());
+        assert!(!ArchPolicy::bto_normal_paper().allows_nd());
+        assert!(ArchPolicy::bto_normal_nd_paper().allows_nd());
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let p = SearchParams::paper().with_seed(99);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.bound_size, SearchParams::paper().bound_size);
+    }
+
+    #[test]
+    fn opt_params_reflect_initial_patterns() {
+        let p = SearchParams::fast();
+        assert_eq!(p.opt_params().restarts, p.initial_patterns);
+    }
+}

@@ -1,0 +1,145 @@
+//! High-level builder API over the two search algorithms.
+
+use crate::beam::run_bs_sa;
+use crate::dalta::run_dalta;
+use crate::outcome::SearchOutcome;
+use crate::params::{ArchPolicy, BsSaParams, DaltaParams};
+use dalut_boolfn::{BoolFnError, InputDistribution, TruthTable};
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The DALTA baseline (greedy, random partitions).
+    Dalta(DaltaParams),
+    /// The proposed beam-search + simulated-annealing search.
+    BsSa(BsSaParams),
+}
+
+/// Fluent builder for approximating a function with a decomposition-based
+/// LUT.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::TruthTable;
+/// use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams};
+///
+/// let target = TruthTable::from_fn(8, 4, |x| (x * x >> 8) & 0xF).unwrap();
+/// let outcome = ApproxLutBuilder::new(&target)
+///     .bs_sa(BsSaParams::fast())
+///     .policy(ArchPolicy::bto_normal_paper())
+///     .run()
+///     .unwrap();
+/// assert!(outcome.med.is_finite());
+/// assert_eq!(outcome.config.outputs(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ApproxLutBuilder<'a> {
+    target: &'a TruthTable,
+    dist: Option<InputDistribution>,
+    algorithm: Algorithm,
+    policy: ArchPolicy,
+}
+
+impl<'a> ApproxLutBuilder<'a> {
+    /// Starts a builder for `target` with BS-SA fast parameters, uniform
+    /// inputs and the normal-only policy.
+    pub fn new(target: &'a TruthTable) -> Self {
+        Self {
+            target,
+            dist: None,
+            algorithm: Algorithm::BsSa(BsSaParams::fast()),
+            policy: ArchPolicy::NormalOnly,
+        }
+    }
+
+    /// Sets the input distribution (default: uniform).
+    #[must_use]
+    pub fn distribution(mut self, dist: InputDistribution) -> Self {
+        self.dist = Some(dist);
+        self
+    }
+
+    /// Uses the DALTA baseline with the given parameters.
+    #[must_use]
+    pub fn dalta(mut self, params: DaltaParams) -> Self {
+        self.algorithm = Algorithm::Dalta(params);
+        self
+    }
+
+    /// Uses BS-SA with the given parameters.
+    #[must_use]
+    pub fn bs_sa(mut self, params: BsSaParams) -> Self {
+        self.algorithm = Algorithm::BsSa(params);
+        self
+    }
+
+    /// Sets the architecture policy (default: normal-only). Ignored by
+    /// the DALTA baseline, which has a fixed architecture.
+    #[must_use]
+    pub fn policy(mut self, policy: ArchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs the configured search.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension mismatches.
+    pub fn run(self) -> Result<SearchOutcome, BoolFnError> {
+        let dist = match self.dist {
+            Some(d) => d,
+            None => InputDistribution::uniform(self.target.inputs())?,
+        };
+        match self.algorithm {
+            Algorithm::Dalta(p) => run_dalta(self.target, &dist, &p),
+            Algorithm::BsSa(p) => run_bs_sa(self.target, &dist, &p, self.policy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SearchParams;
+
+    #[test]
+    fn builder_runs_dalta() {
+        let target = TruthTable::from_fn(6, 2, |x| x % 4).unwrap();
+        let out = ApproxLutBuilder::new(&target)
+            .dalta(DaltaParams::fast())
+            .run()
+            .unwrap();
+        assert_eq!(out.config.outputs(), 2);
+    }
+
+    #[test]
+    fn builder_respects_distribution() {
+        let target = TruthTable::from_fn(6, 2, |x| x % 4).unwrap();
+        // All mass on x = 0: a good approximation gets that input right.
+        let mut w = vec![0.0; 64];
+        w[0] = 1.0;
+        let dist = InputDistribution::from_weights(w).unwrap();
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist)
+            .bs_sa(BsSaParams::fast())
+            .run()
+            .unwrap();
+        // With all probability on one input, zero error is achievable.
+        assert!(out.med < 1e-9, "med = {}", out.med);
+    }
+
+    #[test]
+    fn builder_policy_flows_through() {
+        let target = TruthTable::from_fn(6, 2, |x| (x * 5) % 4).unwrap();
+        let mut p = BsSaParams::fast();
+        p.search = SearchParams::fast().with_seed(3);
+        let out = ApproxLutBuilder::new(&target)
+            .bs_sa(p)
+            .policy(ArchPolicy::bto_normal_nd_paper())
+            .run()
+            .unwrap();
+        assert!(out.mode_options.is_some());
+    }
+}

@@ -1,0 +1,347 @@
+//! Simulated-annealing `FindBestSettings` (paper Algorithm 2).
+//!
+//! Given the per-input cost arrays for one output bit, searches the space
+//! of variable partitions with SA over the swap neighbourhood, calling the
+//! `OptForPart` kernel for every newly visited partition, and returns the
+//! top `N_beam` decomposition settings. Several SA processes can run
+//! against one shared visited set `Φ`, as in the paper's implementation.
+
+use crate::params::BsSaParams;
+
+use crate::visited::{TopSettings, VisitedSet};
+use dalut_boolfn::Partition;
+use dalut_decomp::{
+    opt_for_part, opt_for_part_bto, opt_for_part_nd, AnyDecomp, BitCosts, Setting,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which decomposition shape `FindBestSettings` optimises (the operating
+/// mode the resulting setting targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecompMode {
+    /// Normal disjoint decomposition.
+    Normal,
+    /// Bound-table-only (type vector forced to all 3s).
+    Bto,
+    /// Non-disjoint with one shared bound bit.
+    NonDisjoint,
+}
+
+/// Evaluates one partition under the requested mode.
+fn optimize_partition(
+    costs: &BitCosts,
+    partition: Partition,
+    mode: DecompMode,
+    params: &BsSaParams,
+    rng: &mut StdRng,
+) -> Setting {
+    let opt = params.search.opt_params();
+    match mode {
+        DecompMode::Normal => {
+            let (e, d) = opt_for_part(costs, partition, opt, rng);
+            Setting::new(e, AnyDecomp::Normal(d))
+        }
+        DecompMode::Bto => {
+            let (e, d) = opt_for_part_bto(costs, partition);
+            Setting::new(e, AnyDecomp::Bto(d))
+        }
+        DecompMode::NonDisjoint => match opt_for_part_nd(costs, partition, opt, rng) {
+            Some((e, d)) => Setting::new(e, AnyDecomp::NonDisjoint(d)),
+            // A single-variable bound set admits no shared bit; fall back
+            // to the normal decomposition.
+            None => {
+                let (e, d) = opt_for_part(costs, partition, opt, rng);
+                Setting::new(e, AnyDecomp::Normal(d))
+            }
+        },
+    }
+}
+
+/// The state of one SA process (the loop body of Algorithm 2). Chains
+/// are *stepped* one neighbourhood batch at a time so that several chains
+/// interleave fairly around the shared visited set — matching the paper's
+/// concurrently running SA processes even on one thread.
+#[derive(Debug)]
+struct SaChain {
+    rng: StdRng,
+    omega: Partition,
+    e_omega: f64,
+    tau: f64,
+    stall: usize,
+    done: bool,
+}
+
+impl SaChain {
+    /// Initialises the chain: draws and evaluates its starting partition
+    /// (Algorithm 2, lines 1-3).
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        costs: &BitCosts,
+        n: usize,
+        mode: DecompMode,
+        params: &BsSaParams,
+        phi: &VisitedSet,
+        tops: &TopSettings,
+        seed: u64,
+        start: Option<Partition>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let omega =
+            start.unwrap_or_else(|| Partition::random(n, params.search.bound_size, &mut rng));
+        let first = optimize_partition(costs, omega, mode, params, &mut rng);
+        let e_omega = first.error;
+        phi.insert(omega.bound_mask(), first.error);
+        tops.offer(first);
+        Self {
+            rng,
+            omega,
+            e_omega,
+            tau: params.initial_temp,
+            stall: 0,
+            done: false,
+        }
+    }
+
+    /// Performs one iteration of the main loop (lines 5-19): evaluates one
+    /// neighbourhood batch, moves per the SA acceptance rule, cools down.
+    fn step(
+        &mut self,
+        costs: &BitCosts,
+        mode: DecompMode,
+        params: &BsSaParams,
+        phi: &VisitedSet,
+        tops: &TopSettings,
+    ) {
+        if self.done || phi.len() >= params.partition_limit {
+            self.done = true;
+            return;
+        }
+        let neighbors = self.omega.random_neighbors(params.neighbors, &mut self.rng);
+        let mut best_nb: Option<(Partition, f64)> = None;
+        let mut changed = false;
+        for nb in neighbors {
+            let e_nb = match phi.get(nb.bound_mask()) {
+                Some(e) => e,
+                None => {
+                    let s = optimize_partition(costs, nb, mode, params, &mut self.rng);
+                    let e = s.error;
+                    if phi.insert(nb.bound_mask(), e) {
+                        changed = true;
+                    }
+                    tops.offer(s);
+                    e
+                }
+            };
+            if best_nb.is_none_or(|(_, be)| e_nb < be) {
+                best_nb = Some((nb, e_nb));
+            }
+        }
+        if let Some((nb, e_nb)) = best_nb {
+            if e_nb <= self.e_omega {
+                self.omega = nb;
+                self.e_omega = e_nb;
+            } else {
+                let e_star = tops
+                    .best_error()
+                    .unwrap_or(self.e_omega)
+                    .max(f64::MIN_POSITIVE);
+                let accept = ((self.e_omega - e_nb) / (self.tau * e_star)).exp();
+                if self.rng.random::<f64>() < accept {
+                    self.omega = nb;
+                    self.e_omega = e_nb;
+                }
+            }
+        }
+        self.tau *= params.alpha;
+        self.stall = if changed { 0 } else { self.stall + 1 };
+        if self.stall >= params.stall_limit {
+            self.done = true;
+        }
+    }
+}
+
+/// `FindBestSettings(G, Ĝ, k, N_beam)` (paper Algorithm 2): returns up to
+/// `beam` best decomposition settings for the output bit whose costs are
+/// given, searching partitions with `params.sa_processes` SA chains that
+/// share one visited set.
+///
+/// When `start` is given, the first chain starts its walk from that
+/// partition instead of a random one — the later optimisation rounds pass
+/// the bit's incumbent partition so refinement never loses track of the
+/// current solution's neighbourhood.
+///
+/// With `params.search.threads <= 1` the chains step round-robin and the
+/// result is a deterministic function of `seed`.
+///
+/// # Panics
+///
+/// Panics if `costs.inputs != n` or `params.search.bound_size >= n`.
+pub fn find_best_settings(
+    costs: &BitCosts,
+    n: usize,
+    mode: DecompMode,
+    params: &BsSaParams,
+    beam: usize,
+    seed: u64,
+    start: Option<Partition>,
+) -> Vec<Setting> {
+    assert_eq!(costs.inputs, n, "cost table width mismatch");
+    assert!(
+        params.search.bound_size > 0 && params.search.bound_size < n,
+        "bound size must satisfy 0 < b < n"
+    );
+    let phi = VisitedSet::new();
+    let tops = TopSettings::new(beam.max(1));
+    let chains = params.sa_processes.max(1);
+    let mut states: Vec<SaChain> = (0..chains)
+        .map(|c| {
+            SaChain::new(
+                costs,
+                n,
+                mode,
+                params,
+                &phi,
+                &tops,
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)),
+                if c == 0 { start } else { None },
+            )
+        })
+        .collect();
+    // Round-robin stepping: every live chain advances one neighbourhood
+    // batch per sweep, all sharing Φ — the fair interleaving the paper
+    // gets from running its 10 SA processes concurrently.
+    let threads = params.search.threads.min(chains);
+    while states.iter().any(|st| !st.done) && phi.len() < params.partition_limit {
+        if threads <= 1 {
+            for st in states.iter_mut().filter(|st| !st.done) {
+                st.step(costs, mode, params, &phi, &tops);
+            }
+        } else {
+            let chunk = states.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for slice in states.chunks_mut(chunk) {
+                    let (phi, tops) = (&phi, &tops);
+                    scope.spawn(move |_| {
+                        for st in slice.iter_mut().filter(|st| !st.done) {
+                            st.step(costs, mode, params, phi, tops);
+                        }
+                    });
+                }
+            })
+            .expect("SA worker panicked");
+        }
+    }
+    tops.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::builder::random_table;
+    use dalut_boolfn::{InputDistribution, TruthTable};
+    use dalut_decomp::{bit_costs, column_error, LsbFill};
+
+    fn costs_for(g: &TruthTable, bit: usize) -> BitCosts {
+        let dist = InputDistribution::uniform(g.inputs()).unwrap();
+        bit_costs(g, g, bit, &dist, LsbFill::FromApprox).unwrap()
+    }
+
+    fn table(seed: u64) -> TruthTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_table(7, 4, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn returns_settings_sorted_and_bounded() {
+        let g = table(1);
+        let costs = costs_for(&g, 2);
+        let params = BsSaParams::fast();
+        let out = find_best_settings(&costs, 7, DecompMode::Normal, &params, 3, 7, None);
+        assert!(!out.is_empty());
+        assert!(out.len() <= 3);
+        for w in out.windows(2) {
+            assert!(w[0].error <= w[1].error);
+        }
+        // Reported errors are faithful to the materialised columns.
+        for s in &out {
+            let col = s.decomp.to_bit_column();
+            assert!((column_error(&costs, &col) - s.error).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_single_thread() {
+        let g = table(2);
+        let costs = costs_for(&g, 1);
+        let mut params = BsSaParams::fast();
+        params.sa_processes = 3; // still sequential with threads = 1
+        let a = find_best_settings(&costs, 7, DecompMode::Normal, &params, 2, 11, None);
+        let b = find_best_settings(&costs, 7, DecompMode::Normal, &params, 2, 11, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let g = table(3);
+        let costs = costs_for(&g, 0);
+        let params = BsSaParams::fast();
+        let a = find_best_settings(&costs, 7, DecompMode::Normal, &params, 1, 1, None);
+        let b = find_best_settings(&costs, 7, DecompMode::Normal, &params, 1, 2, None);
+        // Both found something; they need not be identical but must both
+        // be valid settings.
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn bto_mode_yields_bto_settings() {
+        let g = table(4);
+        let costs = costs_for(&g, 3);
+        let params = BsSaParams::fast();
+        let out = find_best_settings(&costs, 7, DecompMode::Bto, &params, 2, 5, None);
+        for s in &out {
+            assert!(matches!(s.decomp, AnyDecomp::Bto(_)));
+        }
+    }
+
+    #[test]
+    fn nd_mode_yields_nd_settings_and_beats_bto() {
+        let g = table(5);
+        let costs = costs_for(&g, 2);
+        let params = BsSaParams::fast();
+        let nd = find_best_settings(&costs, 7, DecompMode::NonDisjoint, &params, 1, 5, None);
+        let bto = find_best_settings(&costs, 7, DecompMode::Bto, &params, 1, 5, None);
+        assert!(matches!(nd[0].decomp, AnyDecomp::NonDisjoint(_)));
+        // ND searches a strict superset of BTO's expressive power per
+        // partition; across the same search budget it should not be worse
+        // on this seed.
+        assert!(nd[0].error <= bto[0].error + 1e-9);
+    }
+
+    #[test]
+    fn respects_partition_limit() {
+        let g = table(6);
+        let costs = costs_for(&g, 1);
+        let mut params = BsSaParams::fast();
+        params.partition_limit = 3;
+        params.stall_limit = usize::MAX; // only the limit stops us
+        let out = find_best_settings(&costs, 7, DecompMode::Normal, &params, 10, 3, None);
+        // We can overshoot by at most one neighbourhood batch per chain.
+        assert!(out.len() <= 3 + params.neighbors);
+    }
+
+    #[test]
+    fn multi_chain_multi_thread_still_valid() {
+        let g = table(7);
+        let costs = costs_for(&g, 2);
+        let mut params = BsSaParams::fast();
+        params.sa_processes = 4;
+        params.search.threads = 4;
+        let out = find_best_settings(&costs, 7, DecompMode::Normal, &params, 3, 9, None);
+        assert!(!out.is_empty());
+        for s in &out {
+            let col = s.decomp.to_bit_column();
+            assert!((column_error(&costs, &col) - s.error).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Accuracy–energy trade-off sweeps over per-bit operating modes
+//! (paper §V-C, Fig. 6).
+//!
+//! Given the per-bit mode alternatives recorded by the final BS-SA round,
+//! enumerates a frontier of configurations from "every bit in BTO mode"
+//! (cheapest) to "every bit in its most accurate mode", upgrading one bit
+//! at a time by the best expected error reduction per activated free
+//! table.
+
+use crate::config::{ApproxLutConfig, BitConfig, BitMode};
+use crate::outcome::BitModeOptions;
+use dalut_boolfn::{BoolFnError, InputDistribution, TruthTable};
+use dalut_decomp::Setting;
+use serde::{Deserialize, Serialize};
+
+/// One point of the accuracy–energy sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// The configuration at this point.
+    pub config: ApproxLutConfig,
+    /// True MED of the configuration against the target.
+    pub med: f64,
+    /// `(#BTO, #Normal, #ND)` mode counts (the paper's Fig. 6 labels).
+    pub mode_counts: (usize, usize, usize),
+    /// Total active free tables (0 per BTO bit, 1 per normal bit, 2 per
+    /// ND bit) — the dominant dynamic-energy driver.
+    pub active_free_tables: usize,
+}
+
+/// The per-bit energy weight of a mode: the number of free tables that
+/// stay clocked.
+fn weight(mode: BitMode) -> usize {
+    match mode {
+        BitMode::Bto => 0,
+        BitMode::Normal => 1,
+        BitMode::NonDisjoint => 2,
+    }
+}
+
+fn setting_for(options: &BitModeOptions, mode: BitMode) -> Option<&Setting> {
+    match mode {
+        BitMode::Bto => options.bto.as_ref(),
+        BitMode::Normal => Some(&options.normal),
+        BitMode::NonDisjoint => options.nd.as_ref(),
+    }
+}
+
+/// Enumerates the mode-assignment frontier.
+///
+/// Starts with every bit in its cheapest available mode and repeatedly
+/// applies the single mode upgrade (BTO→Normal, Normal→ND) with the
+/// largest expected error reduction per added free table, emitting a
+/// [`TradeoffPoint`] (with the *true* MED, measured against `target`)
+/// after every step.
+///
+/// # Errors
+///
+/// Returns an error if the options do not cover every output bit of
+/// `target` or shapes disagree.
+pub fn mode_sweep(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    options: &[BitModeOptions],
+) -> Result<Vec<TradeoffPoint>, BoolFnError> {
+    let m = target.outputs();
+    if options.len() != m || options.iter().enumerate().any(|(i, o)| o.bit != i) {
+        return Err(BoolFnError::DimensionMismatch(format!(
+            "need options for bits 0..{m} in order"
+        )));
+    }
+
+    // Current mode per bit: cheapest available.
+    let mut modes: Vec<BitMode> = options
+        .iter()
+        .map(|o| {
+            if o.bto.is_some() {
+                BitMode::Bto
+            } else {
+                BitMode::Normal
+            }
+        })
+        .collect();
+
+    let emit = |modes: &[BitMode]| -> Result<TradeoffPoint, BoolFnError> {
+        let bits: Vec<BitConfig> = options
+            .iter()
+            .zip(modes)
+            .map(|(o, &mode)| {
+                let s = setting_for(o, mode).expect("mode only assigned when available");
+                BitConfig::from_setting(o.bit, s.clone())
+            })
+            .collect();
+        let config = ApproxLutConfig::new(target.inputs(), m, bits)?;
+        let med = config.med(target, dist)?;
+        let mode_counts = config.mode_counts();
+        let active = modes.iter().map(|&md| weight(md)).sum();
+        Ok(TradeoffPoint {
+            config,
+            med,
+            mode_counts,
+            active_free_tables: active,
+        })
+    };
+
+    let mut points = vec![emit(&modes)?];
+    loop {
+        // Candidate single-step upgrades with their expected error delta.
+        let mut best: Option<(usize, BitMode, f64)> = None;
+        for (i, o) in options.iter().enumerate() {
+            let next = match modes[i] {
+                BitMode::Bto => BitMode::Normal,
+                BitMode::Normal if o.nd.is_some() => BitMode::NonDisjoint,
+                _ => continue,
+            };
+            let cur_err = setting_for(o, modes[i]).expect("current mode available").error;
+            let next_err = match setting_for(o, next) {
+                Some(s) => s.error,
+                None => continue,
+            };
+            let gain = cur_err - next_err; // expected error reduction
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((i, next, gain));
+            }
+        }
+        let Some((i, next, _)) = best else { break };
+        modes[i] = next;
+        points.push(emit(&modes)?);
+    }
+    Ok(points)
+}
+
+/// Filters a sweep down to its Pareto front: points not dominated by any
+/// other point in (MED, active free tables). Ties on both axes keep the
+/// first occurrence.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut front: Vec<TradeoffPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.med < p.med && q.active_free_tables <= p.active_free_tables)
+                || (q.med <= p.med && q.active_free_tables < p.active_free_tables)
+        });
+        if !dominated {
+            front.push(p.clone());
+        }
+    }
+    front.sort_by_key(|a| a.active_free_tables);
+    front.dedup_by(|a, b| a.med == b.med && a.active_free_tables == b.active_free_tables);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ArchPolicy, BsSaParams};
+    use dalut_boolfn::builder::random_table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sweep_fixture() -> (TruthTable, InputDistribution, Vec<BitModeOptions>) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_table(6, 3, &mut rng).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let out = crate::beam::run_bs_sa(
+            &g,
+            &d,
+            &BsSaParams::fast(),
+            ArchPolicy::bto_normal_nd_paper(),
+        )
+        .unwrap();
+        (g, d, out.mode_options.unwrap())
+    }
+
+    #[test]
+    fn sweep_covers_full_mode_range() {
+        let (g, d, opts) = sweep_fixture();
+        let points = mode_sweep(&g, &d, &opts).unwrap();
+        // First point: all BTO (0 free tables). Last: all ND (2 per bit).
+        assert_eq!(points.first().unwrap().active_free_tables, 0);
+        assert_eq!(points.last().unwrap().active_free_tables, 2 * 3);
+        // One upgrade per step.
+        for w in points.windows(2) {
+            assert_eq!(w[1].active_free_tables, w[0].active_free_tables + 1);
+        }
+        // Mode counts always total m.
+        for p in &points {
+            let (a, b, c) = p.mode_counts;
+            assert_eq!(a + b + c, 3);
+        }
+    }
+
+    #[test]
+    fn sweep_extremes_have_expected_modes() {
+        let (g, d, opts) = sweep_fixture();
+        let points = mode_sweep(&g, &d, &opts).unwrap();
+        assert_eq!(points.first().unwrap().mode_counts, (3, 0, 0));
+        assert_eq!(points.last().unwrap().mode_counts, (0, 0, 3));
+    }
+
+    #[test]
+    fn most_accurate_point_not_worse_than_cheapest() {
+        let (g, d, opts) = sweep_fixture();
+        let points = mode_sweep(&g, &d, &opts).unwrap();
+        let first = points.first().unwrap().med;
+        let last = points.last().unwrap().med;
+        assert!(
+            last <= first + 1e-9,
+            "all-ND med {last} worse than all-BTO {first}"
+        );
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated_points() {
+        let (g, d, opts) = sweep_fixture();
+        let points = mode_sweep(&g, &d, &opts).unwrap();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() <= points.len());
+        // No front point dominates another front point.
+        for a in &front {
+            for b in &front {
+                if a == b {
+                    continue;
+                }
+                let dominates = (a.med < b.med && a.active_free_tables <= b.active_free_tables)
+                    || (a.med <= b.med && a.active_free_tables < b.active_free_tables);
+                assert!(!dominates, "front contains dominated point");
+            }
+        }
+        // Front is sorted by energy proxy and strictly improving in MED.
+        for w in front.windows(2) {
+            assert!(w[0].active_free_tables < w[1].active_free_tables);
+            assert!(w[1].med < w[0].med);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_incomplete_options() {
+        let (g, d, opts) = sweep_fixture();
+        assert!(mode_sweep(&g, &d, &opts[..2]).is_err());
+    }
+}

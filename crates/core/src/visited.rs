@@ -1,0 +1,184 @@
+//! Shared state for the SA processes: the visited-partition set `Φ` and
+//! the bounded set of top settings `B_s`.
+
+use dalut_decomp::Setting;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+
+/// The set `Φ` of visited partitions with their stored errors, shared by
+/// all SA processes of one `FindBestSettings` call (paper §V-A runs 10
+/// processes against one `Φ`).
+///
+/// Partitions are keyed by their bound-set mask (`n` is fixed within one
+/// call).
+#[derive(Debug, Default)]
+pub struct VisitedSet {
+    map: RwLock<HashMap<u32, f64>>,
+}
+
+impl VisitedSet {
+    /// An empty visited set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of visited partitions `|Φ|`.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if no partition has been visited.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// The stored error for a partition, if visited.
+    pub fn get(&self, bound_mask: u32) -> Option<f64> {
+        self.map.read().get(&bound_mask).copied()
+    }
+
+    /// Records a partition's error. Returns `true` if it was new.
+    pub fn insert(&self, bound_mask: u32, error: f64) -> bool {
+        self.map.write().insert(bound_mask, error).is_none()
+    }
+
+    /// The smallest error stored so far (`E*`), if any.
+    pub fn best_error(&self) -> Option<f64> {
+        self.map
+            .read()
+            .values()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("errors are never NaN"))
+    }
+}
+
+/// The bounded best-settings set `B_s`: keeps the `cap` settings with the
+/// smallest errors, deduplicated by partition.
+#[derive(Debug)]
+pub struct TopSettings {
+    cap: usize,
+    inner: Mutex<Vec<Setting>>,
+}
+
+impl TopSettings {
+    /// An empty set keeping at most `cap` settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        Self {
+            cap,
+            inner: Mutex::new(Vec::with_capacity(cap + 1)),
+        }
+    }
+
+    /// Offers a setting; it is kept if it ranks among the best `cap` and
+    /// its partition is not already present with a better or equal error.
+    pub fn offer(&self, setting: Setting) {
+        let mut v = self.inner.lock();
+        let mask = setting.decomp.partition().bound_mask();
+        if let Some(pos) = v
+            .iter()
+            .position(|s| s.decomp.partition().bound_mask() == mask)
+        {
+            if v[pos].error <= setting.error {
+                return;
+            }
+            v.remove(pos);
+        }
+        let at = v
+            .binary_search_by(|s| {
+                s.error
+                    .partial_cmp(&setting.error)
+                    .expect("errors are never NaN")
+            })
+            .unwrap_or_else(|e| e);
+        v.insert(at, setting);
+        v.truncate(self.cap);
+    }
+
+    /// The current contents, best first.
+    pub fn snapshot(&self) -> Vec<Setting> {
+        self.inner.lock().clone()
+    }
+
+    /// The best error currently held, if any.
+    pub fn best_error(&self) -> Option<f64> {
+        self.inner.lock().first().map(|s| s.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::Partition;
+    use dalut_decomp::{AnyDecomp, BtoDecomp};
+
+    fn setting(mask: u32, error: f64) -> Setting {
+        let p = Partition::new(6, mask).unwrap();
+        let b = BtoDecomp::new(p, vec![false; p.cols()]).unwrap();
+        Setting::new(error, AnyDecomp::Bto(b))
+    }
+
+    #[test]
+    fn visited_set_tracks_partitions() {
+        let v = VisitedSet::new();
+        assert!(v.is_empty());
+        assert!(v.insert(0b000111, 1.5));
+        assert!(!v.insert(0b000111, 2.0)); // already present
+        assert!(v.insert(0b001011, 0.5));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0b000111), Some(2.0));
+        assert_eq!(v.get(0b110000), None);
+        assert_eq!(v.best_error(), Some(0.5));
+    }
+
+    #[test]
+    fn top_settings_keeps_best_sorted() {
+        let t = TopSettings::new(2);
+        t.offer(setting(0b000111, 3.0));
+        t.offer(setting(0b001011, 1.0));
+        t.offer(setting(0b001101, 2.0));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].error, 1.0);
+        assert_eq!(snap[1].error, 2.0);
+        assert_eq!(t.best_error(), Some(1.0));
+    }
+
+    #[test]
+    fn top_settings_dedupes_by_partition() {
+        let t = TopSettings::new(3);
+        t.offer(setting(0b000111, 3.0));
+        t.offer(setting(0b000111, 1.0)); // better duplicate replaces
+        t.offer(setting(0b000111, 2.0)); // worse duplicate ignored
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].error, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn top_settings_rejects_zero_cap() {
+        let _ = TopSettings::new(0);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let v = VisitedSet::new();
+        crossbeam::scope(|s| {
+            for t in 0..4u32 {
+                let v = &v;
+                s.spawn(move |_| {
+                    for i in 0..100u32 {
+                        v.insert(((t * 100 + i) % 150) + 1, f64::from(i));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(v.len(), 150);
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-input 0/1-choice cost arrays for optimising one output bit.
+//!
+//! When the search optimises the approximate component function `ĝ_k`, each
+//! input `X` contributes to the MED a cost that depends only on whether the
+//! chosen bit `ŷ_k(X)` is 0 or 1 (all other bits being fixed by the current
+//! context or by an LSB-fill model). Those two costs, `c0[X]` and `c1[X]`,
+//! are **independent of the variable partition** — the partition only
+//! decides how they are laid out in the 2-D chart. Computing them once per
+//! `FindBestSettings` call and re-indexing per candidate partition is the
+//! central performance lever of this implementation (DESIGN.md §6.1).
+
+use dalut_boolfn::{BoolFnError, InputDistribution, TruthTable};
+use serde::{Deserialize, Serialize};
+
+/// How the output bits *below* the bit being optimised are filled in when
+/// computing the error distance for an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LsbFill {
+    /// Use the bits of the current approximation `Ĝ` (valid from round 2
+    /// on, when every bit has a setting).
+    FromApprox,
+    /// Use the accurate bits of `G` (DALTA's round-1 model, paper §II-B).
+    Accurate,
+    /// The paper's predictive model (§III-B): assume the not-yet-optimised
+    /// LSBs will be chosen to minimise the error — all 0s if the known MSBs
+    /// already overshoot, all 1s if they undershoot, the accurate bits on a
+    /// tie.
+    Predictive,
+}
+
+/// The pair of per-input cost arrays for one output bit.
+///
+/// `c0[x]` (`c1[x]`) is the contribution of input `x` to the MED if the
+/// optimised bit evaluates to 0 (1) there. Costs are already weighted by
+/// the input probability, so a plain sum over any subset of inputs is the
+/// subset's MED contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitCosts {
+    /// Number of input bits `n`.
+    pub inputs: usize,
+    /// Cost of choosing `ŷ_k = 0`, per flat input.
+    pub c0: Vec<f64>,
+    /// Cost of choosing `ŷ_k = 1`, per flat input.
+    pub c1: Vec<f64>,
+}
+
+impl BitCosts {
+    /// Lower bound on the achievable MED for this bit: every input takes
+    /// its cheaper choice.
+    pub fn ideal_error(&self) -> f64 {
+        self.c0
+            .iter()
+            .zip(&self.c1)
+            .map(|(&a, &b)| a.min(b))
+            .sum()
+    }
+
+    /// Splits the cost arrays by the value of input bit `s`, compressing
+    /// the index space to `n - 1` bits ([`crate::reduce_index`]). Used by
+    /// the non-disjoint decomposition: because costs are already
+    /// probability-weighted, minimising each half independently minimises
+    /// the total (paper Eq. (2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n` or `n == 1`.
+    pub fn split_on_bit(&self, s: usize) -> (BitCosts, BitCosts) {
+        assert!(s < self.inputs, "bit out of range");
+        assert!(self.inputs > 1, "cannot split a 1-input cost table");
+        let half_len = self.c0.len() / 2;
+        let mut out = [
+            BitCosts {
+                inputs: self.inputs - 1,
+                c0: vec![0.0; half_len],
+                c1: vec![0.0; half_len],
+            },
+            BitCosts {
+                inputs: self.inputs - 1,
+                c0: vec![0.0; half_len],
+                c1: vec![0.0; half_len],
+            },
+        ];
+        for x in 0..self.c0.len() {
+            let j = (x >> s) & 1;
+            let rx = crate::setting::reduce_index(x as u32, s) as usize;
+            out[j].c0[rx] = self.c0[x];
+            out[j].c1[rx] = self.c1[x];
+        }
+        let [a, b] = out;
+        (a, b)
+    }
+}
+
+/// Builds the per-input cost arrays for output bit `bit` of `g`, with the
+/// other bits taken from `g_hat` (MSBs and, under [`LsbFill::FromApprox`],
+/// LSBs) or filled per `fill`.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+///
+/// # Panics
+///
+/// Panics if `bit >= m`.
+pub fn bit_costs(
+    g: &TruthTable,
+    g_hat: &TruthTable,
+    bit: usize,
+    dist: &InputDistribution,
+    fill: LsbFill,
+) -> Result<BitCosts, BoolFnError> {
+    g.check_same_shape(g_hat)?;
+    if dist.inputs() != g.inputs() {
+        return Err(BoolFnError::DimensionMismatch(format!(
+            "distribution over {} bits, function over {}",
+            dist.inputs(),
+            g.inputs()
+        )));
+    }
+    assert!(bit < g.outputs(), "output bit out of range");
+
+    let size = g.len();
+    let mut c0 = Vec::with_capacity(size);
+    let mut c1 = Vec::with_capacity(size);
+    let low_mask = (1u32 << bit) - 1;
+    let high_mask = !(low_mask | (1u32 << bit));
+
+    for x in 0..size as u32 {
+        let p = dist.prob(x);
+        let y = g.eval(x);
+        let approx = g_hat.eval(x);
+        let hi = approx & high_mask;
+        for (choice, slot) in [(0u32, &mut c0), (1u32, &mut c1)] {
+            let y_hat_m = hi | (choice << bit);
+            let y_hat = match fill {
+                LsbFill::FromApprox => y_hat_m | (approx & low_mask),
+                LsbFill::Accurate => y_hat_m | (y & low_mask),
+                LsbFill::Predictive => {
+                    let y_m = y & !low_mask;
+                    match y_hat_m.cmp(&y_m) {
+                        std::cmp::Ordering::Greater => y_hat_m,
+                        std::cmp::Ordering::Less => y_hat_m | low_mask,
+                        std::cmp::Ordering::Equal => y,
+                    }
+                }
+            };
+            slot.push(p * f64::from(y.abs_diff(y_hat)));
+        }
+    }
+    Ok(BitCosts {
+        inputs: g.inputs(),
+        c0,
+        c1,
+    })
+}
+
+/// Evaluates the MED of a concrete bit column under the cost arrays: the
+/// sum over inputs of `c1` where the column is 1 and `c0` where it is 0.
+pub fn column_error(costs: &BitCosts, column: &[bool]) -> f64 {
+    assert_eq!(costs.c0.len(), column.len(), "column length mismatch");
+    column
+        .iter()
+        .enumerate()
+        .map(|(x, &b)| if b { costs.c1[x] } else { costs.c0[x] })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::metrics;
+
+    fn dist(n: usize) -> InputDistribution {
+        InputDistribution::uniform(n).unwrap()
+    }
+
+    #[test]
+    fn from_approx_costs_match_direct_med() {
+        // Splicing a candidate bit column into g_hat and measuring MED must
+        // equal column_error under FromApprox costs.
+        let g = TruthTable::from_fn(4, 4, |x| (x * 3) % 16).unwrap();
+        let g_hat = TruthTable::from_fn(4, 4, |x| (x * 3 + 1) % 16).unwrap();
+        let d = dist(4);
+        for bit in 0..4 {
+            let costs = bit_costs(&g, &g_hat, bit, &d, LsbFill::FromApprox).unwrap();
+            let column: Vec<bool> = (0..16u32).map(|x| x % 3 == 0).collect();
+            let spliced = g_hat.with_bit_replaced(bit, |x| column[x as usize]);
+            let med = metrics::med(&g, &spliced, &d).unwrap();
+            assert!((column_error(&costs, &column) - med).abs() < 1e-12, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn accurate_fill_uses_target_lsbs() {
+        let g = TruthTable::from_fn(3, 3, |x| x).unwrap();
+        // g_hat LSBs deliberately garbage; Accurate fill must ignore them.
+        let g_hat = TruthTable::from_fn(3, 3, |x| x ^ 0b011).unwrap();
+        let d = dist(3);
+        let costs = bit_costs(&g, &g_hat, 2, &d, LsbFill::Accurate).unwrap();
+        // Choosing the accurate MSB everywhere gives zero error.
+        let column: Vec<bool> = (0..8u32).map(|x| x >> 2 & 1 == 1).collect();
+        assert!(column_error(&costs, &column) < 1e-12);
+    }
+
+    #[test]
+    fn predictive_zero_when_msbs_match() {
+        // If the known MSBs equal the target MSBs, the model predicts the
+        // LSBs will absorb the rest: cost 0 for the accurate choice.
+        let g = TruthTable::from_fn(3, 3, |x| x).unwrap();
+        let g_hat = g.clone();
+        let d = dist(3);
+        let costs = bit_costs(&g, &g_hat, 1, &d, LsbFill::Predictive).unwrap();
+        for x in 0..8u32 {
+            let acc = (x >> 1) & 1;
+            let c = if acc == 1 {
+                costs.c1[x as usize]
+            } else {
+                costs.c0[x as usize]
+            };
+            assert!(c < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn predictive_overshoot_assumes_zero_lsbs() {
+        // m=3, optimise bit 1 (middle). Target y = 0b001 (Y_M for bits>=1 is 0).
+        // Choosing bit1=1 overshoots: Ŷ_M = 0b010 > 0b000, so LSB predicted 0,
+        // ŷ = 2, err = |1-2| = 1.
+        let g = TruthTable::from_fn(1, 3, |_| 0b001).unwrap();
+        let g_hat = TruthTable::from_fn(1, 3, |_| 0b000).unwrap();
+        let d = dist(1);
+        let costs = bit_costs(&g, &g_hat, 1, &d, LsbFill::Predictive).unwrap();
+        assert!((costs.c1[0] - 0.5).abs() < 1e-12); // p = 1/2 each input
+        // Choosing 0 ties (Ŷ_M == Y_M) -> LSBs predicted accurate -> 0.
+        assert!(costs.c0[0] < 1e-12);
+    }
+
+    #[test]
+    fn predictive_undershoot_assumes_one_lsbs() {
+        // Target y = 0b110. Optimise bit 2 (MSB), g_hat MSB currently 0.
+        // Choice 0: Ŷ_M = 0 < Y_M = 4 -> LSBs all 1 -> ŷ = 0b011, err = 3.
+        let g = TruthTable::from_fn(1, 3, |_| 0b110).unwrap();
+        let g_hat = TruthTable::from_fn(1, 3, |_| 0b000).unwrap();
+        let d = dist(1);
+        let costs = bit_costs(&g, &g_hat, 2, &d, LsbFill::Predictive).unwrap();
+        assert!((costs.c0[0] - 1.5).abs() < 1e-12);
+        // Choice 1: Ŷ_M = 4 == Y_M -> LSBs predicted accurate -> err 0.
+        assert!(costs.c1[0] < 1e-12);
+    }
+
+    #[test]
+    fn ideal_error_lower_bounds_any_column() {
+        let g = TruthTable::from_fn(4, 4, |x| (x + 5) % 16).unwrap();
+        let g_hat = TruthTable::from_fn(4, 4, |x| x).unwrap();
+        let d = dist(4);
+        let costs = bit_costs(&g, &g_hat, 2, &d, LsbFill::FromApprox).unwrap();
+        let ideal = costs.ideal_error();
+        for pattern in [0u32, 0xFFFF, 0xAAAA, 0x1234] {
+            let column: Vec<bool> = (0..16).map(|x| (pattern >> x) & 1 == 1).collect();
+            assert!(column_error(&costs, &column) >= ideal - 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_on_bit_partitions_costs() {
+        let g = TruthTable::from_fn(4, 4, |x| (7 * x + 2) % 16).unwrap();
+        let g_hat = TruthTable::from_fn(4, 4, |x| x).unwrap();
+        let d = dist(4);
+        let costs = bit_costs(&g, &g_hat, 1, &d, LsbFill::FromApprox).unwrap();
+        for s in 0..4usize {
+            let (lo, hi) = costs.split_on_bit(s);
+            assert_eq!(lo.inputs, 3);
+            // Total mass is preserved.
+            let total: f64 = costs.c0.iter().sum::<f64>() + costs.c1.iter().sum::<f64>();
+            let split_total: f64 = lo.c0.iter().sum::<f64>()
+                + lo.c1.iter().sum::<f64>()
+                + hi.c0.iter().sum::<f64>()
+                + hi.c1.iter().sum::<f64>();
+            assert!((total - split_total).abs() < 1e-12);
+            // Spot-check the index mapping.
+            for x in 0..16u32 {
+                let rx = crate::setting::reduce_index(x, s) as usize;
+                let side = if (x >> s) & 1 == 1 { &hi } else { &lo };
+                assert_eq!(side.c0[rx], costs.c0[x as usize]);
+                assert_eq!(side.c1[rx], costs.c1[x as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_costs_validates_shapes() {
+        let g = TruthTable::from_fn(3, 3, |x| x).unwrap();
+        let h = TruthTable::from_fn(3, 4, |x| x).unwrap();
+        assert!(bit_costs(&g, &h, 0, &dist(3), LsbFill::Accurate).is_err());
+        assert!(bit_costs(&g, &g, 0, &dist(4), LsbFill::Accurate).is_err());
+    }
+
+    #[test]
+    fn nonuniform_distribution_weights_costs() {
+        let g = TruthTable::from_fn(2, 2, |_| 0b10).unwrap();
+        let g_hat = TruthTable::from_fn(2, 2, |_| 0b00).unwrap();
+        let d = InputDistribution::from_weights(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let costs = bit_costs(&g, &g_hat, 1, &d, LsbFill::FromApprox).unwrap();
+        // Only x=0 carries mass: choosing 0 errs by 2, choosing 1 errs 0.
+        assert!((costs.c0[0] - 2.0).abs() < 1e-12);
+        assert!(costs.c1[0] < 1e-12);
+        assert_eq!(costs.c0[1], 0.0);
+    }
+}

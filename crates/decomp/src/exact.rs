@@ -1,0 +1,297 @@
+//! Exact Ashenhurst decomposition (paper Theorem 1) and a brute-force
+//! optimal approximate decomposer used as a test oracle.
+
+use crate::cost::BitCosts;
+use crate::setting::{DisjointDecomp, RowType};
+use dalut_boolfn::{Partition, TruthTable, TwoDimTable};
+
+/// Checks whether single-output `f` has an exact disjoint decomposition
+/// under `partition` (Ashenhurst's condition: every row of the 2-D chart
+/// is all-0, all-1, a common pattern `V`, or its complement) and returns
+/// the decomposition if so.
+///
+/// # Errors
+///
+/// Propagates dimension errors from building the 2-D view.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{Partition, TruthTable};
+/// use dalut_decomp::exact_decompose;
+///
+/// let xor = TruthTable::from_fn(4, 1, |x| x.count_ones() % 2).unwrap();
+/// let maj = TruthTable::from_fn(3, 1, |x| u32::from(x.count_ones() >= 2)).unwrap();
+/// assert!(exact_decompose(&xor, Partition::new(4, 0b0011).unwrap())
+///     .unwrap()
+///     .is_some());
+/// assert!(exact_decompose(&maj, Partition::new(3, 0b011).unwrap())
+///     .unwrap()
+///     .is_none());
+/// ```
+pub fn exact_decompose(
+    f: &TruthTable,
+    partition: Partition,
+) -> Result<Option<DisjointDecomp>, dalut_boolfn::BoolFnError> {
+    let chart = TwoDimTable::new(f, partition)?;
+    let rows = chart.grid().rows();
+    let cols = chart.grid().cols();
+
+    // Find the pattern vector: the first non-constant row.
+    let mut pattern: Option<Vec<bool>> = None;
+    for r in 0..rows {
+        let row = chart.row_pattern(r);
+        let any_one = row.iter().any(|&v| v);
+        let any_zero = row.iter().any(|&v| !v);
+        if any_one && any_zero {
+            pattern = Some(row.to_vec());
+            break;
+        }
+    }
+    // All rows constant: pick an arbitrary pattern (all zeros).
+    let pattern = pattern.unwrap_or_else(|| vec![false; cols]);
+
+    let mut types = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = chart.row_pattern(r);
+        let t = classify_row(row, &pattern);
+        match t {
+            Some(t) => types.push(t),
+            None => return Ok(None),
+        }
+    }
+    Ok(DisjointDecomp::new(partition, pattern, types))
+}
+
+/// Classifies a row against a pattern: all-0, all-1, pattern, complement,
+/// or none of these (constant rows prefer the constant types).
+fn classify_row(row: &[bool], pattern: &[bool]) -> Option<RowType> {
+    if row.iter().all(|&v| !v) {
+        return Some(RowType::AllZero);
+    }
+    if row.iter().all(|&v| v) {
+        return Some(RowType::AllOne);
+    }
+    if row == pattern {
+        return Some(RowType::Pattern);
+    }
+    if row.iter().zip(pattern).all(|(&a, &b)| a != b) {
+        return Some(RowType::Complement);
+    }
+    None
+}
+
+/// True if `f` has an exact disjoint decomposition under `partition`.
+///
+/// # Errors
+///
+/// Propagates dimension errors.
+pub fn is_decomposable(
+    f: &TruthTable,
+    partition: Partition,
+) -> Result<bool, dalut_boolfn::BoolFnError> {
+    Ok(exact_decompose(f, partition)?.is_some())
+}
+
+/// Brute-force globally optimal approximate decomposition for a fixed
+/// partition: enumerates all `2^(2^b)` pattern vectors and picks the best
+/// type per row for each. Exponential — intended only as a test oracle for
+/// charts with `b <= 4`.
+///
+/// # Panics
+///
+/// Panics if `costs.inputs != partition.n()` or `2^b > 20`.
+pub fn brute_force_optimal(costs: &BitCosts, partition: Partition) -> (f64, DisjointDecomp) {
+    assert_eq!(costs.inputs, partition.n(), "width mismatch");
+    let cols = partition.cols();
+    assert!(cols <= 20, "brute force limited to small bound sets");
+    let rows = partition.rows();
+    let st = partition.scatter_table();
+
+    let mut best: Option<(f64, Vec<bool>, Vec<RowType>)> = None;
+    for pat in 0u64..(1u64 << cols) {
+        let v: Vec<bool> = (0..cols).map(|c| (pat >> c) & 1 == 1).collect();
+        let mut total = 0.0;
+        let mut types = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut t = [0.0f64; 4]; // all0, all1, pattern, complement
+            for (c, &vc) in v.iter().enumerate() {
+                let x = st.flat_index(r, c);
+                let (c0, c1) = (costs.c0[x], costs.c1[x]);
+                t[0] += c0;
+                t[1] += c1;
+                if vc {
+                    t[2] += c1;
+                    t[3] += c0;
+                } else {
+                    t[2] += c0;
+                    t[3] += c1;
+                }
+            }
+            let (mut bi, mut bv) = (0usize, t[0]);
+            for (i, &tv) in t.iter().enumerate().skip(1) {
+                if tv < bv {
+                    bi = i;
+                    bv = tv;
+                }
+            }
+            total += bv;
+            types.push(match bi {
+                0 => RowType::AllZero,
+                1 => RowType::AllOne,
+                2 => RowType::Pattern,
+                _ => RowType::Complement,
+            });
+        }
+        if best.as_ref().is_none_or(|(e, _, _)| total < *e) {
+            best = Some((total, v, types));
+        }
+    }
+    let (err, v, types) = best.expect("pattern enumeration is non-empty");
+    (
+        err,
+        DisjointDecomp::new(partition, v, types).expect("dimensions match"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{bit_costs, column_error, LsbFill};
+    use dalut_boolfn::builder::{random_decomposable, random_table};
+    use dalut_boolfn::InputDistribution;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn paper_example1_fn() -> TruthTable {
+        let rows: [[u32; 4]; 4] = [[0, 1, 1, 0], [1, 0, 0, 1], [1, 1, 1, 1], [0, 0, 0, 0]];
+        TruthTable::from_fn(4, 1, |x| {
+            rows[(x & 0b11) as usize][((x >> 2) & 0b11) as usize]
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example1_decomposes_with_expected_vectors() {
+        let f = paper_example1_fn();
+        let p = Partition::new(4, 0b1100).unwrap();
+        let d = exact_decompose(&f, p).unwrap().expect("decomposable");
+        assert_eq!(d.pattern(), &[false, true, true, false]);
+        assert_eq!(
+            d.types(),
+            &[
+                RowType::Pattern,
+                RowType::Complement,
+                RowType::AllOne,
+                RowType::AllZero
+            ]
+        );
+        assert_eq!(d.to_truth_table(), f);
+    }
+
+    #[test]
+    fn paper_example2_exact_and_bto() {
+        // Fig. 2(a): V = (1,1,1,0), T = (3,2,3,3) — decomposable exactly;
+        // forcing all rows to type 3 flips exactly one cell.
+        let rows: [[u32; 4]; 4] = [[1, 1, 1, 0], [1, 1, 1, 1], [1, 1, 1, 0], [1, 1, 1, 0]];
+        let f = TruthTable::from_fn(4, 1, |x| {
+            rows[(x & 0b11) as usize][((x >> 2) & 0b11) as usize]
+        })
+        .unwrap();
+        let p = Partition::new(4, 0b1100).unwrap();
+        let d = exact_decompose(&f, p).unwrap().expect("decomposable");
+        assert_eq!(d.pattern(), &[true, true, true, false]);
+        assert_eq!(
+            d.types(),
+            &[
+                RowType::Pattern,
+                RowType::AllOne,
+                RowType::Pattern,
+                RowType::Pattern
+            ]
+        );
+        // BTO restriction: one wrong cell out of 16.
+        let dist = InputDistribution::uniform(4).unwrap();
+        let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
+        let (err, bto) = crate::opt_for_part::opt_for_part_bto(&costs, p);
+        assert!((err - 1.0 / 16.0).abs() < 1e-12);
+        assert_eq!(bto.pattern(), &[true, true, true, false]);
+    }
+
+    #[test]
+    fn random_decomposable_functions_are_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let bound = 0b0110100u32;
+            let f = random_decomposable(7, bound, &mut rng).unwrap();
+            let p = Partition::new(7, bound).unwrap();
+            let d = exact_decompose(&f, p).unwrap().expect("decomposable");
+            assert_eq!(d.to_truth_table(), f);
+        }
+    }
+
+    #[test]
+    fn non_decomposable_function_is_rejected() {
+        // A 3-input majority has no disjoint decomposition with |B| = 2:
+        // chart rows for any partition contain 3 distinct non-complementary
+        // patterns.
+        let maj = TruthTable::from_fn(3, 1, |x| u32::from(x.count_ones() >= 2)).unwrap();
+        for mask in [0b011u32, 0b101, 0b110] {
+            let p = Partition::new(3, mask).unwrap();
+            assert!(!is_decomposable(&maj, p).unwrap(), "mask {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn constant_function_is_trivially_decomposable() {
+        let f = TruthTable::from_fn(4, 1, |_| 1).unwrap();
+        let p = Partition::new(4, 0b0011).unwrap();
+        let d = exact_decompose(&f, p).unwrap().expect("decomposable");
+        assert!(d.types().iter().all(|&t| t == RowType::AllOne));
+    }
+
+    #[test]
+    fn xor_decomposes_under_any_partition() {
+        let f = TruthTable::from_fn(6, 1, |x| x.count_ones() % 2).unwrap();
+        for mask in [0b000111u32, 0b101010, 0b110001] {
+            let p = Partition::new(6, mask).unwrap();
+            let d = exact_decompose(&f, p).unwrap().expect("xor decomposes");
+            assert_eq!(d.to_truth_table(), f);
+        }
+    }
+
+    #[test]
+    fn brute_force_error_is_a_true_lower_bound() {
+        let mut frng = StdRng::seed_from_u64(17);
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..5 {
+            let g = random_table(5, 3, &mut frng).unwrap();
+            let dist = InputDistribution::uniform(5).unwrap();
+            let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
+            let p = Partition::new(5, 0b00011).unwrap();
+            let (bf_err, bf) = brute_force_optimal(&costs, p);
+            assert!((column_error(&costs, &bf.to_bit_column()) - bf_err).abs() < 1e-12);
+            // Any random decomposition must be at least as bad.
+            for _ in 0..20 {
+                let v: Vec<bool> = (0..p.cols()).map(|_| rng.random()).collect();
+                let types: Vec<RowType> = (0..p.rows())
+                    .map(|_| RowType::from_code(rng.random_range(1..=4)).unwrap())
+                    .collect();
+                let d = DisjointDecomp::new(p, v, types).unwrap();
+                assert!(column_error(&costs, &d.to_bit_column()) >= bf_err - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_decompose_zero_cost_under_its_own_costs() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let bound = 0b00110u32;
+        let f = random_decomposable(5, bound, &mut rng).unwrap();
+        let p = Partition::new(5, bound).unwrap();
+        let dist = InputDistribution::uniform(5).unwrap();
+        let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
+        let (err, _) = brute_force_optimal(&costs, p);
+        assert!(err < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! # dalut-decomp
+//!
+//! Exact and approximate Ashenhurst decomposition for the DALUT project
+//! (DATE 2023 reproduction).
+//!
+//! The paper approximates each output bit `ĝ_k` of a multi-output function
+//! by a decomposition `F(φ(B), A)` chosen to minimise the mean error
+//! distance (MED). This crate provides the decomposition machinery that
+//! both the DALTA baseline and the proposed BS-SA search call into:
+//!
+//! * [`cost`] — per-input 0/1-choice cost arrays (`c0`, `c1`) under the
+//!   three LSB-fill models (current approximation, DALTA's accurate fill,
+//!   and the paper's §III-B predictive model). Costs are
+//!   partition-independent, so they are computed once per search step and
+//!   merely re-indexed per candidate partition.
+//! * [`opt_for_part()`](opt_for_part()) — the `OptForPart` kernel: alternating `(V, T)`
+//!   minimisation with random restarts, the closed-form BTO-restricted
+//!   variant, and the non-disjoint variant that conditions on a shared
+//!   bound bit `x_s` (Eq. (1)/(2)).
+//! * [`exact`] — Ashenhurst's Theorem-1 exact decomposition test and a
+//!   brute-force optimal approximate decomposer (test oracle).
+//! * [`setting`] — the decomposition data types ([`DisjointDecomp`],
+//!   [`BtoDecomp`], [`NonDisjointDecomp`]) and the scored [`Setting`].
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+//! use dalut_decomp::{bit_costs, opt_for_part, LsbFill, OptParams};
+//! use rand::SeedableRng;
+//!
+//! // Approximate the MSB of a 6-input adder-like function.
+//! let g = TruthTable::from_fn(6, 4, |x| (x % 13) % 16).unwrap();
+//! let dist = InputDistribution::uniform(6).unwrap();
+//! let costs = bit_costs(&g, &g, 3, &dist, LsbFill::Accurate).unwrap();
+//! let part = Partition::new(6, 0b000111).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (err, decomp) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+//! assert!(err.is_finite());
+//! assert_eq!(decomp.partition(), part);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod exact;
+pub mod opt_for_part;
+pub mod setting;
+
+pub use cost::{bit_costs, column_error, BitCosts, LsbFill};
+pub use exact::{brute_force_optimal, exact_decompose, is_decomposable};
+pub use opt_for_part::{opt_for_part, opt_for_part_bto, opt_for_part_nd, OptParams};
+pub use setting::{
+    expand_index, pattern_to_minterms, reduce_index, reduce_mask, splice_bit, AnyDecomp,
+    BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType, Setting,
+};

@@ -1,0 +1,536 @@
+//! `OptForPart`: optimise the pattern vector `V` and type vector `T` of an
+//! approximate decomposition for a fixed variable partition (paper §II-B),
+//! plus the BTO-restricted (§IV-A) and non-disjoint (§IV-B1) variants.
+
+use crate::cost::BitCosts;
+use crate::setting::{reduce_mask, BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType};
+use dalut_boolfn::Partition;
+use rand::Rng;
+
+/// Tuning knobs for the alternating `(V, T)` optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptParams {
+    /// Number of random initial pattern vectors `Z` (paper uses 30).
+    pub restarts: usize,
+    /// Safety cap on alternating iterations per restart (the loop
+    /// terminates as soon as the error stops improving; the paper's
+    /// alternation always converges because the error is non-increasing).
+    pub max_iters: usize,
+}
+
+impl Default for OptParams {
+    fn default() -> Self {
+        Self {
+            restarts: 30,
+            max_iters: 64,
+        }
+    }
+}
+
+impl OptParams {
+    /// Paper-scale parameters (`Z = 30`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Reduced parameters for fast runs.
+    pub fn fast() -> Self {
+        Self {
+            restarts: 6,
+            max_iters: 32,
+        }
+    }
+}
+
+/// The per-input costs laid out in the 2-D chart of a partition, with
+/// cached row sums.
+struct Cost2d {
+    rows: usize,
+    cols: usize,
+    /// Row-major cost of cell value 0.
+    c0: Vec<f64>,
+    /// Row-major cost of cell value 1.
+    c1: Vec<f64>,
+    /// Per-row sum of `c0` (cost of an all-zero row).
+    s0: Vec<f64>,
+    /// Per-row sum of `c1` (cost of an all-one row).
+    s1: Vec<f64>,
+}
+
+impl Cost2d {
+    fn new(costs: &BitCosts, partition: Partition) -> Self {
+        debug_assert_eq!(costs.inputs, partition.n());
+        let st = partition.scatter_table();
+        let (rows, cols) = (st.rows(), st.cols());
+        let mut c0 = Vec::with_capacity(rows * cols);
+        let mut c1 = Vec::with_capacity(rows * cols);
+        let mut s0 = Vec::with_capacity(rows);
+        let mut s1 = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let base = st.row_bits(r);
+            let mut sum0 = 0.0;
+            let mut sum1 = 0.0;
+            for c in 0..cols {
+                let x = (base | st.col_bits(c)) as usize;
+                let (a, b) = (costs.c0[x], costs.c1[x]);
+                c0.push(a);
+                c1.push(b);
+                sum0 += a;
+                sum1 += b;
+            }
+            s0.push(sum0);
+            s1.push(sum1);
+        }
+        Self {
+            rows,
+            cols,
+            c0,
+            c1,
+            s0,
+            s1,
+        }
+    }
+
+    /// For a fixed pattern `v`, the best type per row and the total error.
+    fn best_types(&self, v: &[bool]) -> (Vec<RowType>, f64) {
+        let mut types = Vec::with_capacity(self.rows);
+        let mut total = 0.0;
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            let mut t3 = 0.0;
+            for (c, &vc) in v.iter().enumerate() {
+                t3 += if vc {
+                    self.c1[base + c]
+                } else {
+                    self.c0[base + c]
+                };
+            }
+            let t4 = self.s0[r] + self.s1[r] - t3;
+            let mut best = (self.s0[r], RowType::AllZero);
+            for cand in [
+                (self.s1[r], RowType::AllOne),
+                (t3, RowType::Pattern),
+                (t4, RowType::Complement),
+            ] {
+                if cand.0 < best.0 {
+                    best = cand;
+                }
+            }
+            total += best.0;
+            types.push(best.1);
+        }
+        (types, total)
+    }
+
+    /// For fixed types, the best pattern bit per column.
+    fn best_pattern(&self, types: &[RowType]) -> Vec<bool> {
+        let mut d0 = vec![0.0f64; self.cols];
+        let mut d1 = vec![0.0f64; self.cols];
+        for (r, &t) in types.iter().enumerate() {
+            let base = r * self.cols;
+            match t {
+                RowType::Pattern => {
+                    for c in 0..self.cols {
+                        d0[c] += self.c0[base + c];
+                        d1[c] += self.c1[base + c];
+                    }
+                }
+                RowType::Complement => {
+                    for c in 0..self.cols {
+                        d0[c] += self.c1[base + c];
+                        d1[c] += self.c0[base + c];
+                    }
+                }
+                _ => {}
+            }
+        }
+        d0.iter().zip(&d1).map(|(&a, &b)| b < a).collect()
+    }
+
+    /// Distinct non-constant rows of the *ideal-choice chart* (each cell
+    /// takes its cheaper value), used to seed the alternating optimisation.
+    /// When the costs come from an exactly decomposable bit, these rows are
+    /// precisely the true pattern vector `V` and/or its complement, so
+    /// seeding with them makes the optimiser exact on decomposable charts.
+    fn ideal_row_seeds(&self, cap: usize) -> Vec<Vec<bool>> {
+        let mut seeds: Vec<Vec<bool>> = Vec::new();
+        for r in 0..self.rows {
+            if seeds.len() >= cap {
+                break;
+            }
+            let base = r * self.cols;
+            let row: Vec<bool> = (0..self.cols)
+                .map(|c| self.c1[base + c] < self.c0[base + c])
+                .collect();
+            if row.iter().all(|&v| v) || row.iter().all(|&v| !v) {
+                continue;
+            }
+            let complement: Vec<bool> = row.iter().map(|&v| !v).collect();
+            if !seeds.contains(&row) && !seeds.contains(&complement) {
+                seeds.push(row);
+            }
+        }
+        seeds
+    }
+
+    /// Closed-form BTO optimum: pattern chosen per column, all rows type 3.
+    fn bto_optimum(&self) -> (Vec<bool>, f64) {
+        let mut d0 = vec![0.0f64; self.cols];
+        let mut d1 = vec![0.0f64; self.cols];
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for c in 0..self.cols {
+                d0[c] += self.c0[base + c];
+                d1[c] += self.c1[base + c];
+            }
+        }
+        let mut err = 0.0;
+        let v = d0
+            .iter()
+            .zip(&d1)
+            .map(|(&a, &b)| {
+                err += a.min(b);
+                b < a
+            })
+            .collect();
+        (v, err)
+    }
+}
+
+/// Optimises `(V, T)` for a fixed partition by alternating minimisation
+/// from `Z` random initial patterns plus the closed-form BTO pattern (so
+/// the result never loses to the BTO-restricted optimum) and the distinct
+/// ideal-choice chart rows (so exactly decomposable charts are solved to
+/// zero error). Returns the achieved error and the decomposition.
+///
+/// # Panics
+///
+/// Panics if `costs.inputs != partition.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+/// use dalut_decomp::{bit_costs, opt_for_part, LsbFill, OptParams};
+/// use rand::SeedableRng;
+///
+/// // XOR of all inputs decomposes exactly under any partition.
+/// let f = TruthTable::from_fn(6, 1, |x| x.count_ones() % 2).unwrap();
+/// let dist = InputDistribution::uniform(6).unwrap();
+/// let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
+/// let part = Partition::new(6, 0b000111).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+/// assert_eq!(err, 0.0);
+/// assert_eq!(d.to_truth_table(), f);
+/// ```
+pub fn opt_for_part(
+    costs: &BitCosts,
+    partition: Partition,
+    params: OptParams,
+    rng: &mut impl Rng,
+) -> (f64, DisjointDecomp) {
+    assert_eq!(
+        costs.inputs,
+        partition.n(),
+        "cost table and partition width mismatch"
+    );
+    let chart = Cost2d::new(costs, partition);
+    let mut best: Option<(f64, Vec<bool>, Vec<RowType>)> = None;
+
+    let consider = |v: Vec<bool>, chart: &Cost2d, best: &mut Option<(f64, Vec<bool>, Vec<RowType>)>| {
+        let (mut types, mut err) = chart.best_types(&v);
+        let mut v = v;
+        for _ in 0..params.max_iters {
+            let v2 = chart.best_pattern(&types);
+            let (types2, err2) = chart.best_types(&v2);
+            if err2 + 1e-15 >= err {
+                break;
+            }
+            v = v2;
+            types = types2;
+            err = err2;
+        }
+        if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
+            *best = Some((err, v, types));
+        }
+    };
+
+    // Seed with the BTO optimum (guarantees normal-mode error <= BTO error)
+    // and with distinct rows of the ideal-choice chart (guarantees exactly
+    // decomposable charts are solved to zero error).
+    let (bto_v, _) = chart.bto_optimum();
+    consider(bto_v, &chart, &mut best);
+    for seed in chart.ideal_row_seeds(params.restarts.max(8)) {
+        consider(seed, &chart, &mut best);
+    }
+    for _ in 0..params.restarts {
+        let v: Vec<bool> = (0..chart.cols).map(|_| rng.random()).collect();
+        consider(v, &chart, &mut best);
+    }
+
+    let (err, v, types) = best.expect("at least one start is always considered");
+    let decomp = DisjointDecomp::new(partition, v, types)
+        .expect("dimensions match the partition by construction");
+    (err, decomp)
+}
+
+/// BTO-restricted `OptForPart` (paper §IV-A): all rows are forced to type
+/// 3, so the optimal pattern is closed-form per column. Deterministic.
+///
+/// # Panics
+///
+/// Panics if `costs.inputs != partition.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+/// use dalut_decomp::{bit_costs, opt_for_part_bto, LsbFill};
+///
+/// // A function depending only on the bound set is BTO-exact.
+/// let f = TruthTable::from_fn(5, 1, |x| (x >> 1) & 1).unwrap();
+/// let dist = InputDistribution::uniform(5).unwrap();
+/// let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
+/// let part = Partition::new(5, 0b00011).unwrap(); // B = {x0, x1}
+/// let (err, bto) = opt_for_part_bto(&costs, part);
+/// assert_eq!(err, 0.0);
+/// assert_eq!(bto.pattern(), &[false, false, true, true]);
+/// ```
+pub fn opt_for_part_bto(costs: &BitCosts, partition: Partition) -> (f64, BtoDecomp) {
+    assert_eq!(
+        costs.inputs,
+        partition.n(),
+        "cost table and partition width mismatch"
+    );
+    let chart = Cost2d::new(costs, partition);
+    let (v, err) = chart.bto_optimum();
+    (
+        err,
+        BtoDecomp::new(partition, v).expect("dimensions match by construction"),
+    )
+}
+
+/// Non-disjoint `OptForPart` (paper §IV-B1): tries every bound variable as
+/// the shared bit `x_s`, solves the two conditional disjoint sub-problems
+/// independently (their probability-weighted costs simply add, Eq. (2)),
+/// and keeps the best. Returns `None` if the bound set has a single
+/// variable (no reduced bound set would remain).
+///
+/// # Panics
+///
+/// Panics if `costs.inputs != partition.n()`.
+pub fn opt_for_part_nd(
+    costs: &BitCosts,
+    partition: Partition,
+    params: OptParams,
+    rng: &mut impl Rng,
+) -> Option<(f64, NonDisjointDecomp)> {
+    assert_eq!(
+        costs.inputs,
+        partition.n(),
+        "cost table and partition width mismatch"
+    );
+    if partition.bound_size() < 2 {
+        return None;
+    }
+    let mut best: Option<(f64, NonDisjointDecomp)> = None;
+    for &s in &partition.bound_vars() {
+        let s = s as usize;
+        let reduced_bound = reduce_mask(partition.bound_mask() & !(1u32 << s), s);
+        let reduced = Partition::new(partition.n() - 1, reduced_bound)
+            .expect("reduced bound set is a proper non-empty subset");
+        let (costs0, costs1) = costs.split_on_bit(s);
+        let (e0, d0) = opt_for_part(&costs0, reduced, params, rng);
+        let (e1, d1) = opt_for_part(&costs1, reduced, params, rng);
+        let err = e0 + e1;
+        if best.as_ref().is_none_or(|(e, _)| err < *e) {
+            let nd = NonDisjointDecomp::new(partition, s, d0, d1)
+                .expect("halves built over the reduction of the partition");
+            best = Some((err, nd));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{bit_costs, column_error, LsbFill};
+    use dalut_boolfn::builder::{random_decomposable, random_table};
+    use dalut_boolfn::{InputDistribution, TruthTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn costs_for(g: &TruthTable, bit: usize) -> BitCosts {
+        let dist = InputDistribution::uniform(g.inputs()).unwrap();
+        bit_costs(g, g, bit, &dist, LsbFill::FromApprox).unwrap()
+    }
+
+    #[test]
+    fn reported_error_matches_materialised_column() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..5u64 {
+            let mut frng = StdRng::seed_from_u64(seed);
+            let g = random_table(6, 4, &mut frng).unwrap();
+            let costs = costs_for(&g, 2);
+            let p = Partition::new(6, 0b000111).unwrap();
+            let (err, d) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
+            let col = d.to_bit_column();
+            assert!(
+                (column_error(&costs, &col) - err).abs() < 1e-12,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_decomposable_function_reaches_zero_error() {
+        let mut frng = StdRng::seed_from_u64(9);
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..10 {
+            let bound = 0b011010u32;
+            let f = random_decomposable(6, bound, &mut frng).unwrap();
+            let costs = costs_for(&f, 0);
+            let p = Partition::new(6, bound).unwrap();
+            let (err, d) = opt_for_part(&costs, p, OptParams::default(), &mut rng);
+            assert!(err < 1e-12, "exact decomposition not found, err={err}");
+            // The decomposition must reproduce f exactly.
+            assert_eq!(d.to_truth_table(), f);
+        }
+    }
+
+    #[test]
+    fn normal_never_worse_than_bto() {
+        let mut frng = StdRng::seed_from_u64(77);
+        let mut rng = StdRng::seed_from_u64(78);
+        for _ in 0..10 {
+            let g = random_table(7, 5, &mut frng).unwrap();
+            let costs = costs_for(&g, 3);
+            let p = Partition::random(7, 3, &mut frng);
+            let (e_norm, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
+            let (e_bto, _) = opt_for_part_bto(&costs, p);
+            assert!(
+                e_norm <= e_bto + 1e-12,
+                "normal {e_norm} worse than BTO {e_bto}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_never_below_ideal_bound() {
+        let mut frng = StdRng::seed_from_u64(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let g = random_table(6, 6, &mut frng).unwrap();
+            let costs = costs_for(&g, 4);
+            let p = Partition::random(6, 3, &mut frng);
+            let ideal = costs.ideal_error();
+            let (e, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
+            assert!(e >= ideal - 1e-12);
+            let (eb, _) = opt_for_part_bto(&costs, p);
+            assert!(eb >= ideal - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bto_error_matches_materialised_column() {
+        let mut frng = StdRng::seed_from_u64(21);
+        let g = random_table(6, 4, &mut frng).unwrap();
+        let costs = costs_for(&g, 1);
+        let p = Partition::new(6, 0b110100).unwrap();
+        let (err, b) = opt_for_part_bto(&costs, p);
+        assert!((column_error(&costs, &b.to_bit_column()) - err).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bto_is_optimal_among_bto_patterns() {
+        // Exhaustively check on a tiny chart (b = 2 -> 16 patterns).
+        let mut frng = StdRng::seed_from_u64(33);
+        let g = random_table(4, 3, &mut frng).unwrap();
+        let costs = costs_for(&g, 1);
+        let p = Partition::new(4, 0b0011).unwrap();
+        let (err, _) = opt_for_part_bto(&costs, p);
+        for pat in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|c| (pat >> c) & 1 == 1).collect();
+            let b = BtoDecomp::new(p, v).unwrap();
+            assert!(column_error(&costs, &b.to_bit_column()) >= err - 1e-12);
+        }
+    }
+
+    #[test]
+    fn nd_never_worse_than_normal() {
+        // ND can emulate normal (F0 = F1), and each half is solved with the
+        // BTO-seeded alternating optimiser, so with the same (deterministic)
+        // seeding ND should not lose on these small cases.
+        let mut frng = StdRng::seed_from_u64(55);
+        for trial in 0..8 {
+            let g = random_table(6, 4, &mut frng).unwrap();
+            let costs = costs_for(&g, 2);
+            let p = Partition::random(6, 3, &mut frng);
+            let mut rng1 = StdRng::seed_from_u64(1000 + trial);
+            let mut rng2 = StdRng::seed_from_u64(1000 + trial);
+            let (e_norm, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng1);
+            let (e_nd, _) =
+                opt_for_part_nd(&costs, p, OptParams::default(), &mut rng2).unwrap();
+            assert!(
+                e_nd <= e_norm + 1e-9,
+                "trial {trial}: nd {e_nd} vs normal {e_norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn nd_error_matches_materialised_column() {
+        let mut frng = StdRng::seed_from_u64(60);
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = random_table(7, 4, &mut frng).unwrap();
+        let costs = costs_for(&g, 0);
+        let p = Partition::new(7, 0b0011101).unwrap();
+        let (err, nd) = opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng).unwrap();
+        assert!((column_error(&costs, &nd.to_bit_column()) - err).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nd_requires_two_bound_variables() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = TruthTable::from_fn(4, 2, |x| x % 4).unwrap();
+        let costs = costs_for(&g, 0);
+        let p = Partition::new(4, 0b0001).unwrap();
+        assert!(opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn opt_for_part_finds_global_optimum_on_small_charts() {
+        // Brute-force all 2^cols patterns on b = 3 charts and compare.
+        let mut frng = StdRng::seed_from_u64(88);
+        let mut rng = StdRng::seed_from_u64(89);
+        for _ in 0..5 {
+            let g = random_table(5, 4, &mut frng).unwrap();
+            let costs = costs_for(&g, 2);
+            let p = Partition::new(5, 0b00111).unwrap();
+            let chart_best = crate::exact::brute_force_optimal(&costs, p).0;
+            let (err, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng);
+            assert!(
+                (err - chart_best).abs() < 1e-12,
+                "alternating {err} vs brute force {chart_best}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut frng = StdRng::seed_from_u64(13);
+        let g = random_table(6, 4, &mut frng).unwrap();
+        let costs = costs_for(&g, 1);
+        let p = Partition::new(6, 0b011100).unwrap();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            opt_for_part(&costs, p, OptParams::default(), &mut rng)
+        };
+        let (e1, d1) = run(5);
+        let (e2, d2) = run(5);
+        assert_eq!(e1, e2);
+        assert_eq!(d1, d2);
+    }
+}

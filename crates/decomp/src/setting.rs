@@ -1,0 +1,732 @@
+//! Decomposition data types: pattern/type vectors and the three
+//! decomposition shapes (normal disjoint, BTO-restricted, non-disjoint).
+
+use dalut_boolfn::{Partition, TruthTable};
+use serde::{Deserialize, Serialize};
+
+/// The type of a row of the 2-D truth table (paper Theorem 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowType {
+    /// Type 1: the row is all zeros.
+    AllZero,
+    /// Type 2: the row is all ones.
+    AllOne,
+    /// Type 3: the row equals the pattern vector `V`.
+    Pattern,
+    /// Type 4: the row equals the complement of `V`.
+    Complement,
+}
+
+impl RowType {
+    /// The paper's 1-based numeric code for this type.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Self::AllZero => 1,
+            Self::AllOne => 2,
+            Self::Pattern => 3,
+            Self::Complement => 4,
+        }
+    }
+
+    /// Parses the paper's numeric code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::AllZero),
+            2 => Some(Self::AllOne),
+            3 => Some(Self::Pattern),
+            4 => Some(Self::Complement),
+            _ => None,
+        }
+    }
+
+    /// The cell value this row type produces given the pattern bit `v` of
+    /// the cell's column.
+    #[inline]
+    pub fn apply(self, v: bool) -> bool {
+        match self {
+            Self::AllZero => false,
+            Self::AllOne => true,
+            Self::Pattern => v,
+            Self::Complement => !v,
+        }
+    }
+}
+
+/// A disjoint decomposition `f̂(X) = F(φ(B), A)` of a single output bit,
+/// defined by a partition `ω`, a pattern vector `V` (one bit per bound-set
+/// assignment) and a type vector `T` (one type per free-set assignment).
+///
+/// # Examples
+///
+/// ```
+/// use dalut_decomp::{DisjointDecomp, RowType};
+/// use dalut_boolfn::Partition;
+///
+/// // Paper Example 1: A = {x0,x1} rows, B = {x2,x3} cols,
+/// // V = (0,1,1,0), T = (3,4,2,1).
+/// let d = DisjointDecomp::new(
+///     Partition::new(4, 0b1100).unwrap(),
+///     vec![false, true, true, false],
+///     vec![RowType::Pattern, RowType::Complement, RowType::AllOne, RowType::AllZero],
+/// ).unwrap();
+/// // phi = x2 XOR x3; row (x0,x1)=(0,0) is type 3 => f = phi there.
+/// assert!(d.eval_bit(0b0100));
+/// assert!(!d.eval_bit(0b1100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisjointDecomp {
+    partition: Partition,
+    pattern: Vec<bool>,
+    types: Vec<RowType>,
+}
+
+impl DisjointDecomp {
+    /// Creates a disjoint decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `pattern.len() != 2^|B|` or `types.len() != 2^|A|`.
+    pub fn new(
+        partition: Partition,
+        pattern: Vec<bool>,
+        types: Vec<RowType>,
+    ) -> Option<Self> {
+        if pattern.len() != partition.cols() || types.len() != partition.rows() {
+            return None;
+        }
+        Some(Self {
+            partition,
+            pattern,
+            types,
+        })
+    }
+
+    /// The variable partition `ω = (A, B)`.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The pattern vector `V`, indexed by bound-set assignment.
+    #[inline]
+    pub fn pattern(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// The type vector `T`, indexed by free-set assignment.
+    #[inline]
+    pub fn types(&self) -> &[RowType] {
+        &self.types
+    }
+
+    /// Evaluates the decomposed bit on flat input `x`.
+    #[inline]
+    pub fn eval_bit(&self, x: u32) -> bool {
+        let col = self.partition.col_of(x) as usize;
+        let row = self.partition.row_of(x) as usize;
+        self.types[row].apply(self.pattern[col])
+    }
+
+    /// Contents of the bound table (the function `φ`), indexed by the
+    /// bound-set assignment: exactly the pattern vector `V`.
+    #[inline]
+    pub fn bound_table(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// Contents of the free table (the function `F`), indexed by
+    /// `(row << 1) | φ` — the free-set assignment with `φ` as the LSB, the
+    /// address layout of the paper's Fig. 1(b).
+    pub fn free_table(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.types.len() * 2);
+        for &t in &self.types {
+            out.push(t.apply(false));
+            out.push(t.apply(true));
+        }
+        out
+    }
+
+    /// Materialises the decomposed bit as a column over all `2^n` inputs.
+    pub fn to_bit_column(&self) -> Vec<bool> {
+        (0..1u32 << self.partition.n())
+            .map(|x| self.eval_bit(x))
+            .collect()
+    }
+
+    /// Materialises as a single-output [`TruthTable`].
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_bits(self.partition.n(), &self.to_bit_column())
+            .expect("decomposition dimensions are valid by construction")
+    }
+
+    /// True if every row is [`RowType::Pattern`], i.e. the decomposition is
+    /// realisable in bound-table-only mode.
+    pub fn is_bto(&self) -> bool {
+        self.types.iter().all(|&t| t == RowType::Pattern)
+    }
+}
+
+/// A bound-table-only (BTO) decomposition: `f̂(X) = φ(B)`, independent of
+/// the free set. Equivalent to a [`DisjointDecomp`] whose rows are all
+/// type 3, but the free table can be clock-gated in hardware (paper §IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BtoDecomp {
+    partition: Partition,
+    pattern: Vec<bool>,
+}
+
+impl BtoDecomp {
+    /// Creates a BTO decomposition.
+    ///
+    /// Returns `None` if `pattern.len() != 2^|B|`.
+    pub fn new(partition: Partition, pattern: Vec<bool>) -> Option<Self> {
+        if pattern.len() != partition.cols() {
+            return None;
+        }
+        Some(Self { partition, pattern })
+    }
+
+    /// The variable partition.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The pattern vector `V` = bound-table contents.
+    #[inline]
+    pub fn pattern(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// Evaluates the bit on flat input `x`.
+    #[inline]
+    pub fn eval_bit(&self, x: u32) -> bool {
+        self.pattern[self.partition.col_of(x) as usize]
+    }
+
+    /// Materialises the bit column over all inputs.
+    pub fn to_bit_column(&self) -> Vec<bool> {
+        (0..1u32 << self.partition.n())
+            .map(|x| self.eval_bit(x))
+            .collect()
+    }
+
+    /// The equivalent all-type-3 disjoint decomposition.
+    pub fn to_disjoint(&self) -> DisjointDecomp {
+        DisjointDecomp::new(
+            self.partition,
+            self.pattern.clone(),
+            vec![RowType::Pattern; self.partition.rows()],
+        )
+        .expect("dimensions valid by construction")
+    }
+}
+
+/// Removes bit `s` from mask `mask` over `n` variables, shifting higher
+/// bits down by one (the index compression used when conditioning on a
+/// shared bit).
+#[inline]
+pub fn reduce_mask(mask: u32, s: usize) -> u32 {
+    let low = mask & ((1u32 << s) - 1);
+    let high = (mask >> (s + 1)) << s;
+    low | high
+}
+
+/// Removes bit `s` from input index `x` (same compression as
+/// [`reduce_mask`]).
+#[inline]
+pub fn reduce_index(x: u32, s: usize) -> u32 {
+    reduce_mask(x, s)
+}
+
+/// Inserts bit `value` at position `s` into reduced index `rx` (inverse of
+/// [`reduce_index`]).
+#[inline]
+pub fn expand_index(rx: u32, s: usize, value: bool) -> u32 {
+    let low = rx & ((1u32 << s) - 1);
+    let high = (rx >> s) << (s + 1);
+    low | high | (u32::from(value) << s)
+}
+
+/// A non-disjoint decomposition `f̂(X) = F(φ(B), A, x_s)` with a single
+/// shared bit `x_s ∈ B` (paper §IV-B1, Eq. (1)):
+///
+/// `f̂(X) = x̄_s · F0(φ0(B∖x_s), A) + x_s · F1(φ1(B∖x_s), A)`.
+///
+/// Each half is a disjoint decomposition over the reduced variable set
+/// `X ∖ {x_s}` (indices compressed with [`reduce_index`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonDisjointDecomp {
+    partition: Partition,
+    shared: u8,
+    half0: DisjointDecomp,
+    half1: DisjointDecomp,
+}
+
+impl NonDisjointDecomp {
+    /// Creates a non-disjoint decomposition from its two conditional
+    /// halves.
+    ///
+    /// Returns `None` if `shared` is not in the bound set, or the halves'
+    /// partitions are not the reduction of `partition` by `shared`.
+    pub fn new(
+        partition: Partition,
+        shared: usize,
+        half0: DisjointDecomp,
+        half1: DisjointDecomp,
+    ) -> Option<Self> {
+        if partition.bound_mask() & (1 << shared) == 0 {
+            return None;
+        }
+        let reduced_bound = reduce_mask(partition.bound_mask() & !(1u32 << shared), shared);
+        let reduced = Partition::new(partition.n() - 1, reduced_bound).ok()?;
+        if half0.partition() != reduced || half1.partition() != reduced {
+            return None;
+        }
+        Some(Self {
+            partition,
+            shared: shared as u8,
+            half0,
+            half1,
+        })
+    }
+
+    /// The (original, `n`-variable) partition.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The shared variable index `s` (`x_s ∈ B`).
+    #[inline]
+    pub fn shared(&self) -> usize {
+        self.shared as usize
+    }
+
+    /// The conditional half for `x_s = 0`.
+    #[inline]
+    pub fn half0(&self) -> &DisjointDecomp {
+        &self.half0
+    }
+
+    /// The conditional half for `x_s = 1`.
+    #[inline]
+    pub fn half1(&self) -> &DisjointDecomp {
+        &self.half1
+    }
+
+    /// Evaluates the bit on flat input `x` via Eq. (1).
+    #[inline]
+    pub fn eval_bit(&self, x: u32) -> bool {
+        let s = self.shared as usize;
+        let rx = reduce_index(x, s);
+        if (x >> s) & 1 == 1 {
+            self.half1.eval_bit(rx)
+        } else {
+            self.half0.eval_bit(rx)
+        }
+    }
+
+    /// Contents of the combined bound table
+    /// `φ(B) = x̄_s·φ0(B∖x_s) + x_s·φ1(B∖x_s)`, indexed by the bound-set
+    /// assignment of the *original* partition (so the table has `2^b`
+    /// entries, with `x_s` folded into the address).
+    pub fn bound_table(&self) -> Vec<bool> {
+        let bound_vars = self.partition.bound_vars();
+        let s_pos_in_bound = bound_vars
+            .iter()
+            .position(|&v| v as usize == self.shared as usize)
+            .expect("shared bit is in the bound set by construction");
+        (0..self.partition.cols())
+            .map(|col| {
+                let s_bit = (col >> s_pos_in_bound) & 1 == 1;
+                let reduced_col = reduce_index(col as u32, s_pos_in_bound) as usize;
+                if s_bit {
+                    self.half1.pattern()[reduced_col]
+                } else {
+                    self.half0.pattern()[reduced_col]
+                }
+            })
+            .collect()
+    }
+
+    /// Free-table contents for `F0` (addressed as in
+    /// [`DisjointDecomp::free_table`]).
+    pub fn free_table0(&self) -> Vec<bool> {
+        self.half0.free_table()
+    }
+
+    /// Free-table contents for `F1`.
+    pub fn free_table1(&self) -> Vec<bool> {
+        self.half1.free_table()
+    }
+
+    /// Materialises the bit column over all `2^n` inputs.
+    pub fn to_bit_column(&self) -> Vec<bool> {
+        (0..1u32 << self.partition.n())
+            .map(|x| self.eval_bit(x))
+            .collect()
+    }
+}
+
+/// Any of the three decomposition shapes, tagged by operating mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyDecomp {
+    /// Normal disjoint decomposition (free + bound tables active).
+    Normal(DisjointDecomp),
+    /// Bound-table-only decomposition (free table gated off).
+    Bto(BtoDecomp),
+    /// Non-disjoint decomposition (both free tables active).
+    NonDisjoint(NonDisjointDecomp),
+}
+
+impl AnyDecomp {
+    /// Evaluates the bit on flat input `x`.
+    #[inline]
+    pub fn eval_bit(&self, x: u32) -> bool {
+        match self {
+            Self::Normal(d) => d.eval_bit(x),
+            Self::Bto(d) => d.eval_bit(x),
+            Self::NonDisjoint(d) => d.eval_bit(x),
+        }
+    }
+
+    /// The partition over the original `n` variables.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        match self {
+            Self::Normal(d) => d.partition(),
+            Self::Bto(d) => d.partition(),
+            Self::NonDisjoint(d) => d.partition(),
+        }
+    }
+
+    /// Materialises the bit column over all `2^n` inputs.
+    pub fn to_bit_column(&self) -> Vec<bool> {
+        match self {
+            Self::Normal(d) => d.to_bit_column(),
+            Self::Bto(d) => d.to_bit_column(),
+            Self::NonDisjoint(d) => d.to_bit_column(),
+        }
+    }
+
+    /// Short human-readable mode name.
+    pub fn mode_name(&self) -> &'static str {
+        match self {
+            Self::Normal(_) => "normal",
+            Self::Bto(_) => "bto",
+            Self::NonDisjoint(_) => "nd",
+        }
+    }
+}
+
+/// A scored decomposition setting `s = (E, ω, V, T)` (paper §III-A): the
+/// decomposition plus the MED it was assigned during optimisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setting {
+    /// The MED `E` of the approximation this setting was scored with.
+    pub error: f64,
+    /// The decomposition itself.
+    pub decomp: AnyDecomp,
+}
+
+impl Setting {
+    /// Creates a setting.
+    pub fn new(error: f64, decomp: AnyDecomp) -> Self {
+        Self { error, decomp }
+    }
+}
+
+/// Convenience: evaluates a bit column described by `decomp` and splices it
+/// into output bit `bit` of `g_hat`.
+pub fn splice_bit(g_hat: &TruthTable, bit: usize, decomp: &AnyDecomp) -> TruthTable {
+    g_hat.with_bit_replaced(bit, |x| decomp.eval_bit(x))
+}
+
+/// Returns the φ function of a pattern vector as a sum-of-minterms string
+/// over the bound variables (used by examples to print paper-style
+/// formulas).
+pub fn pattern_to_minterms(pattern: &[bool], bound_vars: &[u32]) -> String {
+    let mut terms = Vec::new();
+    for (col, &v) in pattern.iter().enumerate() {
+        if !v {
+            continue;
+        }
+        let mut lits = Vec::new();
+        for (i, &var) in bound_vars.iter().enumerate() {
+            let set = (col >> i) & 1 == 1;
+            lits.push(if set {
+                format!("x{var}")
+            } else {
+                format!("~x{var}")
+            });
+        }
+        terms.push(lits.join("·"));
+    }
+    if terms.is_empty() {
+        "0".to_string()
+    } else {
+        terms.join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::InputDistribution;
+
+    fn example1() -> DisjointDecomp {
+        DisjointDecomp::new(
+            Partition::new(4, 0b1100).unwrap(),
+            vec![false, true, true, false],
+            vec![
+                RowType::Pattern,
+                RowType::Complement,
+                RowType::AllOne,
+                RowType::AllZero,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_type_codes_round_trip() {
+        for code in 1..=4u8 {
+            assert_eq!(RowType::from_code(code).unwrap().code(), code);
+        }
+        assert!(RowType::from_code(0).is_none());
+        assert!(RowType::from_code(5).is_none());
+    }
+
+    #[test]
+    fn row_type_apply_semantics() {
+        assert!(!RowType::AllZero.apply(true));
+        assert!(RowType::AllOne.apply(false));
+        assert!(RowType::Pattern.apply(true));
+        assert!(!RowType::Pattern.apply(false));
+        assert!(RowType::Complement.apply(false));
+    }
+
+    #[test]
+    fn example1_reproduces_paper_truth_table() {
+        // Expected 2-D table from Fig. 1(a): rows (x0,x1) 00,01,10,11 over
+        // cols (x2,x3) 00,01,10,11:
+        let rows: [[bool; 4]; 4] = [
+            [false, true, true, false],
+            [true, false, false, true],
+            [true, true, true, true],
+            [false, false, false, false],
+        ];
+        let d = example1();
+        for x in 0..16u32 {
+            let a = (x & 0b11) as usize;
+            let b = ((x >> 2) & 0b11) as usize;
+            assert_eq!(d.eval_bit(x), rows[a][b], "x={x:04b}");
+        }
+    }
+
+    #[test]
+    fn example1_phi_is_xor() {
+        let d = example1();
+        // phi(x2,x3) = x2 XOR x3 over cols 00,01,10,11.
+        assert_eq!(d.bound_table(), &[false, true, true, false]);
+    }
+
+    #[test]
+    fn example1_free_table_matches_big_f() {
+        // Paper: F(phi, x1, x2) = phi·~x1·~x2 + ~phi·~x1·x2 + x1·~x2, with
+        // rows enumerated in the order (x1,x2) = 00, 01, 10, 11. Our row
+        // index enumerates types() in the same order, so row bit 0 plays
+        // the paper's x2 and row bit 1 plays the paper's x1.
+        let d = example1();
+        let ft = d.free_table();
+        for row in 0..4usize {
+            for phi in [false, true] {
+                let px2 = row & 1 == 1;
+                let px1 = row >> 1 == 1;
+                // phi·~x1·~x2 + ~phi·~x1·x2 + x1·~x2, term by term.
+                let t3 = phi && !px1 && !px2;
+                let t4 = !phi && !px1 && px2;
+                let t2 = px1 && !px2;
+                let expect = t3 || t4 || t2;
+                assert_eq!(ft[(row << 1) | usize::from(phi)], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn free_and_bound_tables_compose_to_eval() {
+        let d = example1();
+        let p = d.partition();
+        for x in 0..16u32 {
+            let phi = d.bound_table()[p.col_of(x) as usize];
+            let f = d.free_table()[((p.row_of(x) as usize) << 1) | usize::from(phi)];
+            assert_eq!(f, d.eval_bit(x));
+        }
+    }
+
+    #[test]
+    fn new_rejects_wrong_lengths() {
+        let p = Partition::new(4, 0b1100).unwrap();
+        assert!(DisjointDecomp::new(p, vec![false; 3], vec![RowType::AllZero; 4]).is_none());
+        assert!(DisjointDecomp::new(p, vec![false; 4], vec![RowType::AllZero; 5]).is_none());
+        assert!(BtoDecomp::new(p, vec![true; 5]).is_none());
+    }
+
+    #[test]
+    fn bto_eval_ignores_free_set() {
+        let p = Partition::new(4, 0b0011).unwrap();
+        let b = BtoDecomp::new(p, vec![false, true, true, false]).unwrap();
+        for x in 0..16u32 {
+            // Changing free bits (x2,x3) must not change the output.
+            assert_eq!(b.eval_bit(x), b.eval_bit(x & 0b0011));
+        }
+        assert!(b.to_disjoint().is_bto());
+        // And the all-type-3 disjoint equivalent evaluates identically.
+        let d = b.to_disjoint();
+        for x in 0..16u32 {
+            assert_eq!(b.eval_bit(x), d.eval_bit(x));
+        }
+    }
+
+    #[test]
+    fn reduce_expand_index_round_trip() {
+        for s in 0..5usize {
+            for x in 0..32u32 {
+                let r = reduce_index(x, s);
+                let bit = (x >> s) & 1 == 1;
+                assert_eq!(expand_index(r, s, bit), x);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_mask_drops_selected_bit() {
+        assert_eq!(reduce_mask(0b10110, 1), 0b1010);
+        assert_eq!(reduce_mask(0b10110, 4), 0b0110);
+        assert_eq!(reduce_mask(0b10110, 0), 0b1011);
+    }
+
+    fn make_nd() -> NonDisjointDecomp {
+        // 5 vars, B = {x0,x1,x2}, A = {x3,x4}, shared s = x1.
+        let part = Partition::new(5, 0b00111).unwrap();
+        let reduced = Partition::new(4, 0b0011).unwrap();
+        let half0 = DisjointDecomp::new(
+            reduced,
+            vec![true, false, false, true], // phi0 = XNOR(x0, x2-reduced)
+            vec![
+                RowType::Pattern,
+                RowType::Pattern,
+                RowType::Pattern,
+                RowType::AllOne,
+            ],
+        )
+        .unwrap();
+        let half1 = DisjointDecomp::new(
+            reduced,
+            vec![true, false, true, false],
+            vec![
+                RowType::AllOne,
+                RowType::Pattern,
+                RowType::Pattern,
+                RowType::AllZero,
+            ],
+        )
+        .unwrap();
+        NonDisjointDecomp::new(part, 1, half0, half1).unwrap()
+    }
+
+    #[test]
+    fn nd_eval_selects_half_by_shared_bit() {
+        let nd = make_nd();
+        for x in 0..32u32 {
+            let rx = reduce_index(x, 1);
+            let expect = if (x >> 1) & 1 == 1 {
+                nd.half1().eval_bit(rx)
+            } else {
+                nd.half0().eval_bit(rx)
+            };
+            assert_eq!(nd.eval_bit(x), expect);
+        }
+    }
+
+    #[test]
+    fn nd_combined_bound_table_matches_halves() {
+        let nd = make_nd();
+        let bt = nd.bound_table();
+        let p = nd.partition();
+        // For every original input, phi from the combined table equals the
+        // selected half's pattern bit.
+        for x in 0..32u32 {
+            let col = p.col_of(x) as usize;
+            let rx = reduce_index(x, nd.shared());
+            let rcol = nd.half0().partition().col_of(rx) as usize;
+            let expect = if (x >> nd.shared()) & 1 == 1 {
+                nd.half1().pattern()[rcol]
+            } else {
+                nd.half0().pattern()[rcol]
+            };
+            assert_eq!(bt[col], expect, "x={x:05b}");
+        }
+    }
+
+    #[test]
+    fn nd_new_rejects_bad_shared_bit() {
+        let nd = make_nd();
+        let part = nd.partition();
+        // x3 is in the free set.
+        assert!(NonDisjointDecomp::new(
+            part,
+            3,
+            nd.half0().clone(),
+            nd.half1().clone()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn any_decomp_dispatch_consistency() {
+        let d = example1();
+        let any = AnyDecomp::Normal(d.clone());
+        assert_eq!(any.mode_name(), "normal");
+        for x in 0..16u32 {
+            assert_eq!(any.eval_bit(x), d.eval_bit(x));
+        }
+        let col = any.to_bit_column();
+        assert_eq!(col.len(), 16);
+        for x in 0..16u32 {
+            assert_eq!(col[x as usize], d.eval_bit(x));
+        }
+    }
+
+    #[test]
+    fn splice_bit_installs_decomposition() {
+        let g = TruthTable::from_fn(4, 3, |x| x % 8).unwrap();
+        let d = AnyDecomp::Normal(example1());
+        let spliced = splice_bit(&g, 2, &d);
+        let dist = InputDistribution::uniform(4).unwrap();
+        // Bits 0 and 1 untouched.
+        assert_eq!(
+            dalut_boolfn::metrics::bit_flip_rate(&g, &spliced, &dist, 0).unwrap(),
+            0.0
+        );
+        for x in 0..16u32 {
+            assert_eq!(spliced.output_bit(2, x), d.eval_bit(x));
+        }
+    }
+
+    #[test]
+    fn pattern_to_minterms_formats_example1_phi() {
+        let s = pattern_to_minterms(&[false, true, true, false], &[2, 3]);
+        assert_eq!(s, "x2·~x3 + ~x2·x3");
+    }
+
+    #[test]
+    fn setting_serde_round_trip() {
+        let s = Setting::new(1.5, AnyDecomp::Normal(example1()));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Setting = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the decomposition kernel.
+
+use dalut_boolfn::builder::{random_decomposable, random_table};
+use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+use dalut_decomp::{
+    bit_costs, column_error, opt_for_part, opt_for_part_nd, LsbFill, OptParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Functions built as F(phi(B), A) are recovered with zero error for
+    /// any bound mask, thanks to the ideal-row seeding.
+    #[test]
+    fn decomposable_functions_recovered(seed: u64, mask in 1u32..62) {
+        prop_assume!(mask != 0 && mask != 63);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = random_decomposable(6, mask, &mut rng).unwrap();
+        let part = Partition::new(6, mask).unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
+        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        prop_assert!(err < 1e-12);
+        prop_assert_eq!(d.to_truth_table(), f);
+    }
+
+    /// The paper's predictive LSB model never charges more than DALTA's
+    /// accurate fill, pointwise: assuming the best completion of the
+    /// unknown LSBs is by definition at most the accurate completion.
+    #[test]
+    fn predictive_cost_pointwise_below_accurate(seed: u64, bit in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_table(6, 5, &mut rng).unwrap();
+        let g_hat = random_table(6, 5, &mut rng).unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let pred = bit_costs(&g, &g_hat, bit, &dist, LsbFill::Predictive).unwrap();
+        let acc = bit_costs(&g, &g_hat, bit, &dist, LsbFill::Accurate).unwrap();
+        for x in 0..64usize {
+            prop_assert!(pred.c0[x] <= acc.c0[x] + 1e-12);
+            prop_assert!(pred.c1[x] <= acc.c1[x] + 1e-12);
+        }
+    }
+
+    /// With the approximation's LSBs equal to the accurate LSBs (round 1
+    /// state), FromApprox and Accurate produce identical costs.
+    #[test]
+    fn from_approx_equals_accurate_on_fresh_table(seed: u64, bit in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_table(5, 4, &mut rng).unwrap();
+        let dist = InputDistribution::uniform(5).unwrap();
+        // g_hat differs from g only in bits ABOVE `bit` — the LSBs below
+        // are still accurate, as in DALTA's first round.
+        let mut g_hat = g.clone();
+        for hi in (bit + 1)..4 {
+            let col: Vec<bool> = (0..32u32).map(|x| x % 3 == 0).collect();
+            g_hat.set_bit_column(hi, &col);
+        }
+        let a = bit_costs(&g, &g_hat, bit, &dist, LsbFill::FromApprox).unwrap();
+        let b = bit_costs(&g, &g_hat, bit, &dist, LsbFill::Accurate).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// ND total error equals the sum of its halves' errors under the
+    /// split cost arrays (Eq. (2) additivity).
+    #[test]
+    fn nd_error_is_additive(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_table(6, 4, &mut rng).unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
+        let part = Partition::new(6, 0b011010).unwrap();
+        let (err, nd) = opt_for_part_nd(&costs, part, OptParams::fast(), &mut rng).unwrap();
+        // Recompute the halves' contributions from the materialised column.
+        let (c0, c1) = costs.split_on_bit(nd.shared());
+        let e0 = column_error(&c0, &nd.half0().to_bit_column());
+        let e1 = column_error(&c1, &nd.half1().to_bit_column());
+        prop_assert!((err - (e0 + e1)).abs() < 1e-12);
+    }
+
+    /// The alternating optimisation never returns a worse result than
+    /// any single type-vector choice among the constant assignments.
+    #[test]
+    fn opt_beats_constant_columns(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_table(6, 3, &mut rng).unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
+        let part = Partition::new(6, 0b000111).unwrap();
+        let (err, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        let zero = costs.c0.iter().sum::<f64>();
+        let one = costs.c1.iter().sum::<f64>();
+        prop_assert!(err <= zero.min(one) + 1e-12);
+    }
+}
+
+/// Exhaustive check on a tiny instance: OptForPart with the default
+/// budget matches the brute-force optimum over every partition of a
+/// 4-variable function.
+#[test]
+fn opt_for_part_matches_brute_force_everywhere() {
+    let g = TruthTable::from_fn(4, 3, |x| (x * 5 + 1) % 8).unwrap();
+    let dist = InputDistribution::uniform(4).unwrap();
+    for bit in 0..3 {
+        let costs = bit_costs(&g, &g, bit, &dist, LsbFill::FromApprox).unwrap();
+        for mask in 1u32..15 {
+            let Ok(part) = Partition::new(4, mask) else { continue };
+            let (bf, _) = dalut_decomp::brute_force_optimal(&costs, part);
+            let mut rng = StdRng::seed_from_u64(1);
+            let (err, _) = opt_for_part(&costs, part, OptParams::default(), &mut rng);
+            assert!(
+                (err - bf).abs() < 1e-12,
+                "bit {bit} mask {mask:04b}: {err} vs brute force {bf}"
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! A built architecture instance and its characterisation (area, timing,
+//! energy per read — the paper's Fig. 5 metrics).
+
+use dalut_netlist::{
+    area_um2, critical_path_ns, power_report, CellLibrary, DomainId, NetId, Netlist,
+    NetlistError, PowerReport, Simulator,
+};
+use serde::{Deserialize, Serialize};
+
+/// A fully built hardware instance: netlist plus the ROM presets and
+/// clock-gating choices that realise one configuration.
+#[derive(Debug)]
+pub struct ArchInstance {
+    netlist: Netlist,
+    presets: Vec<(NetId, bool)>,
+    disabled: Vec<DomainId>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl ArchInstance {
+    pub(crate) fn new(
+        netlist: Netlist,
+        presets: Vec<(NetId, bool)>,
+        disabled: Vec<DomainId>,
+        inputs: usize,
+        outputs: usize,
+    ) -> Self {
+        Self {
+            netlist,
+            presets,
+            disabled,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The clock domains this configuration gates off.
+    pub fn disabled_domains(&self) -> &[DomainId] {
+        &self.disabled
+    }
+
+    /// Returns a *hardened* copy: the netlist run through constant
+    /// propagation and dead-cell elimination
+    /// ([`dalut_netlist::optimize`]), with the ROM presets carried over.
+    /// This models synthesising the chosen configuration as a fixed
+    /// function instead of deploying the reconfigurable fabric — the
+    /// statically-routed mux trees, pinned mode muxes, and any fully
+    /// gated-off tables fold away.
+    pub fn hardened(&self) -> ArchInstance {
+        let (netlist, _stats, map) = dalut_netlist::opt::optimize_mapped(&self.netlist);
+        let presets = self
+            .presets
+            .iter()
+            .filter_map(|&(q, v)| map[q.index()].map(|nq| (nq, v)))
+            .collect();
+        ArchInstance {
+            netlist,
+            presets,
+            disabled: self.disabled.clone(),
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
+    }
+
+    /// Renders the instance as structural Verilog, including an `initial`
+    /// block loading the ROM contents (without which the module would
+    /// not compute the configured function).
+    pub fn to_verilog(&self) -> String {
+        dalut_netlist::to_verilog_with_presets(&self.netlist, &self.presets)
+    }
+
+    /// Creates a simulator with ROM contents preset and gated domains
+    /// disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn simulator(&self) -> Result<Simulator<'_>, NetlistError> {
+        let mut sim = Simulator::new(&self.netlist)?;
+        for &(q, v) in &self.presets {
+            sim.preset_dff(q, v);
+        }
+        for &d in &self.disabled {
+            sim.set_domain_enabled(d, false);
+        }
+        Ok(sim)
+    }
+
+    /// Performs one read operation.
+    pub fn read(&self, sim: &mut Simulator<'_>, x: u32) -> u32 {
+        sim.eval_word(u64::from(x)) as u32
+    }
+
+    /// Simulates the given read sequence and returns the outputs plus the
+    /// energy report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn measure(
+        &self,
+        reads: &[u32],
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+    ) -> Result<(Vec<u32>, PowerReport), NetlistError> {
+        let mut sim = self.simulator()?;
+        let outs: Vec<u32> = reads.iter().map(|&x| self.read(&mut sim, x)).collect();
+        let report = power_report(&self.netlist, &sim, lib, clock_period_ns);
+        Ok((outs, report))
+    }
+}
+
+/// The characterisation record the Fig. 5 comparison is built from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchReport {
+    /// Total cell area, µm².
+    pub area_um2: f64,
+    /// Critical-path delay, ns.
+    pub critical_path_ns: f64,
+    /// Average energy per read operation, fJ.
+    pub energy_per_read_fj: f64,
+    /// The itemised energy of the measured window.
+    pub power: PowerReport,
+    /// Number of read operations measured.
+    pub reads: usize,
+}
+
+/// Characterises an instance over a read trace: area and timing come from
+/// static analysis, energy from simulating the reads at the given clock
+/// period (the paper measures the average energy of 1024 reads).
+///
+/// # Errors
+///
+/// Returns an error if the netlist has a combinational cycle.
+pub fn characterize(
+    inst: &ArchInstance,
+    reads: &[u32],
+    lib: &CellLibrary,
+    clock_period_ns: f64,
+) -> Result<ArchReport, NetlistError> {
+    let (_, power) = inst.measure(reads, lib, clock_period_ns)?;
+    Ok(ArchReport {
+        area_um2: area_um2(inst.netlist(), lib),
+        critical_path_ns: critical_path_ns(inst.netlist(), lib)?,
+        energy_per_read_fj: power.energy_per_cycle_fj(),
+        power,
+        reads: reads.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build_approx_lut, ArchStyle};
+    use dalut_core::ArchPolicy as Policy;
+    use dalut_boolfn::builder::random_table;
+    use dalut_boolfn::InputDistribution;
+    use dalut_core::{run_bs_sa, ArchPolicy, BsSaParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(seed: u64) -> (ArchInstance, dalut_core::ApproxLutConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_table(6, 3, &mut rng).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        (
+            build_approx_lut(&out.config, ArchStyle::Dalta).unwrap(),
+            out.config,
+        )
+    }
+
+    #[test]
+    fn measure_returns_matching_outputs() {
+        let (inst, cfg) = instance(1);
+        let lib = CellLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(2);
+        let reads: Vec<u32> = (0..64).map(|_| rng.random_range(0..64)).collect();
+        let (outs, power) = inst.measure(&reads, &lib, 1.0).unwrap();
+        for (x, y) in reads.iter().zip(&outs) {
+            assert_eq!(*y, cfg.eval(*x));
+        }
+        assert_eq!(power.cycles, 64);
+        assert!(power.total_energy_fj() > 0.0);
+    }
+
+    #[test]
+    fn characterize_reports_all_metrics() {
+        let (inst, _) = instance(3);
+        let lib = CellLibrary::nangate45();
+        let reads: Vec<u32> = (0..64).collect();
+        let rep = characterize(&inst, &reads, &lib, 1.0).unwrap();
+        assert!(rep.area_um2 > 0.0);
+        assert!(rep.critical_path_ns > 0.0);
+        assert!(rep.energy_per_read_fj > 0.0);
+        assert_eq!(rep.reads, 64);
+    }
+
+    #[test]
+    fn hardened_instance_is_equivalent_and_smaller() {
+        // BTO-Normal with gated bits folds dramatically when hardened.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_table(6, 3, &mut rng).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), Policy::bto_normal_paper()).unwrap();
+        let inst = build_approx_lut(&out.config, ArchStyle::BtoNormal).unwrap();
+        let hard = inst.hardened();
+        assert!(
+            hard.netlist().cell_count() < inst.netlist().cell_count(),
+            "hardening must fold static logic ({} vs {})",
+            hard.netlist().cell_count(),
+            inst.netlist().cell_count()
+        );
+        let mut s1 = inst.simulator().unwrap();
+        let mut s2 = hard.simulator().unwrap();
+        for x in 0..64u32 {
+            assert_eq!(inst.read(&mut s1, x), hard.read(&mut s2, x), "x={x:06b}");
+        }
+    }
+
+    #[test]
+    fn hardened_bto_bits_drop_their_free_tables() {
+        use dalut_core::{ApproxLutConfig, BitConfig};
+        use dalut_decomp::{AnyDecomp, BtoDecomp};
+        // A pure-BTO config: the hardened netlist should hold only the
+        // bound tables (plus muxes), with every free-table DFF removed.
+        let p = dalut_boolfn::Partition::new(6, 0b000111).unwrap();
+        let bits = (0..2usize)
+            .map(|bit| BitConfig {
+                bit,
+                decomp: AnyDecomp::Bto(
+                    BtoDecomp::new(p, (0..8).map(|c| c % 2 == 0).collect()).unwrap(),
+                ),
+                expected_error: 0.0,
+            })
+            .collect();
+        let cfg = ApproxLutConfig::new(6, 2, bits).unwrap();
+        let inst = build_approx_lut(&cfg, ArchStyle::BtoNormal).unwrap();
+        let hard = inst.hardened();
+        // 2 bits x 8-entry bound tables = 16 DFFs; free tables (2 x 32)
+        // are gone.
+        assert_eq!(hard.netlist().total_dffs(), 16);
+        let mut sim = hard.simulator().unwrap();
+        for x in 0..64u32 {
+            assert_eq!(hard.read(&mut sim, x), cfg.eval(x));
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_activity_not_reads_alone() {
+        // Reading the same address repeatedly must cost less switching
+        // energy than sweeping addresses.
+        let (inst, _) = instance(4);
+        let lib = CellLibrary::nangate45();
+        let same = vec![5u32; 64];
+        let sweep: Vec<u32> = (0..64).collect();
+        let (_, p_same) = inst.measure(&same, &lib, 1.0).unwrap();
+        let (_, p_sweep) = inst.measure(&sweep, &lib, 1.0).unwrap();
+        assert!(p_same.switching_energy_fj < p_sweep.switching_energy_fj);
+        // Clock + leakage identical for identical cycle counts.
+        assert!((p_same.clock_energy_fj - p_sweep.clock_energy_fj).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dalut-hw
+//!
+//! Hardware models of every architecture in the paper's Fig. 5
+//! comparison, built gate-for-gate on the [`dalut_netlist`] substrate:
+//!
+//! * [`build_approx_lut`] — maps an [`ApproxLutConfig`](dalut_core::ApproxLutConfig)
+//!   onto DALTA's rigid approximate single-output LUT (Fig. 1(b)), the
+//!   reconfigurable BTO-Normal (Fig. 2(b)) or BTO-Normal-ND (Fig. 4)
+//!   architecture — routing boxes, DFF-RAM bound/free tables, mode muxes
+//!   and per-table clock gating included;
+//! * [`rounding`] — the RoundOut / RoundIn baselines;
+//! * [`characterize`] — area, critical path and energy-per-read over a
+//!   read trace (the paper's 1024-read measurement).
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::TruthTable;
+//! use dalut_core::{ApproxLutBuilder, BsSaParams};
+//! use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+//! use dalut_netlist::CellLibrary;
+//!
+//! let target = TruthTable::from_fn(6, 3, |x| (x >> 3) ^ (x & 7)).unwrap();
+//! let outcome = ApproxLutBuilder::new(&target)
+//!     .bs_sa(BsSaParams::fast())
+//!     .run()
+//!     .unwrap();
+//! let inst = build_approx_lut(&outcome.config, ArchStyle::Dalta).unwrap();
+//! let reads: Vec<u32> = (0..64).collect();
+//! let report = characterize(&inst, &reads, &CellLibrary::nangate45(), 1.0).unwrap();
+//! assert!(report.area_um2 > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod instance;
+pub mod lut;
+pub mod routing;
+pub mod rounding;
+
+pub use arch::{build_approx_lut, ArchStyle, HwError};
+pub use instance::{characterize, ArchInstance, ArchReport};
+pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};
+pub use rounding::{build_round_in, build_round_out, round_in_table, round_out_table};

@@ -1,0 +1,336 @@
+//! DFF-RAM lookup tables: the paper implements every LUT as a RAM of D
+//! flip-flops read through a mux tree.
+
+use dalut_netlist::{DomainId, NetId, Netlist};
+
+/// A built LUT: its output net and the `(rom bit, value)` presets the
+/// simulator must apply before reading.
+#[derive(Debug, Clone)]
+pub struct LutInstance {
+    /// The read-port output net.
+    pub output: NetId,
+    /// ROM-bit presets (net, stored value).
+    pub presets: Vec<(NetId, bool)>,
+}
+
+/// Builds a single-output LUT holding `contents` (indexed by the address
+/// value, LSB-first address bits), with its storage DFFs in `domain`.
+///
+/// # Panics
+///
+/// Panics unless `contents.len() == 2^addr.len()`.
+pub fn dff_lut(
+    nl: &mut Netlist,
+    contents: &[bool],
+    addr: &[NetId],
+    domain: DomainId,
+) -> LutInstance {
+    assert_eq!(
+        contents.len(),
+        1usize << addr.len(),
+        "LUT contents must cover the address space"
+    );
+    let mut presets = Vec::with_capacity(contents.len());
+    let bits: Vec<NetId> = contents
+        .iter()
+        .map(|&v| {
+            let q = nl.rom_bit(domain);
+            presets.push((q, v));
+            q
+        })
+        .collect();
+    let output = nl.mux_tree(&bits, addr);
+    LutInstance { output, presets }
+}
+
+/// Builds a multi-output LUT (`words[x]` read at address `x`), one DFF
+/// column + mux tree per output bit. Used by the rounding baselines.
+///
+/// # Panics
+///
+/// Panics unless `words.len() == 2^addr.len()` and every word fits in
+/// `out_bits`.
+pub fn dff_lut_multi(
+    nl: &mut Netlist,
+    words: &[u32],
+    out_bits: usize,
+    addr: &[NetId],
+    domain: DomainId,
+) -> (Vec<NetId>, Vec<(NetId, bool)>) {
+    assert_eq!(
+        words.len(),
+        1usize << addr.len(),
+        "LUT contents must cover the address space"
+    );
+    let mut presets = Vec::with_capacity(words.len() * out_bits);
+    let mut outputs = Vec::with_capacity(out_bits);
+    for bit in 0..out_bits {
+        let contents: Vec<bool> = words
+            .iter()
+            .map(|&w| {
+                assert!(
+                    w < (1u64 << out_bits) as u32 || out_bits >= 32,
+                    "word does not fit in output width"
+                );
+                (w >> bit) & 1 == 1
+            })
+            .collect();
+        let lut = dff_lut(nl, &contents, addr, domain);
+        outputs.push(lut.output);
+        presets.extend(lut.presets);
+    }
+    (outputs, presets)
+}
+
+/// A writable DFF-RAM LUT: its read port plus the write-port nets.
+#[derive(Debug, Clone)]
+pub struct WritableLut {
+    /// The read-port output net.
+    pub output: NetId,
+    /// ROM-bit presets (net, initial value).
+    pub presets: Vec<(NetId, bool)>,
+    /// Write-data input net.
+    pub wdata: NetId,
+    /// Write-enable input net.
+    pub wen: NetId,
+    /// Write-address input nets (LSB first, same width as the read
+    /// address).
+    pub waddr: Vec<NetId>,
+}
+
+/// Builds a *writable* single-output LUT — the full "RAM consisting of D
+/// flip-flops" of the paper, reprogrammable at runtime: every storage
+/// bit holds its value unless the write decoder selects it while `wen`
+/// is high, in which case it captures `wdata` at the clock edge.
+///
+/// Costs one address decoder (an AND chain per entry over the true /
+/// complemented write-address lines) plus a capture mux per bit, on top
+/// of the read-only structure of [`dff_lut`].
+///
+/// # Panics
+///
+/// Panics unless `init.len() == 2^addr.len()`.
+pub fn dff_lut_writable(
+    nl: &mut Netlist,
+    init: &[bool],
+    addr: &[NetId],
+    wdata: NetId,
+    wen: NetId,
+    waddr: &[NetId],
+    domain: DomainId,
+) -> WritableLut {
+    assert_eq!(
+        init.len(),
+        1usize << addr.len(),
+        "LUT contents must cover the address space"
+    );
+    assert_eq!(addr.len(), waddr.len(), "read/write address width mismatch");
+    use dalut_netlist::CellKind;
+
+    // Shared complemented write-address lines.
+    let naddr: Vec<NetId> = waddr.iter().map(|&a| nl.inv(a)).collect();
+
+    let mut presets = Vec::with_capacity(init.len());
+    let mut bits = Vec::with_capacity(init.len());
+    for (entry, &v) in init.iter().enumerate() {
+        // Decoder term: AND over the address literals, then AND with wen.
+        let mut sel: Option<NetId> = None;
+        for (j, (&aj, &nj)) in waddr.iter().zip(&naddr).enumerate() {
+            let lit = if (entry >> j) & 1 == 1 { aj } else { nj };
+            sel = Some(match sel {
+                None => lit,
+                Some(acc) => nl.gate2(CellKind::And2, acc, lit),
+            });
+        }
+        let sel = nl.gate2(CellKind::And2, sel.expect("address width >= 1"), wen);
+        // The storage bit: D = sel ? wdata : Q. We must create the DFF
+        // first so the mux can reference Q; `rom_bit` gives a self-looped
+        // DFF whose D we then rewire through the capture mux.
+        let q = nl.rom_bit(domain);
+        let d = nl.mux2(q, wdata, sel);
+        nl.rewire_dff_input(q, d);
+        presets.push((q, v));
+        bits.push(q);
+    }
+    let output = nl.mux_tree(&bits, addr);
+    WritableLut {
+        output,
+        presets,
+        wdata,
+        wen,
+        waddr: waddr.to_vec(),
+    }
+}
+
+/// Gates an address bus with an enable net (AND per line): when the
+/// enable is 0 the downstream mux tree sees a constant address and stops
+/// toggling — how the paper "sets the enable signal to zero" for an idle
+/// free table.
+pub fn gate_address(nl: &mut Netlist, addr: &[NetId], enable: NetId) -> Vec<NetId> {
+    addr.iter()
+        .map(|&a| nl.gate2(dalut_netlist::CellKind::And2, a, enable))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_netlist::{Simulator, ROOT_DOMAIN};
+
+    fn read_all(contents: &[bool]) -> Vec<bool> {
+        let mut nl = Netlist::new("lut");
+        let addr = nl.input_bus("a", contents.len().trailing_zeros() as usize);
+        let lut = dff_lut(&mut nl, contents, &addr, ROOT_DOMAIN);
+        nl.output("y", lut.output);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        (0..contents.len() as u64)
+            .map(|x| sim.eval_word(x) == 1)
+            .collect()
+    }
+
+    #[test]
+    fn lut_reads_back_contents() {
+        let contents = [true, false, false, true, true, true, false, false];
+        assert_eq!(read_all(&contents), contents);
+    }
+
+    #[test]
+    fn single_entry_patterns() {
+        for i in 0..8usize {
+            let mut contents = [false; 8];
+            contents[i] = true;
+            assert_eq!(read_all(&contents), contents);
+        }
+    }
+
+    #[test]
+    fn multi_output_lut_reads_words() {
+        let words = [3u32, 0, 2, 1];
+        let mut nl = Netlist::new("mlut");
+        let addr = nl.input_bus("a", 2);
+        let (outs, presets) = dff_lut_multi(&mut nl, &words, 2, &addr, ROOT_DOMAIN);
+        for (i, o) in outs.iter().enumerate() {
+            nl.output(format!("y[{i}]"), *o);
+        }
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (q, v) in presets {
+            sim.preset_dff(q, v);
+        }
+        for (x, &w) in words.iter().enumerate() {
+            assert_eq!(sim.eval_word(x as u64), u64::from(w));
+        }
+    }
+
+    #[test]
+    fn gated_address_freezes_mux_tree() {
+        let mut nl = Netlist::new("g");
+        let addr = nl.input_bus("a", 3);
+        let en = nl.const0();
+        let gated = gate_address(&mut nl, &addr, en);
+        let contents = [true, false, true, false, true, false, true, false];
+        let lut = dff_lut(&mut nl, &contents, &gated, ROOT_DOMAIN);
+        nl.output("y", lut.output);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        // Sweep the address: with enable low, output is contents[0] and no
+        // mux toggles accumulate after initialisation.
+        sim.eval_word(0);
+        let before: u64 = sim.toggles().iter().sum();
+        for x in 0..8u64 {
+            assert_eq!(sim.eval_word(x), u64::from(contents[0]));
+        }
+        let after: u64 = sim.toggles().iter().sum();
+        // Only the primary-input nets themselves toggle.
+        let input_toggles: u64 = addr.iter().map(|&a| sim.toggle_count(a)).sum();
+        assert_eq!(after - before, input_toggles);
+    }
+
+    fn build_writable(init: &[bool]) -> (Netlist, WritableLut) {
+        let bits = init.len().trailing_zeros() as usize;
+        let mut nl = Netlist::new("wlut");
+        let addr = nl.input_bus("a", bits);
+        let wdata = nl.input("wdata");
+        let wen = nl.input("wen");
+        let waddr = nl.input_bus("wa", bits);
+        let lut = dff_lut_writable(&mut nl, init, &addr, wdata, wen, &waddr, ROOT_DOMAIN);
+        nl.output("y", lut.output);
+        (nl, lut)
+    }
+
+    /// Input word layout for the writable LUT: [addr | wdata | wen | waddr].
+    fn word(bits: usize, addr: u64, wdata: bool, wen: bool, waddr: u64) -> u64 {
+        addr | (u64::from(wdata) << bits) | (u64::from(wen) << (bits + 1))
+            | (waddr << (bits + 2))
+    }
+
+    #[test]
+    fn writable_lut_reads_initial_contents() {
+        let init = [true, false, true, true, false, false, true, false];
+        let (nl, lut) = build_writable(&init);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        for (x, &want) in init.iter().enumerate() {
+            assert_eq!(sim.eval_word(word(3, x as u64, false, false, 0)) == 1, want);
+        }
+    }
+
+    #[test]
+    fn writable_lut_write_then_read() {
+        let init = [false; 8];
+        let (nl, lut) = build_writable(&init);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        // Write 1 into entries 2 and 5.
+        sim.eval_word(word(3, 0, true, true, 2));
+        sim.eval_word(word(3, 0, true, true, 5));
+        for x in 0..8u64 {
+            let got = sim.eval_word(word(3, x, false, false, 0)) == 1;
+            assert_eq!(got, x == 2 || x == 5, "entry {x}");
+        }
+        // Overwrite entry 2 with 0 again.
+        sim.eval_word(word(3, 0, false, true, 2));
+        assert_eq!(sim.eval_word(word(3, 2, false, false, 0)), 0);
+        assert_eq!(sim.eval_word(word(3, 5, false, false, 0)), 1);
+    }
+
+    #[test]
+    fn writable_lut_ignores_writes_without_enable() {
+        let init = [false; 4];
+        let (nl, lut) = build_writable(&init);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        sim.eval_word(word(2, 0, true, false, 1)); // wen low
+        assert_eq!(sim.eval_word(word(2, 1, false, false, 0)), 0);
+    }
+
+    #[test]
+    fn writable_lut_survives_optimisation() {
+        // The optimisation pass must cope with the backward D-pin
+        // references the capture muxes introduce.
+        let init = [true, false, false, true];
+        let (nl, _) = build_writable(&init);
+        let (opt, stats) = dalut_netlist::optimize(&nl);
+        assert_eq!(opt.total_dffs(), 4);
+        assert!(stats.cells_after <= stats.cells_before);
+        assert!(dalut_netlist::equivalent_exhaustive(&nl, &opt).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the address space")]
+    fn lut_validates_contents_length() {
+        let mut nl = Netlist::new("bad");
+        let addr = nl.input_bus("a", 2);
+        let _ = dff_lut(&mut nl, &[true; 3], &addr, ROOT_DOMAIN);
+    }
+}

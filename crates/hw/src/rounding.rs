@@ -1,0 +1,177 @@
+//! The two rounding-based baseline architectures of the Fig. 5 comparison
+//! (paper §V-B): *RoundOut* drops the `q` output LSBs (full-depth table,
+//! narrower words) and *RoundIn* drops `w` input bits (shallower table,
+//! each block of `2^w` adjacent inputs answered by its median output).
+
+use crate::instance::ArchInstance;
+use crate::lut::dff_lut_multi;
+use dalut_boolfn::{BoolFnError, TruthTable};
+use dalut_netlist::{Netlist, ROOT_DOMAIN};
+
+/// The software model of RoundOut: output LSBs zeroed.
+///
+/// # Errors
+///
+/// Propagates table-construction errors.
+///
+/// # Panics
+///
+/// Panics if `q >= m`.
+pub fn round_out_table(g: &TruthTable, q: usize) -> Result<TruthTable, BoolFnError> {
+    assert!(q < g.outputs(), "q must leave at least one output bit");
+    TruthTable::from_fn(g.inputs(), g.outputs(), |x| (g.eval(x) >> q) << q)
+}
+
+/// The software model of RoundIn: inputs grouped into blocks of `2^w`
+/// adjacent codes; every input in a block returns the block's median
+/// output (the paper's construction).
+///
+/// # Errors
+///
+/// Propagates table-construction errors.
+///
+/// # Panics
+///
+/// Panics if `w >= n`.
+pub fn round_in_table(g: &TruthTable, w: usize) -> Result<TruthTable, BoolFnError> {
+    assert!(w < g.inputs(), "w must leave at least one address bit");
+    let block = 1usize << w;
+    let medians: Vec<u32> = g
+        .values()
+        .chunks(block)
+        .map(|chunk| {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        })
+        .collect();
+    TruthTable::from_fn(g.inputs(), g.outputs(), |x| medians[(x >> w) as usize])
+}
+
+/// Builds RoundOut hardware: a full-depth DFF LUT storing the `m − q`
+/// kept bits; the dropped LSB outputs are tied to constant 0 so the
+/// instance keeps the target's output width.
+pub fn build_round_out(g: &TruthTable, q: usize) -> ArchInstance {
+    assert!(q < g.outputs(), "q must leave at least one output bit");
+    let mut nl = Netlist::new("round_out");
+    let x = nl.input_bus("x", g.inputs());
+    let kept: Vec<u32> = g.values().iter().map(|&v| v >> q).collect();
+    let (outs, presets) = dff_lut_multi(&mut nl, &kept, g.outputs() - q, &x, ROOT_DOMAIN);
+    for k in 0..q {
+        let z = nl.const0();
+        nl.output(format!("y[{k}]"), z);
+    }
+    for (i, o) in outs.iter().enumerate() {
+        nl.output(format!("y[{}]", i + q), *o);
+    }
+    ArchInstance::new(nl, presets, Vec::new(), g.inputs(), g.outputs())
+}
+
+/// Builds RoundIn hardware: a `2^(n−w)`-entry LUT addressed by the upper
+/// input bits, holding the block medians at full output width.
+pub fn build_round_in(g: &TruthTable, w: usize) -> ArchInstance {
+    assert!(w < g.inputs(), "w must leave at least one address bit");
+    let model = round_in_table(g, w).expect("same dimensions as g");
+    let mut nl = Netlist::new("round_in");
+    let x = nl.input_bus("x", g.inputs());
+    let addr = &x[w..];
+    let medians: Vec<u32> = model
+        .values()
+        .iter()
+        .step_by(1 << w)
+        .copied()
+        .collect();
+    let (outs, presets) = dff_lut_multi(&mut nl, &medians, g.outputs(), addr, ROOT_DOMAIN);
+    for (i, o) in outs.iter().enumerate() {
+        nl.output(format!("y[{i}]"), *o);
+    }
+    ArchInstance::new(nl, presets, Vec::new(), g.inputs(), g.outputs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::{metrics, InputDistribution};
+
+    fn target() -> TruthTable {
+        TruthTable::from_fn(8, 8, |x| (x * 7 / 3) % 256).unwrap()
+    }
+
+    #[test]
+    fn round_out_zeroes_lsbs() {
+        let g = target();
+        let r = round_out_table(&g, 3).unwrap();
+        for x in 0..256u32 {
+            assert_eq!(r.eval(x), (g.eval(x) >> 3) << 3);
+            assert_eq!(r.eval(x) & 0b111, 0);
+        }
+    }
+
+    #[test]
+    fn round_out_med_grows_with_q() {
+        let g = target();
+        let d = InputDistribution::uniform(8).unwrap();
+        let mut prev = 0.0;
+        for q in 1..6 {
+            let r = round_out_table(&g, q).unwrap();
+            let med = metrics::med(&g, &r, &d).unwrap();
+            assert!(med >= prev);
+            prev = med;
+        }
+        // Truncating q LSBs loses on average about (2^q - 1)/2 on a
+        // uniformly mixing function.
+        let r = round_out_table(&g, 4).unwrap();
+        let med = metrics::med(&g, &r, &d).unwrap();
+        assert!(med > 5.0 && med < 10.5, "med = {med}");
+    }
+
+    #[test]
+    fn round_in_is_constant_per_block() {
+        let g = target();
+        let r = round_in_table(&g, 3).unwrap();
+        for x in 0..256u32 {
+            assert_eq!(r.eval(x), r.eval(x & !0b111));
+        }
+    }
+
+    #[test]
+    fn round_in_median_beats_first_element_on_monotone_ramp() {
+        let g = TruthTable::from_fn(6, 6, |x| x).unwrap();
+        let d = InputDistribution::uniform(6).unwrap();
+        let r = round_in_table(&g, 2).unwrap();
+        let med = metrics::med(&g, &r, &d).unwrap();
+        // Block {0,1,2,3} answered by its median element => errors
+        // {2,1,0,1} avg 1.0; a first-element table would average 1.5.
+        assert!((med - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_out_hardware_matches_model() {
+        let g = target();
+        let inst = build_round_out(&g, 3);
+        let model = round_out_table(&g, 3).unwrap();
+        let mut sim = inst.simulator().unwrap();
+        for x in (0..256u32).step_by(5) {
+            assert_eq!(inst.read(&mut sim, x), model.eval(x));
+        }
+    }
+
+    #[test]
+    fn round_in_hardware_matches_model() {
+        let g = target();
+        let inst = build_round_in(&g, 3);
+        let model = round_in_table(&g, 3).unwrap();
+        let mut sim = inst.simulator().unwrap();
+        for x in (0..256u32).step_by(3) {
+            assert_eq!(inst.read(&mut sim, x), model.eval(x));
+        }
+    }
+
+    #[test]
+    fn round_in_table_is_much_smaller() {
+        let g = target();
+        let full = build_round_out(&g, 1);
+        let small = build_round_in(&g, 4);
+        assert!(small.netlist().total_dffs() * 8 < full.netlist().total_dffs());
+    }
+}

@@ -1,0 +1,110 @@
+//! The routing box: statically configured input permutation
+//! (paper Fig. 1(b)).
+//!
+//! Hardware-wise each routed output is an `n`-to-1 mux tree whose select
+//! lines are tied to configuration constants, so the box costs real area
+//! and (input-driven) switching power but routes statically — matching
+//! the paper's reconfigurable-but-statically-programmed routing box.
+
+use dalut_netlist::{NetId, Netlist};
+
+/// Builds a routing box: `result[j] = inputs[perm[j]]`.
+///
+/// # Panics
+///
+/// Panics if `perm` references an input out of range or `inputs` is
+/// empty.
+pub fn routing_box(nl: &mut Netlist, inputs: &[NetId], perm: &[usize]) -> Vec<NetId> {
+    assert!(!inputs.is_empty(), "routing box needs inputs");
+    let n = inputs.len();
+    let sel_bits = n.next_power_of_two().trailing_zeros() as usize;
+    // Pad the leaf set to a power of two with input 0 (never selected).
+    let mut leaves: Vec<NetId> = inputs.to_vec();
+    leaves.resize(1 << sel_bits, inputs[0]);
+
+    perm.iter()
+        .map(|&src| {
+            assert!(src < n, "permutation references input {src} of {n}");
+            let sel: Vec<NetId> = (0..sel_bits)
+                .map(|b| nl.constant((src >> b) & 1 == 1))
+                .collect();
+            nl.mux_tree(&leaves, &sel)
+        })
+        .collect()
+}
+
+/// The permutation an architecture uses to route the bound set to the low
+/// positions `x'_1..x'_b` and the free set above them, both in ascending
+/// variable order: `perm[j]` is the source variable of routed position
+/// `j`.
+pub fn bound_first_permutation(partition: dalut_boolfn::Partition) -> Vec<usize> {
+    let mut perm: Vec<usize> = partition
+        .bound_vars()
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
+    perm.extend(partition.free_vars().iter().map(|&v| v as usize));
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::Partition;
+    use dalut_netlist::Simulator;
+
+    fn route(n: usize, perm: &[usize], word: u64) -> u64 {
+        let mut nl = Netlist::new("route");
+        let ins = nl.input_bus("x", n);
+        let outs = routing_box(&mut nl, &ins, perm);
+        for (j, o) in outs.iter().enumerate() {
+            nl.output(format!("y[{j}]"), *o);
+        }
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.eval_word(word)
+    }
+
+    #[test]
+    fn identity_permutation_passes_through() {
+        let perm: Vec<usize> = (0..5).collect();
+        for w in [0u64, 0b10110, 0b11111] {
+            assert_eq!(route(5, &perm, w), w);
+        }
+    }
+
+    #[test]
+    fn reversal_permutation_reverses_bits() {
+        let perm: Vec<usize> = (0..4).rev().collect();
+        assert_eq!(route(4, &perm, 0b0001), 0b1000);
+        assert_eq!(route(4, &perm, 0b0011), 0b1100);
+    }
+
+    #[test]
+    fn non_power_of_two_width_works() {
+        // 6 inputs -> leaves padded to 8.
+        let perm = [5usize, 4, 3, 2, 1, 0];
+        assert_eq!(route(6, &perm, 0b000001), 0b100000);
+        assert_eq!(route(6, &perm, 0b101010), 0b010101);
+    }
+
+    #[test]
+    fn bound_first_permutation_layout() {
+        // n = 6, B = {x1, x4}, A = {x0, x2, x3, x5}.
+        let p = Partition::new(6, 0b010010).unwrap();
+        let perm = bound_first_permutation(p);
+        assert_eq!(perm, vec![1, 4, 0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn routed_bound_projection_matches_col_of() {
+        let p = Partition::new(6, 0b011001).unwrap();
+        let perm = bound_first_permutation(p);
+        for x in [0u64, 0b101101, 0b010110, 0b111111] {
+            let routed = route(6, &perm, x);
+            let col = u64::from(p.col_of(x as u32));
+            assert_eq!(routed & 0b111, col, "x={x:06b}");
+            let row = u64::from(p.row_of(x as u32));
+            assert_eq!(routed >> 3, row);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Cell and net primitives of the gate-level netlist.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a net. Every cell drives exactly one net, whose id equals
+/// the cell's index, so `NetId` doubles as a cell id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The driving cell's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a cell. All cells drive a single output net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Primary input (value supplied per cycle).
+    Input,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 multiplexer: inputs `[a, b, sel]`, output `sel ? b : a`.
+    Mux2,
+    /// D flip-flop: input `[d]`; holds state, updated on the clock edge of
+    /// its clock domain (when that domain is enabled).
+    Dff,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        match self {
+            Self::Input | Self::Const0 | Self::Const1 => 0,
+            Self::Inv | Self::Buf | Self::Dff => 1,
+            Self::And2 | Self::Or2 | Self::Nand2 | Self::Nor2 | Self::Xor2 | Self::Xnor2 => 2,
+            Self::Mux2 => 3,
+        }
+    }
+
+    /// True for the sequential cell kind.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, Self::Dff)
+    }
+
+    /// Combinational evaluation (not defined for `Input`/`Dff`).
+    #[inline]
+    pub fn eval(self, ins: &[bool]) -> bool {
+        match self {
+            Self::Const0 => false,
+            Self::Const1 => true,
+            Self::Inv => !ins[0],
+            Self::Buf => ins[0],
+            Self::And2 => ins[0] && ins[1],
+            Self::Or2 => ins[0] || ins[1],
+            Self::Nand2 => !(ins[0] && ins[1]),
+            Self::Nor2 => !(ins[0] || ins[1]),
+            Self::Xor2 => ins[0] ^ ins[1],
+            Self::Xnor2 => !(ins[0] ^ ins[1]),
+            Self::Mux2 => {
+                if ins[2] {
+                    ins[1]
+                } else {
+                    ins[0]
+                }
+            }
+            Self::Input | Self::Dff => {
+                unreachable!("Input/Dff values come from the simulator state")
+            }
+        }
+    }
+
+    /// All kinds (used by the library's coverage check).
+    pub fn all() -> [CellKind; 13] {
+        use CellKind::*;
+        [
+            Input, Const0, Const1, Inv, Buf, And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Dff,
+        ]
+    }
+}
+
+/// A cell instance: kind, up to three input nets, and (for DFFs) a clock
+/// domain. Stored compactly — large LUT netlists reach millions of cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The cell kind.
+    pub kind: CellKind,
+    pub(crate) inputs: [NetId; 3],
+    /// Clock-domain index for DFFs (0 is the always-on default domain).
+    pub(crate) domain: u16,
+}
+
+impl Cell {
+    /// The cell's input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs[..self.kind.arity()]
+    }
+
+    /// The DFF's clock domain (always 0 for combinational cells).
+    pub fn domain(&self) -> usize {
+        self.domain as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(CellKind::Input.arity(), 0);
+        assert_eq!(CellKind::Inv.arity(), 1);
+        assert_eq!(CellKind::Xor2.arity(), 2);
+        assert_eq!(CellKind::Mux2.arity(), 3);
+        assert_eq!(CellKind::Dff.arity(), 1);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use CellKind::*;
+        let t = true;
+        let f = false;
+        assert!(!Const0.eval(&[]));
+        assert!(Const1.eval(&[]));
+        assert!(Inv.eval(&[f]));
+        assert!(Buf.eval(&[t]));
+        for (a, b) in [(f, f), (f, t), (t, f), (t, t)] {
+            assert_eq!(And2.eval(&[a, b]), a && b);
+            assert_eq!(Or2.eval(&[a, b]), a || b);
+            assert_eq!(Nand2.eval(&[a, b]), !(a && b));
+            assert_eq!(Nor2.eval(&[a, b]), !(a || b));
+            assert_eq!(Xor2.eval(&[a, b]), a ^ b);
+            assert_eq!(Xnor2.eval(&[a, b]), !(a ^ b));
+            for s in [f, t] {
+                assert_eq!(Mux2.eval(&[a, b, s]), if s { b } else { a });
+            }
+        }
+    }
+
+    #[test]
+    fn only_dff_is_sequential() {
+        for k in CellKind::all() {
+            assert_eq!(k.is_sequential(), matches!(k, CellKind::Dff));
+        }
+    }
+
+    #[test]
+    fn cell_is_compact() {
+        // The layout matters: multi-million-cell LUTs must stay in RAM.
+        assert!(std::mem::size_of::<Cell>() <= 16);
+    }
+}

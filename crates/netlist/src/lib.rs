@@ -1,0 +1,62 @@
+//! # dalut-netlist
+//!
+//! A gate-level netlist substrate standing in for the paper's Synopsys
+//! DC / VCS / PrimeTime + Nangate 45 nm flow (DESIGN.md §3):
+//!
+//! * [`Netlist`] — cells (gates, muxes, D flip-flops), named ports, clock
+//!   domains, and construction helpers (mux trees, retained "ROM" bits);
+//! * [`Simulator`] — cycle-accurate two-state simulation with per-net
+//!   toggle counting and per-domain clock-gating (the VCS substitute);
+//! * [`power_report`] — activity-based energy itemised into switching,
+//!   clock and leakage components (the PrimeTime substitute);
+//! * [`critical_path_ns`] / [`area_um2`] — static timing and area (the DC
+//!   report substitute);
+//! * [`to_verilog`] — structural Verilog export of any netlist;
+//! * [`CellLibrary`] — Nangate-45-inspired per-cell constants.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_netlist::{CellKind, CellLibrary, Netlist, Simulator, power_report};
+//!
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let s = nl.gate2(CellKind::Xor2, a, b);
+//! let c = nl.gate2(CellKind::And2, a, b);
+//! nl.output("sum", s);
+//! nl.output("carry", c);
+//!
+//! let mut sim = Simulator::new(&nl).unwrap();
+//! assert_eq!(sim.eval_word(0b11), 0b10); // 1 + 1 = carry, no sum
+//! let report = power_report(&nl, &sim, &CellLibrary::nangate45(), 1.0);
+//! assert!(report.total_energy_fj() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod equiv;
+pub mod library;
+pub mod netlist;
+pub mod opt;
+pub mod power;
+pub mod sim;
+pub mod timing;
+pub mod vcd;
+pub mod verilog;
+pub mod vsim;
+
+pub use cell::{Cell, CellKind, NetId};
+pub use equiv::{equivalent_exhaustive, equivalent_random};
+pub use library::{CellLibrary, CellParams};
+pub use netlist::{DomainId, Netlist, NetlistError, ROOT_DOMAIN};
+pub use opt::{optimize, OptStats};
+pub use power::{power_report, PowerReport};
+pub use sim::Simulator;
+pub use timing::{area_um2, critical_path_ns};
+pub use vcd::VcdRecorder;
+pub use verilog::{to_verilog, to_verilog_with_presets};
+pub use vsim::{VerilogModule, VerilogSim};

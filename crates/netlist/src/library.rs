@@ -1,0 +1,243 @@
+//! Technology cell library: per-cell area, delay, switching energy and
+//! leakage, plus clocking costs.
+//!
+//! The paper synthesises its architectures with Synopsys DC against the
+//! Nangate 45 nm open cell library and measures power with PrimeTime. We
+//! substitute a constant-per-cell model with Nangate-45-inspired numbers
+//! (DESIGN.md §3): absolute values are approximate, but Fig. 5 compares
+//! *ratios* between architectures built from the same cells, which the
+//! model preserves by construction.
+
+use crate::cell::CellKind;
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of one cell type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellParams {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Pin-to-output propagation delay in ns.
+    pub delay_ns: f64,
+    /// Energy per output toggle in fJ.
+    pub switch_energy_fj: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+const ZERO: CellParams = CellParams {
+    area_um2: 0.0,
+    delay_ns: 0.0,
+    switch_energy_fj: 0.0,
+    leakage_nw: 0.0,
+};
+
+/// A complete cell library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Library name (for reports).
+    pub name: String,
+    inv: CellParams,
+    buf: CellParams,
+    and2: CellParams,
+    or2: CellParams,
+    nand2: CellParams,
+    nor2: CellParams,
+    xor2: CellParams,
+    xnor2: CellParams,
+    mux2: CellParams,
+    dff: CellParams,
+    /// Clock-pin energy charged to every DFF in an *enabled* clock domain,
+    /// every cycle, in fJ (this is what clock gating saves).
+    pub dff_clock_energy_fj: f64,
+    /// DFF clock-to-Q delay in ns (timing-path launch cost).
+    pub dff_clk_to_q_ns: f64,
+    /// Area overhead of one integrated clock-gating cell, in µm².
+    pub icg_area_um2: f64,
+    /// Per-cycle energy of one enabled clock-gating cell, in fJ.
+    pub icg_energy_fj: f64,
+}
+
+impl CellLibrary {
+    /// A Nangate-45-nm-inspired library (typical corner, rounded values).
+    pub fn nangate45() -> Self {
+        Self {
+            name: "nangate45-inspired".to_string(),
+            inv: CellParams {
+                area_um2: 0.80,
+                delay_ns: 0.025,
+                switch_energy_fj: 0.55,
+                leakage_nw: 12.0,
+            },
+            buf: CellParams {
+                area_um2: 1.06,
+                delay_ns: 0.040,
+                switch_energy_fj: 0.75,
+                leakage_nw: 16.0,
+            },
+            and2: CellParams {
+                area_um2: 1.33,
+                delay_ns: 0.050,
+                switch_energy_fj: 1.00,
+                leakage_nw: 22.0,
+            },
+            or2: CellParams {
+                area_um2: 1.33,
+                delay_ns: 0.052,
+                switch_energy_fj: 1.00,
+                leakage_nw: 22.0,
+            },
+            nand2: CellParams {
+                area_um2: 1.06,
+                delay_ns: 0.035,
+                switch_energy_fj: 0.80,
+                leakage_nw: 18.0,
+            },
+            nor2: CellParams {
+                area_um2: 1.06,
+                delay_ns: 0.038,
+                switch_energy_fj: 0.80,
+                leakage_nw: 18.0,
+            },
+            xor2: CellParams {
+                area_um2: 1.86,
+                delay_ns: 0.080,
+                switch_energy_fj: 1.60,
+                leakage_nw: 40.0,
+            },
+            xnor2: CellParams {
+                area_um2: 1.86,
+                delay_ns: 0.082,
+                switch_energy_fj: 1.60,
+                leakage_nw: 40.0,
+            },
+            mux2: CellParams {
+                area_um2: 1.86,
+                delay_ns: 0.070,
+                switch_energy_fj: 1.40,
+                leakage_nw: 35.0,
+            },
+            dff: CellParams {
+                area_um2: 4.52,
+                delay_ns: 0.0, // D-pin has no combinational propagation
+                switch_energy_fj: 1.80,
+                leakage_nw: 90.0,
+            },
+            dff_clock_energy_fj: 0.90,
+            dff_clk_to_q_ns: 0.090,
+            icg_area_um2: 5.0,
+            icg_energy_fj: 2.0,
+        }
+    }
+
+    /// Returns a copy with every area, delay, switching-energy and
+    /// leakage value multiplied by the given factors (simple
+    /// technology-scaling model). Useful for checking that *relative*
+    /// architecture comparisons are invariant under library scaling.
+    #[must_use]
+    pub fn scaled(&self, area: f64, delay: f64, energy: f64, leakage: f64) -> Self {
+        let sc = |p: CellParams| CellParams {
+            area_um2: p.area_um2 * area,
+            delay_ns: p.delay_ns * delay,
+            switch_energy_fj: p.switch_energy_fj * energy,
+            leakage_nw: p.leakage_nw * leakage,
+        };
+        Self {
+            name: format!("{}-scaled", self.name),
+            inv: sc(self.inv),
+            buf: sc(self.buf),
+            and2: sc(self.and2),
+            or2: sc(self.or2),
+            nand2: sc(self.nand2),
+            nor2: sc(self.nor2),
+            xor2: sc(self.xor2),
+            xnor2: sc(self.xnor2),
+            mux2: sc(self.mux2),
+            dff: sc(self.dff),
+            dff_clock_energy_fj: self.dff_clock_energy_fj * energy,
+            dff_clk_to_q_ns: self.dff_clk_to_q_ns * delay,
+            icg_area_um2: self.icg_area_um2 * area,
+            icg_energy_fj: self.icg_energy_fj * energy,
+        }
+    }
+
+    /// Parameters of a cell kind (`Input`/`Const*` are free).
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        match kind {
+            CellKind::Input | CellKind::Const0 | CellKind::Const1 => ZERO,
+            CellKind::Inv => self.inv,
+            CellKind::Buf => self.buf,
+            CellKind::And2 => self.and2,
+            CellKind::Or2 => self.or2,
+            CellKind::Nand2 => self.nand2,
+            CellKind::Nor2 => self.nor2,
+            CellKind::Xor2 => self.xor2,
+            CellKind::Xnor2 => self.xnor2,
+            CellKind::Mux2 => self.mux2,
+            CellKind::Dff => self.dff,
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::nangate45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_parameters() {
+        let lib = CellLibrary::nangate45();
+        for k in CellKind::all() {
+            let p = lib.params(k);
+            assert!(p.area_um2 >= 0.0 && p.delay_ns >= 0.0);
+            assert!(p.switch_energy_fj >= 0.0 && p.leakage_nw >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sources_are_free() {
+        let lib = CellLibrary::nangate45();
+        for k in [CellKind::Input, CellKind::Const0, CellKind::Const1] {
+            assert_eq!(lib.params(k).area_um2, 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_cell_ordering_is_plausible() {
+        // The model's ratios drive every architecture comparison; pin the
+        // basic ordering so a library edit cannot silently invert them.
+        let lib = CellLibrary::nangate45();
+        assert!(lib.params(CellKind::Inv).area_um2 < lib.params(CellKind::Mux2).area_um2);
+        assert!(lib.params(CellKind::Mux2).area_um2 < lib.params(CellKind::Dff).area_um2);
+        assert!(lib.params(CellKind::Nand2).delay_ns < lib.params(CellKind::Xor2).delay_ns);
+        assert!(lib.dff_clock_energy_fj > 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_every_field() {
+        let lib = CellLibrary::nangate45();
+        let s = lib.scaled(2.0, 3.0, 4.0, 5.0);
+        for k in CellKind::all() {
+            let a = lib.params(k);
+            let b = s.params(k);
+            assert!((b.area_um2 - 2.0 * a.area_um2).abs() < 1e-12);
+            assert!((b.delay_ns - 3.0 * a.delay_ns).abs() < 1e-12);
+            assert!((b.switch_energy_fj - 4.0 * a.switch_energy_fj).abs() < 1e-12);
+            assert!((b.leakage_nw - 5.0 * a.leakage_nw).abs() < 1e-12);
+        }
+        assert!((s.dff_clock_energy_fj - 4.0 * lib.dff_clock_energy_fj).abs() < 1e-12);
+        assert!((s.icg_area_um2 - 2.0 * lib.icg_area_um2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn library_serde_round_trip() {
+        let lib = CellLibrary::nangate45();
+        let json = serde_json::to_string(&lib).unwrap();
+        let back: CellLibrary = serde_json::from_str(&json).unwrap();
+        assert_eq!(lib, back);
+    }
+}

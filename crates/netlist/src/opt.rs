@@ -1,0 +1,542 @@
+//! Netlist optimisation: constant propagation and dead-cell elimination.
+//!
+//! The architectures carry statically configured logic — routing-box mux
+//! trees whose selects are constants, mode muxes pinned to one input,
+//! enable-AND gates with a constant side. A synthesis tool (the paper's
+//! DC run) folds all of that; this pass is the equivalent step for our
+//! netlists, so area/power can be reported both for the *reconfigurable*
+//! fabric (unoptimised) and for a *hardened* configuration (optimised).
+
+use crate::cell::{Cell, CellKind, NetId};
+use crate::netlist::Netlist;
+
+/// What a net is known to be after constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Known {
+    False,
+    True,
+    /// Identical to another net (wire alias).
+    Alias(NetId),
+    /// A live, genuinely dynamic net.
+    Dynamic,
+}
+
+/// Statistics of one optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Cells in the input netlist.
+    pub cells_before: usize,
+    /// Cells in the optimised netlist.
+    pub cells_after: usize,
+    /// Cells whose outputs were proven constant.
+    pub constants_folded: usize,
+    /// Cells replaced by a wire to one of their inputs.
+    pub wires_folded: usize,
+}
+
+impl OptStats {
+    /// Fraction of cells removed.
+    pub fn reduction(&self) -> f64 {
+        if self.cells_before == 0 {
+            0.0
+        } else {
+            1.0 - self.cells_after as f64 / self.cells_before as f64
+        }
+    }
+}
+
+fn resolve(known: &[Known], mut id: NetId) -> Known {
+    // Follow alias chains (bounded: aliases always point to earlier
+    // cells, so this terminates).
+    loop {
+        match known[id.index()] {
+            Known::Alias(next) => id = next,
+            Known::False => return Known::False,
+            Known::True => return Known::True,
+            Known::Dynamic => return Known::Alias(id),
+        }
+    }
+}
+
+/// Folds one cell given the resolved knowledge about its inputs.
+/// Returns what its output is known to be.
+fn fold(cell: &Cell, known: &[Known]) -> Known {
+    use Known::{Alias, Dynamic, False, True};
+    let kind = cell.kind;
+    let ins: Vec<Known> = cell.inputs().iter().map(|&i| resolve(known, i)).collect();
+    let cbool = |k: &Known| match k {
+        False => Some(false),
+        True => Some(true),
+        _ => None,
+    };
+    match kind {
+        CellKind::Input | CellKind::Dff => Dynamic,
+        CellKind::Const0 => False,
+        CellKind::Const1 => True,
+        CellKind::Buf => ins[0],
+        CellKind::Inv => match ins[0] {
+            False => True,
+            True => False,
+            _ => Dynamic,
+        },
+        CellKind::And2 | CellKind::Nand2 => {
+            let inverted = kind == CellKind::Nand2;
+            match (cbool(&ins[0]), cbool(&ins[1])) {
+                (Some(false), _) | (_, Some(false)) => constant(inverted),
+                (Some(true), Some(true)) => constant(!inverted),
+                (Some(true), None) if !inverted => ins[1],
+                (None, Some(true)) if !inverted => ins[0],
+                _ => Dynamic,
+            }
+        }
+        CellKind::Or2 | CellKind::Nor2 => {
+            let inverted = kind == CellKind::Nor2;
+            match (cbool(&ins[0]), cbool(&ins[1])) {
+                (Some(true), _) | (_, Some(true)) => constant(!inverted),
+                (Some(false), Some(false)) => constant(inverted),
+                (Some(false), None) if !inverted => ins[1],
+                (None, Some(false)) if !inverted => ins[0],
+                _ => Dynamic,
+            }
+        }
+        CellKind::Xor2 | CellKind::Xnor2 => {
+            match (cbool(&ins[0]), cbool(&ins[1])) {
+                (Some(a), Some(b)) => constant((a ^ b) ^ (kind == CellKind::Xnor2)),
+                _ => {
+                    // x ^ x and x ^ ~x need structural identity, which the
+                    // alias resolution gives us.
+                    if let (Alias(a), Alias(b)) = (ins[0], ins[1]) {
+                        if a == b {
+                            return constant(kind == CellKind::Xnor2);
+                        }
+                    }
+                    Dynamic
+                }
+            }
+        }
+        CellKind::Mux2 => match cbool(&ins[2]) {
+            Some(false) => ins[0],
+            Some(true) => ins[1],
+            None => {
+                // Both data inputs equal (constant or same net).
+                match (ins[0], ins[1]) {
+                    (False, False) => False,
+                    (True, True) => True,
+                    (Alias(a), Alias(b)) if a == b => Alias(a),
+                    _ => Dynamic,
+                }
+            }
+        },
+    }
+}
+
+fn constant(v: bool) -> Known {
+    if v {
+        Known::True
+    } else {
+        Known::False
+    }
+}
+
+/// Optimises a netlist: propagates constants forward, folds
+/// trivially-reducible gates into wires, then removes every cell that no
+/// output, DFF or live cell transitively depends on. Port order, clock
+/// domains and observable behaviour are preserved.
+///
+/// Returns the optimised netlist and the statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_netlist::{equivalent_exhaustive, optimize, CellKind, Netlist};
+///
+/// let mut nl = Netlist::new("fold");
+/// let a = nl.input("a");
+/// let zero = nl.const0();
+/// let dead = nl.gate2(CellKind::And2, a, zero); // = 0
+/// let y = nl.gate2(CellKind::Or2, dead, a);     // = a
+/// nl.output("y", y);
+///
+/// let (opt, stats) = optimize(&nl);
+/// assert!(stats.cells_after < stats.cells_before);
+/// assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+/// ```
+pub fn optimize(netlist: &Netlist) -> (Netlist, OptStats) {
+    let (nl, stats, _) = optimize_mapped(netlist);
+    (nl, stats)
+}
+
+/// Like [`optimize`], additionally returning the old-net → new-net map
+/// (`None` for nets that were folded to constants or eliminated), so
+/// callers holding references into the original netlist — e.g. DFF
+/// preset lists — can carry them over.
+pub fn optimize_mapped(netlist: &Netlist) -> (Netlist, OptStats, Vec<Option<NetId>>) {
+    let n = netlist.cell_count();
+    let mut known = vec![Known::Dynamic; n];
+    let mut constants_folded = 0usize;
+    let mut wires_folded = 0usize;
+
+    // Forward pass in creation order: every cell only reads earlier cells
+    // or DFF outputs (which stay Dynamic), so one pass suffices for
+    // constants; DFFs whose D pin is constant would need a fixpoint and
+    // are deliberately left dynamic (their reset state is part of the
+    // configuration).
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let k = match fold(cell, &known) {
+            Known::Alias(a) if a.index() == i => Known::Dynamic,
+            other => other,
+        };
+        match k {
+            Known::False | Known::True => {
+                if !matches!(cell.kind, CellKind::Const0 | CellKind::Const1) {
+                    constants_folded += 1;
+                }
+                known[i] = k;
+            }
+            Known::Alias(_) => {
+                wires_folded += 1;
+                known[i] = k;
+            }
+            Known::Dynamic => {}
+        }
+    }
+
+    // Liveness: outputs and DFF D pins of live DFFs keep cells alive.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mark = |id: NetId, live: &mut Vec<bool>, stack: &mut Vec<usize>| {
+        let root = match resolve(&known, id) {
+            Known::Alias(a) => a.index(),
+            _ => return, // constants need no driver
+        };
+        if !live[root] {
+            live[root] = true;
+            stack.push(root);
+        }
+    };
+    for (_, net) in netlist.outputs() {
+        mark(*net, &mut live, &mut stack);
+    }
+    // Keep all DFFs initially? Only DFFs that something live reads. We
+    // iterate the worklist, and when a DFF becomes live we pull in its D
+    // cone.
+    while let Some(i) = stack.pop() {
+        for &inp in netlist.cells()[i].inputs() {
+            mark(inp, &mut live, &mut stack);
+        }
+    }
+
+    // Rebuild.
+    let mut out = Netlist::new(netlist.name());
+    for d in 1..netlist.domains().len() {
+        out.add_domain(netlist.domains()[d].clone());
+    }
+    let mut remap: Vec<Option<NetId>> = vec![None; n];
+    // Shared constants, created lazily.
+    let mut const0: Option<NetId> = None;
+    let mut const1: Option<NetId> = None;
+
+    // First create all primary inputs (they must exist in order even if
+    // dead, to keep the interface identical).
+    for (name, id) in netlist.inputs() {
+        let new = out.input(name.clone());
+        remap[id.index()] = Some(new);
+    }
+
+    let lookup = |id: NetId,
+                      out: &mut Netlist,
+                      remap: &Vec<Option<NetId>>,
+                      const0: &mut Option<NetId>,
+                      const1: &mut Option<NetId>|
+     -> NetId {
+        match resolve(&known, id) {
+            Known::False => *const0.get_or_insert_with(|| out.const0()),
+            Known::True => *const1.get_or_insert_with(|| out.const1()),
+            Known::Alias(a) => remap[a.index()].expect("live cells created in order"),
+            Known::Dynamic => unreachable!("resolve never returns Dynamic"),
+        }
+    };
+
+    // Pass A: create all live DFFs first as self-looped placeholders.
+    // D pins may legally reference *later* cells (`rewire_dff_input`
+    // closes read-modify-write loops), so they are wired in pass C after
+    // every combinational cell exists.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if live[i] && cell.kind == CellKind::Dff {
+            let domain = crate::netlist::DomainId(cell.domain() as u16);
+            remap[i] = Some(out.rom_bit(domain));
+        }
+    }
+    // Pass B: combinational cells, in creation order (they only ever
+    // reference earlier cells or DFFs, all of which now exist).
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if !live[i] || remap[i].is_some() || cell.kind == CellKind::Dff {
+            continue;
+        }
+        if !matches!(resolve(&known, NetId(i as u32)), Known::Alias(a) if a.index() == i) {
+            continue; // folded away; consumers resolve through `known`
+        }
+        let ins: Vec<NetId> = cell
+            .inputs()
+            .iter()
+            .map(|&inp| lookup(inp, &mut out, &remap, &mut const0, &mut const1))
+            .collect();
+        let new = match cell.kind {
+            CellKind::Input | CellKind::Dff => continue, // already created
+            CellKind::Const0 => *const0.get_or_insert_with(|| out.const0()),
+            CellKind::Const1 => *const1.get_or_insert_with(|| out.const1()),
+            CellKind::Inv | CellKind::Buf => out.gate1(cell.kind, ins[0]),
+            CellKind::Mux2 => out.mux2(ins[0], ins[1], ins[2]),
+            k => out.gate2(k, ins[0], ins[1]),
+        };
+        remap[i] = Some(new);
+    }
+    // Pass C: wire the D pins of the live DFFs.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if !(live[i] && cell.kind == CellKind::Dff) {
+            continue;
+        }
+        let new_q = remap[i].expect("created in pass A");
+        let old_d = cell.inputs()[0];
+        let new_d = if old_d.index() == i {
+            new_q // retained self-loop ROM bit
+        } else {
+            lookup(old_d, &mut out, &remap, &mut const0, &mut const1)
+        };
+        out.rewire_dff_input(new_q, new_d);
+    }
+
+    // Outputs.
+    for (name, net) in netlist.outputs() {
+        let new = lookup(*net, &mut out, &remap, &mut const0, &mut const1);
+        out.output(name.clone(), new);
+    }
+
+    let stats = OptStats {
+        cells_before: n,
+        cells_after: out.cell_count(),
+        constants_folded,
+        wires_folded,
+    };
+    (out, stats, remap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent_exhaustive;
+    use crate::netlist::ROOT_DOMAIN;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_select_mux_folds_to_wire() {
+        let mut nl = Netlist::new("m");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.const1();
+        let y = nl.mux2(a, b, s);
+        nl.output("y", y);
+        let (opt, stats) = optimize(&nl);
+        // y == b: no gates remain at all.
+        assert_eq!(
+            opt.cells().iter().filter(|c| c.kind == CellKind::Mux2).count(),
+            0
+        );
+        assert!(stats.wires_folded >= 1);
+        assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+    }
+
+    #[test]
+    fn and_with_zero_folds_to_constant() {
+        let mut nl = Netlist::new("a0");
+        let a = nl.input("a");
+        let z = nl.const0();
+        let y = nl.gate2(CellKind::And2, a, z);
+        let w = nl.gate2(CellKind::Or2, y, a); // or(0, a) -> a
+        nl.output("w", w);
+        let (opt, stats) = optimize(&nl);
+        assert!(stats.constants_folded >= 1);
+        assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+        // Everything reduces to a wire from input a.
+        assert_eq!(
+            opt.cells()
+                .iter()
+                .filter(|c| !matches!(c.kind, CellKind::Input))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn xor_of_same_net_is_zero() {
+        let mut nl = Netlist::new("xx");
+        let a = nl.input("a");
+        let buf = nl.gate1(CellKind::Buf, a);
+        let y = nl.gate2(CellKind::Xor2, a, buf);
+        nl.output("y", y);
+        let (opt, _) = optimize(&nl);
+        assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+        assert!(opt
+            .cells()
+            .iter()
+            .any(|c| c.kind == CellKind::Const0));
+    }
+
+    #[test]
+    fn dead_logic_is_removed() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.input("a");
+        let _unused = nl.gate2(CellKind::Xor2, a, a);
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let (opt, stats) = optimize(&nl);
+        assert_eq!(stats.cells_after, 2); // input + inv
+        assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+    }
+
+    #[test]
+    fn sequential_rom_structure_survives() {
+        let mut nl = Netlist::new("rom");
+        let dom = nl.add_domain("g");
+        let q0 = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.rom_bit(dom);
+        let y = nl.gate2(CellKind::And2, q0, q1);
+        nl.output("y", y);
+        let (opt, _) = optimize(&nl);
+        assert_eq!(opt.total_dffs(), 2);
+        assert_eq!(opt.dff_counts()[1], 1); // gated domain preserved
+        assert_eq!(opt.domains().len(), 2);
+    }
+
+    #[test]
+    fn random_netlists_stay_equivalent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let mut nl = Netlist::new("rand");
+            let inputs = nl.input_bus("x", 4);
+            let mut nets: Vec<NetId> = inputs.clone();
+            nets.push(nl.const0());
+            nets.push(nl.const1());
+            for _ in 0..30 {
+                let pick = |rng: &mut StdRng, nets: &Vec<NetId>| {
+                    nets[rng.random_range(0..nets.len())]
+                };
+                let a = pick(&mut rng, &nets);
+                let b = pick(&mut rng, &nets);
+                let s = pick(&mut rng, &nets);
+                let kind = match rng.random_range(0..8) {
+                    0 => CellKind::Inv,
+                    1 => CellKind::And2,
+                    2 => CellKind::Or2,
+                    3 => CellKind::Nand2,
+                    4 => CellKind::Nor2,
+                    5 => CellKind::Xor2,
+                    6 => CellKind::Xnor2,
+                    _ => CellKind::Mux2,
+                };
+                let id = match kind {
+                    CellKind::Inv => nl.gate1(kind, a),
+                    CellKind::Mux2 => nl.mux2(a, b, s),
+                    k => nl.gate2(k, a, b),
+                };
+                nets.push(id);
+            }
+            for (i, &net) in nets.iter().rev().take(3).enumerate() {
+                nl.output(format!("y[{i}]"), net);
+            }
+            let (opt, stats) = optimize(&nl);
+            assert!(
+                equivalent_exhaustive(&nl, &opt).unwrap(),
+                "trial {trial} diverged"
+            );
+            assert!(stats.cells_after <= stats.cells_before);
+        }
+    }
+
+    #[test]
+    fn random_sequential_netlists_stay_equivalent() {
+        // Same as the combinational fuzz, but sprinkle DFFs (including
+        // rewired read-modify-write loops) through the logic; equivalence
+        // is trajectory equality over the full input sweep.
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..15 {
+            let mut nl = Netlist::new("seqrand");
+            let inputs = nl.input_bus("x", 3);
+            let dom = nl.add_domain("g");
+            let mut nets: Vec<NetId> = inputs.clone();
+            nets.push(nl.const0());
+            nets.push(nl.const1());
+            let mut dffs: Vec<NetId> = Vec::new();
+            for step in 0..25 {
+                let pick = |rng: &mut StdRng, nets: &Vec<NetId>| {
+                    nets[rng.random_range(0..nets.len())]
+                };
+                let a = pick(&mut rng, &nets);
+                let b = pick(&mut rng, &nets);
+                let id = match rng.random_range(0..6) {
+                    0 => nl.gate1(CellKind::Inv, a),
+                    1 => nl.gate2(CellKind::And2, a, b),
+                    2 => nl.gate2(CellKind::Xor2, a, b),
+                    3 => {
+                        let s = pick(&mut rng, &nets);
+                        nl.mux2(a, b, s)
+                    }
+                    4 => {
+                        let domain = if step % 2 == 0 {
+                            crate::netlist::ROOT_DOMAIN
+                        } else {
+                            dom
+                        };
+                        let q = nl.dff(a, domain);
+                        dffs.push(q);
+                        q
+                    }
+                    _ => {
+                        // A storage bit with a capture mux (backward ref).
+                        let q = nl.rom_bit(crate::netlist::ROOT_DOMAIN);
+                        let sel = pick(&mut rng, &nets);
+                        let d = nl.mux2(q, a, sel);
+                        nl.rewire_dff_input(q, d);
+                        dffs.push(q);
+                        q
+                    }
+                };
+                nets.push(id);
+            }
+            for (i, &net) in nets.iter().rev().take(2).enumerate() {
+                nl.output(format!("y[{i}]"), net);
+            }
+            let (opt, _) = optimize(&nl);
+            assert!(
+                crate::equiv::equivalent_exhaustive(&nl, &opt).unwrap(),
+                "trial {trial} diverged"
+            );
+            // Run a longer random stimulus too.
+            assert!(
+                crate::equiv::equivalent_random(&nl, &opt, 200, trial).unwrap(),
+                "trial {trial} diverged on random stimulus"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_box_with_constant_selects_collapses() {
+        // The headline use case: a 8-to-1 static mux tree folds to a wire.
+        let mut nl = Netlist::new("route");
+        let ins = nl.input_bus("x", 8);
+        let sel: Vec<NetId> = [true, false, true]
+            .iter()
+            .map(|&b| nl.constant(b))
+            .collect();
+        let y = nl.mux_tree(&ins, &sel);
+        nl.output("y", y);
+        let (opt, _) = optimize(&nl);
+        // x[5] selected (sel = 101 LSB-first); no muxes remain.
+        assert_eq!(
+            opt.cells().iter().filter(|c| c.kind == CellKind::Mux2).count(),
+            0
+        );
+        assert!(equivalent_exhaustive(&nl, &opt).unwrap());
+    }
+}

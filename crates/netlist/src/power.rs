@@ -1,0 +1,234 @@
+//! Activity-based power/energy estimation from simulation statistics
+//! (our stand-in for PrimeTime averaged power over a VCS trace).
+
+use crate::library::CellLibrary;
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+use serde::{Deserialize, Serialize};
+
+/// An itemised energy report for a simulated activity window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Cycles covered by the report.
+    pub cycles: u64,
+    /// Clock period used for leakage integration, ns.
+    pub clock_period_ns: f64,
+    /// Combinational + DFF-data switching energy, fJ.
+    pub switching_energy_fj: f64,
+    /// Clock-tree energy of enabled DFF domains (plus ICGs), fJ — the
+    /// component the BTO mode eliminates for gated free tables.
+    pub clock_energy_fj: f64,
+    /// Leakage energy over the window, fJ.
+    pub leakage_energy_fj: f64,
+    /// Clock energy itemised per clock domain (index = domain id) — makes
+    /// the BTO saving directly visible per gated free table.
+    #[serde(default)]
+    pub clock_energy_by_domain_fj: Vec<f64>,
+}
+
+impl PowerReport {
+    /// Total energy over the window, fJ.
+    pub fn total_energy_fj(&self) -> f64 {
+        self.switching_energy_fj + self.clock_energy_fj + self.leakage_energy_fj
+    }
+
+    /// Energy per cycle (per read operation), fJ.
+    pub fn energy_per_cycle_fj(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_energy_fj() / self.cycles as f64
+        }
+    }
+
+    /// Average power over the window, µW.
+    pub fn average_power_uw(&self) -> f64 {
+        let time_ns = self.cycles as f64 * self.clock_period_ns;
+        if time_ns <= 0.0 {
+            0.0
+        } else {
+            // fJ / ns = µW.
+            self.total_energy_fj() / time_ns
+        }
+    }
+}
+
+/// Computes the energy report for everything `sim` has simulated so far.
+///
+/// * switching: per-net toggle count × cell switching energy;
+/// * clock: per *active* domain cycle, every DFF in the domain charges the
+///   clock-pin energy; each gated (non-root) domain charges one ICG when
+///   active;
+/// * leakage: every cell leaks for the full window regardless of gating.
+pub fn power_report(
+    netlist: &Netlist,
+    sim: &Simulator<'_>,
+    lib: &CellLibrary,
+    clock_period_ns: f64,
+) -> PowerReport {
+    let mut switching = 0.0f64;
+    for (cell, &tog) in netlist.cells().iter().zip(sim.toggles()) {
+        switching += lib.params(cell.kind).switch_energy_fj * tog as f64;
+    }
+
+    let active = sim.domain_active_cycles();
+    let dff_counts = netlist.dff_counts();
+    let mut clock = 0.0f64;
+    let mut by_domain = Vec::with_capacity(active.len());
+    for (d, &cycles) in active.iter().enumerate() {
+        let mut e = dff_counts[d] as f64 * lib.dff_clock_energy_fj * cycles as f64;
+        if d != 0 {
+            e += lib.icg_energy_fj * cycles as f64;
+        }
+        clock += e;
+        by_domain.push(e);
+    }
+
+    let leakage_nw: f64 = netlist
+        .cells()
+        .iter()
+        .map(|c| lib.params(c.kind).leakage_nw)
+        .sum();
+    // nW × ns = 1e-18 J = 1e-3 fJ.
+    let leakage = leakage_nw * (sim.cycles() as f64 * clock_period_ns) * 1e-3;
+
+    PowerReport {
+        cycles: sim.cycles(),
+        clock_period_ns,
+        switching_energy_fj: switching,
+        clock_energy_fj: clock,
+        leakage_energy_fj: leakage,
+        clock_energy_by_domain_fj: by_domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::ROOT_DOMAIN;
+
+    #[test]
+    fn idle_combinational_netlist_only_leaks() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("idle");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for _ in 0..10 {
+            sim.step(&[true]); // constant input: no toggles after init
+        }
+        let rep = power_report(&nl, &sim, &lib, 1.0);
+        assert_eq!(rep.switching_energy_fj, 0.0);
+        assert_eq!(rep.clock_energy_fj, 0.0);
+        assert!(rep.leakage_energy_fj > 0.0);
+        assert!(rep.average_power_uw() > 0.0);
+    }
+
+    #[test]
+    fn toggling_input_charges_switching_energy() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("sw");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for i in 0..11 {
+            sim.step(&[i % 2 == 0]);
+        }
+        let rep = power_report(&nl, &sim, &lib, 1.0);
+        // 10 toggles of the inverter output + 10 of the input net (inputs
+        // are free cells, zero energy).
+        let expect = 10.0 * lib.params(CellKind::Inv).switch_energy_fj;
+        assert!((rep.switching_energy_fj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_gating_halves_clock_energy() {
+        let lib = CellLibrary::nangate45();
+        let build = |gated_off: bool| {
+            let mut nl = Netlist::new("cg");
+            let gated = nl.add_domain("g");
+            for _ in 0..8 {
+                let _ = nl.rom_bit(ROOT_DOMAIN);
+            }
+            for _ in 0..8 {
+                let _ = nl.rom_bit(gated);
+            }
+            let mut sim = Simulator::new(&nl).unwrap();
+            sim.set_domain_enabled(gated, !gated_off);
+            for _ in 0..100 {
+                sim.step(&[]);
+            }
+            power_report(&nl, &sim, &lib, 1.0)
+        };
+        let on = build(false);
+        let off = build(true);
+        assert!(off.clock_energy_fj < on.clock_energy_fj);
+        // 8 of 16 DFFs gated plus the ICG saved.
+        let dff_half = 8.0 * lib.dff_clock_energy_fj * 100.0;
+        let icg = lib.icg_energy_fj * 100.0;
+        assert!((on.clock_energy_fj - off.clock_energy_fj - dff_half - icg).abs() < 1e-9);
+        // Leakage identical (gating saves dynamic power only).
+        assert!((on.leakage_energy_fj - off.leakage_energy_fj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_domain_breakdown_sums_to_clock_total() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("dom");
+        let gated = nl.add_domain("g");
+        for _ in 0..4 {
+            let _ = nl.rom_bit(ROOT_DOMAIN);
+        }
+        for _ in 0..2 {
+            let _ = nl.rom_bit(gated);
+        }
+        let mut sim = Simulator::new(&nl).unwrap();
+        for _ in 0..10 {
+            sim.step(&[]);
+        }
+        let rep = power_report(&nl, &sim, &lib, 1.0);
+        assert_eq!(rep.clock_energy_by_domain_fj.len(), 2);
+        let sum: f64 = rep.clock_energy_by_domain_fj.iter().sum();
+        assert!((sum - rep.clock_energy_fj).abs() < 1e-9);
+        // Root: 4 DFFs, no ICG; gated: 2 DFFs + ICG.
+        assert!((rep.clock_energy_by_domain_fj[0] - 4.0 * lib.dff_clock_energy_fj * 10.0).abs() < 1e-9);
+        assert!(
+            (rep.clock_energy_by_domain_fj[1]
+                - (2.0 * lib.dff_clock_energy_fj + lib.icg_energy_fj) * 10.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let rep = PowerReport {
+            cycles: 4,
+            clock_period_ns: 2.0,
+            switching_energy_fj: 10.0,
+            clock_energy_fj: 6.0,
+            leakage_energy_fj: 4.0,
+            clock_energy_by_domain_fj: vec![6.0],
+        };
+        assert!((rep.total_energy_fj() - 20.0).abs() < 1e-12);
+        assert!((rep.energy_per_cycle_fj() - 5.0).abs() < 1e-12);
+        assert!((rep.average_power_uw() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_report_is_safe() {
+        let rep = PowerReport {
+            cycles: 0,
+            clock_period_ns: 1.0,
+            switching_energy_fj: 0.0,
+            clock_energy_fj: 0.0,
+            leakage_energy_fj: 0.0,
+            clock_energy_by_domain_fj: Vec::new(),
+        };
+        assert_eq!(rep.energy_per_cycle_fj(), 0.0);
+        assert_eq!(rep.average_power_uw(), 0.0);
+    }
+}

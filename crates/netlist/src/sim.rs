@@ -1,0 +1,305 @@
+//! Cycle-accurate two-state simulation with per-net toggle counting and
+//! clock-domain activity tracking — the data the power model consumes
+//! (our stand-in for VCS + PrimeTime).
+
+use crate::cell::{CellKind, NetId};
+use crate::netlist::{DomainId, Netlist, NetlistError};
+
+/// A simulator instance bound to one netlist.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<u32>,
+    /// Current value of every net.
+    values: Vec<bool>,
+    /// Next-state latch for DFFs (captured before the clock edge).
+    next_state: Vec<bool>,
+    /// Output-toggle count per net.
+    toggles: Vec<u64>,
+    /// Whether each clock domain currently receives clocks.
+    enabled: Vec<bool>,
+    /// Clocked cycles accumulated per domain.
+    active_cycles: Vec<u64>,
+    /// Total cycles stepped.
+    cycles: u64,
+    initialized: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator; all nets start at 0, all domains enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        let n = netlist.cell_count();
+        Ok(Self {
+            netlist,
+            order,
+            values: vec![false; n],
+            next_state: vec![false; n],
+            toggles: vec![0; n],
+            enabled: vec![true; netlist.domains().len()],
+            active_cycles: vec![0; netlist.domains().len()],
+            cycles: 0,
+            initialized: false,
+        })
+    }
+
+    /// Presets a DFF's stored value (e.g. ROM contents) before simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a DFF.
+    pub fn preset_dff(&mut self, net: NetId, value: bool) {
+        assert!(
+            self.netlist.cells()[net.index()].kind == CellKind::Dff,
+            "preset_dff on a non-DFF cell"
+        );
+        self.values[net.index()] = value;
+    }
+
+    /// Enables or disables a clock domain (clock gating).
+    pub fn set_domain_enabled(&mut self, domain: DomainId, enabled: bool) {
+        self.enabled[domain_index(domain)] = enabled;
+    }
+
+    /// Steps one clock cycle: applies `inputs` (in primary-input
+    /// declaration order), settles combinational logic, counts toggles,
+    /// then clocks the DFFs of enabled domains.
+    ///
+    /// Returns the primary-output values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let ports = self.netlist.inputs();
+        assert_eq!(inputs.len(), ports.len(), "primary input count mismatch");
+        // Apply inputs.
+        for ((_, net), &v) in ports.iter().zip(inputs) {
+            self.set_value(net.index(), v);
+        }
+        // Constants.
+        if !self.initialized {
+            for (i, cell) in self.netlist.cells().iter().enumerate() {
+                match cell.kind {
+                    CellKind::Const1 => self.values[i] = true,
+                    CellKind::Const0 => self.values[i] = false,
+                    _ => {}
+                }
+            }
+        }
+        // Settle combinational logic in topological order (indexed loop:
+        // `set_value` needs `&mut self`).
+        for idx in 0..self.order.len() {
+            let i = self.order[idx];
+            let cell = &self.netlist.cells()[i as usize];
+            let ins = cell.inputs();
+            let mut vals = [false; 3];
+            for (slot, inp) in vals.iter_mut().zip(ins) {
+                *slot = self.values[inp.index()];
+            }
+            let v = cell.kind.eval(&vals[..ins.len()]);
+            self.set_value(i as usize, v);
+        }
+        // Capture DFF next states, then clock enabled domains.
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if cell.kind == CellKind::Dff {
+                self.next_state[i] = self.values[cell.inputs()[0].index()];
+            }
+        }
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if cell.kind == CellKind::Dff && self.enabled[cell.domain()] {
+                let v = self.next_state[i];
+                if self.initialized && v != self.values[i] {
+                    self.toggles[i] += 1;
+                }
+                self.values[i] = v;
+            }
+        }
+        for (d, &en) in self.enabled.iter().enumerate() {
+            if en {
+                self.active_cycles[d] += 1;
+            }
+        }
+        self.cycles += 1;
+        self.initialized = true;
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|(_, net)| self.values[net.index()])
+            .collect()
+    }
+
+    #[inline]
+    fn set_value(&mut self, i: usize, v: bool) {
+        if self.initialized && self.values[i] != v {
+            self.toggles[i] += 1;
+        }
+        self.values[i] = v;
+    }
+
+    /// Evaluates outputs for an input word without counting it as a
+    /// measured cycle (convenience for functional checks): the word's bits
+    /// are applied LSB-first across the primary inputs.
+    pub fn eval_word(&mut self, word: u64) -> u64 {
+        let width = self.netlist.inputs().len();
+        let bits: Vec<bool> = (0..width).map(|i| (word >> i) & 1 == 1).collect();
+        let outs = self.step(&bits);
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    /// Total toggles of net `net` so far.
+    pub fn toggle_count(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// All per-net toggle counters.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clocked cycles accumulated per domain.
+    pub fn domain_active_cycles(&self) -> &[u64] {
+        &self.active_cycles
+    }
+
+    /// The current value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+}
+
+fn domain_index(d: DomainId) -> usize {
+    // DomainId is crate-internal; index access for the simulator.
+    let crate::netlist::DomainId(i) = d;
+    i as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ROOT_DOMAIN;
+
+    #[test]
+    fn combinational_logic_evaluates() {
+        let mut nl = Netlist::new("xor");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.gate2(CellKind::Xor2, a, b);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = sim.step(&[va, vb]);
+            assert_eq!(out[0], va ^ vb);
+        }
+    }
+
+    #[test]
+    fn eval_word_packs_bits() {
+        let mut nl = Netlist::new("add1");
+        let a = nl.input_bus("a", 2);
+        // y = a + 1 (mod 4): y0 = !a0; y1 = a1 ^ a0.
+        let y0 = nl.inv(a[0]);
+        let y1 = nl.gate2(CellKind::Xor2, a[1], a[0]);
+        nl.output("y[0]", y0);
+        nl.output("y[1]", y1);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for x in 0..4u64 {
+            assert_eq!(sim.eval_word(x), (x + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn rom_bits_retain_preset_values() {
+        let mut nl = Netlist::new("rom");
+        let q0 = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.rom_bit(ROOT_DOMAIN);
+        nl.output("q0", q0);
+        nl.output("q1", q1);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.preset_dff(q0, true);
+        for _ in 0..5 {
+            let out = sim.step(&[]);
+            assert_eq!(out, vec![true, false]);
+        }
+        // Retention produces no data toggles.
+        assert_eq!(sim.toggle_count(q0), 0);
+        assert_eq!(sim.toggle_count(q1), 0);
+    }
+
+    #[test]
+    fn toggle_counting_ignores_first_cycle() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.step(&[true]); // initialisation, no toggles counted
+        assert_eq!(sim.toggle_count(y), 0);
+        sim.step(&[false]);
+        assert_eq!(sim.toggle_count(y), 1);
+        sim.step(&[false]); // no change, no toggle
+        assert_eq!(sim.toggle_count(y), 1);
+        sim.step(&[true]);
+        assert_eq!(sim.toggle_count(y), 2);
+    }
+
+    #[test]
+    fn gated_domain_freezes_dffs_and_saves_cycles() {
+        let mut nl = Netlist::new("gate");
+        let gated = nl.add_domain("gated");
+        let d = nl.input("d");
+        let q_on = nl.dff(d, ROOT_DOMAIN);
+        let q_off = nl.dff(d, gated);
+        nl.output("q_on", q_on);
+        nl.output("q_off", q_off);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_domain_enabled(gated, false);
+        sim.step(&[true]);
+        let out = sim.step(&[true]);
+        // The live DFF captured 1; the gated one stayed at reset 0.
+        assert!(out[0]);
+        assert!(!out[1]);
+        sim.step(&[false]);
+        assert_eq!(sim.domain_active_cycles()[0], 3);
+        assert_eq!(sim.domain_active_cycles()[1], 0);
+    }
+
+    #[test]
+    fn dff_pipeline_delays_by_one_cycle() {
+        let mut nl = Netlist::new("pipe");
+        let d = nl.input("d");
+        let q1 = nl.dff(d, ROOT_DOMAIN);
+        let q2 = nl.dff(q1, ROOT_DOMAIN);
+        nl.output("q2", q2);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let seq = [true, false, true, true, false];
+        let mut seen = Vec::new();
+        for &v in &seq {
+            let out = sim.step(&[v]);
+            seen.push(out[0]);
+        }
+        // After edge k, q2 holds d[k-1] (q1 holds d[k]): standard
+        // two-stage register transfer.
+        assert_eq!(seen, vec![false, true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input count mismatch")]
+    fn step_validates_input_width() {
+        let mut nl = Netlist::new("w");
+        let _ = nl.input("a");
+        let mut sim = Simulator::new(&nl).unwrap();
+        let _ = sim.step(&[]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Static timing: longest combinational path (our stand-in for the DC
+//! timing report).
+
+use crate::cell::CellKind;
+use crate::library::CellLibrary;
+use crate::netlist::{Netlist, NetlistError};
+
+/// The critical (longest) combinational path delay in ns.
+///
+/// Path sources are primary inputs (arrival 0) and DFF outputs (arrival =
+/// clock-to-Q); each combinational cell adds its library delay; sinks are
+/// primary outputs and DFF D pins. A purely sequential netlist reports
+/// the clock-to-Q delay of its registers.
+///
+/// # Errors
+///
+/// Returns an error if the netlist has a combinational cycle.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_netlist::{critical_path_ns, CellKind, CellLibrary, Netlist};
+///
+/// let lib = CellLibrary::nangate45();
+/// let mut nl = Netlist::new("chain");
+/// let a = nl.input("a");
+/// let x = nl.inv(a);
+/// let y = nl.inv(x);
+/// nl.output("y", y);
+/// let d = critical_path_ns(&nl, &lib).unwrap();
+/// assert!((d - 2.0 * lib.params(CellKind::Inv).delay_ns).abs() < 1e-12);
+/// ```
+pub fn critical_path_ns(netlist: &Netlist, lib: &CellLibrary) -> Result<f64, NetlistError> {
+    let order = netlist.topo_order()?;
+    let n = netlist.cell_count();
+    let mut arrival = vec![0.0f64; n];
+
+    // Sources.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        arrival[i] = match cell.kind {
+            CellKind::Dff => lib.dff_clk_to_q_ns,
+            _ => 0.0,
+        };
+    }
+    // Propagate in topological order.
+    for &i in &order {
+        let cell = &netlist.cells()[i as usize];
+        let worst_in = cell
+            .inputs()
+            .iter()
+            .map(|inp| arrival[inp.index()])
+            .fold(0.0f64, f64::max);
+        arrival[i as usize] = worst_in + lib.params(cell.kind).delay_ns;
+    }
+    // Sinks: outputs and DFF D pins.
+    let mut worst = 0.0f64;
+    for (_, net) in netlist.outputs() {
+        worst = worst.max(arrival[net.index()]);
+    }
+    for cell in netlist.cells() {
+        if cell.kind == CellKind::Dff {
+            worst = worst.max(arrival[cell.inputs()[0].index()]);
+        }
+    }
+    Ok(worst)
+}
+
+/// Total cell area in µm² (sums library areas; DFF-heavy LUT structures
+/// are dominated by register area, as in the paper's RAM-of-DFFs tables).
+pub fn area_um2(netlist: &Netlist, lib: &CellLibrary) -> f64 {
+    let cells: f64 = netlist
+        .cells()
+        .iter()
+        .map(|c| lib.params(c.kind).area_um2)
+        .sum();
+    // One ICG per gated (non-root) clock domain.
+    cells + lib.icg_area_um2 * (netlist.domains().len().saturating_sub(1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ROOT_DOMAIN;
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("chain");
+        let a = nl.input("a");
+        let x1 = nl.inv(a);
+        let x2 = nl.inv(x1);
+        let x3 = nl.inv(x2);
+        nl.output("y", x3);
+        let d = critical_path_ns(&nl, &lib).unwrap();
+        let inv = lib.params(CellKind::Inv).delay_ns;
+        assert!((d - 3.0 * inv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dff_launch_adds_clk_to_q() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("seq");
+        let q = nl.rom_bit(ROOT_DOMAIN);
+        let y = nl.inv(q);
+        nl.output("y", y);
+        let d = critical_path_ns(&nl, &lib).unwrap();
+        assert!((d - (lib.dff_clk_to_q_ns + lib.params(CellKind::Inv).delay_ns)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capture_path_to_dff_d_pin_counts() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("cap");
+        let a = nl.input("a");
+        let x = nl.inv(a);
+        let _q = nl.dff(x, ROOT_DOMAIN); // no primary output at all
+        let d = critical_path_ns(&nl, &lib).unwrap();
+        assert!(d >= lib.params(CellKind::Inv).delay_ns);
+    }
+
+    #[test]
+    fn parallel_paths_take_max() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("par");
+        let a = nl.input("a");
+        let slow = {
+            let x = nl.gate2(CellKind::Xor2, a, a);
+            nl.gate2(CellKind::Xor2, x, a)
+        };
+        let fast = nl.inv(a);
+        let y = nl.gate2(CellKind::And2, slow, fast);
+        nl.output("y", y);
+        let d = critical_path_ns(&nl, &lib).unwrap();
+        let expect = 2.0 * lib.params(CellKind::Xor2).delay_ns
+            + lib.params(CellKind::And2).delay_ns;
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_sums_cells_and_icgs() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = Netlist::new("area");
+        let a = nl.input("a");
+        let _ = nl.inv(a);
+        let gated = nl.add_domain("g");
+        let _ = nl.rom_bit(gated);
+        let area = area_um2(&nl, &lib);
+        let expect = lib.params(CellKind::Inv).area_um2
+            + lib.params(CellKind::Dff).area_um2
+            + lib.icg_area_um2;
+        assert!((area - expect).abs() < 1e-12);
+    }
+}

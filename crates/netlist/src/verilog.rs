@@ -1,0 +1,274 @@
+//! Structural Verilog export.
+//!
+//! Emits a synthesisable module equivalent to the netlist: `assign`
+//! statements for combinational cells and one clocked `always` block per
+//! clock domain, with gated domains guarded by an enable input. This is
+//! the artefact the paper would hand to Synopsys DC.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Precomputed net names: ports keep their declared names; internal nets
+/// are `n<idx>`.
+struct Names(std::collections::HashMap<usize, String>);
+
+impl Names {
+    fn new(netlist: &Netlist) -> Self {
+        Self(
+            netlist
+                .inputs()
+                .iter()
+                .map(|(name, id)| (id.index(), sanitize(name)))
+                .collect(),
+        )
+    }
+
+    fn get(&self, idx: usize) -> String {
+        self.0
+            .get(&idx)
+            .cloned()
+            .unwrap_or_else(|| format!("n{idx}"))
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Renders the netlist as a structural Verilog module.
+///
+/// Ports: declared inputs/outputs, a clock `clk`, and one `en_<domain>`
+/// enable input per gated domain. Registers start at `0`; for netlists
+/// whose behaviour depends on stored contents (DFF-RAM LUTs) use
+/// [`to_verilog_with_presets`].
+pub fn to_verilog(netlist: &Netlist) -> String {
+    to_verilog_with_presets(netlist, &[])
+}
+
+/// Like [`to_verilog`], additionally emitting an `initial` block that
+/// loads the given register values — the ROM contents of DFF-RAM tables,
+/// without which the exported module would not compute its function.
+///
+/// # Panics
+///
+/// Panics if a preset net is not a DFF.
+pub fn to_verilog_with_presets(
+    netlist: &Netlist,
+    presets: &[(crate::cell::NetId, bool)],
+) -> String {
+    let mut v = String::new();
+    let names = Names::new(netlist);
+    let has_dffs = netlist.total_dffs() > 0;
+
+    // Port list.
+    let mut ports: Vec<String> = Vec::new();
+    if has_dffs {
+        ports.push("clk".into());
+    }
+    for d in 1..netlist.domains().len() {
+        ports.push(format!("en_{}", sanitize(&netlist.domains()[d])));
+    }
+    for (name, _) in netlist.inputs() {
+        ports.push(sanitize(name));
+    }
+    for (name, _) in netlist.outputs() {
+        ports.push(sanitize(name));
+    }
+    let _ = writeln!(v, "module {} (", sanitize(netlist.name()));
+    let _ = writeln!(v, "  {}", ports.join(",\n  "));
+    let _ = writeln!(v, ");");
+
+    if has_dffs {
+        let _ = writeln!(v, "  input clk;");
+    }
+    for d in 1..netlist.domains().len() {
+        let _ = writeln!(v, "  input en_{};", sanitize(&netlist.domains()[d]));
+    }
+    for (name, _) in netlist.inputs() {
+        let _ = writeln!(v, "  input {};", sanitize(name));
+    }
+    for (name, _) in netlist.outputs() {
+        let _ = writeln!(v, "  output {};", sanitize(name));
+    }
+
+    // Wire/reg declarations for internal nets.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        match cell.kind {
+            CellKind::Input => {}
+            CellKind::Dff => {
+                let _ = writeln!(v, "  reg n{i};");
+            }
+            _ => {
+                let _ = writeln!(v, "  wire n{i};");
+            }
+        }
+    }
+
+    // Combinational assigns.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let ins: Vec<String> = cell
+            .inputs()
+            .iter()
+            .map(|inp| names.get(inp.index()))
+            .collect();
+        let rhs = match cell.kind {
+            CellKind::Input | CellKind::Dff => continue,
+            CellKind::Const0 => "1'b0".to_string(),
+            CellKind::Const1 => "1'b1".to_string(),
+            CellKind::Inv => format!("~{}", ins[0]),
+            CellKind::Buf => ins[0].clone(),
+            CellKind::And2 => format!("{} & {}", ins[0], ins[1]),
+            CellKind::Or2 => format!("{} | {}", ins[0], ins[1]),
+            CellKind::Nand2 => format!("~({} & {})", ins[0], ins[1]),
+            CellKind::Nor2 => format!("~({} | {})", ins[0], ins[1]),
+            CellKind::Xor2 => format!("{} ^ {}", ins[0], ins[1]),
+            CellKind::Xnor2 => format!("~({} ^ {})", ins[0], ins[1]),
+            CellKind::Mux2 => format!("{} ? {} : {}", ins[2], ins[1], ins[0]),
+        };
+        let _ = writeln!(v, "  assign n{i} = {rhs};");
+    }
+
+    // Initial register contents (ROM presets).
+    if !presets.is_empty() {
+        let _ = writeln!(v, "  initial begin");
+        for &(net, value) in presets {
+            assert_eq!(
+                netlist.cells()[net.index()].kind,
+                CellKind::Dff,
+                "preset on a non-DFF net"
+            );
+            let _ = writeln!(v, "    n{} = 1'b{};", net.index(), u8::from(value));
+        }
+        let _ = writeln!(v, "  end");
+    }
+
+    // One always block per domain.
+    for d in 0..netlist.domains().len() {
+        let dffs: Vec<(usize, usize)> = netlist
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == CellKind::Dff && c.domain() == d)
+            .map(|(i, c)| (i, c.inputs()[0].index()))
+            .collect();
+        if dffs.is_empty() {
+            continue;
+        }
+        let _ = writeln!(v, "  always @(posedge clk) begin");
+        let guard = if d == 0 {
+            String::new()
+        } else {
+            format!("if (en_{}) ", sanitize(&netlist.domains()[d]))
+        };
+        for (q, dpin) in dffs {
+            let _ = writeln!(v, "    {guard}n{q} <= {};", names.get(dpin));
+        }
+        let _ = writeln!(v, "  end");
+    }
+
+    // Output assigns.
+    for (name, net) in netlist.outputs() {
+        let _ = writeln!(
+            v,
+            "  assign {} = {};",
+            sanitize(name),
+            names.get(net.index())
+        );
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ROOT_DOMAIN;
+
+    fn tiny() -> Netlist {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.input("a");
+        let b = nl.input("b[0]");
+        let x = nl.gate2(CellKind::Xor2, a, b);
+        let q = nl.dff(x, ROOT_DOMAIN);
+        nl.output("y", q);
+        nl
+    }
+
+    #[test]
+    fn module_structure_is_emitted() {
+        let v = to_verilog(&tiny());
+        assert!(v.starts_with("module tiny ("));
+        assert!(v.contains("input clk;"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("input b_0_;")); // sanitised
+        assert!(v.contains("output y;"));
+        assert!(v.contains("^")); // the xor
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn gated_domain_gets_enable_port_and_guard() {
+        let mut nl = Netlist::new("g");
+        let dom = nl.add_domain("free0");
+        let q = nl.rom_bit(dom);
+        nl.output("y", q);
+        let v = to_verilog(&nl);
+        assert!(v.contains("input en_free0;"));
+        assert!(v.contains("if (en_free0)"));
+    }
+
+    #[test]
+    fn combinational_only_module_has_no_clock() {
+        let mut nl = Netlist::new("comb");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let v = to_verilog(&nl);
+        assert!(!v.contains("clk"));
+        assert!(!v.contains("always"));
+    }
+
+    #[test]
+    fn presets_emit_initial_block() {
+        let mut nl = Netlist::new("rom");
+        let q0 = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.rom_bit(ROOT_DOMAIN);
+        nl.output("a", q0);
+        nl.output("b", q1);
+        let v = to_verilog_with_presets(&nl, &[(q0, true), (q1, false)]);
+        assert!(v.contains("initial begin"));
+        assert!(v.contains(&format!("n{} = 1'b1;", q0.index())));
+        assert!(v.contains(&format!("n{} = 1'b0;", q1.index())));
+        // Plain export has no initial block.
+        assert!(!to_verilog(&nl).contains("initial"));
+    }
+
+    #[test]
+    #[should_panic(expected = "preset on a non-DFF")]
+    fn presets_reject_combinational_nets() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let _ = to_verilog_with_presets(&nl, &[(y, true)]);
+    }
+
+    #[test]
+    fn every_internal_net_is_declared_before_use() {
+        let v = to_verilog(&tiny());
+        // Each assign target has a matching wire/reg declaration.
+        for line in v.lines() {
+            if let Some(rest) = line.trim().strip_prefix("assign n") {
+                let idx: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                assert!(
+                    v.contains(&format!("wire n{idx};")) || v.contains(&format!("reg n{idx};")),
+                    "n{idx} not declared"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! A miniature interpreter for the Verilog subset emitted by
+//! [`crate::verilog`] — used to validate the export round-trip: a netlist
+//! simulated natively and its emitted Verilog interpreted here must agree
+//! cycle by cycle. (The stand-in for running the exported module through
+//! a real Verilog simulator.)
+//!
+//! Supported constructs (exactly what `to_verilog_with_presets`
+//! produces): `module`/`endmodule`, `input`/`output`/`wire`/`reg`
+//! declarations, `assign` with the gate expressions `1'b0`, `1'b1`, `x`,
+//! `~x`, `a & b`, `a | b`, `a ^ b`, their negations, and `s ? b : a`;
+//! one `initial begin` block of blocking assignments; `always @(posedge
+//! clk)` blocks of non-blocking assignments optionally guarded by
+//! `if (en)`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerilogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogParseError {}
+
+/// A parsed right-hand-side expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Const(bool),
+    Net(String),
+    Not(String),
+    And(String, String),
+    Nand(String, String),
+    Or(String, String),
+    Nor(String, String),
+    Xor(String, String),
+    Xnor(String, String),
+    Mux {
+        sel: String,
+        then: String,
+        els: String,
+    },
+}
+
+/// One non-blocking register assignment inside an always block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RegAssign {
+    guard: Option<String>,
+    lhs: String,
+    rhs: String,
+}
+
+/// A parsed module ready for interpretation.
+#[derive(Debug, Clone)]
+pub struct VerilogModule {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    assigns: Vec<(String, Expr)>,
+    initials: Vec<(String, bool)>,
+    regs: Vec<RegAssign>,
+    has_clk: bool,
+}
+
+fn parse_operand(tok: &str) -> Result<Expr, String> {
+    match tok {
+        "1'b0" => Ok(Expr::Const(false)),
+        "1'b1" => Ok(Expr::Const(true)),
+        t if t.starts_with('~') => Ok(Expr::Not(t[1..].to_string())),
+        t if is_ident(t) => Ok(Expr::Net(t.to_string())),
+        other => Err(format!("unsupported operand '{other}'")),
+    }
+}
+
+fn is_ident(t: &str) -> bool {
+    !t.is_empty() && t.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn parse_expr(rhs: &str) -> Result<Expr, String> {
+    let rhs = rhs.trim();
+    // Ternary.
+    if let Some(q) = rhs.find('?') {
+        let sel = rhs[..q].trim();
+        let rest = &rhs[q + 1..];
+        let c = rest.find(':').ok_or("ternary without ':'")?;
+        let (then, els) = (rest[..c].trim(), rest[c + 1..].trim());
+        if is_ident(sel) && is_ident(then) && is_ident(els) {
+            return Ok(Expr::Mux {
+                sel: sel.to_string(),
+                then: then.to_string(),
+                els: els.to_string(),
+            });
+        }
+        return Err(format!("unsupported ternary '{rhs}'"));
+    }
+    // Negated binary: ~(a OP b).
+    if let Some(inner) = rhs.strip_prefix("~(").and_then(|r| r.strip_suffix(')')) {
+        return parse_binary(inner, true);
+    }
+    // Plain binary.
+    if rhs.contains('&') || rhs.contains('|') || rhs.contains('^') {
+        return parse_binary(rhs, false);
+    }
+    parse_operand(rhs)
+}
+
+fn parse_binary(body: &str, negated: bool) -> Result<Expr, String> {
+    for (op, mk, mkn) in [
+        (
+            '&',
+            Expr::And as fn(String, String) -> Expr,
+            Expr::Nand as fn(String, String) -> Expr,
+        ),
+        ('|', Expr::Or, Expr::Nor),
+        ('^', Expr::Xor, Expr::Xnor),
+    ] {
+        if let Some(pos) = body.find(op) {
+            let a = body[..pos].trim();
+            let b = body[pos + 1..].trim();
+            if !is_ident(a) || !is_ident(b) {
+                return Err(format!("unsupported binary operands in '{body}'"));
+            }
+            let (a, b) = (a.to_string(), b.to_string());
+            return Ok(if negated { mkn(a, b) } else { mk(a, b) });
+        }
+    }
+    Err(format!("no operator in '{body}'"))
+}
+
+impl VerilogModule {
+    /// Parses a module from the emitted Verilog text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error on the first unsupported construct.
+    pub fn parse(src: &str) -> Result<Self, VerilogParseError> {
+        let mut name = String::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut assigns = Vec::new();
+        let mut initials = Vec::new();
+        let mut regs = Vec::new();
+        let mut has_clk = false;
+        let mut in_initial = false;
+        let mut in_always = false;
+        let err = |line: usize, message: String| VerilogParseError { line, message };
+
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty()
+                || line.starts_with("//")
+                || line == ");"
+                || (name.is_empty() && !line.starts_with("module"))
+            {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("module ") {
+                name = rest.trim_end_matches('(').trim().to_string();
+            } else if line == "endmodule" {
+                break;
+            } else if line == "initial begin" {
+                in_initial = true;
+            } else if line.starts_with("always @(posedge clk)") {
+                in_always = true;
+            } else if line == "end" {
+                in_initial = false;
+                in_always = false;
+            } else if in_initial {
+                // nN = 1'bV;
+                let body = line.trim_end_matches(';');
+                let (lhs, rhs) = body
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "malformed initial assignment".into()))?;
+                let value = match rhs.trim() {
+                    "1'b0" => false,
+                    "1'b1" => true,
+                    other => return Err(err(lineno, format!("bad initial value '{other}'"))),
+                };
+                initials.push((lhs.trim().to_string(), value));
+            } else if in_always {
+                // [if (en) ]nN <= rhs;
+                let body = line.trim_end_matches(';');
+                let (guard, body) = if let Some(rest) = body.strip_prefix("if (") {
+                    let close = rest
+                        .find(')')
+                        .ok_or_else(|| err(lineno, "unclosed guard".into()))?;
+                    (
+                        Some(rest[..close].trim().to_string()),
+                        rest[close + 1..].trim(),
+                    )
+                } else {
+                    (None, body)
+                };
+                let (lhs, rhs) = body
+                    .split_once("<=")
+                    .ok_or_else(|| err(lineno, "malformed register assignment".into()))?;
+                if !is_ident(rhs.trim()) {
+                    return Err(err(lineno, format!("unsupported D expression '{rhs}'")));
+                }
+                regs.push(RegAssign {
+                    guard,
+                    lhs: lhs.trim().to_string(),
+                    rhs: rhs.trim().to_string(),
+                });
+            } else if let Some(rest) = line.strip_prefix("input ") {
+                let port = rest.trim_end_matches(';').trim();
+                if port == "clk" {
+                    has_clk = true;
+                } else {
+                    inputs.push(port.to_string());
+                }
+            } else if let Some(rest) = line.strip_prefix("output ") {
+                outputs.push(rest.trim_end_matches(';').trim().to_string());
+            } else if line.starts_with("wire ") || line.starts_with("reg ") {
+                // declarations carry no semantics for the interpreter
+            } else if let Some(rest) = line.strip_prefix("assign ") {
+                let body = rest.trim_end_matches(';');
+                let (lhs, rhs) = body
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "malformed assign".into()))?;
+                let expr = parse_expr(rhs).map_err(|m| err(lineno, m))?;
+                assigns.push((lhs.trim().to_string(), expr));
+            } else if !name.is_empty() && (is_ident(line.trim_end_matches(',')) ) {
+                // port list continuation lines inside module (...)
+                continue;
+            } else {
+                return Err(err(lineno, format!("unsupported construct '{line}'")));
+            }
+        }
+        if name.is_empty() {
+            return Err(err(0, "no module found".into()));
+        }
+        Ok(Self {
+            name,
+            inputs,
+            outputs,
+            assigns,
+            initials,
+            regs,
+            has_clk,
+        })
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Data input names, in port order (excluding `clk` and enables —
+    /// enable ports appear like normal inputs named `en_*`).
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Output names, in port order.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// True if the module has a clock (any registers).
+    pub fn is_sequential(&self) -> bool {
+        self.has_clk
+    }
+
+    /// Creates an interpreter state with `initial` values applied.
+    pub fn interpreter(&self) -> VerilogSim<'_> {
+        let mut values: HashMap<String, bool> = HashMap::new();
+        for (net, v) in &self.initials {
+            values.insert(net.clone(), *v);
+        }
+        VerilogSim {
+            module: self,
+            values,
+        }
+    }
+}
+
+/// Interpreter state for one [`VerilogModule`].
+#[derive(Debug)]
+pub struct VerilogSim<'a> {
+    module: &'a VerilogModule,
+    values: HashMap<String, bool>,
+}
+
+impl VerilogSim<'_> {
+    fn get(&self, net: &str) -> bool {
+        *self.values.get(net).unwrap_or(&false)
+    }
+
+    /// Steps one clock cycle: applies `inputs` (by the module's data-input
+    /// port order), settles assigns, clocks the registers, returns the
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of data inputs.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.module.inputs.len(),
+            "input port count mismatch"
+        );
+        for (name, &v) in self.module.inputs.iter().zip(inputs) {
+            self.values.insert(name.clone(), v);
+        }
+        // Combinational settle: assigns are emitted in topological order.
+        for (lhs, expr) in &self.module.assigns {
+            let v = match expr {
+                Expr::Const(c) => *c,
+                Expr::Net(a) => self.get(a),
+                Expr::Not(a) => !self.get(a),
+                Expr::And(a, b) => self.get(a) && self.get(b),
+                Expr::Nand(a, b) => !(self.get(a) && self.get(b)),
+                Expr::Or(a, b) => self.get(a) || self.get(b),
+                Expr::Nor(a, b) => !(self.get(a) || self.get(b)),
+                Expr::Xor(a, b) => self.get(a) ^ self.get(b),
+                Expr::Xnor(a, b) => !(self.get(a) ^ self.get(b)),
+                Expr::Mux { sel, then, els } => {
+                    if self.get(sel) {
+                        self.get(then)
+                    } else {
+                        self.get(els)
+                    }
+                }
+            };
+            self.values.insert(lhs.clone(), v);
+        }
+        // Non-blocking register updates: sample all RHS, then commit.
+        let sampled: Vec<(String, bool, bool)> = self
+            .module
+            .regs
+            .iter()
+            .map(|r| {
+                let guard_ok = r.guard.as_deref().is_none_or(|g| self.get(g));
+                (r.lhs.clone(), self.get(&r.rhs), guard_ok)
+            })
+            .collect();
+        for (lhs, v, guard_ok) in sampled {
+            if guard_ok {
+                self.values.insert(lhs, v);
+            }
+        }
+        // The native simulator reads outputs *after* the clock edge:
+        // an output aliased straight onto a register shows the new value,
+        // while combinational nets keep their pre-edge values. Re-run the
+        // output alias assigns (always `assign y = n;`) post-commit to
+        // match.
+        let out_aliases: Vec<(String, bool)> = self
+            .module
+            .assigns
+            .iter()
+            .filter(|(lhs, _)| self.module.outputs.contains(lhs))
+            .filter_map(|(lhs, expr)| match expr {
+                Expr::Net(a) => Some((lhs.clone(), self.get(a))),
+                _ => None,
+            })
+            .collect();
+        for (lhs, v) in out_aliases {
+            self.values.insert(lhs, v);
+        }
+        self.module
+            .outputs
+            .iter()
+            .map(|o| self.get(o))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, ROOT_DOMAIN};
+    use crate::sim::Simulator;
+    use crate::verilog::{to_verilog, to_verilog_with_presets};
+    use crate::CellKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Co-simulates a netlist natively and through its Verilog export.
+    fn cosim(nl: &Netlist, presets: &[(crate::cell::NetId, bool)], stimulus: &[u64]) {
+        let src = to_verilog_with_presets(nl, presets);
+        let module = VerilogModule::parse(&src)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        let mut vs = module.interpreter();
+        let mut ns = Simulator::new(nl).unwrap();
+        for &(q, v) in presets {
+            ns.preset_dff(q, v);
+        }
+        let width = nl.inputs().len();
+        // Verilog port order: en_* enables (always-on here) come before
+        // data inputs in the interpreter's input list only if declared
+        // so; our emitter declares enables first.
+        let enables = module.inputs.iter().filter(|i| i.starts_with("en_")).count();
+        for &word in stimulus {
+            let mut vin: Vec<bool> = vec![true; enables];
+            vin.extend((0..width).map(|i| (word >> i) & 1 == 1));
+            let vout = vs.step(&vin);
+            let nout = ns.step(
+                &(0..width)
+                    .map(|i| (word >> i) & 1 == 1)
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(vout, nout, "divergence at stimulus {word:#x}");
+        }
+    }
+
+    #[test]
+    fn combinational_roundtrip() {
+        let mut nl = Netlist::new("comb");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.gate2(CellKind::Xor2, a, b);
+        let y = nl.gate2(CellKind::Nand2, x, a);
+        let z = nl.mux2(x, y, b);
+        nl.output("y", y);
+        nl.output("z", z);
+        cosim(&nl, &[], &(0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_roundtrip_with_presets() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.input("a");
+        let q0 = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.dff(a, ROOT_DOMAIN);
+        let y = nl.gate2(CellKind::And2, q0, q1);
+        nl.output("y", y);
+        let presets = vec![(q0, true)];
+        cosim(&nl, &presets, &[1, 0, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn gated_domain_roundtrip() {
+        // Gated domains become enable-guarded always blocks; driving the
+        // enable high in both simulators must agree (the native sim's
+        // domain stays enabled by default).
+        let mut nl = Netlist::new("gated");
+        let dom = nl.add_domain("free0");
+        let a = nl.input("a");
+        let q = nl.dff(a, dom);
+        nl.output("q", q);
+        cosim(&nl, &[], &[1, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_netlists_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..10 {
+            let mut nl = Netlist::new("rand");
+            let inputs = nl.input_bus("x", 4);
+            let mut nets = inputs.clone();
+            nets.push(nl.const0());
+            nets.push(nl.const1());
+            for _ in 0..25 {
+                let pick =
+                    |rng: &mut StdRng, nets: &Vec<_>| nets[rng.random_range(0..nets.len())];
+                let a = pick(&mut rng, &nets);
+                let b = pick(&mut rng, &nets);
+                let id = match rng.random_range(0..8) {
+                    0 => nl.gate1(CellKind::Inv, a),
+                    1 => nl.gate1(CellKind::Buf, a),
+                    2 => nl.gate2(CellKind::And2, a, b),
+                    3 => nl.gate2(CellKind::Nor2, a, b),
+                    4 => nl.gate2(CellKind::Xnor2, a, b),
+                    5 => nl.dff(a, ROOT_DOMAIN),
+                    6 => {
+                        let s = pick(&mut rng, &nets);
+                        nl.mux2(a, b, s)
+                    }
+                    _ => nl.gate2(CellKind::Or2, a, b),
+                };
+                nets.push(id);
+            }
+            for (i, &n) in nets.iter().rev().take(2).enumerate() {
+                nl.output(format!("y[{i}]"), n);
+            }
+            let stim: Vec<u64> = (0..40).map(|_| rng.random_range(0..16)).collect();
+            cosim(&nl, &[], &stim);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(VerilogModule::parse("not verilog at all").is_err());
+        let bad = "module m (\n  a\n);\n  input a;\n  assign b = a + a;\nendmodule\n";
+        assert!(VerilogModule::parse(bad).is_err());
+    }
+
+    #[test]
+    fn module_metadata_is_extracted() {
+        let mut nl = Netlist::new("meta");
+        let a = nl.input("a");
+        let q = nl.dff(a, ROOT_DOMAIN);
+        nl.output("q", q);
+        let m = VerilogModule::parse(&to_verilog(&nl)).unwrap();
+        assert_eq!(m.name(), "meta");
+        assert_eq!(m.inputs(), &["a".to_string()]);
+        assert_eq!(m.outputs(), &["q".to_string()]);
+        assert!(m.is_sequential());
+    }
+}

@@ -1,0 +1,74 @@
+//! Domain example: an approximate 6×6 multiplier for error-tolerant DSP.
+//!
+//! The paper's motivation (§I) is replacing arithmetic in error-tolerant
+//! applications with small LUTs. This example approximates an unsigned
+//! multiplier, then evaluates *application-level* quality on a small
+//! dot-product workload (the kernel of filtering/convolution): the
+//! approximate multiplier's relative error on accumulated products stays
+//! small even though individual products err.
+//!
+//! ```sh
+//! cargo run --release --example approx_multiplier
+//! ```
+
+use dalut::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 6x6 -> 12-bit multiplier (the paper's instance is 8x8).
+    let target = Benchmark::Multiplier
+        .table(Scale::Reduced(12))
+        .expect("builds");
+    let dist = InputDistribution::uniform(12).expect("valid width");
+
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 7;
+    params.partition_limit = 40;
+    let outcome = ApproxLutBuilder::new(&target)
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
+        .expect("search succeeds");
+    let approx = outcome.config.to_truth_table();
+
+    println!(
+        "multiplier: exact {} entries -> approx {} entries ({:.1}x smaller)",
+        target.len() * target.outputs(),
+        outcome.config.lut_entries(),
+        (target.len() * target.outputs()) as f64 / outcome.config.lut_entries() as f64,
+    );
+    println!("MED = {:.2} (of a 12-bit product)", outcome.med);
+    let report = dalut::boolfn::metrics::error_report(&target, &approx, &dist)
+        .expect("same shape");
+    println!(
+        "error rate = {:.1}%, max error distance = {}",
+        report.error_rate * 100.0,
+        report.max_ed
+    );
+
+    // Application-level quality: 64-tap dot products over random data.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut worst_rel = 0.0f64;
+    let mut sum_rel = 0.0f64;
+    const TRIALS: usize = 200;
+    for _ in 0..TRIALS {
+        let mut exact_acc = 0u64;
+        let mut approx_acc = 0u64;
+        for _ in 0..64 {
+            let a: u32 = rng.random_range(0..64);
+            let b: u32 = rng.random_range(0..64);
+            let x = a | (b << 6);
+            exact_acc += u64::from(target.eval(x));
+            approx_acc += u64::from(approx.eval(x));
+        }
+        let rel = (exact_acc as f64 - approx_acc as f64).abs() / (exact_acc.max(1) as f64);
+        worst_rel = worst_rel.max(rel);
+        sum_rel += rel;
+    }
+    println!("\n64-tap dot products ({TRIALS} trials):");
+    println!("  mean relative error  = {:.3}%", sum_rel / TRIALS as f64 * 100.0);
+    println!("  worst relative error = {:.3}%", worst_rel * 100.0);
+    let mean_rel = sum_rel / TRIALS as f64;
+    assert!(mean_rel < 0.05, "accumulated error should stay below 5%");
+}

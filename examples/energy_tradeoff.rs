@@ -1,0 +1,49 @@
+//! Accuracy–energy trade-off (a miniature of the paper's Fig. 6): sweep
+//! the per-bit (#BTO, #Normal, #ND) mode allocation of a BTO-Normal-ND
+//! architecture for `exp(x)` and print the frontier.
+//!
+//! ```sh
+//! cargo run --release --example energy_tradeoff
+//! ```
+
+use dalut::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let target = Benchmark::Exp.table(Scale::Reduced(8)).expect("builds");
+    let dist = InputDistribution::uniform(8).expect("valid width");
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 5;
+    params.partition_limit = 20;
+
+    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+        .expect("search succeeds");
+    let options = outcome.mode_options.expect("ND policy records options");
+    let points = mode_sweep(&target, &dist, &options).expect("sweep succeeds");
+
+    let lib = CellLibrary::nangate45();
+    let mut rng = StdRng::seed_from_u64(1);
+    let reads: Vec<u32> = (0..512).map(|_| rng.random_range(0..256)).collect();
+
+    println!("(#BTO,#Normal,#ND)   MED      energy fJ/read");
+    let mut last_energy = f64::NEG_INFINITY;
+    for p in &points {
+        let inst = build_approx_lut(&p.config, ArchStyle::BtoNormalNd).expect("maps");
+        let rep = characterize(&inst, &reads, &lib, 1.5).expect("characterises");
+        let (a, b, c) = p.mode_counts;
+        println!(
+            "({a:>2},{b:>2},{c:>2})           {:<8.3} {:.0}",
+            p.med, rep.energy_per_read_fj
+        );
+        // Activating more free tables costs energy, monotonically.
+        assert!(rep.energy_per_read_fj > last_energy);
+        last_energy = rep.energy_per_read_fj;
+    }
+    println!(
+        "\nfrontier spans {:.3} .. {:.3} MED over {} configurations",
+        points.last().expect("non-empty").med,
+        points.first().expect("non-empty").med,
+        points.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: approximate a quantised cosine with a decomposition-based
+//! LUT, inspect the compression and error, and run the synthesised-style
+//! hardware model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dalut::prelude::*;
+
+fn main() {
+    // A 10-bit-in / 10-bit-out cosine table (the paper uses 16/16; this
+    // runs in seconds).
+    let target = Benchmark::Cos.table(Scale::Reduced(10)).expect("builds");
+    let exact_entries = target.len() * target.outputs();
+
+    // Search with BS-SA and allow the BTO-Normal reconfigurable modes.
+    let outcome = ApproxLutBuilder::new(&target)
+        .bs_sa(BsSaParams::fast())
+        .policy(ArchPolicy::bto_normal_paper())
+        .run()
+        .expect("search succeeds");
+
+    let (bto, normal, nd) = outcome.config.mode_counts();
+    println!("target           : cos(x), {} entries exact", exact_entries);
+    println!("approx LUT       : {} entries", outcome.config.lut_entries());
+    println!(
+        "compression      : {:.1}x",
+        exact_entries as f64 / outcome.config.lut_entries() as f64
+    );
+    println!("mean error dist. : {:.3} LSB", outcome.med);
+    println!("modes (BTO/N/ND) : {bto}/{normal}/{nd}");
+
+    // Map onto the BTO-Normal architecture and read a few samples.
+    let inst = build_approx_lut(&outcome.config, ArchStyle::BtoNormal).expect("maps");
+    let mut sim = inst.simulator().expect("acyclic netlist");
+    println!("\n x      exact  approx(hw)");
+    for x in [0u32, 128, 256, 512, 768, 1023] {
+        let hw = inst.read(&mut sim, x);
+        println!("{x:>5}  {:>6}  {:>6}", target.eval(x), hw);
+        assert_eq!(hw, outcome.config.eval(x), "hardware matches the model");
+    }
+
+    // Characterise the hardware like the paper's Fig. 5 flow.
+    let reads: Vec<u32> = (0..1024).collect();
+    let report = characterize(&inst, &reads, &CellLibrary::nangate45(), 1.5)
+        .expect("characterisation succeeds");
+    println!("\narea             : {:.0} um^2", report.area_um2);
+    println!("critical path    : {:.3} ns", report.critical_path_ns);
+    println!("energy per read  : {:.0} fJ", report.energy_per_read_fj);
+}

@@ -1,0 +1,95 @@
+//! Runtime reprogramming: the paper's tables are "RAMs consisting of D
+//! flip-flops", so one physical approximate LUT can be *rewritten* to
+//! serve different functions. This example builds a writable bound table
+//! in hardware, serves a BTO-mode `cos` approximation, then reprograms
+//! the same silicon to an `erf` approximation — no rebuild, only writes.
+//!
+//! ```sh
+//! cargo run --release --example runtime_reprogram
+//! ```
+
+use dalut::decomp::{bit_costs, opt_for_part_bto, LsbFill};
+use dalut::hw::dff_lut_writable;
+use dalut::netlist::{Netlist, Simulator, ROOT_DOMAIN};
+use dalut::prelude::*;
+
+const N: usize = 8;
+
+/// Finds the best BTO pattern for the MSB of a benchmark under a fixed
+/// partition (the contents we will store / rewrite).
+fn bto_pattern(bench: Benchmark, part: Partition) -> (f64, Vec<bool>) {
+    let target = bench.table(Scale::Reduced(N)).expect("builds");
+    let dist = InputDistribution::uniform(N).expect("valid");
+    let bit = target.outputs() - 1;
+    let costs = bit_costs(&target, &target, bit, &dist, LsbFill::Accurate).expect("shape");
+    let (err, bto) = opt_for_part_bto(&costs, part);
+    (err, bto.pattern().to_vec())
+}
+
+fn main() {
+    // One shared physical geometry: bound set = the 5 high input bits
+    // (the coarse value of x, which is what a single-output-bit BTO
+    // approximation keys on).
+    let part = Partition::new(N, 0b1111_1000).expect("valid");
+    let (err_cos, pat_cos) = bto_pattern(Benchmark::Cos, part);
+    let (err_erf, pat_erf) = bto_pattern(Benchmark::Erf, part);
+    println!("cos MSB BTO error: {err_cos:.4}; erf MSB BTO error: {err_erf:.4}");
+
+    // Hardware: one writable 32-entry bound table.
+    let mut nl = Netlist::new("reprogrammable_bound_table");
+    let x = nl.input_bus("x", N);
+    let wdata = nl.input("wdata");
+    let wen = nl.input("wen");
+    let waddr = nl.input_bus("waddr", part.bound_size());
+    let bound_nets: Vec<_> = part.bound_vars().iter().map(|&v| x[v as usize]).collect();
+    let lut = dff_lut_writable(
+        &mut nl,
+        &pat_cos,
+        &bound_nets,
+        wdata,
+        wen,
+        &waddr,
+        ROOT_DOMAIN,
+    );
+    nl.output("y", lut.output);
+    println!(
+        "hardware: {} cells, {} storage DFFs (writable)",
+        nl.cell_count(),
+        nl.total_dffs()
+    );
+
+    let mut sim = Simulator::new(&nl).expect("acyclic");
+    for &(q, v) in &lut.presets {
+        sim.preset_dff(q, v);
+    }
+
+    // Input word layout: [x | wdata | wen | waddr].
+    let b = part.bound_size();
+    let low_free = part.free_size() as u64; // bound bits sit above the free bits
+    let read_bit = |sim: &mut Simulator, col: u64| -> bool {
+        // y is the only output, so eval_word returns it in bit 0; the
+        // bound column occupies the high input bits.
+        sim.eval_word(col << low_free) == 1
+    };
+    let write_bit = |sim: &mut Simulator, addr: u64, v: bool| {
+        let w = (u64::from(v) << N) | (1u64 << (N + 1)) | (addr << (N + 2));
+        sim.eval_word(w);
+    };
+
+    // Phase 1: serving cos.
+    let serving_cos: Vec<bool> = (0..1u64 << b).map(|c| read_bit(&mut sim, c)).collect();
+    assert_eq!(serving_cos, pat_cos, "hardware serves the cos pattern");
+    println!("phase 1: serving cos MSB — verified on all {} bound columns", 1 << b);
+
+    // Phase 2: reprogram in-place to erf (write only the differing bits).
+    let mut writes = 0;
+    for (addr, (&old, &new)) in pat_cos.iter().zip(&pat_erf).enumerate() {
+        if old != new {
+            write_bit(&mut sim, addr as u64, new);
+            writes += 1;
+        }
+    }
+    let serving_erf: Vec<bool> = (0..1u64 << b).map(|c| read_bit(&mut sim, c)).collect();
+    assert_eq!(serving_erf, pat_erf, "hardware now serves the erf pattern");
+    println!("phase 2: reprogrammed to erf MSB with {writes} single-bit writes — verified");
+}

@@ -1,0 +1,33 @@
+//! Exports a configured BTO-Normal-ND architecture as structural Verilog
+//! — the artefact the paper hands to Synopsys Design Compiler.
+//!
+//! ```sh
+//! cargo run --release --example verilog_export > approx_lut.v
+//! ```
+
+use dalut::prelude::*;
+
+fn main() {
+    // A small erf approximation so the emitted module stays readable.
+    let target = Benchmark::Erf.table(Scale::Reduced(6)).expect("builds");
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 3;
+    let outcome = ApproxLutBuilder::new(&target)
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
+        .expect("search succeeds");
+
+    let inst = build_approx_lut(&outcome.config, ArchStyle::BtoNormalNd).expect("maps");
+    // Preset-aware export: the initial block loads the table contents.
+    let verilog = inst.to_verilog();
+
+    eprintln!(
+        "// {} cells, {} DFFs, {} clock domains, MED {:.3}",
+        inst.netlist().cell_count(),
+        inst.netlist().total_dffs(),
+        inst.netlist().domains().len(),
+        outcome.med
+    );
+    println!("{verilog}");
+}

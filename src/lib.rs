@@ -1,0 +1,71 @@
+//! # dalut
+//!
+//! A from-scratch Rust reproduction of *"High-accuracy Low-power
+//! Reconfigurable Architectures for Decomposition-based Approximate
+//! Lookup Table"* (DATE 2023).
+//!
+//! Storing a pre-computed function in a lookup table costs `2^n` entries;
+//! decomposing each output bit as `F(φ(B), A)` (Ashenhurst decomposition,
+//! approximated to minimise the mean error distance) shrinks that to
+//! `2^b + 2^(n−b+1)` entries per bit. This crate family implements the
+//! paper's entire stack:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`boolfn`] | truth tables, partitions, distributions, error metrics |
+//! | [`decomp`] | exact + approximate decomposition (`OptForPart`, BTO, non-disjoint) |
+//! | [`core`] | the BS-SA search, DALTA baseline, mode selection, trade-off sweeps |
+//! | [`netlist`] | gate-level netlists, simulation, power/timing/area, Verilog export |
+//! | [`hw`] | DALTA / BTO-Normal / BTO-Normal-ND / rounding hardware models |
+//! | [`benchfns`] | the paper's ten benchmark functions |
+//!
+//! The facade re-exports the high-level API so `use dalut::prelude::*`
+//! is enough for most applications.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dalut::prelude::*;
+//!
+//! // 1. A target function: 8-bit quantised cosine.
+//! let target = Benchmark::Cos.table(Scale::Reduced(8)).unwrap();
+//!
+//! // 2. Search for a decomposition-based approximation.
+//! let outcome = ApproxLutBuilder::new(&target)
+//!     .bs_sa(BsSaParams::fast())
+//!     .policy(ArchPolicy::bto_normal_paper())
+//!     .run()
+//!     .unwrap();
+//!
+//! // 3. Map it onto the reconfigurable hardware and measure it.
+//! let inst = build_approx_lut(&outcome.config, ArchStyle::BtoNormal).unwrap();
+//! let reads: Vec<u32> = (0..256).collect();
+//! let report = characterize(&inst, &reads, &CellLibrary::nangate45(), 1.0).unwrap();
+//! assert!(report.energy_per_read_fj > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dalut_benchfns as benchfns;
+pub use dalut_boolfn as boolfn;
+pub use dalut_core as core;
+pub use dalut_decomp as decomp;
+pub use dalut_hw as hw;
+pub use dalut_netlist as netlist;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dalut_benchfns::{Benchmark, Scale};
+    pub use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable};
+    pub use dalut_core::{
+        mode_sweep, run_bs_sa, run_dalta, ApproxLutBuilder, ApproxLutConfig, ArchPolicy,
+        BitMode, BsSaParams, DaltaParams, SearchOutcome, SearchParams,
+    };
+    pub use dalut_decomp::{
+        bit_costs, exact_decompose, opt_for_part, AnyDecomp, DisjointDecomp, LsbFill,
+        NonDisjointDecomp, OptParams, RowType,
+    };
+    pub use dalut_hw::{build_approx_lut, characterize, ArchInstance, ArchReport, ArchStyle};
+    pub use dalut_netlist::{to_verilog, CellLibrary, Netlist, Simulator};
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: benchmark function → search → configuration →
+//! hardware netlist → functional equivalence, across crate boundaries.
+
+use dalut::prelude::*;
+
+/// Runs the full pipeline for one benchmark and architecture policy and
+/// checks that the hardware realises the searched configuration exactly.
+fn pipeline(bench: Benchmark, policy: ArchPolicy, style: ArchStyle, seed: u64) {
+    let target = bench.table(Scale::Reduced(8)).expect("benchmark builds");
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 5;
+    params.search.seed = seed;
+    let outcome = ApproxLutBuilder::new(&target)
+        .bs_sa(params)
+        .policy(policy)
+        .run()
+        .expect("search succeeds");
+
+    // The reported MED is the true MED of the materialised config.
+    let dist = InputDistribution::uniform(8).expect("valid width");
+    let recomputed = outcome.config.med(&target, &dist).expect("same shape");
+    assert!((outcome.med - recomputed).abs() < 1e-12);
+
+    // The hardware model matches the software model on every input.
+    let inst = build_approx_lut(&outcome.config, style).expect("config maps onto style");
+    let mut sim = inst.simulator().expect("acyclic");
+    for x in 0..256u32 {
+        assert_eq!(
+            inst.read(&mut sim, x),
+            outcome.config.eval(x),
+            "{bench} x={x:08b} ({style:?})"
+        );
+    }
+}
+
+#[test]
+fn cos_normal_only_on_dalta_architecture() {
+    pipeline(Benchmark::Cos, ArchPolicy::NormalOnly, ArchStyle::Dalta, 1);
+}
+
+#[test]
+fn exp_bto_normal_on_bto_normal_architecture() {
+    pipeline(
+        Benchmark::Exp,
+        ArchPolicy::bto_normal_paper(),
+        ArchStyle::BtoNormal,
+        2,
+    );
+}
+
+#[test]
+fn multiplier_full_policy_on_nd_architecture() {
+    pipeline(
+        Benchmark::Multiplier,
+        ArchPolicy::bto_normal_nd_paper(),
+        ArchStyle::BtoNormalNd,
+        3,
+    );
+}
+
+#[test]
+fn inversek2j_non_continuous_on_nd_architecture() {
+    // The non-continuous benchmark the Taylor-based methods cannot
+    // handle: decomposition must still work.
+    pipeline(
+        Benchmark::Inversek2j,
+        ArchPolicy::bto_normal_nd_paper(),
+        ArchStyle::BtoNormalNd,
+        4,
+    );
+}
+
+#[test]
+fn compression_is_substantial_at_paper_geometry() {
+    // With the paper's n = 16, b = 9 per-bit geometry, the decomposition
+    // stores 2^9 + 2^8 = 768 entries instead of 65536: an 85x reduction.
+    let per_bit = (1usize << 9) + (1usize << 8);
+    assert!(65536 / per_bit >= 85);
+}
+
+#[test]
+fn dalta_and_bssa_agree_on_problem_dimensions() {
+    let target = Benchmark::Tan.table(Scale::Reduced(8)).expect("builds");
+    let dist = InputDistribution::uniform(8).expect("valid width");
+    let mut dp = DaltaParams::fast();
+    dp.search.bound_size = 5;
+    let d = run_dalta(&target, &dist, &dp).expect("dalta runs");
+    let mut bp = BsSaParams::fast();
+    bp.search.bound_size = 5;
+    let b = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
+    assert_eq!(d.config.inputs(), b.config.inputs());
+    assert_eq!(d.config.outputs(), b.config.outputs());
+    // Every bit of both configs uses the configured bound size.
+    for cfg in [&d.config, &b.config] {
+        for bit in cfg.bits() {
+            assert_eq!(bit.decomp.partition().bound_size(), 5);
+        }
+    }
+}
+
+#[test]
+fn searched_config_round_trips_through_json() {
+    let target = Benchmark::Ln.table(Scale::Reduced(8)).expect("builds");
+    let mut params = BsSaParams::fast();
+    params.search.bound_size = 5;
+    let outcome = ApproxLutBuilder::new(&target)
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
+        .expect("search succeeds");
+    let json = serde_json::to_string(&outcome.config).expect("serialises");
+    let back: ApproxLutConfig = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back, outcome.config);
+    // The deserialised config still drives hardware generation.
+    let inst = build_approx_lut(&back, ArchStyle::BtoNormalNd).expect("maps");
+    let mut sim = inst.simulator().expect("acyclic");
+    for x in (0..256u32).step_by(17) {
+        assert_eq!(inst.read(&mut sim, x), outcome.config.eval(x));
+    }
+}

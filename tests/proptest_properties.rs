@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the cross-crate invariants.
+
+use dalut::decomp::{
+    bit_costs, column_error, opt_for_part, opt_for_part_bto, splice_bit, AnyDecomp, LsbFill,
+    OptParams,
+};
+use dalut::hw::lut::dff_lut;
+use dalut::netlist::{Netlist, Simulator, ROOT_DOMAIN};
+use dalut::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_table(n: usize, m: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(0u32..(1 << m), 1usize << n)
+        .prop_map(move |v| TruthTable::from_values(n, m, v).expect("valid values"))
+}
+
+fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
+    (1u32..((1 << n) - 1)).prop_filter_map("proper subset", move |mask| {
+        Partition::new(n, mask).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reported OptForPart error always equals the MED of splicing the
+    /// materialised decomposition into the approximation.
+    #[test]
+    fn opt_for_part_error_is_faithful(
+        g in arb_table(6, 4),
+        part in arb_partition(6),
+        bit in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let dist = InputDistribution::uniform(6).expect("valid");
+        let costs = bit_costs(&g, &g, bit, &dist, LsbFill::FromApprox).expect("shape");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        // Column-level check...
+        prop_assert!((column_error(&costs, &d.to_bit_column()) - err).abs() < 1e-12);
+        // ...and through the full MED metric.
+        let spliced = splice_bit(&g, bit, &AnyDecomp::Normal(d));
+        let med = dalut::boolfn::metrics::med(&g, &spliced, &dist).expect("shape");
+        prop_assert!((med - err).abs() < 1e-12);
+    }
+
+    /// Normal-mode optimisation never loses to the BTO restriction, and
+    /// both respect the per-cell ideal lower bound.
+    #[test]
+    fn mode_ordering_and_lower_bound(
+        g in arb_table(6, 3),
+        part in arb_partition(6),
+        bit in 0usize..3,
+    ) {
+        let dist = InputDistribution::uniform(6).expect("valid");
+        let costs = bit_costs(&g, &g, bit, &dist, LsbFill::FromApprox).expect("shape");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (e_norm, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        let (e_bto, _) = opt_for_part_bto(&costs, part);
+        prop_assert!(e_norm <= e_bto + 1e-12);
+        prop_assert!(e_norm >= costs.ideal_error() - 1e-12);
+    }
+
+    /// Any stored bit pattern reads back exactly through the DFF-RAM LUT
+    /// netlist (the hardware substrate is a faithful memory).
+    #[test]
+    fn dff_lut_reads_back_any_contents(
+        contents in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let mut nl = Netlist::new("prop_lut");
+        let addr = nl.input_bus("a", 4);
+        let lut = dff_lut(&mut nl, &contents, &addr, ROOT_DOMAIN);
+        nl.output("y", lut.output);
+        let mut sim = Simulator::new(&nl).expect("acyclic");
+        for &(q, v) in &lut.presets {
+            sim.preset_dff(q, v);
+        }
+        for (x, &want) in contents.iter().enumerate() {
+            prop_assert_eq!(sim.eval_word(x as u64) == 1, want);
+        }
+    }
+
+    /// MED is a metric-like quantity: zero iff equal tables (under a
+    /// full-support distribution), symmetric, and satisfies the triangle
+    /// inequality.
+    #[test]
+    fn med_triangle_inequality(
+        a in arb_table(5, 4),
+        b in arb_table(5, 4),
+        c in arb_table(5, 4),
+    ) {
+        use dalut::boolfn::metrics::med;
+        let dist = InputDistribution::uniform(5).expect("valid");
+        let ab = med(&a, &b, &dist).expect("shape");
+        let bc = med(&b, &c, &dist).expect("shape");
+        let ac = med(&a, &c, &dist).expect("shape");
+        prop_assert!(ac <= ab + bc + 1e-9);
+        prop_assert!((ab - med(&b, &a, &dist).expect("shape")).abs() < 1e-12);
+        prop_assert_eq!(med(&a, &a, &dist).expect("shape"), 0.0);
+        if ab == 0.0 {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Quantised builders are monotone-preserving: a monotone real
+    /// function stays monotone after quantisation.
+    #[test]
+    fn quantisation_preserves_monotonicity(scale in 0.1f64..10.0) {
+        let q = QuantizedFn::new(8, 8, 0.0, 1.0, 0.0, scale);
+        let t = q.build(|x| scale * x * x).expect("builds");
+        let mut prev = 0;
+        for x in 0..256u32 {
+            let v = t.eval(x);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Splicing a bit column never changes other bits of the function.
+    #[test]
+    fn splice_bit_is_local(
+        g in arb_table(5, 4),
+        part in arb_partition(5),
+        bit in 0usize..4,
+    ) {
+        let pattern: Vec<bool> = (0..part.cols()).map(|c| c % 2 == 0).collect();
+        let bto = dalut::decomp::BtoDecomp::new(part, pattern).expect("dims");
+        let spliced = splice_bit(&g, bit, &AnyDecomp::Bto(bto));
+        for x in 0..32u32 {
+            let mask = !(1u32 << bit);
+            prop_assert_eq!(spliced.eval(x) & mask, g.eval(x) & mask);
+        }
+    }
+}
