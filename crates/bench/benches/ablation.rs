@@ -51,8 +51,7 @@ fn bench_cost_sharing(c: &mut Criterion) {
                 .map(|&p| {
                     // What a naive implementation does: rebuild the cost
                     // model for every candidate partition.
-                    let costs =
-                        bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
+                    let costs = bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
                     opt_for_part(&costs, p, opt, &mut rng).0
                 })
                 .sum::<f64>()
@@ -103,5 +102,10 @@ fn bench_fill_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_sharing, bench_restarts, bench_fill_models);
+criterion_group!(
+    benches,
+    bench_cost_sharing,
+    bench_restarts,
+    bench_fill_models
+);
 criterion_main!(benches);

@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{InputDistribution, Partition};
-use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_bto, opt_for_part_nd, LsbFill, OptParams};
+use dalut_decomp::{
+    bit_costs, opt_for_part, opt_for_part_bto, opt_for_part_nd, opt_for_part_ref, LsbFill,
+    OptParams,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,6 +57,37 @@ fn bench_opt_for_part(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fast bit-packed kernel vs the retained reference kernel at the paper's
+/// working point: `Z = 30` restarts (`OptParams::default`) and the paper's
+/// `b = 9` bound-set size on a 16-input function (a 128 × 512 chart) — the
+/// speedup acceptance gate of the kernel rewrite.
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_fast_vs_ref");
+    group.sample_size(20);
+    let opt = OptParams::default();
+    for (n, b) in [(10usize, 6usize), (16, 9)] {
+        let target = Benchmark::Cos.table(Scale::Reduced(n)).unwrap();
+        let dist = InputDistribution::uniform(n).unwrap();
+        let costs = bit_costs(&target, &target, n - 1, &dist, LsbFill::Accurate).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = Partition::random(n, b, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("fast", format!("b{b}")), &b, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                opt_for_part(&costs, part, opt, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ref", format!("b{b}")), &b, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                opt_for_part_ref(&costs, part, opt, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_bit_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bit_costs");
     group.sample_size(30);
@@ -63,13 +97,16 @@ fn bench_bit_costs(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("fill", format!("{fill:?}")),
             &fill,
-            |bench, &fill| {
-                bench.iter(|| bit_costs(&target, &target, 6, &dist, fill).unwrap())
-            },
+            |bench, &fill| bench.iter(|| bit_costs(&target, &target, 6, &dist, fill).unwrap()),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_opt_for_part, bench_bit_costs);
+criterion_group!(
+    benches,
+    bench_opt_for_part,
+    bench_fast_vs_reference,
+    bench_bit_costs
+);
 criterion_main!(benches);

@@ -142,7 +142,17 @@ mod tests {
 
     #[test]
     fn numeric_options_parse() {
-        let a = parse(&["--scale", "12", "--runs", "5", "--seed", "9", "--threads", "4"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "12",
+            "--runs",
+            "5",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(a.scale_bits, 12);
         assert_eq!(a.runs, 5);
         assert_eq!(a.seed, 9);

@@ -40,8 +40,7 @@ fn main() {
         outcome.config.lut_entries()
     );
     // Per-bit error diagnostics: where does the MED come from?
-    let breakdown =
-        error_breakdown(&outcome.config, &target, &dist).expect("same dimensions");
+    let breakdown = error_breakdown(&outcome.config, &target, &dist).expect("same dimensions");
     eprintln!("bit  mode    flip-rate  marginal-MED  repair-gain");
     for b in &breakdown.bits {
         eprintln!(

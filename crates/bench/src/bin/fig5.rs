@@ -21,7 +21,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-const ARCH_NAMES: [&str; 5] = ["RoundOut", "RoundIn", "DALTA", "BTO-Normal", "BTO-Normal-ND"];
+const ARCH_NAMES: [&str; 5] = [
+    "RoundOut",
+    "RoundIn",
+    "DALTA",
+    "BTO-Normal",
+    "BTO-Normal-ND",
+];
 
 #[derive(Debug, Serialize)]
 struct ArchMetrics {
@@ -88,10 +94,10 @@ fn main() {
         let dalta = best_dalta.expect("at least one run");
         let mut bp = bssa_params(&args, n);
         bp.search.seed = args.seed;
-        let bn = run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_paper())
-            .expect("bs-sa runs");
-        let bnnd = run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper())
-            .expect("bs-sa runs");
+        let bn =
+            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_paper()).expect("bs-sa runs");
+        let bnnd =
+            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper()).expect("bs-sa runs");
 
         // --- Rounding baselines. ---
         let q = choose_q(&target, &dist, dalta.med);

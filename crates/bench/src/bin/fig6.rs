@@ -66,8 +66,8 @@ fn main() {
     for run in 0..args.effective_runs() {
         let mut bp = bssa_params(&args, n);
         bp.search.seed = args.seed + 1000 * run as u64;
-        let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper())
-            .expect("bs-sa runs");
+        let out =
+            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper()).expect("bs-sa runs");
         if outcome.as_ref().is_none_or(|b| out.med < b.med) {
             outcome = Some(out);
         }

@@ -1,0 +1,167 @@
+//! Tracked performance report: times the `OptForPart` kernel (fast vs the
+//! retained reference implementation) at the paper's chart sizes and a
+//! reduced `table2`-style search, then writes `BENCH_kernel.json` at the
+//! repository root so successive PRs can track the performance trajectory.
+//!
+//! Run with `cargo run -p dalut-bench --release --bin perfreport`.
+//! Accepts the usual harness flags (`--seed`, `--threads`, `--scale` for
+//! the search section's function width).
+
+use dalut_bench::report::write_json;
+use dalut_bench::setup::{bssa_params, dalta_params};
+use dalut_bench::HarnessArgs;
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::{InputDistribution, Partition};
+use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One kernel timing row: fast vs reference at a given chart shape.
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    n: usize,
+    b: usize,
+    rows: usize,
+    cols: usize,
+    restarts: usize,
+    iters_timed: usize,
+    fast_ns_per_call: f64,
+    ref_ns_per_call: f64,
+    speedup: f64,
+}
+
+/// One search timing row (reduced `table2` workload).
+#[derive(Debug, Serialize)]
+struct SearchRow {
+    benchmark: String,
+    scale_bits: usize,
+    algorithm: String,
+    med: f64,
+    seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    seed: u64,
+    threads: usize,
+    kernel: Vec<KernelRow>,
+    search: Vec<SearchRow>,
+}
+
+/// Times `f` over enough iterations for a stable per-call figure
+/// (targets ~0.5 s of measurement after a warm-up call).
+fn time_ns(mut f: impl FnMut()) -> (f64, usize) {
+    f(); // warm-up
+    let probe = Instant::now();
+    f();
+    let one = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = (0.5 / one).clamp(3.0, 10_000.0) as usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, iters)
+}
+
+fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
+    // Paper parameters: Z = 30 restarts. The (16, 9) shape is the paper's
+    // working point — bound-set size 9, i.e. the 512-column chart every
+    // full-scale OptForPart call works on, with a 128-row free set.
+    let opt = OptParams::default();
+    [(10usize, 6usize), (16, 9)]
+        .into_iter()
+        .map(|(n, b)| {
+            let target = Benchmark::Cos
+                .table(Scale::Reduced(n))
+                .expect("valid scale");
+            let dist = InputDistribution::uniform(n).expect("valid width");
+            let costs =
+                bit_costs(&target, &target, n - 1, &dist, LsbFill::Accurate).expect("costs");
+            let mut prng = StdRng::seed_from_u64(args.seed);
+            let part = Partition::random(n, b, &mut prng);
+            let (fast_ns, iters_timed) = time_ns(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                std::hint::black_box(opt_for_part(&costs, part, opt, &mut rng));
+            });
+            let (ref_ns, _) = time_ns(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                std::hint::black_box(opt_for_part_ref(&costs, part, opt, &mut rng));
+            });
+            let row = KernelRow {
+                n,
+                b,
+                rows: part.rows(),
+                cols: part.cols(),
+                restarts: opt.restarts,
+                iters_timed,
+                fast_ns_per_call: fast_ns,
+                ref_ns_per_call: ref_ns,
+                speedup: ref_ns / fast_ns,
+            };
+            eprintln!(
+                "kernel b={}: fast {:.0} ns/call, ref {:.0} ns/call, speedup {:.2}x",
+                row.b, row.fast_ns_per_call, row.ref_ns_per_call, row.speedup
+            );
+            row
+        })
+        .collect()
+}
+
+fn search_section(args: &HarnessArgs) -> Vec<SearchRow> {
+    // A reduced table2 workload: two representative benchmarks (one
+    // continuous, one discrete), one run each, both algorithms.
+    let scale_bits = args.scale_bits.min(8);
+    let scale = Scale::Reduced(scale_bits);
+    let mut out = Vec::new();
+    for bench in [Benchmark::Cos, Benchmark::BrentKung] {
+        let target = bench.table(scale).expect("benchmark builds");
+        let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
+        let mut dp = dalta_params(args, target.inputs());
+        dp.search.seed = args.seed;
+        let dalta = run_dalta(&target, &dist, &dp).expect("dalta runs");
+        out.push(SearchRow {
+            benchmark: bench.name().to_string(),
+            scale_bits,
+            algorithm: "dalta".to_string(),
+            med: dalta.med,
+            seconds: dalta.elapsed.as_secs_f64(),
+        });
+        let mut bp = bssa_params(args, target.inputs());
+        bp.search.seed = args.seed;
+        let bssa = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
+        out.push(SearchRow {
+            benchmark: bench.name().to_string(),
+            scale_bits,
+            algorithm: "bs-sa".to_string(),
+            med: bssa.med,
+            seconds: bssa.elapsed.as_secs_f64(),
+        });
+        eprintln!(
+            "search {}: DALTA {:.2}s (med {:.3}), BS-SA {:.2}s (med {:.3})",
+            bench.name(),
+            out[out.len() - 2].seconds,
+            out[out.len() - 2].med,
+            out[out.len() - 1].seconds,
+            out[out.len() - 1].med,
+        );
+    }
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let report = Report {
+        schema: "dalut-perfreport/v1".to_string(),
+        seed: args.seed,
+        threads: args.threads,
+        kernel: kernel_section(&args),
+        search: search_section(&args),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    write_json(path, &report).expect("write BENCH_kernel.json");
+    eprintln!("wrote {path}");
+}

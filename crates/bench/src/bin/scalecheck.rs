@@ -29,13 +29,7 @@ use serde::Serialize;
 /// A synthetic per-bit decomposition at the given geometry: random
 /// pattern/type vectors (contents do not affect the structural metrics;
 /// random contents give realistic switching activity).
-fn synthetic_bit(
-    bit: usize,
-    n: usize,
-    b: usize,
-    mode: &str,
-    rng: &mut StdRng,
-) -> BitConfig {
+fn synthetic_bit(bit: usize, n: usize, b: usize, mode: &str, rng: &mut StdRng) -> BitConfig {
     let part = Partition::random(n, b, rng);
     let pattern: Vec<bool> = (0..part.cols()).map(|_| rng.random()).collect();
     let decomp = match mode {
@@ -48,8 +42,7 @@ fn synthetic_bit(
         }
         "nd" => {
             let s = part.bound_vars()[0] as usize;
-            let reduced_bound =
-                dalut_decomp::reduce_mask(part.bound_mask() & !(1u32 << s), s);
+            let reduced_bound = dalut_decomp::reduce_mask(part.bound_mask() & !(1u32 << s), s);
             let reduced = Partition::new(n - 1, reduced_bound).expect("valid");
             let mk_half = |rng: &mut StdRng| {
                 let pat: Vec<bool> = (0..reduced.cols()).map(|_| rng.random()).collect();
@@ -106,7 +99,10 @@ fn main() {
     let round_out_q = 5usize;
     let w = round_in_w(n);
     let builds: Vec<(String, dalut_hw::ArchInstance)> = vec![
-        ("RoundOut(q=5)".into(), build_round_out(&target, round_out_q)),
+        (
+            "RoundOut(q=5)".into(),
+            build_round_out(&target, round_out_q),
+        ),
         (format!("RoundIn(w={w})"), build_round_in(&target, w)),
         (
             "DALTA".into(),
@@ -142,7 +138,10 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for (name, inst) in &builds {
-        eprintln!("  measuring {name} ({} cells)...", inst.netlist().cell_count());
+        eprintln!(
+            "  measuring {name} ({} cells)...",
+            inst.netlist().cell_count()
+        );
         let rep = characterize(inst, &reads, &lib, clock).expect("characterise");
         table.row(vec![
             name.clone(),
@@ -163,7 +162,10 @@ fn main() {
     }
     println!("\nPaper-geometry (n=16, b=9) hardware characterisation.\n");
     println!("{}", table.render());
-    let ri = rows.iter().find(|r| r.arch.starts_with("RoundIn")).expect("present");
+    let ri = rows
+        .iter()
+        .find(|r| r.arch.starts_with("RoundIn"))
+        .expect("present");
     let da = rows.iter().find(|r| r.arch == "DALTA").expect("present");
     println!(
         "RoundIn / DALTA energy ratio = {:.2} at paper geometry \

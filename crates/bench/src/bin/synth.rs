@@ -56,9 +56,14 @@ fn main() {
     // Functional sign-off against the software model on a sample, with
     // an optional VCD trace of the sweep (the VCS artefact).
     let mut sim = inst.simulator().expect("acyclic netlist");
-    let mut recorder = vcd_path.as_ref().map(|_| VcdRecorder::ports(inst.netlist()));
+    let mut recorder = vcd_path
+        .as_ref()
+        .map(|_| VcdRecorder::ports(inst.netlist()));
     let step = ((1u32 << config.inputs()) / 256).max(1);
-    for (t, x) in (0..1u32 << config.inputs()).step_by(step as usize).enumerate() {
+    for (t, x) in (0..1u32 << config.inputs())
+        .step_by(step as usize)
+        .enumerate()
+    {
         assert_eq!(
             inst.read(&mut sim, x),
             config.eval(x),

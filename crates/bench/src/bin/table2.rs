@@ -59,8 +59,7 @@ fn main() {
             bp.search.seed = seed;
             // Table II compares the normal mode only (as the paper does,
             // since DALTA has no other mode).
-            let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly)
-                .expect("bs-sa runs");
+            let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
             r.bssa_med.push(out.med);
             r.bssa_secs.push(out.elapsed.as_secs_f64());
             eprintln!(

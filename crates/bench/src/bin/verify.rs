@@ -33,7 +33,13 @@ fn main() {
     eprintln!("verify: exhaustive hardware sign-off at scale {scale:?}");
 
     let mut rows: Vec<VerifyRow> = Vec::new();
-    let mut table = Table::new(&["benchmark", "architecture", "inputs", "mismatches", "verilog"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "architecture",
+        "inputs",
+        "mismatches",
+        "verilog",
+    ]);
     for bench in Benchmark::all() {
         if let Some(only) = &args.only {
             if !bench.name().eq_ignore_ascii_case(only) {
@@ -49,14 +55,18 @@ fn main() {
             .expect("search succeeds");
         let all_normal = outcome.config.mode_counts() == (0, outcome.config.outputs(), 0);
 
-        let styles: Vec<ArchStyle> = [ArchStyle::Dalta, ArchStyle::BtoNormal, ArchStyle::BtoNormalNd]
-            .into_iter()
-            .filter(|s| match s {
-                ArchStyle::Dalta => all_normal,
-                ArchStyle::BtoNormal => outcome.config.mode_counts().2 == 0,
-                ArchStyle::BtoNormalNd => true,
-            })
-            .collect();
+        let styles: Vec<ArchStyle> = [
+            ArchStyle::Dalta,
+            ArchStyle::BtoNormal,
+            ArchStyle::BtoNormalNd,
+        ]
+        .into_iter()
+        .filter(|s| match s {
+            ArchStyle::Dalta => all_normal,
+            ArchStyle::BtoNormal => outcome.config.mode_counts().2 == 0,
+            ArchStyle::BtoNormalNd => true,
+        })
+        .collect();
         for style in styles {
             let inst = build_approx_lut(&outcome.config, style).expect("maps");
             let mut sim = inst.simulator().expect("acyclic");
@@ -72,24 +82,23 @@ fn main() {
                 Err(_) => false,
                 Ok(m) => {
                     let mut vs = m.interpreter();
-                    let disabled: std::collections::HashSet<usize> = inst
-                        .disabled_domains()
-                        .iter()
-                        .map(|d| d.index())
-                        .collect();
+                    let disabled: std::collections::HashSet<usize> =
+                        inst.disabled_domains().iter().map(|d| d.index()).collect();
                     let enables: Vec<bool> = (1..inst.netlist().domains().len())
                         .map(|d| !disabled.contains(&d))
                         .collect();
-                    (0..(1u32 << n)).step_by(((1usize << n) / 64).max(1)).all(|x| {
-                        let mut vin = enables.clone();
-                        vin.extend((0..n).map(|i| (x >> i) & 1 == 1));
-                        let out = vs.step(&vin);
-                        let word = out
-                            .iter()
-                            .enumerate()
-                            .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
-                        word == outcome.config.eval(x)
-                    })
+                    (0..(1u32 << n))
+                        .step_by(((1usize << n) / 64).max(1))
+                        .all(|x| {
+                            let mut vin = enables.clone();
+                            vin.extend((0..n).map(|i| (x >> i) & 1 == 1));
+                            let out = vs.step(&vin);
+                            let word = out
+                                .iter()
+                                .enumerate()
+                                .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+                            word == outcome.config.eval(x)
+                        })
                 }
             };
             table.row(vec![
@@ -110,7 +119,9 @@ fn main() {
     }
     println!("\nFunctional sign-off report.\n");
     println!("{}", table.render());
-    let clean = rows.iter().all(|r| r.mismatches == 0 && r.verilog_sample_ok);
+    let clean = rows
+        .iter()
+        .all(|r| r.mismatches == 0 && r.verilog_sample_ok);
     println!(
         "verdict: {}",
         if clean {

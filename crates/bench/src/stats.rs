@@ -12,7 +12,10 @@ pub fn geomean(values: &[f64]) -> f64 {
     let log_sum: f64 = values
         .iter()
         .map(|&v| {
-            assert!(v.is_finite() && v >= 0.0, "geomean requires finite non-negative values");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "geomean requires finite non-negative values"
+            );
             v.max(1e-12).ln()
         })
         .sum();
@@ -45,8 +48,7 @@ impl RunStats {
         let stdev = if samples.len() < 2 {
             0.0
         } else {
-            let var = samples.iter().map(|&s| (s - avg) * (s - avg)).sum::<f64>()
-                / (n - 1.0);
+            let var = samples.iter().map(|&s| (s - avg) * (s - avg)).sum::<f64>() / (n - 1.0);
             var.sqrt()
         };
         Self { min, avg, stdev }

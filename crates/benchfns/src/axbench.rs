@@ -26,7 +26,9 @@ fn dequant(code: u32, half: usize, lo: f64, hi: f64) -> f64 {
 /// Real value in `[lo, hi]` → code of `bits` bits (round, clamp).
 fn quant(v: f64, bits: usize, lo: f64, hi: f64) -> u32 {
     let max_code = ((1u64 << bits) - 1) as f64;
-    (((v - lo) / (hi - lo)) * max_code).round().clamp(0.0, max_code) as u32
+    (((v - lo) / (hi - lo)) * max_code)
+        .round()
+        .clamp(0.0, max_code) as u32
 }
 
 /// The Brent–Kung adder benchmark: `2·half`-bit input (two stitched
@@ -93,8 +95,8 @@ pub fn inversek2j_table(half: usize) -> Result<TruthTable, BoolFnError> {
         let x = dequant(cx, half, 0.0, 1.0);
         let y = dequant(cy, half, 0.0, 1.0);
         let d2 = x * x + y * y;
-        let cos_t2 = ((d2 - LINK1 * LINK1 - LINK2 * LINK2) / (2.0 * LINK1 * LINK2))
-            .clamp(-1.0, 1.0);
+        let cos_t2 =
+            ((d2 - LINK1 * LINK1 - LINK2 * LINK2) / (2.0 * LINK1 * LINK2)).clamp(-1.0, 1.0);
         let t2 = cos_t2.acos();
         let t1 = y.atan2(x) - (LINK2 * t2.sin()).atan2(LINK1 + LINK2 * t2.cos());
         let q1 = quant(t1.clamp(-PI, PI), half, -PI, PI);

@@ -103,7 +103,7 @@ mod tests {
     fn ln_matches_at_known_points() {
         let t = ln_table(12, 12).unwrap();
         assert_eq!(t.eval(0), 0); // ln(1) = 0
-        // ln(10) = 2.302585 vs range max 2.30 -> clamps to full scale.
+                                  // ln(10) = 2.302585 vs range max 2.30 -> clamps to full scale.
         assert_eq!(t.eval(4095), 4095);
     }
 
@@ -129,7 +129,14 @@ mod tests {
     fn all_tables_build_at_paper_scale() {
         // 16-bit in / 16-bit out, as in the paper (smoke test: ~0.3 MB
         // each, must build without panicking).
-        for f in [cos_table, tan_table, exp_table, ln_table, erf_table, denoise_table] {
+        for f in [
+            cos_table,
+            tan_table,
+            exp_table,
+            ln_table,
+            erf_table,
+            denoise_table,
+        ] {
             let t = f(16, 16).unwrap();
             assert_eq!(t.len(), 65536);
         }

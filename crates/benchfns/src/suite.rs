@@ -192,7 +192,10 @@ mod tests {
             assert_eq!(b.range().is_some(), b.is_continuous());
         }
         assert_eq!(
-            Benchmark::all().iter().filter(|b| b.is_continuous()).count(),
+            Benchmark::all()
+                .iter()
+                .filter(|b| b.is_continuous())
+                .count(),
             6
         );
     }

@@ -152,6 +152,21 @@ impl ScatterTable {
     pub fn col_bits(&self, col: usize) -> u32 {
         self.col_part[col]
     }
+
+    /// All row contributions as a slice (index `r` is [`row_bits`](Self::row_bits)` (r)`).
+    ///
+    /// Lets hot kernels iterate the gather table directly instead of
+    /// calling the per-cell accessors in a 2-D loop.
+    #[inline]
+    pub fn row_parts(&self) -> &[u32] {
+        &self.row_part
+    }
+
+    /// All column contributions as a slice (index `c` is [`col_bits`](Self::col_bits)` (c)`).
+    #[inline]
+    pub fn col_parts(&self) -> &[u32] {
+        &self.col_part
+    }
 }
 
 #[cfg(test)]

@@ -194,7 +194,10 @@ impl InputDistribution {
     /// Panics if `s >= n` or `n == 1`.
     pub fn condition_on_bit(&self, s: usize, value: bool) -> (f64, InputDistribution) {
         assert!(s < self.inputs(), "bit out of range");
-        assert!(self.inputs() > 1, "cannot condition a 1-variable distribution");
+        assert!(
+            self.inputs() > 1,
+            "cannot condition a 1-variable distribution"
+        );
         let reduced_n = self.inputs() - 1;
         match &self.kind {
             DistKind::Uniform => (
@@ -292,9 +295,7 @@ mod tests {
         let d = InputDistribution::gaussian(6, 0.25, 0.1).unwrap();
         assert!((total(&d) - 1.0).abs() < 1e-12);
         // Peak near code 16 (0.25 of 63).
-        let peak = (0..64u32).max_by(|&a, &b| {
-            d.prob(a).partial_cmp(&d.prob(b)).unwrap()
-        });
+        let peak = (0..64u32).max_by(|&a, &b| d.prob(a).partial_cmp(&d.prob(b)).unwrap());
         let p = peak.unwrap();
         assert!((14..=18).contains(&p), "peak at {p}");
         assert!(InputDistribution::gaussian(6, 0.5, 0.0).is_err());

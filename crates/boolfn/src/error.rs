@@ -41,10 +41,9 @@ impl fmt::Display for BoolFnError {
             Self::OutputWidth(m) => {
                 write!(f, "output width {m} outside supported range 1..=31")
             }
-            Self::ValueLength { expected, actual } => write!(
-                f,
-                "value table has {actual} entries, expected {expected}"
-            ),
+            Self::ValueLength { expected, actual } => {
+                write!(f, "value table has {actual} entries, expected {expected}")
+            }
             Self::ValueRange {
                 index,
                 value,

@@ -48,8 +48,7 @@ pub fn max_error_distance(
     dist: &InputDistribution,
 ) -> Result<u32, BoolFnError> {
     check(g, g_hat, dist)?;
-    Ok(g
-        .iter()
+    Ok(g.iter()
         .zip(g_hat.values())
         .filter(|((x, _), _)| dist.prob(*x) > 0.0)
         .map(|((_, a), b)| a.abs_diff(*b))
@@ -69,8 +68,7 @@ pub fn error_rate(
     dist: &InputDistribution,
 ) -> Result<f64, BoolFnError> {
     check(g, g_hat, dist)?;
-    Ok(g
-        .iter()
+    Ok(g.iter()
         .zip(g_hat.values())
         .filter(|((_, a), b)| a != *b)
         .map(|((x, _), _)| dist.prob(x))
@@ -113,8 +111,7 @@ pub fn bit_flip_rate(
 ) -> Result<f64, BoolFnError> {
     check(g, g_hat, dist)?;
     assert!(bit < g.outputs(), "output bit out of range");
-    Ok(g
-        .iter()
+    Ok(g.iter()
         .zip(g_hat.values())
         .filter(|((_, a), b)| (a ^ *b) >> bit & 1 == 1)
         .map(|((x, _), _)| dist.prob(x))
@@ -170,11 +167,7 @@ pub fn error_report(
     })
 }
 
-fn check(
-    g: &TruthTable,
-    g_hat: &TruthTable,
-    dist: &InputDistribution,
-) -> Result<(), BoolFnError> {
+fn check(g: &TruthTable, g_hat: &TruthTable, dist: &InputDistribution) -> Result<(), BoolFnError> {
     g.check_same_shape(g_hat)?;
     if dist.inputs() != g.inputs() {
         return Err(BoolFnError::DimensionMismatch(format!(

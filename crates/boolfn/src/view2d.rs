@@ -43,7 +43,10 @@ impl<T> Grid<T> {
     /// Panics if out of range.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> &T {
-        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "grid index out of range"
+        );
         &self.data[row * self.cols + col]
     }
 
@@ -54,7 +57,10 @@ impl<T> Grid<T> {
     /// Panics if out of range.
     #[inline]
     pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
-        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "grid index out of range"
+        );
         &mut self.data[row * self.cols + col]
     }
 

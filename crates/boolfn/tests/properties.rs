@@ -7,9 +7,8 @@ use proptest::prelude::*;
 
 fn arb_partition() -> impl Strategy<Value = Partition> {
     (2usize..=8).prop_flat_map(|n| {
-        (Just(n), 1u32..((1 << n) - 1)).prop_filter_map("proper subset", |(n, mask)| {
-            Partition::new(n, mask).ok()
-        })
+        (Just(n), 1u32..((1 << n) - 1))
+            .prop_filter_map("proper subset", |(n, mask)| Partition::new(n, mask).ok())
     })
 }
 

@@ -89,8 +89,7 @@ pub fn error_breakdown(
     for bc in config.bits() {
         let flip_rate = metrics::bit_flip_rate(target, &approx, dist, bc.bit)?;
         // Repair: restore this bit to accurate, keep the others approximate.
-        let repaired =
-            approx.with_bit_replaced(bc.bit, |x| target.output_bit(bc.bit, x));
+        let repaired = approx.with_bit_replaced(bc.bit, |x| target.output_bit(bc.bit, x));
         let repaired_med = metrics::med(target, &repaired, dist)?;
         bits.push(BitErrorReport {
             bit: bc.bit,
@@ -139,9 +138,7 @@ mod tests {
         for b in &br.bits {
             // Verify the identity directly: splice only this bit into the
             // accurate function.
-            let only_this = g.with_bit_replaced(b.bit, |x| {
-                cfg.bits()[b.bit].decomp.eval_bit(x)
-            });
+            let only_this = g.with_bit_replaced(b.bit, |x| cfg.bits()[b.bit].decomp.eval_bit(x));
             let med = metrics::med(&g, &only_this, &d).unwrap();
             assert!(
                 (med - b.marginal_med).abs() < 1e-12,

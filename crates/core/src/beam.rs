@@ -182,7 +182,11 @@ pub fn run_bs_sa(
             let start = Some(incumbent.decomp.partition());
             let better = |sa: Option<Setting>, mode: &str| -> Option<Setting> {
                 match sa {
-                    Some(sa) if incumbent.decomp.mode_name() != mode || sa.error <= incumbent.error => Some(sa),
+                    Some(sa)
+                        if incumbent.decomp.mode_name() != mode || sa.error <= incumbent.error =>
+                    {
+                        Some(sa)
+                    }
                     Some(_) => Some(incumbent.clone()),
                     None => None,
                 }
@@ -267,9 +271,7 @@ pub fn run_bs_sa(
         .settings
         .into_iter()
         .enumerate()
-        .map(|(bit, s)| {
-            BitConfig::from_setting(bit, s.expect("every bit assigned in round 1"))
-        })
+        .map(|(bit, s)| BitConfig::from_setting(bit, s.expect("every bit assigned in round 1")))
         .collect();
     let config = ApproxLutConfig::new(n, m, bits)?;
     let med = config.med(target, dist)?;
@@ -318,13 +320,7 @@ mod tests {
     #[test]
     fn bto_normal_policy_records_options_and_modes() {
         let (g, d) = problem(3, 6, 3);
-        let out = run_bs_sa(
-            &g,
-            &d,
-            &BsSaParams::fast(),
-            ArchPolicy::bto_normal_paper(),
-        )
-        .unwrap();
+        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::bto_normal_paper()).unwrap();
         let opts = out.mode_options.as_ref().expect("options recorded");
         assert_eq!(opts.len(), 3);
         for (i, o) in opts.iter().enumerate() {

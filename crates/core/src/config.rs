@@ -80,11 +80,7 @@ impl ApproxLutConfig {
     /// Returns an error unless there is exactly one config per output bit
     /// (in ascending order) and every decomposition is over `inputs`
     /// variables.
-    pub fn new(
-        inputs: usize,
-        outputs: usize,
-        bits: Vec<BitConfig>,
-    ) -> Result<Self, BoolFnError> {
+    pub fn new(inputs: usize, outputs: usize, bits: Vec<BitConfig>) -> Result<Self, BoolFnError> {
         if bits.len() != outputs {
             return Err(BoolFnError::DimensionMismatch(format!(
                 "{} bit configs for {} output bits",
@@ -131,9 +127,9 @@ impl ApproxLutConfig {
 
     /// Evaluates the approximate function on input `x`.
     pub fn eval(&self, x: u32) -> u32 {
-        self.bits
-            .iter()
-            .fold(0u32, |acc, bc| acc | (u32::from(bc.decomp.eval_bit(x)) << bc.bit))
+        self.bits.iter().fold(0u32, |acc, bc| {
+            acc | (u32::from(bc.decomp.eval_bit(x)) << bc.bit)
+        })
     }
 
     /// Materialises the approximate function as a truth table.
@@ -147,11 +143,7 @@ impl ApproxLutConfig {
     /// # Errors
     ///
     /// Returns an error on shape mismatch.
-    pub fn med(
-        &self,
-        target: &TruthTable,
-        dist: &InputDistribution,
-    ) -> Result<f64, BoolFnError> {
+    pub fn med(&self, target: &TruthTable, dist: &InputDistribution) -> Result<f64, BoolFnError> {
         dalut_boolfn::metrics::med(target, &self.to_truth_table(), dist)
     }
 
@@ -213,12 +205,8 @@ mod tests {
         BitConfig {
             bit,
             decomp: AnyDecomp::Normal(
-                DisjointDecomp::new(
-                    p,
-                    vec![true; p.cols()],
-                    vec![RowType::Pattern; p.rows()],
-                )
-                .unwrap(),
+                DisjointDecomp::new(p, vec![true; p.cols()], vec![RowType::Pattern; p.rows()])
+                    .unwrap(),
             ),
             expected_error: 0.0,
         }

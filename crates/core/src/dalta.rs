@@ -3,8 +3,8 @@
 
 use crate::config::{ApproxLutConfig, BitConfig};
 use crate::outcome::SearchOutcome;
-use crate::params::DaltaParams;
 use crate::parallel::run_tasks;
+use crate::params::DaltaParams;
 use dalut_boolfn::{metrics, BoolFnError, InputDistribution, Partition, TruthTable};
 use dalut_decomp::{bit_costs, opt_for_part, AnyDecomp, LsbFill, Setting};
 use rand::rngs::StdRng;
@@ -191,7 +191,10 @@ mod tests {
         large.partition_limit = 14;
         let e_small = run_dalta(&g, &d, &small).unwrap().med;
         let e_large = run_dalta(&g, &d, &large).unwrap().med;
-        assert!(e_large <= e_small + 0.5, "large {e_large} vs small {e_small}");
+        assert!(
+            e_large <= e_small + 0.5,
+            "large {e_large} vs small {e_small}"
+        );
     }
 
     #[test]

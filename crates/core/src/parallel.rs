@@ -37,8 +37,10 @@ where
     let n = tasks.len();
     let slots: Vec<parking_lot::Mutex<Option<T>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let task_cells: Vec<parking_lot::Mutex<Option<F>>> =
-        tasks.into_iter().map(|f| parking_lot::Mutex::new(Some(f))).collect();
+    let task_cells: Vec<parking_lot::Mutex<Option<F>>> = tasks
+        .into_iter()
+        .map(|f| parking_lot::Mutex::new(Some(f)))
+        .collect();
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
 

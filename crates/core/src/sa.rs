@@ -6,13 +6,12 @@
 //! top `N_beam` decomposition settings. Several SA processes can run
 //! against one shared visited set `Φ`, as in the paper's implementation.
 
+use crate::parallel::run_tasks;
 use crate::params::BsSaParams;
 
 use crate::visited::{TopSettings, VisitedSet};
 use dalut_boolfn::Partition;
-use dalut_decomp::{
-    opt_for_part, opt_for_part_bto, opt_for_part_nd, AnyDecomp, BitCosts, Setting,
-};
+use dalut_decomp::{opt_for_part, opt_for_part_bto, opt_for_part_nd, AnyDecomp, BitCosts, Setting};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +104,14 @@ impl SaChain {
 
     /// Performs one iteration of the main loop (lines 5-19): evaluates one
     /// neighbourhood batch, moves per the SA acceptance rule, cools down.
+    ///
+    /// The `N_nb` `OptForPart` calls of the batch are independent, so the
+    /// neighbours not already in `Φ` are fanned out over `threads` workers.
+    /// Each pending neighbour gets a dedicated RNG seeded from this chain's
+    /// stream *in neighbour order before the fan-out*, and results are
+    /// merged back into `Φ` in that same order — so the chain consumes its
+    /// RNG identically regardless of `threads`, and the whole step is a
+    /// deterministic function of the chain state.
     fn step(
         &mut self,
         costs: &BitCosts,
@@ -112,29 +119,49 @@ impl SaChain {
         params: &BsSaParams,
         phi: &VisitedSet,
         tops: &TopSettings,
+        threads: usize,
     ) {
         if self.done || phi.len() >= params.partition_limit {
             self.done = true;
             return;
         }
         let neighbors = self.omega.random_neighbors(params.neighbors, &mut self.rng);
-        let mut best_nb: Option<(Partition, f64)> = None;
-        let mut changed = false;
-        for nb in neighbors {
-            let e_nb = match phi.get(nb.bound_mask()) {
-                Some(e) => e,
-                None => {
-                    let s = optimize_partition(costs, nb, mode, params, &mut self.rng);
-                    let e = s.error;
-                    if phi.insert(nb.bound_mask(), e) {
-                        changed = true;
+        let mut errs: Vec<Option<f64>> = neighbors
+            .iter()
+            .map(|nb| phi.get(nb.bound_mask()))
+            .collect();
+        let mut pending: Vec<(usize, Partition, u64)> = Vec::new();
+        for (i, nb) in neighbors.iter().enumerate() {
+            if errs[i].is_none() {
+                pending.push((i, *nb, self.rng.random()));
+            }
+        }
+        let settings = run_tasks(
+            pending
+                .iter()
+                .map(|&(_, nb, seed)| {
+                    move || {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        optimize_partition(costs, nb, mode, params, &mut rng)
                     }
-                    tops.offer(s);
-                    e
-                }
-            };
+                })
+                .collect(),
+            threads,
+        );
+        let mut changed = false;
+        for (&(i, nb, _), s) in pending.iter().zip(settings) {
+            let e = s.error;
+            if phi.insert(nb.bound_mask(), e) {
+                changed = true;
+            }
+            tops.offer(s);
+            errs[i] = Some(e);
+        }
+        let mut best_nb: Option<(Partition, f64)> = None;
+        for (nb, e_nb) in neighbors.iter().zip(errs) {
+            let e_nb = e_nb.expect("every neighbour is cached or evaluated by now");
             if best_nb.is_none_or(|(_, be)| e_nb < be) {
-                best_nb = Some((nb, e_nb));
+                best_nb = Some((*nb, e_nb));
             }
         }
         if let Some((nb, e_nb)) = best_nb {
@@ -171,8 +198,19 @@ impl SaChain {
 /// the bit's incumbent partition so refinement never loses track of the
 /// current solution's neighbourhood.
 ///
-/// With `params.search.threads <= 1` the chains step round-robin and the
-/// result is a deterministic function of `seed`.
+/// The thread budget is split across two levels: up to
+/// `min(threads, chains)` chains step concurrently, and each stepping
+/// chain fans its neighbourhood batch out over the remaining budget
+/// (`threads / chain workers`). A single chain therefore still uses the
+/// whole budget — with `sa_processes = 1` and `threads = 4`, the four
+/// (or five) neighbour evaluations of each batch run on four workers.
+///
+/// With `params.search.threads <= 1` everything runs on the calling
+/// thread and the result is a deterministic function of `seed`. With one
+/// chain the result is the *same* deterministic function for any thread
+/// count (per-neighbour RNG streams are pre-seeded and merged in
+/// neighbour order); only multiple chains racing on the shared `Φ` make
+/// the outcome schedule-dependent.
 ///
 /// # Panics
 ///
@@ -210,21 +248,25 @@ pub fn find_best_settings(
         .collect();
     // Round-robin stepping: every live chain advances one neighbourhood
     // batch per sweep, all sharing Φ — the fair interleaving the paper
-    // gets from running its 10 SA processes concurrently.
-    let threads = params.search.threads.min(chains);
+    // gets from running its 10 SA processes concurrently. The thread
+    // budget splits across chain workers first; whatever is left over
+    // fans each chain's neighbourhood batch out inside `step`.
+    let threads = params.search.threads.max(1);
+    let chain_workers = threads.min(chains);
+    let batch_threads = (threads / chain_workers).max(1);
     while states.iter().any(|st| !st.done) && phi.len() < params.partition_limit {
-        if threads <= 1 {
+        if chain_workers <= 1 {
             for st in states.iter_mut().filter(|st| !st.done) {
-                st.step(costs, mode, params, &phi, &tops);
+                st.step(costs, mode, params, &phi, &tops, batch_threads);
             }
         } else {
-            let chunk = states.len().div_ceil(threads);
+            let chunk = states.len().div_ceil(chain_workers);
             crossbeam::scope(|scope| {
                 for slice in states.chunks_mut(chunk) {
                     let (phi, tops) = (&phi, &tops);
                     scope.spawn(move |_| {
                         for st in slice.iter_mut().filter(|st| !st.done) {
-                            st.step(costs, mode, params, phi, tops);
+                            st.step(costs, mode, params, phi, tops, batch_threads);
                         }
                     });
                 }
@@ -328,6 +370,22 @@ mod tests {
         let out = find_best_settings(&costs, 7, DecompMode::Normal, &params, 10, 3, None);
         // We can overshoot by at most one neighbourhood batch per chain.
         assert!(out.len() <= 3 + params.neighbors);
+    }
+
+    #[test]
+    fn single_chain_fanout_is_thread_count_invariant() {
+        // One chain fans its neighbourhood batch out over the whole thread
+        // budget; per-neighbour RNG streams are pre-seeded and merged in
+        // neighbour order, so the result must not depend on thread count.
+        let g = table(8);
+        let costs = costs_for(&g, 1);
+        let mut params = BsSaParams::fast();
+        params.sa_processes = 1;
+        params.search.threads = 1;
+        let a = find_best_settings(&costs, 7, DecompMode::Normal, &params, 3, 21, None);
+        params.search.threads = 4;
+        let b = find_best_settings(&costs, 7, DecompMode::Normal, &params, 3, 21, None);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -112,7 +112,9 @@ pub fn mode_sweep(
                 BitMode::Normal if o.nd.is_some() => BitMode::NonDisjoint,
                 _ => continue,
             };
-            let cur_err = setting_for(o, modes[i]).expect("current mode available").error;
+            let cur_err = setting_for(o, modes[i])
+                .expect("current mode available")
+                .error;
             let next_err = match setting_for(o, next) {
                 Some(s) => s.error,
                 None => continue,

@@ -48,11 +48,7 @@ impl BitCosts {
     /// Lower bound on the achievable MED for this bit: every input takes
     /// its cheaper choice.
     pub fn ideal_error(&self) -> f64 {
-        self.c0
-            .iter()
-            .zip(&self.c1)
-            .map(|(&a, &b)| a.min(b))
-            .sum()
+        self.c0.iter().zip(&self.c1).map(|(&a, &b)| a.min(b)).sum()
     }
 
     /// Splits the cost arrays by the value of input bit `s`, compressing
@@ -186,7 +182,10 @@ mod tests {
             let column: Vec<bool> = (0..16u32).map(|x| x % 3 == 0).collect();
             let spliced = g_hat.with_bit_replaced(bit, |x| column[x as usize]);
             let med = metrics::med(&g, &spliced, &d).unwrap();
-            assert!((column_error(&costs, &column) - med).abs() < 1e-12, "bit {bit}");
+            assert!(
+                (column_error(&costs, &column) - med).abs() < 1e-12,
+                "bit {bit}"
+            );
         }
     }
 
@@ -231,7 +230,7 @@ mod tests {
         let d = dist(1);
         let costs = bit_costs(&g, &g_hat, 1, &d, LsbFill::Predictive).unwrap();
         assert!((costs.c1[0] - 0.5).abs() < 1e-12); // p = 1/2 each input
-        // Choosing 0 ties (Ŷ_M == Y_M) -> LSBs predicted accurate -> 0.
+                                                    // Choosing 0 ties (Ŷ_M == Y_M) -> LSBs predicted accurate -> 0.
         assert!(costs.c0[0] < 1e-12);
     }
 

@@ -51,8 +51,10 @@ pub mod setting;
 
 pub use cost::{bit_costs, column_error, BitCosts, LsbFill};
 pub use exact::{brute_force_optimal, exact_decompose, is_decomposable};
+#[cfg(any(test, feature = "ref-kernel"))]
+pub use opt_for_part::reference::opt_for_part_ref;
 pub use opt_for_part::{opt_for_part, opt_for_part_bto, opt_for_part_nd, OptParams};
 pub use setting::{
-    expand_index, pattern_to_minterms, reduce_index, reduce_mask, splice_bit, AnyDecomp,
-    BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType, Setting,
+    expand_index, pattern_to_minterms, reduce_index, reduce_mask, splice_bit, AnyDecomp, BtoDecomp,
+    DisjointDecomp, NonDisjointDecomp, RowType, Setting,
 };

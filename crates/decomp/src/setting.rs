@@ -87,11 +87,7 @@ impl DisjointDecomp {
     /// # Errors
     ///
     /// Returns `None` if `pattern.len() != 2^|B|` or `types.len() != 2^|A|`.
-    pub fn new(
-        partition: Partition,
-        pattern: Vec<bool>,
-        types: Vec<RowType>,
-    ) -> Option<Self> {
+    pub fn new(partition: Partition, pattern: Vec<bool>, types: Vec<RowType>) -> Option<Self> {
         if pattern.len() != partition.cols() || types.len() != partition.rows() {
             return None;
         }
@@ -676,13 +672,7 @@ mod tests {
         let nd = make_nd();
         let part = nd.partition();
         // x3 is in the free set.
-        assert!(NonDisjointDecomp::new(
-            part,
-            3,
-            nd.half0().clone(),
-            nd.half1().clone()
-        )
-        .is_none());
+        assert!(NonDisjointDecomp::new(part, 3, nd.half0().clone(), nd.half1().clone()).is_none());
     }
 
     #[test]

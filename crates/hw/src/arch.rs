@@ -82,7 +82,12 @@ fn mode_name(d: &AnyDecomp) -> &'static str {
 
 /// DALTA per-bit block: routing box + bound table + free table, all in
 /// the root clock domain (nothing can be gated).
-fn dalta_bit(nl: &mut Netlist, x: &[NetId], decomp: &AnyDecomp, bit: usize) -> Result<BitBlock, HwError> {
+fn dalta_bit(
+    nl: &mut Netlist,
+    x: &[NetId],
+    decomp: &AnyDecomp,
+    bit: usize,
+) -> Result<BitBlock, HwError> {
     let AnyDecomp::Normal(d) = decomp else {
         return Err(HwError::UnsupportedMode {
             style: ArchStyle::Dalta.name(),
@@ -152,7 +157,11 @@ fn bto_normal_bit(
     Ok(BitBlock {
         y,
         presets,
-        disabled: if is_bto { vec![free_domain] } else { Vec::new() },
+        disabled: if is_bto {
+            vec![free_domain]
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -253,7 +262,10 @@ pub fn build_approx_lut(
     config: &ApproxLutConfig,
     style: ArchStyle,
 ) -> Result<ArchInstance, HwError> {
-    let mut nl = Netlist::new(format!("approx_lut_{}", style.name().to_lowercase().replace('-', "_")));
+    let mut nl = Netlist::new(format!(
+        "approx_lut_{}",
+        style.name().to_lowercase().replace('-', "_")
+    ));
     let x = nl.input_bus("x", config.inputs());
     let mut presets = Vec::new();
     let mut disabled = Vec::new();
@@ -267,7 +279,13 @@ pub fn build_approx_lut(
         presets.extend(block.presets);
         disabled.extend(block.disabled);
     }
-    Ok(ArchInstance::new(nl, presets, disabled, config.inputs(), config.outputs()))
+    Ok(ArchInstance::new(
+        nl,
+        presets,
+        disabled,
+        config.inputs(),
+        config.outputs(),
+    ))
 }
 
 #[cfg(test)]

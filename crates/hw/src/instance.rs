@@ -2,8 +2,8 @@
 //! energy per read — the paper's Fig. 5 metrics).
 
 use dalut_netlist::{
-    area_um2, critical_path_ns, power_report, CellLibrary, DomainId, NetId, Netlist,
-    NetlistError, PowerReport, Simulator,
+    area_um2, critical_path_ns, power_report, CellLibrary, DomainId, NetId, Netlist, NetlistError,
+    PowerReport, Simulator,
 };
 use serde::{Deserialize, Serialize};
 
@@ -168,9 +168,9 @@ pub fn characterize(
 mod tests {
     use super::*;
     use crate::arch::{build_approx_lut, ArchStyle};
-    use dalut_core::ArchPolicy as Policy;
     use dalut_boolfn::builder::random_table;
     use dalut_boolfn::InputDistribution;
+    use dalut_core::ArchPolicy as Policy;
     use dalut_core::{run_bs_sa, ArchPolicy, BsSaParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -38,8 +38,8 @@
 pub mod arch;
 pub mod instance;
 pub mod lut;
-pub mod routing;
 pub mod rounding;
+pub mod routing;
 
 pub use arch::{build_approx_lut, ArchStyle, HwError};
 pub use instance::{characterize, ArchInstance, ArchReport};

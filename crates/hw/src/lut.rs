@@ -264,8 +264,7 @@ mod tests {
 
     /// Input word layout for the writable LUT: [addr | wdata | wen | waddr].
     fn word(bits: usize, addr: u64, wdata: bool, wen: bool, waddr: u64) -> u64 {
-        addr | (u64::from(wdata) << bits) | (u64::from(wen) << (bits + 1))
-            | (waddr << (bits + 2))
+        addr | (u64::from(wdata) << bits) | (u64::from(wen) << (bits + 1)) | (waddr << (bits + 2))
     }
 
     #[test]

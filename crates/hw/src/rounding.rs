@@ -75,12 +75,7 @@ pub fn build_round_in(g: &TruthTable, w: usize) -> ArchInstance {
     let mut nl = Netlist::new("round_in");
     let x = nl.input_bus("x", g.inputs());
     let addr = &x[w..];
-    let medians: Vec<u32> = model
-        .values()
-        .iter()
-        .step_by(1 << w)
-        .copied()
-        .collect();
+    let medians: Vec<u32> = model.values().iter().step_by(1 << w).copied().collect();
     let (outs, presets) = dff_lut_multi(&mut nl, &medians, g.outputs(), addr, ROOT_DOMAIN);
     for (i, o) in outs.iter().enumerate() {
         nl.output(format!("y[{i}]"), *o);

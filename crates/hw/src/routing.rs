@@ -38,11 +38,7 @@ pub fn routing_box(nl: &mut Netlist, inputs: &[NetId], perm: &[usize]) -> Vec<Ne
 /// variable order: `perm[j]` is the source variable of routed position
 /// `j`.
 pub fn bound_first_permutation(partition: dalut_boolfn::Partition) -> Vec<usize> {
-    let mut perm: Vec<usize> = partition
-        .bound_vars()
-        .iter()
-        .map(|&v| v as usize)
-        .collect();
+    let mut perm: Vec<usize> = partition.bound_vars().iter().map(|&v| v as usize).collect();
     perm.extend(partition.free_vars().iter().map(|&v| v as usize));
     perm
 }

@@ -66,7 +66,11 @@ pub fn equivalent_random(
     check_interfaces(a, b);
     let bits = a.inputs().len();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let words: Vec<u64> = (0..count).map(|_| rng.random::<u64>() & mask).collect();
     equivalent_on(a, b, &words)
 }

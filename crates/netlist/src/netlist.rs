@@ -150,7 +150,9 @@ impl Netlist {
     /// Adds a bus of named primary inputs (`name[0]`, `name[1]`, ...),
     /// LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// The constant-0 net.
@@ -352,10 +354,7 @@ impl Netlist {
                 .find(|&i| {
                     let k = self.cells[i].kind;
                     !k.is_sequential()
-                        && !matches!(
-                            k,
-                            CellKind::Input | CellKind::Const0 | CellKind::Const1
-                        )
+                        && !matches!(k, CellKind::Input | CellKind::Const0 | CellKind::Const1)
                         && indeg[i] > 0
                 })
                 .unwrap_or(0);
@@ -392,7 +391,7 @@ mod tests {
         assert_eq!(nl.cell_count(), 4);
         let order = nl.topo_order().unwrap();
         assert_eq!(order.len(), 2); // and, inv
-        // AND comes before INV.
+                                    // AND comes before INV.
         let pos_and = order.iter().position(|&i| i == x.index() as u32).unwrap();
         let pos_inv = order.iter().position(|&i| i == y.index() as u32).unwrap();
         assert!(pos_and < pos_inv);

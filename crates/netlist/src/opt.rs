@@ -244,10 +244,10 @@ pub fn optimize_mapped(netlist: &Netlist) -> (Netlist, OptStats, Vec<Option<NetI
     }
 
     let lookup = |id: NetId,
-                      out: &mut Netlist,
-                      remap: &Vec<Option<NetId>>,
-                      const0: &mut Option<NetId>,
-                      const1: &mut Option<NetId>|
+                  out: &mut Netlist,
+                  remap: &Vec<Option<NetId>>,
+                  const0: &mut Option<NetId>,
+                  const1: &mut Option<NetId>|
      -> NetId {
         match resolve(&known, id) {
             Known::False => *const0.get_or_insert_with(|| out.const0()),
@@ -340,7 +340,10 @@ mod tests {
         let (opt, stats) = optimize(&nl);
         // y == b: no gates remain at all.
         assert_eq!(
-            opt.cells().iter().filter(|c| c.kind == CellKind::Mux2).count(),
+            opt.cells()
+                .iter()
+                .filter(|c| c.kind == CellKind::Mux2)
+                .count(),
             0
         );
         assert!(stats.wires_folded >= 1);
@@ -377,10 +380,7 @@ mod tests {
         nl.output("y", y);
         let (opt, _) = optimize(&nl);
         assert!(equivalent_exhaustive(&nl, &opt).unwrap());
-        assert!(opt
-            .cells()
-            .iter()
-            .any(|c| c.kind == CellKind::Const0));
+        assert!(opt.cells().iter().any(|c| c.kind == CellKind::Const0));
     }
 
     #[test]
@@ -419,9 +419,8 @@ mod tests {
             nets.push(nl.const0());
             nets.push(nl.const1());
             for _ in 0..30 {
-                let pick = |rng: &mut StdRng, nets: &Vec<NetId>| {
-                    nets[rng.random_range(0..nets.len())]
-                };
+                let pick =
+                    |rng: &mut StdRng, nets: &Vec<NetId>| nets[rng.random_range(0..nets.len())];
                 let a = pick(&mut rng, &nets);
                 let b = pick(&mut rng, &nets);
                 let s = pick(&mut rng, &nets);
@@ -469,9 +468,8 @@ mod tests {
             nets.push(nl.const1());
             let mut dffs: Vec<NetId> = Vec::new();
             for step in 0..25 {
-                let pick = |rng: &mut StdRng, nets: &Vec<NetId>| {
-                    nets[rng.random_range(0..nets.len())]
-                };
+                let pick =
+                    |rng: &mut StdRng, nets: &Vec<NetId>| nets[rng.random_range(0..nets.len())];
                 let a = pick(&mut rng, &nets);
                 let b = pick(&mut rng, &nets);
                 let id = match rng.random_range(0..6) {
@@ -534,7 +532,10 @@ mod tests {
         let (opt, _) = optimize(&nl);
         // x[5] selected (sel = 101 LSB-first); no muxes remain.
         assert_eq!(
-            opt.cells().iter().filter(|c| c.kind == CellKind::Mux2).count(),
+            opt.cells()
+                .iter()
+                .filter(|c| c.kind == CellKind::Mux2)
+                .count(),
             0
         );
         assert!(equivalent_exhaustive(&nl, &opt).unwrap());

@@ -194,7 +194,9 @@ mod tests {
         let sum: f64 = rep.clock_energy_by_domain_fj.iter().sum();
         assert!((sum - rep.clock_energy_fj).abs() < 1e-9);
         // Root: 4 DFFs, no ICG; gated: 2 DFFs + ICG.
-        assert!((rep.clock_energy_by_domain_fj[0] - 4.0 * lib.dff_clock_energy_fj * 10.0).abs() < 1e-9);
+        assert!(
+            (rep.clock_energy_by_domain_fj[0] - 4.0 * lib.dff_clock_energy_fj * 10.0).abs() < 1e-9
+        );
         assert!(
             (rep.clock_energy_by_domain_fj[1]
                 - (2.0 * lib.dff_clock_energy_fj + lib.icg_energy_fj) * 10.0)

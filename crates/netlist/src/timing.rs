@@ -131,8 +131,8 @@ mod tests {
         let y = nl.gate2(CellKind::And2, slow, fast);
         nl.output("y", y);
         let d = critical_path_ns(&nl, &lib).unwrap();
-        let expect = 2.0 * lib.params(CellKind::Xor2).delay_ns
-            + lib.params(CellKind::And2).delay_ns;
+        let expect =
+            2.0 * lib.params(CellKind::Xor2).delay_ns + lib.params(CellKind::And2).delay_ns;
         assert!((d - expect).abs() < 1e-12);
     }
 

@@ -230,7 +230,7 @@ impl VerilogModule {
                     .ok_or_else(|| err(lineno, "malformed assign".into()))?;
                 let expr = parse_expr(rhs).map_err(|m| err(lineno, m))?;
                 assigns.push((lhs.trim().to_string(), expr));
-            } else if !name.is_empty() && (is_ident(line.trim_end_matches(',')) ) {
+            } else if !name.is_empty() && (is_ident(line.trim_end_matches(','))) {
                 // port list continuation lines inside module (...)
                 continue;
             } else {
@@ -368,11 +368,7 @@ impl VerilogSim<'_> {
         for (lhs, v) in out_aliases {
             self.values.insert(lhs, v);
         }
-        self.module
-            .outputs
-            .iter()
-            .map(|o| self.get(o))
-            .collect()
+        self.module.outputs.iter().map(|o| self.get(o)).collect()
     }
 }
 
@@ -389,8 +385,8 @@ mod tests {
     /// Co-simulates a netlist natively and through its Verilog export.
     fn cosim(nl: &Netlist, presets: &[(crate::cell::NetId, bool)], stimulus: &[u64]) {
         let src = to_verilog_with_presets(nl, presets);
-        let module = VerilogModule::parse(&src)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        let module =
+            VerilogModule::parse(&src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
         let mut vs = module.interpreter();
         let mut ns = Simulator::new(nl).unwrap();
         for &(q, v) in presets {
@@ -400,16 +396,16 @@ mod tests {
         // Verilog port order: en_* enables (always-on here) come before
         // data inputs in the interpreter's input list only if declared
         // so; our emitter declares enables first.
-        let enables = module.inputs.iter().filter(|i| i.starts_with("en_")).count();
+        let enables = module
+            .inputs
+            .iter()
+            .filter(|i| i.starts_with("en_"))
+            .count();
         for &word in stimulus {
             let mut vin: Vec<bool> = vec![true; enables];
             vin.extend((0..width).map(|i| (word >> i) & 1 == 1));
             let vout = vs.step(&vin);
-            let nout = ns.step(
-                &(0..width)
-                    .map(|i| (word >> i) & 1 == 1)
-                    .collect::<Vec<_>>(),
-            );
+            let nout = ns.step(&(0..width).map(|i| (word >> i) & 1 == 1).collect::<Vec<_>>());
             assert_eq!(vout, nout, "divergence at stimulus {word:#x}");
         }
     }
@@ -462,8 +458,7 @@ mod tests {
             nets.push(nl.const0());
             nets.push(nl.const1());
             for _ in 0..25 {
-                let pick =
-                    |rng: &mut StdRng, nets: &Vec<_>| nets[rng.random_range(0..nets.len())];
+                let pick = |rng: &mut StdRng, nets: &Vec<_>| nets[rng.random_range(0..nets.len())];
                 let a = pick(&mut rng, &nets);
                 let b = pick(&mut rng, &nets);
                 let id = match rng.random_range(0..8) {

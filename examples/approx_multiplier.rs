@@ -39,8 +39,7 @@ fn main() {
         (target.len() * target.outputs()) as f64 / outcome.config.lut_entries() as f64,
     );
     println!("MED = {:.2} (of a 12-bit product)", outcome.med);
-    let report = dalut::boolfn::metrics::error_report(&target, &approx, &dist)
-        .expect("same shape");
+    let report = dalut::boolfn::metrics::error_report(&target, &approx, &dist).expect("same shape");
     println!(
         "error rate = {:.1}%, max error distance = {}",
         report.error_rate * 100.0,
@@ -67,7 +66,10 @@ fn main() {
         sum_rel += rel;
     }
     println!("\n64-tap dot products ({TRIALS} trials):");
-    println!("  mean relative error  = {:.3}%", sum_rel / TRIALS as f64 * 100.0);
+    println!(
+        "  mean relative error  = {:.3}%",
+        sum_rel / TRIALS as f64 * 100.0
+    );
     println!("  worst relative error = {:.3}%", worst_rel * 100.0);
     let mean_rel = sum_rel / TRIALS as f64;
     assert!(mean_rel < 0.05, "accumulated error should stay below 5%");

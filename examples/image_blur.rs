@@ -128,9 +128,21 @@ fn main() {
     };
     let (max_err, psnr) = psnr_of(&appr);
     let (max_err_u, psnr_u) = psnr_of(&appr_uniform);
-    println!("blurred {W}x{H} image (distribution-aware): max pixel error {max_err}, PSNR {psnr:.1} dB");
+    println!(
+        "blurred {W}x{H} image (distribution-aware): max pixel error {max_err}, PSNR {psnr:.1} dB"
+    );
     println!("blurred {W}x{H} image (uniform-optimised):  max pixel error {max_err_u}, PSNR {psnr_u:.1} dB");
     assert!(psnr > 30.0, "application-level quality must remain high");
-    assert!(psnr >= psnr_u, "knowing the workload distribution must not hurt");
-    println!("quality verdict: {}", if psnr > 35.0 { "visually indistinguishable" } else { "acceptable" });
+    assert!(
+        psnr >= psnr_u,
+        "knowing the workload distribution must not hurt"
+    );
+    println!(
+        "quality verdict: {}",
+        if psnr > 35.0 {
+            "visually indistinguishable"
+        } else {
+            "acceptable"
+        }
+    );
 }

@@ -12,15 +12,17 @@
 //! ```
 
 use dalut::decomp::{
-    bit_costs, exact_decompose, opt_for_part_bto, opt_for_part_nd, pattern_to_minterms,
-    LsbFill, OptParams,
+    bit_costs, exact_decompose, opt_for_part_bto, opt_for_part_nd, pattern_to_minterms, LsbFill,
+    OptParams,
 };
 use dalut::prelude::*;
 use rand::SeedableRng;
 
 fn table_from_rows(rows: [[u32; 4]; 4]) -> TruthTable {
-    TruthTable::from_fn(4, 1, |x| rows[(x & 0b11) as usize][((x >> 2) & 0b11) as usize])
-        .expect("4-input table")
+    TruthTable::from_fn(4, 1, |x| {
+        rows[(x & 0b11) as usize][((x >> 2) & 0b11) as usize]
+    })
+    .expect("4-input table")
 }
 
 fn print_chart(f: &TruthTable, p: Partition) {
@@ -68,7 +70,11 @@ fn main() {
         .expect("decomposes exactly");
     println!(
         "exact: V = {:?}, T = {:?}",
-        exact.pattern().iter().map(|&b| u32::from(b)).collect::<Vec<_>>(),
+        exact
+            .pattern()
+            .iter()
+            .map(|&b| u32::from(b))
+            .collect::<Vec<_>>(),
         exact.types().iter().map(|t| t.code()).collect::<Vec<_>>()
     );
     let dist = InputDistribution::uniform(4).expect("valid width");
@@ -76,7 +82,10 @@ fn main() {
     let (err, bto) = opt_for_part_bto(&costs, p1);
     println!(
         "BTO (all rows type 3): V = {:?}, error = {err} ({} of 16 cells wrong)",
-        bto.pattern().iter().map(|&b| u32::from(b)).collect::<Vec<_>>(),
+        bto.pattern()
+            .iter()
+            .map(|&b| u32::from(b))
+            .collect::<Vec<_>>(),
         (err * 16.0).round()
     );
     assert!((err - 1.0 / 16.0).abs() < 1e-12, "exactly one wrong cell");

@@ -23,7 +23,10 @@ fn main() {
 
     let (bto, normal, nd) = outcome.config.mode_counts();
     println!("target           : cos(x), {} entries exact", exact_entries);
-    println!("approx LUT       : {} entries", outcome.config.lut_entries());
+    println!(
+        "approx LUT       : {} entries",
+        outcome.config.lut_entries()
+    );
     println!(
         "compression      : {:.1}x",
         exact_entries as f64 / outcome.config.lut_entries() as f64

@@ -79,7 +79,10 @@ fn main() {
     // Phase 1: serving cos.
     let serving_cos: Vec<bool> = (0..1u64 << b).map(|c| read_bit(&mut sim, c)).collect();
     assert_eq!(serving_cos, pat_cos, "hardware serves the cos pattern");
-    println!("phase 1: serving cos MSB — verified on all {} bound columns", 1 << b);
+    println!(
+        "phase 1: serving cos MSB — verified on all {} bound columns",
+        1 << b
+    );
 
     // Phase 2: reprogram in-place to erf (write only the differing bits).
     let mut writes = 0;

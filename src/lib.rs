@@ -59,8 +59,8 @@ pub mod prelude {
     pub use dalut_benchfns::{Benchmark, Scale};
     pub use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable};
     pub use dalut_core::{
-        mode_sweep, run_bs_sa, run_dalta, ApproxLutBuilder, ApproxLutConfig, ArchPolicy,
-        BitMode, BsSaParams, DaltaParams, SearchOutcome, SearchParams,
+        mode_sweep, run_bs_sa, run_dalta, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BitMode,
+        BsSaParams, DaltaParams, SearchOutcome, SearchParams,
     };
     pub use dalut_decomp::{
         bit_costs, exact_decompose, opt_for_part, AnyDecomp, DisjointDecomp, LsbFill,

@@ -2,7 +2,9 @@
 //! mode-energy ordering that powers Fig. 5/6, the error ordering of the
 //! decomposition modes, and the Verilog export of real configurations.
 
-use dalut::decomp::{bit_costs, opt_for_part, opt_for_part_bto, opt_for_part_nd, LsbFill, OptParams};
+use dalut::decomp::{
+    bit_costs, opt_for_part, opt_for_part_bto, opt_for_part_nd, LsbFill, OptParams,
+};
 use dalut::netlist::area_um2;
 use dalut::prelude::*;
 use rand::rngs::StdRng;
@@ -22,8 +24,7 @@ fn cos8() -> (TruthTable, InputDistribution) {
 fn mode_error_ordering_per_partition() {
     let (target, dist) = cos8();
     for bit in [0usize, 3, 7] {
-        let costs = bit_costs(&target, &target, bit, &dist, LsbFill::Accurate)
-            .expect("same shape");
+        let costs = bit_costs(&target, &target, bit, &dist, LsbFill::Accurate).expect("same shape");
         for mask in [0b0001_1101u32, 0b1110_0010, 0b0110_1001] {
             let p = Partition::new(8, mask).expect("valid");
             let mut rng = StdRng::seed_from_u64(9);
@@ -75,12 +76,22 @@ fn more_gating_means_less_energy() {
     let points = mode_sweep(&target, &dist, &options).expect("sweep");
     let lib = CellLibrary::nangate45();
     let reads: Vec<u32> = (0..256).collect();
-    let first = build_approx_lut(&points.first().expect("non-empty").config, ArchStyle::BtoNormalNd)
-        .expect("maps");
-    let last = build_approx_lut(&points.last().expect("non-empty").config, ArchStyle::BtoNormalNd)
-        .expect("maps");
-    let e_first = characterize(&first, &reads, &lib, 1.5).expect("ok").energy_per_read_fj;
-    let e_last = characterize(&last, &reads, &lib, 1.5).expect("ok").energy_per_read_fj;
+    let first = build_approx_lut(
+        &points.first().expect("non-empty").config,
+        ArchStyle::BtoNormalNd,
+    )
+    .expect("maps");
+    let last = build_approx_lut(
+        &points.last().expect("non-empty").config,
+        ArchStyle::BtoNormalNd,
+    )
+    .expect("maps");
+    let e_first = characterize(&first, &reads, &lib, 1.5)
+        .expect("ok")
+        .energy_per_read_fj;
+    let e_last = characterize(&last, &reads, &lib, 1.5)
+        .expect("ok")
+        .energy_per_read_fj;
     assert!(
         e_first < e_last,
         "all-BTO ({e_first}) must be cheaper than all-ND ({e_last})"
@@ -139,8 +150,14 @@ fn architecture_ratios_invariant_under_library_scaling() {
     };
     let (ra1, re1) = ratio(&lib);
     let (ra2, re2) = ratio(&scaled);
-    assert!((ra1 - ra2).abs() < 1e-9, "area ratio changed: {ra1} vs {ra2}");
-    assert!((re1 - re2).abs() < 1e-9, "energy ratio changed: {re1} vs {re2}");
+    assert!(
+        (ra1 - ra2).abs() < 1e-9,
+        "area ratio changed: {ra1} vs {ra2}"
+    );
+    assert!(
+        (re1 - re2).abs() < 1e-9,
+        "energy ratio changed: {re1} vs {re2}"
+    );
 }
 
 /// Full backend round-trip: a searched BTO-Normal-ND instance exported
@@ -163,11 +180,8 @@ fn verilog_roundtrip_of_searched_architecture() {
 
     // Enable ports precede the data inputs in the port order; drive each
     // according to the instance's gating decisions.
-    let disabled: std::collections::HashSet<usize> = inst
-        .disabled_domains()
-        .iter()
-        .map(|d| d.index())
-        .collect();
+    let disabled: std::collections::HashSet<usize> =
+        inst.disabled_domains().iter().map(|d| d.index()).collect();
     let enables: Vec<bool> = (1..inst.netlist().domains().len())
         .map(|d| !disabled.contains(&d))
         .collect();
@@ -204,12 +218,8 @@ fn search_meds_are_faithful_across_benchmarks() {
         dp.search.bound_size = 5;
         dp.search.seed = i as u64;
         let out = run_dalta(&target, &dist, &dp).expect("runs");
-        let direct = dalut::boolfn::metrics::med(
-            &target,
-            &out.config.to_truth_table(),
-            &dist,
-        )
-        .expect("same shape");
+        let direct = dalut::boolfn::metrics::med(&target, &out.config.to_truth_table(), &dist)
+            .expect("same shape");
         assert!((out.med - direct).abs() < 1e-12, "{bench}");
     }
 }

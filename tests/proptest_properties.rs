@@ -16,9 +16,8 @@ fn arb_table(n: usize, m: usize) -> impl Strategy<Value = TruthTable> {
 }
 
 fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
-    (1u32..((1 << n) - 1)).prop_filter_map("proper subset", move |mask| {
-        Partition::new(n, mask).ok()
-    })
+    (1u32..((1 << n) - 1))
+        .prop_filter_map("proper subset", move |mask| Partition::new(n, mask).ok())
 }
 
 proptest! {
