@@ -1,4 +1,5 @@
-//! A minimal scoped worker pool for evaluating independent search tasks.
+//! A minimal scoped worker pool for evaluating independent search tasks,
+//! with per-task panic isolation.
 //!
 //! The paper parallelises `OptForPart` calls over candidate partitions
 //! with 44 threads. We reproduce the structure with a crossbeam-scoped
@@ -6,8 +7,180 @@
 //! results land in their slot regardless of completion order and a
 //! single-threaded run is exactly sequential (and therefore deterministic
 //! for a fixed seed).
+//!
+//! Every task runs under [`std::panic::catch_unwind`], so one panicking
+//! task can neither abort the process nor take the other tasks' results
+//! down with it: [`try_run_tasks`] surfaces a per-slot
+//! `Result<T, TaskPanic>` and the surviving slots are always returned.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Description of a task that panicked inside the worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the task in the submitted batch.
+    pub index: usize,
+    /// Best-effort panic message (`&str`/`String` payloads; otherwise a
+    /// placeholder).
+    pub message: String,
+    /// How many times the task was attempted (1 unless a retry policy was
+    /// in effect).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} panicked after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one task under `catch_unwind`, mapping a panic to [`TaskPanic`].
+fn run_isolated<T, F: FnOnce() -> T>(index: usize, f: F) -> Result<T, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| TaskPanic {
+        index,
+        message: panic_message(payload.as_ref()),
+        attempts: 1,
+    })
+}
+
+/// Runs `tasks` on up to `threads` workers and returns a per-slot
+/// `Result` in task order. A panicking task yields `Err(TaskPanic)` in
+/// its own slot; every other task still runs to completion and returns
+/// its result.
+///
+/// With `threads <= 1` the tasks run inline on the caller's thread, in
+/// order — exactly sequential, so a fixed-seed run is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_core::parallel::try_run_tasks;
+/// let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+///     Box::new(|| 1),
+///     Box::new(|| panic!("boom")),
+///     Box::new(|| 3),
+/// ];
+/// let out = try_run_tasks(tasks, 2);
+/// assert_eq!(out[0].as_ref().unwrap(), &1);
+/// assert_eq!(out[1].as_ref().unwrap_err().index, 1);
+/// assert_eq!(out[2].as_ref().unwrap(), &3);
+/// ```
+pub fn try_run_tasks<T, F>(tasks: Vec<F>, threads: usize) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| run_isolated(i, f))
+            .collect();
+    }
+    let n = tasks.len();
+    let slots: Vec<parking_lot::Mutex<Option<Result<T, TaskPanic>>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let task_cells: Vec<parking_lot::Mutex<Option<F>>> = tasks
+        .into_iter()
+        .map(|f| parking_lot::Mutex::new(Some(f)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+
+    let scope_result = crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = task_cells[i]
+                    .lock()
+                    .take()
+                    .expect("each task index is claimed exactly once");
+                *slots[i].lock() = Some(run_isolated(i, f));
+            });
+        }
+    });
+    // Worker bodies only claim an index and store a caught result; they do
+    // not themselves panic. If the scope still reports one, surface it —
+    // silently dropping slots would violate the per-slot contract.
+    scope_result.expect("pool worker panicked outside a task");
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("every slot filled by a worker (scope joins all workers)")
+        })
+        .collect()
+}
+
+/// Runs retryable `tasks` (hence `Fn`, not `FnOnce`) on up to `threads`
+/// workers, re-running each panicking task up to `retries` additional
+/// times before recording a [`TaskPanic`] for its slot. Results return in
+/// task order; non-panicking tasks are never re-run.
+///
+/// Intended for tasks whose failures may be transient; the search
+/// kernels themselves are deterministic, so they use [`try_run_tasks`].
+pub fn run_tasks_with_retry<T, F>(
+    tasks: Vec<F>,
+    threads: usize,
+    retries: u32,
+) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn() -> T + Send + Sync,
+{
+    let attempt_budget = retries.saturating_add(1);
+    let retried: Vec<_> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(index, f)| {
+            move || {
+                let mut last = None;
+                for attempt in 1..=attempt_budget {
+                    match catch_unwind(AssertUnwindSafe(&f)) {
+                        Ok(v) => return Ok(v),
+                        Err(payload) => {
+                            last = Some(TaskPanic {
+                                index,
+                                message: panic_message(payload.as_ref()),
+                                attempts: attempt,
+                            });
+                        }
+                    }
+                }
+                Err(last.expect("at least one attempt always runs"))
+            }
+        })
+        .collect();
+    try_run_tasks(retried, threads)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(inner) => inner,
+            Err(p) => Err(p),
+        })
+        .collect()
+}
 
 /// Runs `tasks` on up to `threads` workers and returns their results in
 /// task order.
@@ -17,7 +190,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// # Panics
 ///
-/// Panics (propagates) if any task panics.
+/// Panics if any task panicked — but only *after* every task has run, so
+/// a panicking task no longer aborts its siblings mid-flight. Callers
+/// that need the surviving results use [`try_run_tasks`] instead.
 ///
 /// # Examples
 ///
@@ -31,39 +206,12 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if threads <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
-    }
-    let n = tasks.len();
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let task_cells: Vec<parking_lot::Mutex<Option<F>>> = tasks
+    try_run_tasks(tasks, threads)
         .into_iter()
-        .map(|f| parking_lot::Mutex::new(Some(f)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(n);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let f = task_cells[i]
-                    .lock()
-                    .take()
-                    .expect("each task index is claimed exactly once");
-                *slots[i].lock() = Some(f());
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled by a worker"))
+        .map(|slot| match slot {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
         .collect()
 }
 
@@ -105,5 +253,120 @@ mod tests {
             })
             .collect();
         assert_eq!(run_tasks(tasks, 8), (0..32).collect::<Vec<_>>());
+    }
+
+    fn panicky_batch(panic_at: usize, len: usize) -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+        (0..len)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = if i == panic_at {
+                    Box::new(move || panic!("injected panic in task {i}"))
+                } else {
+                    Box::new(move || i * 10)
+                };
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_task_does_not_take_down_the_pool() {
+        for threads in [1, 4] {
+            let out = try_run_tasks(panicky_batch(3, 8), threads);
+            assert_eq!(out.len(), 8);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 3 {
+                    let p = slot.as_ref().unwrap_err();
+                    assert_eq!(p.index, 3);
+                    assert_eq!(p.attempts, 1);
+                    assert!(p.message.contains("injected panic"), "{}", p.message);
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 10), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_tasks_run_even_when_first_panics() {
+        use std::sync::atomic::AtomicUsize;
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|i| {
+                let f: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    RAN.fetch_add(1, Ordering::Relaxed);
+                    if i == 0 {
+                        panic!("first task fails");
+                    }
+                });
+                f
+            })
+            .collect();
+        let out = try_run_tasks(tasks, 4);
+        assert_eq!(RAN.load(Ordering::Relaxed), 16);
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn run_tasks_panics_with_task_message_after_all_complete() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(panicky_batch(1, 4), 2);
+        }));
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("task 1 panicked"), "{msg}");
+    }
+
+    #[test]
+    fn retry_policy_retries_up_to_cap() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        // Fails twice, then succeeds: 2 retries suffice.
+        let tasks = vec![|| {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient failure");
+            }
+            7u32
+        }];
+        let out = run_tasks_with_retry(tasks, 1, 2);
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_policy_caps_attempts() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let tasks = vec![|| -> u32 {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always fails");
+        }];
+        let out = run_tasks_with_retry(tasks, 1, 3);
+        let p = out[0].as_ref().unwrap_err();
+        assert_eq!(p.attempts, 4); // 1 initial + 3 retries
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert!(p.message.contains("always fails"));
+    }
+
+    #[test]
+    fn multi_threaded_panic_keeps_sibling_results_intact() {
+        // Mixed workload with several panics across a wide batch: every
+        // surviving slot must hold the right value.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = if i % 13 == 5 {
+                    Box::new(move || panic!("slot {i}"))
+                } else {
+                    Box::new(move || i + 100)
+                };
+                f
+            })
+            .collect();
+        let out = try_run_tasks(tasks, 8);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                assert!(slot.is_err());
+            } else {
+                assert_eq!(slot.as_ref().unwrap(), &(i + 100));
+            }
+        }
     }
 }
