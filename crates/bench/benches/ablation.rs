@@ -39,7 +39,7 @@ fn bench_cost_sharing(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(9);
             parts
                 .iter()
-                .map(|&p| opt_for_part(&costs, p, opt, &mut rng).0)
+                .map(|&p| opt_for_part(&costs, p, opt, &mut rng).unwrap().0)
                 .sum::<f64>()
         })
     });
@@ -52,7 +52,7 @@ fn bench_cost_sharing(c: &mut Criterion) {
                     // What a naive implementation does: rebuild the cost
                     // model for every candidate partition.
                     let costs = bit_costs(&target, &target, 5, &dist, LsbFill::Accurate).unwrap();
-                    opt_for_part(&costs, p, opt, &mut rng).0
+                    opt_for_part(&costs, p, opt, &mut rng).unwrap().0
                 })
                 .sum::<f64>()
         })
@@ -79,6 +79,7 @@ fn bench_restarts(c: &mut Criterion) {
                     },
                     &mut rng,
                 )
+                .unwrap()
                 .0
             })
         });

@@ -1,0 +1,192 @@
+//! Fault-injection sweep over the five Fig. 5 architectures: corrupts
+//! the stored sub-table/configuration bits of each built instance at
+//! increasing upset probabilities (plus one stuck-at and one burst
+//! campaign) and reports the MED / error-rate degradation relative to
+//! each instance's own fault-free behaviour.
+//!
+//! Writes `results/fault_sweep.json` at the repository root. The
+//! configuration searches run under a wall-clock budget, so the sweep
+//! starts from best-so-far configurations even on a slow machine.
+//!
+//! Run with `cargo run -p dalut-bench --release --bin faultsweep`.
+//! Accepts the usual harness flags (`--seed`, `--scale`).
+
+use dalut_bench::report::{f3, write_json};
+use dalut_bench::setup::{bssa_params, dalta_params, round_in_w};
+use dalut_bench::{HarnessArgs, Table};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::{metrics, InputDistribution, TruthTable};
+use dalut_core::{ApproxLutBuilder, ArchPolicy, RunBudget};
+use dalut_hw::{
+    build_approx_lut, build_round_in, build_round_out, fault_report, round_out_table, ArchInstance,
+    ArchStyle, FaultModel, FaultReport,
+};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// SEU flip probabilities swept per architecture.
+const PROBABILITIES: [f64; 5] = [1e-4, 1e-3, 1e-2, 5e-2, 1e-1];
+/// Independent corruption trials per (architecture, model) pair.
+const TRIALS: usize = 16;
+/// Wall-clock budget for each configuration search.
+const SEARCH_DEADLINE: Duration = Duration::from_secs(60);
+
+#[derive(Debug, Serialize)]
+struct ArchSweep {
+    arch: String,
+    stored_bits: usize,
+    reports: Vec<FaultReport>,
+}
+
+#[derive(Debug, Serialize)]
+struct Sweep {
+    schema: String,
+    benchmark: String,
+    scale_bits: usize,
+    seed: u64,
+    trials: usize,
+    archs: Vec<ArchSweep>,
+}
+
+/// Smallest RoundOut `q` whose MED exceeds the DALTA reference (the
+/// paper's per-benchmark adjustment, as in `fig5`).
+fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> usize {
+    for q in 1..target.outputs() {
+        let r = round_out_table(target, q).expect("same dims");
+        if metrics::med(target, &r, dist).expect("same dims") > dalta_med {
+            return q;
+        }
+    }
+    target.outputs() - 1
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = HarnessArgs::from_env();
+    let scale_bits = args.scale_bits.min(8);
+    let target = Benchmark::Cos.table(Scale::Reduced(scale_bits))?;
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n)?;
+    let budget = RunBudget::unlimited().with_deadline(SEARCH_DEADLINE);
+    eprintln!("faultsweep: {} at {n} bits", Benchmark::Cos.name());
+
+    // --- Configure the three decomposition architectures (budgeted). ---
+    let mut dp = dalta_params(&args, n);
+    dp.search.seed = args.seed;
+    let dalta = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .dalta(dp)
+        .budget(budget.clone())
+        .run()?;
+    let mut bp = bssa_params(&args, n);
+    bp.search.seed = args.seed;
+    let bn = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(bp)
+        .policy(ArchPolicy::bto_normal_paper())
+        .budget(budget.clone())
+        .run()?;
+    let bnnd = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(bp)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .budget(budget)
+        .run()?;
+    for (name, out) in [
+        ("DALTA", &dalta),
+        ("BTO-Normal", &bn),
+        ("BTO-Normal-ND", &bnnd),
+    ] {
+        if out.termination.is_early() {
+            eprintln!(
+                "  note: {name} search stopped early ({:?})",
+                out.termination
+            );
+        }
+    }
+
+    // --- Build the five instances. ---
+    let q = choose_q(&target, &dist, dalta.med);
+    let w = round_in_w(n);
+    let instances: Vec<(&str, ArchInstance)> = vec![
+        ("RoundOut", build_round_out(&target, q)),
+        ("RoundIn", build_round_in(&target, w)),
+        ("DALTA", build_approx_lut(&dalta.config, ArchStyle::Dalta)?),
+        (
+            "BTO-Normal",
+            build_approx_lut(&bn.config, ArchStyle::BtoNormal)?,
+        ),
+        (
+            "BTO-Normal-ND",
+            build_approx_lut(&bnnd.config, ArchStyle::BtoNormalNd)?,
+        ),
+    ];
+
+    // --- Fault campaigns: SEU sweep + one stuck-at + one burst. ---
+    let mut table = Table::new(&["architecture", "model", "p", "MED", "error-rate", "max-ED"]);
+    let mut archs = Vec::new();
+    for (ai, (name, inst)) in instances.iter().enumerate() {
+        let mut models: Vec<FaultModel> = PROBABILITIES
+            .iter()
+            .map(|&probability| FaultModel::Seu { probability })
+            .collect();
+        models.push(FaultModel::StuckAt {
+            probability: 1e-2,
+            value: false,
+        });
+        models.push(FaultModel::Burst {
+            probability: 1e-2,
+            length: 4,
+        });
+        let mut reports = Vec::new();
+        for (mi, model) in models.iter().enumerate() {
+            let seed = args
+                .seed
+                .wrapping_add(1000 * ai as u64)
+                .wrapping_add(mi as u64);
+            let rep = fault_report(inst, model, TRIALS, seed)?;
+            table.row(vec![
+                name.to_string(),
+                rep.model.clone(),
+                format!("{:.0e}", rep.probability),
+                f3(rep.med),
+                f3(rep.error_rate),
+                rep.max_ed.to_string(),
+            ]);
+            reports.push(rep);
+        }
+        archs.push(ArchSweep {
+            arch: name.to_string(),
+            stored_bits: inst.presets().len(),
+            reports,
+        });
+    }
+
+    println!("\nFault-injection degradation (vs each fault-free instance).\n");
+    println!("{}", table.render());
+    let sweep = Sweep {
+        schema: "dalut-faultsweep/v1".to_string(),
+        benchmark: Benchmark::Cos.name().to_string(),
+        scale_bits,
+        seed: args.seed,
+        trials: TRIALS,
+        archs,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fault_sweep.json"
+    );
+    write_json(path, &sweep)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("faultsweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

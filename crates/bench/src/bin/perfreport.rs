@@ -85,11 +85,13 @@ fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
             let part = Partition::random(n, b, &mut prng);
             let (fast_ns, iters_timed) = time_ns(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                std::hint::black_box(opt_for_part(&costs, part, opt, &mut rng));
+                std::hint::black_box(opt_for_part(&costs, part, opt, &mut rng))
+                    .expect("widths match");
             });
             let (ref_ns, _) = time_ns(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                std::hint::black_box(opt_for_part_ref(&costs, part, opt, &mut rng));
+                std::hint::black_box(opt_for_part_ref(&costs, part, opt, &mut rng))
+                    .expect("widths match");
             });
             let row = KernelRow {
                 n,
@@ -152,7 +154,7 @@ fn search_section(args: &HarnessArgs) -> Vec<SearchRow> {
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = HarnessArgs::from_env();
     let report = Report {
         schema: "dalut-perfreport/v1".to_string(),
@@ -162,6 +164,10 @@ fn main() {
         search: search_section(&args),
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
-    write_json(path, &report).expect("write BENCH_kernel.json");
+    if let Err(e) = write_json(path, &report) {
+        eprintln!("perfreport: cannot write {path}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     eprintln!("wrote {path}");
+    std::process::ExitCode::SUCCESS
 }

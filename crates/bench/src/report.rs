@@ -63,12 +63,20 @@ impl Table {
 }
 
 /// Writes a serialisable result object as pretty JSON next to the printed
-/// table so EXPERIMENTS.md numbers stay traceable.
+/// table so EXPERIMENTS.md numbers stay traceable. Missing parent
+/// directories (e.g. `results/`) are created first.
 ///
 /// # Errors
 ///
-/// Returns an error if serialisation or the write fails.
+/// Returns an error if serialisation, directory creation or the write
+/// fails.
 pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     std::fs::write(path, json)
@@ -124,6 +132,33 @@ mod tests {
         let back: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
         assert_eq!(back["x"], 1.5);
+    }
+
+    #[test]
+    fn write_json_creates_missing_directories() {
+        let dir = std::env::temp_dir().join("dalut_test_json_nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = dir.join("results").join("deep.json");
+        #[derive(Serialize)]
+        struct Ok2 {
+            ok: bool,
+        }
+        write_json(&p, &Ok2 { ok: true }).unwrap();
+        assert!(p.is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_json_reports_unwritable_paths_as_errors() {
+        // A file where a directory component should be: creation fails
+        // with a typed io::Error instead of panicking.
+        let dir = std::env::temp_dir().join("dalut_test_json_blocked");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("not_a_dir"), b"x").unwrap();
+        let p = dir.join("not_a_dir").join("r.json");
+        assert!(write_json(&p, &1u32).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -98,11 +98,7 @@ pub fn rms_error(
 ///
 /// # Errors
 ///
-/// Returns an error on shape mismatch.
-///
-/// # Panics
-///
-/// Panics if `bit >= m`.
+/// Returns an error on shape mismatch or if `bit >= m`.
 pub fn bit_flip_rate(
     g: &TruthTable,
     g_hat: &TruthTable,
@@ -110,7 +106,12 @@ pub fn bit_flip_rate(
     bit: usize,
 ) -> Result<f64, BoolFnError> {
     check(g, g_hat, dist)?;
-    assert!(bit < g.outputs(), "output bit out of range");
+    if bit >= g.outputs() {
+        return Err(BoolFnError::DimensionMismatch(format!(
+            "output bit {bit} out of range for {}-output function",
+            g.outputs()
+        )));
+    }
     Ok(g.iter()
         .zip(g_hat.values())
         .filter(|((_, a), b)| (a ^ *b) >> bit & 1 == 1)
@@ -238,6 +239,16 @@ mod tests {
         let d = InputDistribution::uniform(2).unwrap();
         assert!((bit_flip_rate(&g, &h, &d, 1).unwrap() - 0.25).abs() < 1e-12);
         assert_eq!(bit_flip_rate(&g, &h, &d, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bit_flip_rate_rejects_out_of_range_bit() {
+        let g = TruthTable::from_fn(2, 2, |_| 0b00).unwrap();
+        let d = InputDistribution::uniform(2).unwrap();
+        assert!(matches!(
+            bit_flip_rate(&g, &g, &d, 2),
+            Err(BoolFnError::DimensionMismatch(_))
+        ));
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //! decomposition-setting sequences in the first round, SA-driven
 //! refinement (and per-bit mode selection) in later rounds.
 
+use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
+use crate::error::DalutError;
 use crate::outcome::{BitModeOptions, SearchOutcome};
 use crate::params::{ArchPolicy, BsSaParams};
-use crate::sa::{find_best_settings, DecompMode};
-use dalut_boolfn::{metrics, BoolFnError, InputDistribution, TruthTable};
-use dalut_decomp::{bit_costs, column_error, LsbFill, Setting};
-use std::time::Instant;
+use crate::sa::{find_best_settings_budgeted, DecompMode};
+use dalut_boolfn::{metrics, BoolFnError, InputDistribution, Partition, TruthTable};
+use dalut_decomp::{bit_costs, column_error, opt_for_part, AnyDecomp, LsbFill, OptParams, Setting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A partial decomposition-setting sequence during the beam phase.
 #[derive(Debug, Clone)]
@@ -47,6 +50,13 @@ impl SeqState {
         }
         t
     }
+}
+
+/// Keeps the `width` best-scoring sequences of a beam round.
+fn prune(mut candidates: Vec<SeqState>, width: usize) -> Vec<SeqState> {
+    candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores never NaN"));
+    candidates.truncate(width.max(1));
+    candidates
 }
 
 /// Derives a per-call seed from the run seed and the call coordinates so
@@ -92,6 +102,41 @@ fn choose_mode(
     }
 }
 
+/// Completes a budget-terminated sequence: any bit the search never
+/// reached gets a cheap normal-mode decomposition on the canonical
+/// lowest-`b`-bits partition, so the returned configuration is always
+/// complete and valid. Deterministic (fixed kernel seed), and never run
+/// on the completed path.
+fn fill_unassigned(
+    best: &mut SeqState,
+    target: &TruthTable,
+    dist: &InputDistribution,
+    b: usize,
+) -> Result<TruthTable, DalutError> {
+    let n = target.inputs();
+    let part = Partition::new(n, (1u32 << b) - 1)
+        .map_err(|e| DalutError::InvalidParams(format!("fill partition: {e}")))?;
+    let opt = OptParams {
+        restarts: 0,
+        max_iters: 16,
+    };
+    // One materialisation up front; filled bits are patched into the
+    // approximation column-by-column as they land.
+    let mut g_hat = best.materialize(target);
+    for bit in 0..best.settings.len() {
+        if best.settings[bit].is_some() {
+            continue;
+        }
+        let costs = bit_costs(target, &g_hat, bit, dist, LsbFill::FromApprox)?;
+        let mut rng = StdRng::seed_from_u64(0);
+        let (e, d) = opt_for_part(&costs, part, opt, &mut rng)?;
+        let setting = Setting::new(e, AnyDecomp::Normal(d));
+        g_hat.set_bit_column(bit, &setting.decomp.to_bit_column());
+        best.settings[bit] = Some(setting);
+    }
+    Ok(g_hat)
+}
+
 /// Runs the BS-SA search and configures the architecture given by
 /// `policy`.
 ///
@@ -104,41 +149,80 @@ fn choose_mode(
 /// also computed and the paper's `δ`/`δ'` rule picks each bit's operating
 /// mode.
 ///
+/// Runs with an unlimited budget; see [`run_bs_sa_budgeted`] for
+/// deadline-, iteration- and cancellation-bounded runs.
+///
 /// # Errors
 ///
-/// Returns an error on shape mismatch between `target` and `dist`.
-///
-/// # Panics
-///
-/// Panics if `params.search.bound_size` is not in `1..target.inputs()`.
+/// Returns an error on shape mismatch between `target` and `dist`, or if
+/// `params.search.bound_size` is not in `1..target.inputs()`.
 pub fn run_bs_sa(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &BsSaParams,
     policy: ArchPolicy,
-) -> Result<SearchOutcome, BoolFnError> {
-    let start = Instant::now();
+) -> Result<SearchOutcome, DalutError> {
+    run_bs_sa_budgeted(target, dist, params, policy, &RunBudget::unlimited())
+}
+
+/// [`run_bs_sa`] under an execution [`RunBudget`].
+///
+/// The budget is checked at per-bit optimisation boundaries (and, inside
+/// each `FindBestSettings` call, at SA chain-step boundaries), so RNG
+/// streams are consumed exactly as in an unbudgeted run: a run that
+/// finishes within its budget returns a byte-identical
+/// [`SearchOutcome`] (modulo `elapsed`). When the budget trips, the
+/// search stops where it is, completes any not-yet-assigned bits with a
+/// cheap deterministic fill, and returns whichever of {current state,
+/// best completed round} has the lower true MED — tagged with the
+/// appropriate [`Termination`](crate::budget::Termination).
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch between `target` and `dist`, or if
+/// `params.search.bound_size` is not in `1..target.inputs()`.
+pub fn run_bs_sa_budgeted(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+    budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    let timer = BudgetTimer::new(budget);
     let n = target.inputs();
     let m = target.outputs();
     let b = params.search.bound_size;
-    assert!(b > 0 && b < n, "bound size must satisfy 0 < b < n");
+    if b == 0 || b >= n {
+        return Err(DalutError::InvalidParams(format!(
+            "bound size must satisfy 0 < b < n (got b = {b}, n = {n})"
+        )));
+    }
     if dist.inputs() != n {
         return Err(BoolFnError::DimensionMismatch(format!(
             "distribution over {} bits, function over {n}",
             dist.inputs()
-        )));
+        ))
+        .into());
     }
     let seed = params.search.seed;
     let mut round_meds = Vec::with_capacity(params.search.rounds);
 
     // ---- Round 1: beam search (Algorithm 1, lines 1-10). ----
     let mut beam: Vec<SeqState> = vec![SeqState::empty(m)];
-    for k in (0..m).rev() {
+    'round1: for k in (0..m).rev() {
         let mut candidates: Vec<SeqState> = Vec::new();
         for (bi, seq) in beam.iter().enumerate() {
+            if timer.exhausted() {
+                // Keep whatever extensions of this bit already exist; the
+                // unreached bits are filled below.
+                if !candidates.is_empty() {
+                    beam = prune(candidates, params.beam_width);
+                }
+                break 'round1;
+            }
             let g_hat = seq.materialize(target);
             let costs = bit_costs(target, &g_hat, k, dist, params.round1_fill)?;
-            let tops = find_best_settings(
+            let tops = find_best_settings_budgeted(
                 &costs,
                 n,
                 DecompMode::Normal,
@@ -146,27 +230,41 @@ pub fn run_bs_sa(
                 params.beam_width,
                 call_seed(seed, 1, k, bi),
                 None,
-            );
+                &timer,
+            )?;
             for s in tops {
                 candidates.push(seq.with(k, s));
             }
         }
-        candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores never NaN"));
-        candidates.truncate(params.beam_width.max(1));
-        beam = candidates;
+        beam = prune(candidates, params.beam_width);
+        timer.count_iteration();
     }
     let mut best = beam.into_iter().next().expect("beam is never empty");
-    {
-        let g_hat = best.materialize(target);
-        round_meds.push(metrics::med(target, &g_hat, dist)?);
-    }
+    let g_hat = if timer.exhausted() {
+        fill_unassigned(&mut best, target, dist, b)?
+    } else {
+        best.materialize(target)
+    };
+    round_meds.push(metrics::med(target, &g_hat, dist)?);
+    drop(g_hat);
+
+    // The best fully-assigned state seen so far, by true MED: budget
+    // exhaustion in a later round must never return something worse than
+    // an already-completed round.
+    let mut snapshot = (best.clone(), round_meds[0]);
+    // True MED of `best` whenever it is known, so early exits never
+    // re-score a state that has not changed since it was last measured.
+    let mut best_scored = Some(round_meds[0]);
 
     // ---- Rounds 2..R: greedy refinement + mode selection (lines 11-15). ----
     let mut mode_options: Option<Vec<BitModeOptions>> = None;
-    for round in 2..=params.search.rounds {
+    'refine: for round in 2..=params.search.rounds {
         let is_final = round == params.search.rounds;
         let mut final_options: Vec<BitModeOptions> = Vec::with_capacity(m);
         for k in (0..m).rev() {
+            if timer.exhausted() {
+                break 'refine;
+            }
             let g_hat = best.materialize(target);
             let costs = bit_costs(target, &g_hat, k, dist, LsbFill::FromApprox)?;
             // The incumbent setting, re-scored under the current context:
@@ -192,7 +290,7 @@ pub fn run_bs_sa(
                 }
             };
             let normal = better(
-                find_best_settings(
+                find_best_settings_budgeted(
                     &costs,
                     n,
                     DecompMode::Normal,
@@ -200,7 +298,8 @@ pub fn run_bs_sa(
                     1,
                     call_seed(seed, round, k, 0),
                     start,
-                )
+                    &timer,
+                )?
                 .into_iter()
                 .next(),
                 "normal",
@@ -209,10 +308,12 @@ pub fn run_bs_sa(
 
             // Mode selection happens at line 14 of every later round; the
             // alternatives from the final round are additionally recorded
-            // for trade-off sweeps.
-            let (bto, nd) = if policy.allows_bto() {
+            // for trade-off sweeps. (A budget trip during the normal-mode
+            // call skips the alternatives — never taken on the completed
+            // path, where the timer cannot be exhausted.)
+            let (bto, nd) = if policy.allows_bto() && !timer.exhausted() {
                 let bto = better(
-                    find_best_settings(
+                    find_best_settings_budgeted(
                         &costs,
                         n,
                         DecompMode::Bto,
@@ -220,14 +321,15 @@ pub fn run_bs_sa(
                         1,
                         call_seed(seed, round, k, 1),
                         start,
-                    )
+                        &timer,
+                    )?
                     .into_iter()
                     .next(),
                     "bto",
                 );
                 let nd = if policy.allows_nd() {
                     better(
-                        find_best_settings(
+                        find_best_settings_budgeted(
                             &costs,
                             n,
                             DecompMode::NonDisjoint,
@@ -235,7 +337,8 @@ pub fn run_bs_sa(
                             1,
                             call_seed(seed, round, k, 2),
                             start,
-                        )
+                            &timer,
+                        )?
                         .into_iter()
                         .next(),
                         "nd",
@@ -258,12 +361,39 @@ pub fn run_bs_sa(
                 });
             }
             best = best.with(k, chosen);
+            best_scored = None;
+            timer.count_iteration();
         }
         let g_hat = best.materialize(target);
-        round_meds.push(metrics::med(target, &g_hat, dist)?);
+        let med = metrics::med(target, &g_hat, dist)?;
+        round_meds.push(med);
+        best_scored = Some(med);
+        if med <= snapshot.1 {
+            snapshot = (best.clone(), med);
+        }
         if is_final && policy.allows_bto() {
             final_options.reverse(); // ascending by bit
             mode_options = Some(final_options);
+        }
+    }
+
+    // On early termination the current (partially refined) state competes
+    // against the best completed round; the outcome is whichever has the
+    // lower true MED. Never taken on the completed path, where `best` is
+    // exactly the last round's state.
+    if timer.exhausted() {
+        let med_now = match best_scored {
+            Some(s) => s,
+            None => {
+                let g_hat = best.materialize(target);
+                metrics::med(target, &g_hat, dist)?
+            }
+        };
+        if snapshot.1 < med_now {
+            best = snapshot.0;
+            best_scored = Some(snapshot.1);
+        } else {
+            best_scored = Some(med_now);
         }
     }
 
@@ -274,13 +404,24 @@ pub fn run_bs_sa(
         .map(|(bit, s)| BitConfig::from_setting(bit, s.expect("every bit assigned in round 1")))
         .collect();
     let config = ApproxLutConfig::new(n, m, bits)?;
-    let med = config.med(target, dist)?;
+    // `materialize` and `to_truth_table` patch the same decomposition
+    // columns onto the same grid, so a known score is the exact MED of
+    // `config` — no need to re-measure a state scored moments ago.
+    let med = match best_scored {
+        Some(s) => s,
+        None => config.med(target, dist)?,
+    };
+    if timer.termination().is_early() && round_meds.last() != Some(&med) {
+        // Keep the `med == round_meds.last()` invariant on early exits too.
+        round_meds.push(med);
+    }
     Ok(SearchOutcome {
         config,
         med,
         round_meds,
-        elapsed: start.elapsed(),
+        elapsed: timer.elapsed(),
         mode_options,
+        termination: timer.termination(),
     })
 }
 
@@ -435,6 +576,79 @@ mod tests {
         params.beam_width = 1;
         let out = run_bs_sa(&g, &d, &params, ArchPolicy::NormalOnly).unwrap();
         assert!(out.med.is_finite());
+    }
+
+    #[test]
+    fn zero_deadline_still_yields_a_complete_valid_outcome() {
+        use crate::budget::Termination;
+        let (g, d) = problem(7, 6, 3);
+        let budget = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let out = run_bs_sa_budgeted(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly, &budget)
+            .unwrap();
+        assert_eq!(out.termination, Termination::DeadlineExceeded);
+        // Every bit configured, MED faithful, invariant med == last round med.
+        assert_eq!(out.config.outputs(), 3);
+        assert!((out.config.med(&g, &d).unwrap() - out.med).abs() < 1e-12);
+        assert!((out.med - out.round_meds.last().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_budget_is_byte_identical_to_unbudgeted() {
+        use crate::budget::Termination;
+        let (g, d) = problem(8, 6, 3);
+        let plain = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::bto_normal_paper()).unwrap();
+        let budget = RunBudget::unlimited()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_max_iterations(u64::MAX);
+        let budgeted = run_bs_sa_budgeted(
+            &g,
+            &d,
+            &BsSaParams::fast(),
+            ArchPolicy::bto_normal_paper(),
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(plain.termination, Termination::Completed);
+        assert_eq!(budgeted.termination, Termination::Completed);
+        assert_eq!(plain.config, budgeted.config);
+        assert_eq!(plain.round_meds, budgeted.round_meds);
+        assert_eq!(plain.mode_options, budgeted.mode_options);
+    }
+
+    #[test]
+    fn iteration_cap_interrupts_but_never_beats_a_completed_round() {
+        use crate::budget::Termination;
+        let (g, d) = problem(9, 6, 3);
+        // Iterations count SA chain-steps *and* per-bit refinement steps,
+        // so a range of small caps trips the budget at many different
+        // interior points; the outcome must stay valid at every one, and
+        // never worse than its own first recorded round (the snapshot
+        // guarantees monotonicity versus completed rounds).
+        let full = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        for cap in [1u64, 4, 16, 64, 256] {
+            let budget = RunBudget::unlimited().with_max_iterations(cap);
+            let out =
+                run_bs_sa_budgeted(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly, &budget)
+                    .unwrap();
+            assert!((out.config.med(&g, &d).unwrap() - out.med).abs() < 1e-12);
+            if out.termination == Termination::Completed {
+                // A cap the run never reaches must change nothing.
+                assert_eq!(out.config, full.config, "cap {cap}");
+            } else {
+                assert_eq!(out.termination, Termination::DeadlineExceeded, "cap {cap}");
+                assert!(out.med <= out.round_meds[0] + 1e-12, "cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_bound_size_is_a_typed_error() {
+        use crate::error::DalutError;
+        let (g, d) = problem(10, 6, 2);
+        let mut params = BsSaParams::fast();
+        params.search.bound_size = 6;
+        let r = run_bs_sa(&g, &d, &params, ArchPolicy::NormalOnly);
+        assert!(matches!(r, Err(DalutError::InvalidParams(_))));
     }
 
     #[test]

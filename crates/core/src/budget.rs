@@ -1,0 +1,328 @@
+//! Execution budgets for the search algorithms: wall-clock deadlines,
+//! iteration caps, and cooperative cancellation.
+//!
+//! A [`RunBudget`] describes *how long* a search may run; a
+//! [`BudgetTimer`] is the per-run instrument the search loops consult at
+//! their iteration boundaries. Budget checks are placed **between**
+//! iterations, never inside them, so a budgeted run consumes its RNG
+//! streams exactly like an unbudgeted one — a run that completes within
+//! its budget is byte-identical to the same seed run without a budget.
+//!
+//! When a budget trips, searches stop early and return their best
+//! solution so far, tagged with a [`Termination`] describing why.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle.
+///
+/// Clone the token, hand one clone to the search (via
+/// [`RunBudget::with_cancel`]) and keep the other; calling
+/// [`cancel`](CancelToken::cancel) from any thread makes the search stop
+/// at its next iteration boundary and return best-so-far with
+/// [`Termination::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Limits on one search run. The default budget is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock limit measured from search entry.
+    pub deadline: Option<Duration>,
+    /// Cap on search iterations (SA chain-steps for
+    /// `find_best_settings`, plus per-bit optimisation steps for the
+    /// DALTA baseline and the beam search — one shared counter).
+    pub max_iterations: Option<u64>,
+    /// Cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// A budget with no limits (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, cap: u64) -> Self {
+        self.max_iterations = Some(cap);
+        self
+    }
+
+    /// Attaches a cancellation token (store a clone, keep the original).
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// True if this budget can never trip.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_iterations.is_none() && self.cancel.is_none()
+    }
+}
+
+/// Why a search returned.
+///
+/// Ordering encodes reporting precedence: when several causes coincide,
+/// the highest variant wins (`Cancelled` > `DeadlineExceeded` >
+/// `TaskFailed` > `Completed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Termination {
+    /// The search ran to its natural end.
+    #[default]
+    Completed,
+    /// One or more worker tasks panicked; the search completed with the
+    /// surviving results.
+    TaskFailed,
+    /// The wall-clock deadline or the iteration cap was exhausted; the
+    /// outcome is the best solution found so far.
+    DeadlineExceeded,
+    /// The cancel token fired; the outcome is the best solution so far.
+    Cancelled,
+}
+
+impl Termination {
+    /// True for any termination other than [`Termination::Completed`].
+    #[must_use]
+    pub fn is_early(self) -> bool {
+        self != Self::Completed
+    }
+}
+
+// Trip states recorded by `BudgetTimer::exhausted`.
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_CANCELLED: u8 = 2;
+
+/// The per-run instrument searches consult at iteration boundaries.
+///
+/// Shared by reference across worker threads; all state is atomic.
+#[derive(Debug)]
+pub struct BudgetTimer {
+    start: Instant,
+    deadline: Option<Duration>,
+    max_iterations: Option<u64>,
+    cancel: Option<CancelToken>,
+    iterations: AtomicU64,
+    tripped: AtomicU8,
+    task_failed: AtomicBool,
+}
+
+impl BudgetTimer {
+    /// Starts the clock on `budget`.
+    #[must_use]
+    pub fn new(budget: &RunBudget) -> Self {
+        Self {
+            start: Instant::now(),
+            deadline: budget.deadline,
+            max_iterations: budget.max_iterations,
+            cancel: budget.cancel.clone(),
+            iterations: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+            task_failed: AtomicBool::new(false),
+        }
+    }
+
+    /// A timer that never trips.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::new(&RunBudget::unlimited())
+    }
+
+    /// Counts one completed search iteration.
+    pub fn count_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checks the budget at an iteration boundary. Returns `true` (and
+    /// latches the trip cause) once the run must stop.
+    pub fn exhausted(&self) -> bool {
+        if self.tripped.load(Ordering::Acquire) != TRIP_NONE {
+            return true;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.trip(TRIP_CANCELLED);
+            return true;
+        }
+        let over_deadline = self.deadline.is_some_and(|d| self.start.elapsed() >= d);
+        let over_iterations = self
+            .max_iterations
+            .is_some_and(|cap| self.iterations.load(Ordering::Relaxed) >= cap);
+        if over_deadline || over_iterations {
+            self.trip(TRIP_DEADLINE);
+            return true;
+        }
+        false
+    }
+
+    /// Records that a worker task panicked (the run keeps going with the
+    /// surviving results).
+    pub fn note_task_failure(&self) {
+        self.task_failed.store(true, Ordering::Release);
+    }
+
+    /// True once [`note_task_failure`](Self::note_task_failure) was called.
+    #[must_use]
+    pub fn any_task_failed(&self) -> bool {
+        self.task_failed.load(Ordering::Acquire)
+    }
+
+    /// Wall-clock time since the timer started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The [`Termination`] describing this run, by precedence: a latched
+    /// cancellation beats a latched deadline/iteration trip, which beats a
+    /// recorded task failure, which beats clean completion.
+    #[must_use]
+    pub fn termination(&self) -> Termination {
+        match self.tripped.load(Ordering::Acquire) {
+            TRIP_CANCELLED => Termination::Cancelled,
+            TRIP_DEADLINE => Termination::DeadlineExceeded,
+            _ if self.any_task_failed() => Termination::TaskFailed,
+            _ => Termination::Completed,
+        }
+    }
+
+    fn trip(&self, cause: u8) {
+        // Precedence: never downgrade a latched cause (fetch_max keeps the
+        // strongest observed trip).
+        self.tripped.fetch_max(cause, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_timer_never_trips() {
+        let t = BudgetTimer::unlimited();
+        for _ in 0..1000 {
+            t.count_iteration();
+        }
+        assert!(!t.exhausted());
+        assert_eq!(t.termination(), Termination::Completed);
+    }
+
+    #[test]
+    fn iteration_cap_trips_as_deadline_exceeded() {
+        let t = BudgetTimer::new(&RunBudget::unlimited().with_max_iterations(3));
+        assert!(!t.exhausted());
+        for _ in 0..3 {
+            t.count_iteration();
+        }
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let t = BudgetTimer::new(&RunBudget::unlimited().with_deadline(Duration::ZERO));
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancel_token_reaches_the_timer() {
+        let token = CancelToken::new();
+        let t = BudgetTimer::new(&RunBudget::unlimited().with_cancel(&token));
+        assert!(!t.exhausted());
+        token.cancel();
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline_and_task_failure() {
+        let token = CancelToken::new();
+        token.cancel();
+        let t = BudgetTimer::new(
+            &RunBudget::unlimited()
+                .with_deadline(Duration::ZERO)
+                .with_cancel(&token),
+        );
+        t.note_task_failure();
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn task_failure_alone_still_completes_with_task_failed() {
+        let t = BudgetTimer::unlimited();
+        t.note_task_failure();
+        assert!(!t.exhausted());
+        assert_eq!(t.termination(), Termination::TaskFailed);
+    }
+
+    #[test]
+    fn trip_cause_is_latched_not_recomputed() {
+        // A cancel arriving *after* a deadline trip must not rewrite
+        // history... but precedence says Cancelled wins if both latched.
+        let token = CancelToken::new();
+        let t = BudgetTimer::new(
+            &RunBudget::unlimited()
+                .with_deadline(Duration::ZERO)
+                .with_cancel(&token),
+        );
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::DeadlineExceeded);
+        // The deadline trip latched first; a later cancel is not observed
+        // by `exhausted` (already tripped), so the cause stays.
+        token.cancel();
+        assert!(t.exhausted());
+        assert_eq!(t.termination(), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(RunBudget::default().is_unlimited());
+        assert!(!RunBudget::unlimited().with_max_iterations(1).is_unlimited());
+    }
+
+    #[test]
+    fn termination_serde_round_trips_and_defaults() {
+        assert_eq!(Termination::default(), Termination::Completed);
+        assert!(Termination::Cancelled.is_early());
+        assert!(!Termination::Completed.is_early());
+        assert!(Termination::Cancelled > Termination::DeadlineExceeded);
+        assert!(Termination::DeadlineExceeded > Termination::TaskFailed);
+        assert!(Termination::TaskFailed > Termination::Completed);
+    }
+}

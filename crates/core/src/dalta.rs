@@ -1,16 +1,17 @@
 //! The DALTA baseline search (paper §II-B): greedy per-bit optimisation
 //! over `P` randomly drawn partitions, for `R` rounds.
 
+use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
+use crate::error::DalutError;
 use crate::outcome::SearchOutcome;
-use crate::parallel::run_tasks;
+use crate::parallel::try_run_tasks;
 use crate::params::DaltaParams;
 use dalut_boolfn::{metrics, BoolFnError, InputDistribution, Partition, TruthTable};
-use dalut_decomp::{bit_costs, opt_for_part, AnyDecomp, LsbFill, Setting};
+use dalut_decomp::{bit_costs, opt_for_part, AnyDecomp, LsbFill, OptParams, Setting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Draws up to `limit` *distinct* random partitions of `n` variables with
 /// bound size `b` (DALTA considers `P` random candidate partitions per
@@ -45,13 +46,13 @@ pub(crate) fn draw_partitions(
 /// are evaluated with `OptForPart` (in parallel over
 /// `params.search.threads` workers) and the best is kept greedily.
 ///
+/// Runs with an unlimited budget; see [`run_dalta_budgeted`] for
+/// deadline-, iteration- and cancellation-bounded runs.
+///
 /// # Errors
 ///
-/// Returns an error on shape mismatch between `target` and `dist`.
-///
-/// # Panics
-///
-/// Panics if `params.search.bound_size` is not in `1..target.inputs()`.
+/// Returns an error on shape mismatch between `target` and `dist`, or if
+/// `params.search.bound_size` is not in `1..target.inputs()`.
 ///
 /// # Examples
 ///
@@ -69,18 +70,47 @@ pub fn run_dalta(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &DaltaParams,
-) -> Result<SearchOutcome, BoolFnError> {
-    let start = Instant::now();
+) -> Result<SearchOutcome, DalutError> {
+    run_dalta_budgeted(target, dist, params, &RunBudget::unlimited())
+}
+
+/// [`run_dalta`] under an execution [`RunBudget`].
+///
+/// The budget is checked between per-bit optimisation steps only, so a
+/// run that finishes within its budget is byte-identical to an
+/// unbudgeted one (modulo `elapsed`). On a budget trip, bits the search
+/// never reached get a cheap deterministic normal-mode fill, and the
+/// outcome is whichever of {current state, best completed round} has the
+/// lower true MED. Worker-task panics are isolated per candidate
+/// partition: the failed candidates drop out of their bit's pool and the
+/// run completes with [`Termination::TaskFailed`](crate::Termination).
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch between `target` and `dist`, or if
+/// `params.search.bound_size` is not in `1..target.inputs()`.
+pub fn run_dalta_budgeted(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &DaltaParams,
+    budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    let timer = BudgetTimer::new(budget);
     let n = target.inputs();
     let m = target.outputs();
     let b = params.search.bound_size;
-    assert!(b > 0 && b < n, "bound size must satisfy 0 < b < n");
-    target.check_same_shape(target)?;
+    if b == 0 || b >= n {
+        return Err(DalutError::InvalidParams(format!(
+            "bound size must satisfy 0 < b < n (got b = {b}, n = {n})"
+        )));
+    }
+    target.check_same_shape(target).map_err(DalutError::from)?;
     if dist.inputs() != n {
         return Err(BoolFnError::DimensionMismatch(format!(
             "distribution over {} bits, function over {n}",
             dist.inputs()
-        )));
+        ))
+        .into());
     }
 
     let mut rng = StdRng::seed_from_u64(params.search.seed);
@@ -88,9 +118,14 @@ pub fn run_dalta(
     let mut settings: Vec<Option<Setting>> = vec![None; m];
     let mut round_meds = Vec::with_capacity(params.search.rounds);
     let opt = params.search.opt_params();
+    // Best completed round so far, for budget-trip fallback.
+    let mut snapshot: Option<(Vec<Option<Setting>>, f64)> = None;
 
-    for _round in 0..params.search.rounds {
+    'rounds: for _round in 0..params.search.rounds {
         for k in (0..m).rev() {
+            if timer.exhausted() {
+                break 'rounds;
+            }
             let costs = bit_costs(target, &approx, k, dist, LsbFill::FromApprox)?;
             let partitions = draw_partitions(n, b, params.partition_limit, &mut rng);
             // Pre-derive per-task seeds so the result is independent of
@@ -110,37 +145,89 @@ pub fn run_dalta(
                     let costs = &costs;
                     move || {
                         let mut trng = StdRng::seed_from_u64(s);
+                        // Invariant, not fallible: partitions are drawn over
+                        // the same n the cost table was built for.
                         opt_for_part(costs, p, opt, &mut trng)
+                            .expect("partition width validated at run_dalta entry")
                     }
                 })
                 .collect();
-            let results = run_tasks(tasks, params.search.threads);
-            let (err, best) = results
-                .into_iter()
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("errors are never NaN"))
-                .expect("at least one partition is always drawn");
-            approx.set_bit_column(k, &best.to_bit_column());
-            settings[k] = Some(Setting::new(err, AnyDecomp::Normal(best)));
+            let results = try_run_tasks(tasks, params.search.threads);
+            let survivors = results.into_iter().filter_map(|slot| match slot {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    timer.note_task_failure();
+                    None
+                }
+            });
+            let best =
+                survivors.min_by(|a, b| a.0.partial_cmp(&b.0).expect("errors are never NaN"));
+            // If every candidate's task panicked, the bit keeps its
+            // incumbent setting (from an earlier round, or the fill below).
+            if let Some((err, best)) = best {
+                approx.set_bit_column(k, &best.to_bit_column());
+                settings[k] = Some(Setting::new(err, AnyDecomp::Normal(best)));
+            }
+            timer.count_iteration();
         }
-        round_meds.push(metrics::med(target, &approx, dist)?);
+        let med = metrics::med(target, &approx, dist)?;
+        round_meds.push(med);
+        if snapshot.as_ref().is_none_or(|(_, sm)| med <= *sm) {
+            snapshot = Some((settings.clone(), med));
+        }
+    }
+
+    // On early termination: complete any never-reached bit with a cheap
+    // deterministic decomposition, then fall back to the best completed
+    // round if it beats the current state. Never taken on the completed
+    // path.
+    if timer.exhausted() {
+        let fill_part = Partition::new(n, (1u32 << b) - 1)
+            .map_err(|e| DalutError::InvalidParams(format!("fill partition: {e}")))?;
+        let fill_opt = OptParams {
+            restarts: 0,
+            max_iters: 16,
+        };
+        for (k, slot) in settings.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let costs = bit_costs(target, &approx, k, dist, LsbFill::FromApprox)?;
+            let mut frng = StdRng::seed_from_u64(0);
+            let (err, d) = opt_for_part(&costs, fill_part, fill_opt, &mut frng)?;
+            approx.set_bit_column(k, &d.to_bit_column());
+            *slot = Some(Setting::new(err, AnyDecomp::Normal(d)));
+        }
+        let med_now = metrics::med(target, &approx, dist)?;
+        match snapshot {
+            Some((snap, sm)) if sm < med_now && snap.iter().all(Option::is_some) => {
+                settings = snap;
+            }
+            _ => {}
+        }
     }
 
     let bits = settings
         .into_iter()
         .enumerate()
         .map(|(bit, s)| {
-            let s = s.expect("every bit optimised in every round");
+            let s = s.expect("every bit optimised or filled by now");
             BitConfig::from_setting(bit, s)
         })
         .collect();
     let config = ApproxLutConfig::new(n, m, bits)?;
     let med = config.med(target, dist)?;
+    if timer.termination().is_early() && round_meds.last() != Some(&med) {
+        // Keep the `med == round_meds.last()` invariant on early exits too.
+        round_meds.push(med);
+    }
     Ok(SearchOutcome {
         config,
         med,
         round_meds,
-        elapsed: start.elapsed(),
+        elapsed: timer.elapsed(),
         mode_options: None,
+        termination: timer.termination(),
     })
 }
 

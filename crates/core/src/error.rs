@@ -1,0 +1,100 @@
+//! The unified error taxonomy for the search layer.
+//!
+//! Searches touch three fallible layers — truth-table metrics
+//! ([`BoolFnError`]), decomposition kernels
+//! ([`DecompError`](dalut_decomp::DecompError)), and the parallel task
+//! runner ([`TaskPanic`](crate::parallel::TaskPanic)) — plus their own
+//! parameter validation. [`DalutError`] wraps all four so callers match
+//! one type.
+
+use crate::parallel::TaskPanic;
+use dalut_boolfn::BoolFnError;
+use dalut_decomp::DecompError;
+use std::fmt;
+
+/// Any error the search layer can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DalutError {
+    /// A truth-table or metric operation failed (shape mismatch, bad
+    /// distribution, ...).
+    BoolFn(BoolFnError),
+    /// A decomposition kernel rejected its inputs.
+    Decomp(DecompError),
+    /// Search parameters are invalid for the given target (e.g. a bound
+    /// size that is not smaller than the input count).
+    InvalidParams(String),
+    /// A worker task panicked and exhausted its retries.
+    Task(TaskPanic),
+}
+
+impl fmt::Display for DalutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BoolFn(e) => write!(f, "boolean-function error: {e}"),
+            Self::Decomp(e) => write!(f, "decomposition error: {e}"),
+            Self::InvalidParams(msg) => write!(f, "invalid search parameters: {msg}"),
+            Self::Task(e) => write!(f, "worker task failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DalutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::BoolFn(e) => Some(e),
+            Self::Decomp(e) => Some(e),
+            Self::Task(e) => Some(e),
+            Self::InvalidParams(_) => None,
+        }
+    }
+}
+
+impl From<BoolFnError> for DalutError {
+    fn from(e: BoolFnError) -> Self {
+        Self::BoolFn(e)
+    }
+}
+
+impl From<DecompError> for DalutError {
+    fn from(e: DecompError) -> Self {
+        Self::Decomp(e)
+    }
+}
+
+impl From<TaskPanic> for DalutError {
+    fn from(e: TaskPanic) -> Self {
+        Self::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_identify_the_layer() {
+        let e: DalutError = BoolFnError::DimensionMismatch("w".into()).into();
+        assert!(e.to_string().starts_with("boolean-function error:"));
+        let e = DalutError::InvalidParams("bound size 9 >= 8 inputs".into());
+        assert!(e.to_string().contains("bound size 9"));
+        let e: DalutError = DecompError::WidthMismatch {
+            costs: 5,
+            partition: 6,
+        }
+        .into();
+        assert!(e.to_string().starts_with("decomposition error:"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: DalutError = DecompError::BoundTooLarge {
+            cols: 32,
+            limit: 20,
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(DalutError::InvalidParams("x".into()).source().is_none());
+    }
+}

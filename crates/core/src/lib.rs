@@ -48,8 +48,10 @@
 
 pub mod analysis;
 pub mod beam;
+pub mod budget;
 pub mod config;
 pub mod dalta;
+pub mod error;
 pub mod outcome;
 pub mod parallel;
 pub mod params;
@@ -59,9 +61,11 @@ pub mod tradeoff;
 pub mod visited;
 
 pub use analysis::{error_breakdown, BitErrorReport, ErrorBreakdown};
-pub use beam::run_bs_sa;
+pub use beam::{run_bs_sa, run_bs_sa_budgeted};
+pub use budget::{BudgetTimer, CancelToken, RunBudget, Termination};
 pub use config::{ApproxLutConfig, BitConfig, BitMode};
-pub use dalta::run_dalta;
+pub use dalta::{run_dalta, run_dalta_budgeted};
+pub use error::DalutError;
 pub use outcome::{BitModeOptions, SearchOutcome};
 pub use params::{ArchPolicy, BsSaParams, DaltaParams, SearchParams};
 pub use pipeline::{Algorithm, ApproxLutBuilder};

@@ -1,5 +1,6 @@
 //! Result types shared by the search algorithms.
 
+use crate::budget::Termination;
 use crate::config::ApproxLutConfig;
 use dalut_decomp::Setting;
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,12 @@ pub struct SearchOutcome {
     /// Final-round per-bit mode alternatives, when the search evaluated
     /// them (BS-SA with a BTO/ND-capable policy).
     pub mode_options: Option<Vec<BitModeOptions>>,
+    /// Why the search returned: ran to completion, hit its
+    /// [`RunBudget`](crate::budget::RunBudget), was cancelled, or lost
+    /// worker tasks to panics. Early-terminated outcomes still carry a
+    /// complete, valid best-so-far configuration.
+    #[serde(default)]
+    pub termination: Termination,
 }
 
 #[cfg(test)]
@@ -58,6 +65,7 @@ mod tests {
             round_meds: vec![0.7, 0.5],
             elapsed: Duration::from_millis(12),
             mode_options: None,
+            termination: Termination::Completed,
         };
         let json = serde_json::to_string(&outcome).unwrap();
         let back: SearchOutcome = serde_json::from_str(&json).unwrap();

@@ -1,10 +1,12 @@
 //! High-level builder API over the two search algorithms.
 
-use crate::beam::run_bs_sa;
-use crate::dalta::run_dalta;
+use crate::beam::run_bs_sa_budgeted;
+use crate::budget::RunBudget;
+use crate::dalta::run_dalta_budgeted;
+use crate::error::DalutError;
 use crate::outcome::SearchOutcome;
 use crate::params::{ArchPolicy, BsSaParams, DaltaParams};
-use dalut_boolfn::{BoolFnError, InputDistribution, TruthTable};
+use dalut_boolfn::{InputDistribution, TruthTable};
 
 /// Which search algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +41,7 @@ pub struct ApproxLutBuilder<'a> {
     dist: Option<InputDistribution>,
     algorithm: Algorithm,
     policy: ArchPolicy,
+    budget: RunBudget,
 }
 
 impl<'a> ApproxLutBuilder<'a> {
@@ -50,6 +53,7 @@ impl<'a> ApproxLutBuilder<'a> {
             dist: None,
             algorithm: Algorithm::BsSa(BsSaParams::fast()),
             policy: ArchPolicy::NormalOnly,
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -82,19 +86,46 @@ impl<'a> ApproxLutBuilder<'a> {
         self
     }
 
+    /// Bounds the run with an execution budget (default: unlimited). A
+    /// tripped budget returns the best solution found so far, with
+    /// [`SearchOutcome::termination`] saying why the run stopped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dalut_boolfn::TruthTable;
+    /// use dalut_core::{ApproxLutBuilder, RunBudget, Termination};
+    /// use std::time::Duration;
+    ///
+    /// let target = TruthTable::from_fn(8, 4, |x| (x * 3 >> 4) & 0xF).unwrap();
+    /// let outcome = ApproxLutBuilder::new(&target)
+    ///     .budget(RunBudget::unlimited().with_deadline(Duration::from_secs(5)))
+    ///     .run()
+    ///     .unwrap();
+    /// // Complete either way: every output bit has a configuration.
+    /// assert_eq!(outcome.config.outputs(), 4);
+    /// ```
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Runs the configured search.
     ///
     /// # Errors
     ///
-    /// Returns an error on dimension mismatches.
-    pub fn run(self) -> Result<SearchOutcome, BoolFnError> {
+    /// Returns an error on dimension mismatches or invalid parameters.
+    pub fn run(self) -> Result<SearchOutcome, DalutError> {
         let dist = match self.dist {
             Some(d) => d,
             None => InputDistribution::uniform(self.target.inputs())?,
         };
         match self.algorithm {
-            Algorithm::Dalta(p) => run_dalta(self.target, &dist, &p),
-            Algorithm::BsSa(p) => run_bs_sa(self.target, &dist, &p, self.policy),
+            Algorithm::Dalta(p) => run_dalta_budgeted(self.target, &dist, &p, &self.budget),
+            Algorithm::BsSa(p) => {
+                run_bs_sa_budgeted(self.target, &dist, &p, self.policy, &self.budget)
+            }
         }
     }
 }
@@ -128,6 +159,20 @@ mod tests {
             .unwrap();
         // With all probability on one input, zero error is achievable.
         assert!(out.med < 1e-9, "med = {}", out.med);
+    }
+
+    #[test]
+    fn builder_budget_flows_through() {
+        use crate::budget::{CancelToken, Termination};
+        let target = TruthTable::from_fn(6, 2, |x| x % 4).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = ApproxLutBuilder::new(&target)
+            .budget(RunBudget::unlimited().with_cancel(&token))
+            .run()
+            .unwrap();
+        assert_eq!(out.termination, Termination::Cancelled);
+        assert_eq!(out.config.outputs(), 2);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! top `N_beam` decomposition settings. Several SA processes can run
 //! against one shared visited set `Φ`, as in the paper's implementation.
 
-use crate::parallel::run_tasks;
+use crate::budget::BudgetTimer;
+use crate::error::DalutError;
+use crate::parallel::try_run_tasks;
 use crate::params::BsSaParams;
 
 use crate::visited::{TopSettings, VisitedSet};
@@ -14,6 +16,38 @@ use dalut_boolfn::Partition;
 use dalut_decomp::{opt_for_part, opt_for_part_bto, opt_for_part_nd, AnyDecomp, BitCosts, Setting};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Test-only fault hook: arms a number of injected panics against the
+/// kernel evaluations of one specific cost table (identified by address,
+/// so concurrently running tests cannot consume each other's fuse). Fires
+/// inside the worker-task body — exactly where a real kernel fault would
+/// land — to exercise the panic-isolation path.
+#[cfg(test)]
+pub(crate) mod inject {
+    use dalut_decomp::BitCosts;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static TARGET: AtomicUsize = AtomicUsize::new(0);
+    static SHOTS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arms `shots` panics against worker tasks evaluating `costs`.
+    pub(crate) fn arm(costs: &BitCosts, shots: usize) {
+        SHOTS.store(shots, Ordering::SeqCst);
+        TARGET.store(std::ptr::from_ref(costs) as usize, Ordering::SeqCst);
+    }
+
+    /// Panics if armed against `costs` and shots remain.
+    pub(crate) fn maybe_fire(costs: &BitCosts) {
+        if TARGET.load(Ordering::SeqCst) == std::ptr::from_ref(costs) as usize
+            && SHOTS
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+        {
+            panic!("injected kernel panic (test hook)");
+        }
+    }
+}
 
 /// Which decomposition shape `FindBestSettings` optimises (the operating
 /// mode the resulting setting targets).
@@ -36,24 +70,30 @@ fn optimize_partition(
     rng: &mut StdRng,
 ) -> Setting {
     let opt = params.search.opt_params();
+    // Invariant, not fallible: every partition evaluated here is drawn over
+    // the same n the cost table was built for (checked at search entry), so
+    // the kernels' width checks cannot fire.
+    const WIDTHS_OK: &str = "partition width validated at search entry";
     match mode {
         DecompMode::Normal => {
-            let (e, d) = opt_for_part(costs, partition, opt, rng);
+            let (e, d) = opt_for_part(costs, partition, opt, rng).expect(WIDTHS_OK);
             Setting::new(e, AnyDecomp::Normal(d))
         }
         DecompMode::Bto => {
-            let (e, d) = opt_for_part_bto(costs, partition);
+            let (e, d) = opt_for_part_bto(costs, partition).expect(WIDTHS_OK);
             Setting::new(e, AnyDecomp::Bto(d))
         }
-        DecompMode::NonDisjoint => match opt_for_part_nd(costs, partition, opt, rng) {
-            Some((e, d)) => Setting::new(e, AnyDecomp::NonDisjoint(d)),
-            // A single-variable bound set admits no shared bit; fall back
-            // to the normal decomposition.
-            None => {
-                let (e, d) = opt_for_part(costs, partition, opt, rng);
-                Setting::new(e, AnyDecomp::Normal(d))
+        DecompMode::NonDisjoint => {
+            match opt_for_part_nd(costs, partition, opt, rng).expect(WIDTHS_OK) {
+                Some((e, d)) => Setting::new(e, AnyDecomp::NonDisjoint(d)),
+                // A single-variable bound set admits no shared bit; fall back
+                // to the normal decomposition.
+                None => {
+                    let (e, d) = opt_for_part(costs, partition, opt, rng).expect(WIDTHS_OK);
+                    Setting::new(e, AnyDecomp::Normal(d))
+                }
             }
-        },
+        }
     }
 }
 
@@ -112,6 +152,11 @@ impl SaChain {
     /// merged back into `Φ` in that same order — so the chain consumes its
     /// RNG identically regardless of `threads`, and the whole step is a
     /// deterministic function of the chain state.
+    ///
+    /// Each neighbour evaluation runs panic-isolated: a task that dies is
+    /// recorded on `timer` and its neighbour simply drops out of this
+    /// batch; the surviving evaluations proceed normally.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         costs: &BitCosts,
@@ -120,6 +165,7 @@ impl SaChain {
         phi: &VisitedSet,
         tops: &TopSettings,
         threads: usize,
+        timer: &BudgetTimer,
     ) {
         if self.done || phi.len() >= params.partition_limit {
             self.done = true;
@@ -136,11 +182,13 @@ impl SaChain {
                 pending.push((i, *nb, self.rng.random()));
             }
         }
-        let settings = run_tasks(
+        let settings = try_run_tasks(
             pending
                 .iter()
                 .map(|&(_, nb, seed)| {
                     move || {
+                        #[cfg(test)]
+                        inject::maybe_fire(costs);
                         let mut rng = StdRng::seed_from_u64(seed);
                         optimize_partition(costs, nb, mode, params, &mut rng)
                     }
@@ -149,17 +197,26 @@ impl SaChain {
             threads,
         );
         let mut changed = false;
-        for (&(i, nb, _), s) in pending.iter().zip(settings) {
-            let e = s.error;
-            if phi.insert(nb.bound_mask(), e) {
-                changed = true;
+        for (&(i, nb, _), slot) in pending.iter().zip(settings) {
+            match slot {
+                Ok(s) => {
+                    let e = s.error;
+                    if phi.insert(nb.bound_mask(), e) {
+                        changed = true;
+                    }
+                    tops.offer(s);
+                    errs[i] = Some(e);
+                }
+                // The neighbour's evaluation panicked: note it and let the
+                // batch continue without this neighbour (it stays out of Φ
+                // and can be re-drawn later).
+                Err(_) => timer.note_task_failure(),
             }
-            tops.offer(s);
-            errs[i] = Some(e);
         }
         let mut best_nb: Option<(Partition, f64)> = None;
         for (nb, e_nb) in neighbors.iter().zip(errs) {
-            let e_nb = e_nb.expect("every neighbour is cached or evaluated by now");
+            // A `None` here means the neighbour's worker task panicked.
+            let Some(e_nb) = e_nb else { continue };
             if best_nb.is_none_or(|(_, be)| e_nb < be) {
                 best_nb = Some((*nb, e_nb));
             }
@@ -214,7 +271,8 @@ impl SaChain {
 ///
 /// # Panics
 ///
-/// Panics if `costs.inputs != n` or `params.search.bound_size >= n`.
+/// Panics if `costs.inputs != n` or `params.search.bound_size >= n`; use
+/// [`find_best_settings_budgeted`] for a non-panicking entry point.
 pub fn find_best_settings(
     costs: &BitCosts,
     n: usize,
@@ -224,11 +282,49 @@ pub fn find_best_settings(
     seed: u64,
     start: Option<Partition>,
 ) -> Vec<Setting> {
-    assert_eq!(costs.inputs, n, "cost table width mismatch");
-    assert!(
-        params.search.bound_size > 0 && params.search.bound_size < n,
-        "bound size must satisfy 0 < b < n"
-    );
+    let timer = BudgetTimer::unlimited();
+    find_best_settings_budgeted(costs, n, mode, params, beam, seed, start, &timer)
+        .expect("invalid search parameters")
+}
+
+/// [`find_best_settings`] under an execution budget.
+///
+/// `timer` is consulted at chain-step boundaries only, so a run that
+/// finishes within its budget consumes its RNG streams — and returns —
+/// exactly like the unbudgeted version. When the budget trips mid-search,
+/// the settings gathered so far are returned (never empty: every chain
+/// evaluates its starting partition before the budget is first checked).
+/// Worker-task panics are recorded on `timer` and the affected neighbours
+/// are dropped from their batch; ask `timer.termination()` for the
+/// combined verdict.
+///
+/// # Errors
+///
+/// [`DalutError::InvalidParams`] if `costs.inputs != n` or the bound size
+/// does not satisfy `0 < b < n`.
+#[allow(clippy::too_many_arguments)]
+pub fn find_best_settings_budgeted(
+    costs: &BitCosts,
+    n: usize,
+    mode: DecompMode,
+    params: &BsSaParams,
+    beam: usize,
+    seed: u64,
+    start: Option<Partition>,
+    timer: &BudgetTimer,
+) -> Result<Vec<Setting>, DalutError> {
+    if costs.inputs != n {
+        return Err(DalutError::InvalidParams(format!(
+            "cost table is over {} inputs but the search target has {n}",
+            costs.inputs
+        )));
+    }
+    if params.search.bound_size == 0 || params.search.bound_size >= n {
+        return Err(DalutError::InvalidParams(format!(
+            "bound size must satisfy 0 < b < n (got b = {}, n = {n})",
+            params.search.bound_size
+        )));
+    }
     let phi = VisitedSet::new();
     let tops = TopSettings::new(beam.max(1));
     let chains = params.sa_processes.max(1);
@@ -254,10 +350,17 @@ pub fn find_best_settings(
     let threads = params.search.threads.max(1);
     let chain_workers = threads.min(chains);
     let batch_threads = (threads / chain_workers).max(1);
-    while states.iter().any(|st| !st.done) && phi.len() < params.partition_limit {
+    'sweeps: while states.iter().any(|st| !st.done) && phi.len() < params.partition_limit {
+        if timer.exhausted() {
+            break;
+        }
         if chain_workers <= 1 {
             for st in states.iter_mut().filter(|st| !st.done) {
-                st.step(costs, mode, params, &phi, &tops, batch_threads);
+                if timer.exhausted() {
+                    break 'sweeps;
+                }
+                st.step(costs, mode, params, &phi, &tops, batch_threads, timer);
+                timer.count_iteration();
             }
         } else {
             let chunk = states.len().div_ceil(chain_workers);
@@ -266,15 +369,30 @@ pub fn find_best_settings(
                     let (phi, tops) = (&phi, &tops);
                     scope.spawn(move |_| {
                         for st in slice.iter_mut().filter(|st| !st.done) {
-                            st.step(costs, mode, params, phi, tops, batch_threads);
+                            if timer.exhausted() {
+                                break;
+                            }
+                            // A chain whose step dies outside the isolated
+                            // neighbour tasks is retired; its settings so
+                            // far stay in `tops` and the other chains keep
+                            // searching.
+                            if catch_unwind(AssertUnwindSafe(|| {
+                                st.step(costs, mode, params, phi, tops, batch_threads, timer);
+                            }))
+                            .is_err()
+                            {
+                                timer.note_task_failure();
+                                st.done = true;
+                            }
+                            timer.count_iteration();
                         }
                     });
                 }
             })
-            .expect("SA worker panicked");
+            .expect("SA worker panicked outside a chain step");
         }
     }
-    tops.snapshot()
+    Ok(tops.snapshot())
 }
 
 #[cfg(test)]
@@ -386,6 +504,137 @@ mod tests {
         params.search.threads = 4;
         let b = find_best_settings(&costs, 7, DecompMode::Normal, &params, 3, 21, None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_budget_still_returns_valid_settings() {
+        use crate::budget::{RunBudget, Termination};
+        let g = table(9);
+        let costs = costs_for(&g, 0);
+        let params = BsSaParams::fast();
+        // A budget that is spent before the search starts: the chains
+        // still evaluate their starting partitions, so the result is a
+        // non-empty set of faithful settings.
+        let timer =
+            BudgetTimer::new(&RunBudget::unlimited().with_deadline(std::time::Duration::ZERO));
+        let out =
+            find_best_settings_budgeted(&costs, 7, DecompMode::Normal, &params, 3, 7, None, &timer)
+                .unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(timer.termination(), Termination::DeadlineExceeded);
+        for s in &out {
+            let col = s.decomp.to_bit_column();
+            assert!((column_error(&costs, &col) - s.error).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_bounds_the_run() {
+        use crate::budget::{RunBudget, Termination};
+        let g = table(6);
+        let costs = costs_for(&g, 2);
+        let mut params = BsSaParams::fast();
+        params.stall_limit = usize::MAX;
+        params.partition_limit = usize::MAX;
+        let timer = BudgetTimer::new(&RunBudget::unlimited().with_max_iterations(2));
+        let out =
+            find_best_settings_budgeted(&costs, 7, DecompMode::Normal, &params, 5, 3, None, &timer)
+                .unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(timer.termination(), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run_exactly() {
+        use crate::budget::{RunBudget, Termination};
+        let g = table(2);
+        let costs = costs_for(&g, 1);
+        let mut params = BsSaParams::fast();
+        params.sa_processes = 3;
+        let plain = find_best_settings(&costs, 7, DecompMode::Normal, &params, 2, 11, None);
+        let timer = BudgetTimer::new(
+            &RunBudget::unlimited()
+                .with_deadline(std::time::Duration::from_secs(3600))
+                .with_max_iterations(u64::MAX),
+        );
+        let budgeted = find_best_settings_budgeted(
+            &costs,
+            7,
+            DecompMode::Normal,
+            &params,
+            2,
+            11,
+            None,
+            &timer,
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
+        assert_eq!(timer.termination(), Termination::Completed);
+    }
+
+    #[test]
+    fn cancellation_stops_the_search_with_best_so_far() {
+        use crate::budget::{CancelToken, RunBudget, Termination};
+        let g = table(3);
+        let costs = costs_for(&g, 1);
+        let params = BsSaParams::fast();
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the search even starts
+        let timer = BudgetTimer::new(&RunBudget::unlimited().with_cancel(&token));
+        let out =
+            find_best_settings_budgeted(&costs, 7, DecompMode::Normal, &params, 2, 5, None, &timer)
+                .unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(timer.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn injected_task_panic_is_isolated_and_reported() {
+        use crate::budget::Termination;
+        let g = table(10);
+        let costs = costs_for(&g, 1);
+        let mut params = BsSaParams::fast();
+        params.sa_processes = 1;
+        params.search.threads = 4; // neighbour batches fan out over workers
+        let timer = BudgetTimer::unlimited();
+        inject::arm(&costs, 3);
+        let out = find_best_settings_budgeted(
+            &costs,
+            7,
+            DecompMode::Normal,
+            &params,
+            3,
+            13,
+            None,
+            &timer,
+        )
+        .unwrap();
+        assert_eq!(timer.termination(), Termination::TaskFailed);
+        // The surviving evaluations still produced faithful settings.
+        assert!(!out.is_empty());
+        for s in &out {
+            let col = s.decomp.to_bit_column();
+            assert!((column_error(&costs, &col) - s.error).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_typed_errors_not_panics() {
+        use crate::error::DalutError;
+        let g = table(1);
+        let costs = costs_for(&g, 0);
+        let params = BsSaParams::fast();
+        let timer = BudgetTimer::unlimited();
+        // Width mismatch: the cost table is over 7 inputs, not 8.
+        let r =
+            find_best_settings_budgeted(&costs, 8, DecompMode::Normal, &params, 1, 1, None, &timer);
+        assert!(matches!(r, Err(DalutError::InvalidParams(_))));
+        // Degenerate bound size.
+        let mut bad = BsSaParams::fast();
+        bad.search.bound_size = 7;
+        let r =
+            find_best_settings_budgeted(&costs, 7, DecompMode::Normal, &bad, 1, 1, None, &timer);
+        assert!(matches!(r, Err(DalutError::InvalidParams(_))));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Behavioural tests of the robust execution layer: budgets, deadlines,
+//! iteration caps and cooperative cancellation across the full search
+//! stack (builder → beam/DALTA → SA).
+
+use dalut_boolfn::builder::random_table;
+use dalut_boolfn::{metrics, InputDistribution, TruthTable};
+use dalut_core::{
+    run_bs_sa, run_bs_sa_budgeted, run_dalta, run_dalta_budgeted, ApproxLutBuilder, ArchPolicy,
+    BsSaParams, CancelToken, DaltaParams, RunBudget, Termination,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        random_table(n, m, &mut rng).unwrap(),
+        InputDistribution::uniform(n).unwrap(),
+    )
+}
+
+/// The returned config must decode everywhere and the reported MED must
+/// be the exact MED of that config, however the run ended.
+fn assert_outcome_is_truthful(
+    out: &dalut_core::SearchOutcome,
+    target: &TruthTable,
+    dist: &InputDistribution,
+) {
+    let (n, m) = (target.inputs(), target.outputs());
+    assert_eq!(out.config.outputs(), m);
+    assert!(out.med.is_finite() && out.med >= 0.0);
+    assert!(!out.round_meds.is_empty());
+    let approx = TruthTable::from_fn(n, m, |x| out.config.eval(x)).unwrap();
+    let true_med = metrics::med(target, &approx, dist).unwrap();
+    assert!(
+        (out.med - true_med).abs() < 1e-9,
+        "reported MED {} != recomputed {}",
+        out.med,
+        true_med
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any iteration cap — including caps that trip mid-round-1 — yields
+    /// a complete, truthful outcome no worse than the first filled
+    /// configuration.
+    #[test]
+    fn capped_bs_sa_outcomes_are_valid(seed in 0u64..64, cap in 1u64..40) {
+        let (g, d) = problem(seed, 6, 3);
+        let mut p = BsSaParams::fast();
+        p.search.seed = seed;
+        let budget = RunBudget::unlimited().with_max_iterations(cap);
+        let out = run_bs_sa_budgeted(&g, &d, &p, ArchPolicy::NormalOnly, &budget).unwrap();
+        prop_assert_eq!(out.config.outputs(), 3);
+        prop_assert!(out.med.is_finite() && out.med >= 0.0);
+        prop_assert!(
+            out.med <= out.round_meds[0] + 1e-9,
+            "best-so-far {} worse than first round {}",
+            out.med,
+            out.round_meds[0]
+        );
+        let approx = TruthTable::from_fn(6, 3, |x| out.config.eval(x)).unwrap();
+        let true_med = metrics::med(&g, &approx, &d).unwrap();
+        prop_assert!((out.med - true_med).abs() < 1e-9);
+    }
+
+    /// Same property for the DALTA baseline.
+    #[test]
+    fn capped_dalta_outcomes_are_valid(seed in 0u64..64, cap in 1u64..30) {
+        let (g, d) = problem(seed, 6, 3);
+        let mut p = DaltaParams::fast();
+        p.search.seed = seed;
+        let budget = RunBudget::unlimited().with_max_iterations(cap);
+        let out = run_dalta_budgeted(&g, &d, &p, &budget).unwrap();
+        prop_assert_eq!(out.config.outputs(), 3);
+        prop_assert!(out.med.is_finite() && out.med >= 0.0);
+        let approx = TruthTable::from_fn(6, 3, |x| out.config.eval(x)).unwrap();
+        let true_med = metrics::med(&g, &approx, &d).unwrap();
+        prop_assert!((out.med - true_med).abs() < 1e-9);
+    }
+}
+
+/// A run that finishes within a generous budget is identical to the same
+/// run without one: budget checks live between iterations, so they never
+/// touch the RNG streams.
+#[test]
+fn completed_budgeted_runs_match_unbudgeted_exactly() {
+    let generous = RunBudget::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_iterations(u64::MAX);
+    for seed in 0..4u64 {
+        let (g, d) = problem(seed, 7, 3);
+        let mut bp = BsSaParams::fast();
+        bp.search.seed = seed;
+        let free = run_bs_sa(&g, &d, &bp, ArchPolicy::bto_normal_paper()).unwrap();
+        let budgeted =
+            run_bs_sa_budgeted(&g, &d, &bp, ArchPolicy::bto_normal_paper(), &generous).unwrap();
+        assert_eq!(budgeted.termination, Termination::Completed);
+        assert_eq!(free.med.to_bits(), budgeted.med.to_bits(), "seed {seed}");
+        assert_eq!(free.config, budgeted.config, "seed {seed}");
+        assert_eq!(free.round_meds, budgeted.round_meds, "seed {seed}");
+        assert_eq!(free.mode_options, budgeted.mode_options, "seed {seed}");
+
+        let mut dp = DaltaParams::fast();
+        dp.search.seed = seed;
+        let free = run_dalta(&g, &d, &dp).unwrap();
+        let budgeted = run_dalta_budgeted(&g, &d, &dp, &generous).unwrap();
+        assert_eq!(budgeted.termination, Termination::Completed);
+        assert_eq!(free.med.to_bits(), budgeted.med.to_bits(), "seed {seed}");
+        assert_eq!(free.config, budgeted.config, "seed {seed}");
+        assert_eq!(free.round_meds, budgeted.round_meds, "seed {seed}");
+    }
+}
+
+/// The paper's working point — n = 16 inputs, bound-set size 9 — with a
+/// 5-second deadline: the search must come back within the deadline plus
+/// a modest grace period (final fill + outcome assembly), tagged
+/// `DeadlineExceeded`, with a complete truthful best-so-far config.
+#[test]
+fn deadline_is_honoured_at_the_paper_working_point() {
+    let target = TruthTable::from_fn(16, 8, |x| {
+        let t = f64::from(x) / 65536.0;
+        (t * t * 255.0) as u32
+    })
+    .unwrap();
+    let dist = InputDistribution::uniform(16).unwrap();
+    // Fast per-step cost but a practically unbounded amount of SA work,
+    // so the run cannot complete inside the deadline.
+    let mut p = BsSaParams::fast();
+    p.search.seed = 11;
+    p.search.bound_size = 9;
+    p.search.rounds = 50;
+    p.partition_limit = 1_000_000;
+    p.stall_limit = 1_000_000;
+    let deadline = Duration::from_secs(5);
+    let budget = RunBudget::unlimited().with_deadline(deadline);
+    let start = Instant::now();
+    let out = run_bs_sa_budgeted(&target, &dist, &p, ArchPolicy::NormalOnly, &budget).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(out.termination, Termination::DeadlineExceeded);
+    assert!(
+        elapsed <= deadline + Duration::from_millis(500),
+        "overran the deadline: {elapsed:?}"
+    );
+    assert_outcome_is_truthful(&out, &target, &dist);
+}
+
+/// Cancelling from another thread stops a long run promptly with a
+/// complete best-so-far outcome.
+#[test]
+fn cancellation_from_another_thread_stops_the_run() {
+    let (g, d) = problem(2, 10, 4);
+    let mut p = BsSaParams::fast();
+    p.search.seed = 2;
+    p.partition_limit = 1_000_000;
+    p.stall_limit = 1_000_000;
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let budget = RunBudget::unlimited().with_cancel(&token);
+    let start = Instant::now();
+    let out = run_bs_sa_budgeted(&g, &d, &p, ArchPolicy::NormalOnly, &budget).unwrap();
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    assert_eq!(out.termination, Termination::Cancelled);
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+    assert_outcome_is_truthful(&out, &g, &d);
+}
+
+/// The builder surfaces budgets for both algorithms end to end.
+#[test]
+fn builder_budgets_cover_both_algorithms() {
+    let (g, _) = problem(5, 6, 2);
+    for algo_is_dalta in [false, true] {
+        let mut b = ApproxLutBuilder::new(&g).budget(RunBudget::unlimited().with_max_iterations(2));
+        b = if algo_is_dalta {
+            b.dalta(DaltaParams::fast())
+        } else {
+            b.bs_sa(BsSaParams::fast())
+        };
+        let out = b.run().unwrap();
+        assert_eq!(out.termination, Termination::DeadlineExceeded);
+        assert_eq!(out.config.outputs(), 2);
+        assert!(out.med.is_finite());
+    }
+}

@@ -83,7 +83,7 @@ fn start_partition_bounds_result() {
     let mut params = BsSaParams::fast();
     params.search.bound_size = 4;
     let mut rng = StdRng::seed_from_u64(9);
-    let (start_err, _) = opt_for_part(&costs, start, params.search.opt_params(), &mut rng);
+    let (start_err, _) = opt_for_part(&costs, start, params.search.opt_params(), &mut rng).unwrap();
     let best =
         find_best_settings(&costs, 8, DecompMode::Normal, &params, 1, 11, Some(start))[0].error;
     assert!(best <= start_err + 1e-9);

@@ -1,0 +1,85 @@
+//! Typed errors for the decomposition kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the `OptForPart` kernels and the brute-force oracle.
+///
+/// These cover the *fallible* preconditions a caller can get wrong (width
+/// mismatches, oversized bound sets). Internal invariants — dimensions that
+/// hold by construction once the entry checks pass — remain documented
+/// `expect`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecompError {
+    /// The cost table and the partition describe different input widths.
+    WidthMismatch {
+        /// Input width of the cost table.
+        costs: usize,
+        /// Input width (`n`) of the partition.
+        partition: usize,
+    },
+    /// The bound set is too large for an exhaustive enumeration.
+    BoundTooLarge {
+        /// Number of chart columns (`2^b`) requested.
+        cols: usize,
+        /// Maximum number of columns the oracle supports.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WidthMismatch { costs, partition } => write!(
+                f,
+                "cost table over {costs} inputs but partition over {partition}"
+            ),
+            Self::BoundTooLarge { cols, limit } => write!(
+                f,
+                "bound set spans {cols} chart columns, oracle limit is {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for DecompError {}
+
+/// Checks the shared `costs.inputs == partition.n()` precondition.
+pub(crate) fn check_widths(
+    costs: &crate::cost::BitCosts,
+    partition: dalut_boolfn::Partition,
+) -> Result<(), DecompError> {
+    if costs.inputs != partition.n() {
+        return Err(DecompError::WidthMismatch {
+            costs: costs.inputs,
+            partition: partition.n(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_widths() {
+        let e = DecompError::WidthMismatch {
+            costs: 6,
+            partition: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('6') && s.contains('5'), "{s}");
+    }
+
+    #[test]
+    fn display_names_column_limit() {
+        let e = DecompError::BoundTooLarge {
+            cols: 32,
+            limit: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("32") && s.contains("20"), "{s}");
+    }
+}

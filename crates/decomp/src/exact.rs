@@ -2,6 +2,7 @@
 //! optimal approximate decomposer used as a test oracle.
 
 use crate::cost::BitCosts;
+use crate::error::{check_widths, DecompError};
 use crate::setting::{DisjointDecomp, RowType};
 use dalut_boolfn::{Partition, TruthTable, TwoDimTable};
 
@@ -98,13 +99,23 @@ pub fn is_decomposable(
 /// type per row for each. Exponential — intended only as a test oracle for
 /// charts with `b <= 4`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `costs.inputs != partition.n()` or `2^b > 20`.
-pub fn brute_force_optimal(costs: &BitCosts, partition: Partition) -> (f64, DisjointDecomp) {
-    assert_eq!(costs.inputs, partition.n(), "width mismatch");
+/// Returns [`DecompError::WidthMismatch`] if `costs.inputs != partition.n()`
+/// and [`DecompError::BoundTooLarge`] if `2^b > 20`.
+pub fn brute_force_optimal(
+    costs: &BitCosts,
+    partition: Partition,
+) -> Result<(f64, DisjointDecomp), DecompError> {
+    check_widths(costs, partition)?;
     let cols = partition.cols();
-    assert!(cols <= 20, "brute force limited to small bound sets");
+    const COL_LIMIT: usize = 20;
+    if cols > COL_LIMIT {
+        return Err(DecompError::BoundTooLarge {
+            cols,
+            limit: COL_LIMIT,
+        });
+    }
     let rows = partition.rows();
     let st = partition.scatter_table();
 
@@ -147,11 +158,13 @@ pub fn brute_force_optimal(costs: &BitCosts, partition: Partition) -> (f64, Disj
             best = Some((total, v, types));
         }
     }
+    // Invariants, not fallible: at least pattern 0 was enumerated, and the
+    // winning pattern/types are sized by this very partition.
     let (err, v, types) = best.expect("pattern enumeration is non-empty");
-    (
+    Ok((
         err,
         DisjointDecomp::new(partition, v, types).expect("dimensions match"),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -213,7 +226,7 @@ mod tests {
         // BTO restriction: one wrong cell out of 16.
         let dist = InputDistribution::uniform(4).unwrap();
         let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
-        let (err, bto) = crate::opt_for_part::opt_for_part_bto(&costs, p);
+        let (err, bto) = crate::opt_for_part::opt_for_part_bto(&costs, p).unwrap();
         assert!((err - 1.0 / 16.0).abs() < 1e-12);
         assert_eq!(bto.pattern(), &[true, true, true, false]);
     }
@@ -269,7 +282,7 @@ mod tests {
             let dist = InputDistribution::uniform(5).unwrap();
             let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
             let p = Partition::new(5, 0b00011).unwrap();
-            let (bf_err, bf) = brute_force_optimal(&costs, p);
+            let (bf_err, bf) = brute_force_optimal(&costs, p).unwrap();
             assert!((column_error(&costs, &bf.to_bit_column()) - bf_err).abs() < 1e-12);
             // Any random decomposition must be at least as bad.
             for _ in 0..20 {
@@ -291,7 +304,7 @@ mod tests {
         let p = Partition::new(5, bound).unwrap();
         let dist = InputDistribution::uniform(5).unwrap();
         let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
-        let (err, _) = brute_force_optimal(&costs, p);
+        let (err, _) = brute_force_optimal(&costs, p).unwrap();
         assert!(err < 1e-12);
     }
 }

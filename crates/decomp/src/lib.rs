@@ -35,7 +35,7 @@
 //! let costs = bit_costs(&g, &g, 3, &dist, LsbFill::Accurate).unwrap();
 //! let part = Partition::new(6, 0b000111).unwrap();
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let (err, decomp) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+//! let (err, decomp) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
 //! assert!(err.is_finite());
 //! assert_eq!(decomp.partition(), part);
 //! ```
@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cost;
+pub mod error;
 pub mod exact;
 pub mod opt_for_part;
 pub mod setting;
 
 pub use cost::{bit_costs, column_error, BitCosts, LsbFill};
+pub use error::DecompError;
 pub use exact::{brute_force_optimal, exact_decompose, is_decomposable};
 #[cfg(any(test, feature = "ref-kernel"))]
 pub use opt_for_part::reference::opt_for_part_ref;

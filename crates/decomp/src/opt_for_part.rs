@@ -41,6 +41,7 @@
 //! bit column.
 
 use crate::cost::BitCosts;
+use crate::error::{check_widths, DecompError};
 use crate::setting::{reduce_mask, BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType};
 use dalut_boolfn::Partition;
 use rand::Rng;
@@ -456,9 +457,9 @@ impl Scratch {
 /// ideal-choice chart rows (so exactly decomposable charts are solved to
 /// zero error). Returns the achieved error and the decomposition.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `costs.inputs != partition.n()`.
+/// Returns [`DecompError::WidthMismatch`] if `costs.inputs != partition.n()`.
 ///
 /// # Examples
 ///
@@ -473,7 +474,7 @@ impl Scratch {
 /// let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
 /// let part = Partition::new(6, 0b000111).unwrap();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-/// let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+/// let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
 /// assert_eq!(err, 0.0);
 /// assert_eq!(d.to_truth_table(), f);
 /// ```
@@ -482,12 +483,8 @@ pub fn opt_for_part(
     partition: Partition,
     params: OptParams,
     rng: &mut impl Rng,
-) -> (f64, DisjointDecomp) {
-    assert_eq!(
-        costs.inputs,
-        partition.n(),
-        "cost table and partition width mismatch"
-    );
+) -> Result<(f64, DisjointDecomp), DecompError> {
+    check_widths(costs, partition)?;
     let chart = Cost2d::new(costs, partition);
     let mut scratch = Scratch::new(&chart);
 
@@ -513,17 +510,19 @@ pub fn opt_for_part(
         "BTO seed is always considered"
     );
     let pattern = unpack_pattern(&scratch.best_pattern, chart.cols);
+    // Invariant, not fallible: pattern length is chart.cols and the type
+    // vector is chart.rows long, both derived from this very partition.
     let decomp = DisjointDecomp::new(partition, pattern, scratch.best_types)
         .expect("dimensions match the partition by construction");
-    (scratch.best_err, decomp)
+    Ok((scratch.best_err, decomp))
 }
 
 /// BTO-restricted `OptForPart` (paper §IV-A): all rows are forced to type
 /// 3, so the optimal pattern is closed-form per column. Deterministic.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `costs.inputs != partition.n()`.
+/// Returns [`DecompError::WidthMismatch`] if `costs.inputs != partition.n()`.
 ///
 /// # Examples
 ///
@@ -536,66 +535,67 @@ pub fn opt_for_part(
 /// let dist = InputDistribution::uniform(5).unwrap();
 /// let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
 /// let part = Partition::new(5, 0b00011).unwrap(); // B = {x0, x1}
-/// let (err, bto) = opt_for_part_bto(&costs, part);
+/// let (err, bto) = opt_for_part_bto(&costs, part).unwrap();
 /// assert_eq!(err, 0.0);
 /// assert_eq!(bto.pattern(), &[false, false, true, true]);
 /// ```
-pub fn opt_for_part_bto(costs: &BitCosts, partition: Partition) -> (f64, BtoDecomp) {
-    assert_eq!(
-        costs.inputs,
-        partition.n(),
-        "cost table and partition width mismatch"
-    );
+pub fn opt_for_part_bto(
+    costs: &BitCosts,
+    partition: Partition,
+) -> Result<(f64, BtoDecomp), DecompError> {
+    check_widths(costs, partition)?;
     let chart = Cost2d::new(costs, partition);
     let mut words = vec![0u64; chart.words];
     let err = chart.bto_pattern_into(&mut words);
-    (
+    Ok((
         err,
+        // Invariant, not fallible: the unpacked pattern has chart.cols bits
+        // by construction.
         BtoDecomp::new(partition, unpack_pattern(&words, chart.cols))
             .expect("dimensions match by construction"),
-    )
+    ))
 }
 
 /// Non-disjoint `OptForPart` (paper §IV-B1): tries every bound variable as
 /// the shared bit `x_s`, solves the two conditional disjoint sub-problems
 /// independently (their probability-weighted costs simply add, Eq. (2)),
-/// and keeps the best. Returns `None` if the bound set has a single
+/// and keeps the best. Returns `Ok(None)` if the bound set has a single
 /// variable (no reduced bound set would remain).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `costs.inputs != partition.n()`.
+/// Returns [`DecompError::WidthMismatch`] if `costs.inputs != partition.n()`.
 pub fn opt_for_part_nd(
     costs: &BitCosts,
     partition: Partition,
     params: OptParams,
     rng: &mut impl Rng,
-) -> Option<(f64, NonDisjointDecomp)> {
-    assert_eq!(
-        costs.inputs,
-        partition.n(),
-        "cost table and partition width mismatch"
-    );
+) -> Result<Option<(f64, NonDisjointDecomp)>, DecompError> {
+    check_widths(costs, partition)?;
     if partition.bound_size() < 2 {
-        return None;
+        return Ok(None);
     }
     let mut best: Option<(f64, NonDisjointDecomp)> = None;
     for &s in &partition.bound_vars() {
         let s = s as usize;
         let reduced_bound = reduce_mask(partition.bound_mask() & !(1u32 << s), s);
+        // Invariant, not fallible: bound_size() >= 2, so removing one bound
+        // variable leaves a non-empty proper subset over n - 1 inputs.
         let reduced = Partition::new(partition.n() - 1, reduced_bound)
             .expect("reduced bound set is a proper non-empty subset");
         let (costs0, costs1) = costs.split_on_bit(s);
-        let (e0, d0) = opt_for_part(&costs0, reduced, params, rng);
-        let (e1, d1) = opt_for_part(&costs1, reduced, params, rng);
+        let (e0, d0) = opt_for_part(&costs0, reduced, params, rng)?;
+        let (e1, d1) = opt_for_part(&costs1, reduced, params, rng)?;
         let err = e0 + e1;
         if best.as_ref().is_none_or(|(e, _)| err < *e) {
+            // Invariant, not fallible: both halves were just solved over the
+            // reduction of this very partition.
             let nd = NonDisjointDecomp::new(partition, s, d0, d1)
                 .expect("halves built over the reduction of the partition");
             best = Some((err, nd));
         }
     }
-    best
+    Ok(best)
 }
 
 /// The straightforward `OptForPart` kernel the project started with,
@@ -604,7 +604,9 @@ pub fn opt_for_part_nd(
 /// against. Enabled in tests and under the `ref-kernel` feature.
 #[cfg(any(test, feature = "ref-kernel"))]
 pub mod reference {
-    use super::{BitCosts, DisjointDecomp, OptParams, Partition, Rng, RowType};
+    use super::{
+        check_widths, BitCosts, DecompError, DisjointDecomp, OptParams, Partition, Rng, RowType,
+    };
 
     /// The per-input costs laid out in the 2-D chart of a partition, with
     /// cached row sums (reference layout: separate `c0`/`c1` arrays).
@@ -755,20 +757,17 @@ pub mod reference {
     /// [`opt_for_part`](super::opt_for_part); kept for differential tests
     /// and speedup measurements.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `costs.inputs != partition.n()`.
+    /// Returns [`DecompError::WidthMismatch`] if
+    /// `costs.inputs != partition.n()`.
     pub fn opt_for_part_ref(
         costs: &BitCosts,
         partition: Partition,
         params: OptParams,
         rng: &mut impl Rng,
-    ) -> (f64, DisjointDecomp) {
-        assert_eq!(
-            costs.inputs,
-            partition.n(),
-            "cost table and partition width mismatch"
-        );
+    ) -> Result<(f64, DisjointDecomp), DecompError> {
+        check_widths(costs, partition)?;
         let chart = RefCost2d::new(costs, partition);
         let mut best: Option<(f64, Vec<bool>, Vec<RowType>)> = None;
 
@@ -801,10 +800,12 @@ pub mod reference {
             consider(v, &chart, &mut best);
         }
 
+        // Invariants, not fallible: the BTO seed is always considered, and
+        // the winning pattern/types were sized by this very chart.
         let (err, v, types) = best.expect("at least one start is always considered");
         let decomp = DisjointDecomp::new(partition, v, types)
             .expect("dimensions match the partition by construction");
-        (err, decomp)
+        Ok((err, decomp))
     }
 }
 
@@ -832,7 +833,7 @@ mod tests {
             let g = random_table(6, 4, &mut frng).unwrap();
             let costs = costs_for(&g, 2);
             let p = Partition::new(6, 0b000111).unwrap();
-            let (err, d) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
+            let (err, d) = opt_for_part(&costs, p, OptParams::fast(), &mut rng).unwrap();
             let col = d.to_bit_column();
             assert!(
                 (column_error(&costs, &col) - err).abs() < 1e-12,
@@ -850,7 +851,7 @@ mod tests {
             let f = random_decomposable(6, bound, &mut frng).unwrap();
             let costs = costs_for(&f, 0);
             let p = Partition::new(6, bound).unwrap();
-            let (err, d) = opt_for_part(&costs, p, OptParams::default(), &mut rng);
+            let (err, d) = opt_for_part(&costs, p, OptParams::default(), &mut rng).unwrap();
             assert!(err < 1e-12, "exact decomposition not found, err={err}");
             // The decomposition must reproduce f exactly.
             assert_eq!(d.to_truth_table(), f);
@@ -865,8 +866,8 @@ mod tests {
             let g = random_table(7, 5, &mut frng).unwrap();
             let costs = costs_for(&g, 3);
             let p = Partition::random(7, 3, &mut frng);
-            let (e_norm, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
-            let (e_bto, _) = opt_for_part_bto(&costs, p);
+            let (e_norm, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng).unwrap();
+            let (e_bto, _) = opt_for_part_bto(&costs, p).unwrap();
             assert!(
                 e_norm <= e_bto + 1e-12,
                 "normal {e_norm} worse than BTO {e_bto}"
@@ -883,9 +884,9 @@ mod tests {
             let costs = costs_for(&g, 4);
             let p = Partition::random(6, 3, &mut frng);
             let ideal = costs.ideal_error();
-            let (e, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng);
+            let (e, _) = opt_for_part(&costs, p, OptParams::fast(), &mut rng).unwrap();
             assert!(e >= ideal - 1e-12);
-            let (eb, _) = opt_for_part_bto(&costs, p);
+            let (eb, _) = opt_for_part_bto(&costs, p).unwrap();
             assert!(eb >= ideal - 1e-12);
         }
     }
@@ -896,7 +897,7 @@ mod tests {
         let g = random_table(6, 4, &mut frng).unwrap();
         let costs = costs_for(&g, 1);
         let p = Partition::new(6, 0b110100).unwrap();
-        let (err, b) = opt_for_part_bto(&costs, p);
+        let (err, b) = opt_for_part_bto(&costs, p).unwrap();
         assert!((column_error(&costs, &b.to_bit_column()) - err).abs() < 1e-12);
     }
 
@@ -907,7 +908,7 @@ mod tests {
         let g = random_table(4, 3, &mut frng).unwrap();
         let costs = costs_for(&g, 1);
         let p = Partition::new(4, 0b0011).unwrap();
-        let (err, _) = opt_for_part_bto(&costs, p);
+        let (err, _) = opt_for_part_bto(&costs, p).unwrap();
         for pat in 0..16u32 {
             let v: Vec<bool> = (0..4).map(|c| (pat >> c) & 1 == 1).collect();
             let b = BtoDecomp::new(p, v).unwrap();
@@ -927,8 +928,10 @@ mod tests {
             let p = Partition::random(6, 3, &mut frng);
             let mut rng1 = StdRng::seed_from_u64(1000 + trial);
             let mut rng2 = StdRng::seed_from_u64(1000 + trial);
-            let (e_norm, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng1);
-            let (e_nd, _) = opt_for_part_nd(&costs, p, OptParams::default(), &mut rng2).unwrap();
+            let (e_norm, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng1).unwrap();
+            let (e_nd, _) = opt_for_part_nd(&costs, p, OptParams::default(), &mut rng2)
+                .unwrap()
+                .unwrap();
             assert!(
                 e_nd <= e_norm + 1e-9,
                 "trial {trial}: nd {e_nd} vs normal {e_norm}"
@@ -943,7 +946,9 @@ mod tests {
         let g = random_table(7, 4, &mut frng).unwrap();
         let costs = costs_for(&g, 0);
         let p = Partition::new(7, 0b0011101).unwrap();
-        let (err, nd) = opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng).unwrap();
+        let (err, nd) = opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng)
+            .unwrap()
+            .unwrap();
         assert!((column_error(&costs, &nd.to_bit_column()) - err).abs() < 1e-12);
     }
 
@@ -953,7 +958,34 @@ mod tests {
         let g = TruthTable::from_fn(4, 2, |x| x % 4).unwrap();
         let costs = costs_for(&g, 0);
         let p = Partition::new(4, 0b0001).unwrap();
-        assert!(opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng).is_none());
+        assert!(opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error_not_a_panic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = TruthTable::from_fn(5, 2, |x| x % 4).unwrap();
+        let costs = costs_for(&g, 0); // 5-input cost table
+        let p = Partition::new(6, 0b000111).unwrap(); // 6-input partition
+        let expected = crate::error::DecompError::WidthMismatch {
+            costs: 5,
+            partition: 6,
+        };
+        assert_eq!(
+            opt_for_part(&costs, p, OptParams::fast(), &mut rng).unwrap_err(),
+            expected
+        );
+        assert_eq!(opt_for_part_bto(&costs, p).unwrap_err(), expected);
+        assert_eq!(
+            opt_for_part_nd(&costs, p, OptParams::fast(), &mut rng).unwrap_err(),
+            expected
+        );
+        assert_eq!(
+            opt_for_part_ref(&costs, p, OptParams::fast(), &mut rng).unwrap_err(),
+            expected
+        );
     }
 
     #[test]
@@ -965,8 +997,8 @@ mod tests {
             let g = random_table(5, 4, &mut frng).unwrap();
             let costs = costs_for(&g, 2);
             let p = Partition::new(5, 0b00111).unwrap();
-            let chart_best = crate::exact::brute_force_optimal(&costs, p).0;
-            let (err, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng);
+            let chart_best = crate::exact::brute_force_optimal(&costs, p).unwrap().0;
+            let (err, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng).unwrap();
             assert!(
                 (err - chart_best).abs() < 1e-12,
                 "alternating {err} vs brute force {chart_best}"
@@ -982,7 +1014,7 @@ mod tests {
         let p = Partition::new(6, 0b011100).unwrap();
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            opt_for_part(&costs, p, OptParams::default(), &mut rng)
+            opt_for_part(&costs, p, OptParams::default(), &mut rng).unwrap()
         };
         let (e1, d1) = run(5);
         let (e2, d2) = run(5);
@@ -1002,8 +1034,10 @@ mod tests {
             let p = Partition::new(6, 0b000111).unwrap();
             let mut rng_fast = StdRng::seed_from_u64(100 + trial);
             let mut rng_ref = StdRng::seed_from_u64(100 + trial);
-            let (e_fast, d_fast) = opt_for_part(&costs, p, OptParams::default(), &mut rng_fast);
-            let (e_ref, _) = opt_for_part_ref(&costs, p, OptParams::default(), &mut rng_ref);
+            let (e_fast, d_fast) =
+                opt_for_part(&costs, p, OptParams::default(), &mut rng_fast).unwrap();
+            let (e_ref, _) =
+                opt_for_part_ref(&costs, p, OptParams::default(), &mut rng_ref).unwrap();
             assert!(
                 (e_fast - e_ref).abs() < 1e-9,
                 "trial {trial}: fast {e_fast} vs reference {e_ref}"
@@ -1027,8 +1061,8 @@ mod tests {
             let p = Partition::new(4, mask).unwrap();
             let mut rng_fast = StdRng::seed_from_u64(seed ^ 0xD1FF);
             let mut rng_ref = StdRng::seed_from_u64(seed ^ 0xD1FF);
-            let (e_fast, d) = opt_for_part(&costs, p, OptParams::default(), &mut rng_fast);
-            let (e_ref, _) = opt_for_part_ref(&costs, p, OptParams::default(), &mut rng_ref);
+            let (e_fast, d) = opt_for_part(&costs, p, OptParams::default(), &mut rng_fast).unwrap();
+            let (e_ref, _) = opt_for_part_ref(&costs, p, OptParams::default(), &mut rng_ref).unwrap();
             prop_assert!((e_fast - e_ref).abs() < 1e-9, "fast {} vs ref {}", e_fast, e_ref);
             let col_err = column_error(&costs, &d.to_bit_column());
             prop_assert!((col_err - e_fast).abs() < 1e-12);
@@ -1045,7 +1079,7 @@ mod tests {
             let p = Partition::new(5, 0b00110).unwrap();
             let run = |s| {
                 let mut rng = StdRng::seed_from_u64(s);
-                opt_for_part(&costs, p, OptParams::fast(), &mut rng)
+                opt_for_part(&costs, p, OptParams::fast(), &mut rng).unwrap()
             };
             let (e1, d1) = run(seed);
             let (e2, d2) = run(seed);

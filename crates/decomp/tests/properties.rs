@@ -20,7 +20,7 @@ proptest! {
         let part = Partition::new(6, mask).unwrap();
         let dist = InputDistribution::uniform(6).unwrap();
         let costs = bit_costs(&f, &f, 0, &dist, LsbFill::FromApprox).unwrap();
-        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
         prop_assert!(err < 1e-12);
         prop_assert_eq!(d.to_truth_table(), f);
     }
@@ -70,7 +70,9 @@ proptest! {
         let dist = InputDistribution::uniform(6).unwrap();
         let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
         let part = Partition::new(6, 0b011010).unwrap();
-        let (err, nd) = opt_for_part_nd(&costs, part, OptParams::fast(), &mut rng).unwrap();
+        let (err, nd) = opt_for_part_nd(&costs, part, OptParams::fast(), &mut rng)
+            .unwrap()
+            .unwrap();
         // Recompute the halves' contributions from the materialised column.
         let (c0, c1) = costs.split_on_bit(nd.shared());
         let e0 = column_error(&c0, &nd.half0().to_bit_column());
@@ -93,7 +95,7 @@ proptest! {
         let part = Partition::new(6, mask).unwrap();
         let run = || {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
-            opt_for_part(&costs, part, OptParams::fast(), &mut rng)
+            opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap()
         };
         let (e1, d1) = run();
         let (e2, d2) = run();
@@ -110,7 +112,7 @@ proptest! {
         let dist = InputDistribution::uniform(6).unwrap();
         let costs = bit_costs(&g, &g, 1, &dist, LsbFill::FromApprox).unwrap();
         let part = Partition::new(6, 0b000111).unwrap();
-        let (err, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        let (err, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
         let zero = costs.c0.iter().sum::<f64>();
         let one = costs.c1.iter().sum::<f64>();
         prop_assert!(err <= zero.min(one) + 1e-12);
@@ -130,9 +132,9 @@ fn opt_for_part_matches_brute_force_everywhere() {
             let Ok(part) = Partition::new(4, mask) else {
                 continue;
             };
-            let (bf, _) = dalut_decomp::brute_force_optimal(&costs, part);
+            let (bf, _) = dalut_decomp::brute_force_optimal(&costs, part).unwrap();
             let mut rng = StdRng::seed_from_u64(1);
-            let (err, _) = opt_for_part(&costs, part, OptParams::default(), &mut rng);
+            let (err, _) = opt_for_part(&costs, part, OptParams::default(), &mut rng).unwrap();
             assert!(
                 (err - bf).abs() < 1e-12,
                 "bit {bit} mask {mask:04b}: {err} vs brute force {bf}"

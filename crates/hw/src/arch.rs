@@ -41,7 +41,8 @@ impl ArchStyle {
     }
 }
 
-/// Errors raised when mapping a configuration onto an architecture.
+/// Errors raised when mapping a configuration onto an architecture or
+/// injecting faults into a built instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum HwError {
@@ -54,6 +55,14 @@ pub enum HwError {
         /// The mode that bit requires.
         mode: &'static str,
     },
+    /// A fault-injection model or campaign has invalid parameters.
+    InvalidFaultModel {
+        /// What is wrong with the parameters.
+        detail: String,
+    },
+    /// The underlying netlist rejected the instance (e.g. a
+    /// combinational cycle found when building a simulator).
+    Netlist(dalut_netlist::NetlistError),
 }
 
 impl fmt::Display for HwError {
@@ -63,11 +72,28 @@ impl fmt::Display for HwError {
                 f,
                 "architecture {style} cannot realise {mode} mode (output bit {bit})"
             ),
+            Self::InvalidFaultModel { detail } => {
+                write!(f, "invalid fault model: {detail}")
+            }
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
 }
 
-impl std::error::Error for HwError {}
+impl std::error::Error for HwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dalut_netlist::NetlistError> for HwError {
+    fn from(e: dalut_netlist::NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
 
 /// Result of building one output bit: its net plus bookkeeping.
 struct BitBlock {

@@ -1,0 +1,366 @@
+//! Fault injection into the stored bits of a built architecture.
+//!
+//! The DFF presets of an [`ArchInstance`] are its configuration memory:
+//! the bound/free sub-tables and per-bit configuration bits the search
+//! produced. This module corrupts copies of those stored bits under
+//! three classic fault models — single-event upsets, stuck-at faults and
+//! burst upsets — and measures how gracefully each architecture degrades
+//! relative to its own fault-free behaviour, exhaustively over the full
+//! input space.
+//!
+//! Campaigns are deterministic from an explicit seed, so a sweep is
+//! reproducible bit-for-bit run to run.
+//!
+//! ```
+//! use dalut_boolfn::TruthTable;
+//! use dalut_hw::{build_round_out, fault_report, FaultModel};
+//!
+//! let g = TruthTable::from_fn(6, 3, |x| (x >> 2) & 7).unwrap();
+//! let inst = build_round_out(&g, 1);
+//! let rep = fault_report(&inst, &FaultModel::Seu { probability: 0.01 }, 8, 42).unwrap();
+//! assert_eq!(rep.trials, 8);
+//! assert!(rep.error_rate <= 1.0);
+//! ```
+
+use crate::arch::HwError;
+use crate::instance::ArchInstance;
+use dalut_netlist::NetId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Exhaustive evaluation reads every input word, so campaigns are capped
+/// at this input width (2^20 reads per trial).
+const MAX_EXHAUSTIVE_INPUTS: usize = 20;
+
+/// How stored bits get corrupted in one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Single-event upsets: every stored bit flips independently with the
+    /// given probability.
+    Seu {
+        /// Per-bit flip probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Stuck-at faults: every stored bit is independently forced to
+    /// `value` with the given probability (bits already at `value` are
+    /// hit but unchanged).
+    StuckAt {
+        /// Per-bit fault probability in `[0, 1]`.
+        probability: f64,
+        /// The level faulty bits are stuck at.
+        value: bool,
+    },
+    /// Burst upsets: at each stored-bit position a burst starts with the
+    /// given probability and flips the next `length` bits; bursts do not
+    /// overlap.
+    Burst {
+        /// Per-position burst-start probability in `[0, 1]`.
+        probability: f64,
+        /// Number of consecutive bits one burst flips (at least 1).
+        length: usize,
+    },
+}
+
+impl FaultModel {
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Seu { .. } => "seu",
+            Self::StuckAt { .. } => "stuck-at",
+            Self::Burst { .. } => "burst",
+        }
+    }
+
+    /// The model's event probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        match *self {
+            Self::Seu { probability }
+            | Self::StuckAt { probability, .. }
+            | Self::Burst { probability, .. } => probability,
+        }
+    }
+
+    /// Checks the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFaultModel`] if the probability is not a
+    /// finite value in `[0, 1]`, or a burst has length zero.
+    pub fn validate(&self) -> Result<(), HwError> {
+        let p = self.probability();
+        if !(0.0..=1.0).contains(&p) {
+            return Err(HwError::InvalidFaultModel {
+                detail: format!("{} probability {p} is not in [0, 1]", self.name()),
+            });
+        }
+        if let Self::Burst { length: 0, .. } = self {
+            return Err(HwError::InvalidFaultModel {
+                detail: "burst length must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Corrupts `stored` in place, drawing from `rng`, and returns the
+    /// number of bits whose value actually changed. One draw per stored
+    /// bit (or per burst-free position), so equal seeds give equal
+    /// damage regardless of outcome.
+    pub fn apply(&self, stored: &mut [(NetId, bool)], rng: &mut StdRng) -> usize {
+        let mut changed = 0;
+        match *self {
+            Self::Seu { probability } => {
+                for (_, v) in stored.iter_mut() {
+                    if rng.random_bool(probability) {
+                        *v = !*v;
+                        changed += 1;
+                    }
+                }
+            }
+            Self::StuckAt { probability, value } => {
+                for (_, v) in stored.iter_mut() {
+                    if rng.random_bool(probability) && *v != value {
+                        *v = value;
+                        changed += 1;
+                    }
+                }
+            }
+            Self::Burst {
+                probability,
+                length,
+            } => {
+                let mut i = 0;
+                while i < stored.len() {
+                    if rng.random_bool(probability) {
+                        let end = (i + length).min(stored.len());
+                        for (_, v) in &mut stored[i..end] {
+                            *v = !*v;
+                        }
+                        changed += end - i;
+                        i = end;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Degradation of one instance under one fault model, aggregated over a
+/// campaign of independent trials and the full input space.
+///
+/// All error figures compare the damaged instance against its own
+/// fault-free outputs, so the report isolates the *additional* error the
+/// faults cause on top of the approximation error the search accepted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault-model name ([`FaultModel::name`]).
+    pub model: String,
+    /// The model's event probability.
+    pub probability: f64,
+    /// Number of independent corruption trials.
+    pub trials: usize,
+    /// Size of the fault surface: stored bits per instance.
+    pub stored_bits: usize,
+    /// Total stored bits changed across all trials.
+    pub flipped_bits: usize,
+    /// Fraction of reads (over all trials × all inputs) whose output
+    /// differs from the fault-free instance.
+    pub error_rate: f64,
+    /// Mean absolute error distance versus the fault-free instance.
+    pub med: f64,
+    /// Worst absolute error distance observed in any read.
+    pub max_ed: u32,
+}
+
+/// Runs a fault campaign: `trials` independent corruptions of the
+/// instance's stored bits under `model`, each evaluated exhaustively
+/// against the fault-free instance.
+///
+/// Deterministic in `seed`: equal arguments give an identical report.
+///
+/// # Errors
+///
+/// Returns [`HwError::InvalidFaultModel`] for bad model parameters, zero
+/// trials, or an instance too wide to evaluate exhaustively (more than
+/// 20 inputs), and [`HwError::Netlist`] if the netlist cannot be
+/// simulated.
+pub fn fault_report(
+    inst: &ArchInstance,
+    model: &FaultModel,
+    trials: usize,
+    seed: u64,
+) -> Result<FaultReport, HwError> {
+    model.validate()?;
+    if trials == 0 {
+        return Err(HwError::InvalidFaultModel {
+            detail: "a campaign needs at least one trial".to_string(),
+        });
+    }
+    if inst.inputs() > MAX_EXHAUSTIVE_INPUTS {
+        return Err(HwError::InvalidFaultModel {
+            detail: format!(
+                "exhaustive evaluation is capped at {MAX_EXHAUSTIVE_INPUTS} inputs (instance has {})",
+                inst.inputs()
+            ),
+        });
+    }
+
+    let words = 1u32 << inst.inputs();
+    let mut sim = inst.simulator()?;
+    let golden: Vec<u32> = (0..words).map(|x| inst.read(&mut sim, x)).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flipped_bits = 0usize;
+    let mut wrong = 0u64;
+    let mut sum_ed = 0.0f64;
+    let mut max_ed = 0u32;
+    for _ in 0..trials {
+        let mut stored = inst.presets().to_vec();
+        flipped_bits += model.apply(&mut stored, &mut rng);
+        let mut sim = inst.simulator_with_presets(&stored)?;
+        for (x, &g) in golden.iter().enumerate() {
+            let y = inst.read(&mut sim, x as u32);
+            if y != g {
+                wrong += 1;
+                let ed = g.abs_diff(y);
+                sum_ed += f64::from(ed);
+                max_ed = max_ed.max(ed);
+            }
+        }
+    }
+
+    let reads = u64::from(words) * trials as u64;
+    Ok(FaultReport {
+        model: model.name().to_string(),
+        probability: model.probability(),
+        trials,
+        stored_bits: inst.presets().len(),
+        flipped_bits,
+        error_rate: wrong as f64 / reads as f64,
+        med: sum_ed / reads as f64,
+        max_ed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounding::build_round_out;
+    use dalut_boolfn::TruthTable;
+
+    fn inst() -> ArchInstance {
+        let g = TruthTable::from_fn(6, 3, |x| (x.wrapping_mul(5) >> 2) & 7).unwrap();
+        build_round_out(&g, 1)
+    }
+
+    #[test]
+    fn zero_probability_is_fault_free() {
+        let inst = inst();
+        let rep = fault_report(&inst, &FaultModel::Seu { probability: 0.0 }, 4, 1).unwrap();
+        assert_eq!(rep.flipped_bits, 0);
+        assert_eq!(rep.error_rate, 0.0);
+        assert_eq!(rep.med, 0.0);
+        assert_eq!(rep.max_ed, 0);
+        assert_eq!(rep.stored_bits, inst.presets().len());
+    }
+
+    #[test]
+    fn certain_upset_flips_every_stored_bit() {
+        let inst = inst();
+        let rep = fault_report(&inst, &FaultModel::Seu { probability: 1.0 }, 3, 1).unwrap();
+        assert_eq!(rep.flipped_bits, 3 * inst.presets().len());
+        // Complementing the whole ROM complements every read.
+        assert!(rep.error_rate > 0.99, "error_rate = {}", rep.error_rate);
+        assert!(rep.med > 0.0);
+    }
+
+    #[test]
+    fn stuck_at_forces_bits_and_counts_only_changes() {
+        let inst = inst();
+        let ones = inst.presets().iter().filter(|&&(_, v)| v).count();
+        let mut stored = inst.presets().to_vec();
+        let mut rng = StdRng::seed_from_u64(9);
+        let changed = FaultModel::StuckAt {
+            probability: 1.0,
+            value: false,
+        }
+        .apply(&mut stored, &mut rng);
+        assert_eq!(changed, ones);
+        assert!(stored.iter().all(|&(_, v)| !v));
+    }
+
+    #[test]
+    fn certain_burst_flips_the_whole_surface() {
+        let inst = inst();
+        let mut stored = inst.presets().to_vec();
+        let original: Vec<bool> = stored.iter().map(|&(_, v)| v).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let changed = FaultModel::Burst {
+            probability: 1.0,
+            length: 3,
+        }
+        .apply(&mut stored, &mut rng);
+        assert_eq!(changed, stored.len());
+        for (&(_, v), o) in stored.iter().zip(original) {
+            assert_eq!(v, !o);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_in_the_seed() {
+        let inst = inst();
+        let model = FaultModel::Seu { probability: 0.05 };
+        let a = fault_report(&inst, &model, 6, 7).unwrap();
+        let b = fault_report(&inst, &model, 6, 7).unwrap();
+        assert_eq!(a, b);
+        // A different seed samples different damage: at p = 1/2 two
+        // seeds agreeing on the whole surface has probability 2^-128.
+        let coin = FaultModel::Seu { probability: 0.5 };
+        let (mut s1, mut s2) = (inst.presets().to_vec(), inst.presets().to_vec());
+        coin.apply(&mut s1, &mut StdRng::seed_from_u64(7));
+        coin.apply(&mut s2, &mut StdRng::seed_from_u64(8));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let inst = inst();
+        for model in [
+            FaultModel::Seu { probability: 1.5 },
+            FaultModel::Seu {
+                probability: f64::NAN,
+            },
+            FaultModel::StuckAt {
+                probability: -0.1,
+                value: true,
+            },
+            FaultModel::Burst {
+                probability: 0.1,
+                length: 0,
+            },
+        ] {
+            assert!(matches!(
+                fault_report(&inst, &model, 1, 0),
+                Err(HwError::InvalidFaultModel { .. })
+            ));
+        }
+        assert!(matches!(
+            fault_report(&inst, &FaultModel::Seu { probability: 0.1 }, 0, 0),
+            Err(HwError::InvalidFaultModel { .. })
+        ));
+    }
+
+    #[test]
+    fn heavier_upset_rates_degrade_more() {
+        let inst = inst();
+        let light = fault_report(&inst, &FaultModel::Seu { probability: 0.01 }, 8, 5).unwrap();
+        let heavy = fault_report(&inst, &FaultModel::Seu { probability: 0.3 }, 8, 5).unwrap();
+        assert!(heavy.flipped_bits > light.flipped_bits);
+        assert!(heavy.error_rate >= light.error_rate);
+    }
+}

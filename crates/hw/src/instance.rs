@@ -55,6 +55,14 @@ impl ArchInstance {
         &self.disabled
     }
 
+    /// The stored bits of this instance: every `(DFF, value)` preset that
+    /// loads the bound/free sub-tables and per-bit configuration memory.
+    /// This is the fault surface the [`fault`](crate::fault) module
+    /// corrupts.
+    pub fn presets(&self) -> &[(NetId, bool)] {
+        &self.presets
+    }
+
     /// Returns a *hardened* copy: the netlist run through constant
     /// propagation and dead-cell elimination
     /// ([`dalut_netlist::optimize`]), with the ROM presets carried over.
@@ -92,8 +100,23 @@ impl ArchInstance {
     ///
     /// Returns an error if the netlist has a combinational cycle.
     pub fn simulator(&self) -> Result<Simulator<'_>, NetlistError> {
+        self.simulator_with_presets(&self.presets)
+    }
+
+    /// Like [`simulator`](Self::simulator), but loads the caller's copy
+    /// of the stored bits instead of the built-in presets — the entry
+    /// point for fault injection, which corrupts a copy of
+    /// [`presets`](Self::presets) and simulates the damaged instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn simulator_with_presets(
+        &self,
+        presets: &[(NetId, bool)],
+    ) -> Result<Simulator<'_>, NetlistError> {
         let mut sim = Simulator::new(&self.netlist)?;
-        for &(q, v) in &self.presets {
+        for &(q, v) in presets {
             sim.preset_dff(q, v);
         }
         for &d in &self.disabled {

@@ -10,7 +10,9 @@
 //!   and per-table clock gating included;
 //! * [`rounding`] — the RoundOut / RoundIn baselines;
 //! * [`characterize`] — area, critical path and energy-per-read over a
-//!   read trace (the paper's 1024-read measurement).
+//!   read trace (the paper's 1024-read measurement);
+//! * [`fault`] — fault injection into the stored sub-table/configuration
+//!   bits (SEU, stuck-at, burst), with exhaustive degradation reports.
 //!
 //! ## Example
 //!
@@ -36,12 +38,14 @@
 #![forbid(unsafe_code)]
 
 pub mod arch;
+pub mod fault;
 pub mod instance;
 pub mod lut;
 pub mod rounding;
 pub mod routing;
 
 pub use arch::{build_approx_lut, ArchStyle, HwError};
+pub use fault::{fault_report, FaultModel, FaultReport};
 pub use instance::{characterize, ArchInstance, ArchReport};
 pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};
 pub use rounding::{build_round_in, build_round_out, round_in_table, round_out_table};

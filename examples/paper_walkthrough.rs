@@ -79,7 +79,7 @@ fn main() {
     );
     let dist = InputDistribution::uniform(4).expect("valid width");
     let costs = bit_costs(&f2, &f2, 0, &dist, LsbFill::FromApprox).expect("same shape");
-    let (err, bto) = opt_for_part_bto(&costs, p1);
+    let (err, bto) = opt_for_part_bto(&costs, p1).expect("widths match");
     println!(
         "BTO (all rows type 3): V = {:?}, error = {err} ({} of 16 cells wrong)",
         bto.pattern()
@@ -103,8 +103,9 @@ fn main() {
     let dist5 = InputDistribution::uniform(5).expect("valid width");
     let costs = bit_costs(&f3, &f3, 0, &dist5, LsbFill::FromApprox).expect("same shape");
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let (err_nd, nd) =
-        opt_for_part_nd(&costs, p3, OptParams::default(), &mut rng).expect("|B| >= 2");
+    let (err_nd, nd) = opt_for_part_nd(&costs, p3, OptParams::default(), &mut rng)
+        .expect("widths match")
+        .expect("|B| >= 2");
     println!("shared bit x_s = x{}", nd.shared());
     println!(
         "phi0 = {}",

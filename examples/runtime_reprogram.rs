@@ -22,7 +22,7 @@ fn bto_pattern(bench: Benchmark, part: Partition) -> (f64, Vec<bool>) {
     let dist = InputDistribution::uniform(N).expect("valid");
     let bit = target.outputs() - 1;
     let costs = bit_costs(&target, &target, bit, &dist, LsbFill::Accurate).expect("shape");
-    let (err, bto) = opt_for_part_bto(&costs, part);
+    let (err, bto) = opt_for_part_bto(&costs, part).expect("widths match");
     (err, bto.pattern().to_vec())
 }
 

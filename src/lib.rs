@@ -60,12 +60,16 @@ pub mod prelude {
     pub use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable};
     pub use dalut_core::{
         mode_sweep, run_bs_sa, run_dalta, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BitMode,
-        BsSaParams, DaltaParams, SearchOutcome, SearchParams,
+        BsSaParams, CancelToken, DaltaParams, DalutError, RunBudget, SearchOutcome, SearchParams,
+        Termination,
     };
     pub use dalut_decomp::{
         bit_costs, exact_decompose, opt_for_part, AnyDecomp, DisjointDecomp, LsbFill,
         NonDisjointDecomp, OptParams, RowType,
     };
-    pub use dalut_hw::{build_approx_lut, characterize, ArchInstance, ArchReport, ArchStyle};
+    pub use dalut_hw::{
+        build_approx_lut, characterize, fault_report, ArchInstance, ArchReport, ArchStyle,
+        FaultModel, FaultReport,
+    };
     pub use dalut_netlist::{to_verilog, CellLibrary, Netlist, Simulator};
 }

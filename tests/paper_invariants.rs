@@ -28,10 +28,11 @@ fn mode_error_ordering_per_partition() {
         for mask in [0b0001_1101u32, 0b1110_0010, 0b0110_1001] {
             let p = Partition::new(8, mask).expect("valid");
             let mut rng = StdRng::seed_from_u64(9);
-            let (e_bto, _) = opt_for_part_bto(&costs, p);
-            let (e_norm, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng);
-            let (e_nd, _) =
-                opt_for_part_nd(&costs, p, OptParams::default(), &mut rng).expect("|B|>1");
+            let (e_bto, _) = opt_for_part_bto(&costs, p).unwrap();
+            let (e_norm, _) = opt_for_part(&costs, p, OptParams::default(), &mut rng).unwrap();
+            let (e_nd, _) = opt_for_part_nd(&costs, p, OptParams::default(), &mut rng)
+                .unwrap()
+                .expect("|B|>1");
             assert!(e_norm <= e_bto + 1e-12, "bit {bit} mask {mask:08b}");
             assert!(e_nd <= e_norm + 1e-9, "bit {bit} mask {mask:08b}");
         }

@@ -35,7 +35,7 @@ proptest! {
         let dist = InputDistribution::uniform(6).expect("valid");
         let costs = bit_costs(&g, &g, bit, &dist, LsbFill::FromApprox).expect("shape");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
+        let (err, d) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
         // Column-level check...
         prop_assert!((column_error(&costs, &d.to_bit_column()) - err).abs() < 1e-12);
         // ...and through the full MED metric.
@@ -55,8 +55,8 @@ proptest! {
         let dist = InputDistribution::uniform(6).expect("valid");
         let costs = bit_costs(&g, &g, bit, &dist, LsbFill::FromApprox).expect("shape");
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let (e_norm, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng);
-        let (e_bto, _) = opt_for_part_bto(&costs, part);
+        let (e_norm, _) = opt_for_part(&costs, part, OptParams::fast(), &mut rng).unwrap();
+        let (e_bto, _) = opt_for_part_bto(&costs, part).unwrap();
         prop_assert!(e_norm <= e_bto + 1e-12);
         prop_assert!(e_norm >= costs.ideal_error() - 1e-12);
     }
