@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::InputDistribution;
-use dalut_core::{run_bs_sa, ApproxLutConfig, ArchPolicy, BsSaParams};
+use dalut_core::{ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BsSaParams};
 use dalut_hw::{build_approx_lut, characterize, ArchStyle};
 use dalut_netlist::CellLibrary;
 
@@ -15,7 +15,13 @@ fn config_for(policy: ArchPolicy) -> ApproxLutConfig {
     let dist = InputDistribution::uniform(n).unwrap();
     let mut params = BsSaParams::fast();
     params.search.bound_size = 4;
-    run_bs_sa(&target, &dist, &params, policy).unwrap().config
+    ApproxLutBuilder::new(&target)
+        .distribution(dist)
+        .bs_sa(params)
+        .policy(policy)
+        .run()
+        .unwrap()
+        .config
 }
 
 fn bench_build(c: &mut Criterion) {

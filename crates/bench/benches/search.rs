@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::InputDistribution;
-use dalut_core::{run_bs_sa, run_dalta, ArchPolicy, BsSaParams, DaltaParams, SearchParams};
+use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams, DaltaParams, SearchParams};
 
 fn scaled_search(n: usize) -> SearchParams {
     SearchParams {
@@ -43,13 +43,25 @@ fn bench_search(c: &mut Criterion) {
     };
 
     group.bench_function("dalta_cos8", |b| {
-        b.iter(|| run_dalta(&target, &dist, &dalta).unwrap())
+        b.iter(|| {
+            ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .dalta(dalta)
+                .run()
+                .unwrap()
+        })
     });
-    group.bench_function("bssa_cos8", |b| {
-        b.iter(|| run_bs_sa(&target, &dist, &bssa, ArchPolicy::NormalOnly).unwrap())
-    });
+    let bssa_run = |policy: ArchPolicy| {
+        ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bssa)
+            .policy(policy)
+            .run()
+            .unwrap()
+    };
+    group.bench_function("bssa_cos8", |b| b.iter(|| bssa_run(ArchPolicy::NormalOnly)));
     group.bench_function("bssa_cos8_nd_policy", |b| {
-        b.iter(|| run_bs_sa(&target, &dist, &bssa, ArchPolicy::bto_normal_nd_paper()).unwrap())
+        b.iter(|| bssa_run(ArchPolicy::bto_normal_nd_paper()))
     });
     group.finish();
 }

@@ -1,10 +1,19 @@
 //! Minimal CLI-argument handling shared by the harness binaries (no CLI
-//! dependency: two flags and three numeric options).
+//! dependency): one parser, one flag set, every binary.
+//!
+//! Alongside the original scale/seed options, the parser carries the
+//! observability surface (`--trace`, `--metrics`, `--progress`), run
+//! budgets (`--budget-secs`) and output redirection (`--out`), plus the
+//! hardware-mapping options `synth` needs (`--harden`, `--vcd`,
+//! `--arch`). Binaries ignore options that do not apply to them.
 
 use dalut_benchfns::Scale;
+use dalut_core::RunBudget;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Common harness options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Run the paper's full scale and parameters.
     pub full: bool,
@@ -21,6 +30,22 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Restrict to one benchmark by name, if given.
     pub only: Option<String>,
+    /// Wall-clock budget per search, in seconds.
+    pub budget_secs: Option<f64>,
+    /// Redirect the binary's JSON report to this path.
+    pub out: Option<String>,
+    /// Stream every search event as JSONL to this path.
+    pub trace: Option<String>,
+    /// Collect a metrics snapshot and embed/print it.
+    pub metrics: bool,
+    /// Narrate search progress on stderr.
+    pub progress: bool,
+    /// `synth`: triplicate the configuration bits (TMR hardening).
+    pub harden: bool,
+    /// `synth`: record a VCD waveform of the sign-off sweep here.
+    pub vcd: Option<String>,
+    /// `synth`: target architecture style name.
+    pub arch: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -33,13 +58,24 @@ impl Default for HarnessArgs {
             seed: 1,
             threads: 1,
             only: None,
+            budget_secs: None,
+            out: None,
+            trace: None,
+            metrics: false,
+            progress: false,
+            harden: false,
+            vcd: None,
+            arch: None,
         }
     }
 }
 
+const USAGE: &str = "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] \
+[--only NAME] [--budget-secs S] [--out PATH] [--trace PATH] [--metrics] [--progress] \
+[--harden] [--vcd PATH] [--arch NAME]";
+
 impl HarnessArgs {
-    /// Parses `--full`, `--scale N`, `--runs N`, `--seed N`,
-    /// `--threads N`, `--only NAME` from an iterator of arguments.
+    /// Parses the shared flag set from an iterator of arguments.
     ///
     /// # Errors
     ///
@@ -57,15 +93,24 @@ impl HarnessArgs {
                 }
                 "--seed" => out.seed = num(&mut args, "--seed")?,
                 "--threads" => out.threads = num(&mut args, "--threads")?,
-                "--only" => {
-                    out.only = Some(args.next().ok_or("--only needs a benchmark name")?)
+                "--only" => out.only = Some(args.next().ok_or("--only needs a benchmark name")?),
+                "--budget-secs" => {
+                    let secs: f64 = num(&mut args, "--budget-secs")?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--budget-secs needs a positive number".to_string());
+                    }
+                    out.budget_secs = Some(secs);
                 }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] [--only NAME]"
-                            .to_string(),
-                    )
+                "--out" => out.out = Some(args.next().ok_or("--out needs a path")?),
+                "--trace" => out.trace = Some(args.next().ok_or("--trace needs a path")?),
+                "--metrics" => out.metrics = true,
+                "--progress" => out.progress = true,
+                "--harden" => out.harden = true,
+                "--vcd" => out.vcd = Some(args.next().ok_or("--vcd needs a path")?),
+                "--arch" => {
+                    out.arch = Some(args.next().ok_or("--arch needs an architecture name")?)
                 }
+                "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
@@ -102,6 +147,22 @@ impl HarnessArgs {
             self.runs
         }
     }
+
+    /// The per-search budget these arguments select: a wall-clock
+    /// deadline when `--budget-secs` was given, unlimited otherwise.
+    pub fn budget(&self) -> RunBudget {
+        match self.budget_secs {
+            Some(secs) => RunBudget::unlimited().with_deadline(Duration::from_secs_f64(secs)),
+            None => RunBudget::unlimited(),
+        }
+    }
+
+    /// The report path: `--out` when given, else the binary's default.
+    pub fn out_path(&self, default: impl Into<PathBuf>) -> PathBuf {
+        self.out
+            .as_deref()
+            .map_or_else(|| default.into(), Into::into)
+    }
 }
 
 fn num<T: std::str::FromStr>(
@@ -128,6 +189,7 @@ mod tests {
         assert!(!a.full);
         assert_eq!(a.scale(), Scale::Reduced(10));
         assert_eq!(a.effective_runs(), 3);
+        assert!(!a.metrics && !a.progress && a.trace.is_none());
     }
 
     #[test]
@@ -166,9 +228,48 @@ mod tests {
     }
 
     #[test]
+    fn observability_flags_parse() {
+        let a = parse(&["--trace", "t.jsonl", "--metrics", "--progress"]).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert!(a.metrics);
+        assert!(a.progress);
+    }
+
+    #[test]
+    fn budget_flag_builds_a_deadline() {
+        let a = parse(&["--budget-secs", "2.5"]).unwrap();
+        assert_eq!(a.budget_secs, Some(2.5));
+        // No flag: an unlimited budget.
+        let b = parse(&[]).unwrap();
+        assert!(b.budget_secs.is_none());
+        let _ = b.budget();
+        // Non-positive budgets are rejected at parse time.
+        assert!(parse(&["--budget-secs", "0"]).is_err());
+        assert!(parse(&["--budget-secs", "-1"]).is_err());
+    }
+
+    #[test]
+    fn out_path_prefers_explicit_flag() {
+        let a = parse(&["--out", "custom.json"]).unwrap();
+        assert_eq!(a.out_path("default.json"), PathBuf::from("custom.json"));
+        let b = parse(&[]).unwrap();
+        assert_eq!(b.out_path("default.json"), PathBuf::from("default.json"));
+    }
+
+    #[test]
+    fn synth_options_parse() {
+        let a = parse(&["--harden", "--vcd", "w.vcd", "--arch", "bto-normal"]).unwrap();
+        assert!(a.harden);
+        assert_eq!(a.vcd.as_deref(), Some("w.vcd"));
+        assert_eq!(a.arch.as_deref(), Some("bto-normal"));
+    }
+
+    #[test]
     fn malformed_arguments_error() {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--runs", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--budget-secs", "fast"]).is_err());
     }
 }

@@ -6,13 +6,17 @@
 //! ```
 
 use dalut_bench::setup::bssa_params;
-use dalut_bench::HarnessArgs;
+use dalut_bench::{HarnessArgs, Observation};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{error_breakdown, run_bs_sa, ArchPolicy};
+use dalut_core::{error_breakdown, ApproxLutBuilder, ArchPolicy};
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("configure: cannot set up observation: {e}");
+        std::process::exit(2);
+    });
     let bench: Benchmark = args
         .only
         .as_deref()
@@ -31,7 +35,13 @@ fn main() {
         target.inputs(),
         target.outputs()
     );
-    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+    let outcome = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .budget(args.budget())
+        .observer(obs.observer())
+        .run()
         .expect("search succeeds");
     let (bto, normal, nd) = outcome.config.mode_counts();
     eprintln!(
@@ -55,6 +65,7 @@ fn main() {
     if let Some(dom) = breakdown.dominant_bit() {
         eprintln!("dominant error source: output bit {dom}");
     }
+    obs.finish().expect("flush trace");
     println!(
         "{}",
         serde_json::to_string_pretty(&outcome.config).expect("config serialises")

@@ -3,14 +3,15 @@
 //! predictive LSB model vs accurate fill, and the SA budget.
 
 use dalut_bench::setup::{bssa_params, dalta_params};
-use dalut_bench::HarnessArgs;
+use dalut_bench::{HarnessArgs, Observation};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_core::{ApproxLutBuilder, ArchPolicy};
 use dalut_decomp::LsbFill;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let bench: Benchmark = args
         .only
@@ -26,15 +27,35 @@ fn main() {
         let seed = args.seed + 1000 * run as u64;
         let mut dp = dalta_params(&args, n);
         dp.search.seed = seed;
-        let dalta = run_dalta(&target, &dist, &dp).unwrap();
+        let dalta = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .dalta(dp)
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
+            .unwrap();
 
         let mut bp = bssa_params(&args, n);
         bp.search.seed = seed;
-        let pred = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).unwrap();
+        let pred = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bp)
+            .policy(ArchPolicy::NormalOnly)
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
+            .unwrap();
 
         let mut bp2 = bp;
         bp2.round1_fill = LsbFill::Accurate;
-        let acc = run_bs_sa(&target, &dist, &bp2, ArchPolicy::NormalOnly).unwrap();
+        let acc = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bp2)
+            .policy(ArchPolicy::NormalOnly)
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
+            .unwrap();
 
         println!(
             "run {run}: DALTA {:.3} (rounds {:?}) | BS-SA/pred {:.3} (rounds {:?}) | BS-SA/acc {:.3} (rounds {:?})",
@@ -46,4 +67,5 @@ fn main() {
             acc.round_meds.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
         );
     }
+    obs.finish().expect("flush trace");
 }

@@ -9,14 +9,18 @@
 //! starts from best-so-far configurations even on a slow machine.
 //!
 //! Run with `cargo run -p dalut-bench --release --bin faultsweep`.
-//! Accepts the usual harness flags (`--seed`, `--scale`).
+//! Accepts the usual harness flags (`--seed`, `--scale`), plus the
+//! observability surface: `--metrics` embeds a metrics snapshot in the
+//! JSON report, `--trace PATH` streams search and sweep-progress events,
+//! `--progress` narrates the sweep on stderr and `--budget-secs S`
+//! overrides the default 60 s per-search deadline.
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, round_in_w};
-use dalut_bench::{HarnessArgs, Table};
+use dalut_bench::{HarnessArgs, Observation, Table};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{metrics, InputDistribution, TruthTable};
-use dalut_core::{ApproxLutBuilder, ArchPolicy, RunBudget};
+use dalut_core::{ApproxLutBuilder, ArchPolicy, MetricsSnapshot, RunBudget, SearchEvent};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, fault_report, round_out_table, ArchInstance,
     ArchStyle, FaultModel, FaultReport,
@@ -47,6 +51,8 @@ struct Sweep {
     seed: u64,
     trials: usize,
     archs: Vec<ArchSweep>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Smallest RoundOut `q` whose MED exceeds the DALTA reference (the
@@ -63,11 +69,15 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args)?;
     let scale_bits = args.scale_bits.min(8);
     let target = Benchmark::Cos.table(Scale::Reduced(scale_bits))?;
     let n = target.inputs();
     let dist = InputDistribution::uniform(n)?;
-    let budget = RunBudget::unlimited().with_deadline(SEARCH_DEADLINE);
+    let budget = match args.budget_secs {
+        Some(_) => args.budget(),
+        None => RunBudget::unlimited().with_deadline(SEARCH_DEADLINE),
+    };
     eprintln!("faultsweep: {} at {n} bits", Benchmark::Cos.name());
 
     // --- Configure the three decomposition architectures (budgeted). ---
@@ -77,6 +87,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .distribution(dist.clone())
         .dalta(dp)
         .budget(budget.clone())
+        .observer(obs.observer())
         .run()?;
     let mut bp = bssa_params(&args, n);
     bp.search.seed = args.seed;
@@ -85,12 +96,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .bs_sa(bp)
         .policy(ArchPolicy::bto_normal_paper())
         .budget(budget.clone())
+        .observer(obs.observer())
         .run()?;
     let bnnd = ApproxLutBuilder::new(&target)
         .distribution(dist.clone())
         .bs_sa(bp)
         .policy(ArchPolicy::bto_normal_nd_paper())
         .budget(budget)
+        .observer(obs.observer())
         .run()?;
     for (name, out) in [
         ("DALTA", &dalta),
@@ -139,6 +152,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             length: 4,
         });
         let mut reports = Vec::new();
+        let total = models.len();
         for (mi, model) in models.iter().enumerate() {
             let seed = args
                 .seed
@@ -154,6 +168,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 rep.max_ed.to_string(),
             ]);
             reports.push(rep);
+            obs.emit(&SearchEvent::FaultSweepProgress {
+                arch: name.to_string(),
+                completed: mi + 1,
+                total,
+            });
         }
         archs.push(ArchSweep {
             arch: name.to_string(),
@@ -165,19 +184,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFault-injection degradation (vs each fault-free instance).\n");
     println!("{}", table.render());
     let sweep = Sweep {
-        schema: "dalut-faultsweep/v1".to_string(),
+        schema: "dalut-faultsweep/v2".to_string(),
         benchmark: Benchmark::Cos.name().to_string(),
         scale_bits,
         seed: args.seed,
         trials: TRIALS,
         archs,
+        metrics: obs.metrics_snapshot(),
     };
-    let path = concat!(
+    let path = args.out_path(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/fault_sweep.json"
-    );
-    write_json(path, &sweep)?;
-    eprintln!("wrote {path}");
+    ));
+    obs.finish()?;
+    write_json(&path, &sweep)?;
+    eprintln!("wrote {}", path.display());
     Ok(())
 }
 

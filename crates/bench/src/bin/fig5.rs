@@ -8,10 +8,10 @@
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, round_in_w, ENERGY_READS};
-use dalut_bench::{geomean, HarnessArgs, Table};
+use dalut_bench::{geomean, HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::{metrics, InputDistribution, TruthTable};
-use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_core::{ApproxLutBuilder, ArchPolicy};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, characterize, round_in_table,
     round_out_table, ArchInstance, ArchStyle,
@@ -61,6 +61,7 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let lib = CellLibrary::nangate45();
     eprintln!("fig5: scale {scale:?}");
@@ -83,7 +84,13 @@ fn main() {
         for run in 0..args.effective_runs() {
             let mut dp = dalta_params(&args, n);
             dp.search.seed = args.seed + 1000 * run as u64;
-            let out = run_dalta(&target, &dist, &dp).expect("dalta runs");
+            let out = ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .dalta(dp)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("dalta runs");
             if best_dalta
                 .as_ref()
                 .is_none_or(|b: &dalut_core::SearchOutcome| out.med < b.med)
@@ -94,10 +101,18 @@ fn main() {
         let dalta = best_dalta.expect("at least one run");
         let mut bp = bssa_params(&args, n);
         bp.search.seed = args.seed;
-        let bn =
-            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_paper()).expect("bs-sa runs");
-        let bnnd =
-            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper()).expect("bs-sa runs");
+        let search = |policy: ArchPolicy| {
+            ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .bs_sa(bp)
+                .policy(policy)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("bs-sa runs")
+        };
+        let bn = search(ArchPolicy::bto_normal_paper());
+        let bnnd = search(ArchPolicy::bto_normal_nd_paper());
 
         // --- Rounding baselines. ---
         let q = choose_q(&target, &dist, dalta.med);
@@ -208,6 +223,8 @@ fn main() {
     }
     println!("\nFig. 5. Geomean metrics normalised to DALTA.\n");
     println!("{}", table.render());
-    write_json("fig5_results.json", &rows).expect("write results");
-    eprintln!("wrote fig5_results.json");
+    obs.finish().expect("flush trace");
+    let path = args.out_path("fig5_results.json");
+    write_json(&path, &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
 }

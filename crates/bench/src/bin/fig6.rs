@@ -8,10 +8,10 @@
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, ENERGY_READS};
-use dalut_bench::{HarnessArgs, Table};
+use dalut_bench::{HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{mode_sweep, run_bs_sa, run_dalta, ArchPolicy};
+use dalut_core::{mode_sweep, ApproxLutBuilder, ArchPolicy};
 use dalut_hw::{build_approx_lut, characterize, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
@@ -37,6 +37,7 @@ struct Fig6Results {
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let lib = CellLibrary::nangate45();
     let bench = Benchmark::Cos;
@@ -52,7 +53,13 @@ fn main() {
     for run in 0..args.effective_runs() {
         let mut dp = dalta_params(&args, n);
         dp.search.seed = args.seed + 1000 * run as u64;
-        let out = run_dalta(&target, &dist, &dp).expect("dalta runs");
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .dalta(dp)
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
+            .expect("dalta runs");
         if dalta.as_ref().is_none_or(|b| out.med < b.med) {
             dalta = Some(out);
         }
@@ -66,8 +73,14 @@ fn main() {
     for run in 0..args.effective_runs() {
         let mut bp = bssa_params(&args, n);
         bp.search.seed = args.seed + 1000 * run as u64;
-        let out =
-            run_bs_sa(&target, &dist, &bp, ArchPolicy::bto_normal_nd_paper()).expect("bs-sa runs");
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bp)
+            .policy(ArchPolicy::bto_normal_nd_paper())
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
+            .expect("bs-sa runs");
         if outcome.as_ref().is_none_or(|b| out.med < b.med) {
             outcome = Some(out);
         }
@@ -141,6 +154,8 @@ fn main() {
     println!("\nFig. 6. Accuracy-energy trade-off of cos(x) on BTO-Normal-ND.\n");
     println!("{}", table.render());
     println!("{dominating} configurations dominate DALTA in both error and energy.");
-    write_json("fig6_results.json", &results).expect("write results");
-    eprintln!("wrote fig6_results.json");
+    obs.finish().expect("flush trace");
+    let path = args.out_path("fig6_results.json");
+    write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
 }

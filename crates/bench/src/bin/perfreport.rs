@@ -5,14 +5,16 @@
 //!
 //! Run with `cargo run -p dalut-bench --release --bin perfreport`.
 //! Accepts the usual harness flags (`--seed`, `--threads`, `--scale` for
-//! the search section's function width).
+//! the search section's function width). With `--metrics` the report
+//! embeds a full metrics snapshot (per-phase iteration / kernel-call /
+//! time breakdowns); `--trace PATH` streams every search event as JSONL.
 
 use dalut_bench::report::write_json;
 use dalut_bench::setup::{bssa_params, dalta_params};
-use dalut_bench::HarnessArgs;
+use dalut_bench::{HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{InputDistribution, Partition};
-use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_core::{ApproxLutBuilder, ArchPolicy, MetricsSnapshot, SearchOutcome};
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +43,7 @@ struct SearchRow {
     algorithm: String,
     med: f64,
     seconds: f64,
+    iterations: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -50,6 +53,8 @@ struct Report {
     threads: usize,
     kernel: Vec<KernelRow>,
     search: Vec<SearchRow>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Times `f` over enough iterations for a stable per-call figure
@@ -113,35 +118,48 @@ fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
         .collect()
 }
 
-fn search_section(args: &HarnessArgs) -> Vec<SearchRow> {
+fn search_section(args: &HarnessArgs, obs: &Observation) -> Vec<SearchRow> {
     // A reduced table2 workload: two representative benchmarks (one
     // continuous, one discrete), one run each, both algorithms.
     let scale_bits = args.scale_bits.min(8);
     let scale = Scale::Reduced(scale_bits);
     let mut out = Vec::new();
+    let row = |bench: &Benchmark, algorithm: &str, o: &SearchOutcome| SearchRow {
+        benchmark: bench.name().to_string(),
+        scale_bits,
+        algorithm: algorithm.to_string(),
+        med: o.med,
+        seconds: o.elapsed.as_secs_f64(),
+        iterations: o.iterations,
+    };
     for bench in [Benchmark::Cos, Benchmark::BrentKung] {
         let target = bench.table(scale).expect("benchmark builds");
         let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
         let mut dp = dalta_params(args, target.inputs());
         dp.search.seed = args.seed;
-        let dalta = run_dalta(&target, &dist, &dp).expect("dalta runs");
-        out.push(SearchRow {
-            benchmark: bench.name().to_string(),
-            scale_bits,
-            algorithm: "dalta".to_string(),
-            med: dalta.med,
-            seconds: dalta.elapsed.as_secs_f64(),
+        let dalta = obs.phase(&format!("search:{}:dalta", bench.name()), || {
+            ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .dalta(dp)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("dalta runs")
         });
+        out.push(row(&bench, "dalta", &dalta));
         let mut bp = bssa_params(args, target.inputs());
         bp.search.seed = args.seed;
-        let bssa = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
-        out.push(SearchRow {
-            benchmark: bench.name().to_string(),
-            scale_bits,
-            algorithm: "bs-sa".to_string(),
-            med: bssa.med,
-            seconds: bssa.elapsed.as_secs_f64(),
+        let bssa = obs.phase(&format!("search:{}:bs-sa", bench.name()), || {
+            ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .bs_sa(bp)
+                .policy(ArchPolicy::NormalOnly)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("bs-sa runs")
         });
+        out.push(row(&bench, "bs-sa", &bssa));
         eprintln!(
             "search {}: DALTA {:.2}s (med {:.3}), BS-SA {:.2}s (med {:.3})",
             bench.name(),
@@ -156,18 +174,33 @@ fn search_section(args: &HarnessArgs) -> Vec<SearchRow> {
 
 fn main() -> std::process::ExitCode {
     let args = HarnessArgs::from_env();
+    let obs = match Observation::from_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perfreport: cannot set up observation: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     let report = Report {
-        schema: "dalut-perfreport/v1".to_string(),
+        schema: "dalut-perfreport/v2".to_string(),
         seed: args.seed,
         threads: args.threads,
-        kernel: kernel_section(&args),
-        search: search_section(&args),
+        kernel: obs.phase("kernel", || kernel_section(&args)),
+        search: search_section(&args, &obs),
+        metrics: obs.metrics_snapshot(),
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
-    if let Err(e) = write_json(path, &report) {
-        eprintln!("perfreport: cannot write {path}: {e}");
+    let path = args.out_path(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel.json"
+    ));
+    if let Err(e) = obs.finish() {
+        eprintln!("perfreport: cannot flush trace: {e}");
         return std::process::ExitCode::FAILURE;
     }
-    eprintln!("wrote {path}");
+    if let Err(e) = write_json(&path, &report) {
+        eprintln!("perfreport: cannot write {}: {e}", path.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", path.display());
     std::process::ExitCode::SUCCESS
 }

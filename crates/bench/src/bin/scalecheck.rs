@@ -198,6 +198,7 @@ fn main() {
     }
     println!("Hardened configurations (constant-folded, dead logic removed):\n");
     println!("{}", htable.render());
-    write_json("scalecheck_results.json", &rows).expect("write results");
-    eprintln!("wrote scalecheck_results.json");
+    let path = args.out_path("scalecheck_results.json");
+    write_json(&path, &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,7 +1,8 @@
 //! CLI: read an architecture configuration (JSON from `configure`) on
 //! stdin, map it onto the BTO-Normal-ND hardware, optionally harden it,
 //! and emit structural Verilog on stdout with a characterisation report
-//! on stderr.
+//! on stderr. Uses the shared harness flag set (`--harden`, `--vcd PATH`,
+//! `--arch NAME`).
 //!
 //! ```sh
 //! cargo run -p dalut-bench --release --bin configure -- --only exp > exp.json
@@ -11,25 +12,15 @@
 //! cargo run -p dalut-bench --release --bin synth -- --arch bto-normal < exp.json > exp.v
 //! ```
 
+use dalut_bench::HarnessArgs;
 use dalut_core::ApproxLutConfig;
 use dalut_hw::{build_approx_lut, characterize, ArchStyle};
 use dalut_netlist::{vcd::VcdRecorder, CellLibrary};
 use std::io::Read;
 
 fn main() {
-    let argv: Vec<String> = std::env::args().collect();
-    let harden = argv.iter().any(|a| a == "--harden");
-    let vcd_path = argv
-        .iter()
-        .position(|a| a == "--vcd")
-        .and_then(|i| argv.get(i + 1))
-        .cloned();
-    let style = match argv
-        .iter()
-        .position(|a| a == "--arch")
-        .and_then(|i| argv.get(i + 1))
-        .map(String::as_str)
-    {
+    let args = HarnessArgs::from_env();
+    let style = match args.arch.as_deref() {
         None | Some("bto-normal-nd") => ArchStyle::BtoNormalNd,
         Some("bto-normal") => ArchStyle::BtoNormal,
         Some("dalta") => ArchStyle::Dalta,
@@ -51,12 +42,13 @@ fn main() {
         eprintln!("cannot map configuration: {e}");
         std::process::exit(2);
     });
-    let inst = if harden { inst.hardened() } else { inst };
+    let inst = if args.harden { inst.hardened() } else { inst };
 
     // Functional sign-off against the software model on a sample, with
     // an optional VCD trace of the sweep (the VCS artefact).
     let mut sim = inst.simulator().expect("acyclic netlist");
-    let mut recorder = vcd_path
+    let mut recorder = args
+        .vcd
         .as_ref()
         .map(|_| VcdRecorder::ports(inst.netlist()));
     let step = ((1u32 << config.inputs()) / 256).max(1);
@@ -73,7 +65,7 @@ fn main() {
             rec.sample(&sim, t as u64);
         }
     }
-    if let (Some(path), Some(rec)) = (vcd_path, recorder) {
+    if let (Some(path), Some(rec)) = (args.vcd, recorder) {
         std::fs::write(&path, rec.finish()).expect("write VCD");
         eprintln!("wrote waveform trace to {path}");
     }
@@ -86,7 +78,7 @@ fn main() {
     eprintln!(
         "{}{}: {} cells, {} DFFs, {:.0} um^2, {:.2} ns critical path, {:.0} fJ/read",
         inst.netlist().name(),
-        if harden { " (hardened)" } else { "" },
+        if args.harden { " (hardened)" } else { "" },
         inst.netlist().cell_count(),
         inst.netlist().total_dffs(),
         rep.area_um2,

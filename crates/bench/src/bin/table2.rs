@@ -7,10 +7,10 @@
 
 use dalut_bench::report::{f2, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params};
-use dalut_bench::{geomean, HarnessArgs, RunStats, Table};
+use dalut_bench::{geomean, HarnessArgs, Observation, RunStats, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{run_bs_sa, run_dalta, ArchPolicy};
+use dalut_core::{ApproxLutBuilder, ArchPolicy};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -24,6 +24,7 @@ struct BenchResult {
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let runs = args.effective_runs();
     eprintln!(
@@ -51,7 +52,13 @@ fn main() {
             let seed = args.seed + 1000 * run as u64;
             let mut dp = dalta_params(&args, target.inputs());
             dp.search.seed = seed;
-            let out = run_dalta(&target, &dist, &dp).expect("dalta runs");
+            let out = ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .dalta(dp)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("dalta runs");
             r.dalta_med.push(out.med);
             r.dalta_secs.push(out.elapsed.as_secs_f64());
 
@@ -59,7 +66,14 @@ fn main() {
             bp.search.seed = seed;
             // Table II compares the normal mode only (as the paper does,
             // since DALTA has no other mode).
-            let out = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
+            let out = ApproxLutBuilder::new(&target)
+                .distribution(dist.clone())
+                .bs_sa(bp)
+                .policy(ArchPolicy::NormalOnly)
+                .budget(args.budget())
+                .observer(obs.observer())
+                .run()
+                .expect("bs-sa runs");
             r.bssa_med.push(out.med);
             r.bssa_secs.push(out.elapsed.as_secs_f64());
             eprintln!(
@@ -126,6 +140,8 @@ fn main() {
     } else {
         println!("{}", table.render());
     }
-    write_json("table2_results.json", &results).expect("write results");
-    eprintln!("wrote table2_results.json");
+    obs.finish().expect("flush trace");
+    let path = args.out_path("table2_results.json");
+    write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
 }

@@ -10,10 +10,10 @@
 
 use dalut_bench::report::write_json;
 use dalut_bench::setup::bssa_params;
-use dalut_bench::{HarnessArgs, Table};
+use dalut_bench::{HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{run_bs_sa, ArchPolicy};
+use dalut_core::{ApproxLutBuilder, ArchPolicy};
 use dalut_hw::{build_approx_lut, ArchStyle};
 use dalut_netlist::VerilogModule;
 use serde::Serialize;
@@ -29,6 +29,7 @@ struct VerifyRow {
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     eprintln!("verify: exhaustive hardware sign-off at scale {scale:?}");
 
@@ -51,7 +52,13 @@ fn main() {
         let dist = InputDistribution::uniform(n).expect("valid width");
         let mut params = bssa_params(&args, n);
         params.search.seed = args.seed;
-        let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+        let outcome = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(params)
+            .policy(ArchPolicy::bto_normal_nd_paper())
+            .budget(args.budget())
+            .observer(obs.observer())
+            .run()
             .expect("search succeeds");
         let all_normal = outcome.config.mode_counts() == (0, outcome.config.outputs(), 0);
 
@@ -130,6 +137,8 @@ fn main() {
             "MISMATCHES FOUND"
         }
     );
-    write_json("verify_results.json", &rows).expect("write results");
+    obs.finish().expect("flush trace");
+    let path = args.out_path("verify_results.json");
+    write_json(&path, &rows).expect("write results");
     std::process::exit(i32::from(!clean));
 }

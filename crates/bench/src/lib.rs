@@ -10,16 +10,26 @@
 //! 10 repetition runs); the default is a reduced configuration sized for
 //! a small machine that preserves the qualitative shape of each result
 //! (see DESIGN.md §2).
+//!
+//! All binaries share one flag set ([`HarnessArgs`]), including the
+//! observability surface: `--trace PATH` streams every search event as
+//! JSONL, `--metrics` embeds a metrics snapshot in the binary's JSON
+//! report, `--progress` narrates coarse progress on stderr, and
+//! `--budget-secs S` bounds each search's wall clock (see DESIGN.md §8).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod observation;
+pub mod progress;
 pub mod report;
 pub mod setup;
 pub mod stats;
 
 pub use args::HarnessArgs;
+pub use observation::Observation;
+pub use progress::StderrProgress;
 pub use report::{write_json, Table};
 pub use stats::{geomean, RunStats};

@@ -1,0 +1,137 @@
+//! Wires the shared `--trace` / `--metrics` / `--progress` flags into a
+//! single observer the harness binaries hand to [`ApproxLutBuilder`]
+//! (`dalut_core::ApproxLutBuilder`): a JSONL trace file, an in-process
+//! [`MetricsRecorder`] and the stderr narrator, fanned out behind one
+//! [`MultiObserver`]. With no flags given the fan-out is empty and
+//! reports itself disabled, so instrumented binaries pay nothing.
+
+use crate::args::HarnessArgs;
+use crate::progress::StderrProgress;
+use dalut_core::{
+    JsonlTraceWriter, MetricsRecorder, MetricsSnapshot, MultiObserver, Observer, SearchEvent,
+};
+use std::fs::File;
+use std::io;
+use std::sync::Arc;
+
+/// The observability sinks a binary's arguments requested.
+#[derive(Debug, Default)]
+pub struct Observation {
+    metrics: Option<Arc<MetricsRecorder>>,
+    trace: Option<(String, Arc<JsonlTraceWriter<File>>)>,
+    multi: MultiObserver,
+}
+
+impl Observation {
+    /// Builds the sinks selected by `args`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the `--trace` file cannot be created.
+    pub fn from_args(args: &HarnessArgs) -> io::Result<Self> {
+        let mut obs = Self::default();
+        if let Some(path) = &args.trace {
+            let writer = Arc::new(JsonlTraceWriter::create(path)?);
+            obs.multi.push(writer.clone());
+            obs.trace = Some((path.clone(), writer));
+        }
+        if args.metrics {
+            let metrics = Arc::new(MetricsRecorder::new());
+            obs.multi.push(metrics.clone());
+            obs.metrics = Some(metrics);
+        }
+        if args.progress {
+            obs.multi.push(Arc::new(StderrProgress::new()));
+        }
+        Ok(obs)
+    }
+
+    /// The combined observer to pass to a search builder.
+    pub fn observer(&self) -> &MultiObserver {
+        &self.multi
+    }
+
+    /// Posts a harness-level event (e.g. phase brackets around non-search
+    /// work, or fault-sweep progress) to every attached sink.
+    pub fn emit(&self, event: &SearchEvent) {
+        self.multi.on_event(event);
+    }
+
+    /// Brackets `f` in a named phase so metrics attribute its wall time.
+    pub fn phase<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.emit(&SearchEvent::PhaseStarted {
+            phase: name.to_string(),
+        });
+        let out = f();
+        self.emit(&SearchEvent::PhaseFinished {
+            phase: name.to_string(),
+        });
+        out
+    }
+
+    /// The metrics snapshot, if `--metrics` was given.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
+    }
+
+    /// Flushes the trace file (if any) and reports where it went on
+    /// stderr.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from the flush.
+    pub fn finish(&self) -> io::Result<()> {
+        if let Some((path, writer)) = &self.trace {
+            writer.flush()?;
+            eprintln!("wrote {} trace events to {path}", writer.lines());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flags_build_a_disabled_observer() {
+        let obs = Observation::from_args(&HarnessArgs::default()).unwrap();
+        assert!(!obs.observer().enabled());
+        assert!(obs.metrics_snapshot().is_none());
+        obs.finish().unwrap();
+    }
+
+    #[test]
+    fn metrics_flag_records_emitted_events() {
+        let args = HarnessArgs {
+            metrics: true,
+            ..HarnessArgs::default()
+        };
+        let obs = Observation::from_args(&args).unwrap();
+        assert!(obs.observer().enabled());
+        obs.emit(&SearchEvent::BudgetTick { iterations: 1 });
+        obs.phase("kernel", || {
+            obs.emit(&SearchEvent::BudgetTick { iterations: 2 });
+        });
+        let snap = obs.metrics_snapshot().unwrap();
+        assert_eq!(snap.counters.budget_ticks, 2);
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].name, "kernel");
+    }
+
+    #[test]
+    fn trace_flag_writes_jsonl() {
+        let path = std::env::temp_dir().join(format!("dalut_obs_{}.jsonl", std::process::id()));
+        let args = HarnessArgs {
+            trace: Some(path.to_string_lossy().into_owned()),
+            ..HarnessArgs::default()
+        };
+        let obs = Observation::from_args(&args).unwrap();
+        obs.emit(&SearchEvent::BudgetTick { iterations: 1 });
+        obs.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        drop(obs);
+        let _ = std::fs::remove_file(&path);
+    }
+}

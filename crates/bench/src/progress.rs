@@ -1,0 +1,114 @@
+//! A stderr progress sink for the harness binaries: narrates the
+//! coarse-grained search lifecycle (`--progress`) without any terminal
+//! dependency. Hot-path events (temperature steps, neighbour batches,
+//! kernel invocations, budget ticks) are deliberately ignored — they
+//! arrive thousands of times per second and belong in a `--trace` file.
+
+use dalut_core::{Observer, SearchEvent};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Prints one stderr line per coarse search-lifecycle event.
+#[derive(Debug)]
+pub struct StderrProgress {
+    start: Instant,
+    // Serialises lines from parallel searches so they never interleave.
+    lock: Mutex<()>,
+}
+
+impl StderrProgress {
+    /// Creates a sink; timestamps are relative to this call.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            lock: Mutex::new(()),
+        }
+    }
+
+    fn line(&self, msg: &str) {
+        let t = self.start.elapsed().as_secs_f64();
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        // Best-effort: a closed stderr must not kill the run.
+        let _ = writeln!(std::io::stderr(), "[{t:8.2}s] {msg}");
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer for StderrProgress {
+    fn on_event(&self, event: &SearchEvent) {
+        match event {
+            SearchEvent::SearchStarted {
+                algorithm,
+                inputs,
+                outputs,
+                rounds,
+                seed,
+            } => self.line(&format!(
+                "{algorithm}: {inputs} in / {outputs} out, {rounds} rounds, seed {seed}"
+            )),
+            SearchEvent::PhaseStarted { phase } => self.line(&format!("phase {phase}...")),
+            SearchEvent::PhaseFinished { phase } => self.line(&format!("phase {phase} done")),
+            SearchEvent::RoundFinished { round, med } => {
+                self.line(&format!("  round {round}: med {med:.4}"));
+            }
+            SearchEvent::FaultSweepProgress {
+                arch,
+                completed,
+                total,
+            } => self.line(&format!("fault sweep {arch}: {completed}/{total}")),
+            SearchEvent::SearchFinished {
+                med,
+                iterations,
+                termination,
+            } => self.line(&format!(
+                "finished: med {med:.4} after {iterations} iterations ({termination:?})"
+            )),
+            // Hot-path events: too frequent for a line-per-event sink.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_sink_accepts_every_event_kind() {
+        let sink = StderrProgress::new();
+        for event in [
+            SearchEvent::SearchStarted {
+                algorithm: "bs-sa".into(),
+                inputs: 6,
+                outputs: 3,
+                rounds: 2,
+                seed: 1,
+            },
+            SearchEvent::PhaseStarted {
+                phase: "beam".into(),
+            },
+            SearchEvent::RoundFinished { round: 1, med: 0.5 },
+            SearchEvent::TemperatureStep { temperature: 0.18 },
+            SearchEvent::BudgetTick { iterations: 3 },
+            SearchEvent::FaultSweepProgress {
+                arch: "DALTA".into(),
+                completed: 2,
+                total: 7,
+            },
+            SearchEvent::SearchFinished {
+                med: 0.25,
+                iterations: 9,
+                termination: dalut_core::Termination::Completed,
+            },
+        ] {
+            sink.on_event(&event);
+        }
+        assert!(sink.enabled());
+    }
+}

@@ -105,7 +105,6 @@ pub fn error_breakdown(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::beam::run_bs_sa;
     use crate::params::{ArchPolicy, BsSaParams};
     use dalut_boolfn::builder::random_table;
     use rand::rngs::StdRng;
@@ -115,7 +114,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let g = random_table(6, 4, &mut rng).unwrap();
         let d = InputDistribution::uniform(6).unwrap();
-        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        let out = crate::pipeline::ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(ArchPolicy::NormalOnly)
+            .run()
+            .unwrap();
         (g, d, out.config)
     }
 

@@ -5,9 +5,10 @@
 use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
 use crate::error::DalutError;
+use crate::observe::{observe_kernel, Observer, SearchEvent, NOOP};
 use crate::outcome::{BitModeOptions, SearchOutcome};
 use crate::params::{ArchPolicy, BsSaParams};
-use crate::sa::{find_best_settings_budgeted, DecompMode};
+use crate::sa::{find_best_settings_observed, DecompMode};
 use dalut_boolfn::{metrics, BoolFnError, InputDistribution, Partition, TruthTable};
 use dalut_decomp::{bit_costs, column_error, opt_for_part, AnyDecomp, LsbFill, OptParams, Setting};
 use rand::rngs::StdRng;
@@ -112,6 +113,7 @@ fn fill_unassigned(
     target: &TruthTable,
     dist: &InputDistribution,
     b: usize,
+    obs: &dyn Observer,
 ) -> Result<TruthTable, DalutError> {
     let n = target.inputs();
     let part = Partition::new(n, (1u32 << b) - 1)
@@ -129,7 +131,9 @@ fn fill_unassigned(
         }
         let costs = bit_costs(target, &g_hat, bit, dist, LsbFill::FromApprox)?;
         let mut rng = StdRng::seed_from_u64(0);
-        let (e, d) = opt_for_part(&costs, part, opt, &mut rng)?;
+        let (e, d) = observe_kernel(obs, DecompMode::Normal, || {
+            opt_for_part(&costs, part, opt, &mut rng)
+        })?;
         let setting = Setting::new(e, AnyDecomp::Normal(d));
         g_hat.set_bit_column(bit, &setting.decomp.to_bit_column());
         best.settings[bit] = Some(setting);
@@ -156,13 +160,21 @@ fn fill_unassigned(
 ///
 /// Returns an error on shape mismatch between `target` and `dist`, or if
 /// `params.search.bound_size` is not in `1..target.inputs()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ApproxLutBuilder::new(target).distribution(dist).bs_sa(params).policy(policy).run()`"
+)]
 pub fn run_bs_sa(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &BsSaParams,
     policy: ArchPolicy,
 ) -> Result<SearchOutcome, DalutError> {
-    run_bs_sa_budgeted(target, dist, params, policy, &RunBudget::unlimited())
+    crate::pipeline::ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .bs_sa(*params)
+        .policy(policy)
+        .run()
 }
 
 /// [`run_bs_sa`] under an execution [`RunBudget`].
@@ -181,12 +193,29 @@ pub fn run_bs_sa(
 ///
 /// Returns an error on shape mismatch between `target` and `dist`, or if
 /// `params.search.bound_size` is not in `1..target.inputs()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ApproxLutBuilder::new(target).distribution(dist).bs_sa(params).policy(policy).budget(budget).run()`"
+)]
 pub fn run_bs_sa_budgeted(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &BsSaParams,
     policy: ArchPolicy,
     budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    bs_sa_engine(target, dist, params, policy, budget, &NOOP)
+}
+
+/// The BS-SA search engine behind [`ApproxLutBuilder`]
+/// (crate::pipeline::ApproxLutBuilder), with an [`Observer`] attached.
+pub(crate) fn bs_sa_engine(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+    budget: &RunBudget,
+    obs: &dyn Observer,
 ) -> Result<SearchOutcome, DalutError> {
     let timer = BudgetTimer::new(budget);
     let n = target.inputs();
@@ -206,8 +235,18 @@ pub fn run_bs_sa_budgeted(
     }
     let seed = params.search.seed;
     let mut round_meds = Vec::with_capacity(params.search.rounds);
+    obs.on_event(&SearchEvent::SearchStarted {
+        algorithm: "bs-sa".into(),
+        inputs: n,
+        outputs: m,
+        rounds: params.search.rounds,
+        seed,
+    });
 
     // ---- Round 1: beam search (Algorithm 1, lines 1-10). ----
+    obs.on_event(&SearchEvent::PhaseStarted {
+        phase: "beam".into(),
+    });
     let mut beam: Vec<SeqState> = vec![SeqState::empty(m)];
     'round1: for k in (0..m).rev() {
         let mut candidates: Vec<SeqState> = Vec::new();
@@ -222,7 +261,7 @@ pub fn run_bs_sa_budgeted(
             }
             let g_hat = seq.materialize(target);
             let costs = bit_costs(target, &g_hat, k, dist, params.round1_fill)?;
-            let tops = find_best_settings_budgeted(
+            let tops = find_best_settings_observed(
                 &costs,
                 n,
                 DecompMode::Normal,
@@ -231,22 +270,39 @@ pub fn run_bs_sa_budgeted(
                 call_seed(seed, 1, k, bi),
                 None,
                 &timer,
+                obs,
             )?;
             for s in tops {
                 candidates.push(seq.with(k, s));
             }
         }
+        let scored = candidates.len();
         beam = prune(candidates, params.beam_width);
+        obs.on_event(&SearchEvent::BeamGeneration {
+            bit: k,
+            candidates: scored,
+            kept: beam.len(),
+        });
         timer.count_iteration();
+        obs.on_event(&SearchEvent::BudgetTick {
+            iterations: timer.iterations(),
+        });
     }
     let mut best = beam.into_iter().next().expect("beam is never empty");
     let g_hat = if timer.exhausted() {
-        fill_unassigned(&mut best, target, dist, b)?
+        fill_unassigned(&mut best, target, dist, b, obs)?
     } else {
         best.materialize(target)
     };
     round_meds.push(metrics::med(target, &g_hat, dist)?);
     drop(g_hat);
+    obs.on_event(&SearchEvent::RoundFinished {
+        round: 1,
+        med: round_meds[0],
+    });
+    obs.on_event(&SearchEvent::PhaseFinished {
+        phase: "beam".into(),
+    });
 
     // The best fully-assigned state seen so far, by true MED: budget
     // exhaustion in a later round must never return something worse than
@@ -258,6 +314,9 @@ pub fn run_bs_sa_budgeted(
 
     // ---- Rounds 2..R: greedy refinement + mode selection (lines 11-15). ----
     let mut mode_options: Option<Vec<BitModeOptions>> = None;
+    obs.on_event(&SearchEvent::PhaseStarted {
+        phase: "refine".into(),
+    });
     'refine: for round in 2..=params.search.rounds {
         let is_final = round == params.search.rounds;
         let mut final_options: Vec<BitModeOptions> = Vec::with_capacity(m);
@@ -290,7 +349,7 @@ pub fn run_bs_sa_budgeted(
                 }
             };
             let normal = better(
-                find_best_settings_budgeted(
+                find_best_settings_observed(
                     &costs,
                     n,
                     DecompMode::Normal,
@@ -299,6 +358,7 @@ pub fn run_bs_sa_budgeted(
                     call_seed(seed, round, k, 0),
                     start,
                     &timer,
+                    obs,
                 )?
                 .into_iter()
                 .next(),
@@ -313,7 +373,7 @@ pub fn run_bs_sa_budgeted(
             // path, where the timer cannot be exhausted.)
             let (bto, nd) = if policy.allows_bto() && !timer.exhausted() {
                 let bto = better(
-                    find_best_settings_budgeted(
+                    find_best_settings_observed(
                         &costs,
                         n,
                         DecompMode::Bto,
@@ -322,6 +382,7 @@ pub fn run_bs_sa_budgeted(
                         call_seed(seed, round, k, 1),
                         start,
                         &timer,
+                        obs,
                     )?
                     .into_iter()
                     .next(),
@@ -329,7 +390,7 @@ pub fn run_bs_sa_budgeted(
                 );
                 let nd = if policy.allows_nd() {
                     better(
-                        find_best_settings_budgeted(
+                        find_best_settings_observed(
                             &costs,
                             n,
                             DecompMode::NonDisjoint,
@@ -338,6 +399,7 @@ pub fn run_bs_sa_budgeted(
                             call_seed(seed, round, k, 2),
                             start,
                             &timer,
+                            obs,
                         )?
                         .into_iter()
                         .next(),
@@ -352,6 +414,16 @@ pub fn run_bs_sa_budgeted(
             };
 
             let chosen = choose_mode(policy, &normal, bto.as_ref(), nd.as_ref());
+            obs.on_event(&SearchEvent::BitRefined {
+                round,
+                bit: k,
+                mode: match &chosen.decomp {
+                    AnyDecomp::Normal(_) => DecompMode::Normal,
+                    AnyDecomp::Bto(_) => DecompMode::Bto,
+                    AnyDecomp::NonDisjoint(_) => DecompMode::NonDisjoint,
+                },
+                error: chosen.error,
+            });
             if is_final && policy.allows_bto() {
                 final_options.push(BitModeOptions {
                     bit: k,
@@ -363,11 +435,15 @@ pub fn run_bs_sa_budgeted(
             best = best.with(k, chosen);
             best_scored = None;
             timer.count_iteration();
+            obs.on_event(&SearchEvent::BudgetTick {
+                iterations: timer.iterations(),
+            });
         }
         let g_hat = best.materialize(target);
         let med = metrics::med(target, &g_hat, dist)?;
         round_meds.push(med);
         best_scored = Some(med);
+        obs.on_event(&SearchEvent::RoundFinished { round, med });
         if med <= snapshot.1 {
             snapshot = (best.clone(), med);
         }
@@ -376,6 +452,9 @@ pub fn run_bs_sa_budgeted(
             mode_options = Some(final_options);
         }
     }
+    obs.on_event(&SearchEvent::PhaseFinished {
+        phase: "refine".into(),
+    });
 
     // On early termination the current (partially refined) state competes
     // against the best completed round; the outcome is whichever has the
@@ -415,6 +494,11 @@ pub fn run_bs_sa_budgeted(
         // Keep the `med == round_meds.last()` invariant on early exits too.
         round_meds.push(med);
     }
+    obs.on_event(&SearchEvent::SearchFinished {
+        med,
+        iterations: timer.iterations(),
+        termination: timer.termination(),
+    });
     Ok(SearchOutcome {
         config,
         med,
@@ -422,10 +506,12 @@ pub fn run_bs_sa_budgeted(
         elapsed: timer.elapsed(),
         mode_options,
         termination: timer.termination(),
+        iterations: timer.iterations(),
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated free-function shims too
 mod tests {
     use super::*;
     use dalut_boolfn::builder::random_table;

@@ -168,6 +168,12 @@ impl BudgetTimer {
         self.iterations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Iterations counted so far.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
     /// Checks the budget at an iteration boundary. Returns `true` (and
     /// latches the trip cause) once the run must stop.
     pub fn exhausted(&self) -> bool {

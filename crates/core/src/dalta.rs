@@ -4,9 +4,11 @@
 use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
 use crate::error::DalutError;
+use crate::observe::{observe_kernel, Observer, SearchEvent, NOOP};
 use crate::outcome::SearchOutcome;
 use crate::parallel::try_run_tasks;
 use crate::params::DaltaParams;
+use crate::sa::DecompMode;
 use dalut_boolfn::{metrics, BoolFnError, InputDistribution, Partition, TruthTable};
 use dalut_decomp::{bit_costs, opt_for_part, AnyDecomp, LsbFill, OptParams, Setting};
 use rand::rngs::StdRng;
@@ -58,20 +60,31 @@ pub(crate) fn draw_partitions(
 ///
 /// ```
 /// use dalut_boolfn::{InputDistribution, TruthTable};
-/// use dalut_core::{run_dalta, DaltaParams};
+/// use dalut_core::{ApproxLutBuilder, DaltaParams};
 ///
 /// let g = TruthTable::from_fn(6, 3, |x| (x / 9) % 8).unwrap();
 /// let dist = InputDistribution::uniform(6).unwrap();
-/// let outcome = run_dalta(&g, &dist, &DaltaParams::fast()).unwrap();
+/// let outcome = ApproxLutBuilder::new(&g)
+///     .distribution(dist)
+///     .dalta(DaltaParams::fast())
+///     .run()
+///     .unwrap();
 /// assert_eq!(outcome.config.outputs(), 3);
 /// assert!(outcome.med.is_finite());
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ApproxLutBuilder::new(target).distribution(dist).dalta(params).run()`"
+)]
 pub fn run_dalta(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &DaltaParams,
 ) -> Result<SearchOutcome, DalutError> {
-    run_dalta_budgeted(target, dist, params, &RunBudget::unlimited())
+    crate::pipeline::ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .dalta(*params)
+        .run()
 }
 
 /// [`run_dalta`] under an execution [`RunBudget`].
@@ -89,11 +102,27 @@ pub fn run_dalta(
 ///
 /// Returns an error on shape mismatch between `target` and `dist`, or if
 /// `params.search.bound_size` is not in `1..target.inputs()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ApproxLutBuilder::new(target).distribution(dist).dalta(params).budget(budget).run()`"
+)]
 pub fn run_dalta_budgeted(
     target: &TruthTable,
     dist: &InputDistribution,
     params: &DaltaParams,
     budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    dalta_engine(target, dist, params, budget, &NOOP)
+}
+
+/// The DALTA engine behind `ApproxLutBuilder`, with an [`Observer`]
+/// attached.
+pub(crate) fn dalta_engine(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &DaltaParams,
+    budget: &RunBudget,
+    obs: &dyn Observer,
 ) -> Result<SearchOutcome, DalutError> {
     let timer = BudgetTimer::new(budget);
     let n = target.inputs();
@@ -118,10 +147,20 @@ pub fn run_dalta_budgeted(
     let mut settings: Vec<Option<Setting>> = vec![None; m];
     let mut round_meds = Vec::with_capacity(params.search.rounds);
     let opt = params.search.opt_params();
+    obs.on_event(&SearchEvent::SearchStarted {
+        algorithm: "dalta".into(),
+        inputs: n,
+        outputs: m,
+        rounds: params.search.rounds,
+        seed: params.search.seed,
+    });
+    obs.on_event(&SearchEvent::PhaseStarted {
+        phase: "greedy".into(),
+    });
     // Best completed round so far, for budget-trip fallback.
     let mut snapshot: Option<(Vec<Option<Setting>>, f64)> = None;
 
-    'rounds: for _round in 0..params.search.rounds {
+    'rounds: for round in 0..params.search.rounds {
         for k in (0..m).rev() {
             if timer.exhausted() {
                 break 'rounds;
@@ -147,21 +186,31 @@ pub fn run_dalta_budgeted(
                         let mut trng = StdRng::seed_from_u64(s);
                         // Invariant, not fallible: partitions are drawn over
                         // the same n the cost table was built for.
-                        opt_for_part(costs, p, opt, &mut trng)
-                            .expect("partition width validated at run_dalta entry")
+                        observe_kernel(obs, DecompMode::Normal, || {
+                            opt_for_part(costs, p, opt, &mut trng)
+                                .expect("partition width validated at run_dalta entry")
+                        })
                     }
                 })
                 .collect();
+            let task_count = tasks.len();
             let results = try_run_tasks(tasks, params.search.threads);
+            let mut failed = 0usize;
             let survivors = results.into_iter().filter_map(|slot| match slot {
                 Ok(v) => Some(v),
                 Err(_) => {
                     timer.note_task_failure();
+                    failed += 1;
                     None
                 }
             });
             let best =
                 survivors.min_by(|a, b| a.0.partial_cmp(&b.0).expect("errors are never NaN"));
+            obs.on_event(&SearchEvent::TaskBatch {
+                tasks: task_count,
+                threads: params.search.threads,
+                failed,
+            });
             // If every candidate's task panicked, the bit keeps its
             // incumbent setting (from an earlier round, or the fill below).
             if let Some((err, best)) = best {
@@ -169,13 +218,23 @@ pub fn run_dalta_budgeted(
                 settings[k] = Some(Setting::new(err, AnyDecomp::Normal(best)));
             }
             timer.count_iteration();
+            obs.on_event(&SearchEvent::BudgetTick {
+                iterations: timer.iterations(),
+            });
         }
         let med = metrics::med(target, &approx, dist)?;
         round_meds.push(med);
+        obs.on_event(&SearchEvent::RoundFinished {
+            round: round + 1,
+            med,
+        });
         if snapshot.as_ref().is_none_or(|(_, sm)| med <= *sm) {
             snapshot = Some((settings.clone(), med));
         }
     }
+    obs.on_event(&SearchEvent::PhaseFinished {
+        phase: "greedy".into(),
+    });
 
     // On early termination: complete any never-reached bit with a cheap
     // deterministic decomposition, then fall back to the best completed
@@ -194,7 +253,9 @@ pub fn run_dalta_budgeted(
             }
             let costs = bit_costs(target, &approx, k, dist, LsbFill::FromApprox)?;
             let mut frng = StdRng::seed_from_u64(0);
-            let (err, d) = opt_for_part(&costs, fill_part, fill_opt, &mut frng)?;
+            let (err, d) = observe_kernel(obs, DecompMode::Normal, || {
+                opt_for_part(&costs, fill_part, fill_opt, &mut frng)
+            })?;
             approx.set_bit_column(k, &d.to_bit_column());
             *slot = Some(Setting::new(err, AnyDecomp::Normal(d)));
         }
@@ -221,6 +282,11 @@ pub fn run_dalta_budgeted(
         // Keep the `med == round_meds.last()` invariant on early exits too.
         round_meds.push(med);
     }
+    obs.on_event(&SearchEvent::SearchFinished {
+        med,
+        iterations: timer.iterations(),
+        termination: timer.termination(),
+    });
     Ok(SearchOutcome {
         config,
         med,
@@ -228,10 +294,12 @@ pub fn run_dalta_budgeted(
         elapsed: timer.elapsed(),
         mode_options: None,
         termination: timer.termination(),
+        iterations: timer.iterations(),
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated free-function shims too
 mod tests {
     use super::*;
     use dalut_boolfn::builder::random_table;

@@ -7,12 +7,13 @@
 //! reconfigurable architectures (BTO-Normal and BTO-Normal-ND), and
 //! accuracy–energy **trade-off sweeps**.
 //!
-//! The flow mirrors the paper:
+//! The flow mirrors the paper; [`ApproxLutBuilder`] is the single
+//! entrypoint, selecting between:
 //!
-//! 1. [`run_dalta`] — baseline: for each output bit (MSB→LSB, `R` rounds)
+//! 1. DALTA — baseline: for each output bit (MSB→LSB, `R` rounds)
 //!    draw `P` random partitions, call `OptForPart` on each, keep the best
 //!    greedily (§II-B).
-//! 2. [`run_bs_sa`] — proposed: round 1 is a beam search keeping the
+//! 2. BS-SA — proposed: round 1 is a beam search keeping the
 //!    `N_beam` best setting *sequences*, scoring candidates under the
 //!    predictive LSB model (§III-B); rounds 2..R refine each bit with the
 //!    SA-based [`find_best_settings`] (Algorithm 2) and apply the `δ`/`δ'`
@@ -23,7 +24,11 @@
 //! The crate is deterministic for a fixed seed when run single-threaded;
 //! [`parallel::run_tasks`] distributes partition evaluations across
 //! worker threads exactly like the paper's 44-thread setup distributes
-//! `OptForPart` calls.
+//! `OptForPart` calls. Searches report progress through the [`observe`]
+//! module's [`Observer`] API (builder method
+//! [`ApproxLutBuilder::observer`]): the default [`NoopObserver`] is free,
+//! while [`MetricsRecorder`] / [`JsonlTraceWriter`] sinks capture
+//! per-phase metrics and JSONL traces.
 //!
 //! ## Example
 //!
@@ -52,6 +57,7 @@ pub mod budget;
 pub mod config;
 pub mod dalta;
 pub mod error;
+pub mod observe;
 pub mod outcome;
 pub mod parallel;
 pub mod params;
@@ -61,13 +67,20 @@ pub mod tradeoff;
 pub mod visited;
 
 pub use analysis::{error_breakdown, BitErrorReport, ErrorBreakdown};
+#[allow(deprecated)]
 pub use beam::{run_bs_sa, run_bs_sa_budgeted};
 pub use budget::{BudgetTimer, CancelToken, RunBudget, Termination};
 pub use config::{ApproxLutConfig, BitConfig, BitMode};
+#[allow(deprecated)]
 pub use dalta::{run_dalta, run_dalta_budgeted};
 pub use error::DalutError;
+pub use observe::{
+    CounterSnapshot, HistogramSnapshot, JsonlTraceWriter, MetricsRecorder, MetricsSnapshot,
+    MultiObserver, NoopObserver, Observer, PhaseSnapshot, RecordingObserver, SearchEvent,
+    TraceRecord,
+};
 pub use outcome::{BitModeOptions, SearchOutcome};
 pub use params::{ArchPolicy, BsSaParams, DaltaParams, SearchParams};
-pub use pipeline::{Algorithm, ApproxLutBuilder};
+pub use pipeline::{Algorithm, ApproxLutBuilder, SearchConfig};
 pub use sa::{find_best_settings, DecompMode};
 pub use tradeoff::{mode_sweep, pareto_front, TradeoffPoint};

@@ -1,0 +1,888 @@
+//! Structured observability for the search stack.
+//!
+//! Every search entry point accepts an [`Observer`] — a sink for the
+//! [`SearchEvent`] stream emitted as the search runs: search start/finish,
+//! beam generations, per-bit refinements, SA chain starts, neighbourhood
+//! batch fan-out/join statistics, temperature steps, kernel invocations
+//! (with restart and alternation counts from
+//! [`dalut_decomp::kernel_stats`]), budget consumption ticks and
+//! fault-sweep progress. The default [`NoopObserver`] compiles to an empty
+//! virtual call, so uninstrumented runs pay nothing measurable.
+//!
+//! Events deliberately carry **no timestamps**: with a fixed seed on a
+//! single thread, the event sequence is a pure function of the inputs
+//! (sinks that want wall-clock, like [`JsonlTraceWriter`], stamp events
+//! on arrival). Three sinks ship with the crate:
+//!
+//! * [`MetricsRecorder`] — atomic counters + log₂ histograms + per-phase
+//!   breakdowns, snapshotted to a serialisable [`MetricsSnapshot`].
+//! * [`JsonlTraceWriter`] — one JSON object per line, each wrapping an
+//!   event in a `{seq, t_us, event}` envelope, for offline timeline
+//!   analysis.
+//! * [`RecordingObserver`] — buffers events in memory, for tests.
+//!
+//! Multiple sinks combine with [`MultiObserver`].
+//!
+//! Threading contract: `Observer::on_event` must be callable from any
+//! search worker thread (`Send + Sync`). With `threads <= 1` events
+//! arrive in a deterministic order; with a parallel fan-out, events from
+//! concurrent workers interleave nondeterministically (each event is
+//! still delivered exactly once).
+
+use std::fmt;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::Termination;
+use crate::sa::DecompMode;
+use dalut_decomp::{kernel_stats, KernelStats};
+
+/// One notification from a running search.
+///
+/// The enum is non-exhaustive: downstream sinks must keep a wildcard arm
+/// so new event kinds can ship without breaking them.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum SearchEvent {
+    /// A top-level search began.
+    SearchStarted {
+        /// `"dalta"` or `"bs-sa"`.
+        algorithm: String,
+        /// Input bits of the target function.
+        inputs: usize,
+        /// Output bits of the target function.
+        outputs: usize,
+        /// Optimisation rounds the search will attempt.
+        rounds: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// The search returned; mirrors the headline `SearchOutcome` fields.
+    SearchFinished {
+        /// Final mean error distance.
+        med: f64,
+        /// Budget iterations consumed.
+        iterations: u64,
+        /// How the run ended.
+        termination: Termination,
+    },
+    /// A named phase began (phases may nest; names are free-form, e.g.
+    /// `"beam"`, `"refine"`, or harness-defined like `"kernel"`).
+    PhaseStarted {
+        /// Phase label.
+        phase: String,
+    },
+    /// The innermost open phase with this name finished.
+    PhaseFinished {
+        /// Phase label.
+        phase: String,
+    },
+    /// An optimisation round completed with the given incumbent error.
+    RoundFinished {
+        /// 1-based round number.
+        round: usize,
+        /// Mean error distance after the round.
+        med: f64,
+    },
+    /// Round-1 beam search finished one output bit.
+    BeamGeneration {
+        /// Output bit index.
+        bit: usize,
+        /// Candidates scored before pruning.
+        candidates: usize,
+        /// Beam entries kept after pruning.
+        kept: usize,
+    },
+    /// A refinement round re-optimised one output bit.
+    BitRefined {
+        /// 1-based round number.
+        round: usize,
+        /// Output bit index.
+        bit: usize,
+        /// Decomposition mode chosen for the bit this round.
+        mode: DecompMode,
+        /// Bit-level error of the accepted setting.
+        error: f64,
+    },
+    /// An SA chain evaluated its starting partition.
+    SaChainStarted {
+        /// Starting error of the chain.
+        error: f64,
+    },
+    /// An SA chain cooled down after one neighbourhood batch.
+    TemperatureStep {
+        /// Temperature after cooling.
+        temperature: f64,
+    },
+    /// One SA neighbourhood batch was fanned out and joined.
+    NeighbourBatch {
+        /// Neighbours drawn for the batch.
+        requested: usize,
+        /// Neighbours answered from the visited set `Φ`.
+        cache_hits: usize,
+        /// Neighbours evaluated by worker tasks.
+        evaluated: usize,
+        /// Worker tasks that panicked (neighbour dropped).
+        failed: usize,
+        /// Size of `Φ` after the batch merged.
+        visited: usize,
+    },
+    /// A kernel call (or a tight group of calls, e.g. the non-disjoint
+    /// variant's sub-calls) completed on the emitting thread.
+    KernelInvocation {
+        /// Decomposition mode requested.
+        mode: DecompMode,
+        /// Kernel entry points hit.
+        calls: u64,
+        /// Random restarts executed.
+        restarts: u64,
+        /// Alternating-minimisation iterations performed.
+        alternations: u64,
+    },
+    /// The budget timer counted one search iteration.
+    BudgetTick {
+        /// Total iterations consumed so far.
+        iterations: u64,
+    },
+    /// A task fan-out over the worker pool joined.
+    TaskBatch {
+        /// Tasks submitted.
+        tasks: usize,
+        /// Worker threads requested.
+        threads: usize,
+        /// Tasks that panicked.
+        failed: usize,
+    },
+    /// A fault-injection sweep advanced.
+    FaultSweepProgress {
+        /// Architecture label being swept.
+        arch: String,
+        /// Campaigns finished.
+        completed: usize,
+        /// Campaigns total.
+        total: usize,
+    },
+}
+
+/// A sink for [`SearchEvent`]s.
+///
+/// Implementations must tolerate calls from any search worker thread and
+/// should return quickly — the hot path calls straight into them.
+pub trait Observer: Send + Sync {
+    /// Receives one event. Called synchronously from the search.
+    fn on_event(&self, event: &SearchEvent);
+
+    /// Whether this observer wants events at all. The search skips
+    /// building allocation- or measurement-heavy events (e.g. per-kernel
+    /// counter deltas) when this returns `false`. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<T: Observer + ?Sized> Observer for &T {
+    fn on_event(&self, event: &SearchEvent) {
+        (**self).on_event(event);
+    }
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+impl<T: Observer + ?Sized> Observer for Arc<T> {
+    fn on_event(&self, event: &SearchEvent) {
+        (**self).on_event(event);
+    }
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// The default do-nothing observer: `enabled()` is `false`, so the search
+/// skips event construction entirely and the hot path stays untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn on_event(&self, _event: &SearchEvent) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Shared no-op instance for default observer references.
+pub(crate) static NOOP: NoopObserver = NoopObserver;
+
+/// Buffers every event in memory; `events()` clones them out. Meant for
+/// tests (event-sequence determinism) and small diagnostic runs.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Mutex<Vec<SearchEvent>>,
+}
+
+impl RecordingObserver {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> Vec<SearchEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&self, event: &SearchEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Fans each event out to several sinks in order.
+#[derive(Default, Clone)]
+pub struct MultiObserver {
+    sinks: Vec<Arc<dyn Observer>>,
+}
+
+impl fmt::Debug for MultiObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiObserver")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl MultiObserver {
+    /// Creates an empty fan-out (equivalent to [`NoopObserver`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink.
+    #[must_use]
+    pub fn with(mut self, sink: Arc<dyn Observer>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink in place.
+    pub fn push(&mut self, sink: Arc<dyn Observer>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Observer for MultiObserver {
+    fn on_event(&self, event: &SearchEvent) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+/// Number of log₂ histogram buckets (bucket `i` counts values `v` with
+/// `floor(log2(v)) == i`; bucket 0 also counts `v == 0`).
+const HIST_BUCKETS: usize = 32;
+
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&self, value: u64) {
+        let idx = (64 - u64::leading_zeros(value.max(1)) as usize - 1).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+}
+
+/// Flat counter totals inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// `SearchStarted` events.
+    pub searches_started: u64,
+    /// `SearchFinished` events.
+    pub searches_finished: u64,
+    /// `RoundFinished` events.
+    pub rounds_finished: u64,
+    /// `BeamGeneration` events.
+    pub beam_generations: u64,
+    /// Candidates scored across all beam generations.
+    pub beam_candidates: u64,
+    /// `BitRefined` events.
+    pub bits_refined: u64,
+    /// `SaChainStarted` events.
+    pub sa_chains: u64,
+    /// `TemperatureStep` events.
+    pub temperature_steps: u64,
+    /// `NeighbourBatch` events.
+    pub neighbour_batches: u64,
+    /// Neighbours drawn across all batches.
+    pub neighbours_requested: u64,
+    /// Neighbours answered from the visited set.
+    pub neighbour_cache_hits: u64,
+    /// Neighbours evaluated by worker tasks.
+    pub neighbours_evaluated: u64,
+    /// Neighbour evaluations lost to worker panics.
+    pub neighbours_failed: u64,
+    /// `KernelInvocation` events.
+    pub kernel_events: u64,
+    /// Kernel calls reported by those events.
+    pub kernel_calls: u64,
+    /// Kernel restarts reported by those events.
+    pub kernel_restarts: u64,
+    /// Kernel alternation iterations reported by those events.
+    pub kernel_alternations: u64,
+    /// `BudgetTick` events (== search iterations observed).
+    pub budget_ticks: u64,
+    /// `TaskBatch` events.
+    pub task_batches: u64,
+    /// `FaultSweepProgress` events.
+    pub fault_progress: u64,
+}
+
+/// Aggregated effort attributed to one named phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    /// Phase label (from `PhaseStarted`/`PhaseFinished`).
+    pub name: String,
+    /// Wall-clock seconds between start and finish.
+    pub seconds: f64,
+    /// Budget ticks observed while the phase was open.
+    pub iterations: u64,
+    /// Process-wide kernel work performed while the phase was open.
+    pub kernel: KernelStats,
+}
+
+/// One named histogram inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// What was measured.
+    pub name: String,
+    /// Count per log₂ bucket (`buckets[i]` counts values in
+    /// `[2^i, 2^(i+1))`; bucket 0 also counts zero). Trailing empty
+    /// buckets are trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// Serialisable dump of a [`MetricsRecorder`], embedded by the bench
+/// harness into `perfreport`/`faultsweep` JSON reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Flat event/counter totals.
+    pub counters: CounterSnapshot,
+    /// `neighbour_cache_hits / neighbours_requested` (0 when nothing was
+    /// requested).
+    pub cache_hit_rate: f64,
+    /// Process-wide kernel work since the recorder was created (includes
+    /// kernel calls made outside any observed search on this process).
+    pub kernel_process_delta: KernelStats,
+    /// Per-phase effort breakdowns, in completion order.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Distribution histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// An open phase on the recorder's phase stack.
+#[derive(Debug)]
+struct OpenPhase {
+    name: String,
+    started: Instant,
+    ticks_at_start: u64,
+    kernel_at_start: KernelStats,
+}
+
+/// Lock-free counters + histograms over the event stream, with per-phase
+/// wall-clock/iteration/kernel-work attribution. One recorder can watch
+/// several sequential searches; totals accumulate.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    searches_started: AtomicU64,
+    searches_finished: AtomicU64,
+    rounds_finished: AtomicU64,
+    beam_generations: AtomicU64,
+    beam_candidates: AtomicU64,
+    bits_refined: AtomicU64,
+    sa_chains: AtomicU64,
+    temperature_steps: AtomicU64,
+    neighbour_batches: AtomicU64,
+    neighbours_requested: AtomicU64,
+    neighbour_cache_hits: AtomicU64,
+    neighbours_evaluated: AtomicU64,
+    neighbours_failed: AtomicU64,
+    kernel_events: AtomicU64,
+    kernel_calls: AtomicU64,
+    kernel_restarts: AtomicU64,
+    kernel_alternations: AtomicU64,
+    budget_ticks: AtomicU64,
+    task_batches: AtomicU64,
+    fault_progress: AtomicU64,
+    hist_batch_evaluated: Histogram,
+    hist_kernel_alternations: Histogram,
+    kernel_at_creation: KernelStats,
+    phases: Mutex<PhaseState>,
+}
+
+#[derive(Debug, Default)]
+struct PhaseState {
+    open: Vec<OpenPhase>,
+    finished: Vec<PhaseSnapshot>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder; kernel process totals are measured relative to
+    /// this moment.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            searches_started: AtomicU64::new(0),
+            searches_finished: AtomicU64::new(0),
+            rounds_finished: AtomicU64::new(0),
+            beam_generations: AtomicU64::new(0),
+            beam_candidates: AtomicU64::new(0),
+            bits_refined: AtomicU64::new(0),
+            sa_chains: AtomicU64::new(0),
+            temperature_steps: AtomicU64::new(0),
+            neighbour_batches: AtomicU64::new(0),
+            neighbours_requested: AtomicU64::new(0),
+            neighbour_cache_hits: AtomicU64::new(0),
+            neighbours_evaluated: AtomicU64::new(0),
+            neighbours_failed: AtomicU64::new(0),
+            kernel_events: AtomicU64::new(0),
+            kernel_calls: AtomicU64::new(0),
+            kernel_restarts: AtomicU64::new(0),
+            kernel_alternations: AtomicU64::new(0),
+            budget_ticks: AtomicU64::new(0),
+            task_batches: AtomicU64::new(0),
+            fault_progress: AtomicU64::new(0),
+            hist_batch_evaluated: Histogram::default(),
+            hist_kernel_alternations: Histogram::default(),
+            kernel_at_creation: kernel_stats::global(),
+            phases: Mutex::new(PhaseState::default()),
+        }
+    }
+
+    /// Snapshots every counter, histogram and finished phase. Phases
+    /// still open at snapshot time are not included.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let counters = CounterSnapshot {
+            searches_started: ld(&self.searches_started),
+            searches_finished: ld(&self.searches_finished),
+            rounds_finished: ld(&self.rounds_finished),
+            beam_generations: ld(&self.beam_generations),
+            beam_candidates: ld(&self.beam_candidates),
+            bits_refined: ld(&self.bits_refined),
+            sa_chains: ld(&self.sa_chains),
+            temperature_steps: ld(&self.temperature_steps),
+            neighbour_batches: ld(&self.neighbour_batches),
+            neighbours_requested: ld(&self.neighbours_requested),
+            neighbour_cache_hits: ld(&self.neighbour_cache_hits),
+            neighbours_evaluated: ld(&self.neighbours_evaluated),
+            neighbours_failed: ld(&self.neighbours_failed),
+            kernel_events: ld(&self.kernel_events),
+            kernel_calls: ld(&self.kernel_calls),
+            kernel_restarts: ld(&self.kernel_restarts),
+            kernel_alternations: ld(&self.kernel_alternations),
+            budget_ticks: ld(&self.budget_ticks),
+            task_batches: ld(&self.task_batches),
+            fault_progress: ld(&self.fault_progress),
+        };
+        let cache_hit_rate = if counters.neighbours_requested == 0 {
+            0.0
+        } else {
+            counters.neighbour_cache_hits as f64 / counters.neighbours_requested as f64
+        };
+        MetricsSnapshot {
+            counters,
+            cache_hit_rate,
+            kernel_process_delta: kernel_stats::global().delta_since(self.kernel_at_creation),
+            phases: self.phases.lock().finished.clone(),
+            histograms: vec![
+                HistogramSnapshot {
+                    name: "neighbour_batch_evaluated".into(),
+                    buckets: self.hist_batch_evaluated.snapshot(),
+                },
+                HistogramSnapshot {
+                    name: "kernel_alternations_per_event".into(),
+                    buckets: self.hist_kernel_alternations.snapshot(),
+                },
+            ],
+        }
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn on_event(&self, event: &SearchEvent) {
+        let add = |a: &AtomicU64, v: u64| {
+            a.fetch_add(v, Ordering::Relaxed);
+        };
+        match event {
+            SearchEvent::SearchStarted { .. } => add(&self.searches_started, 1),
+            SearchEvent::SearchFinished { .. } => add(&self.searches_finished, 1),
+            SearchEvent::PhaseStarted { phase } => {
+                self.phases.lock().open.push(OpenPhase {
+                    name: phase.clone(),
+                    started: Instant::now(),
+                    ticks_at_start: self.budget_ticks.load(Ordering::Relaxed),
+                    kernel_at_start: kernel_stats::global(),
+                });
+            }
+            SearchEvent::PhaseFinished { phase } => {
+                let mut st = self.phases.lock();
+                if let Some(pos) = st.open.iter().rposition(|p| p.name == *phase) {
+                    let open = st.open.remove(pos);
+                    st.finished.push(PhaseSnapshot {
+                        name: open.name,
+                        seconds: open.started.elapsed().as_secs_f64(),
+                        iterations: self
+                            .budget_ticks
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(open.ticks_at_start),
+                        kernel: kernel_stats::global().delta_since(open.kernel_at_start),
+                    });
+                }
+            }
+            SearchEvent::RoundFinished { .. } => add(&self.rounds_finished, 1),
+            SearchEvent::BeamGeneration { candidates, .. } => {
+                add(&self.beam_generations, 1);
+                add(&self.beam_candidates, *candidates as u64);
+            }
+            SearchEvent::BitRefined { .. } => add(&self.bits_refined, 1),
+            SearchEvent::SaChainStarted { .. } => add(&self.sa_chains, 1),
+            SearchEvent::TemperatureStep { .. } => add(&self.temperature_steps, 1),
+            SearchEvent::NeighbourBatch {
+                requested,
+                cache_hits,
+                evaluated,
+                failed,
+                ..
+            } => {
+                add(&self.neighbour_batches, 1);
+                add(&self.neighbours_requested, *requested as u64);
+                add(&self.neighbour_cache_hits, *cache_hits as u64);
+                add(&self.neighbours_evaluated, *evaluated as u64);
+                add(&self.neighbours_failed, *failed as u64);
+                self.hist_batch_evaluated.record(*evaluated as u64);
+            }
+            SearchEvent::KernelInvocation {
+                calls,
+                restarts,
+                alternations,
+                ..
+            } => {
+                add(&self.kernel_events, 1);
+                add(&self.kernel_calls, *calls);
+                add(&self.kernel_restarts, *restarts);
+                add(&self.kernel_alternations, *alternations);
+                self.hist_kernel_alternations.record(*alternations);
+            }
+            SearchEvent::BudgetTick { .. } => add(&self.budget_ticks, 1),
+            SearchEvent::TaskBatch { .. } => add(&self.task_batches, 1),
+            SearchEvent::FaultSweepProgress { .. } => add(&self.fault_progress, 1),
+            // Future event kinds default to uncounted (the enum is
+            // non-exhaustive for downstream crates).
+            #[allow(unreachable_patterns)]
+            _ => {}
+        }
+    }
+}
+
+/// One line of a JSONL trace: the envelope [`JsonlTraceWriter`] wraps
+/// around each event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic per-writer sequence number (0-based).
+    pub seq: u64,
+    /// Microseconds since the writer was created.
+    pub t_us: u64,
+    /// The event itself.
+    pub event: SearchEvent,
+}
+
+/// Streams every event as one JSON line (`{"seq":…,"t_us":…,"event":…}`)
+/// to a writer. Timestamps are stamped on arrival, so the `event` payload
+/// of a fixed-seed single-thread run is reproducible line-for-line.
+pub struct JsonlTraceWriter<W: Write + Send> {
+    out: Mutex<BufWriter<W>>,
+    seq: AtomicU64,
+    start: Instant,
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlTraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlTraceWriter")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl JsonlTraceWriter<std::fs::File> {
+    /// Creates (truncating) `path` and traces into it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlTraceWriter<W> {
+    /// Wraps a writer. Output is buffered; call [`Self::flush`] (or drop
+    /// the writer) to push trailing lines out.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(out)),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().flush()
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlTraceWriter<W> {
+    fn on_event(&self, event: &SearchEvent) {
+        let record = TraceRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            event: event.clone(),
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            let mut out = self.out.lock();
+            // A full disk mid-trace must not kill the search; the line is
+            // simply lost.
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlTraceWriter<W> {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Runs `f` and reports the kernel work it performed on **this thread**
+/// as a [`SearchEvent::KernelInvocation`]. Skips the counter reads
+/// entirely when the observer is disabled.
+pub(crate) fn observe_kernel<T>(obs: &dyn Observer, mode: DecompMode, f: impl FnOnce() -> T) -> T {
+    if !obs.enabled() {
+        return f();
+    }
+    let before = kernel_stats::current();
+    let out = f();
+    let d = kernel_stats::current().delta_since(before);
+    obs.on_event(&SearchEvent::KernelInvocation {
+        mode,
+        calls: d.calls,
+        restarts: d.restarts,
+        alternations: d.alternations,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SearchEvent> {
+        vec![
+            SearchEvent::SearchStarted {
+                algorithm: "bs-sa".into(),
+                inputs: 8,
+                outputs: 5,
+                rounds: 3,
+                seed: 42,
+            },
+            SearchEvent::PhaseStarted {
+                phase: "beam".into(),
+            },
+            SearchEvent::NeighbourBatch {
+                requested: 5,
+                cache_hits: 2,
+                evaluated: 3,
+                failed: 0,
+                visited: 17,
+            },
+            SearchEvent::KernelInvocation {
+                mode: DecompMode::Normal,
+                calls: 1,
+                restarts: 30,
+                alternations: 210,
+            },
+            SearchEvent::BudgetTick { iterations: 1 },
+            SearchEvent::PhaseFinished {
+                phase: "beam".into(),
+            },
+            SearchEvent::RoundFinished { round: 1, med: 0.5 },
+            SearchEvent::SearchFinished {
+                med: 0.5,
+                iterations: 1,
+                termination: Termination::Completed,
+            },
+        ]
+    }
+
+    #[test]
+    fn recorder_counts_and_phases() {
+        let rec = MetricsRecorder::new();
+        for e in sample_events() {
+            rec.on_event(&e);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.searches_started, 1);
+        assert_eq!(snap.counters.searches_finished, 1);
+        assert_eq!(snap.counters.neighbour_batches, 1);
+        assert_eq!(snap.counters.neighbours_requested, 5);
+        assert_eq!(snap.counters.neighbour_cache_hits, 2);
+        assert_eq!(snap.counters.kernel_restarts, 30);
+        assert_eq!(snap.counters.budget_ticks, 1);
+        assert!((snap.cache_hit_rate - 0.4).abs() < 1e-12);
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].name, "beam");
+        assert_eq!(snap.phases[0].iterations, 1);
+    }
+
+    #[test]
+    fn multi_observer_fans_out_and_reports_enabled() {
+        let a = Arc::new(RecordingObserver::new());
+        let b = Arc::new(RecordingObserver::new());
+        let multi = MultiObserver::new()
+            .with(a.clone() as Arc<dyn Observer>)
+            .with(b.clone() as Arc<dyn Observer>);
+        assert!(multi.enabled());
+        multi.on_event(&SearchEvent::BudgetTick { iterations: 3 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        let empty = MultiObserver::new();
+        assert!(!empty.enabled());
+        let noop_only = MultiObserver::new().with(Arc::new(NoopObserver));
+        assert!(!noop_only.enabled());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(4); // bucket 2
+        h.record(1024); // bucket 10
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2);
+        assert_eq!(snap[1], 2);
+        assert_eq!(snap[2], 1);
+        assert_eq!(snap[10], 1);
+        assert_eq!(snap.len(), 11);
+    }
+
+    #[test]
+    fn observe_kernel_skips_disabled_observers() {
+        let rec = RecordingObserver::new();
+        let got = observe_kernel(&NoopObserver, DecompMode::Normal, || 7);
+        assert_eq!(got, 7);
+        let got = observe_kernel(&rec, DecompMode::Bto, || 9);
+        assert_eq!(got, 9);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(
+            ev[0],
+            SearchEvent::KernelInvocation {
+                mode: DecompMode::Bto,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_line_per_event() {
+        let writer = JsonlTraceWriter::new(Vec::new());
+        for e in sample_events() {
+            writer.on_event(&e);
+        }
+        assert_eq!(writer.lines(), sample_events().len() as u64);
+    }
+}

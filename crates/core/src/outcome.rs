@@ -42,6 +42,12 @@ pub struct SearchOutcome {
     /// complete, valid best-so-far configuration.
     #[serde(default)]
     pub termination: Termination,
+    /// Budget iterations the search consumed (the same unit
+    /// [`RunBudget::with_max_iterations`](crate::budget::RunBudget::with_max_iterations)
+    /// caps): chain steps for BS-SA's SA phase, per-bit rounds for the
+    /// beam/DALTA phases.
+    #[serde(default)]
+    pub iterations: u64,
 }
 
 #[cfg(test)]
@@ -66,6 +72,7 @@ mod tests {
             elapsed: Duration::from_millis(12),
             mode_options: None,
             termination: Termination::Completed,
+            iterations: 9,
         };
         let json = serde_json::to_string(&outcome).unwrap();
         let back: SearchOutcome = serde_json::from_str(&json).unwrap();

@@ -1,15 +1,18 @@
 //! High-level builder API over the two search algorithms.
 
-use crate::beam::run_bs_sa_budgeted;
+use std::fmt;
+
+use crate::beam::bs_sa_engine;
 use crate::budget::RunBudget;
-use crate::dalta::run_dalta_budgeted;
+use crate::dalta::dalta_engine;
 use crate::error::DalutError;
+use crate::observe::{Observer, NOOP};
 use crate::outcome::SearchOutcome;
 use crate::params::{ArchPolicy, BsSaParams, DaltaParams};
 use dalut_boolfn::{InputDistribution, TruthTable};
 
 /// Which search algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Algorithm {
     /// The DALTA baseline (greedy, random partitions).
     Dalta(DaltaParams),
@@ -17,8 +20,40 @@ pub enum Algorithm {
     BsSa(BsSaParams),
 }
 
+/// Everything that shapes a search run, grouped so entry points stop
+/// growing positional parameters: the algorithm (with its parameters),
+/// the architecture policy, and the execution budget.
+///
+/// [`ApproxLutBuilder`]'s individual setters (`.dalta`, `.bs_sa`,
+/// `.policy`, `.budget`) are thin forwards into this struct; build one
+/// directly and pass it to [`ApproxLutBuilder::config`] to carry a whole
+/// run configuration around as one value.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The search algorithm and its parameters.
+    pub algorithm: Algorithm,
+    /// The architecture policy (ignored by the DALTA baseline, which has
+    /// a fixed architecture).
+    pub policy: ArchPolicy,
+    /// The execution budget.
+    pub budget: RunBudget,
+}
+
+impl Default for SearchConfig {
+    /// BS-SA fast parameters, normal-only policy, unlimited budget.
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::BsSa(BsSaParams::fast()),
+            policy: ArchPolicy::NormalOnly,
+            budget: RunBudget::unlimited(),
+        }
+    }
+}
+
 /// Fluent builder for approximating a function with a decomposition-based
-/// LUT.
+/// LUT. This is the single entrypoint to both search algorithms; the
+/// older `run_dalta(...)` / `run_bs_sa(...)` free functions are
+/// deprecated shims over it.
 ///
 /// # Examples
 ///
@@ -35,25 +70,48 @@ pub enum Algorithm {
 /// assert!(outcome.med.is_finite());
 /// assert_eq!(outcome.config.outputs(), 4);
 /// ```
-#[derive(Debug)]
+///
+/// Attaching an observer:
+///
+/// ```
+/// use dalut_boolfn::TruthTable;
+/// use dalut_core::{ApproxLutBuilder, MetricsRecorder};
+///
+/// let target = TruthTable::from_fn(6, 2, |x| x % 4).unwrap();
+/// let metrics = MetricsRecorder::new();
+/// let outcome = ApproxLutBuilder::new(&target)
+///     .observer(&metrics)
+///     .run()
+///     .unwrap();
+/// let snap = metrics.snapshot();
+/// assert_eq!(snap.counters.budget_ticks, outcome.iterations);
+/// ```
 pub struct ApproxLutBuilder<'a> {
     target: &'a TruthTable,
     dist: Option<InputDistribution>,
-    algorithm: Algorithm,
-    policy: ArchPolicy,
-    budget: RunBudget,
+    config: SearchConfig,
+    observer: &'a dyn Observer,
+}
+
+impl fmt::Debug for ApproxLutBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ApproxLutBuilder")
+            .field("target", &self.target)
+            .field("dist", &self.dist)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> ApproxLutBuilder<'a> {
     /// Starts a builder for `target` with BS-SA fast parameters, uniform
-    /// inputs and the normal-only policy.
+    /// inputs, the normal-only policy, no budget and no observer.
     pub fn new(target: &'a TruthTable) -> Self {
         Self {
             target,
             dist: None,
-            algorithm: Algorithm::BsSa(BsSaParams::fast()),
-            policy: ArchPolicy::NormalOnly,
-            budget: RunBudget::unlimited(),
+            config: SearchConfig::default(),
+            observer: &NOOP,
         }
     }
 
@@ -64,17 +122,25 @@ impl<'a> ApproxLutBuilder<'a> {
         self
     }
 
+    /// Replaces the whole run configuration (algorithm + policy +
+    /// budget) at once.
+    #[must_use]
+    pub fn config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Uses the DALTA baseline with the given parameters.
     #[must_use]
     pub fn dalta(mut self, params: DaltaParams) -> Self {
-        self.algorithm = Algorithm::Dalta(params);
+        self.config.algorithm = Algorithm::Dalta(params);
         self
     }
 
     /// Uses BS-SA with the given parameters.
     #[must_use]
     pub fn bs_sa(mut self, params: BsSaParams) -> Self {
-        self.algorithm = Algorithm::BsSa(params);
+        self.config.algorithm = Algorithm::BsSa(params);
         self
     }
 
@@ -82,7 +148,7 @@ impl<'a> ApproxLutBuilder<'a> {
     /// the DALTA baseline, which has a fixed architecture.
     #[must_use]
     pub fn policy(mut self, policy: ArchPolicy) -> Self {
-        self.policy = policy;
+        self.config.policy = policy;
         self
     }
 
@@ -107,7 +173,18 @@ impl<'a> ApproxLutBuilder<'a> {
     /// ```
     #[must_use]
     pub fn budget(mut self, budget: RunBudget) -> Self {
-        self.budget = budget;
+        self.config.budget = budget;
+        self
+    }
+
+    /// Attaches an [`Observer`] that receives
+    /// [`SearchEvent`](crate::observe::SearchEvent)s as the search runs
+    /// (default: the free [`NoopObserver`](crate::observe::NoopObserver)).
+    /// The observer must outlive the builder; events never change the
+    /// search result.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -121,11 +198,18 @@ impl<'a> ApproxLutBuilder<'a> {
             Some(d) => d,
             None => InputDistribution::uniform(self.target.inputs())?,
         };
-        match self.algorithm {
-            Algorithm::Dalta(p) => run_dalta_budgeted(self.target, &dist, &p, &self.budget),
-            Algorithm::BsSa(p) => {
-                run_bs_sa_budgeted(self.target, &dist, &p, self.policy, &self.budget)
+        match self.config.algorithm {
+            Algorithm::Dalta(p) => {
+                dalta_engine(self.target, &dist, &p, &self.config.budget, self.observer)
             }
+            Algorithm::BsSa(p) => bs_sa_engine(
+                self.target,
+                &dist,
+                &p,
+                self.config.policy,
+                &self.config.budget,
+                self.observer,
+            ),
         }
     }
 }
@@ -186,5 +270,47 @@ mod tests {
             .run()
             .unwrap();
         assert!(out.mode_options.is_some());
+    }
+
+    #[test]
+    fn search_config_round_trips_through_builder() {
+        let target = TruthTable::from_fn(6, 2, |x| x % 4).unwrap();
+        let cfg = SearchConfig {
+            algorithm: Algorithm::Dalta(DaltaParams::fast()),
+            policy: ArchPolicy::NormalOnly,
+            budget: RunBudget::unlimited().with_max_iterations(1_000_000),
+        };
+        let out = ApproxLutBuilder::new(&target).config(cfg).run().unwrap();
+        assert_eq!(out.config.outputs(), 2);
+        // Individual setters override a previously supplied config.
+        let out2 = ApproxLutBuilder::new(&target)
+            .config(SearchConfig::default())
+            .dalta(DaltaParams::fast())
+            .run()
+            .unwrap();
+        assert_eq!(out.config, out2.config);
+    }
+
+    #[test]
+    fn deprecated_shims_match_builder() {
+        #![allow(deprecated)]
+        let target = TruthTable::from_fn(6, 2, |x| (x * 7) % 4).unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let via_shim = crate::dalta::run_dalta(&target, &dist, &DaltaParams::fast()).unwrap();
+        let via_builder = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .dalta(DaltaParams::fast())
+            .run()
+            .unwrap();
+        assert_eq!(via_shim.config, via_builder.config);
+        let via_shim =
+            crate::beam::run_bs_sa(&target, &dist, &BsSaParams::fast(), ArchPolicy::NormalOnly)
+                .unwrap();
+        let via_builder = ApproxLutBuilder::new(&target)
+            .distribution(dist)
+            .bs_sa(BsSaParams::fast())
+            .run()
+            .unwrap();
+        assert_eq!(via_shim.config, via_builder.config);
     }
 }

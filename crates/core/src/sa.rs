@@ -8,6 +8,7 @@
 
 use crate::budget::BudgetTimer;
 use crate::error::DalutError;
+use crate::observe::{observe_kernel, Observer, SearchEvent, NOOP};
 use crate::parallel::try_run_tasks;
 use crate::params::BsSaParams;
 
@@ -51,7 +52,8 @@ pub(crate) mod inject {
 
 /// Which decomposition shape `FindBestSettings` optimises (the operating
 /// mode the resulting setting targets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum DecompMode {
     /// Normal disjoint decomposition.
     Normal,
@@ -124,12 +126,16 @@ impl SaChain {
         tops: &TopSettings,
         seed: u64,
         start: Option<Partition>,
+        obs: &dyn Observer,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let omega =
             start.unwrap_or_else(|| Partition::random(n, params.search.bound_size, &mut rng));
-        let first = optimize_partition(costs, omega, mode, params, &mut rng);
+        let first = observe_kernel(obs, mode, || {
+            optimize_partition(costs, omega, mode, params, &mut rng)
+        });
         let e_omega = first.error;
+        obs.on_event(&SearchEvent::SaChainStarted { error: e_omega });
         phi.insert(omega.bound_mask(), first.error);
         tops.offer(first);
         Self {
@@ -166,6 +172,7 @@ impl SaChain {
         tops: &TopSettings,
         threads: usize,
         timer: &BudgetTimer,
+        obs: &dyn Observer,
     ) {
         if self.done || phi.len() >= params.partition_limit {
             self.done = true;
@@ -176,6 +183,7 @@ impl SaChain {
             .iter()
             .map(|nb| phi.get(nb.bound_mask()))
             .collect();
+        let cache_hits = errs.iter().filter(|e| e.is_some()).count();
         let mut pending: Vec<(usize, Partition, u64)> = Vec::new();
         for (i, nb) in neighbors.iter().enumerate() {
             if errs[i].is_none() {
@@ -190,13 +198,16 @@ impl SaChain {
                         #[cfg(test)]
                         inject::maybe_fire(costs);
                         let mut rng = StdRng::seed_from_u64(seed);
-                        optimize_partition(costs, nb, mode, params, &mut rng)
+                        observe_kernel(obs, mode, || {
+                            optimize_partition(costs, nb, mode, params, &mut rng)
+                        })
                     }
                 })
                 .collect(),
             threads,
         );
         let mut changed = false;
+        let mut failed = 0usize;
         for (&(i, nb, _), slot) in pending.iter().zip(settings) {
             match slot {
                 Ok(s) => {
@@ -210,9 +221,19 @@ impl SaChain {
                 // The neighbour's evaluation panicked: note it and let the
                 // batch continue without this neighbour (it stays out of Φ
                 // and can be re-drawn later).
-                Err(_) => timer.note_task_failure(),
+                Err(_) => {
+                    timer.note_task_failure();
+                    failed += 1;
+                }
             }
         }
+        obs.on_event(&SearchEvent::NeighbourBatch {
+            requested: neighbors.len(),
+            cache_hits,
+            evaluated: pending.len() - failed,
+            failed,
+            visited: phi.len(),
+        });
         let mut best_nb: Option<(Partition, f64)> = None;
         for (nb, e_nb) in neighbors.iter().zip(errs) {
             // A `None` here means the neighbour's worker task panicked.
@@ -238,6 +259,9 @@ impl SaChain {
             }
         }
         self.tau *= params.alpha;
+        obs.on_event(&SearchEvent::TemperatureStep {
+            temperature: self.tau,
+        });
         self.stall = if changed { 0 } else { self.stall + 1 };
         if self.stall >= params.stall_limit {
             self.done = true;
@@ -313,6 +337,26 @@ pub fn find_best_settings_budgeted(
     start: Option<Partition>,
     timer: &BudgetTimer,
 ) -> Result<Vec<Setting>, DalutError> {
+    find_best_settings_observed(costs, n, mode, params, beam, seed, start, timer, &NOOP)
+}
+
+/// [`find_best_settings_budgeted`] with an [`Observer`] attached: emits
+/// `SaChainStarted` / `NeighbourBatch` / `TemperatureStep` /
+/// `KernelInvocation` / `BudgetTick` events as the chains run. With
+/// `threads <= 1` the event order is deterministic; parallel chains and
+/// fanned-out neighbour batches interleave their events.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn find_best_settings_observed(
+    costs: &BitCosts,
+    n: usize,
+    mode: DecompMode,
+    params: &BsSaParams,
+    beam: usize,
+    seed: u64,
+    start: Option<Partition>,
+    timer: &BudgetTimer,
+    obs: &dyn Observer,
+) -> Result<Vec<Setting>, DalutError> {
     if costs.inputs != n {
         return Err(DalutError::InvalidParams(format!(
             "cost table is over {} inputs but the search target has {n}",
@@ -339,6 +383,7 @@ pub fn find_best_settings_budgeted(
                 &tops,
                 seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)),
                 if c == 0 { start } else { None },
+                obs,
             )
         })
         .collect();
@@ -359,8 +404,11 @@ pub fn find_best_settings_budgeted(
                 if timer.exhausted() {
                     break 'sweeps;
                 }
-                st.step(costs, mode, params, &phi, &tops, batch_threads, timer);
+                st.step(costs, mode, params, &phi, &tops, batch_threads, timer, obs);
                 timer.count_iteration();
+                obs.on_event(&SearchEvent::BudgetTick {
+                    iterations: timer.iterations(),
+                });
             }
         } else {
             let chunk = states.len().div_ceil(chain_workers);
@@ -377,7 +425,7 @@ pub fn find_best_settings_budgeted(
                             // far stay in `tops` and the other chains keep
                             // searching.
                             if catch_unwind(AssertUnwindSafe(|| {
-                                st.step(costs, mode, params, phi, tops, batch_threads, timer);
+                                st.step(costs, mode, params, phi, tops, batch_threads, timer, obs);
                             }))
                             .is_err()
                             {
@@ -385,6 +433,9 @@ pub fn find_best_settings_budgeted(
                                 st.done = true;
                             }
                             timer.count_iteration();
+                            obs.on_event(&SearchEvent::BudgetTick {
+                                iterations: timer.iterations(),
+                            });
                         }
                     });
                 }

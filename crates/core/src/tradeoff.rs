@@ -162,13 +162,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let g = random_table(6, 3, &mut rng).unwrap();
         let d = InputDistribution::uniform(6).unwrap();
-        let out = crate::beam::run_bs_sa(
-            &g,
-            &d,
-            &BsSaParams::fast(),
-            ArchPolicy::bto_normal_nd_paper(),
-        )
-        .unwrap();
+        let out = crate::pipeline::ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(ArchPolicy::bto_normal_nd_paper())
+            .run()
+            .unwrap();
         (g, d, out.mode_options.unwrap())
     }
 

@@ -1,0 +1,239 @@
+//! Behavioural tests of the observability layer: event-sequence
+//! determinism, zero effect of instrumentation on search results, metrics
+//! totals consistency and trace serialisation.
+
+use dalut_boolfn::builder::random_table;
+use dalut_boolfn::{InputDistribution, TruthTable};
+use dalut_core::{
+    ApproxLutBuilder, ArchPolicy, BsSaParams, DaltaParams, JsonlTraceWriter, MetricsRecorder,
+    NoopObserver, Observer, RecordingObserver, SearchEvent, TraceRecord,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        random_table(n, m, &mut rng).unwrap(),
+        InputDistribution::uniform(n).unwrap(),
+    )
+}
+
+/// Single-threaded params so event order is deterministic.
+fn st_params(seed: u64) -> BsSaParams {
+    let mut p = BsSaParams::fast();
+    p.search.threads = 1;
+    p.search.seed = seed;
+    p
+}
+
+#[test]
+fn fixed_seed_single_thread_event_sequence_is_deterministic() {
+    let (g, d) = problem(11, 7, 3);
+    let run = || {
+        let rec = RecordingObserver::new();
+        ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(st_params(5))
+            .policy(ArchPolicy::bto_normal_paper())
+            .observer(&rec)
+            .run()
+            .unwrap();
+        rec.events()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    // Events carry no timestamps, so equality is exact.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dalta_event_sequence_is_deterministic_too() {
+    let (g, d) = problem(12, 6, 2);
+    let mut p = DaltaParams::fast();
+    p.search.threads = 1;
+    let run = || {
+        let rec = RecordingObserver::new();
+        ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .dalta(p)
+            .observer(&rec)
+            .run()
+            .unwrap();
+        rec.events()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn instrumented_run_is_bit_identical_to_noop_run() {
+    let (g, d) = problem(13, 7, 3);
+    let rec = RecordingObserver::new();
+    let observed = ApproxLutBuilder::new(&g)
+        .distribution(d.clone())
+        .bs_sa(st_params(9))
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .observer(&rec)
+        .run()
+        .unwrap();
+    let plain = ApproxLutBuilder::new(&g)
+        .distribution(d.clone())
+        .bs_sa(st_params(9))
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .observer(&NoopObserver)
+        .run()
+        .unwrap();
+    assert!(!rec.is_empty());
+    // Everything except wall-clock `elapsed` must match exactly.
+    assert_eq!(observed.config, plain.config);
+    assert_eq!(observed.med, plain.med);
+    assert_eq!(observed.round_meds, plain.round_meds);
+    assert_eq!(observed.mode_options, plain.mode_options);
+    assert_eq!(observed.termination, plain.termination);
+    assert_eq!(observed.iterations, plain.iterations);
+}
+
+#[test]
+fn metrics_totals_match_outcome_iteration_counts() {
+    let (g, d) = problem(14, 7, 3);
+    let metrics = MetricsRecorder::new();
+    let out = ApproxLutBuilder::new(&g)
+        .distribution(d.clone())
+        .bs_sa(st_params(3))
+        .observer(&metrics)
+        .run()
+        .unwrap();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters.searches_started, 1);
+    assert_eq!(snap.counters.searches_finished, 1);
+    // Every timer tick was observed as a BudgetTick.
+    assert_eq!(snap.counters.budget_ticks, out.iterations);
+    assert_eq!(snap.counters.rounds_finished as usize, out.round_meds.len());
+    // The SA phase requested neighbours and the kernel ran.
+    assert!(snap.counters.neighbour_batches > 0);
+    assert!(snap.counters.kernel_calls > 0);
+    assert!(snap.counters.neighbours_requested >= snap.counters.neighbour_cache_hits);
+    assert!((0.0..=1.0).contains(&snap.cache_hit_rate));
+    // Both search phases were tracked with effort attributed.
+    let names: Vec<&str> = snap.phases.iter().map(|p| p.name.as_str()).collect();
+    assert!(names.contains(&"beam"));
+    assert!(names.contains(&"refine"));
+    let total_phase_iters: u64 = snap.phases.iter().map(|p| p.iterations).sum();
+    assert_eq!(total_phase_iters, out.iterations);
+}
+
+#[test]
+fn metrics_totals_cover_dalta_task_batches() {
+    let (g, d) = problem(15, 6, 2);
+    let metrics = MetricsRecorder::new();
+    let mut p = DaltaParams::fast();
+    p.search.threads = 1;
+    let out = ApproxLutBuilder::new(&g)
+        .distribution(d.clone())
+        .dalta(p)
+        .observer(&metrics)
+        .run()
+        .unwrap();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters.budget_ticks, out.iterations);
+    // One fan-out per (round, bit) step.
+    assert_eq!(snap.counters.task_batches, out.iterations);
+    assert!(snap.counters.kernel_calls > 0);
+    assert_eq!(snap.phases.len(), 1);
+    assert_eq!(snap.phases[0].name, "greedy");
+}
+
+#[test]
+fn jsonl_trace_round_trips_through_serde() {
+    let (g, d) = problem(16, 6, 2);
+    let rec = RecordingObserver::new();
+    let trace = JsonlTraceWriter::new(Vec::new());
+    let multi = dalut_core::MultiObserver::new()
+        .with(std::sync::Arc::new(rec))
+        .with(std::sync::Arc::new(trace));
+    ApproxLutBuilder::new(&g)
+        .distribution(d)
+        .bs_sa(st_params(1))
+        .observer(&multi)
+        .run()
+        .unwrap();
+    drop(multi);
+    // Round-trip a representative sample of events through the same
+    // envelope the JSONL writer emits.
+    let events = vec![
+        SearchEvent::SearchStarted {
+            algorithm: "bs-sa".into(),
+            inputs: 6,
+            outputs: 2,
+            rounds: 3,
+            seed: 1,
+        },
+        SearchEvent::NeighbourBatch {
+            requested: 5,
+            cache_hits: 1,
+            evaluated: 4,
+            failed: 0,
+            visited: 12,
+        },
+        SearchEvent::KernelInvocation {
+            mode: dalut_core::DecompMode::NonDisjoint,
+            calls: 8,
+            restarts: 240,
+            alternations: 1234,
+        },
+        SearchEvent::SearchFinished {
+            med: 0.125,
+            iterations: 42,
+            termination: dalut_core::Termination::Completed,
+        },
+    ];
+    for (seq, event) in events.into_iter().enumerate() {
+        let record = TraceRecord {
+            seq: seq as u64,
+            t_us: 17 * seq as u64,
+            event,
+        };
+        let line = serde_json::to_string(&record).unwrap();
+        let back: TraceRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(record, back);
+    }
+}
+
+#[test]
+fn jsonl_writer_produces_one_valid_line_per_event() {
+    let (g, d) = problem(17, 6, 2);
+    let path = std::env::temp_dir().join(format!("dalut_trace_{}.jsonl", std::process::id()));
+    {
+        let trace = JsonlTraceWriter::create(&path).unwrap();
+        ApproxLutBuilder::new(&g)
+            .distribution(d)
+            .bs_sa(st_params(2))
+            .observer(&trace)
+            .run()
+            .unwrap();
+        assert!(trace.lines() > 0);
+        trace.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = 0u64;
+        for line in text.lines() {
+            let rec: TraceRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.seq, lines);
+            lines += 1;
+        }
+        assert_eq!(lines, trace.lines());
+        // The stream starts and ends with the search lifecycle events.
+        let first: TraceRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert!(matches!(first.event, SearchEvent::SearchStarted { .. }));
+        let last: TraceRecord = serde_json::from_str(text.lines().last().unwrap()).unwrap();
+        assert!(matches!(last.event, SearchEvent::SearchFinished { .. }));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn noop_observer_is_disabled() {
+    assert!(!NoopObserver.enabled());
+    let rec = RecordingObserver::new();
+    assert!(Observer::enabled(&rec));
+}

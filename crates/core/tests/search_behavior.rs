@@ -1,5 +1,8 @@
 //! Behavioural tests of the search algorithms across module boundaries.
 
+// The free-function shims stay covered until they are removed.
+#![allow(deprecated)]
+
 use dalut_boolfn::builder::random_table;
 use dalut_boolfn::{InputDistribution, TruthTable};
 use dalut_core::{

@@ -1,0 +1,225 @@
+//! Lock-free per-thread counters for the `OptForPart` kernel family.
+//!
+//! Every kernel entry point ([`opt_for_part`](crate::opt_for_part()),
+//! [`opt_for_part_bto`](crate::opt_for_part_bto()) and, through its
+//! sub-calls, [`opt_for_part_nd`](crate::opt_for_part_nd())) bumps a set
+//! of thread-local relaxed atomics on each invocation: call count, random
+//! restarts executed, and alternating-minimisation iterations performed.
+//! The increments are a handful of `Relaxed` `fetch_add`s on memory owned
+//! by the calling thread — nanoseconds against kernel calls that take
+//! tens of microseconds — so the counters stay on even in uninstrumented
+//! builds.
+//!
+//! Two read paths serve two different consumers:
+//!
+//! * [`current()`] reads **only the calling thread's** cell. Search code
+//!   brackets a kernel call with two `current()` reads to attribute the
+//!   delta to that specific call; because the cell is thread-local, the
+//!   delta cannot be polluted by concurrent work on other threads (e.g.
+//!   parallel tests in one process).
+//! * [`global()`] sums every live thread cell plus the retired totals of
+//!   threads that have exited (each cell flushes itself into a static
+//!   accumulator on TLS drop). Metrics sinks use it for process-wide
+//!   absolute totals.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the kernel counters.
+///
+/// Obtained from [`current()`] or [`global()`]; two snapshots subtract
+/// with [`KernelStats::delta_since`] to attribute work to an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Kernel invocations (`opt_for_part` + `opt_for_part_bto`; the
+    /// non-disjoint variant counts through its disjoint sub-calls).
+    pub calls: u64,
+    /// Random restarts executed (the `Z` loop; BTO and ideal-row seeds
+    /// are not counted as restarts).
+    pub restarts: u64,
+    /// Alternating-minimisation iterations across all starts.
+    pub alternations: u64,
+}
+
+impl KernelStats {
+    /// Component-wise saturating difference `self - earlier`.
+    #[must_use]
+    pub fn delta_since(self, earlier: KernelStats) -> KernelStats {
+        KernelStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            alternations: self.alternations.saturating_sub(earlier.alternations),
+        }
+    }
+}
+
+/// One thread's counter cell. Only the owning thread writes; `global()`
+/// readers race benignly via `Relaxed` loads.
+#[derive(Debug, Default)]
+struct Cell {
+    calls: AtomicU64,
+    restarts: AtomicU64,
+    alternations: AtomicU64,
+}
+
+impl Cell {
+    fn load(&self) -> KernelStats {
+        KernelStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            alternations: self.alternations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Registry of live thread cells; pruned of dead entries on every
+/// registration and on `global()` reads. Worker threads are short-lived
+/// scoped threads, so the lock is only taken on thread birth/death and
+/// on snapshot reads — never on the kernel hot path.
+static REGISTRY: Mutex<Vec<Weak<Cell>>> = Mutex::new(Vec::new());
+
+/// Totals flushed from cells whose threads have exited.
+static RETIRED_CALLS: AtomicU64 = AtomicU64::new(0);
+static RETIRED_RESTARTS: AtomicU64 = AtomicU64::new(0);
+static RETIRED_ALTERNATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// TLS guard: registers the cell on first use, flushes it into the
+/// retired totals when the thread exits.
+struct Local {
+    cell: Arc<Cell>,
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        let s = self.cell.load();
+        RETIRED_CALLS.fetch_add(s.calls, Ordering::Relaxed);
+        RETIRED_RESTARTS.fetch_add(s.restarts, Ordering::Relaxed);
+        RETIRED_ALTERNATIONS.fetch_add(s.alternations, Ordering::Relaxed);
+        if let Ok(mut reg) = REGISTRY.lock() {
+            reg.retain(|w| {
+                w.upgrade()
+                    .is_some_and(|live| !Arc::ptr_eq(&live, &self.cell))
+            });
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_cell<R>(f: impl FnOnce(&Cell) -> R) -> R {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let local = slot.get_or_insert_with(|| {
+            let cell = Arc::new(Cell::default());
+            if let Ok(mut reg) = REGISTRY.lock() {
+                reg.retain(|w| w.strong_count() > 0);
+                reg.push(Arc::downgrade(&cell));
+            }
+            Local { cell }
+        });
+        f(&local.cell)
+    })
+}
+
+/// Records one kernel invocation on the calling thread's cell.
+pub(crate) fn record(restarts: u64, alternations: u64) {
+    with_cell(|cell| {
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.restarts.fetch_add(restarts, Ordering::Relaxed);
+        cell.alternations.fetch_add(alternations, Ordering::Relaxed);
+    });
+}
+
+/// Counters accumulated by the **calling thread** since it first touched
+/// the kernel. Bracket a kernel call with two reads and subtract to get
+/// exactly that call's work, immune to concurrent threads.
+#[must_use]
+pub fn current() -> KernelStats {
+    with_cell(Cell::load)
+}
+
+/// Process-wide totals: every live thread's cell plus the retired totals
+/// of threads that have exited.
+#[must_use]
+pub fn global() -> KernelStats {
+    let mut total = KernelStats {
+        calls: RETIRED_CALLS.load(Ordering::Relaxed),
+        restarts: RETIRED_RESTARTS.load(Ordering::Relaxed),
+        alternations: RETIRED_ALTERNATIONS.load(Ordering::Relaxed),
+    };
+    if let Ok(mut reg) = REGISTRY.lock() {
+        reg.retain(|w| w.strong_count() > 0);
+        for weak in reg.iter() {
+            if let Some(cell) = weak.upgrade() {
+                let s = cell.load();
+                total.calls += s.calls;
+                total.restarts += s.restarts;
+                total.alternations += s.alternations;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_advances_current_and_global() {
+        let before_cur = current();
+        let before_glob = global();
+        record(3, 17);
+        let d_cur = current().delta_since(before_cur);
+        assert_eq!(
+            d_cur,
+            KernelStats {
+                calls: 1,
+                restarts: 3,
+                alternations: 17
+            }
+        );
+        let d_glob = global().delta_since(before_glob);
+        // Other test threads may add on top, never subtract.
+        assert!(d_glob.calls >= 1 && d_glob.restarts >= 3 && d_glob.alternations >= 17);
+    }
+
+    #[test]
+    fn retired_threads_flush_into_global() {
+        let before = global();
+        std::thread::spawn(|| record(2, 5))
+            .join()
+            .expect("worker thread");
+        let delta = global().delta_since(before);
+        assert!(delta.calls >= 1 && delta.restarts >= 2 && delta.alternations >= 5);
+    }
+
+    #[test]
+    fn current_is_thread_isolated() {
+        let before = current();
+        std::thread::spawn(|| record(9, 9))
+            .join()
+            .expect("worker thread");
+        assert_eq!(current(), before);
+    }
+
+    #[test]
+    fn delta_since_saturates() {
+        let a = KernelStats {
+            calls: 1,
+            restarts: 1,
+            alternations: 1,
+        };
+        let b = KernelStats {
+            calls: 2,
+            restarts: 2,
+            alternations: 2,
+        };
+        assert_eq!(a.delta_since(b), KernelStats::default());
+    }
+}

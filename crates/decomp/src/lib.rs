@@ -47,12 +47,14 @@
 pub mod cost;
 pub mod error;
 pub mod exact;
+pub mod kernel_stats;
 pub mod opt_for_part;
 pub mod setting;
 
 pub use cost::{bit_costs, column_error, BitCosts, LsbFill};
 pub use error::DecompError;
 pub use exact::{brute_force_optimal, exact_decompose, is_decomposable};
+pub use kernel_stats::KernelStats;
 #[cfg(any(test, feature = "ref-kernel"))]
 pub use opt_for_part::reference::opt_for_part_ref;
 pub use opt_for_part::{opt_for_part, opt_for_part_bto, opt_for_part_nd, OptParams};

@@ -426,12 +426,15 @@ impl Scratch {
 
     /// Runs the alternating minimisation from the pattern currently in
     /// `self.seed` and folds the converged result into the running best.
-    fn consider(&mut self, chart: &Cost2d, max_iters: usize) {
+    /// Returns the number of alternation iterations performed.
+    fn consider(&mut self, chart: &Cost2d, max_iters: usize) -> u64 {
         self.pattern.copy_from_slice(&self.seed);
         chart.masked_from_pattern(&self.pattern, &mut self.masked);
         let mut err = chart.types_from_masked(&self.masked, &mut self.types);
         chart.init_acc(&self.types, &mut self.acc);
+        let mut iters = 0u64;
         for _ in 0..max_iters {
+            iters += 1;
             pack_pattern_from_acc(&self.acc, &mut self.next);
             chart.apply_flip_deltas(&self.pattern, &self.next, &mut self.masked);
             let err2 = chart.types_from_masked(&self.masked, &mut self.types_next);
@@ -448,6 +451,7 @@ impl Scratch {
             self.best_pattern.copy_from_slice(&self.pattern);
             self.best_types.copy_from_slice(&self.types);
         }
+        iters
     }
 }
 
@@ -491,19 +495,21 @@ pub fn opt_for_part(
     // Seed with the BTO optimum (guarantees normal-mode error <= BTO error)
     // and with distinct rows of the ideal-choice chart (guarantees exactly
     // decomposable charts are solved to zero error).
+    let mut alternations = 0u64;
     chart.bto_pattern_into(&mut scratch.seed);
-    scratch.consider(&chart, params.max_iters);
+    alternations += scratch.consider(&chart, params.max_iters);
     for seed in chart.ideal_row_seeds(params.restarts.max(8)) {
         scratch.seed.copy_from_slice(&seed);
-        scratch.consider(&chart, params.max_iters);
+        alternations += scratch.consider(&chart, params.max_iters);
     }
     for _ in 0..params.restarts {
         scratch.seed.fill(0);
         for c in 0..chart.cols {
             scratch.seed[c / WORD_BITS] |= u64::from(rng.random::<bool>()) << (c % WORD_BITS);
         }
-        scratch.consider(&chart, params.max_iters);
+        alternations += scratch.consider(&chart, params.max_iters);
     }
+    crate::kernel_stats::record(params.restarts as u64, alternations);
 
     debug_assert!(
         scratch.best_err.is_finite(),
@@ -547,6 +553,7 @@ pub fn opt_for_part_bto(
     let chart = Cost2d::new(costs, partition);
     let mut words = vec![0u64; chart.words];
     let err = chart.bto_pattern_into(&mut words);
+    crate::kernel_stats::record(0, 0);
     Ok((
         err,
         // Invariant, not fallible: the unpacked pattern has chart.cols bits

@@ -319,7 +319,7 @@ mod tests {
     use super::*;
     use dalut_boolfn::builder::random_table;
     use dalut_boolfn::{InputDistribution, TruthTable};
-    use dalut_core::{run_bs_sa, ArchPolicy, BsSaParams};
+    use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -327,7 +327,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_table(6, 3, &mut rng).unwrap();
         let d = InputDistribution::uniform(6).unwrap();
-        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), policy).unwrap();
+        let out = ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(policy)
+            .run()
+            .unwrap();
         (g, out.config)
     }
 

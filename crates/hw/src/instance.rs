@@ -194,7 +194,7 @@ mod tests {
     use dalut_boolfn::builder::random_table;
     use dalut_boolfn::InputDistribution;
     use dalut_core::ArchPolicy as Policy;
-    use dalut_core::{run_bs_sa, ArchPolicy, BsSaParams};
+    use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -202,7 +202,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_table(6, 3, &mut rng).unwrap();
         let d = InputDistribution::uniform(6).unwrap();
-        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), ArchPolicy::NormalOnly).unwrap();
+        let out = ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(ArchPolicy::NormalOnly)
+            .run()
+            .unwrap();
         (
             build_approx_lut(&out.config, ArchStyle::Dalta).unwrap(),
             out.config,
@@ -241,7 +246,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let g = random_table(6, 3, &mut rng).unwrap();
         let d = InputDistribution::uniform(6).unwrap();
-        let out = run_bs_sa(&g, &d, &BsSaParams::fast(), Policy::bto_normal_paper()).unwrap();
+        let out = ApproxLutBuilder::new(&g)
+            .distribution(d.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(Policy::bto_normal_paper())
+            .run()
+            .unwrap();
         let inst = build_approx_lut(&out.config, ArchStyle::BtoNormal).unwrap();
         let hard = inst.hardened();
         assert!(

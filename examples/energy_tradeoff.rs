@@ -17,7 +17,11 @@ fn main() {
     params.search.bound_size = 5;
     params.partition_limit = 20;
 
-    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+    let outcome = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
         .expect("search succeeds");
     let options = outcome.mode_options.expect("ND policy records options");
     let points = mode_sweep(&target, &dist, &options).expect("sweep succeeds");

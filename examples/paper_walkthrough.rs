@@ -11,10 +11,6 @@
 //! cargo run --release --example paper_walkthrough
 //! ```
 
-use dalut::decomp::{
-    bit_costs, exact_decompose, opt_for_part_bto, opt_for_part_nd, pattern_to_minterms, LsbFill,
-    OptParams,
-};
 use dalut::prelude::*;
 use rand::SeedableRng;
 
@@ -122,7 +118,7 @@ fn main() {
     let part = nd.partition();
     for x in 0..32u32 {
         let phi = bt[part.col_of(x) as usize];
-        let rx = dalut::decomp::reduce_index(x, nd.shared());
+        let rx = reduce_index(x, nd.shared());
         let expect = if (x >> nd.shared()) & 1 == 1 {
             nd.half1().pattern()[nd.half1().partition().col_of(rx) as usize]
         } else {

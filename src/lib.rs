@@ -20,7 +20,11 @@
 //! | [`benchfns`] | the paper's ten benchmark functions |
 //!
 //! The facade re-exports the high-level API so `use dalut::prelude::*`
-//! is enough for most applications.
+//! is enough for most applications. [`ApproxLutBuilder`]
+//! (`dalut_core::ApproxLutBuilder`) is the single entrypoint for running
+//! searches; attach an `Observer` (a `MetricsRecorder`, a
+//! `JsonlTraceWriter` or your own sink) to trace or meter a run without
+//! changing its results.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +40,17 @@
 //!     .policy(ArchPolicy::bto_normal_paper())
 //!     .run()
 //!     .unwrap();
+//!
+//! // Optional: re-run with metrics attached — same outcome, plus counters.
+//! let metrics = MetricsRecorder::new();
+//! let observed = ApproxLutBuilder::new(&target)
+//!     .bs_sa(BsSaParams::fast())
+//!     .policy(ArchPolicy::bto_normal_paper())
+//!     .observer(&metrics)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(observed.med, outcome.med);
+//! assert_eq!(metrics.snapshot().counters.budget_ticks, observed.iterations);
 //!
 //! // 3. Map it onto the reconfigurable hardware and measure it.
 //! let inst = build_approx_lut(&outcome.config, ArchStyle::BtoNormal).unwrap();
@@ -59,12 +74,18 @@ pub mod prelude {
     pub use dalut_benchfns::{Benchmark, Scale};
     pub use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable};
     pub use dalut_core::{
-        mode_sweep, run_bs_sa, run_dalta, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BitMode,
-        BsSaParams, CancelToken, DaltaParams, DalutError, RunBudget, SearchOutcome, SearchParams,
-        Termination,
+        mode_sweep, Algorithm, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BitMode, BsSaParams,
+        CancelToken, DaltaParams, DalutError, JsonlTraceWriter, MetricsRecorder, MetricsSnapshot,
+        MultiObserver, NoopObserver, Observer, RecordingObserver, RunBudget, SearchConfig,
+        SearchEvent, SearchOutcome, SearchParams, Termination, TraceRecord,
     };
+    // The deprecated free-function shims stay importable so existing
+    // callers keep compiling (with a deprecation warning at the use site).
+    #[allow(deprecated)]
+    pub use dalut_core::{run_bs_sa, run_dalta};
     pub use dalut_decomp::{
-        bit_costs, exact_decompose, opt_for_part, AnyDecomp, DisjointDecomp, LsbFill,
+        bit_costs, exact_decompose, opt_for_part, opt_for_part_bto, opt_for_part_nd,
+        pattern_to_minterms, reduce_index, AnyDecomp, DisjointDecomp, KernelStats, LsbFill,
         NonDisjointDecomp, OptParams, RowType,
     };
     pub use dalut_hw::{

@@ -84,10 +84,19 @@ fn dalta_and_bssa_agree_on_problem_dimensions() {
     let dist = InputDistribution::uniform(8).expect("valid width");
     let mut dp = DaltaParams::fast();
     dp.search.bound_size = 5;
-    let d = run_dalta(&target, &dist, &dp).expect("dalta runs");
+    let d = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .dalta(dp)
+        .run()
+        .expect("dalta runs");
     let mut bp = BsSaParams::fast();
     bp.search.bound_size = 5;
-    let b = run_bs_sa(&target, &dist, &bp, ArchPolicy::NormalOnly).expect("bs-sa runs");
+    let b = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(bp)
+        .policy(ArchPolicy::NormalOnly)
+        .run()
+        .expect("bs-sa runs");
     assert_eq!(d.config.inputs(), b.config.inputs());
     assert_eq!(d.config.outputs(), b.config.outputs());
     // Every bit of both configs uses the configured bound size.

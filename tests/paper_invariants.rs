@@ -71,7 +71,11 @@ fn more_gating_means_less_energy() {
     let (target, dist) = cos8();
     let mut params = BsSaParams::fast();
     params.search.bound_size = 5;
-    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+    let outcome = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
         .expect("search succeeds");
     let options = outcome.mode_options.expect("recorded");
     let points = mode_sweep(&target, &dist, &options).expect("sweep");
@@ -172,7 +176,11 @@ fn verilog_roundtrip_of_searched_architecture() {
     let (target, dist) = cos8();
     let mut params = BsSaParams::fast();
     params.search.bound_size = 5;
-    let outcome = run_bs_sa(&target, &dist, &params, ArchPolicy::bto_normal_nd_paper())
+    let outcome = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(params)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .run()
         .expect("search succeeds");
     let inst = build_approx_lut(&outcome.config, ArchStyle::BtoNormalNd).expect("maps");
 
@@ -218,7 +226,11 @@ fn search_meds_are_faithful_across_benchmarks() {
         let mut dp = DaltaParams::fast();
         dp.search.bound_size = 5;
         dp.search.seed = i as u64;
-        let out = run_dalta(&target, &dist, &dp).expect("runs");
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .dalta(dp)
+            .run()
+            .expect("runs");
         let direct = dalut::boolfn::metrics::med(&target, &out.config.to_truth_table(), &dist)
             .expect("same shape");
         assert!((out.med - direct).abs() < 1e-12, "{bench}");
