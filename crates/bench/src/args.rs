@@ -5,10 +5,14 @@
 //! observability surface (`--trace`, `--metrics`, `--progress`), run
 //! budgets (`--budget-secs`) and output redirection (`--out`), plus the
 //! hardware-mapping options `synth` needs (`--harden`, `--vcd`,
-//! `--arch`). Binaries ignore options that do not apply to them.
+//! `--arch`) and the crash-safety surface (`--checkpoint-dir`,
+//! `--resume`, `--max-retries`). Binaries ignore options that do not
+//! apply to them.
 
+use crate::supervisor::SweepSupervisor;
 use dalut_benchfns::Scale;
-use dalut_core::RunBudget;
+use dalut_core::checkpoint::CheckpointStore;
+use dalut_core::{CancelToken, RunBudget};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -46,6 +50,12 @@ pub struct HarnessArgs {
     pub vcd: Option<String>,
     /// `synth`: target architecture style name.
     pub arch: Option<String>,
+    /// Directory for sweep checkpoints (enables checkpointing).
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the newest checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
+    /// Retries per work-item strategy before degrading.
+    pub max_retries: u32,
 }
 
 impl Default for HarnessArgs {
@@ -66,13 +76,16 @@ impl Default for HarnessArgs {
             harden: false,
             vcd: None,
             arch: None,
+            checkpoint_dir: None,
+            resume: false,
+            max_retries: 2,
         }
     }
 }
 
 const USAGE: &str = "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] \
 [--only NAME] [--budget-secs S] [--out PATH] [--trace PATH] [--metrics] [--progress] \
-[--harden] [--vcd PATH] [--arch NAME]";
+[--harden] [--vcd PATH] [--arch NAME] [--checkpoint-dir DIR] [--resume] [--max-retries N]";
 
 impl HarnessArgs {
     /// Parses the shared flag set from an iterator of arguments.
@@ -110,6 +123,12 @@ impl HarnessArgs {
                 "--arch" => {
                     out.arch = Some(args.next().ok_or("--arch needs an architecture name")?)
                 }
+                "--checkpoint-dir" => {
+                    out.checkpoint_dir =
+                        Some(args.next().ok_or("--checkpoint-dir needs a directory")?)
+                }
+                "--resume" => out.resume = true,
+                "--max-retries" => out.max_retries = num(&mut args, "--max-retries")?,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -162,6 +181,32 @@ impl HarnessArgs {
         self.out
             .as_deref()
             .map_or_else(|| default.into(), Into::into)
+    }
+
+    /// Builds the sweep supervisor these arguments select: retry cap from
+    /// `--max-retries`, checkpointing into `--checkpoint-dir` (resuming
+    /// under `--resume`), cancellation shared with `token`.
+    ///
+    /// `sweep_fingerprint` must cover every argument that shapes results
+    /// (see [`SweepSupervisor::new`]); binaries pass a fingerprint of
+    /// scale/seed/runs/params.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the checkpoint directory cannot be
+    /// created.
+    pub fn supervisor(
+        &self,
+        sweep_fingerprint: u64,
+        token: &CancelToken,
+    ) -> std::io::Result<SweepSupervisor> {
+        let mut sup = SweepSupervisor::new(self.threads, self.seed, sweep_fingerprint)
+            .max_retries(self.max_retries)
+            .cancel_token(token);
+        if let Some(dir) = &self.checkpoint_dir {
+            sup = sup.checkpoints(CheckpointStore::open(dir)?, self.resume);
+        }
+        Ok(sup)
     }
 }
 
@@ -262,6 +307,20 @@ mod tests {
         assert!(a.harden);
         assert_eq!(a.vcd.as_deref(), Some("w.vcd"));
         assert_eq!(a.arch.as_deref(), Some("bto-normal"));
+    }
+
+    #[test]
+    fn crash_safety_flags_parse() {
+        let a = parse(&["--checkpoint-dir", "ckpt", "--resume", "--max-retries", "5"]).unwrap();
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(a.resume);
+        assert_eq!(a.max_retries, 5);
+        let b = parse(&[]).unwrap();
+        assert!(b.checkpoint_dir.is_none());
+        assert!(!b.resume);
+        assert_eq!(b.max_retries, 2);
+        assert!(parse(&["--checkpoint-dir"]).is_err());
+        assert!(parse(&["--max-retries", "x"]).is_err());
     }
 
     #[test]

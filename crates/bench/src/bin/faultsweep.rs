@@ -14,18 +14,29 @@
 //! JSON report, `--trace PATH` streams search and sweep-progress events,
 //! `--progress` narrates the sweep on stderr and `--budget-secs S`
 //! overrides the default 60 s per-search deadline.
+//!
+//! Each architecture's fault campaign is one supervised work item, and
+//! partial results stream through the supervisor's flush hook: an
+//! interrupted sweep (SIGINT/SIGTERM, or `--budget-secs` expiring)
+//! still leaves a valid `fault_sweep.json` marked `"partial": true`,
+//! and `--checkpoint-dir` + `--resume` picks up where it stopped.
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, round_in_w};
-use dalut_bench::{HarnessArgs, Observation, Table};
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{shutdown, HarnessArgs, Observation, Table};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{metrics, InputDistribution, TruthTable};
-use dalut_core::{ApproxLutBuilder, ArchPolicy, MetricsSnapshot, RunBudget, SearchEvent};
+use dalut_core::checkpoint::{fingerprint, WorkKey, WorkRecord};
+use dalut_core::{
+    ApproxLutBuilder, ArchPolicy, CancelToken, MetricsSnapshot, Observer, RunBudget, SearchEvent,
+    Termination,
+};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, fault_report, round_out_table, ArchInstance,
     ArchStyle, FaultModel, FaultReport,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -36,7 +47,7 @@ const TRIALS: usize = 16;
 /// Wall-clock budget for each configuration search.
 const SEARCH_DEADLINE: Duration = Duration::from_secs(60);
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ArchSweep {
     arch: String,
     stored_bits: usize,
@@ -50,6 +61,9 @@ struct Sweep {
     scale_bits: usize,
     seed: u64,
     trials: usize,
+    /// `true` while architectures are still outstanding (interrupted
+    /// sweep — resume with `--checkpoint-dir ... --resume`).
+    partial: bool,
     archs: Vec<ArchSweep>,
     #[serde(skip_serializing_if = "Option::is_none")]
     metrics: Option<MetricsSnapshot>,
@@ -67,9 +81,59 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
     target.outputs() - 1
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs one architecture's full fault campaign (SEU sweep + stuck-at +
+/// burst). Deterministic given (`base_seed`, `ai`), so a replayed item
+/// reproduces the interrupted run's numbers exactly.
+fn sweep_arch(
+    name: &str,
+    inst: &ArchInstance,
+    ai: usize,
+    base_seed: u64,
+    cancel: &CancelToken,
+    observer: &dyn Observer,
+) -> Result<ArchSweep, ItemError> {
+    let mut models: Vec<FaultModel> = PROBABILITIES
+        .iter()
+        .map(|&probability| FaultModel::Seu { probability })
+        .collect();
+    models.push(FaultModel::StuckAt {
+        probability: 1e-2,
+        value: false,
+    });
+    models.push(FaultModel::Burst {
+        probability: 1e-2,
+        length: 4,
+    });
+    let total = models.len();
+    let mut reports = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        if cancel.is_cancelled() {
+            return Err(ItemError::Cancelled);
+        }
+        let seed = base_seed
+            .wrapping_add(1000 * ai as u64)
+            .wrapping_add(mi as u64);
+        let rep = fault_report(inst, model, TRIALS, seed)
+            .map_err(|e| ItemError::Failed(e.to_string()))?;
+        reports.push(rep);
+        observer.on_event(&SearchEvent::FaultSweepProgress {
+            arch: name.to_string(),
+            completed: mi + 1,
+            total,
+        });
+    }
+    Ok(ArchSweep {
+        arch: name.to_string(),
+        stored_bits: inst.presets().len(),
+        reports,
+    })
+}
+
+fn run() -> Result<Termination, Box<dyn std::error::Error>> {
     let args = HarnessArgs::from_env();
     let obs = Observation::from_args(&args)?;
+    let token = CancelToken::new();
+    shutdown::install(&token);
     let scale_bits = args.scale_bits.min(8);
     let target = Benchmark::Cos.table(Scale::Reduced(scale_bits))?;
     let n = target.inputs();
@@ -77,10 +141,30 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let budget = match args.budget_secs {
         Some(_) => args.budget(),
         None => RunBudget::unlimited().with_deadline(SEARCH_DEADLINE),
-    };
+    }
+    .with_cancel(&token);
     eprintln!("faultsweep: {} at {n} bits", Benchmark::Cos.name());
+    let out_path = args.out_path(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fault_sweep.json"
+    ));
+    let write_sweep = |archs: Vec<ArchSweep>, partial: bool, metrics: Option<MetricsSnapshot>| {
+        let sweep = Sweep {
+            schema: "dalut-faultsweep/v3".to_string(),
+            benchmark: Benchmark::Cos.name().to_string(),
+            scale_bits,
+            seed: args.seed,
+            trials: TRIALS,
+            partial,
+            archs,
+            metrics,
+        };
+        write_json(&out_path, &sweep)
+    };
 
-    // --- Configure the three decomposition architectures (budgeted). ---
+    // --- Configure the three decomposition architectures (budgeted).
+    // These search runs are deterministic for a fixed seed, so a resumed
+    // sweep re-derives the same instances rather than checkpointing them.
     let mut dp = dalta_params(&args, n);
     dp.search.seed = args.seed;
     let dalta = ApproxLutBuilder::new(&target)
@@ -102,7 +186,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .distribution(dist.clone())
         .bs_sa(bp)
         .policy(ArchPolicy::bto_normal_nd_paper())
-        .budget(budget)
+        .budget(budget.clone())
         .observer(obs.observer())
         .run()?;
     for (name, out) in [
@@ -116,6 +200,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 out.termination
             );
         }
+    }
+    if token.is_cancelled() {
+        // Interrupted before any campaign: still leave a parseable,
+        // partial-marked report.
+        if let Some(signal) = shutdown::take_requested_signal() {
+            obs.emit(&SearchEvent::ShutdownRequested {
+                signal: signal.to_string(),
+            });
+        }
+        obs.finish()?;
+        write_sweep(Vec::new(), true, obs.metrics_snapshot())?;
+        eprintln!("wrote {} (partial)", out_path.display());
+        return Ok(Termination::Cancelled);
     }
 
     // --- Build the five instances. ---
@@ -135,76 +232,92 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    // --- Fault campaigns: SEU sweep + one stuck-at + one burst. ---
+    // --- Fault campaigns: one supervised item per architecture, partial
+    // results streamed to disk after every item. ---
+    let scale_label = format!("reduced-{scale_bits}");
+    let items: Vec<WorkItem<'_, ArchSweep>> = instances
+        .iter()
+        .enumerate()
+        .map(|(ai, (name, inst))| {
+            let token = &token;
+            WorkItem::new(
+                WorkKey::new(
+                    Benchmark::Cos.name(),
+                    *name,
+                    args.seed,
+                    &scale_label,
+                    &(TRIALS, &PROBABILITIES),
+                ),
+                vec![Strategy::new(*name, move |o: &dyn Observer| {
+                    sweep_arch(name, inst, ai, args.seed, token, o)
+                })],
+            )
+        })
+        .collect();
+    let total = items.len();
+    let sweep_fp = fingerprint(&format!(
+        "faultsweep/{scale_label}/seed{}/trials{TRIALS}",
+        args.seed
+    ));
+    let supervisor = args.supervisor(sweep_fp, &token)?;
+    let to_archs = |records: &[WorkRecord<ArchSweep>]| -> Vec<ArchSweep> {
+        records.iter().filter_map(|r| r.result.clone()).collect()
+    };
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        if let Err(e) = write_sweep(
+            to_archs(&snapshot.completed),
+            snapshot.completed.len() < total,
+            None,
+        ) {
+            eprintln!("warning: partial results write failed: {e}");
+        }
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "faultsweep: resumed {} of {total} architectures from checkpoint",
+            outcome.resumed
+        );
+    }
+
     let mut table = Table::new(&["architecture", "model", "p", "MED", "error-rate", "max-ED"]);
-    let mut archs = Vec::new();
-    for (ai, (name, inst)) in instances.iter().enumerate() {
-        let mut models: Vec<FaultModel> = PROBABILITIES
-            .iter()
-            .map(|&probability| FaultModel::Seu { probability })
-            .collect();
-        models.push(FaultModel::StuckAt {
-            probability: 1e-2,
-            value: false,
-        });
-        models.push(FaultModel::Burst {
-            probability: 1e-2,
-            length: 4,
-        });
-        let mut reports = Vec::new();
-        let total = models.len();
-        for (mi, model) in models.iter().enumerate() {
-            let seed = args
-                .seed
-                .wrapping_add(1000 * ai as u64)
-                .wrapping_add(mi as u64);
-            let rep = fault_report(inst, model, TRIALS, seed)?;
+    let archs = to_archs(&outcome.records);
+    for sweep in &archs {
+        for rep in &sweep.reports {
             table.row(vec![
-                name.to_string(),
+                sweep.arch.clone(),
                 rep.model.clone(),
                 format!("{:.0e}", rep.probability),
                 f3(rep.med),
                 f3(rep.error_rate),
                 rep.max_ed.to_string(),
             ]);
-            reports.push(rep);
-            obs.emit(&SearchEvent::FaultSweepProgress {
-                arch: name.to_string(),
-                completed: mi + 1,
-                total,
-            });
         }
-        archs.push(ArchSweep {
-            arch: name.to_string(),
-            stored_bits: inst.presets().len(),
-            reports,
-        });
     }
-
     println!("\nFault-injection degradation (vs each fault-free instance).\n");
     println!("{}", table.render());
-    let sweep = Sweep {
-        schema: "dalut-faultsweep/v2".to_string(),
-        benchmark: Benchmark::Cos.name().to_string(),
-        scale_bits,
-        seed: args.seed,
-        trials: TRIALS,
-        archs,
-        metrics: obs.metrics_snapshot(),
-    };
-    let path = args.out_path(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../results/fault_sweep.json"
-    ));
     obs.finish()?;
-    write_json(&path, &sweep)?;
-    eprintln!("wrote {}", path.display());
-    Ok(())
+    let partial = !outcome.is_complete();
+    write_sweep(archs, partial, obs.metrics_snapshot())?;
+    eprintln!(
+        "wrote {}{}",
+        out_path.display(),
+        if partial { " (partial)" } else { "" }
+    );
+    Ok(outcome.termination)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Termination::Completed) => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("faultsweep: interrupted — resume with --checkpoint-dir ... --resume");
+            ExitCode::from(130)
+        }
         Err(e) => {
             eprintln!("faultsweep: {e}");
             ExitCode::FAILURE

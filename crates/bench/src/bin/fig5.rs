@@ -5,13 +5,22 @@
 //! The paper's headline: BTO-Normal has 10.4 % less error and 19.2 % less
 //! energy than DALTA; BTO-Normal-ND has 23.0 % less error at roughly the
 //! same energy (with 29 % more area).
+//!
+//! Each benchmark is one supervised work item (search → build → sign-off
+//! → characterise): `--checkpoint-dir`/`--resume` make the figure sweep
+//! crash-safe, and SIGINT/SIGTERM leave a partial-marked
+//! `fig5_results.json` with the benchmarks finished so far.
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, round_in_w, ENERGY_READS};
-use dalut_bench::{geomean, HarnessArgs, Observation, Table};
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{geomean, shutdown, HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::{metrics, InputDistribution, TruthTable};
-use dalut_core::{ApproxLutBuilder, ArchPolicy};
+use dalut_core::checkpoint::{fingerprint, WorkKey};
+use dalut_core::{
+    ApproxLutBuilder, ArchPolicy, CancelToken, Observer, RunBudget, SearchEvent, Termination,
+};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, characterize, round_in_table,
     round_out_table, ArchInstance, ArchStyle,
@@ -19,7 +28,8 @@ use dalut_hw::{
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
 
 const ARCH_NAMES: [&str; 5] = [
     "RoundOut",
@@ -29,7 +39,7 @@ const ARCH_NAMES: [&str; 5] = [
     "BTO-Normal-ND",
 ];
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ArchMetrics {
     arch: String,
     med: f64,
@@ -38,12 +48,20 @@ struct ArchMetrics {
     energy_per_read_fj: f64,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchRow {
     benchmark: String,
     round_out_q: usize,
     round_in_w: usize,
     metrics: Vec<ArchMetrics>,
+}
+
+#[derive(Debug, Serialize)]
+struct Fig5Report {
+    schema: String,
+    /// `true` while benchmarks are still outstanding (interrupted run).
+    partial: bool,
+    rows: Vec<BenchRow>,
 }
 
 /// Chooses RoundOut's `q` per benchmark: the smallest `q` whose MED
@@ -59,172 +77,278 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
     target.outputs() - 1
 }
 
-fn main() {
+/// The full per-benchmark pipeline: searches, rounding baselines,
+/// hardware builds, the common-clock characterisation and sign-off.
+/// Deterministic for a fixed seed, so a replayed item reproduces the
+/// interrupted run's row exactly.
+#[allow(clippy::too_many_lines)]
+fn bench_row(
+    bench: Benchmark,
+    args: &HarnessArgs,
+    lib: &CellLibrary,
+    budget: &RunBudget,
+    token: &CancelToken,
+    observer: &dyn Observer,
+) -> Result<BenchRow, ItemError> {
+    let fail = |e: &dyn std::fmt::Display| ItemError::Failed(e.to_string());
+    let scale = args.scale();
+    let target = bench.table(scale).map_err(|e| fail(&e))?;
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n).map_err(|e| fail(&e))?;
+
+    // --- Configure the three decomposition architectures. ---
+    // DALTA is configured with the best of the repeat runs (paper:
+    // best of 10); BS-SA runs once "thanks to its high stability".
+    let mut best_dalta = None;
+    for run in 0..args.effective_runs() {
+        let mut dp = dalta_params(args, n);
+        dp.search.seed = args.seed + 1000 * run as u64;
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .dalta(dp)
+            .budget(budget.clone())
+            .observer(observer)
+            .run()
+            .map_err(|e| fail(&e))?;
+        if out.termination == Termination::Cancelled {
+            return Err(ItemError::Cancelled);
+        }
+        if best_dalta
+            .as_ref()
+            .is_none_or(|b: &dalut_core::SearchOutcome| out.med < b.med)
+        {
+            best_dalta = Some(out);
+        }
+    }
+    let dalta = best_dalta.ok_or_else(|| ItemError::Failed("no dalta run".into()))?;
+    let mut bp = bssa_params(args, n);
+    bp.search.seed = args.seed;
+    let search = |policy: ArchPolicy| -> Result<dalut_core::SearchOutcome, ItemError> {
+        let out = ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bp)
+            .policy(policy)
+            .budget(budget.clone())
+            .observer(observer)
+            .run()
+            .map_err(|e| fail(&e))?;
+        if out.termination == Termination::Cancelled {
+            return Err(ItemError::Cancelled);
+        }
+        Ok(out)
+    };
+    let bn = search(ArchPolicy::bto_normal_paper())?;
+    let bnnd = search(ArchPolicy::bto_normal_nd_paper())?;
+    if token.is_cancelled() {
+        return Err(ItemError::Cancelled);
+    }
+
+    // --- Rounding baselines. ---
+    let q = choose_q(&target, &dist, dalta.med);
+    let w = round_in_w(n);
+    let ro_model = round_out_table(&target, q).map_err(|e| fail(&e))?;
+    let ri_model = round_in_table(&target, w).map_err(|e| fail(&e))?;
+
+    // --- Build hardware. ---
+    let instances: Vec<(ArchInstance, f64)> = vec![
+        (
+            build_round_out(&target, q),
+            metrics::med(&target, &ro_model, &dist).map_err(|e| fail(&e))?,
+        ),
+        (
+            build_round_in(&target, w),
+            metrics::med(&target, &ri_model, &dist).map_err(|e| fail(&e))?,
+        ),
+        (
+            build_approx_lut(&dalta.config, ArchStyle::Dalta).map_err(|e| fail(&e))?,
+            dalta.med,
+        ),
+        (
+            build_approx_lut(&bn.config, ArchStyle::BtoNormal).map_err(|e| fail(&e))?,
+            bn.med,
+        ),
+        (
+            build_approx_lut(&bnnd.config, ArchStyle::BtoNormalNd).map_err(|e| fail(&e))?,
+            bnnd.med,
+        ),
+    ];
+
+    // Same delay constraint for every architecture: clock them all at
+    // the slowest critical path (paper §V-B).
+    let clock = instances
+        .iter()
+        .map(|(inst, _)| critical_path_ns(inst.netlist(), lib).expect("acyclic"))
+        .fold(0.0f64, f64::max)
+        * 1.05;
+
+    // 1024 random reads, identical trace for every architecture.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF165);
+    let reads: Vec<u32> = (0..ENERGY_READS)
+        .map(|_| rng.random_range(0..(1u32 << n)))
+        .collect();
+
+    // Functional sign-off (the paper's VCS step): every architecture
+    // must match its software model on a sample before being measured.
+    let models: [&dyn Fn(u32) -> u32; 5] = [
+        &|x| ro_model.eval(x),
+        &|x| ri_model.eval(x),
+        &|x| dalta.config.eval(x),
+        &|x| bn.config.eval(x),
+        &|x| bnnd.config.eval(x),
+    ];
+    for ((inst, _), model) in instances.iter().zip(models) {
+        let mut sim = inst.simulator().expect("acyclic");
+        for &x in reads.iter().take(64) {
+            assert_eq!(inst.read(&mut sim, x), model(x), "hardware sign-off failed");
+        }
+    }
+
+    let mut metrics_out = Vec::new();
+    for ((inst, med), name) in instances.iter().zip(ARCH_NAMES) {
+        let rep = characterize(inst, &reads, lib, clock).map_err(|e| fail(&e))?;
+        metrics_out.push(ArchMetrics {
+            arch: name.to_string(),
+            med: *med,
+            area_um2: rep.area_um2,
+            delay_ns: rep.critical_path_ns,
+            energy_per_read_fj: rep.energy_per_read_fj,
+        });
+    }
+    eprintln!(
+        "  {}: q={q} w={w} | MEDs: {}",
+        bench.name(),
+        metrics_out
+            .iter()
+            .map(|m| format!("{}={:.3}", m.arch, m.med))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    Ok(BenchRow {
+        benchmark: bench.name().to_string(),
+        round_out_q: q,
+        round_in_w: w,
+        metrics: metrics_out,
+    })
+}
+
+fn main() -> ExitCode {
     let args = HarnessArgs::from_env();
     let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let lib = CellLibrary::nangate45();
+    let token = CancelToken::new();
+    shutdown::install(&token);
     eprintln!("fig5: scale {scale:?}");
 
-    let mut rows: Vec<BenchRow> = Vec::new();
-    for bench in Benchmark::all() {
-        if let Some(only) = &args.only {
-            if !bench.name().eq_ignore_ascii_case(only) {
-                continue;
-            }
-        }
-        let target = bench.table(scale).expect("benchmark builds");
-        let n = target.inputs();
-        let dist = InputDistribution::uniform(n).expect("valid width");
-
-        // --- Configure the three decomposition architectures. ---
-        // DALTA is configured with the best of the repeat runs (paper:
-        // best of 10); BS-SA runs once "thanks to its high stability".
-        let mut best_dalta = None;
-        for run in 0..args.effective_runs() {
-            let mut dp = dalta_params(&args, n);
-            dp.search.seed = args.seed + 1000 * run as u64;
-            let out = ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .dalta(dp)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("dalta runs");
-            if best_dalta
+    let benches: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|bench| {
+            args.only
                 .as_ref()
-                .is_none_or(|b: &dalut_core::SearchOutcome| out.med < b.med)
-            {
-                best_dalta = Some(out);
-            }
-        }
-        let dalta = best_dalta.expect("at least one run");
-        let mut bp = bssa_params(&args, n);
-        bp.search.seed = args.seed;
-        let search = |policy: ArchPolicy| {
-            ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .bs_sa(bp)
-                .policy(policy)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("bs-sa runs")
-        };
-        let bn = search(ArchPolicy::bto_normal_paper());
-        let bnnd = search(ArchPolicy::bto_normal_nd_paper());
+                .is_none_or(|only| bench.name().eq_ignore_ascii_case(only))
+        })
+        .collect();
+    let scale_label = format!("{scale:?}");
+    let budget = args.budget().with_cancel(&token);
+    let items: Vec<WorkItem<'_, BenchRow>> = benches
+        .iter()
+        .map(|&bench| {
+            let (args, lib, budget, token) = (&args, &lib, &budget, &token);
+            WorkItem::new(
+                WorkKey::new(
+                    bench.name(),
+                    "fig5",
+                    args.seed,
+                    &scale_label,
+                    &(args.effective_runs(), args.budget_secs),
+                ),
+                vec![Strategy::new("fig5", move |o: &dyn Observer| {
+                    bench_row(bench, args, lib, budget, token, o)
+                })],
+            )
+        })
+        .collect();
+    let total = items.len();
+    let sweep_fp = fingerprint(&format!(
+        "fig5/{scale_label}/seed{}/runs{}/only{:?}/budget{:?}",
+        args.seed,
+        args.effective_runs(),
+        args.only,
+        args.budget_secs
+    ));
+    let supervisor = args
+        .supervisor(sweep_fp, &token)
+        .expect("checkpoint dir usable");
+    let out_path = args.out_path("fig5_results.json");
+    let to_report = |rows: Vec<BenchRow>, partial: bool| Fig5Report {
+        schema: "dalut-fig5/v2".to_string(),
+        partial,
+        rows,
+    };
 
-        // --- Rounding baselines. ---
-        let q = choose_q(&target, &dist, dalta.med);
-        let w = round_in_w(n);
-        let ro_model = round_out_table(&target, q).expect("same dims");
-        let ri_model = round_in_table(&target, w).expect("same dims");
-
-        // --- Build hardware. ---
-        let instances: Vec<(ArchInstance, f64)> = vec![
-            (
-                build_round_out(&target, q),
-                metrics::med(&target, &ro_model, &dist).expect("same dims"),
-            ),
-            (
-                build_round_in(&target, w),
-                metrics::med(&target, &ri_model, &dist).expect("same dims"),
-            ),
-            (
-                build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("normal-only config"),
-                dalta.med,
-            ),
-            (
-                build_approx_lut(&bn.config, ArchStyle::BtoNormal).expect("bto/normal config"),
-                bn.med,
-            ),
-            (
-                build_approx_lut(&bnnd.config, ArchStyle::BtoNormalNd).expect("any config"),
-                bnnd.med,
-            ),
-        ];
-
-        // Same delay constraint for every architecture: clock them all at
-        // the slowest critical path (paper §V-B).
-        let clock = instances
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        let rows: Vec<BenchRow> = snapshot
+            .completed
             .iter()
-            .map(|(inst, _)| critical_path_ns(inst.netlist(), &lib).expect("acyclic"))
-            .fold(0.0f64, f64::max)
-            * 1.05;
-
-        // 1024 random reads, identical trace for every architecture.
-        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF165);
-        let reads: Vec<u32> = (0..ENERGY_READS)
-            .map(|_| rng.random_range(0..(1u32 << n)))
+            .filter_map(|r| r.result.clone())
             .collect();
-
-        // Functional sign-off (the paper's VCS step): every architecture
-        // must match its software model on a sample before being measured.
-        let models: [&dyn Fn(u32) -> u32; 5] = [
-            &|x| ro_model.eval(x),
-            &|x| ri_model.eval(x),
-            &|x| dalta.config.eval(x),
-            &|x| bn.config.eval(x),
-            &|x| bnnd.config.eval(x),
-        ];
-        for ((inst, _), model) in instances.iter().zip(models) {
-            let mut sim = inst.simulator().expect("acyclic");
-            for &x in reads.iter().take(64) {
-                assert_eq!(inst.read(&mut sim, x), model(x), "hardware sign-off failed");
-            }
+        let partial = snapshot.completed.len() < total;
+        if let Err(e) = write_json(&out_path, &to_report(rows, partial)) {
+            eprintln!("warning: partial results write failed: {e}");
         }
-
-        let mut metrics_out = Vec::new();
-        for ((inst, med), name) in instances.iter().zip(ARCH_NAMES) {
-            let rep = characterize(inst, &reads, &lib, clock).expect("characterise");
-            metrics_out.push(ArchMetrics {
-                arch: name.to_string(),
-                med: *med,
-                area_um2: rep.area_um2,
-                delay_ns: rep.critical_path_ns,
-                energy_per_read_fj: rep.energy_per_read_fj,
-            });
-        }
-        eprintln!(
-            "  {}: q={q} w={w} | MEDs: {}",
-            bench.name(),
-            metrics_out
-                .iter()
-                .map(|m| format!("{}={:.3}", m.arch, m.med))
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-        rows.push(BenchRow {
-            benchmark: bench.name().to_string(),
-            round_out_q: q,
-            round_in_w: w,
-            metrics: metrics_out,
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
         });
     }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "fig5: resumed {} of {total} benchmarks from checkpoint",
+            outcome.resumed
+        );
+    }
+    let rows: Vec<BenchRow> = outcome
+        .records
+        .iter()
+        .filter_map(|r| r.result.clone())
+        .collect();
 
     // --- Normalised geometric means (Fig. 5). ---
-    let mut table = Table::new(&["architecture", "MED", "Area", "Latency", "Energy"]);
-    let dalta_idx = 2;
-    for (ai, name) in ARCH_NAMES.iter().enumerate() {
-        let norm = |f: &dyn Fn(&ArchMetrics) -> f64| {
-            let vals: Vec<f64> = rows
-                .iter()
-                .map(|r| f(&r.metrics[ai]) / f(&r.metrics[dalta_idx]))
-                .collect();
-            geomean(&vals)
-        };
-        table.row(vec![
-            name.to_string(),
-            f3(norm(&|m| m.med)),
-            f3(norm(&|m| m.area_um2)),
-            f3(norm(&|m| m.delay_ns)),
-            f3(norm(&|m| m.energy_per_read_fj)),
-        ]);
+    if !rows.is_empty() {
+        let mut table = Table::new(&["architecture", "MED", "Area", "Latency", "Energy"]);
+        let dalta_idx = 2;
+        for (ai, name) in ARCH_NAMES.iter().enumerate() {
+            let norm = |f: &dyn Fn(&ArchMetrics) -> f64| {
+                let vals: Vec<f64> = rows
+                    .iter()
+                    .map(|r| f(&r.metrics[ai]) / f(&r.metrics[dalta_idx]))
+                    .collect();
+                geomean(&vals)
+            };
+            table.row(vec![
+                name.to_string(),
+                f3(norm(&|m| m.med)),
+                f3(norm(&|m| m.area_um2)),
+                f3(norm(&|m| m.delay_ns)),
+                f3(norm(&|m| m.energy_per_read_fj)),
+            ]);
+        }
+        println!("\nFig. 5. Geomean metrics normalised to DALTA.\n");
+        println!("{}", table.render());
     }
-    println!("\nFig. 5. Geomean metrics normalised to DALTA.\n");
-    println!("{}", table.render());
     obs.finish().expect("flush trace");
-    let path = args.out_path("fig5_results.json");
-    write_json(&path, &rows).expect("write results");
-    eprintln!("wrote {}", path.display());
+    let partial = !outcome.is_complete();
+    write_json(&out_path, &to_report(rows, partial)).expect("write results");
+    eprintln!(
+        "wrote {}{}",
+        out_path.display(),
+        if partial { " (partial)" } else { "" }
+    );
+    if outcome.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fig5: interrupted — resume with --checkpoint-dir ... --resume");
+        ExitCode::from(130)
+    }
 }

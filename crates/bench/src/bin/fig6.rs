@@ -5,18 +5,29 @@
 //!
 //! The paper's headline: at least six consecutive configurations
 //! dominate DALTA in both error and energy.
+//!
+//! Each configuration search run (DALTA and BS-SA repeats) is one
+//! supervised work item whose `SearchOutcome` is checkpointed, so
+//! `--checkpoint-dir`/`--resume` skip finished searches; SIGINT/SIGTERM
+//! leave a partial-marked `fig6_results.json`.
 
 use dalut_bench::report::{f3, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params, ENERGY_READS};
-use dalut_bench::{HarnessArgs, Observation, Table};
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{shutdown, HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
-use dalut_core::{mode_sweep, ApproxLutBuilder, ArchPolicy};
+use dalut_core::checkpoint::{fingerprint, WorkKey};
+use dalut_core::{
+    mode_sweep, ApproxLutBuilder, ArchPolicy, CancelToken, Observer, SearchEvent, SearchOutcome,
+    Termination,
+};
 use dalut_hw::{build_approx_lut, characterize, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::process::ExitCode;
 
 #[derive(Debug, Serialize)]
 struct SweepPoint {
@@ -30,63 +41,136 @@ struct SweepPoint {
 
 #[derive(Debug, Serialize)]
 struct Fig6Results {
+    schema: String,
+    /// `true` when the run was interrupted before the sweep finished.
+    partial: bool,
     dalta_med: f64,
     dalta_energy_fj: f64,
     points: Vec<SweepPoint>,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::from_env();
     let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let lib = CellLibrary::nangate45();
     let bench = Benchmark::Cos;
+    let token = CancelToken::new();
+    shutdown::install(&token);
     eprintln!("fig6: {} at scale {scale:?}", bench.name());
 
     let target = bench.table(scale).expect("benchmark builds");
     let n = target.inputs();
     let dist = InputDistribution::uniform(n).expect("valid width");
+    let out_path = args.out_path("fig6_results.json");
+    let runs = args.effective_runs();
+    let scale_label = format!("{scale:?}");
+    let budget = args.budget().with_cancel(&token);
 
-    // DALTA reference point: best of the repeat runs, as the paper
-    // configures DALTA from its best Table-II result (§V-B).
-    let mut dalta: Option<dalut_core::SearchOutcome> = None;
-    for run in 0..args.effective_runs() {
+    // One supervised item per search run: the paper configures DALTA
+    // from its best repeat and (at reduced scale) BS-SA likewise, so the
+    // expensive part of Fig. 6 is `2 × runs` independent searches whose
+    // outcomes checkpoint cleanly.
+    let mut items: Vec<WorkItem<'_, SearchOutcome>> = Vec::new();
+    for run in 0..runs {
+        let seed = args.seed + 1000 * run as u64;
         let mut dp = dalta_params(&args, n);
-        dp.search.seed = args.seed + 1000 * run as u64;
-        let out = ApproxLutBuilder::new(&target)
-            .distribution(dist.clone())
-            .dalta(dp)
-            .budget(args.budget())
-            .observer(obs.observer())
-            .run()
-            .expect("dalta runs");
-        if dalta.as_ref().is_none_or(|b| out.med < b.med) {
-            dalta = Some(out);
-        }
-    }
-    let dalta = dalta.expect("at least one run");
-    // BS-SA with all three modes available, recording per-bit options.
-    // The paper runs BS-SA once thanks to its stability at P = 500; the
-    // reduced-scale default compensates for its noisier small-budget
-    // behaviour with the same best-of-runs treatment.
-    let mut outcome: Option<dalut_core::SearchOutcome> = None;
-    for run in 0..args.effective_runs() {
+        dp.search.seed = seed;
         let mut bp = bssa_params(&args, n);
-        bp.search.seed = args.seed + 1000 * run as u64;
-        let out = ApproxLutBuilder::new(&target)
-            .distribution(dist.clone())
-            .bs_sa(bp)
-            .policy(ArchPolicy::bto_normal_nd_paper())
-            .budget(args.budget())
-            .observer(obs.observer())
-            .run()
-            .expect("bs-sa runs");
-        if outcome.as_ref().is_none_or(|b| out.med < b.med) {
-            outcome = Some(out);
-        }
+        bp.search.seed = seed;
+        let (target, dist, budget) = (&target, &dist, &budget);
+        let search_once = move |o: &dyn Observer,
+                                build: &dyn Fn(ApproxLutBuilder<'_>) -> ApproxLutBuilder<'_>|
+              -> Result<SearchOutcome, ItemError> {
+            let out = build(ApproxLutBuilder::new(target).distribution(dist.clone()))
+                .budget(budget.clone())
+                .observer(o)
+                .run()
+                .map_err(|e| ItemError::Failed(e.to_string()))?;
+            if out.termination == Termination::Cancelled {
+                return Err(ItemError::Cancelled);
+            }
+            Ok(out)
+        };
+        items.push(WorkItem::new(
+            WorkKey::new(bench.name(), "dalta", seed, &scale_label, &dp),
+            vec![Strategy::new("dalta", move |o: &dyn Observer| {
+                search_once(o, &|bld| bld.dalta(dp))
+            })],
+        ));
+        items.push(WorkItem::new(
+            WorkKey::new(bench.name(), "bs-sa-nd", seed, &scale_label, &bp),
+            vec![Strategy::new("bs-sa-nd", move |o: &dyn Observer| {
+                search_once(o, &|bld| {
+                    bld.bs_sa(bp).policy(ArchPolicy::bto_normal_nd_paper())
+                })
+            })],
+        ));
     }
-    let outcome = outcome.expect("at least one run");
-    let options = outcome.mode_options.expect("policy records options");
+    let total = items.len();
+    let sweep_fp = fingerprint(&format!(
+        "fig6/{scale_label}/seed{}/runs{runs}/budget{:?}",
+        args.seed, args.budget_secs
+    ));
+    let supervisor = args
+        .supervisor(sweep_fp, &token)
+        .expect("checkpoint dir usable");
+
+    let write_partial = |dalta_med: f64| {
+        let results = Fig6Results {
+            schema: "dalut-fig6/v2".to_string(),
+            partial: true,
+            dalta_med,
+            dalta_energy_fj: f64::NAN,
+            points: Vec::new(),
+        };
+        if let Err(e) = write_json(&out_path, &results) {
+            eprintln!("warning: partial results write failed: {e}");
+        }
+    };
+    // The search phase checkpoints per item; the (cheap) hardware phase
+    // below reruns on resume. Partial flushes keep the results file
+    // parseable from the first flush onwards.
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        let best_dalta = snapshot
+            .completed
+            .iter()
+            .filter(|r| r.key.arch == "dalta")
+            .filter_map(|r| r.result.as_ref())
+            .map(|o| o.med)
+            .fold(f64::NAN, f64::min);
+        write_partial(best_dalta);
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "fig6: resumed {} of {total} searches from checkpoint",
+            outcome.resumed
+        );
+    }
+    let best = |arch: &str| -> Option<SearchOutcome> {
+        outcome
+            .records
+            .iter()
+            .filter(|r| r.key.arch == arch)
+            .filter_map(|r| r.result.clone())
+            .min_by(|a, b| a.med.total_cmp(&b.med))
+    };
+    if !outcome.is_complete() {
+        let dalta_med = best("dalta").map_or(f64::NAN, |o| o.med);
+        obs.finish().expect("flush trace");
+        write_partial(dalta_med);
+        eprintln!("wrote {} (partial)", out_path.display());
+        eprintln!("fig6: interrupted — resume with --checkpoint-dir ... --resume");
+        return ExitCode::from(130);
+    }
+    let dalta = best("dalta").expect("at least one dalta run");
+    let outcome_bssa = best("bs-sa-nd").expect("at least one bs-sa run");
+    let options = outcome_bssa.mode_options.expect("policy records options");
     let points = mode_sweep(&target, &dist, &options).expect("sweep");
 
     // Common clock: slowest of all builds.
@@ -121,6 +205,8 @@ fn main() {
 
     let mut table = Table::new(&["(#BTO,#Normal,#ND)", "MED", "Energy fJ/read", "<= DALTA?"]);
     let mut results = Fig6Results {
+        schema: "dalut-fig6/v2".to_string(),
+        partial: false,
         dalta_med: dalta.med,
         dalta_energy_fj: dalta_energy,
         points: Vec::new(),
@@ -155,7 +241,7 @@ fn main() {
     println!("{}", table.render());
     println!("{dominating} configurations dominate DALTA in both error and energy.");
     obs.finish().expect("flush trace");
-    let path = args.out_path("fig6_results.json");
-    write_json(&path, &results).expect("write results");
-    eprintln!("wrote {}", path.display());
+    write_json(&out_path, &results).expect("write results");
+    eprintln!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
 }

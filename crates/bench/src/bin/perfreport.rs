@@ -8,17 +8,26 @@
 //! the search section's function width). With `--metrics` the report
 //! embeds a full metrics snapshot (per-phase iteration / kernel-call /
 //! time breakdowns); `--trace PATH` streams every search event as JSONL.
+//!
+//! The four search rows are supervised work items: `--checkpoint-dir`
+//! plus `--resume` skip searches that already finished, and
+//! SIGINT/SIGTERM leaves a partial-marked report (exit nonzero).
 
 use dalut_bench::report::write_json;
 use dalut_bench::setup::{bssa_params, dalta_params};
-use dalut_bench::{HarnessArgs, Observation};
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
-use dalut_boolfn::{InputDistribution, Partition};
-use dalut_core::{ApproxLutBuilder, ArchPolicy, MetricsSnapshot, SearchOutcome};
+use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+use dalut_core::checkpoint::{fingerprint, WorkKey};
+use dalut_core::{
+    ApproxLutBuilder, ArchPolicy, CancelToken, MetricsSnapshot, Observer, RunBudget, SearchEvent,
+    Termination,
+};
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One kernel timing row: fast vs reference at a given chart shape.
@@ -36,7 +45,7 @@ struct KernelRow {
 }
 
 /// One search timing row (reduced `table2` workload).
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SearchRow {
     benchmark: String,
     scale_bits: usize,
@@ -51,6 +60,8 @@ struct Report {
     schema: String,
     seed: u64,
     threads: usize,
+    /// `true` when the search section was interrupted mid-sweep.
+    partial: bool,
     kernel: Vec<KernelRow>,
     search: Vec<SearchRow>,
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -118,58 +129,60 @@ fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
         .collect()
 }
 
-fn search_section(args: &HarnessArgs, obs: &Observation) -> Vec<SearchRow> {
-    // A reduced table2 workload: two representative benchmarks (one
-    // continuous, one discrete), one run each, both algorithms.
-    let scale_bits = args.scale_bits.min(8);
-    let scale = Scale::Reduced(scale_bits);
-    let mut out = Vec::new();
-    let row = |bench: &Benchmark, algorithm: &str, o: &SearchOutcome| SearchRow {
-        benchmark: bench.name().to_string(),
-        scale_bits,
-        algorithm: algorithm.to_string(),
-        med: o.med,
-        seconds: o.elapsed.as_secs_f64(),
-        iterations: o.iterations,
+/// One prepared search workload (benchmark × algorithm).
+struct SearchSpec {
+    bench: Benchmark,
+    algorithm: &'static str,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_once(
+    spec: &SearchSpec,
+    target: &TruthTable,
+    dist: &InputDistribution,
+    scale_bits: usize,
+    seed: u64,
+    args: &HarnessArgs,
+    budget: &RunBudget,
+    observer: &dyn Observer,
+) -> Result<SearchRow, ItemError> {
+    let n = target.inputs();
+    let builder = ApproxLutBuilder::new(target).distribution(dist.clone());
+    let builder = match spec.algorithm {
+        "dalta" => {
+            let mut dp = dalta_params(args, n);
+            dp.search.seed = seed;
+            builder.dalta(dp)
+        }
+        _ => {
+            let mut bp = bssa_params(args, n);
+            bp.search.seed = seed;
+            builder.bs_sa(bp).policy(ArchPolicy::NormalOnly)
+        }
     };
-    for bench in [Benchmark::Cos, Benchmark::BrentKung] {
-        let target = bench.table(scale).expect("benchmark builds");
-        let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
-        let mut dp = dalta_params(args, target.inputs());
-        dp.search.seed = args.seed;
-        let dalta = obs.phase(&format!("search:{}:dalta", bench.name()), || {
-            ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .dalta(dp)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("dalta runs")
-        });
-        out.push(row(&bench, "dalta", &dalta));
-        let mut bp = bssa_params(args, target.inputs());
-        bp.search.seed = args.seed;
-        let bssa = obs.phase(&format!("search:{}:bs-sa", bench.name()), || {
-            ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .bs_sa(bp)
-                .policy(ArchPolicy::NormalOnly)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("bs-sa runs")
-        });
-        out.push(row(&bench, "bs-sa", &bssa));
-        eprintln!(
-            "search {}: DALTA {:.2}s (med {:.3}), BS-SA {:.2}s (med {:.3})",
-            bench.name(),
-            out[out.len() - 2].seconds,
-            out[out.len() - 2].med,
-            out[out.len() - 1].seconds,
-            out[out.len() - 1].med,
-        );
+    let out = builder
+        .budget(budget.clone())
+        .observer(observer)
+        .run()
+        .map_err(|e| ItemError::Failed(e.to_string()))?;
+    if out.termination == Termination::Cancelled {
+        return Err(ItemError::Cancelled);
     }
-    out
+    eprintln!(
+        "search {} {}: {:.2}s (med {:.3})",
+        spec.bench.name(),
+        spec.algorithm,
+        out.elapsed.as_secs_f64(),
+        out.med,
+    );
+    Ok(SearchRow {
+        benchmark: spec.bench.name().to_string(),
+        scale_bits,
+        algorithm: spec.algorithm.to_string(),
+        med: out.med,
+        seconds: out.elapsed.as_secs_f64(),
+        iterations: out.iterations,
+    })
 }
 
 fn main() -> std::process::ExitCode {
@@ -181,12 +194,87 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
     };
+    let token = CancelToken::new();
+    shutdown::install(&token);
+    let kernel = obs.phase("kernel", || kernel_section(&args));
+
+    // A reduced table2 workload: two representative benchmarks (one
+    // continuous, one discrete), one run each, both algorithms — exactly
+    // four searches, each one a supervised item.
+    let scale_bits = args.scale_bits.min(8);
+    let scale = Scale::Reduced(scale_bits);
+    let scale_label = format!("reduced-{scale_bits}");
+    let budget = args.budget().with_cancel(&token);
+    let specs: Vec<SearchSpec> = [Benchmark::Cos, Benchmark::BrentKung]
+        .into_iter()
+        .flat_map(|bench| {
+            ["dalta", "bs-sa"]
+                .into_iter()
+                .map(move |algorithm| SearchSpec { bench, algorithm })
+        })
+        .collect();
+    let prepared: Vec<(TruthTable, InputDistribution)> = specs
+        .iter()
+        .map(|s| {
+            let target = s.bench.table(scale).expect("benchmark builds");
+            let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
+            (target, dist)
+        })
+        .collect();
+    let items: Vec<WorkItem<'_, SearchRow>> = specs
+        .iter()
+        .zip(&prepared)
+        .map(|(spec, (target, dist))| {
+            let (args, budget) = (&args, &budget);
+            WorkItem::new(
+                WorkKey::new(
+                    spec.bench.name(),
+                    spec.algorithm,
+                    args.seed,
+                    &scale_label,
+                    &args.budget_secs,
+                ),
+                vec![Strategy::new(spec.algorithm, move |o: &dyn Observer| {
+                    search_once(spec, target, dist, scale_bits, args.seed, args, budget, o)
+                })],
+            )
+        })
+        .collect();
+    let sweep_fp = fingerprint(&format!(
+        "perfreport/{scale_label}/seed{}/budget{:?}",
+        args.seed, args.budget_secs
+    ));
+    let supervisor = match args.supervisor(sweep_fp, &token) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perfreport: cannot open checkpoint dir: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let outcome = supervisor.run(items, obs.observer(), |_| {});
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "perfreport: resumed {} searches from checkpoint",
+            outcome.resumed
+        );
+    }
+
     let report = Report {
         schema: "dalut-perfreport/v2".to_string(),
         seed: args.seed,
         threads: args.threads,
-        kernel: obs.phase("kernel", || kernel_section(&args)),
-        search: search_section(&args, &obs),
+        partial: !outcome.is_complete(),
+        kernel,
+        search: outcome
+            .records
+            .iter()
+            .filter_map(|r| r.result.clone())
+            .collect(),
         metrics: obs.metrics_snapshot(),
     };
     let path = args.out_path(concat!(
@@ -201,6 +289,14 @@ fn main() -> std::process::ExitCode {
         eprintln!("perfreport: cannot write {}: {e}", path.display());
         return std::process::ExitCode::FAILURE;
     }
-    eprintln!("wrote {}", path.display());
+    eprintln!(
+        "wrote {}{}",
+        path.display(),
+        if report.partial { " (partial)" } else { "" }
+    );
+    if report.partial {
+        eprintln!("perfreport: interrupted — resume with --checkpoint-dir ... --resume");
+        return std::process::ExitCode::from(130);
+    }
     std::process::ExitCode::SUCCESS
 }

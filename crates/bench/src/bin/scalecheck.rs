@@ -12,19 +12,27 @@
 //! ```sh
 //! cargo run -p dalut-bench --release --bin scalecheck
 //! ```
+//!
+//! Each architecture's characterisation is one supervised work item:
+//! `--checkpoint-dir`/`--resume` skip architectures already measured,
+//! and SIGINT/SIGTERM leaves a partial-marked `scalecheck_results.json`
+//! (exit nonzero).
 
 use dalut_bench::report::{f2, write_json};
 use dalut_bench::setup::round_in_w;
-use dalut_bench::HarnessArgs;
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::Partition;
-use dalut_core::{ApproxLutConfig, BitConfig};
+use dalut_core::checkpoint::{fingerprint, WorkKey};
+use dalut_core::{ApproxLutConfig, BitConfig, CancelToken, Observer, SearchEvent};
 use dalut_decomp::{AnyDecomp, BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType};
 use dalut_hw::{build_approx_lut, build_round_in, build_round_out, characterize, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
 
 /// A synthetic per-bit decomposition at the given geometry: random
 /// pattern/type vectors (contents do not affect the structural metrics;
@@ -71,7 +79,7 @@ fn synthetic_config(n: usize, m: usize, b: usize, modes: &[&str], seed: u64) -> 
     ApproxLutConfig::new(n, m, bits).expect("valid synthetic config")
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ScaleRow {
     arch: String,
     cells: usize,
@@ -81,8 +89,20 @@ struct ScaleRow {
     energy_per_read_fj: f64,
 }
 
-fn main() {
+#[derive(Debug, Serialize)]
+struct ScaleReport {
+    schema: String,
+    /// `true` while architectures are still outstanding (interrupted
+    /// run — resume with `--checkpoint-dir ... --resume`).
+    partial: bool,
+    rows: Vec<ScaleRow>,
+}
+
+fn main() -> ExitCode {
     let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args).expect("observation set up");
+    let token = CancelToken::new();
+    shutdown::install(&token);
     let (n, m, b) = (16usize, 16usize, 9usize);
     let lib = CellLibrary::nangate45();
     let reads_count = if args.full { 1024 } else { 256 };
@@ -128,6 +148,77 @@ fn main() {
         .map(|_| rng.random_range(0..(1u32 << n)))
         .collect();
 
+    // --- Characterisation: one supervised item per architecture. ---
+    let out_path = args.out_path("scalecheck_results.json");
+    let items: Vec<WorkItem<'_, ScaleRow>> = builds
+        .iter()
+        .map(|(name, inst)| {
+            let (lib, reads) = (&lib, &reads);
+            WorkItem::new(
+                WorkKey::new("paper-geometry", name, args.seed, "n16b9", &reads_count),
+                vec![Strategy::new(name, move |_: &dyn Observer| {
+                    eprintln!(
+                        "  measuring {name} ({} cells)...",
+                        inst.netlist().cell_count()
+                    );
+                    let rep = characterize(inst, reads, lib, clock)
+                        .map_err(|e| ItemError::Failed(e.to_string()))?;
+                    Ok(ScaleRow {
+                        arch: name.clone(),
+                        cells: inst.netlist().cell_count(),
+                        dffs: inst.netlist().total_dffs(),
+                        area_um2: rep.area_um2,
+                        delay_ns: rep.critical_path_ns,
+                        energy_per_read_fj: rep.energy_per_read_fj,
+                    })
+                })],
+            )
+        })
+        .collect();
+    let total = items.len();
+    let sweep_fp = fingerprint(&format!(
+        "scalecheck/n16b9/seed{}/reads{reads_count}",
+        args.seed
+    ));
+    let supervisor = args
+        .supervisor(sweep_fp, &token)
+        .expect("checkpoint dir usable");
+    let write_report = |rows: Vec<ScaleRow>, partial: bool| {
+        let report = ScaleReport {
+            schema: "dalut-scalecheck/v2".to_string(),
+            partial,
+            rows,
+        };
+        write_json(&out_path, &report)
+    };
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        let rows: Vec<ScaleRow> = snapshot
+            .completed
+            .iter()
+            .filter_map(|r| r.result.clone())
+            .collect();
+        let partial = rows.len() < total;
+        if let Err(e) = write_report(rows, partial) {
+            eprintln!("warning: partial results write failed: {e}");
+        }
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "scalecheck: resumed {} of {total} architectures from checkpoint",
+            outcome.resumed
+        );
+    }
+    let rows: Vec<ScaleRow> = outcome
+        .records
+        .iter()
+        .filter_map(|r| r.result.clone())
+        .collect();
+
     let mut table = dalut_bench::Table::new(&[
         "architecture",
         "cells",
@@ -136,69 +227,71 @@ fn main() {
         "delay ns",
         "energy fJ/read",
     ]);
-    let mut rows = Vec::new();
-    for (name, inst) in &builds {
-        eprintln!(
-            "  measuring {name} ({} cells)...",
-            inst.netlist().cell_count()
-        );
-        let rep = characterize(inst, &reads, &lib, clock).expect("characterise");
+    for r in &rows {
         table.row(vec![
-            name.clone(),
-            inst.netlist().cell_count().to_string(),
-            inst.netlist().total_dffs().to_string(),
-            format!("{:.0}", rep.area_um2),
-            f2(rep.critical_path_ns),
-            format!("{:.0}", rep.energy_per_read_fj),
+            r.arch.clone(),
+            r.cells.to_string(),
+            r.dffs.to_string(),
+            format!("{:.0}", r.area_um2),
+            f2(r.delay_ns),
+            format!("{:.0}", r.energy_per_read_fj),
         ]);
-        rows.push(ScaleRow {
-            arch: name.clone(),
-            cells: inst.netlist().cell_count(),
-            dffs: inst.netlist().total_dffs(),
-            area_um2: rep.area_um2,
-            delay_ns: rep.critical_path_ns,
-            energy_per_read_fj: rep.energy_per_read_fj,
-        });
     }
     println!("\nPaper-geometry (n=16, b=9) hardware characterisation.\n");
     println!("{}", table.render());
-    let ri = rows
-        .iter()
-        .find(|r| r.arch.starts_with("RoundIn"))
-        .expect("present");
-    let da = rows.iter().find(|r| r.arch == "DALTA").expect("present");
-    println!(
-        "RoundIn / DALTA energy ratio = {:.2} at paper geometry \
-         (vs ~0.36 at the reduced scale: the rounding table's depth \
-         advantage vanishes as n grows)",
-        ri.energy_per_read_fj / da.energy_per_read_fj
-    );
+    let partial = !outcome.is_complete();
+    if let (Some(ri), Some(da)) = (
+        rows.iter().find(|r| r.arch.starts_with("RoundIn")),
+        rows.iter().find(|r| r.arch == "DALTA"),
+    ) {
+        println!(
+            "RoundIn / DALTA energy ratio = {:.2} at paper geometry \
+             (vs ~0.36 at the reduced scale: the rounding table's depth \
+             advantage vanishes as n grows)",
+            ri.energy_per_read_fj / da.energy_per_read_fj
+        );
+    }
     // --- Hardened (synthesis-folded) variants of the decomposition
     // architectures: what the configured function costs as a fixed-
-    // function block instead of a reconfigurable fabric. ---
-    let mut htable = dalut_bench::Table::new(&[
-        "architecture (hardened)",
-        "cells",
-        "area um^2",
-        "energy fJ/read",
-        "cells folded",
-    ]);
-    for (name, inst) in builds.iter().skip(2) {
-        let hard = inst.hardened();
-        let rep = characterize(&hard, &reads, &lib, clock).expect("characterise");
-        let before = inst.netlist().cell_count();
-        let after = hard.netlist().cell_count();
-        htable.row(vec![
-            name.clone(),
-            after.to_string(),
-            format!("{:.0}", rep.area_um2),
-            format!("{:.0}", rep.energy_per_read_fj),
-            format!("{:.0}%", (1.0 - after as f64 / before as f64) * 100.0),
+    // function block instead of a reconfigurable fabric. Skipped when
+    // the run was interrupted; reruns cheaply on resume. ---
+    if !partial && !token.is_cancelled() {
+        let mut htable = dalut_bench::Table::new(&[
+            "architecture (hardened)",
+            "cells",
+            "area um^2",
+            "energy fJ/read",
+            "cells folded",
         ]);
+        for (name, inst) in builds.iter().skip(2) {
+            if token.is_cancelled() {
+                break;
+            }
+            let hard = inst.hardened();
+            let rep = characterize(&hard, &reads, &lib, clock).expect("characterise");
+            let before = inst.netlist().cell_count();
+            let after = hard.netlist().cell_count();
+            htable.row(vec![
+                name.clone(),
+                after.to_string(),
+                format!("{:.0}", rep.area_um2),
+                format!("{:.0}", rep.energy_per_read_fj),
+                format!("{:.0}%", (1.0 - after as f64 / before as f64) * 100.0),
+            ]);
+        }
+        println!("Hardened configurations (constant-folded, dead logic removed):\n");
+        println!("{}", htable.render());
     }
-    println!("Hardened configurations (constant-folded, dead logic removed):\n");
-    println!("{}", htable.render());
-    let path = args.out_path("scalecheck_results.json");
-    write_json(&path, &rows).expect("write results");
-    eprintln!("wrote {}", path.display());
+    obs.finish().expect("flush trace");
+    write_report(rows, partial).expect("write results");
+    eprintln!(
+        "wrote {}{}",
+        out_path.display(),
+        if partial { " (partial)" } else { "" }
+    );
+    if partial {
+        eprintln!("scalecheck: interrupted — resume with --checkpoint-dir ... --resume");
+        return ExitCode::from(130);
+    }
+    ExitCode::SUCCESS
 }

@@ -4,14 +4,32 @@
 //!
 //! The paper's headline: BS-SA reduces the minimum MED by 11.1 % and the
 //! standard deviation by 97.1 % using about half of DALTA's runtime.
+//!
+//! Each (benchmark × algorithm × run) is one supervised work item:
+//! `--checkpoint-dir` makes the sweep crash-safe, `--resume` skips
+//! already-finished items, failed BS-SA items degrade to the DALTA
+//! baseline (marked in the JSON), and SIGINT/SIGTERM winds the sweep
+//! down with best-so-far results (exit nonzero, JSON marked partial).
 
 use dalut_bench::report::{f2, write_json};
 use dalut_bench::setup::{bssa_params, dalta_params};
-use dalut_bench::{geomean, HarnessArgs, Observation, RunStats, Table};
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{geomean, shutdown, HarnessArgs, Observation, RunStats, Table};
 use dalut_benchfns::Benchmark;
-use dalut_boolfn::InputDistribution;
-use dalut_core::{ApproxLutBuilder, ArchPolicy};
-use serde::Serialize;
+use dalut_boolfn::{InputDistribution, TruthTable};
+use dalut_core::checkpoint::{fingerprint, WorkKey, WorkRecord};
+use dalut_core::{
+    ApproxLutBuilder, ArchPolicy, CancelToken, Observer, RunBudget, SearchEvent, Termination,
+};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// One supervised item's result (one search run).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunResult {
+    med: f64,
+    secs: f64,
+}
 
 #[derive(Debug, Serialize)]
 struct BenchResult {
@@ -20,71 +38,191 @@ struct BenchResult {
     dalta_secs: Vec<f64>,
     bssa_med: Vec<f64>,
     bssa_secs: Vec<f64>,
+    /// Per-run flag: `true` when the BS-SA cell was answered by a
+    /// degraded strategy (DALTA fallback) instead of BS-SA itself.
+    bssa_degraded: Vec<bool>,
 }
 
-fn main() {
+#[derive(Debug, Serialize)]
+struct Table2Report {
+    schema: String,
+    /// `true` while items are still outstanding (interrupted sweep).
+    partial: bool,
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark prepared for the sweep.
+struct Prepared {
+    name: String,
+    target: TruthTable,
+    dist: InputDistribution,
+}
+
+fn search_once(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    builder: impl FnOnce(ApproxLutBuilder<'_>) -> ApproxLutBuilder<'_>,
+    budget: &RunBudget,
+    observer: &dyn Observer,
+) -> Result<RunResult, ItemError> {
+    let out = builder(ApproxLutBuilder::new(target).distribution(dist.clone()))
+        .budget(budget.clone())
+        .observer(observer)
+        .run()
+        .map_err(|e| ItemError::Failed(e.to_string()))?;
+    // A cancelled search carries only best-so-far state: leave the item
+    // unrecorded so a resumed run replays it and stays bit-identical.
+    if out.termination == Termination::Cancelled {
+        return Err(ItemError::Cancelled);
+    }
+    Ok(RunResult {
+        med: out.med,
+        secs: out.elapsed.as_secs_f64(),
+    })
+}
+
+/// Groups supervised records back into per-benchmark rows, preserving
+/// run order. Records live under keys `arch = "dalta" | "bs-sa"`.
+fn group(prepared: &[Prepared], records: &[WorkRecord<RunResult>], partial: bool) -> Table2Report {
+    let results = prepared
+        .iter()
+        .map(|p| {
+            let mut r = BenchResult {
+                benchmark: p.name.clone(),
+                dalta_med: Vec::new(),
+                dalta_secs: Vec::new(),
+                bssa_med: Vec::new(),
+                bssa_secs: Vec::new(),
+                bssa_degraded: Vec::new(),
+            };
+            for rec in records.iter().filter(|rec| rec.key.benchmark == p.name) {
+                let Some(result) = &rec.result else { continue };
+                match rec.key.arch.as_str() {
+                    "dalta" => {
+                        r.dalta_med.push(result.med);
+                        r.dalta_secs.push(result.secs);
+                    }
+                    _ => {
+                        r.bssa_med.push(result.med);
+                        r.bssa_secs.push(result.secs);
+                        r.bssa_degraded.push(rec.degradation.is_degraded());
+                    }
+                }
+            }
+            r
+        })
+        .collect();
+    Table2Report {
+        schema: "dalut-table2/v2".to_string(),
+        partial,
+        results,
+    }
+}
+
+fn main() -> ExitCode {
     let args = HarnessArgs::from_env();
     let obs = Observation::from_args(&args).expect("observation set up");
     let scale = args.scale();
     let runs = args.effective_runs();
+    let token = CancelToken::new();
+    shutdown::install(&token);
     eprintln!(
         "table2: scale {scale:?}, {runs} runs per algorithm{}",
         if args.full { " (paper parameters)" } else { "" }
     );
 
-    let mut results: Vec<BenchResult> = Vec::new();
-    for bench in Benchmark::all() {
-        if let Some(only) = &args.only {
-            if !bench.name().eq_ignore_ascii_case(only) {
-                continue;
+    let prepared: Vec<Prepared> = Benchmark::all()
+        .into_iter()
+        .filter(|bench| {
+            args.only
+                .as_ref()
+                .is_none_or(|only| bench.name().eq_ignore_ascii_case(only))
+        })
+        .map(|bench| {
+            let target = bench.table(scale).expect("benchmark builds");
+            let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
+            Prepared {
+                name: bench.name().to_string(),
+                target,
+                dist,
             }
-        }
-        let target = bench.table(scale).expect("benchmark builds");
-        let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
-        let mut r = BenchResult {
-            benchmark: bench.name().to_string(),
-            dalta_med: Vec::new(),
-            dalta_secs: Vec::new(),
-            bssa_med: Vec::new(),
-            bssa_secs: Vec::new(),
-        };
+        })
+        .collect();
+
+    let scale_label = format!("{scale:?}");
+    let budget = args.budget().with_cancel(&token);
+    let mut items: Vec<WorkItem<'_, RunResult>> = Vec::new();
+    for p in &prepared {
         for run in 0..runs {
             let seed = args.seed + 1000 * run as u64;
-            let mut dp = dalta_params(&args, target.inputs());
+            let mut dp = dalta_params(&args, p.target.inputs());
             dp.search.seed = seed;
-            let out = ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .dalta(dp)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("dalta runs");
-            r.dalta_med.push(out.med);
-            r.dalta_secs.push(out.elapsed.as_secs_f64());
-
-            let mut bp = bssa_params(&args, target.inputs());
+            let mut bp = bssa_params(&args, p.target.inputs());
             bp.search.seed = seed;
+
+            let b = &budget;
+            items.push(WorkItem::new(
+                WorkKey::new(&p.name, "dalta", seed, &scale_label, &dp),
+                vec![Strategy::new("dalta", move |o: &dyn Observer| {
+                    search_once(&p.target, &p.dist, |bld| bld.dalta(dp), b, o)
+                })],
+            ));
             // Table II compares the normal mode only (as the paper does,
-            // since DALTA has no other mode).
-            let out = ApproxLutBuilder::new(&target)
-                .distribution(dist.clone())
-                .bs_sa(bp)
-                .policy(ArchPolicy::NormalOnly)
-                .budget(args.budget())
-                .observer(obs.observer())
-                .run()
-                .expect("bs-sa runs");
-            r.bssa_med.push(out.med);
-            r.bssa_secs.push(out.elapsed.as_secs_f64());
-            eprintln!(
-                "  {} run {}: DALTA med {:.4}, BS-SA med {:.4}",
-                bench.name(),
-                run + 1,
-                r.dalta_med.last().unwrap(),
-                r.bssa_med.last().unwrap()
-            );
+            // since DALTA has no other mode). BS-SA degrades to the
+            // DALTA baseline after repeated failure.
+            items.push(WorkItem::new(
+                WorkKey::new(&p.name, "bs-sa", seed, &scale_label, &bp),
+                vec![
+                    Strategy::new("bs-sa", move |o: &dyn Observer| {
+                        search_once(
+                            &p.target,
+                            &p.dist,
+                            |bld| bld.bs_sa(bp).policy(ArchPolicy::NormalOnly),
+                            b,
+                            o,
+                        )
+                    }),
+                    Strategy::new("dalta-baseline", move |o: &dyn Observer| {
+                        search_once(&p.target, &p.dist, |bld| bld.dalta(dp), b, o)
+                    }),
+                ],
+            ));
         }
-        results.push(r);
+    }
+    let total = items.len();
+
+    // Everything that shapes results goes into the sweep fingerprint, so
+    // stale checkpoints from another configuration are never merged.
+    let sweep_fp = fingerprint(&format!(
+        "table2/{scale_label}/seed{}/runs{}/only{:?}/budget{:?}",
+        args.seed, runs, args.only, args.budget_secs
+    ));
+    let supervisor = args
+        .supervisor(sweep_fp, &token)
+        .expect("checkpoint dir usable");
+    let out_path = args.out_path("table2_results.json");
+
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        let report = group(
+            &prepared,
+            &snapshot.completed,
+            snapshot.completed.len() < total,
+        );
+        if let Err(e) = write_json(&out_path, &report) {
+            eprintln!("warning: partial results write failed: {e}");
+        }
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    let report = group(&prepared, &outcome.records, !outcome.is_complete());
+    if outcome.resumed > 0 {
+        eprintln!(
+            "table2: resumed {} of {} items from checkpoint",
+            outcome.resumed, total
+        );
     }
 
     let mut table = Table::new(&[
@@ -99,7 +237,12 @@ fn main() {
         "BS-SA Time(s)",
     ]);
     let mut cols: [Vec<f64>; 8] = Default::default();
-    for r in &results {
+    let mut complete_rows = 0usize;
+    for r in &report.results {
+        if r.dalta_med.is_empty() || r.bssa_med.is_empty() {
+            continue; // interrupted before this benchmark produced runs
+        }
+        complete_rows += 1;
         let d = RunStats::from_samples(&r.dalta_med);
         let b = RunStats::from_samples(&r.bssa_med);
         let dt = r.dalta_secs.iter().sum::<f64>() / r.dalta_secs.len() as f64;
@@ -110,8 +253,13 @@ fn main() {
         {
             c.push(v);
         }
+        let marker = if r.bssa_degraded.iter().any(|&x| x) {
+            "*"
+        } else {
+            ""
+        };
         table.row(vec![
-            r.benchmark.clone(),
+            format!("{}{marker}", r.benchmark),
             f2(d.min),
             f2(d.avg),
             f2(d.stdev),
@@ -122,7 +270,7 @@ fn main() {
             f2(bt),
         ]);
     }
-    if results.len() > 1 {
+    if complete_rows > 1 {
         let g: Vec<f64> = cols.iter().map(|c| geomean(c)).collect();
         table.row(
             std::iter::once("GEOMEAN".to_string())
@@ -141,7 +289,16 @@ fn main() {
         println!("{}", table.render());
     }
     obs.finish().expect("flush trace");
-    let path = args.out_path("table2_results.json");
-    write_json(&path, &results).expect("write results");
-    eprintln!("wrote {}", path.display());
+    write_json(&out_path, &report).expect("write results");
+    eprintln!(
+        "wrote {}{}",
+        out_path.display(),
+        if report.partial { " (partial)" } else { "" }
+    );
+    if outcome.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("table2: interrupted — resume with --checkpoint-dir ... --resume");
+        ExitCode::from(130)
+    }
 }

@@ -16,20 +16,32 @@
 //! JSONL, `--metrics` embeds a metrics snapshot in the binary's JSON
 //! report, `--progress` narrates coarse progress on stderr, and
 //! `--budget-secs S` bounds each search's wall clock (see DESIGN.md §8).
+//!
+//! Long sweeps are crash-safe (see DESIGN.md §9): `--checkpoint-dir DIR`
+//! checkpoints finished work items through the [`SweepSupervisor`],
+//! `--resume` skips them on restart, `--max-retries N` bounds per-item
+//! retry before the degradation chain kicks in, and SIGINT/SIGTERM trip
+//! the run's `CancelToken` so a best-so-far results file is always
+//! written ([`shutdown`]).
 
+// `deny` rather than `forbid`: the `shutdown` module registers POSIX
+// signal handlers, which needs one audited `unsafe` block.
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod args;
 pub mod observation;
 pub mod progress;
 pub mod report;
 pub mod setup;
+pub mod shutdown;
 pub mod stats;
+pub mod supervisor;
 
 pub use args::HarnessArgs;
 pub use observation::Observation;
 pub use progress::StderrProgress;
 pub use report::{write_json, Table};
 pub use stats::{geomean, RunStats};
+pub use supervisor::{ItemError, Strategy, SupervisorOutcome, SweepSupervisor, WorkItem};

@@ -69,6 +69,33 @@ impl Observer for StderrProgress {
             } => self.line(&format!(
                 "finished: med {med:.4} after {iterations} iterations ({termination:?})"
             )),
+            SearchEvent::CheckpointSaved {
+                generation,
+                completed,
+            } => self.line(&format!(
+                "checkpoint saved (generation {generation}, {completed} items done)"
+            )),
+            SearchEvent::CheckpointLoaded {
+                generation,
+                completed,
+                in_flight,
+            } => self.line(&format!(
+                "checkpoint loaded (generation {generation}): skipping {completed} done, replaying {in_flight} in flight"
+            )),
+            SearchEvent::ItemRetried {
+                key,
+                attempt,
+                backoff_ms,
+            } => self.line(&format!(
+                "retrying {key} (attempt {attempt} failed, backing off {backoff_ms} ms)"
+            )),
+            SearchEvent::ItemDegraded { key, strategy } => match strategy {
+                Some(s) => self.line(&format!("{key} degraded to {s}")),
+                None => self.line(&format!("{key} failed — recorded as failed placeholder")),
+            },
+            SearchEvent::ShutdownRequested { signal } => self.line(&format!(
+                "{signal} received — cancelling, will flush checkpoint and partial results"
+            )),
             // Hot-path events: too frequent for a line-per-event sink.
             _ => {}
         }
@@ -100,6 +127,27 @@ mod tests {
                 arch: "DALTA".into(),
                 completed: 2,
                 total: 7,
+            },
+            SearchEvent::CheckpointSaved {
+                generation: 3,
+                completed: 4,
+            },
+            SearchEvent::CheckpointLoaded {
+                generation: 3,
+                completed: 4,
+                in_flight: 1,
+            },
+            SearchEvent::ItemRetried {
+                key: "cos/bs-sa/seed1/paper/0".into(),
+                attempt: 1,
+                backoff_ms: 250,
+            },
+            SearchEvent::ItemDegraded {
+                key: "cos/bs-sa/seed1/paper/0".into(),
+                strategy: Some("dalta".into()),
+            },
+            SearchEvent::ShutdownRequested {
+                signal: "SIGINT".into(),
             },
             SearchEvent::SearchFinished {
                 med: 0.25,

@@ -64,22 +64,19 @@ impl Table {
 
 /// Writes a serialisable result object as pretty JSON next to the printed
 /// table so EXPERIMENTS.md numbers stay traceable. Missing parent
-/// directories (e.g. `results/`) are created first.
+/// directories (e.g. `results/`) are created first, and the write itself
+/// is crash-safe (temp file → fsync → rename via
+/// [`dalut_core::checkpoint::atomic_write`]): a run killed mid-write
+/// leaves the previous report intact, never a torn or empty file.
 ///
 /// # Errors
 ///
 /// Returns an error if serialisation, directory creation or the write
 /// fails.
 pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
-    let path = path.as_ref();
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+    dalut_core::checkpoint::atomic_write(path, json.as_bytes())
 }
 
 /// Formats a float with 2 decimals (table cells).
@@ -95,6 +92,20 @@ pub fn f3(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A temp dir unique to this process *and* call site, so parallel
+    /// test invocations (or concurrent `cargo test` runs) never collide.
+    fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dalut_test_json_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn table_renders_aligned_columns() {
@@ -125,19 +136,33 @@ mod tests {
         struct R {
             x: f64,
         }
-        let dir = std::env::temp_dir().join("dalut_test_json");
+        let dir = unique_temp_dir("round_trip");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("r.json");
         write_json(&p, &R { x: 1.5 }).unwrap();
         let back: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
         assert_eq!(back["x"], 1.5);
+        // Atomic write left no temp file behind.
+        assert!(!dir.join("r.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_json_replaces_existing_report_atomically() {
+        let dir = unique_temp_dir("replace");
+        let p = dir.join("r.json");
+        write_json(&p, &vec![1u32, 2, 3]).unwrap();
+        write_json(&p, &vec![4u32]).unwrap();
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(back[0], 4.0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn write_json_creates_missing_directories() {
-        let dir = std::env::temp_dir().join("dalut_test_json_nested");
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = unique_temp_dir("nested");
         let p = dir.join("results").join("deep.json");
         #[derive(Serialize)]
         struct Ok2 {
@@ -152,8 +177,7 @@ mod tests {
     fn write_json_reports_unwritable_paths_as_errors() {
         // A file where a directory component should be: creation fails
         // with a typed io::Error instead of panicking.
-        let dir = std::env::temp_dir().join("dalut_test_json_blocked");
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = unique_temp_dir("blocked");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("not_a_dir"), b"x").unwrap();
         let p = dir.join("not_a_dir").join("r.json");

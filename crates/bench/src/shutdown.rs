@@ -1,0 +1,163 @@
+//! Graceful-shutdown signal handling for the harness binaries.
+//!
+//! [`install`] registers a process-level SIGINT/SIGTERM handler wired to
+//! the run's [`CancelToken`]: the **first** signal trips the token, so the
+//! search winds down cooperatively, the supervisor flushes a final
+//! checkpoint and the binary writes best-so-far results before exiting
+//! nonzero with `Termination::Cancelled`; a **second** signal hard-exits
+//! immediately (status 130) for when the wind-down itself hangs.
+//!
+//! The handler body is strictly async-signal-safe: it performs two atomic
+//! stores and (on the second signal) calls `_exit`. All narration —
+//! the `ShutdownRequested` observer event, stderr messages — happens on
+//! the main thread, which polls [`requested_signal`].
+//!
+//! On non-Unix targets [`install`] is a no-op returning `false`; Ctrl-C
+//! then terminates the process the default way.
+
+use dalut_core::CancelToken;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// How many shutdown signals have arrived.
+static SIGNAL_COUNT: AtomicU32 = AtomicU32::new(0);
+/// The first signal's number (0 = none yet).
+static SIGNAL_NUMBER: AtomicI32 = AtomicI32::new(0);
+/// Whether the main thread has already consumed the notification.
+static REPORTED: AtomicBool = AtomicBool::new(false);
+/// The token the handler trips. `CancelToken::cancel` is one relaxed
+/// atomic store, which is async-signal-safe; `OnceLock::get` on an
+/// already-initialised lock is a plain atomic load.
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    const SIG_ERR: usize = usize::MAX;
+
+    // Bind the C library's `signal(2)` and `_exit(2)` directly — std
+    // already links libc, and this avoids an external crate for two
+    // symbols.
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// The installed handler. Only async-signal-safe operations: atomic
+    /// loads/stores and `_exit`.
+    extern "C" fn on_signal(signum: i32) {
+        if super::SIGNAL_COUNT.fetch_add(1, Ordering::SeqCst) == 0 {
+            super::SIGNAL_NUMBER.store(signum, Ordering::SeqCst);
+            if let Some(token) = super::TOKEN.get() {
+                token.cancel();
+            }
+        } else {
+            // Second signal: the cooperative wind-down is taking too long
+            // (or is stuck) — exit now, the way shells expect (128 + SIGINT).
+            #[allow(unsafe_code)]
+            unsafe {
+                _exit(130)
+            };
+        }
+    }
+
+    /// Registers `on_signal` for SIGINT and SIGTERM. Returns `false` if
+    /// either registration was refused.
+    pub fn register() -> bool {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal(2)` with a function pointer whose body is
+        // async-signal-safe (atomics + `_exit` only, as above).
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, handler) != SIG_ERR && signal(SIGTERM, handler) != SIG_ERR
+        }
+    }
+}
+
+/// Wires SIGINT/SIGTERM to `token` (first signal cancels, second
+/// hard-exits with status 130) and returns whether handlers were
+/// installed. Call once, early in `main`, with the token the run's
+/// `RunBudget` carries. Repeat calls keep the first token.
+pub fn install(token: &CancelToken) -> bool {
+    let _ = TOKEN.set(token.clone());
+    #[cfg(unix)]
+    {
+        sys::register()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// The name of the first shutdown signal received, if any (`"SIGINT"`,
+/// `"SIGTERM"`, or `"signal <n>"` for anything unexpected).
+#[must_use]
+pub fn requested_signal() -> Option<&'static str> {
+    if SIGNAL_COUNT.load(Ordering::SeqCst) == 0 {
+        return None;
+    }
+    #[cfg(unix)]
+    {
+        match SIGNAL_NUMBER.load(Ordering::SeqCst) {
+            sys::SIGINT => Some("SIGINT"),
+            sys::SIGTERM => Some("SIGTERM"),
+            _ => Some("signal"),
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        Some("signal")
+    }
+}
+
+/// Like [`requested_signal`], but reports each shutdown request only
+/// once — the first caller after a signal gets `Some`, later callers get
+/// `None`. Binaries use this to emit a single `ShutdownRequested` event.
+#[must_use]
+pub fn take_requested_signal() -> Option<&'static str> {
+    let name = requested_signal()?;
+    (!REPORTED.swap(true, Ordering::SeqCst)).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Signal state is process-global, so everything lives in one test.
+    #[test]
+    fn install_wires_token_and_reports_signals_once() {
+        let token = CancelToken::new();
+        assert!(requested_signal().is_none());
+        assert!(take_requested_signal().is_none());
+
+        #[cfg(unix)]
+        {
+            assert!(install(&token));
+            // Raise a real SIGINT at ourselves: the handler must trip the
+            // token without killing the process.
+            #[allow(unsafe_code)]
+            {
+                extern "C" {
+                    fn raise(signum: i32) -> i32;
+                }
+                // SAFETY: raising a signal we installed a handler for.
+                unsafe {
+                    assert_eq!(raise(sys::SIGINT), 0);
+                }
+            }
+            assert!(token.is_cancelled());
+            assert_eq!(requested_signal(), Some("SIGINT"));
+            assert_eq!(take_requested_signal(), Some("SIGINT"));
+            assert!(take_requested_signal().is_none(), "reported only once");
+        }
+        #[cfg(not(unix))]
+        {
+            assert!(!install(&token));
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The [`SweepSupervisor`]: drives a list of independent work items
+//! through the core worker pool with per-item retry, a degradation chain,
+//! periodic checkpoint flushes and partial-result emission.
+//!
+//! Each [`WorkItem`] carries a stable [`WorkKey`] and an ordered list of
+//! [`Strategy`]s — the primary first, then progressively weaker fallbacks
+//! (e.g. BS-SA → DALTA baseline). A strategy that fails (returns an error
+//! or panics) is retried up to `max_retries` times with capped
+//! exponential backoff and deterministic jitter derived from the run
+//! seed; when its attempts are exhausted the item *degrades* to the next
+//! strategy, and when no strategy remains it is recorded as a failed
+//! placeholder. Every degradation is tagged in the output
+//! ([`Degradation`]) so report tables can mark degraded cells.
+//!
+//! Items run in chunks of `threads` through
+//! [`try_run_tasks`](dalut_core::parallel::try_run_tasks); after each
+//! chunk the supervisor flushes a [`SweepSnapshot`] to its
+//! [`CheckpointStore`] (crash-safe atomic writes, see
+//! `dalut_core::checkpoint`) and hands the snapshot to the caller's
+//! flush hook so binaries can write partial results JSON. A resumed run
+//! (`--resume`) loads the newest valid checkpoint, skips completed items
+//! and replays in-flight ones; because each item is deterministic given
+//! its key, the merged output is bit-identical to an uninterrupted run.
+//!
+//! Cancellation (budget deadline or the [`shutdown`](crate::shutdown)
+//! signal handler tripping the run's `CancelToken`) is checked between
+//! attempts and between chunks: items interrupted mid-attempt are left
+//! unrecorded so the resumed run replays them from scratch.
+
+use dalut_core::checkpoint::{CheckpointStore, Degradation, SweepSnapshot, WorkKey, WorkRecord};
+use dalut_core::parallel::try_run_tasks;
+use dalut_core::{CancelToken, Observer, SearchEvent, Termination};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Why a strategy attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemError {
+    /// The run was cancelled; the item must be left unrecorded so a
+    /// resumed run replays it.
+    Cancelled,
+    /// The attempt failed; the supervisor may retry or degrade.
+    Failed(String),
+}
+
+impl std::fmt::Display for ItemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cancelled => write!(f, "cancelled"),
+            Self::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ItemError {}
+
+/// One way of producing an item's result. Strategies are attempted in
+/// the order given; every strategy after the first is a *degradation*.
+/// The closure receives the run's observer so searches inside it can
+/// stream events.
+pub struct Strategy<'a, R> {
+    /// Label recorded in [`Degradation::Degraded`] and narrated on retry.
+    pub label: String,
+    /// Produces the result. Runs on a worker thread; may be called
+    /// several times (retries), so `Fn` rather than `FnOnce`. Panics are
+    /// caught and treated like `Err(ItemError::Failed)`.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(&dyn Observer) -> Result<R, ItemError> + Send + Sync + 'a>,
+}
+
+impl<'a, R> Strategy<'a, R> {
+    /// Builds a strategy from a label and a closure.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl Fn(&dyn Observer) -> Result<R, ItemError> + Send + Sync + 'a,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Strategy<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Strategy")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One independent unit of sweep work: a stable identity plus the chain
+/// of strategies that can produce its result.
+#[derive(Debug)]
+pub struct WorkItem<'a, R> {
+    /// Stable identity (benchmark × arch × seed × scale × config).
+    pub key: WorkKey,
+    /// Primary strategy first, then fallbacks. Must be non-empty.
+    pub strategies: Vec<Strategy<'a, R>>,
+}
+
+impl<'a, R> WorkItem<'a, R> {
+    /// Builds an item from its key and strategy chain.
+    #[must_use]
+    pub fn new(key: WorkKey, strategies: Vec<Strategy<'a, R>>) -> Self {
+        Self { key, strategies }
+    }
+}
+
+/// What a finished (or interrupted) supervised sweep produced.
+#[derive(Debug)]
+pub struct SupervisorOutcome<R> {
+    /// Records for completed items, in the order the items were given.
+    /// Interrupted runs omit the unfinished items.
+    pub records: Vec<WorkRecord<R>>,
+    /// `Completed` when every item finished, `Cancelled` otherwise.
+    pub termination: Termination,
+    /// Items answered from the loaded checkpoint rather than recomputed.
+    pub resumed: usize,
+}
+
+impl<R> SupervisorOutcome<R> {
+    /// Whether every submitted item has a record (i.e. the output is not
+    /// partial).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.termination == Termination::Completed
+    }
+}
+
+/// splitmix64: the deterministic jitter source for retry backoff.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives work items through the pool with retry, degradation,
+/// checkpointing and cancellation. See the module docs for the model.
+#[derive(Debug)]
+pub struct SweepSupervisor {
+    threads: usize,
+    max_retries: u32,
+    run_seed: u64,
+    sweep_fingerprint: u64,
+    cancel: CancelToken,
+    store: Option<CheckpointStore>,
+    resume: bool,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
+}
+
+impl SweepSupervisor {
+    /// Creates a supervisor. `sweep_fingerprint` must cover everything
+    /// that shapes results (scale, seed, params) — checkpoints from a
+    /// differently-configured sweep are ignored, never merged.
+    #[must_use]
+    pub fn new(threads: usize, run_seed: u64, sweep_fingerprint: u64) -> Self {
+        Self {
+            threads: threads.max(1),
+            max_retries: 2,
+            run_seed,
+            sweep_fingerprint,
+            cancel: CancelToken::new(),
+            store: None,
+            resume: false,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2_000,
+        }
+    }
+
+    /// Caps retries per strategy (`n` retries = `n + 1` attempts).
+    #[must_use]
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Uses `token` for cancellation (share it with the run's
+    /// `RunBudget` and the shutdown handler).
+    #[must_use]
+    pub fn cancel_token(mut self, token: &CancelToken) -> Self {
+        self.cancel = token.clone();
+        self
+    }
+
+    /// Checkpoints into `store` after every chunk; with `resume`, loads
+    /// the newest valid checkpoint first and skips its completed items.
+    #[must_use]
+    pub fn checkpoints(mut self, store: CheckpointStore, resume: bool) -> Self {
+        self.store = Some(store);
+        self.resume = resume;
+        self
+    }
+
+    /// Overrides the backoff schedule (for tests; defaults 100 ms base,
+    /// 2 s cap).
+    #[must_use]
+    pub fn backoff_ms(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base_ms = base;
+        self.backoff_cap_ms = cap;
+        self
+    }
+
+    /// Deterministic backoff before retrying `key` after `attempt`
+    /// failures: capped exponential with ±25 % jitter drawn from the run
+    /// seed and the key fingerprint (stable across resumes).
+    fn backoff(&self, key: &WorkKey, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.min(10))
+            .min(self.backoff_cap_ms);
+        let jitter_seed = splitmix64(
+            self.run_seed ^ key.config_fingerprint ^ u64::from(attempt).wrapping_mul(0xA5A5),
+        );
+        // jitter in [-25 %, +25 %] of the exponential step.
+        let jitter = (jitter_seed % (exp / 2).max(1)) as i64 - (exp / 4) as i64;
+        Duration::from_millis(exp.saturating_add_signed(jitter))
+    }
+
+    /// Runs one item to a record: strategy chain × retry loop. Returns
+    /// `Err(Cancelled)` when interrupted, so the item stays unrecorded.
+    fn run_item<R>(
+        &self,
+        item: &WorkItem<'_, R>,
+        observer: &dyn Observer,
+    ) -> Result<WorkRecord<R>, ItemError> {
+        let mut attempts = 0u32;
+        for (si, strategy) in item.strategies.iter().enumerate() {
+            for retry in 0..=self.max_retries {
+                if self.cancel.is_cancelled() {
+                    return Err(ItemError::Cancelled);
+                }
+                attempts += 1;
+                let outcome = catch_unwind(AssertUnwindSafe(|| (strategy.run)(observer)))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(ItemError::Failed(format!("panic: {msg}")))
+                    });
+                match outcome {
+                    Ok(result) => {
+                        let degradation = if si == 0 {
+                            Degradation::None
+                        } else {
+                            Degradation::Degraded {
+                                strategy: strategy.label.clone(),
+                            }
+                        };
+                        return Ok(WorkRecord {
+                            key: item.key.clone(),
+                            degradation,
+                            attempts,
+                            result: Some(result),
+                        });
+                    }
+                    Err(ItemError::Cancelled) => return Err(ItemError::Cancelled),
+                    Err(ItemError::Failed(_)) if retry < self.max_retries => {
+                        let backoff = self.backoff(&item.key, retry + 1);
+                        observer.on_event(&SearchEvent::ItemRetried {
+                            key: item.key.to_string(),
+                            attempt: attempts,
+                            backoff_ms: backoff.as_millis() as u64,
+                        });
+                        std::thread::sleep(backoff);
+                    }
+                    Err(ItemError::Failed(_)) => {}
+                }
+            }
+            // This strategy is exhausted; narrate what comes next.
+            observer.on_event(&SearchEvent::ItemDegraded {
+                key: item.key.to_string(),
+                strategy: item.strategies.get(si + 1).map(|s| s.label.clone()),
+            });
+        }
+        Ok(WorkRecord {
+            key: item.key.clone(),
+            degradation: Degradation::Failed,
+            attempts,
+            result: None,
+        })
+    }
+
+    /// Flushes `snapshot` to the checkpoint store (if any) and narrates.
+    fn flush<R: Serialize>(&self, snapshot: &SweepSnapshot<R>, observer: &dyn Observer) {
+        if let Some(store) = &self.store {
+            match store.save(snapshot) {
+                Ok(generation) => observer.on_event(&SearchEvent::CheckpointSaved {
+                    generation,
+                    completed: snapshot.completed.len(),
+                }),
+                Err(e) => eprintln!("warning: checkpoint flush failed: {e}"),
+            }
+        }
+    }
+
+    /// Runs `items` to completion (or cancellation). `on_flush` is called
+    /// with the current snapshot after every checkpoint flush — binaries
+    /// use it to write partial results JSON.
+    ///
+    /// Results come back in item order; cancelled/unfinished items are
+    /// omitted (`termination` says whether the output is partial).
+    pub fn run<R>(
+        &self,
+        items: Vec<WorkItem<'_, R>>,
+        observer: &dyn Observer,
+        mut on_flush: impl FnMut(&SweepSnapshot<R>),
+    ) -> SupervisorOutcome<R>
+    where
+        R: Serialize + DeserializeOwned + Clone + Send + Sync,
+    {
+        let mut snapshot = SweepSnapshot::<R>::new(self.sweep_fingerprint);
+        let mut resumed = 0usize;
+        if self.resume {
+            if let Some(store) = &self.store {
+                match store.load::<SweepSnapshot<R>>() {
+                    Ok(Some(loaded)) if loaded.snapshot.sweep_fingerprint == self.sweep_fingerprint => {
+                        observer.on_event(&SearchEvent::CheckpointLoaded {
+                            generation: loaded.generation,
+                            completed: loaded.snapshot.completed.len(),
+                            in_flight: loaded.snapshot.in_flight.len(),
+                        });
+                        snapshot.completed = loaded.snapshot.completed;
+                    }
+                    Ok(Some(_)) => eprintln!(
+                        "warning: checkpoint belongs to a differently-configured sweep; starting fresh"
+                    ),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("warning: checkpoint load failed ({e}); starting fresh"),
+                }
+            }
+        }
+
+        // Keep only records for keys this sweep actually contains.
+        let wanted: HashMap<&WorkKey, usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| (&it.key, i))
+            .collect();
+        snapshot.completed.retain(|r| wanted.contains_key(&r.key));
+        resumed += snapshot.completed.len();
+
+        let pending: Vec<&WorkItem<'_, R>> = items
+            .iter()
+            .filter(|it| snapshot.find(&it.key).is_none())
+            .collect();
+
+        let mut cancelled = self.cancel.is_cancelled();
+        for chunk in pending.chunks(self.threads) {
+            if cancelled || self.cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+            snapshot.in_flight = chunk.iter().map(|it| it.key.clone()).collect();
+            let tasks: Vec<_> = chunk
+                .iter()
+                .map(|item| move || self.run_item(item, observer))
+                .collect();
+            for slot in try_run_tasks(tasks, self.threads) {
+                match slot {
+                    Ok(Ok(record)) => snapshot.completed.push(record),
+                    // Interrupted mid-attempt: left unrecorded, replayed
+                    // on resume.
+                    Ok(Err(ItemError::Cancelled)) => cancelled = true,
+                    Ok(Err(ItemError::Failed(msg))) => {
+                        // run_item never returns bare Failed, but keep the
+                        // sweep alive if that ever changes.
+                        eprintln!("warning: item failed outside retry loop: {msg}");
+                    }
+                    // A panic in supervisor bookkeeping itself (strategy
+                    // panics are caught inside run_item).
+                    Err(p) => eprintln!("warning: supervised task panicked: {p}"),
+                }
+            }
+            snapshot.in_flight.clear();
+            self.flush(&snapshot, observer);
+            on_flush(&snapshot);
+        }
+        if cancelled || self.cancel.is_cancelled() {
+            cancelled = true;
+            // Final flush so a resumed run starts from the latest state.
+            snapshot.in_flight.clear();
+            self.flush(&snapshot, observer);
+            on_flush(&snapshot);
+        }
+
+        // Records in item order.
+        let mut by_key: HashMap<WorkKey, WorkRecord<R>> = snapshot
+            .completed
+            .into_iter()
+            .map(|r| (r.key.clone(), r))
+            .collect();
+        let records: Vec<WorkRecord<R>> = items
+            .iter()
+            .filter_map(|it| by_key.remove(&it.key))
+            .collect();
+        let termination = if cancelled && records.len() < items.len() {
+            Termination::Cancelled
+        } else {
+            Termination::Completed
+        };
+        SupervisorOutcome {
+            records,
+            termination,
+            resumed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_core::NoopObserver;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn key(name: &str, seed: u64) -> WorkKey {
+        WorkKey::new(name, "test", seed, "unit", &"cfg")
+    }
+
+    #[test]
+    fn runs_items_and_keeps_order() {
+        let sup = SweepSupervisor::new(2, 7, 1).backoff_ms(0, 0);
+        let items: Vec<WorkItem<'_, u64>> = (0..5)
+            .map(|i| {
+                WorkItem::new(
+                    key("item", i),
+                    vec![Strategy::new("primary", move |_: &dyn Observer| Ok(i * 10))],
+                )
+            })
+            .collect();
+        let out = sup.run(items, &NoopObserver, |_| {});
+        assert!(out.is_complete());
+        assert_eq!(out.resumed, 0);
+        let values: Vec<u64> = out.records.iter().map(|r| r.result.unwrap()).collect();
+        assert_eq!(values, vec![0, 10, 20, 30, 40]);
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.degradation == Degradation::None));
+    }
+
+    #[test]
+    fn retries_then_degrades_then_fails() {
+        let sup = SweepSupervisor::new(1, 7, 1)
+            .max_retries(1)
+            .backoff_ms(0, 0);
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let flaky = WorkItem::new(
+            key("flaky", 0),
+            vec![Strategy::new("primary", move |_: &dyn Observer| {
+                // Fails once, succeeds on the retry.
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(ItemError::Failed("transient".into()))
+                } else {
+                    Ok(1u64)
+                }
+            })],
+        );
+        let degrading = WorkItem::new(
+            key("degrading", 1),
+            vec![
+                Strategy::new("primary", |_: &dyn Observer| {
+                    Err(ItemError::Failed("always".into()))
+                }),
+                Strategy::new("fallback", |_: &dyn Observer| Ok(2u64)),
+            ],
+        );
+        let hopeless = WorkItem::new(
+            key("hopeless", 2),
+            vec![Strategy::new(
+                "primary",
+                |_: &dyn Observer| -> Result<u64, ItemError> { panic!("boom") },
+            )],
+        );
+        let out = sup.run(vec![flaky, degrading, hopeless], &NoopObserver, |_| {});
+        assert!(out.is_complete());
+        assert_eq!(out.records[0].result, Some(1));
+        assert_eq!(out.records[0].attempts, 2);
+        assert_eq!(
+            out.records[1].degradation,
+            Degradation::Degraded {
+                strategy: "fallback".into()
+            }
+        );
+        assert_eq!(out.records[1].result, Some(2));
+        assert_eq!(out.records[2].degradation, Degradation::Failed);
+        assert_eq!(out.records[2].result, None);
+        assert_eq!(out.records[2].attempts, 2); // 1 + 1 retry, both panicking
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let sup = SweepSupervisor::new(1, 42, 0).backoff_ms(100, 2_000);
+        let k = key("b", 0);
+        let a = sup.backoff(&k, 1);
+        let b = sup.backoff(&k, 1);
+        assert_eq!(a, b, "same seed, key and attempt => same backoff");
+        for attempt in 1..12 {
+            let d = sup.backoff(&k, attempt).as_millis() as u64;
+            assert!(d <= 2_500, "cap plus jitter bound, got {d}");
+        }
+        let other = SweepSupervisor::new(1, 43, 0).backoff_ms(100, 2_000);
+        // Different run seed shifts the jitter (almost surely).
+        assert_ne!(sup.backoff(&k, 3), other.backoff(&k, 3));
+    }
+
+    #[test]
+    fn cancelled_supervisor_reports_partial() {
+        let token = CancelToken::new();
+        let sup = SweepSupervisor::new(1, 7, 1)
+            .cancel_token(&token)
+            .backoff_ms(0, 0);
+        let t = token.clone();
+        let items: Vec<WorkItem<'_, u64>> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                WorkItem::new(
+                    key("c", i),
+                    vec![Strategy::new("primary", move |_: &dyn Observer| {
+                        if i == 1 {
+                            t.cancel();
+                        }
+                        Ok(i)
+                    })],
+                )
+            })
+            .collect();
+        let out = sup.run(items, &NoopObserver, |_| {});
+        assert_eq!(out.termination, Termination::Cancelled);
+        assert!(out.records.len() < 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Behavioural tests of the sweep supervisor: retry + degradation
+//! accounting through the observer, and — the crash-safety contract —
+//! that a sweep killed mid-flight and resumed from its checkpoint merges
+//! into results bit-identical to an uninterrupted run.
+
+use dalut_bench::supervisor::{ItemError, Strategy, SweepSupervisor, WorkItem};
+use dalut_core::checkpoint::{CheckpointStore, Degradation, WorkKey, WorkRecord};
+use dalut_core::{CancelToken, MetricsRecorder, NoopObserver, Observer, Termination};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dalut_supervise_{tag}_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic "search result" used throughout: derived from the
+/// item seed alone, so two runs that execute the same item must produce
+/// bit-identical payloads (mirrors a seeded search's determinism,
+/// without the runtime).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Payload {
+    med: f64,
+    iterations: u64,
+}
+
+fn compute(seed: u64) -> Payload {
+    let mut x = seed;
+    for _ in 0..8 {
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+    }
+    Payload {
+        med: (x % 100_000) as f64 / 1000.0,
+        iterations: x % 977,
+    }
+}
+
+fn key(i: u64) -> WorkKey {
+    WorkKey::new("bench", "algo", i, "unit", &"params")
+}
+
+/// `n` deterministic items; `cancel_at` (if any) trips `token` from
+/// inside that item, simulating a SIGINT landing mid-sweep.
+fn items(
+    n: u64,
+    cancel_at: Option<u64>,
+    token: &CancelToken,
+    executed: &Arc<AtomicU32>,
+) -> Vec<WorkItem<'static, Payload>> {
+    (0..n)
+        .map(|i| {
+            let token = token.clone();
+            let executed = executed.clone();
+            WorkItem::new(
+                key(i),
+                vec![Strategy::new("primary", move |_: &dyn Observer| {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    if cancel_at == Some(i) {
+                        token.cancel();
+                        return Err(ItemError::Cancelled);
+                    }
+                    Ok(compute(i))
+                })],
+            )
+        })
+        .collect()
+}
+
+/// Strips records down to the fields a report consumes (everything but
+/// `attempts`, which an interrupted run may legitimately differ in for
+/// the replayed item — here it cannot, but the comparison documents the
+/// contract the binaries rely on).
+fn essence(records: &[WorkRecord<Payload>]) -> Vec<(WorkKey, Degradation, Option<Payload>)> {
+    records
+        .iter()
+        .map(|r| (r.key.clone(), r.degradation.clone(), r.result.clone()))
+        .collect()
+}
+
+#[test]
+fn killed_and_resumed_sweep_is_bit_identical_to_an_uninterrupted_one() {
+    const N: u64 = 9;
+    // Reference: uninterrupted run, no checkpointing.
+    let executed = Arc::new(AtomicU32::new(0));
+    let reference = SweepSupervisor::new(2, 7, 42).backoff_ms(0, 0).run(
+        items(N, None, &CancelToken::new(), &executed),
+        &NoopObserver,
+        |_| {},
+    );
+    assert!(reference.is_complete());
+
+    // Interrupted run: item 4 trips the token mid-chunk, like a signal.
+    let dir = temp_dir("killresume");
+    let token = CancelToken::new();
+    let executed = Arc::new(AtomicU32::new(0));
+    let first = SweepSupervisor::new(2, 7, 42)
+        .backoff_ms(0, 0)
+        .cancel_token(&token)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), false)
+        .run(items(N, Some(4), &token, &executed), &NoopObserver, |_| {});
+    assert_eq!(first.termination, Termination::Cancelled);
+    assert!(
+        !first.records.is_empty(),
+        "some items finished before the kill"
+    );
+    assert!(
+        (first.records.len() as u64) < N,
+        "the kill left items outstanding"
+    );
+
+    // Resume: same configuration, fresh process state.
+    let executed_after = Arc::new(AtomicU32::new(0));
+    let second = SweepSupervisor::new(2, 7, 42)
+        .backoff_ms(0, 0)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), true)
+        .run(
+            items(N, None, &CancelToken::new(), &executed_after),
+            &NoopObserver,
+            |_| {},
+        );
+    assert!(second.is_complete());
+    assert_eq!(second.resumed, first.records.len());
+    // Only the outstanding items were recomputed.
+    assert_eq!(
+        executed_after.load(Ordering::SeqCst) as u64,
+        N - first.records.len() as u64
+    );
+    // The merged output is bit-identical to the uninterrupted run.
+    assert_eq!(essence(&second.records), essence(&reference.records));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_replays_interrupted_items_rather_than_recording_partials() {
+    // An item cancelled mid-attempt must not appear in the checkpoint:
+    // its partial work is discarded and it reruns from scratch.
+    let dir = temp_dir("replay");
+    let token = CancelToken::new();
+    let executed = Arc::new(AtomicU32::new(0));
+    let first = SweepSupervisor::new(1, 7, 9)
+        .backoff_ms(0, 0)
+        .cancel_token(&token)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), false)
+        .run(items(3, Some(1), &token, &executed), &NoopObserver, |_| {});
+    assert!(first.records.iter().all(|r| r.key != key(1)));
+
+    let second = SweepSupervisor::new(1, 7, 9)
+        .backoff_ms(0, 0)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), true)
+        .run(
+            items(3, None, &CancelToken::new(), &Arc::new(AtomicU32::new(0))),
+            &NoopObserver,
+            |_| {},
+        );
+    assert!(second.is_complete());
+    let replayed = second.records.iter().find(|r| r.key == key(1)).unwrap();
+    assert_eq!(replayed.result, Some(compute(1)));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_from_a_different_sweep_configuration_are_ignored() {
+    let dir = temp_dir("fingerprint");
+    let executed = Arc::new(AtomicU32::new(0));
+    let first = SweepSupervisor::new(1, 7, 1)
+        .backoff_ms(0, 0)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), false)
+        .run(
+            items(4, None, &CancelToken::new(), &executed),
+            &NoopObserver,
+            |_| {},
+        );
+    assert!(first.is_complete());
+
+    // Same store, different sweep fingerprint (say, a new --scale):
+    // nothing may be reused.
+    let executed = Arc::new(AtomicU32::new(0));
+    let second = SweepSupervisor::new(1, 7, 2)
+        .backoff_ms(0, 0)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), true)
+        .run(
+            items(4, None, &CancelToken::new(), &executed),
+            &NoopObserver,
+            |_| {},
+        );
+    assert!(second.is_complete());
+    assert_eq!(second.resumed, 0);
+    assert_eq!(executed.load(Ordering::SeqCst), 4);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_and_degradation_flow_through_the_metrics_observer() {
+    let recorder = MetricsRecorder::new();
+    let fail_first = Arc::new(AtomicU32::new(0));
+    let ff = fail_first.clone();
+    let retried = WorkItem::new(
+        key(0),
+        vec![Strategy::new("primary", move |_: &dyn Observer| {
+            if ff.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(ItemError::Failed("transient".into()))
+            } else {
+                Ok(compute(0))
+            }
+        })],
+    );
+    let degraded = WorkItem::new(
+        key(1),
+        vec![
+            Strategy::new("primary", |_: &dyn Observer| {
+                Err(ItemError::Failed("always".into()))
+            }),
+            Strategy::new("fallback", |_: &dyn Observer| Ok(compute(1))),
+        ],
+    );
+    let out = SweepSupervisor::new(1, 7, 3)
+        .max_retries(1)
+        .backoff_ms(0, 0)
+        .run(vec![retried, degraded], &recorder, |_| {});
+    assert!(out.is_complete());
+    let counters = recorder.snapshot().counters;
+    // One transient retry; the degrading item retried its primary once
+    // too, then degraded (one ItemDegraded event).
+    assert_eq!(counters.items_retried, 2);
+    assert_eq!(counters.items_degraded, 1);
+    assert_eq!(
+        out.records[1].degradation,
+        Degradation::Degraded {
+            strategy: "fallback".into()
+        }
+    );
+}
+
+#[test]
+fn checkpoint_saves_are_counted_once_per_chunk() {
+    let dir = temp_dir("flushcount");
+    let recorder = MetricsRecorder::new();
+    let executed = Arc::new(AtomicU32::new(0));
+    let mut flushes = 0usize;
+    let out = SweepSupervisor::new(2, 7, 5)
+        .backoff_ms(0, 0)
+        .checkpoints(CheckpointStore::open(&dir).unwrap(), false)
+        .run(
+            items(6, None, &CancelToken::new(), &executed),
+            &recorder,
+            |_| flushes += 1,
+        );
+    assert!(out.is_complete());
+    // 6 items in chunks of 2 → 3 flushes, each saved and narrated.
+    assert_eq!(flushes, 3);
+    assert_eq!(recorder.snapshot().counters.checkpoints_saved, 3);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,550 @@
+//! Crash-safe persistence for long sweeps: a versioned, checksummed,
+//! double-buffered [`CheckpointStore`] plus the snapshot types the bench
+//! supervisor records between work items.
+//!
+//! ## Durability model
+//!
+//! Every write goes through [`atomic_write`]: the bytes land in a
+//! temporary sibling file, the file is fsynced, and only then renamed
+//! over the destination (with a best-effort directory fsync), so a crash
+//! at any instant leaves either the complete old file or the complete new
+//! file — never a torn one.
+//!
+//! Checkpoints are double-buffered across two slot files (`slot_a.ckpt`,
+//! `slot_b.ckpt`). Each save writes the slot *not* holding the newest
+//! good generation, so the previous checkpoint survives until the new one
+//! is durable. Each slot carries a JSON envelope with a magic string, a
+//! format version, a monotonically increasing generation number and a
+//! CRC-32 over the serialised payload; [`CheckpointStore::load`] verifies
+//! all four and silently falls back to the other slot when the newest one
+//! is truncated, bit-flipped or otherwise unparseable.
+//!
+//! ## Snapshot types
+//!
+//! A sweep is a list of independent work items, each identified by a
+//! stable [`WorkKey`] (benchmark × architecture × seed × scale ×
+//! configuration fingerprint). The supervisor records a
+//! [`WorkRecord`] per finished item inside a [`SweepSnapshot`]; a resumed
+//! run skips items whose key already appears completed and replays the
+//! rest. Results are stored inline, so resuming never recomputes a
+//! finished item.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic string identifying a DALUT checkpoint envelope.
+const MAGIC: &str = "dalut-checkpoint";
+/// Envelope format version; bump on any incompatible layout change.
+const VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — implemented locally so corruption
+// detection does not pull in a dependency.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`; the checksum guarding checkpoint payloads.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a hash of a string: the stable fingerprint for configuration
+/// parameters inside a [`WorkKey`] and for whole-sweep fingerprints.
+#[must_use]
+pub fn fingerprint(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` crash-safely: temp file → fsync → rename,
+/// plus a best-effort fsync of the parent directory. Missing parent
+/// directories are created first. A crash at any point leaves either the
+/// old file or the new one, never a torn mixture.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation, the write, the fsync
+/// or the rename.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => {
+            fs::create_dir_all(d)?;
+            Some(d)
+        }
+        _ => None,
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename itself: fsync the directory. Best-effort —
+    // some filesystems refuse to open directories for syncing.
+    if let Some(dir) = dir {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Snapshot types
+// ---------------------------------------------------------------------
+
+/// Stable identity of one independent work item in a sweep:
+/// benchmark × architecture/algorithm × seed × scale × parameter
+/// fingerprint. Two runs of the same sweep binary with the same flags
+/// produce the same keys, which is what makes resume possible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkKey {
+    /// Benchmark (or section) name.
+    pub benchmark: String,
+    /// Architecture or algorithm label.
+    pub arch: String,
+    /// The item's RNG seed.
+    pub seed: u64,
+    /// Scale label (e.g. `"paper"` or `"reduced-10"`).
+    pub scale: String,
+    /// [`fingerprint`] of the item's search/configuration parameters, so
+    /// a checkpoint taken under different parameters is never reused.
+    pub config_fingerprint: u64,
+}
+
+impl WorkKey {
+    /// Builds a key, fingerprinting `params` (any `Debug`-able parameter
+    /// bundle) into the `config_fingerprint` field.
+    #[must_use]
+    pub fn new(
+        benchmark: impl Into<String>,
+        arch: impl Into<String>,
+        seed: u64,
+        scale: impl Into<String>,
+        params: &impl fmt::Debug,
+    ) -> Self {
+        Self {
+            benchmark: benchmark.into(),
+            arch: arch.into(),
+            seed,
+            scale: scale.into(),
+            config_fingerprint: fingerprint(&format!("{params:?}")),
+        }
+    }
+}
+
+impl fmt::Display for WorkKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/seed{}/{}/{:016x}",
+            self.benchmark, self.arch, self.seed, self.scale, self.config_fingerprint
+        )
+    }
+}
+
+/// How a work item's result was obtained, recorded in every
+/// [`WorkRecord`] so report tables can mark degraded cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Degradation {
+    /// The primary strategy succeeded.
+    #[default]
+    None,
+    /// A fallback strategy produced the result after the primary failed
+    /// repeatedly (e.g. BS-SA degraded to the DALTA baseline).
+    Degraded {
+        /// Label of the strategy that produced the result.
+        strategy: String,
+    },
+    /// Every strategy failed; the record is a placeholder with no result.
+    Failed,
+}
+
+impl Degradation {
+    /// True unless the primary strategy succeeded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Self::None)
+    }
+}
+
+/// One finished work item inside a [`SweepSnapshot`]: its key, how it
+/// finished, and (unless it failed outright) its result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkRecord<R> {
+    /// The item's identity.
+    pub key: WorkKey,
+    /// How the result was obtained.
+    pub degradation: Degradation,
+    /// Total strategy attempts spent on the item.
+    pub attempts: u32,
+    /// The result; `None` only when `degradation` is
+    /// [`Degradation::Failed`].
+    pub result: Option<R>,
+}
+
+/// Sweep-level state persisted between work items: which items finished
+/// (with their results) and which were in flight when the checkpoint was
+/// taken. In-flight items are replayed on resume — their partial work is
+/// discarded, so resumed results match an uninterrupted run exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSnapshot<R> {
+    /// Fingerprint of the whole sweep configuration (seed, scale, runs,
+    /// parameters). A checkpoint whose fingerprint differs from the
+    /// resuming run's is ignored rather than merged.
+    pub sweep_fingerprint: u64,
+    /// Completed items, in completion order.
+    pub completed: Vec<WorkRecord<R>>,
+    /// Items that were running when the checkpoint was written.
+    pub in_flight: Vec<WorkKey>,
+}
+
+impl<R> SweepSnapshot<R> {
+    /// An empty snapshot for a sweep with the given fingerprint.
+    #[must_use]
+    pub fn new(sweep_fingerprint: u64) -> Self {
+        Self {
+            sweep_fingerprint,
+            completed: Vec::new(),
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// The completed record for `key`, if any.
+    #[must_use]
+    pub fn find(&self, key: &WorkKey) -> Option<&WorkRecord<R>> {
+        self.completed.iter().find(|r| &r.key == key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// On-disk JSON envelope around one serialised snapshot.
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope {
+    magic: String,
+    version: u32,
+    generation: u64,
+    crc32: u32,
+    payload: String,
+}
+
+/// A checkpoint successfully read back by [`CheckpointStore::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedCheckpoint<T> {
+    /// The deserialised snapshot.
+    pub snapshot: T,
+    /// The generation number it was saved under.
+    pub generation: u64,
+}
+
+/// Versioned, checksummed, double-buffered checkpoint persistence.
+///
+/// One store owns one directory. [`save`](Self::save) alternates between
+/// two slot files with crash-safe atomic writes, so the last good
+/// checkpoint always survives; [`load`](Self::load) returns the newest
+/// slot that passes magic/version/CRC/payload validation, falling back to
+/// the older one when the newest is corrupt.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    slots: [PathBuf; 2],
+    /// Highest generation seen on disk (0 = none); the next save writes
+    /// `generation + 1` into the *other* slot. Atomic so a supervisor
+    /// holding the store stays `Sync`; saves themselves are serialised by
+    /// the single supervisor thread that calls them.
+    generation: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let store = Self {
+            slots: [dir.join("slot_a.ckpt"), dir.join("slot_b.ckpt")],
+            generation: AtomicU64::new(0),
+        };
+        let newest = store
+            .read_envelopes()
+            .into_iter()
+            .flatten()
+            .map(|e| e.generation)
+            .max()
+            .unwrap_or(0);
+        store.generation.store(newest, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// The generation of the newest valid checkpoint on disk (0 when the
+    /// store is empty).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Saves `snapshot` as a new generation, overwriting the slot that
+    /// does *not* hold the current newest checkpoint. Returns the new
+    /// generation number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O errors; on error the previous
+    /// checkpoint is untouched.
+    pub fn save<T: Serialize>(&self, snapshot: &T) -> io::Result<u64> {
+        let payload = serde_json::to_string(snapshot)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let envelope = Envelope {
+            magic: MAGIC.to_string(),
+            version: VERSION,
+            generation,
+            crc32: crc32(payload.as_bytes()),
+            payload,
+        };
+        let bytes = serde_json::to_string(&envelope)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Even generations land in slot B, odd in slot A — strictly
+        // alternating, so the newest good checkpoint is never overwritten.
+        let slot = &self.slots[generation.is_multiple_of(2) as usize];
+        atomic_write(slot, bytes.as_bytes())?;
+        self.generation.store(generation, Ordering::Relaxed);
+        Ok(generation)
+    }
+
+    /// Loads the newest checkpoint that passes validation, or `None` when
+    /// no valid checkpoint exists. A corrupt newest slot (truncated,
+    /// bit-flipped, wrong magic/version, CRC mismatch, or an unparseable
+    /// payload) is skipped in favour of the other slot.
+    ///
+    /// # Errors
+    ///
+    /// Never returns corruption as an error — corrupt slots are treated
+    /// as absent. (The `Result` wrapper is reserved for future I/O modes;
+    /// the current implementation always returns `Ok`.)
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn load<T: DeserializeOwned>(&self) -> io::Result<Option<LoadedCheckpoint<T>>> {
+        let mut best: Option<LoadedCheckpoint<T>> = None;
+        for envelope in self.read_envelopes().into_iter().flatten() {
+            if best
+                .as_ref()
+                .is_some_and(|b| b.generation >= envelope.generation)
+            {
+                continue;
+            }
+            if let Ok(snapshot) = serde_json::from_str::<T>(&envelope.payload) {
+                best = Some(LoadedCheckpoint {
+                    snapshot,
+                    generation: envelope.generation,
+                });
+            }
+        }
+        Ok(best)
+    }
+
+    /// Reads and structurally validates both slots (magic, version, CRC).
+    /// Invalid or missing slots come back as `None`.
+    fn read_envelopes(&self) -> [Option<Envelope>; 2] {
+        let read = |path: &Path| -> Option<Envelope> {
+            let text = fs::read_to_string(path).ok()?;
+            let e: Envelope = serde_json::from_str(&text).ok()?;
+            (e.magic == MAGIC && e.version == VERSION && crc32(e.payload.as_bytes()) == e.crc32)
+                .then_some(e)
+        };
+        [read(&self.slots[0]), read(&self.slots[1])]
+    }
+
+    /// Paths of the two slot files (for tests and diagnostics).
+    #[must_use]
+    pub fn slot_paths(&self) -> [&Path; 2] {
+        [&self.slots[0], &self.slots[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dalut_ckpt_{tag}_{}_{:p}",
+            std::process::id(),
+            &tag
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+    }
+
+    #[test]
+    fn atomic_write_creates_parents_and_replaces() {
+        let dir = temp_dir("atomic");
+        let p = dir.join("nested").join("out.json");
+        atomic_write(&p, b"one").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"one");
+        atomic_write(&p, b"two").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"two");
+        // No temp file left behind.
+        assert!(!p.with_extension("json.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_round_trips_and_rotates_generations() {
+        let dir = temp_dir("rotate");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.generation(), 0);
+        assert!(store.load::<SweepSnapshot<u32>>().unwrap().is_none());
+
+        let mut snap = SweepSnapshot::<u32>::new(7);
+        snap.completed.push(WorkRecord {
+            key: WorkKey::new("cos", "bs-sa", 1, "reduced-6", &"params"),
+            degradation: Degradation::None,
+            attempts: 1,
+            result: Some(41),
+        });
+        assert_eq!(store.save(&snap).unwrap(), 1);
+        snap.completed[0].result = Some(42);
+        assert_eq!(store.save(&snap).unwrap(), 2);
+
+        let loaded = store.load::<SweepSnapshot<u32>>().unwrap().unwrap();
+        assert_eq!(loaded.generation, 2);
+        assert_eq!(loaded.snapshot.completed[0].result, Some(42));
+
+        // Reopening resumes the generation counter.
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_slot_falls_back_to_previous_good_one() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut snap = SweepSnapshot::<u32>::new(1);
+        store.save(&snap).unwrap(); // gen 1 -> slot A
+        snap.completed.push(WorkRecord {
+            key: WorkKey::new("b", "a", 2, "s", &0u8),
+            degradation: Degradation::Failed,
+            attempts: 3,
+            result: None,
+        });
+        store.save(&snap).unwrap(); // gen 2 -> slot B (newest)
+
+        // Truncate the newest slot mid-file.
+        let newest = store.slot_paths()[1].to_path_buf();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = CheckpointStore::open(&dir)
+            .unwrap()
+            .load::<SweepSnapshot<u32>>()
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert!(loaded.snapshot.completed.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_the_crc() {
+        let dir = temp_dir("bitflip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(&SweepSnapshot::<u32>::new(9)).unwrap();
+        let slot = store.slot_paths()[0].to_path_buf();
+        let mut bytes = fs::read(&slot).unwrap();
+        // Flip one bit inside the payload (past the envelope prefix).
+        let idx = bytes.len() - 3;
+        bytes[idx] ^= 0x01;
+        fs::write(&slot, &bytes).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load::<SweepSnapshot<u32>>().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn work_key_display_and_lookup() {
+        let key = WorkKey::new("cos", "dalta", 5, "paper", &"p");
+        assert!(key.to_string().starts_with("cos/dalta/seed5/paper/"));
+        let mut snap = SweepSnapshot::<u8>::new(0);
+        assert!(snap.find(&key).is_none());
+        snap.completed.push(WorkRecord {
+            key: key.clone(),
+            degradation: Degradation::Degraded {
+                strategy: "dalta".into(),
+            },
+            attempts: 4,
+            result: Some(1),
+        });
+        let rec = snap.find(&key).unwrap();
+        assert!(rec.degradation.is_degraded());
+        assert_eq!(rec.attempts, 4);
+    }
+}

@@ -54,6 +54,7 @@
 pub mod analysis;
 pub mod beam;
 pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod dalta;
 pub mod error;
@@ -70,6 +71,10 @@ pub use analysis::{error_breakdown, BitErrorReport, ErrorBreakdown};
 #[allow(deprecated)]
 pub use beam::{run_bs_sa, run_bs_sa_budgeted};
 pub use budget::{BudgetTimer, CancelToken, RunBudget, Termination};
+pub use checkpoint::{
+    atomic_write, crc32, fingerprint, CheckpointStore, Degradation, LoadedCheckpoint,
+    SweepSnapshot, WorkKey, WorkRecord,
+};
 pub use config::{ApproxLutConfig, BitConfig, BitMode};
 #[allow(deprecated)]
 pub use dalta::{run_dalta, run_dalta_budgeted};

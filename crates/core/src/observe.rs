@@ -169,6 +169,45 @@ pub enum SearchEvent {
         /// Campaigns total.
         total: usize,
     },
+    /// The supervisor flushed a sweep checkpoint to disk.
+    CheckpointSaved {
+        /// Generation number of the checkpoint just written.
+        generation: u64,
+        /// Work items completed at the time of the flush.
+        completed: usize,
+    },
+    /// A resumed run loaded a prior sweep checkpoint.
+    CheckpointLoaded {
+        /// Generation number of the loaded checkpoint.
+        generation: u64,
+        /// Completed work items recovered (they will be skipped).
+        completed: usize,
+        /// In-flight items recovered (they will be replayed).
+        in_flight: usize,
+    },
+    /// A work item failed and will be attempted again.
+    ItemRetried {
+        /// Display form of the item's [`WorkKey`](crate::WorkKey).
+        key: String,
+        /// 1-based attempt number that just failed.
+        attempt: u32,
+        /// Backoff before the next attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A work item exhausted retries and fell back to a weaker strategy
+    /// (or was recorded as failed when no strategy remained).
+    ItemDegraded {
+        /// Display form of the item's [`WorkKey`](crate::WorkKey).
+        key: String,
+        /// Strategy now being used; `None` when the item is recorded as
+        /// failed with no result.
+        strategy: Option<String>,
+    },
+    /// The process received a shutdown signal and is cancelling the run.
+    ShutdownRequested {
+        /// Signal name (e.g. `"SIGINT"`).
+        signal: String,
+    },
 }
 
 /// A sink for [`SearchEvent`]s.
@@ -399,6 +438,16 @@ pub struct CounterSnapshot {
     pub task_batches: u64,
     /// `FaultSweepProgress` events.
     pub fault_progress: u64,
+    /// `CheckpointSaved` events.
+    pub checkpoints_saved: u64,
+    /// `CheckpointLoaded` events.
+    pub checkpoints_loaded: u64,
+    /// `ItemRetried` events.
+    pub items_retried: u64,
+    /// `ItemDegraded` events.
+    pub items_degraded: u64,
+    /// `ShutdownRequested` events.
+    pub shutdowns_requested: u64,
 }
 
 /// Aggregated effort attributed to one named phase.
@@ -477,6 +526,11 @@ pub struct MetricsRecorder {
     budget_ticks: AtomicU64,
     task_batches: AtomicU64,
     fault_progress: AtomicU64,
+    checkpoints_saved: AtomicU64,
+    checkpoints_loaded: AtomicU64,
+    items_retried: AtomicU64,
+    items_degraded: AtomicU64,
+    shutdowns_requested: AtomicU64,
     hist_batch_evaluated: Histogram,
     hist_kernel_alternations: Histogram,
     kernel_at_creation: KernelStats,
@@ -521,6 +575,11 @@ impl MetricsRecorder {
             budget_ticks: AtomicU64::new(0),
             task_batches: AtomicU64::new(0),
             fault_progress: AtomicU64::new(0),
+            checkpoints_saved: AtomicU64::new(0),
+            checkpoints_loaded: AtomicU64::new(0),
+            items_retried: AtomicU64::new(0),
+            items_degraded: AtomicU64::new(0),
+            shutdowns_requested: AtomicU64::new(0),
             hist_batch_evaluated: Histogram::default(),
             hist_kernel_alternations: Histogram::default(),
             kernel_at_creation: kernel_stats::global(),
@@ -554,6 +613,11 @@ impl MetricsRecorder {
             budget_ticks: ld(&self.budget_ticks),
             task_batches: ld(&self.task_batches),
             fault_progress: ld(&self.fault_progress),
+            checkpoints_saved: ld(&self.checkpoints_saved),
+            checkpoints_loaded: ld(&self.checkpoints_loaded),
+            items_retried: ld(&self.items_retried),
+            items_degraded: ld(&self.items_degraded),
+            shutdowns_requested: ld(&self.shutdowns_requested),
         };
         let cache_hit_rate = if counters.neighbours_requested == 0 {
             0.0
@@ -647,6 +711,11 @@ impl Observer for MetricsRecorder {
             SearchEvent::BudgetTick { .. } => add(&self.budget_ticks, 1),
             SearchEvent::TaskBatch { .. } => add(&self.task_batches, 1),
             SearchEvent::FaultSweepProgress { .. } => add(&self.fault_progress, 1),
+            SearchEvent::CheckpointSaved { .. } => add(&self.checkpoints_saved, 1),
+            SearchEvent::CheckpointLoaded { .. } => add(&self.checkpoints_loaded, 1),
+            SearchEvent::ItemRetried { .. } => add(&self.items_retried, 1),
+            SearchEvent::ItemDegraded { .. } => add(&self.items_degraded, 1),
+            SearchEvent::ShutdownRequested { .. } => add(&self.shutdowns_requested, 1),
             // Future event kinds default to uncounted (the enum is
             // non-exhaustive for downstream crates).
             #[allow(unreachable_patterns)]

@@ -1,0 +1,220 @@
+//! Durability properties of the crash-safe checkpoint layer: snapshots
+//! round-trip bit-exactly through the store, truncating or bit-flipping
+//! the newest slot at *any* position is detected, and recovery always
+//! lands on the last good generation (or a clean "no checkpoint", never
+//! a torn result).
+
+use dalut_core::checkpoint::{
+    crc32, CheckpointStore, Degradation, SweepSnapshot, WorkKey, WorkRecord,
+};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh directory per test case: proptest runs many cases per test,
+/// so a per-process name is not enough.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dalut_durable_{tag}_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Result payload shaped like what real sweeps persist.
+type Payload = Vec<u64>;
+
+fn arb_snapshot() -> impl Strategy<Value = SweepSnapshot<Payload>> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                0u8..3,
+                proptest::collection::vec(any::<u64>(), 0..4),
+            ),
+            0..6,
+        ),
+        proptest::collection::vec(any::<u64>(), 0..3),
+    )
+        .prop_map(|(fp, records, in_flight)| {
+            let mut snap = SweepSnapshot::new(fp);
+            for (i, (seed, kind, data)) in records.into_iter().enumerate() {
+                let key = WorkKey::new(format!("bench{i}"), "arch", seed, "reduced-8", &data);
+                let (degradation, result) = match kind {
+                    0 => (Degradation::None, Some(data)),
+                    1 => (
+                        Degradation::Degraded {
+                            strategy: "fallback".into(),
+                        },
+                        Some(data),
+                    ),
+                    _ => (Degradation::Failed, None),
+                };
+                snap.completed.push(WorkRecord {
+                    key,
+                    degradation,
+                    attempts: u32::from(kind) + 1,
+                    result,
+                });
+            }
+            for (i, seed) in in_flight.into_iter().enumerate() {
+                snap.in_flight.push(WorkKey::new(
+                    format!("fly{i}"),
+                    "arch",
+                    seed,
+                    "reduced-8",
+                    &i,
+                ));
+            }
+            snap
+        })
+}
+
+/// Saves two distinguishable generations and returns the store plus the
+/// newest slot's path (generation 2 lives in slot B, index 1).
+fn two_generations(dir: &PathBuf) -> (CheckpointStore, PathBuf) {
+    let store = CheckpointStore::open(dir).unwrap();
+    let mut snap = SweepSnapshot::<Payload>::new(77);
+    store.save(&snap).unwrap();
+    snap.completed.push(WorkRecord {
+        key: WorkKey::new("cos", "bs-sa", 3, "reduced-8", &"p"),
+        degradation: Degradation::None,
+        attempts: 1,
+        result: Some(vec![1, 2, 3]),
+    });
+    store.save(&snap).unwrap();
+    let newest = store.slot_paths()[1].to_path_buf();
+    (store, newest)
+}
+
+fn load_gen(dir: &PathBuf) -> Option<u64> {
+    CheckpointStore::open(dir)
+        .unwrap()
+        .load::<SweepSnapshot<Payload>>()
+        .unwrap()
+        .map(|l| l.generation)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// save → load returns exactly the snapshot that was saved, at the
+    /// generation the save reported — for arbitrary record mixes.
+    #[test]
+    fn snapshots_round_trip_bit_exactly(snap in arb_snapshot()) {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let generation = store.save(&snap).unwrap();
+        let loaded = store.load::<SweepSnapshot<Payload>>().unwrap().unwrap();
+        prop_assert_eq!(loaded.generation, generation);
+        prop_assert_eq!(loaded.snapshot, snap);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating the newest slot at ANY byte boundary falls back to the
+    /// previous good generation.
+    #[test]
+    fn any_truncation_recovers_the_previous_generation(cut in 0.0f64..1.0) {
+        let dir = temp_dir("truncate");
+        let (_store, newest) = two_generations(&dir);
+        let bytes = fs::read(&newest).unwrap();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        fs::write(&newest, &bytes[..keep.min(bytes.len().saturating_sub(1))]).unwrap();
+        prop_assert_eq!(load_gen(&dir), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping ANY single bit in the newest slot is detected (CRC or
+    /// structural validation) and recovery lands on the previous
+    /// generation — or, if the flip leaves the envelope valid, the load
+    /// still succeeds at generation 2 with intact CRC.
+    #[test]
+    fn any_bit_flip_is_detected_or_harmless(pos in 0.0f64..1.0, bit in 0u8..8) {
+        let dir = temp_dir("bitflip");
+        let (_store, newest) = two_generations(&dir);
+        let mut bytes = fs::read(&newest).unwrap();
+        let idx = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        fs::write(&newest, &bytes).unwrap();
+        // Either the corruption is caught (fall back to generation 1) or
+        // the flipped byte did not change the decoded payload (e.g. a
+        // flip inside the stored CRC digits caught as mismatch, counted
+        // in the first case; or whitespace) — never a crash, never a
+        // generation beyond 2.
+        let generation = load_gen(&dir).unwrap();
+        prop_assert!(generation == 1 || generation == 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_even_with_a_valid_crc() {
+    let dir = temp_dir("magic");
+    let (store, newest) = two_generations(&dir);
+    drop(store);
+    // Rewrite the envelope with a foreign magic string but a correct CRC:
+    // structural validation alone must reject it.
+    let text = fs::read_to_string(&newest).unwrap();
+    let forged = text.replace("dalut-checkpoint", "other-checkpoint!");
+    assert_ne!(text, forged, "magic string not found in envelope");
+    fs::write(&newest, forged).unwrap();
+    assert_eq!(load_gen(&dir), Some(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn both_slots_corrupt_reads_as_no_checkpoint() {
+    let dir = temp_dir("bothbad");
+    let (store, _) = two_generations(&dir);
+    for path in store.slot_paths() {
+        fs::write(path, b"{ not json").unwrap();
+    }
+    assert_eq!(load_gen(&dir), None);
+    // And the store stays usable: the next save starts a new history.
+    let reopened = CheckpointStore::open(&dir).unwrap();
+    assert_eq!(reopened.generation(), 0);
+    reopened.save(&SweepSnapshot::<Payload>::new(5)).unwrap();
+    assert_eq!(load_gen(&dir), Some(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crc_reference_vector_holds() {
+    // IEEE 802.3 check value — guards against table or reflection bugs.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+#[test]
+fn interleaved_saves_always_leave_a_loadable_previous_generation() {
+    // Simulate a long sweep: after every save, corrupting the newest
+    // slot must still leave generation - 1 loadable.
+    let dir = temp_dir("history");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let mut snap = SweepSnapshot::<Payload>::new(11);
+    for generation in 1..=6u64 {
+        snap.completed.push(WorkRecord {
+            key: WorkKey::new("cos", "dalta", generation, "reduced-8", &generation),
+            degradation: Degradation::None,
+            attempts: 1,
+            result: Some(vec![generation]),
+        });
+        assert_eq!(store.save(&snap).unwrap(), generation);
+        if generation >= 2 {
+            // Corrupt the slot just written, on a copy of the directory
+            // state, and confirm fallback.
+            let newest = store.slot_paths()[generation.is_multiple_of(2) as usize];
+            let good = fs::read(newest).unwrap();
+            fs::write(newest, b"torn").unwrap();
+            assert_eq!(load_gen(&dir), Some(generation - 1));
+            fs::write(newest, &good).unwrap();
+            assert_eq!(load_gen(&dir), Some(generation));
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
