@@ -2,9 +2,11 @@
 //! on DFF-RAM LUT structures (the building block every Fig. 5 energy
 //! number is measured on).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dalut_hw::lut::dff_lut;
-use dalut_netlist::{area_um2, critical_path_ns, CellLibrary, Netlist, Simulator, ROOT_DOMAIN};
+use dalut_netlist::{
+    area_um2, critical_path_ns, BatchSimulator, CellLibrary, Netlist, Simulator, LANES, ROOT_DOMAIN,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,11 +32,68 @@ fn bench_sim(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sim = Simulator::new(&nl).unwrap();
                     for &(q, v) in &presets {
-                        sim.preset_dff(q, v);
+                        sim.preset_dff(q, v).unwrap();
                     }
                     let mut acc = 0u64;
                     for i in 0..256u64 {
                         acc ^= sim.eval_word(i % (1 << bits));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scalar one-cycle-at-a-time simulation vs the 64-way bit-parallel
+/// [`BatchSimulator`] on the same LUT and read trace — the engines the
+/// power/accuracy sign-off path chooses between.
+fn bench_fast_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_fast_vs_scalar");
+    group.sample_size(20);
+    const CYCLES: usize = 1024;
+    for addr_bits in [6usize, 8, 10] {
+        let (nl, presets) = build_lut(addr_bits);
+        let mask = (1u64 << addr_bits) - 1;
+        let reads: Vec<u64> = (0..CYCLES as u64).map(|i| i & mask).collect();
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", addr_bits), &addr_bits, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&nl).unwrap();
+                for &(q, v) in &presets {
+                    sim.preset_dff(q, v).unwrap();
+                }
+                let mut acc = 0u64;
+                for &x in &reads {
+                    acc ^= sim.eval_word(x);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("batched", addr_bits),
+            &addr_bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let mut sim = BatchSimulator::new(&nl).unwrap();
+                    for &(q, v) in &presets {
+                        sim.preset_dff(q, v).unwrap();
+                    }
+                    // Pack 64 successive reads into one word per address
+                    // bit, simulate the block, fold the output word.
+                    let mut in_words = vec![0u64; bits];
+                    let mut out_words = [0u64; 1];
+                    let mut acc = 0u64;
+                    for block in reads.chunks(LANES) {
+                        for (bit, word) in in_words.iter_mut().enumerate() {
+                            *word = 0;
+                            for (lane, &x) in block.iter().enumerate() {
+                                *word |= ((x >> bit) & 1) << lane;
+                            }
+                        }
+                        sim.step_block(&in_words, block.len(), &mut out_words);
+                        acc ^= out_words[0];
                     }
                     acc
                 })
@@ -81,5 +140,11 @@ fn bench_opt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim, bench_analysis, bench_opt);
+criterion_group!(
+    benches,
+    bench_sim,
+    bench_fast_vs_scalar,
+    bench_analysis,
+    bench_opt
+);
 criterion_main!(benches);

@@ -33,8 +33,8 @@ use dalut_core::{
     Termination,
 };
 use dalut_hw::{
-    build_approx_lut, build_round_in, build_round_out, fault_report, round_out_table, ArchInstance,
-    ArchStyle, FaultModel, FaultReport,
+    build_approx_lut, build_round_in, build_round_out, round_out_table, ArchInstance, ArchStyle,
+    FaultCampaign, FaultModel, FaultReport,
 };
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -105,6 +105,10 @@ fn sweep_arch(
         length: 4,
     });
     let total = models.len();
+    // The fault-free golden outputs depend only on the instance, so the
+    // exhaustive baseline simulation is hoisted out of the model loop:
+    // one campaign serves all seven corruption models.
+    let campaign = FaultCampaign::new(inst).map_err(|e| ItemError::Failed(e.to_string()))?;
     let mut reports = Vec::new();
     for (mi, model) in models.iter().enumerate() {
         if cancel.is_cancelled() {
@@ -113,7 +117,8 @@ fn sweep_arch(
         let seed = base_seed
             .wrapping_add(1000 * ai as u64)
             .wrapping_add(mi as u64);
-        let rep = fault_report(inst, model, TRIALS, seed)
+        let rep = campaign
+            .report_observed(model, TRIALS, seed, observer)
             .map_err(|e| ItemError::Failed(e.to_string()))?;
         reports.push(rep);
         observer.on_event(&SearchEvent::FaultSweepProgress {

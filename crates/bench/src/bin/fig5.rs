@@ -22,10 +22,10 @@ use dalut_core::{
     ApproxLutBuilder, ArchPolicy, CancelToken, Observer, RunBudget, SearchEvent, Termination,
 };
 use dalut_hw::{
-    build_approx_lut, build_round_in, build_round_out, characterize, round_in_table,
+    build_approx_lut, build_round_in, build_round_out, characterize_observed, round_in_table,
     round_out_table, ArchInstance, ArchStyle,
 };
-use dalut_netlist::{critical_path_ns, CellLibrary};
+use dalut_netlist::{critical_path_ns, CellLibrary, LANES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -196,16 +196,20 @@ fn bench_row(
         &|x| bn.config.eval(x),
         &|x| bnnd.config.eval(x),
     ];
+    let sample = &reads[..reads.len().min(LANES)];
+    let mut outs = vec![0u32; sample.len()];
     for ((inst, _), model) in instances.iter().zip(models) {
-        let mut sim = inst.simulator().expect("acyclic");
-        for &x in reads.iter().take(64) {
-            assert_eq!(inst.read(&mut sim, x), model(x), "hardware sign-off failed");
+        let mut sim = inst.batch_simulator().expect("acyclic");
+        inst.read_block(&mut sim, sample, &mut outs);
+        for (&x, &y) in sample.iter().zip(&outs) {
+            assert_eq!(y, model(x), "hardware sign-off failed");
         }
     }
 
     let mut metrics_out = Vec::new();
     for ((inst, med), name) in instances.iter().zip(ARCH_NAMES) {
-        let rep = characterize(inst, &reads, lib, clock).map_err(|e| fail(&e))?;
+        let rep =
+            characterize_observed(inst, &reads, lib, clock, observer).map_err(|e| fail(&e))?;
         metrics_out.push(ArchMetrics {
             arch: name.to_string(),
             med: *med,

@@ -22,7 +22,7 @@ use dalut_core::{
     mode_sweep, ApproxLutBuilder, ArchPolicy, CancelToken, Observer, SearchEvent, SearchOutcome,
     Termination,
 };
-use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_hw::{build_approx_lut, characterize_observed, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -198,7 +198,8 @@ fn main() -> ExitCode {
 
     let mut energies = Vec::new();
     for (inst, _, _) in &instances {
-        let rep = characterize(inst, &reads, &lib, clock).expect("characterise");
+        let rep =
+            characterize_observed(inst, &reads, &lib, clock, obs.observer()).expect("characterise");
         energies.push(rep.energy_per_read_fj);
     }
     let (dalta_energy, sweep_energies) = (energies[0], &energies[1..]);

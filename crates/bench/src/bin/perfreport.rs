@@ -14,19 +14,21 @@
 //! SIGINT/SIGTERM leaves a partial-marked report (exit nonzero).
 
 use dalut_bench::report::write_json;
-use dalut_bench::setup::{bssa_params, dalta_params};
+use dalut_bench::setup::{bssa_params, dalta_params, round_in_w, ENERGY_READS};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{InputDistribution, Partition, TruthTable};
 use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
-    ApproxLutBuilder, ArchPolicy, CancelToken, MetricsSnapshot, Observer, RunBudget, SearchEvent,
-    Termination,
+    ApproxLutBuilder, ArchPolicy, BsSaParams, CancelToken, DaltaParams, MetricsSnapshot, Observer,
+    RunBudget, SearchEvent, Termination,
 };
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
+use dalut_hw::{build_approx_lut, build_round_in, build_round_out, ArchInstance, ArchStyle};
+use dalut_netlist::{critical_path_ns, CellKind, CellLibrary};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -129,6 +131,125 @@ fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
         .collect()
 }
 
+/// One simulation-throughput row: the scalar engine vs the batched
+/// 64-way engine over the same instance and read trace.
+#[derive(Debug, Serialize)]
+struct SimRow {
+    arch: String,
+    cells: usize,
+    dffs: usize,
+    reads: usize,
+    scalar_cps: f64,
+    batched_cps: f64,
+    speedup: f64,
+    /// `true` when outputs and the full `PowerReport` matched
+    /// bit-for-bit between the two engines.
+    power_match: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SimReport {
+    schema: String,
+    seed: u64,
+    benchmark: String,
+    scale_bits: usize,
+    rows: Vec<SimRow>,
+}
+
+/// Times the power/accuracy sign-off simulation (scalar vs batched) on
+/// the five Fig. 5 architectures. Configuration quality is irrelevant
+/// here — only netlist shape matters — so the searches use the cheap
+/// `fast()` parameter sets.
+fn sim_section(args: &HarnessArgs) -> SimReport {
+    let scale_bits = args.scale_bits.min(8);
+    let target = Benchmark::Cos
+        .table(Scale::Reduced(scale_bits))
+        .expect("benchmark builds");
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n).expect("valid width");
+    let lib = CellLibrary::nangate45();
+    let mut dp = DaltaParams::fast();
+    dp.search.seed = args.seed;
+    let dalta = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .dalta(dp)
+        .run()
+        .expect("search");
+    let mut bp = BsSaParams::fast();
+    bp.search.seed = args.seed;
+    let search = |policy: ArchPolicy| {
+        ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(bp)
+            .policy(policy)
+            .run()
+            .expect("search")
+    };
+    let bn = search(ArchPolicy::bto_normal_paper());
+    let bnnd = search(ArchPolicy::bto_normal_nd_paper());
+    let instances: Vec<(&str, ArchInstance)> = vec![
+        ("RoundOut", build_round_out(&target, 1)),
+        ("RoundIn", build_round_in(&target, round_in_w(n))),
+        (
+            "DALTA",
+            build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("build"),
+        ),
+        (
+            "BTO-Normal",
+            build_approx_lut(&bn.config, ArchStyle::BtoNormal).expect("build"),
+        ),
+        (
+            "BTO-Normal-ND",
+            build_approx_lut(&bnnd.config, ArchStyle::BtoNormalNd).expect("build"),
+        ),
+    ];
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x51B);
+    let reads: Vec<u32> = (0..ENERGY_READS)
+        .map(|_| rng.random_range(0..(1u32 << n)))
+        .collect();
+    let mut rows = Vec::new();
+    for (name, inst) in &instances {
+        let clock = critical_path_ns(inst.netlist(), &lib).expect("acyclic") * 1.05;
+        let (scalar_outs, scalar_power) = inst.measure_scalar(&reads, &lib, clock).expect("sim");
+        let (batch_outs, batch_power) = inst.measure(&reads, &lib, clock).expect("sim");
+        let power_match = scalar_outs == batch_outs && scalar_power == batch_power;
+        let (scalar_ns, _) = time_ns(|| {
+            std::hint::black_box(inst.measure_scalar(&reads, &lib, clock)).expect("sim");
+        });
+        let (batched_ns, _) = time_ns(|| {
+            std::hint::black_box(inst.measure(&reads, &lib, clock)).expect("sim");
+        });
+        let cps = |ns: f64| reads.len() as f64 * 1e9 / ns;
+        let row = SimRow {
+            arch: (*name).to_string(),
+            cells: inst.netlist().cells().len(),
+            dffs: inst
+                .netlist()
+                .cells()
+                .iter()
+                .filter(|c| c.kind == CellKind::Dff)
+                .count(),
+            reads: reads.len(),
+            scalar_cps: cps(scalar_ns),
+            batched_cps: cps(batched_ns),
+            speedup: scalar_ns / batched_ns,
+            power_match,
+        };
+        eprintln!(
+            "sim {name}: scalar {:.2e} cyc/s, batched {:.2e} cyc/s, speedup {:.2}x, match={}",
+            row.scalar_cps, row.batched_cps, row.speedup, row.power_match
+        );
+        rows.push(row);
+    }
+    SimReport {
+        schema: "dalut-simreport/v1".to_string(),
+        seed: args.seed,
+        benchmark: Benchmark::Cos.name().to_string(),
+        scale_bits,
+        rows,
+    }
+}
+
 /// One prepared search workload (benchmark × algorithm).
 struct SearchSpec {
     bench: Benchmark,
@@ -197,6 +318,7 @@ fn main() -> std::process::ExitCode {
     let token = CancelToken::new();
     shutdown::install(&token);
     let kernel = obs.phase("kernel", || kernel_section(&args));
+    let sim = obs.phase("sim", || sim_section(&args));
 
     // A reduced table2 workload: two representative benchmarks (one
     // continuous, one discrete), one run each, both algorithms — exactly
@@ -289,6 +411,12 @@ fn main() -> std::process::ExitCode {
         eprintln!("perfreport: cannot write {}: {e}", path.display());
         return std::process::ExitCode::FAILURE;
     }
+    let sim_path = path.with_file_name("BENCH_sim.json");
+    if let Err(e) = write_json(&sim_path, &sim) {
+        eprintln!("perfreport: cannot write {}: {e}", sim_path.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", sim_path.display());
     eprintln!(
         "wrote {}{}",
         path.display(),

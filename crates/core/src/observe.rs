@@ -160,6 +160,16 @@ pub enum SearchEvent {
         /// Tasks that panicked.
         failed: usize,
     },
+    /// A simulation engine finished a block of sign-off cycles (the
+    /// hardware-evaluation analogue of `KernelInvocation`).
+    SimBatch {
+        /// Engine label: `"scalar"` or `"batch"`.
+        engine: String,
+        /// Cycles simulated in this batch.
+        cycles: u64,
+        /// Lane-word blocks evaluated (1 for scalar runs).
+        blocks: u64,
+    },
     /// A fault-injection sweep advanced.
     FaultSweepProgress {
         /// Architecture label being swept.
@@ -436,6 +446,12 @@ pub struct CounterSnapshot {
     pub budget_ticks: u64,
     /// `TaskBatch` events.
     pub task_batches: u64,
+    /// `SimBatch` events.
+    #[serde(default)]
+    pub sim_batches: u64,
+    /// Cycles simulated across all `SimBatch` events.
+    #[serde(default)]
+    pub sim_cycles: u64,
     /// `FaultSweepProgress` events.
     pub fault_progress: u64,
     /// `CheckpointSaved` events.
@@ -525,6 +541,8 @@ pub struct MetricsRecorder {
     kernel_alternations: AtomicU64,
     budget_ticks: AtomicU64,
     task_batches: AtomicU64,
+    sim_batches: AtomicU64,
+    sim_cycles: AtomicU64,
     fault_progress: AtomicU64,
     checkpoints_saved: AtomicU64,
     checkpoints_loaded: AtomicU64,
@@ -574,6 +592,8 @@ impl MetricsRecorder {
             kernel_alternations: AtomicU64::new(0),
             budget_ticks: AtomicU64::new(0),
             task_batches: AtomicU64::new(0),
+            sim_batches: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
             fault_progress: AtomicU64::new(0),
             checkpoints_saved: AtomicU64::new(0),
             checkpoints_loaded: AtomicU64::new(0),
@@ -612,6 +632,8 @@ impl MetricsRecorder {
             kernel_alternations: ld(&self.kernel_alternations),
             budget_ticks: ld(&self.budget_ticks),
             task_batches: ld(&self.task_batches),
+            sim_batches: ld(&self.sim_batches),
+            sim_cycles: ld(&self.sim_cycles),
             fault_progress: ld(&self.fault_progress),
             checkpoints_saved: ld(&self.checkpoints_saved),
             checkpoints_loaded: ld(&self.checkpoints_loaded),
@@ -710,6 +732,10 @@ impl Observer for MetricsRecorder {
             }
             SearchEvent::BudgetTick { .. } => add(&self.budget_ticks, 1),
             SearchEvent::TaskBatch { .. } => add(&self.task_batches, 1),
+            SearchEvent::SimBatch { cycles, .. } => {
+                add(&self.sim_batches, 1);
+                add(&self.sim_cycles, *cycles);
+            }
             SearchEvent::FaultSweepProgress { .. } => add(&self.fault_progress, 1),
             SearchEvent::CheckpointSaved { .. } => add(&self.checkpoints_saved, 1),
             SearchEvent::CheckpointLoaded { .. } => add(&self.checkpoints_loaded, 1),

@@ -24,7 +24,8 @@
 
 use crate::arch::HwError;
 use crate::instance::ArchInstance;
-use dalut_netlist::NetId;
+use dalut_core::{NoopObserver, Observer, SearchEvent};
+use dalut_netlist::{NetId, LANES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -177,9 +178,152 @@ pub struct FaultReport {
     pub max_ed: u32,
 }
 
+/// A prepared fault campaign against one instance.
+///
+/// Construction computes the fault-free ("golden") exhaustive outputs
+/// once on the batched 64-way engine; every subsequent
+/// [`report`](Self::report) — across fault models *and* probabilities —
+/// reuses them, so a sweep pays for the baseline exactly once per
+/// architecture instead of once per campaign.
+#[derive(Debug)]
+pub struct FaultCampaign<'a> {
+    inst: &'a ArchInstance,
+    golden: Vec<u32>,
+    /// The exhaustive address sequence `0..2^n`, packed into lane blocks
+    /// once at construction.
+    addresses: Vec<u32>,
+}
+
+impl<'a> FaultCampaign<'a> {
+    /// Prepares a campaign: validates the instance width and computes the
+    /// fault-free baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFaultModel`] if the instance is too wide
+    /// to evaluate exhaustively (more than 20 inputs), and
+    /// [`HwError::Netlist`] if the netlist cannot be simulated.
+    pub fn new(inst: &'a ArchInstance) -> Result<Self, HwError> {
+        if inst.inputs() > MAX_EXHAUSTIVE_INPUTS {
+            return Err(HwError::InvalidFaultModel {
+                detail: format!(
+                    "exhaustive evaluation is capped at {MAX_EXHAUSTIVE_INPUTS} inputs (instance has {})",
+                    inst.inputs()
+                ),
+            });
+        }
+        let words = 1u32 << inst.inputs();
+        let addresses: Vec<u32> = (0..words).collect();
+        let mut sim = inst.batch_simulator()?;
+        let mut golden = vec![0u32; words as usize];
+        for (block_in, block_out) in addresses.chunks(LANES).zip(golden.chunks_mut(LANES)) {
+            inst.read_block(&mut sim, block_in, block_out);
+        }
+        Ok(Self {
+            inst,
+            golden,
+            addresses,
+        })
+    }
+
+    /// The fault-free exhaustive outputs, indexed by input word.
+    pub fn golden(&self) -> &[u32] {
+        &self.golden
+    }
+
+    /// Runs one campaign: `trials` independent corruptions of the stored
+    /// bits under `model`, each evaluated exhaustively on the batched
+    /// engine against the hoisted baseline.
+    ///
+    /// Deterministic in `seed`: equal arguments give an identical report,
+    /// bit-identical to the scalar engine's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFaultModel`] for bad model parameters or
+    /// zero trials, and [`HwError::Netlist`] if the netlist cannot be
+    /// simulated.
+    pub fn report(
+        &self,
+        model: &FaultModel,
+        trials: usize,
+        seed: u64,
+    ) -> Result<FaultReport, HwError> {
+        self.report_observed(model, trials, seed, &NoopObserver)
+    }
+
+    /// [`report`](Self::report) with an [`Observer`]: emits one
+    /// [`SearchEvent::SimBatch`] summarising the corrupted-trial blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`report`](Self::report).
+    pub fn report_observed(
+        &self,
+        model: &FaultModel,
+        trials: usize,
+        seed: u64,
+        observer: &dyn Observer,
+    ) -> Result<FaultReport, HwError> {
+        model.validate()?;
+        if trials == 0 {
+            return Err(HwError::InvalidFaultModel {
+                detail: "a campaign needs at least one trial".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flipped_bits = 0usize;
+        let mut wrong = 0u64;
+        let mut sum_ed = 0.0f64;
+        let mut max_ed = 0u32;
+        let mut blocks = 0u64;
+        let mut outs = [0u32; LANES];
+        for _ in 0..trials {
+            let mut stored = self.inst.presets().to_vec();
+            flipped_bits += model.apply(&mut stored, &mut rng);
+            let mut sim = self.inst.batch_simulator_with_presets(&stored)?;
+            for (block_in, golden) in self.addresses.chunks(LANES).zip(self.golden.chunks(LANES)) {
+                let outs = &mut outs[..block_in.len()];
+                self.inst.read_block(&mut sim, block_in, outs);
+                blocks += 1;
+                for (&y, &g) in outs.iter().zip(golden) {
+                    if y != g {
+                        wrong += 1;
+                        let ed = g.abs_diff(y);
+                        sum_ed += f64::from(ed);
+                        max_ed = max_ed.max(ed);
+                    }
+                }
+            }
+        }
+        let reads = self.golden.len() as u64 * trials as u64;
+        if observer.enabled() {
+            observer.on_event(&SearchEvent::SimBatch {
+                engine: "batch".to_string(),
+                cycles: reads,
+                blocks,
+            });
+        }
+        Ok(FaultReport {
+            model: model.name().to_string(),
+            probability: model.probability(),
+            trials,
+            stored_bits: self.inst.presets().len(),
+            flipped_bits,
+            error_rate: wrong as f64 / reads as f64,
+            med: sum_ed / reads as f64,
+            max_ed,
+        })
+    }
+}
+
 /// Runs a fault campaign: `trials` independent corruptions of the
 /// instance's stored bits under `model`, each evaluated exhaustively
 /// against the fault-free instance.
+///
+/// One-shot convenience over [`FaultCampaign`] — sweeps running several
+/// models or probabilities against the same instance should construct
+/// the campaign once and call [`FaultCampaign::report`] per point.
 ///
 /// Deterministic in `seed`: equal arguments give an identical report.
 ///
@@ -190,6 +334,29 @@ pub struct FaultReport {
 /// 20 inputs), and [`HwError::Netlist`] if the netlist cannot be
 /// simulated.
 pub fn fault_report(
+    inst: &ArchInstance,
+    model: &FaultModel,
+    trials: usize,
+    seed: u64,
+) -> Result<FaultReport, HwError> {
+    // Validate cheap arguments before paying for the baseline, keeping
+    // the historical error precedence.
+    model.validate()?;
+    if trials == 0 {
+        return Err(HwError::InvalidFaultModel {
+            detail: "a campaign needs at least one trial".to_string(),
+        });
+    }
+    FaultCampaign::new(inst)?.report(model, trials, seed)
+}
+
+/// The scalar one-cycle-at-a-time reference for [`fault_report`],
+/// retained for differential testing of the batched fault path.
+///
+/// # Errors
+///
+/// As [`fault_report`].
+pub fn fault_report_scalar(
     inst: &ArchInstance,
     model: &FaultModel,
     trials: usize,
@@ -353,6 +520,39 @@ mod tests {
             fault_report(&inst, &FaultModel::Seu { probability: 0.1 }, 0, 0),
             Err(HwError::InvalidFaultModel { .. })
         ));
+    }
+
+    #[test]
+    fn batched_campaign_matches_scalar_reference_bit_for_bit() {
+        let inst = inst();
+        for model in [
+            FaultModel::Seu { probability: 0.05 },
+            FaultModel::StuckAt {
+                probability: 0.1,
+                value: true,
+            },
+            FaultModel::Burst {
+                probability: 0.05,
+                length: 3,
+            },
+        ] {
+            let fast = fault_report(&inst, &model, 5, 42).unwrap();
+            let slow = fault_report_scalar(&inst, &model, 5, 42).unwrap();
+            assert_eq!(fast, slow, "batched vs scalar diverged for {model:?}");
+        }
+    }
+
+    #[test]
+    fn hoisted_campaign_equals_fresh_reports() {
+        let inst = inst();
+        let campaign = FaultCampaign::new(&inst).unwrap();
+        for p in [0.02, 0.2] {
+            let model = FaultModel::Seu { probability: p };
+            assert_eq!(
+                campaign.report(&model, 4, 9).unwrap(),
+                fault_report(&inst, &model, 4, 9).unwrap()
+            );
+        }
     }
 
     #[test]

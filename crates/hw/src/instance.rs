@@ -1,9 +1,10 @@
 //! A built architecture instance and its characterisation (area, timing,
 //! energy per read — the paper's Fig. 5 metrics).
 
+use dalut_core::{NoopObserver, Observer, SearchEvent};
 use dalut_netlist::{
-    area_um2, critical_path_ns, power_report, CellLibrary, DomainId, NetId, Netlist, NetlistError,
-    PowerReport, Simulator,
+    area_um2, critical_path_ns, power_report, BatchSimulator, CellLibrary, DomainId, NetId,
+    Netlist, NetlistError, PowerReport, Simulator, LANES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -117,7 +118,39 @@ impl ArchInstance {
     ) -> Result<Simulator<'_>, NetlistError> {
         let mut sim = Simulator::new(&self.netlist)?;
         for &(q, v) in presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v)?;
+        }
+        for &d in &self.disabled {
+            sim.set_domain_enabled(d, false);
+        }
+        Ok(sim)
+    }
+
+    /// Creates a 64-way [`BatchSimulator`] with ROM contents preset and
+    /// gated domains disabled — the fast sign-off engine behind
+    /// [`measure`](Self::measure).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn batch_simulator(&self) -> Result<BatchSimulator<'_>, NetlistError> {
+        self.batch_simulator_with_presets(&self.presets)
+    }
+
+    /// Like [`batch_simulator`](Self::batch_simulator), but loads the
+    /// caller's copy of the stored bits — the batched entry point for
+    /// fault injection (corrupted presets are broadcast across lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn batch_simulator_with_presets(
+        &self,
+        presets: &[(NetId, bool)],
+    ) -> Result<BatchSimulator<'_>, NetlistError> {
+        let mut sim = BatchSimulator::new(&self.netlist)?;
+        for &(q, v) in presets {
+            sim.preset_dff(q, v)?;
         }
         for &d in &self.disabled {
             sim.set_domain_enabled(d, false);
@@ -130,13 +163,103 @@ impl ArchInstance {
         sim.eval_word(u64::from(x)) as u32
     }
 
+    /// Performs up to 64 read operations as one simulated lane block,
+    /// writing one output word per read. Results (and the simulator's
+    /// toggle/activity statistics) are bit-identical to calling
+    /// [`read`](Self::read) per element on a scalar simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` is empty or longer than [`LANES`], `out` differs
+    /// in length, or the instance interface exceeds 64 bits either way.
+    pub fn read_block(&self, sim: &mut BatchSimulator<'_>, reads: &[u32], out: &mut [u32]) {
+        let lanes = reads.len();
+        assert!(
+            (1..=LANES).contains(&lanes),
+            "a read block holds 1..={LANES} reads"
+        );
+        assert_eq!(out.len(), lanes, "one output per read");
+        assert!(
+            self.inputs <= 64 && self.outputs <= 64,
+            "read_block supports interfaces up to 64 bits"
+        );
+        let mut in_words = [0u64; 64];
+        for (l, &x) in reads.iter().enumerate() {
+            let x = u64::from(x);
+            for (k, word) in in_words[..self.inputs].iter_mut().enumerate() {
+                *word |= ((x >> k) & 1) << l;
+            }
+        }
+        let mut out_words = [0u64; 64];
+        sim.step_block(
+            &in_words[..self.inputs],
+            lanes,
+            &mut out_words[..self.outputs],
+        );
+        for (l, slot) in out.iter_mut().enumerate() {
+            let mut y = 0u32;
+            for (k, word) in out_words[..self.outputs].iter().enumerate() {
+                y |= (((word >> l) & 1) as u32) << k;
+            }
+            *slot = y;
+        }
+    }
+
     /// Simulates the given read sequence and returns the outputs plus the
-    /// energy report.
+    /// energy report. Runs on the batched 64-way engine; outputs and the
+    /// report are bit-identical to [`measure_scalar`](Self::measure_scalar).
     ///
     /// # Errors
     ///
     /// Returns an error if the netlist has a combinational cycle.
     pub fn measure(
+        &self,
+        reads: &[u32],
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+    ) -> Result<(Vec<u32>, PowerReport), NetlistError> {
+        self.measure_observed(reads, lib, clock_period_ns, &NoopObserver)
+    }
+
+    /// [`measure`](Self::measure) with an [`Observer`]: emits one
+    /// [`SearchEvent::SimBatch`] summarising the blocks simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn measure_observed(
+        &self,
+        reads: &[u32],
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+        observer: &dyn Observer,
+    ) -> Result<(Vec<u32>, PowerReport), NetlistError> {
+        let mut sim = self.batch_simulator()?;
+        let mut outs = vec![0u32; reads.len()];
+        let mut blocks = 0u64;
+        for (block_in, block_out) in reads.chunks(LANES).zip(outs.chunks_mut(LANES)) {
+            self.read_block(&mut sim, block_in, block_out);
+            blocks += 1;
+        }
+        if observer.enabled() {
+            observer.on_event(&SearchEvent::SimBatch {
+                engine: "batch".to_string(),
+                cycles: reads.len() as u64,
+                blocks,
+            });
+        }
+        let report = power_report(&self.netlist, &sim, lib, clock_period_ns);
+        Ok((outs, report))
+    }
+
+    /// The scalar (one-cycle-at-a-time) reference for
+    /// [`measure`](Self::measure); kept for differential testing and for
+    /// the `sim_fast_vs_scalar` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn measure_scalar(
         &self,
         reads: &[u32],
         lib: &CellLibrary,
@@ -177,7 +300,23 @@ pub fn characterize(
     lib: &CellLibrary,
     clock_period_ns: f64,
 ) -> Result<ArchReport, NetlistError> {
-    let (_, power) = inst.measure(reads, lib, clock_period_ns)?;
+    characterize_observed(inst, reads, lib, clock_period_ns, &NoopObserver)
+}
+
+/// [`characterize`] with an [`Observer`]: the simulation blocks are
+/// reported as [`SearchEvent::SimBatch`] events.
+///
+/// # Errors
+///
+/// Returns an error if the netlist has a combinational cycle.
+pub fn characterize_observed(
+    inst: &ArchInstance,
+    reads: &[u32],
+    lib: &CellLibrary,
+    clock_period_ns: f64,
+    observer: &dyn Observer,
+) -> Result<ArchReport, NetlistError> {
+    let (_, power) = inst.measure_observed(reads, lib, clock_period_ns, observer)?;
     Ok(ArchReport {
         area_um2: area_um2(inst.netlist(), lib),
         critical_path_ns: critical_path_ns(inst.netlist(), lib)?,
@@ -292,6 +431,42 @@ mod tests {
         let mut sim = hard.simulator().unwrap();
         for x in 0..64u32 {
             assert_eq!(hard.read(&mut sim, x), cfg.eval(x));
+        }
+    }
+
+    #[test]
+    fn batched_measure_matches_scalar_bit_for_bit() {
+        let (inst, _) = instance(5);
+        let lib = CellLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(11);
+        // 130 reads: two full lane words plus a ragged 2-lane tail.
+        let reads: Vec<u32> = (0..130).map(|_| rng.random_range(0..64)).collect();
+        let (outs_b, power_b) = inst.measure(&reads, &lib, 1.0).unwrap();
+        let (outs_s, power_s) = inst.measure_scalar(&reads, &lib, 1.0).unwrap();
+        assert_eq!(outs_b, outs_s);
+        assert_eq!(power_b, power_s);
+    }
+
+    #[test]
+    fn measure_observed_emits_one_sim_batch_event() {
+        let (inst, _) = instance(6);
+        let lib = CellLibrary::nangate45();
+        let obs = dalut_core::RecordingObserver::new();
+        let reads: Vec<u32> = (0..65).collect();
+        inst.measure_observed(&reads, &lib, 1.0, &obs).unwrap();
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            SearchEvent::SimBatch {
+                engine,
+                cycles,
+                blocks,
+            } => {
+                assert_eq!(engine, "batch");
+                assert_eq!(*cycles, 65);
+                assert_eq!(*blocks, 2);
+            }
+            other => panic!("unexpected event {other:?}"),
         }
     }
 

@@ -45,7 +45,7 @@ pub mod rounding;
 pub mod routing;
 
 pub use arch::{build_approx_lut, ArchStyle, HwError};
-pub use fault::{fault_report, FaultModel, FaultReport};
-pub use instance::{characterize, ArchInstance, ArchReport};
+pub use fault::{fault_report, fault_report_scalar, FaultCampaign, FaultModel, FaultReport};
+pub use instance::{characterize, characterize_observed, ArchInstance, ArchReport};
 pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};
 pub use rounding::{build_round_in, build_round_out, round_in_table, round_out_table};

@@ -184,7 +184,7 @@ mod tests {
         nl.output("y", lut.output);
         let mut sim = Simulator::new(&nl).unwrap();
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         (0..contents.len() as u64)
             .map(|x| sim.eval_word(x) == 1)
@@ -217,7 +217,7 @@ mod tests {
         }
         let mut sim = Simulator::new(&nl).unwrap();
         for (q, v) in presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         for (x, &w) in words.iter().enumerate() {
             assert_eq!(sim.eval_word(x as u64), u64::from(w));
@@ -235,7 +235,7 @@ mod tests {
         nl.output("y", lut.output);
         let mut sim = Simulator::new(&nl).unwrap();
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         // Sweep the address: with enable low, output is contents[0] and no
         // mux toggles accumulate after initialisation.
@@ -273,7 +273,7 @@ mod tests {
         let (nl, lut) = build_writable(&init);
         let mut sim = Simulator::new(&nl).unwrap();
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         for (x, &want) in init.iter().enumerate() {
             assert_eq!(sim.eval_word(word(3, x as u64, false, false, 0)) == 1, want);
@@ -286,7 +286,7 @@ mod tests {
         let (nl, lut) = build_writable(&init);
         let mut sim = Simulator::new(&nl).unwrap();
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         // Write 1 into entries 2 and 5.
         sim.eval_word(word(3, 0, true, true, 2));
@@ -307,7 +307,7 @@ mod tests {
         let (nl, lut) = build_writable(&init);
         let mut sim = Simulator::new(&nl).unwrap();
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).unwrap();
         }
         sim.eval_word(word(2, 0, true, false, 1)); // wen low
         assert_eq!(sim.eval_word(word(2, 1, false, false, 0)), 0);

@@ -1,0 +1,490 @@
+//! 64-way bit-parallel ("word-level") two-state simulation.
+//!
+//! [`BatchSimulator`] packs 64 consecutive stimulus cycles into one `u64`
+//! *lane word* per net — lane `l` of a word is the net's value at cycle
+//! `block_start + l` — and evaluates every gate once per block as a word
+//! operation. Toggle counting, clock-domain activity and DFF semantics
+//! match [`Simulator`](crate::sim::Simulator) bit for bit over the same
+//! stimulus sequence, so a [`power_report`](crate::power::power_report)
+//! computed from a batched run is identical to the scalar run.
+//!
+//! # Equivalence argument (see DESIGN.md §10)
+//!
+//! *Combinational, input and constant nets.* The scalar simulator counts a
+//! toggle at cycle `c ≥ 1` iff the settled value differs from cycle
+//! `c − 1`, never at the very first cycle. With `W` a settled lane word,
+//! `carry` the last lane of the previous block and `mask` the low-`m` bits
+//! of an `m`-lane block, `(W ^ ((W << 1) | carry)) & mask` has exactly one
+//! set bit per such transition — bit `l` compares lane `l` against lane
+//! `l − 1`, bit 0 compares against the previous block's last lane through
+//! `carry`, and on the very first block bit 0 is masked off. Popcount of
+//! that word therefore adds precisely the scalar count.
+//!
+//! *DFF nets.* The scalar simulator counts a DFF toggle at the end of
+//! cycle `c ≥ 1` iff the captured next state differs from the stored
+//! state — i.e. the toggle sequence is the transition sequence of the
+//! *next-state* stream `NS_c = D_c`, with the end-of-cycle-0 edge never
+//! counted. The same carry formula applied to the D-input's settled word
+//! reproduces it exactly; the word's last lane doubles as the stored state
+//! entering the next block. Gated (disabled-domain) DFFs are frozen
+//! broadcasts and never count toggles, exactly like the scalar engine.
+//!
+//! *Cross-lane DFF feedback.* Within a block, lane `l` of a DFF's visible
+//! word is the state *after* lane `l − 1`'s clock edge:
+//! `Q = ((D << 1) | state) & mask`, where `D` itself may depend on `Q`.
+//! The block is solved by fixpoint iteration from `Q = broadcast(state)`:
+//! after `k` combinational passes the low `k + 1` lanes of every word are
+//! final (lane 0 is correct by construction and each pass extends the
+//! prefix by one lane), so at most `m + 1` passes converge. ROM bits
+//! (self-loop `D = Q`) converge after a single pass — the dominant case
+//! in LUT architectures.
+//!
+//! Clock-domain enables may only change on block boundaries (the scalar
+//! equivalent changes them between steps).
+
+use crate::cell::{CellKind, NetId};
+use crate::netlist::{DomainId, Netlist, NetlistError};
+
+/// Number of stimulus cycles packed into one lane word.
+pub const LANES: usize = 64;
+
+/// A 64-way bit-parallel simulator bound to one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use dalut_netlist::{BatchSimulator, CellKind, Netlist, Simulator};
+///
+/// let mut nl = Netlist::new("xor");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let y = nl.gate2(CellKind::Xor2, a, b);
+/// nl.output("y", y);
+///
+/// let mut batch = BatchSimulator::new(&nl).unwrap();
+/// let mut out = [0u64; 1];
+/// // Lanes are cycles: a = 0,1,0,1  b = 0,0,1,1  ->  y = 0,1,1,0.
+/// batch.step_block(&[0b1010, 0b1100], 4, &mut out);
+/// assert_eq!(out[0], 0b0110);
+/// assert_eq!(batch.cycles(), 4);
+/// ```
+#[derive(Debug)]
+pub struct BatchSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<u32>,
+    /// Settled lane word per net (always masked to the current block).
+    words: Vec<u64>,
+    /// Last visible lane of the previous block, per net (bit 0 only) —
+    /// the cross-word-boundary toggle reference.
+    carry: Vec<u64>,
+    /// Stored state per DFF cell entering the next block.
+    state: Vec<bool>,
+    /// Output-toggle count per net.
+    toggles: Vec<u64>,
+    /// Whether each clock domain currently receives clocks.
+    enabled: Vec<bool>,
+    /// Clocked cycles accumulated per domain.
+    active_cycles: Vec<u64>,
+    /// Total cycles stepped.
+    cycles: u64,
+    initialized: bool,
+    /// Indices of the DFF cells (fixpoint + toggle loops iterate these).
+    dffs: Vec<u32>,
+    /// Two-phase commit scratch, parallel to `dffs`.
+    dff_next: Vec<u64>,
+}
+
+impl<'a> BatchSimulator<'a> {
+    /// Creates a batch simulator; all nets start at 0, all domains
+    /// enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        let n = netlist.cell_count();
+        let dffs: Vec<u32> = netlist
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == CellKind::Dff)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let dff_count = dffs.len();
+        Ok(Self {
+            netlist,
+            order,
+            words: vec![0; n],
+            carry: vec![0; n],
+            state: vec![false; n],
+            toggles: vec![0; n],
+            enabled: vec![true; netlist.domains().len()],
+            active_cycles: vec![0; netlist.domains().len()],
+            cycles: 0,
+            initialized: false,
+            dffs,
+            dff_next: vec![0; dff_count],
+        })
+    }
+
+    /// Presets a DFF's stored value (e.g. ROM contents) before
+    /// simulation; the value is broadcast across all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotADff`] if `net` is not a DFF.
+    pub fn preset_dff(&mut self, net: NetId, value: bool) -> Result<(), NetlistError> {
+        if self.netlist.cells()[net.index()].kind != CellKind::Dff {
+            return Err(NetlistError::NotADff(net.index()));
+        }
+        self.state[net.index()] = value;
+        // The preset is also the toggle reference for the first enabled
+        // block of a domain gated from the start.
+        self.carry[net.index()] = u64::from(value);
+        Ok(())
+    }
+
+    /// Enables or disables a clock domain (clock gating). May only be
+    /// called between blocks.
+    pub fn set_domain_enabled(&mut self, domain: DomainId, enabled: bool) {
+        self.enabled[domain.index()] = enabled;
+    }
+
+    /// Steps `lanes` clock cycles at once (`1..=64`).
+    ///
+    /// `inputs[k]` carries primary input `k` for the whole block, lane
+    /// `l` (bit `l`) being its value at the block's `l`-th cycle; bits at
+    /// or above `lanes` are ignored. `out[k]` receives primary output
+    /// `k`'s lane word. A final ragged block (`lanes < 64`) counts
+    /// exactly `lanes` cycles and no phantom toggles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`LANES`], or the slice lengths
+    /// differ from the port counts.
+    pub fn step_block(&mut self, inputs: &[u64], lanes: usize, out: &mut [u64]) {
+        assert!((1..=LANES).contains(&lanes), "lanes must be in 1..={LANES}");
+        let ports = self.netlist.inputs();
+        assert_eq!(inputs.len(), ports.len(), "primary input count mismatch");
+        assert_eq!(
+            out.len(),
+            self.netlist.outputs().len(),
+            "primary output count mismatch"
+        );
+        let mask = if lanes == LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+
+        // Source words: inputs, constants, and DFFs broadcast from their
+        // stored state (the fixpoint's starting point).
+        for ((_, net), &w) in ports.iter().zip(inputs) {
+            self.words[net.index()] = w & mask;
+        }
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell.kind {
+                CellKind::Const0 => self.words[i] = 0,
+                CellKind::Const1 => self.words[i] = mask,
+                CellKind::Dff => self.words[i] = if self.state[i] { mask } else { 0 },
+                _ => {}
+            }
+        }
+
+        // Settle the block: combinational word evaluation interleaved
+        // with two-phase DFF lane shifts until nothing changes. See the
+        // module docs for the convergence argument.
+        let mut passes = 0usize;
+        loop {
+            passes += 1;
+            assert!(
+                passes <= LANES + 2,
+                "DFF lane fixpoint failed to converge (netlist bug)"
+            );
+            for idx in 0..self.order.len() {
+                let i = self.order[idx] as usize;
+                let cell = &self.netlist.cells()[i];
+                let w = cell.inputs.map(|inp| self.words[inp.index()]);
+                self.words[i] = eval_cell_word(cell.kind, &w, mask);
+            }
+            if self.dffs.is_empty() {
+                break;
+            }
+            let mut changed = false;
+            for (k, &i) in self.dffs.iter().enumerate() {
+                let i = i as usize;
+                let cell = &self.netlist.cells()[i];
+                let q = if self.enabled[cell.domain()] {
+                    let d = self.words[cell.inputs()[0].index()];
+                    ((d << 1) | u64::from(self.state[i])) & mask
+                } else {
+                    self.words[i] // frozen broadcast
+                };
+                self.dff_next[k] = q;
+                changed |= q != self.words[i];
+            }
+            if !changed {
+                break;
+            }
+            for (k, &i) in self.dffs.iter().enumerate() {
+                self.words[i as usize] = self.dff_next[k];
+            }
+        }
+
+        // Toggle counting + state/carry update (formula in module docs).
+        let top = 1u64 << (lanes - 1);
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            let w = if cell.kind == CellKind::Dff {
+                if !self.enabled[cell.domain()] {
+                    continue; // frozen: no toggles, reference unchanged
+                }
+                // Next-state word: the D input's settled lanes.
+                self.words[cell.inputs()[0].index()]
+            } else {
+                self.words[i]
+            };
+            let mut diff = (w ^ ((w << 1) | self.carry[i])) & mask;
+            if !self.initialized {
+                diff &= !1; // the very first cycle has no predecessor
+            }
+            self.toggles[i] += u64::from(diff.count_ones());
+            self.carry[i] = u64::from(w & top != 0);
+            if cell.kind == CellKind::Dff {
+                self.state[i] = w & top != 0;
+            }
+        }
+
+        for (d, &en) in self.enabled.iter().enumerate() {
+            if en {
+                self.active_cycles[d] += lanes as u64;
+            }
+        }
+        self.cycles += lanes as u64;
+        self.initialized = true;
+        // The scalar engine reads outputs after the clock edge: a
+        // DFF-driven output shows its post-edge (next-state) value, a
+        // combinational output its pre-edge settled value.
+        for (slot, (_, net)) in out.iter_mut().zip(self.netlist.outputs()) {
+            let i = net.index();
+            let cell = &self.netlist.cells()[i];
+            *slot = if cell.kind == CellKind::Dff && self.enabled[cell.domain()] {
+                self.words[cell.inputs()[0].index()]
+            } else {
+                self.words[i]
+            };
+        }
+    }
+
+    /// Total toggles of net `net` so far.
+    pub fn toggle_count(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// All per-net toggle counters.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clocked cycles accumulated per domain.
+    pub fn domain_active_cycles(&self) -> &[u64] {
+        &self.active_cycles
+    }
+}
+
+/// Word-level combinational evaluation; every operand is masked, so only
+/// inverting results need re-masking.
+#[inline]
+fn eval_cell_word(kind: CellKind, w: &[u64; 3], mask: u64) -> u64 {
+    match kind {
+        CellKind::Inv => !w[0] & mask,
+        CellKind::Buf => w[0],
+        CellKind::And2 => w[0] & w[1],
+        CellKind::Or2 => w[0] | w[1],
+        CellKind::Nand2 => !(w[0] & w[1]) & mask,
+        CellKind::Nor2 => !(w[0] | w[1]) & mask,
+        CellKind::Xor2 => w[0] ^ w[1],
+        CellKind::Xnor2 => !(w[0] ^ w[1]) & mask,
+        // `!sel` spills ones above the mask, but `a` is masked.
+        CellKind::Mux2 => (w[2] & w[1]) | (!w[2] & w[0]),
+        CellKind::Input | CellKind::Const0 | CellKind::Const1 | CellKind::Dff => {
+            unreachable!("source cells are not in the combinational order")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ROOT_DOMAIN;
+    use crate::sim::Simulator;
+
+    /// Drives both engines over the same per-cycle input values and
+    /// asserts outputs, toggles, cycles and active cycles all agree.
+    fn assert_parity(nl: &Netlist, stimulus: &[Vec<bool>], gated_off: &[DomainId]) {
+        let mut scalar = Simulator::new(nl).unwrap();
+        let mut batch = BatchSimulator::new(nl).unwrap();
+        for &d in gated_off {
+            scalar.set_domain_enabled(d, false);
+            batch.set_domain_enabled(d, false);
+        }
+        let width = nl.inputs().len();
+        let nout = nl.outputs().len();
+        let mut batch_out = vec![0u64; nout];
+        let mut cursor = 0usize;
+        while cursor < stimulus.len() {
+            let lanes = (stimulus.len() - cursor).min(LANES);
+            let mut words = vec![0u64; width];
+            for l in 0..lanes {
+                for (k, word) in words.iter_mut().enumerate() {
+                    *word |= u64::from(stimulus[cursor + l][k]) << l;
+                }
+            }
+            batch.step_block(&words, lanes, &mut batch_out);
+            for l in 0..lanes {
+                let scalar_out = scalar.step(&stimulus[cursor + l]);
+                for (k, &s) in scalar_out.iter().enumerate() {
+                    assert_eq!(
+                        (batch_out[k] >> l) & 1 == 1,
+                        s,
+                        "output {k} differs at cycle {}",
+                        cursor + l
+                    );
+                }
+            }
+            cursor += lanes;
+        }
+        assert_eq!(batch.cycles(), scalar.cycles());
+        assert_eq!(batch.domain_active_cycles(), scalar.domain_active_cycles());
+        assert_eq!(batch.toggles(), scalar.toggles(), "toggle counts differ");
+    }
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn random_stimulus(width: usize, cycles: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut s = seed.max(1);
+        (0..cycles)
+            .map(|_| (0..width).map(|_| xorshift(&mut s) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn combinational_word_eval_matches_scalar() {
+        let mut nl = Netlist::new("comb");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.gate2(CellKind::Nand2, a, b);
+        let y = nl.mux2(x, b, c);
+        let na = nl.inv(a);
+        let z = nl.gate2(CellKind::Xnor2, y, na);
+        nl.output("y", y);
+        nl.output("z", z);
+        for cycles in [1usize, 63, 64, 65, 127, 130] {
+            assert_parity(&nl, &random_stimulus(3, cycles, 0xC0FFEE), &[]);
+        }
+    }
+
+    #[test]
+    fn rom_bits_and_pipelines_match_scalar() {
+        let mut nl = Netlist::new("seq");
+        let gated = nl.add_domain("gated");
+        let d = nl.input("d");
+        let rom = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.dff(d, ROOT_DOMAIN);
+        let q2 = nl.dff(q1, ROOT_DOMAIN);
+        let qg = nl.dff(d, gated);
+        let y = nl.gate2(CellKind::Xor2, q2, rom);
+        nl.output("y", y);
+        nl.output("qg", qg);
+        for cycles in [1usize, 64, 65, 200] {
+            let stim = random_stimulus(1, cycles, 7);
+            // Gated off: the frozen DFF must stay at reset, toggle-free.
+            assert_parity(&nl, &stim, &[gated]);
+            assert_parity(&nl, &stim, &[]);
+        }
+    }
+
+    #[test]
+    fn presets_broadcast_and_persist() {
+        let mut nl = Netlist::new("rom");
+        let q0 = nl.rom_bit(ROOT_DOMAIN);
+        let q1 = nl.rom_bit(ROOT_DOMAIN);
+        nl.output("q0", q0);
+        nl.output("q1", q1);
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        batch.preset_dff(q0, true).unwrap();
+        let mut out = [0u64; 2];
+        batch.step_block(&[], 64, &mut out);
+        batch.step_block(&[], 7, &mut out);
+        assert_eq!(out[0], 0x7F); // all 7 lanes high
+        assert_eq!(out[1], 0);
+        assert_eq!(batch.toggle_count(q0), 0);
+        assert_eq!(batch.toggle_count(q1), 0);
+        assert_eq!(batch.cycles(), 71);
+    }
+
+    #[test]
+    fn preset_rejects_non_dff() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.input("a");
+        nl.output("y", a);
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        assert_eq!(
+            batch.preset_dff(a, true),
+            Err(NetlistError::NotADff(a.index()))
+        );
+    }
+
+    #[test]
+    fn read_modify_write_feedback_converges() {
+        // A toggling bit: q = dff(!q). Exercises the cross-lane fixpoint
+        // on a non-trivial feedback loop.
+        let mut nl = Netlist::new("tff");
+        let q = nl.rom_bit(ROOT_DOMAIN);
+        let nq = nl.inv(q);
+        nl.rewire_dff_input(q, nq);
+        nl.output("q", q);
+        for cycles in [1usize, 2, 63, 64, 65, 130] {
+            assert_parity(&nl, &vec![Vec::new(); cycles], &[]);
+        }
+    }
+
+    #[test]
+    fn word_boundary_toggle_is_counted_once() {
+        // An input that flips exactly at the 64-cycle boundary: the
+        // lane-63 -> lane-0 transition must count once, not zero or twice.
+        let mut nl = Netlist::new("edge");
+        let a = nl.input("a");
+        let y = nl.gate1(CellKind::Buf, a);
+        nl.output("y", y);
+        let mut stim = vec![vec![false]; 64];
+        stim.extend(vec![vec![true]; 64]);
+        assert_parity(&nl, &stim, &[]);
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        let mut out = [0u64; 1];
+        batch.step_block(&[0], 64, &mut out);
+        batch.step_block(&[u64::MAX], 64, &mut out);
+        assert_eq!(batch.toggle_count(y), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in 1..=")]
+    fn zero_lanes_is_rejected() {
+        let mut nl = Netlist::new("z");
+        let a = nl.input("a");
+        nl.output("y", a);
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        batch.step_block(&[0], 0, &mut [0]);
+    }
+}

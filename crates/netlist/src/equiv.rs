@@ -75,12 +75,22 @@ pub fn equivalent_random(
     equivalent_on(a, b, &words)
 }
 
-/// Core comparison over a given stimulus sequence.
+/// Core comparison over a given stimulus sequence. Buffers are hoisted
+/// out of the loop (`step_into`), so the whole check is allocation-free
+/// per word.
 fn equivalent_on(a: &Netlist, b: &Netlist, words: &[u64]) -> Result<bool, NetlistError> {
     let mut sa = Simulator::new(a)?;
     let mut sb = Simulator::new(b)?;
+    let mut ins = vec![false; a.inputs().len()];
+    let mut outs_a = vec![false; a.outputs().len()];
+    let mut outs_b = vec![false; b.outputs().len()];
     for &w in words {
-        if sa.eval_word(w) != sb.eval_word(w) {
+        for (i, slot) in ins.iter_mut().enumerate() {
+            *slot = (w >> i) & 1 == 1;
+        }
+        sa.step_into(&ins, &mut outs_a);
+        sb.step_into(&ins, &mut outs_b);
+        if outs_a != outs_b {
             return Ok(false);
         }
     }

@@ -7,6 +7,8 @@
 //!   domains, and construction helpers (mux trees, retained "ROM" bits);
 //! * [`Simulator`] — cycle-accurate two-state simulation with per-net
 //!   toggle counting and per-domain clock-gating (the VCS substitute);
+//! * [`BatchSimulator`] — the same semantics 64 cycles at a time, one
+//!   `u64` lane word per net (the fast sign-off path);
 //! * [`power_report`] — activity-based energy itemised into switching,
 //!   clock and leakage components (the PrimeTime substitute);
 //! * [`critical_path_ns`] / [`area_um2`] — static timing and area (the DC
@@ -37,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cell;
 pub mod equiv;
 pub mod library;
@@ -49,12 +52,13 @@ pub mod vcd;
 pub mod verilog;
 pub mod vsim;
 
+pub use batch::{BatchSimulator, LANES};
 pub use cell::{Cell, CellKind, NetId};
 pub use equiv::{equivalent_exhaustive, equivalent_random};
 pub use library::{CellLibrary, CellParams};
 pub use netlist::{DomainId, Netlist, NetlistError, ROOT_DOMAIN};
 pub use opt::{optimize, OptStats};
-pub use power::{power_report, PowerReport};
+pub use power::{power_report, Activity, PowerReport};
 pub use sim::Simulator;
 pub use timing::{area_um2, critical_path_ns};
 pub use vcd::VcdRecorder;

@@ -13,6 +13,9 @@ pub enum NetlistError {
     CombinationalCycle(usize),
     /// A named port was declared twice.
     DuplicatePort(String),
+    /// A DFF-only operation (e.g. a ROM preset) targeted the given
+    /// non-DFF cell index.
+    NotADff(usize),
 }
 
 impl fmt::Display for NetlistError {
@@ -22,6 +25,7 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational cycle through cell {i}")
             }
             Self::DuplicatePort(name) => write!(f, "duplicate port name '{name}'"),
+            Self::NotADff(i) => write!(f, "cell {i} is not a DFF"),
         }
     }
 }

@@ -1,10 +1,48 @@
 //! Activity-based power/energy estimation from simulation statistics
 //! (our stand-in for PrimeTime averaged power over a VCS trace).
 
+use crate::batch::BatchSimulator;
 use crate::library::CellLibrary;
 use crate::netlist::Netlist;
 use crate::sim::Simulator;
 use serde::{Deserialize, Serialize};
+
+/// Simulation statistics the power model consumes. Both the scalar
+/// [`Simulator`] and the word-parallel [`BatchSimulator`] implement
+/// this, so [`power_report`] is identical by construction for either
+/// engine run over the same stimulus.
+pub trait Activity {
+    /// Per-net toggle counters (index = cell index).
+    fn toggles(&self) -> &[u64];
+    /// Total cycles simulated.
+    fn cycles(&self) -> u64;
+    /// Clocked cycles accumulated per domain (index = domain id).
+    fn domain_active_cycles(&self) -> &[u64];
+}
+
+impl Activity for Simulator<'_> {
+    fn toggles(&self) -> &[u64] {
+        Simulator::toggles(self)
+    }
+    fn cycles(&self) -> u64 {
+        Simulator::cycles(self)
+    }
+    fn domain_active_cycles(&self) -> &[u64] {
+        Simulator::domain_active_cycles(self)
+    }
+}
+
+impl Activity for BatchSimulator<'_> {
+    fn toggles(&self) -> &[u64] {
+        BatchSimulator::toggles(self)
+    }
+    fn cycles(&self) -> u64 {
+        BatchSimulator::cycles(self)
+    }
+    fn domain_active_cycles(&self) -> &[u64] {
+        BatchSimulator::domain_active_cycles(self)
+    }
+}
 
 /// An itemised energy report for a simulated activity window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,7 +100,7 @@ impl PowerReport {
 /// * leakage: every cell leaks for the full window regardless of gating.
 pub fn power_report(
     netlist: &Netlist,
-    sim: &Simulator<'_>,
+    sim: &impl Activity,
     lib: &CellLibrary,
     clock_period_ns: f64,
 ) -> PowerReport {

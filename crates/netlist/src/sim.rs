@@ -49,15 +49,15 @@ impl<'a> Simulator<'a> {
 
     /// Presets a DFF's stored value (e.g. ROM contents) before simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `net` is not a DFF.
-    pub fn preset_dff(&mut self, net: NetId, value: bool) {
-        assert!(
-            self.netlist.cells()[net.index()].kind == CellKind::Dff,
-            "preset_dff on a non-DFF cell"
-        );
+    /// Returns [`NetlistError::NotADff`] if `net` is not a DFF.
+    pub fn preset_dff(&mut self, net: NetId, value: bool) -> Result<(), NetlistError> {
+        if self.netlist.cells()[net.index()].kind != CellKind::Dff {
+            return Err(NetlistError::NotADff(net.index()));
+        }
         self.values[net.index()] = value;
+        Ok(())
     }
 
     /// Enables or disables a clock domain (clock gating).
@@ -75,8 +75,27 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.netlist.outputs().len()];
+        self.step_into(inputs, &mut out);
+        out
+    }
+
+    /// Like [`step`](Self::step), but writes the primary-output values
+    /// into a caller-provided buffer instead of allocating one — the
+    /// variant exhaustive scalar loops should use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs
+    /// or `out.len()` from the number of primary outputs.
+    pub fn step_into(&mut self, inputs: &[bool], out: &mut [bool]) {
         let ports = self.netlist.inputs();
         assert_eq!(inputs.len(), ports.len(), "primary input count mismatch");
+        assert_eq!(
+            out.len(),
+            self.netlist.outputs().len(),
+            "primary output count mismatch"
+        );
         // Apply inputs.
         for ((_, net), &v) in ports.iter().zip(inputs) {
             self.set_value(net.index(), v);
@@ -126,11 +145,9 @@ impl<'a> Simulator<'a> {
         }
         self.cycles += 1;
         self.initialized = true;
-        self.netlist
-            .outputs()
-            .iter()
-            .map(|(_, net)| self.values[net.index()])
-            .collect()
+        for (slot, (_, net)) in out.iter_mut().zip(self.netlist.outputs()) {
+            *slot = self.values[net.index()];
+        }
     }
 
     #[inline]
@@ -146,6 +163,20 @@ impl<'a> Simulator<'a> {
     /// are applied LSB-first across the primary inputs.
     pub fn eval_word(&mut self, word: u64) -> u64 {
         let width = self.netlist.inputs().len();
+        let nout = self.netlist.outputs().len();
+        if width <= 64 && nout <= 64 {
+            // Stack buffers: the hot read path allocates nothing.
+            let mut ins = [false; 64];
+            for (i, slot) in ins[..width].iter_mut().enumerate() {
+                *slot = (word >> i) & 1 == 1;
+            }
+            let mut outs = [false; 64];
+            self.step_into(&ins[..width], &mut outs[..nout]);
+            return outs[..nout]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        }
         let bits: Vec<bool> = (0..width).map(|i| (word >> i) & 1 == 1).collect();
         let outs = self.step(&bits);
         outs.iter()
@@ -227,7 +258,7 @@ mod tests {
         nl.output("q0", q0);
         nl.output("q1", q1);
         let mut sim = Simulator::new(&nl).unwrap();
-        sim.preset_dff(q0, true);
+        sim.preset_dff(q0, true).unwrap();
         for _ in 0..5 {
             let out = sim.step(&[]);
             assert_eq!(out, vec![true, false]);
@@ -292,6 +323,33 @@ mod tests {
         // After edge k, q2 holds d[k-1] (q1 holds d[k]): standard
         // two-stage register transfer.
         assert_eq!(seen, vec![false, true, false, true, true]);
+    }
+
+    #[test]
+    fn preset_dff_rejects_non_dff_nets() {
+        let mut nl = Netlist::new("p");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        assert_eq!(
+            sim.preset_dff(y, true),
+            Err(NetlistError::NotADff(y.index()))
+        );
+    }
+
+    #[test]
+    fn step_into_reuses_the_output_buffer() {
+        let mut nl = Netlist::new("b");
+        let a = nl.input("a");
+        let y = nl.inv(a);
+        nl.output("y", y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut out = [true; 1];
+        sim.step_into(&[true], &mut out);
+        assert!(!out[0]);
+        sim.step_into(&[false], &mut out);
+        assert!(out[0]);
     }
 
     #[test]

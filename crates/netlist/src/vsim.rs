@@ -390,7 +390,7 @@ mod tests {
         let mut vs = module.interpreter();
         let mut ns = Simulator::new(nl).unwrap();
         for &(q, v) in presets {
-            ns.preset_dff(q, v);
+            ns.preset_dff(q, v).unwrap();
         }
         let width = nl.inputs().len();
         // Verilog port order: en_* enables (always-on here) come before
@@ -401,11 +401,16 @@ mod tests {
             .iter()
             .filter(|i| i.starts_with("en_"))
             .count();
+        let mut nin = vec![false; width];
+        let mut nout = vec![false; nl.outputs().len()];
         for &word in stimulus {
             let mut vin: Vec<bool> = vec![true; enables];
             vin.extend((0..width).map(|i| (word >> i) & 1 == 1));
             let vout = vs.step(&vin);
-            let nout = ns.step(&(0..width).map(|i| (word >> i) & 1 == 1).collect::<Vec<_>>());
+            for (i, slot) in nin.iter_mut().enumerate() {
+                *slot = (word >> i) & 1 == 1;
+            }
+            ns.step_into(&nin, &mut nout);
             assert_eq!(vout, nout, "divergence at stimulus {word:#x}");
         }
     }

@@ -60,7 +60,7 @@ fn main() {
 
     let mut sim = Simulator::new(&nl).expect("acyclic");
     for &(q, v) in &lut.presets {
-        sim.preset_dff(q, v);
+        sim.preset_dff(q, v).expect("LUT presets target DFFs");
     }
 
     // Input word layout: [x | wdata | wen | waddr].

@@ -73,7 +73,7 @@ proptest! {
         nl.output("y", lut.output);
         let mut sim = Simulator::new(&nl).expect("acyclic");
         for &(q, v) in &lut.presets {
-            sim.preset_dff(q, v);
+            sim.preset_dff(q, v).expect("LUT presets target DFFs");
         }
         for (x, &want) in contents.iter().enumerate() {
             prop_assert_eq!(sim.eval_word(x as u64) == 1, want);
