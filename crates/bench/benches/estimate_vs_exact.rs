@@ -1,0 +1,38 @@
+//! Closed-form estimation vs exact sign-off at the paper's working
+//! point (n = 16, b = 9): the per-candidate cost the `--estimator prune`
+//! flow avoids for every pruned configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dalut_boolfn::InputDistribution;
+use dalut_est::doe::synthetic_config;
+use dalut_est::ResourceEstimator;
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::CellLibrary;
+
+fn bench_estimate_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_vs_exact");
+    group.sample_size(10);
+    let (n, m, b) = (16usize, 16usize, 9usize);
+    let cfg = synthetic_config(n, m, b, &["bto", "normal", "nd"], 1);
+    let dist = InputDistribution::uniform(n).unwrap();
+    let lib = CellLibrary::nangate45();
+    let est = ResourceEstimator::new(ArchStyle::BtoNormalNd, dist);
+    let clock = est.estimate(&cfg).unwrap().critical_path_ns * 1.05;
+    let reads: Vec<u32> = (0..256u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) & 0xFFFF)
+        .collect();
+
+    group.bench_function("estimate_16_9", |bch| {
+        bch.iter(|| est.estimate(&cfg).unwrap())
+    });
+    group.bench_function("exact_signoff_16_9", |bch| {
+        bch.iter(|| {
+            let inst = build_approx_lut(&cfg, ArchStyle::BtoNormalNd).unwrap();
+            characterize(&inst, &reads, &lib, clock).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_vs_exact);
+criterion_main!(benches);

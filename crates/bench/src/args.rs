@@ -13,6 +13,7 @@ use crate::supervisor::SweepSupervisor;
 use dalut_benchfns::Scale;
 use dalut_core::checkpoint::CheckpointStore;
 use dalut_core::{CancelToken, RunBudget};
+use dalut_est::EstimatorMode;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -56,6 +57,11 @@ pub struct HarnessArgs {
     pub resume: bool,
     /// Retries per work-item strategy before degrading.
     pub max_retries: u32,
+    /// How sweeps use the analytic resource estimator: `off` signs off
+    /// every candidate exactly (bit-identical to the pre-estimator
+    /// flow), `prune` (default) signs off only the analytically cheapest
+    /// survivors, `trust` skips exact sign-off entirely.
+    pub estimator: EstimatorMode,
 }
 
 impl Default for HarnessArgs {
@@ -79,13 +85,15 @@ impl Default for HarnessArgs {
             checkpoint_dir: None,
             resume: false,
             max_retries: 2,
+            estimator: EstimatorMode::default(),
         }
     }
 }
 
 const USAGE: &str = "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] \
 [--only NAME] [--budget-secs S] [--out PATH] [--trace PATH] [--metrics] [--progress] \
-[--harden] [--vcd PATH] [--arch NAME] [--checkpoint-dir DIR] [--resume] [--max-retries N]";
+[--harden] [--vcd PATH] [--arch NAME] [--checkpoint-dir DIR] [--resume] [--max-retries N] \
+[--estimator off|prune|trust]";
 
 impl HarnessArgs {
     /// Parses the shared flag set from an iterator of arguments.
@@ -129,6 +137,15 @@ impl HarnessArgs {
                 }
                 "--resume" => out.resume = true,
                 "--max-retries" => out.max_retries = num(&mut args, "--max-retries")?,
+                "--estimator" => {
+                    out.estimator = args
+                        .next()
+                        .ok_or(format!(
+                            "--estimator needs a mode ({})",
+                            EstimatorMode::CHOICES
+                        ))?
+                        .parse()?
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -321,6 +338,21 @@ mod tests {
         assert_eq!(b.max_retries, 2);
         assert!(parse(&["--checkpoint-dir"]).is_err());
         assert!(parse(&["--max-retries", "x"]).is_err());
+    }
+
+    #[test]
+    fn estimator_flag_parses_and_defaults_to_prune() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.estimator, EstimatorMode::Prune);
+        for (s, m) in [
+            ("off", EstimatorMode::Off),
+            ("prune", EstimatorMode::Prune),
+            ("trust", EstimatorMode::Trust),
+        ] {
+            assert_eq!(parse(&["--estimator", s]).unwrap().estimator, m);
+        }
+        assert!(parse(&["--estimator"]).is_err());
+        assert!(parse(&["--estimator", "exact"]).is_err());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! `fig5_results.json` with the benchmarks finished so far.
 
 use dalut_bench::report::{f3, write_json};
-use dalut_bench::setup::{bssa_params, dalta_params, round_in_w, ENERGY_READS};
+use dalut_bench::setup::{bound_size, bssa_params, dalta_params, round_in_w, ENERGY_READS};
+use dalut_bench::signoff::{EstimatorSummary, SignoffBank};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{geomean, shutdown, HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
@@ -21,6 +22,7 @@ use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
     ApproxLutBuilder, ArchPolicy, CancelToken, Observer, RunBudget, SearchEvent, Termination,
 };
+use dalut_est::{CalibrationOptions, EstimatorMode};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, characterize_observed, round_in_table,
     round_out_table, ArchInstance, ArchStyle,
@@ -46,6 +48,14 @@ struct ArchMetrics {
     area_um2: f64,
     delay_ns: f64,
     energy_per_read_fj: f64,
+    /// Closed-form estimate at the row's clock, for the decomposition
+    /// architectures when the estimator is active (validation only —
+    /// the figure always quotes exact numbers).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    estimated_energy_fj: Option<f64>,
+    /// `|estimate - exact| / exact` for the energy above.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    estimate_rel_err: Option<f64>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,6 +72,9 @@ struct Fig5Report {
     /// `true` while benchmarks are still outstanding (interrupted run).
     partial: bool,
     rows: Vec<BenchRow>,
+    /// Present when `--estimator prune|trust` validated the sweep.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    estimator: Option<EstimatorSummary>,
 }
 
 /// Chooses RoundOut's `q` per benchmark: the smallest `q` whose MED
@@ -80,7 +93,10 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
 /// The full per-benchmark pipeline: searches, rounding baselines,
 /// hardware builds, the common-clock characterisation and sign-off.
 /// Deterministic for a fixed seed, so a replayed item reproduces the
-/// interrupted run's row exactly.
+/// interrupted run's row exactly. When an estimator `bank` is supplied,
+/// each decomposition architecture additionally records its closed-form
+/// energy estimate next to the exact number (Fig. 5 is the estimator's
+/// accuracy-validation sweep — the figure itself stays exact).
 #[allow(clippy::too_many_lines)]
 fn bench_row(
     bench: Benchmark,
@@ -88,6 +104,7 @@ fn bench_row(
     lib: &CellLibrary,
     budget: &RunBudget,
     token: &CancelToken,
+    bank: Option<&SignoffBank>,
     observer: &dyn Observer,
 ) -> Result<BenchRow, ItemError> {
     let fail = |e: &dyn std::fmt::Display| ItemError::Failed(e.to_string());
@@ -216,6 +233,30 @@ fn bench_row(
             area_um2: rep.area_um2,
             delay_ns: rep.critical_path_ns,
             energy_per_read_fj: rep.energy_per_read_fj,
+            estimated_energy_fj: None,
+            estimate_rel_err: None,
+        });
+    }
+    if let Some(bank) = bank {
+        let families = [
+            (2usize, ArchStyle::Dalta, &dalta.config),
+            (3, ArchStyle::BtoNormal, &bn.config),
+            (4, ArchStyle::BtoNormalNd, &bnnd.config),
+        ];
+        for (i, style, config) in families {
+            let est = bank
+                .estimator(style)
+                .with_clock(clock)
+                .estimate(config)
+                .map_err(|e| fail(&e))?;
+            let exact = metrics_out[i].energy_per_read_fj;
+            metrics_out[i].estimated_energy_fj = Some(est.energy_per_read_fj);
+            metrics_out[i].estimate_rel_err =
+                Some((est.energy_per_read_fj - exact).abs() / exact.max(f64::MIN_POSITIVE));
+        }
+        observer.on_event(&SearchEvent::EstimateBatch {
+            arch: "fig5-validation".to_string(),
+            candidates: families.len(),
         });
     }
     eprintln!(
@@ -254,10 +295,33 @@ fn main() -> ExitCode {
         .collect();
     let scale_label = format!("{scale:?}");
     let budget = args.budget().with_cancel(&token);
+    // One calibrated estimator bank shared by every benchmark row (all
+    // benchmarks have the same input width at a given scale).
+    let bank = if args.estimator == EstimatorMode::Off {
+        None
+    } else {
+        let n = scale.input_bits();
+        let dist = InputDistribution::uniform(n).expect("valid width");
+        Some(
+            SignoffBank::prepare(
+                &[
+                    ArchStyle::Dalta,
+                    ArchStyle::BtoNormal,
+                    ArchStyle::BtoNormalNd,
+                ],
+                &dist,
+                &lib,
+                &CalibrationOptions::for_width(n, bound_size(n)),
+                args.checkpoint_dir.as_deref(),
+            )
+            .expect("estimator calibration"),
+        )
+    };
     let items: Vec<WorkItem<'_, BenchRow>> = benches
         .iter()
         .map(|&bench| {
             let (args, lib, budget, token) = (&args, &lib, &budget, &token);
+            let bank = bank.as_ref();
             WorkItem::new(
                 WorkKey::new(
                     bench.name(),
@@ -267,7 +331,7 @@ fn main() -> ExitCode {
                     &(args.effective_runs(), args.budget_secs),
                 ),
                 vec![Strategy::new("fig5", move |o: &dyn Observer| {
-                    bench_row(bench, args, lib, budget, token, o)
+                    bench_row(bench, args, lib, budget, token, bank, o)
                 })],
             )
         })
@@ -284,10 +348,17 @@ fn main() -> ExitCode {
         .supervisor(sweep_fp, &token)
         .expect("checkpoint dir usable");
     let out_path = args.out_path("fig5_results.json");
-    let to_report = |rows: Vec<BenchRow>, partial: bool| Fig5Report {
-        schema: "dalut-fig5/v2".to_string(),
-        partial,
-        rows,
+    let to_report = |rows: Vec<BenchRow>, partial: bool| {
+        // Every validation estimate was also signed off exactly.
+        let validated = 3 * rows.len();
+        Fig5Report {
+            schema: "dalut-fig5/v2".to_string(),
+            partial,
+            estimator: bank
+                .as_ref()
+                .map(|b| b.summary(args.estimator, validated, validated)),
+            rows,
+        }
     };
 
     let outcome = supervisor.run(items, obs.observer(), |snapshot| {
@@ -340,6 +411,20 @@ fn main() -> ExitCode {
         }
         println!("\nFig. 5. Geomean metrics normalised to DALTA.\n");
         println!("{}", table.render());
+        let errs: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| r.metrics.iter().filter_map(|m| m.estimate_rel_err))
+            .collect();
+        if !errs.is_empty() {
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let max = errs.iter().copied().fold(0.0f64, f64::max);
+            println!(
+                "Estimator validation over {} exact points: mean |rel err| {}, max {}.",
+                errs.len(),
+                f3(mean),
+                f3(max)
+            );
+        }
     }
     obs.finish().expect("flush trace");
     let partial = !outcome.is_complete();

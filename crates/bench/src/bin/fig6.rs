@@ -12,16 +12,18 @@
 //! leave a partial-marked `fig6_results.json`.
 
 use dalut_bench::report::{f3, write_json};
-use dalut_bench::setup::{bssa_params, dalta_params, ENERGY_READS};
+use dalut_bench::setup::{bound_size, bssa_params, dalta_params, ENERGY_READS, PRUNE_KEEP};
+use dalut_bench::signoff::{signoff_sweep, EstimatorSummary, SignoffBank};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation, Table};
 use dalut_benchfns::Benchmark;
 use dalut_boolfn::InputDistribution;
 use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
-    mode_sweep, ApproxLutBuilder, ArchPolicy, CancelToken, Observer, SearchEvent, SearchOutcome,
-    Termination,
+    mode_sweep, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, CancelToken, Observer, SearchEvent,
+    SearchOutcome, Termination,
 };
+use dalut_est::{CalibrationOptions, EstimatorMode};
 use dalut_hw::{build_approx_lut, characterize_observed, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
@@ -37,6 +39,10 @@ struct SweepPoint {
     med: f64,
     energy_per_read_fj: f64,
     dominates_dalta: bool,
+    /// `"exact"` or `"estimated"` when the estimator was active; absent
+    /// under `--estimator off` (bit-identical legacy schema).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    energy_source: Option<&'static str>,
 }
 
 #[derive(Debug, Serialize)]
@@ -47,6 +53,9 @@ struct Fig6Results {
     dalta_med: f64,
     dalta_energy_fj: f64,
     points: Vec<SweepPoint>,
+    /// Present when `--estimator prune|trust` was active.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    estimator: Option<EstimatorSummary>,
 }
 
 fn main() -> ExitCode {
@@ -123,6 +132,7 @@ fn main() -> ExitCode {
             dalta_med,
             dalta_energy_fj: f64::NAN,
             points: Vec::new(),
+            estimator: None,
         };
         if let Err(e) = write_json(&out_path, &results) {
             eprintln!("warning: partial results write failed: {e}");
@@ -173,36 +183,116 @@ fn main() -> ExitCode {
     let options = outcome_bssa.mode_options.expect("policy records options");
     let points = mode_sweep(&target, &dist, &options).expect("sweep");
 
-    // Common clock: slowest of all builds.
-    let mut instances = vec![(
-        build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("normal-only"),
-        dalta.med,
-        (0usize, dalta.config.outputs(), 0usize),
-    )];
-    for p in &points {
-        instances.push((
-            build_approx_lut(&p.config, ArchStyle::BtoNormalNd).expect("any config"),
-            p.med,
-            p.mode_counts,
-        ));
-    }
-    let clock = instances
-        .iter()
-        .map(|(i, _, _)| critical_path_ns(i.netlist(), &lib).expect("acyclic"))
-        .fold(0.0f64, f64::max)
-        * 1.05;
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF166);
     let reads: Vec<u32> = (0..ENERGY_READS)
         .map(|_| rng.random_range(0..(1u32 << n)))
         .collect();
 
-    let mut energies = Vec::new();
-    for (inst, _, _) in &instances {
-        let rep =
-            characterize_observed(inst, &reads, &lib, clock, obs.observer()).expect("characterise");
-        energies.push(rep.energy_per_read_fj);
+    // Hardware sign-off. `--estimator off` runs the legacy exact flow
+    // unchanged (bit-identical output); `prune`/`trust` score every
+    // sweep point with the calibrated closed-form model and pay netlist
+    // build + simulation only for the survivors (or nobody, for trust).
+    let (dalta_energy, sweep): (f64, Vec<(f64, Option<&'static str>)>);
+    let mut est_summary = None;
+    if args.estimator == EstimatorMode::Off {
+        // Common clock: slowest of all builds.
+        let mut instances = vec![(
+            build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("normal-only"),
+            dalta.med,
+            (0usize, dalta.config.outputs(), 0usize),
+        )];
+        for p in &points {
+            instances.push((
+                build_approx_lut(&p.config, ArchStyle::BtoNormalNd).expect("any config"),
+                p.med,
+                p.mode_counts,
+            ));
+        }
+        let clock = instances
+            .iter()
+            .map(|(i, _, _)| critical_path_ns(i.netlist(), &lib).expect("acyclic"))
+            .fold(0.0f64, f64::max)
+            * 1.05;
+        let mut energies = Vec::new();
+        for (inst, _, _) in &instances {
+            let rep = characterize_observed(inst, &reads, &lib, clock, obs.observer())
+                .expect("characterise");
+            energies.push(rep.energy_per_read_fj);
+        }
+        dalta_energy = energies[0];
+        sweep = energies[1..].iter().map(|&e| (e, None)).collect();
+    } else {
+        let styles: &[ArchStyle] = if args.estimator == EstimatorMode::Trust {
+            &[ArchStyle::Dalta, ArchStyle::BtoNormalNd]
+        } else {
+            &[ArchStyle::BtoNormalNd]
+        };
+        let bank = SignoffBank::prepare(
+            styles,
+            &dist,
+            &lib,
+            &CalibrationOptions::for_width(n, bound_size(n)),
+            args.checkpoint_dir.as_deref(),
+        )
+        .expect("estimator calibration");
+        // Common clock from analytic delays (exact by construction); the
+        // DALTA reference is built exactly except under trust.
+        let candidates: Vec<&ApproxLutConfig> = points.iter().map(|p| &p.config).collect();
+        let point_est = bank.estimator(ArchStyle::BtoNormalNd);
+        let max_point_delay = candidates
+            .iter()
+            .map(|c| {
+                point_est
+                    .estimate(c)
+                    .expect("sweep configs estimate")
+                    .critical_path_ns
+            })
+            .fold(0.0f64, f64::max);
+        let dalta_delay = if args.estimator == EstimatorMode::Trust {
+            bank.estimator(ArchStyle::Dalta)
+                .estimate(&dalta.config)
+                .expect("dalta estimates")
+                .critical_path_ns
+        } else {
+            let inst = bank
+                .cache
+                .get_or_build(&dalta.config, ArchStyle::Dalta)
+                .expect("normal-only");
+            critical_path_ns(inst.netlist(), &lib).expect("acyclic")
+        };
+        let clock = dalta_delay.max(max_point_delay) * 1.05;
+        dalta_energy = if args.estimator == EstimatorMode::Trust {
+            bank.estimator(ArchStyle::Dalta)
+                .with_clock(clock)
+                .estimate(&dalta.config)
+                .expect("dalta estimates")
+                .energy_per_read_fj
+        } else {
+            let inst = bank
+                .cache
+                .get_or_build(&dalta.config, ArchStyle::Dalta)
+                .expect("normal-only");
+            characterize_observed(&inst, &reads, &lib, clock, obs.observer())
+                .expect("characterise")
+                .energy_per_read_fj
+        };
+        let signoffs = signoff_sweep(
+            &bank,
+            ArchStyle::BtoNormalNd,
+            &candidates,
+            args.estimator,
+            PRUNE_KEEP,
+            clock,
+            &reads,
+            obs.observer(),
+        );
+        let exact = signoffs.iter().filter(|p| p.source == "exact").count();
+        est_summary = Some(bank.summary(args.estimator, candidates.len(), exact));
+        sweep = signoffs
+            .into_iter()
+            .map(|p| (p.energy_per_read_fj, Some(p.source)))
+            .collect();
     }
-    let (dalta_energy, sweep_energies) = (energies[0], &energies[1..]);
 
     let mut table = Table::new(&["(#BTO,#Normal,#ND)", "MED", "Energy fJ/read", "<= DALTA?"]);
     let mut results = Fig6Results {
@@ -211,6 +301,7 @@ fn main() -> ExitCode {
         dalta_med: dalta.med,
         dalta_energy_fj: dalta_energy,
         points: Vec::new(),
+        estimator: est_summary,
     };
     table.row(vec![
         "DALTA (reference)".to_string(),
@@ -219,7 +310,7 @@ fn main() -> ExitCode {
         "-".to_string(),
     ]);
     let mut dominating = 0usize;
-    for (p, &e) in points.iter().zip(sweep_energies) {
+    for (p, &(e, source)) in points.iter().zip(&sweep) {
         let dom = p.med <= dalta.med && e <= dalta_energy;
         dominating += usize::from(dom);
         let (a, b, c) = p.mode_counts;
@@ -236,11 +327,18 @@ fn main() -> ExitCode {
             med: p.med,
             energy_per_read_fj: e,
             dominates_dalta: dom,
+            energy_source: source,
         });
     }
     println!("\nFig. 6. Accuracy-energy trade-off of cos(x) on BTO-Normal-ND.\n");
     println!("{}", table.render());
     println!("{dominating} configurations dominate DALTA in both error and energy.");
+    if let Some(s) = &results.estimator {
+        println!(
+            "Estimator ({}): {} candidates scored, {} exact sign-offs, {} netlist builds.",
+            s.mode, s.candidates, s.exact_signoffs, s.cache_misses
+        );
+    }
     obs.finish().expect("flush trace");
     write_json(&out_path, &results).expect("write results");
     eprintln!("wrote {}", out_path.display());

@@ -14,18 +14,25 @@
 //! SIGINT/SIGTERM leaves a partial-marked report (exit nonzero).
 
 use dalut_bench::report::write_json;
-use dalut_bench::setup::{bssa_params, dalta_params, round_in_w, ENERGY_READS};
+use dalut_bench::setup::{
+    bound_size, bssa_params, dalta_params, round_in_w, ENERGY_READS, PRUNE_KEEP,
+};
+use dalut_bench::signoff::{signoff_sweep, SignoffBank};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
 use dalut_boolfn::{InputDistribution, Partition, TruthTable};
 use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
-    ApproxLutBuilder, ArchPolicy, BsSaParams, CancelToken, DaltaParams, MetricsSnapshot, Observer,
-    RunBudget, SearchEvent, Termination,
+    ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BsSaParams, CancelToken, DaltaParams,
+    MetricsSnapshot, Observer, RunBudget, SearchEvent, Termination,
 };
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
-use dalut_hw::{build_approx_lut, build_round_in, build_round_out, ArchInstance, ArchStyle};
+use dalut_est::doe::synthetic_config;
+use dalut_est::{CalibrationOptions, CalibrationReport, EstimatorMode, ResourceEstimator};
+use dalut_hw::{
+    build_approx_lut, build_round_in, build_round_out, characterize, ArchInstance, ArchStyle,
+};
 use dalut_netlist::{critical_path_ns, CellKind, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -250,6 +257,184 @@ fn sim_section(args: &HarnessArgs) -> SimReport {
     }
 }
 
+/// Estimate vs exact-sign-off throughput at one geometry.
+#[derive(Debug, Serialize)]
+struct ThroughputRow {
+    n: usize,
+    b: usize,
+    /// Reads per exact sign-off simulation.
+    signoff_reads: usize,
+    estimates_per_sec: f64,
+    exact_signoffs_per_sec: f64,
+    speedup: f64,
+}
+
+/// Wall-clock and best-point-energy comparison of the exact sweep flow
+/// against the estimator-pruned flow over the same candidates.
+#[derive(Debug, Serialize)]
+struct SweepComparison {
+    candidates: usize,
+    keep: usize,
+    /// One-off model fit (amortised: coefficients persist next to
+    /// checkpoints), kept outside the timed flows.
+    calibration_secs: f64,
+    exact_secs: f64,
+    pruned_secs: f64,
+    speedup: f64,
+    best_energy_exact_fj: f64,
+    best_energy_pruned_fj: f64,
+    /// `(pruned_best - exact_best) / exact_best`; >= 0, and ~0 when the
+    /// true optimum survives pruning (CI gates this at 1 %).
+    best_energy_rel_delta: f64,
+}
+
+/// The estimator subsystem's tracked numbers (`BENCH_estimator.json`).
+#[derive(Debug, Serialize)]
+struct EstimatorReport {
+    schema: String,
+    seed: u64,
+    /// Throughput at the paper's (n=16, b=9) working point.
+    paper_point: ThroughputRow,
+    /// Per-family calibration fit/validation error (reduced geometry).
+    calibration: Vec<CalibrationReport>,
+    /// Off-vs-prune mini-sweep over synthetic candidates.
+    sweep: SweepComparison,
+}
+
+/// Times the closed-form estimator against exact sign-off, fits the
+/// per-family models, and runs the off-vs-prune mini-sweep whose energy
+/// delta CI gates.
+fn estimator_section(args: &HarnessArgs, observer: &dyn Observer) -> EstimatorReport {
+    let lib = CellLibrary::nangate45();
+
+    // --- Throughput at the paper's (16, 9) working point. ---
+    let (pn, pb) = (16usize, 9usize);
+    let paper_cfg = synthetic_config(pn, pn, pb, &["bto", "normal", "nd"], args.seed);
+    let paper_dist = InputDistribution::uniform(pn).expect("valid width");
+    let paper_est = ResourceEstimator::new(ArchStyle::BtoNormalNd, paper_dist);
+    let (est_ns, _) = time_ns(|| {
+        std::hint::black_box(paper_est.estimate(&paper_cfg)).expect("estimates");
+    });
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE57);
+    let paper_reads: Vec<u32> = (0..256)
+        .map(|_| rng.random_range(0..(1u32 << pn)))
+        .collect();
+    let paper_clock = paper_est
+        .estimate(&paper_cfg)
+        .expect("estimates")
+        .critical_path_ns
+        * 1.05;
+    let (exact_ns, _) = time_ns(|| {
+        let inst = build_approx_lut(&paper_cfg, ArchStyle::BtoNormalNd).expect("builds");
+        std::hint::black_box(characterize(&inst, &paper_reads, &lib, paper_clock)).expect("sim");
+    });
+    let paper_point = ThroughputRow {
+        n: pn,
+        b: pb,
+        signoff_reads: paper_reads.len(),
+        estimates_per_sec: 1e9 / est_ns,
+        exact_signoffs_per_sec: 1e9 / exact_ns,
+        speedup: exact_ns / est_ns,
+    };
+    eprintln!(
+        "estimator (16,9): {:.2e} estimates/s vs {:.2e} exact sign-offs/s ({:.0}x)",
+        paper_point.estimates_per_sec, paper_point.exact_signoffs_per_sec, paper_point.speedup
+    );
+
+    // --- Calibration and the off-vs-prune mini-sweep (reduced n). ---
+    let (n, b) = (10usize, bound_size(10));
+    let dist = InputDistribution::uniform(n).expect("valid width");
+    let t_cal = Instant::now();
+    let bank = SignoffBank::prepare(
+        &[
+            ArchStyle::Dalta,
+            ArchStyle::BtoNormal,
+            ArchStyle::BtoNormalNd,
+        ],
+        &dist,
+        &lib,
+        &CalibrationOptions::for_width(n, b),
+        None,
+    )
+    .expect("estimator calibration");
+    let calibration_secs = t_cal.elapsed().as_secs_f64();
+
+    let candidates: Vec<ApproxLutConfig> = (0..24)
+        .map(|i| synthetic_config(n, 4, b, &["bto", "normal", "nd"], args.seed + i))
+        .collect();
+    let refs: Vec<&ApproxLutConfig> = candidates.iter().collect();
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE58);
+    let sweep_reads: Vec<u32> = (0..256).map(|_| rng.random_range(0..(1u32 << n))).collect();
+    // Common clock from the analytic delays (exact by construction), so
+    // both flows quote energy at identical conditions.
+    let sweep_est = bank.estimator(ArchStyle::BtoNormalNd);
+    let sweep_clock = refs
+        .iter()
+        .map(|c| sweep_est.estimate(c).expect("estimates").critical_path_ns)
+        .fold(0.0f64, f64::max)
+        * 1.05;
+
+    // Exact flow: build + characterise every candidate.
+    let t_exact = Instant::now();
+    let exact_energies: Vec<f64> = refs
+        .iter()
+        .map(|c| {
+            let inst = build_approx_lut(c, ArchStyle::BtoNormalNd).expect("builds");
+            characterize(&inst, &sweep_reads, &lib, sweep_clock)
+                .expect("sim")
+                .energy_per_read_fj
+        })
+        .collect();
+    let exact_secs = t_exact.elapsed().as_secs_f64();
+
+    // Pruned flow: estimate everything, exact sign-off for survivors
+    // only (the bank's netlist cache is still cold here, so the flow
+    // pays its own builds).
+    let t_prune = Instant::now();
+    let points = signoff_sweep(
+        &bank,
+        ArchStyle::BtoNormalNd,
+        &refs,
+        EstimatorMode::Prune,
+        PRUNE_KEEP,
+        sweep_clock,
+        &sweep_reads,
+        observer,
+    );
+    let pruned_secs = t_prune.elapsed().as_secs_f64();
+    let best_exact = exact_energies.iter().copied().fold(f64::INFINITY, f64::min);
+    let best_pruned = points
+        .iter()
+        .filter(|p| p.source == "exact")
+        .map(|p| p.energy_per_read_fj)
+        .fold(f64::INFINITY, f64::min);
+    let sweep = SweepComparison {
+        candidates: refs.len(),
+        keep: PRUNE_KEEP,
+        calibration_secs,
+        exact_secs,
+        pruned_secs,
+        speedup: exact_secs / pruned_secs,
+        best_energy_exact_fj: best_exact,
+        best_energy_pruned_fj: best_pruned,
+        best_energy_rel_delta: (best_pruned - best_exact) / best_exact,
+    };
+    eprintln!(
+        "estimator sweep: exact {:.2}s vs pruned {:.2}s ({:.1}x), best energy delta {:+.2}%",
+        sweep.exact_secs,
+        sweep.pruned_secs,
+        sweep.speedup,
+        sweep.best_energy_rel_delta * 100.0
+    );
+    EstimatorReport {
+        schema: "dalut-estreport/v1".to_string(),
+        seed: args.seed,
+        paper_point,
+        calibration: bank.reports.clone(),
+        sweep,
+    }
+}
+
 /// One prepared search workload (benchmark × algorithm).
 struct SearchSpec {
     bench: Benchmark,
@@ -319,6 +504,7 @@ fn main() -> std::process::ExitCode {
     shutdown::install(&token);
     let kernel = obs.phase("kernel", || kernel_section(&args));
     let sim = obs.phase("sim", || sim_section(&args));
+    let est_report = obs.phase("estimator", || estimator_section(&args, obs.observer()));
 
     // A reduced table2 workload: two representative benchmarks (one
     // continuous, one discrete), one run each, both algorithms — exactly
@@ -417,6 +603,12 @@ fn main() -> std::process::ExitCode {
         return std::process::ExitCode::FAILURE;
     }
     eprintln!("wrote {}", sim_path.display());
+    let est_path = path.with_file_name("BENCH_estimator.json");
+    if let Err(e) = write_json(&est_path, &est_report) {
+        eprintln!("perfreport: cannot write {}: {e}", est_path.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", est_path.display());
     eprintln!(
         "wrote {}{}",
         path.display(),

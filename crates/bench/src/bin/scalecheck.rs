@@ -23,61 +23,18 @@ use dalut_bench::setup::round_in_w;
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
-use dalut_boolfn::Partition;
+use dalut_boolfn::InputDistribution;
 use dalut_core::checkpoint::{fingerprint, WorkKey};
-use dalut_core::{ApproxLutConfig, BitConfig, CancelToken, Observer, SearchEvent};
-use dalut_decomp::{AnyDecomp, BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType};
+use dalut_core::{CancelToken, Observer, SearchEvent};
+use dalut_est::doe::synthetic_config;
+use dalut_est::ResourceEstimator;
 use dalut_hw::{build_approx_lut, build_round_in, build_round_out, characterize, ArchStyle};
 use dalut_netlist::{critical_path_ns, CellLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
-
-/// A synthetic per-bit decomposition at the given geometry: random
-/// pattern/type vectors (contents do not affect the structural metrics;
-/// random contents give realistic switching activity).
-fn synthetic_bit(bit: usize, n: usize, b: usize, mode: &str, rng: &mut StdRng) -> BitConfig {
-    let part = Partition::random(n, b, rng);
-    let pattern: Vec<bool> = (0..part.cols()).map(|_| rng.random()).collect();
-    let decomp = match mode {
-        "bto" => AnyDecomp::Bto(BtoDecomp::new(part, pattern).expect("dims")),
-        "normal" => {
-            let types: Vec<RowType> = (0..part.rows())
-                .map(|_| RowType::from_code(rng.random_range(1..=4)).expect("code"))
-                .collect();
-            AnyDecomp::Normal(DisjointDecomp::new(part, pattern, types).expect("dims"))
-        }
-        "nd" => {
-            let s = part.bound_vars()[0] as usize;
-            let reduced_bound = dalut_decomp::reduce_mask(part.bound_mask() & !(1u32 << s), s);
-            let reduced = Partition::new(n - 1, reduced_bound).expect("valid");
-            let mk_half = |rng: &mut StdRng| {
-                let pat: Vec<bool> = (0..reduced.cols()).map(|_| rng.random()).collect();
-                let types: Vec<RowType> = (0..reduced.rows())
-                    .map(|_| RowType::from_code(rng.random_range(1..=4)).expect("code"))
-                    .collect();
-                DisjointDecomp::new(reduced, pat, types).expect("dims")
-            };
-            let (h0, h1) = (mk_half(rng), mk_half(rng));
-            AnyDecomp::NonDisjoint(NonDisjointDecomp::new(part, s, h0, h1).expect("valid"))
-        }
-        other => unreachable!("unknown mode {other}"),
-    };
-    BitConfig {
-        bit,
-        decomp,
-        expected_error: 0.0,
-    }
-}
-
-fn synthetic_config(n: usize, m: usize, b: usize, modes: &[&str], seed: u64) -> ApproxLutConfig {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bits = (0..m)
-        .map(|k| synthetic_bit(k, n, b, modes[k % modes.len()], &mut rng))
-        .collect();
-    ApproxLutConfig::new(n, m, bits).expect("valid synthetic config")
-}
+use std::time::Instant;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ScaleRow {
@@ -89,6 +46,36 @@ struct ScaleRow {
     energy_per_read_fj: f64,
 }
 
+/// Wall-clock seconds spent in each phase of the run (schema v3).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+struct PhaseTimings {
+    /// Table/netlist construction, common clock, read-trace generation.
+    setup_secs: f64,
+    /// The supervised per-architecture characterisation sweep.
+    characterize_secs: f64,
+    /// The hardened (constant-folded) variants.
+    hardened_secs: f64,
+    /// The closed-form estimator validation pass.
+    estimator_secs: f64,
+}
+
+/// The closed-form (uncalibrated, physical-prior) estimate of one
+/// decomposition architecture at the paper geometry, against the exact
+/// characterisation in `rows`.
+#[derive(Debug, Clone, Serialize)]
+struct EstimateRow {
+    arch: String,
+    area_um2: f64,
+    delay_ns: f64,
+    energy_per_read_fj: f64,
+    /// `|estimate - exact| / exact` on area (analytic: ~0).
+    area_rel_err: f64,
+    /// `|estimate - exact| / exact` on delay (analytic: ~0).
+    delay_rel_err: f64,
+    /// `|estimate - exact| / exact` on energy (prior model, no fit).
+    energy_rel_err: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct ScaleReport {
     schema: String,
@@ -96,6 +83,12 @@ struct ScaleReport {
     /// run — resume with `--checkpoint-dir ... --resume`).
     partial: bool,
     rows: Vec<ScaleRow>,
+    /// Per-phase wall clock (partial flushes only know `setup_secs`).
+    phases: PhaseTimings,
+    /// Estimator validation at the paper geometry (empty until the
+    /// characterisation sweep completes).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    estimates: Vec<EstimateRow>,
 }
 
 fn main() -> ExitCode {
@@ -108,6 +101,7 @@ fn main() -> ExitCode {
     let reads_count = if args.full { 1024 } else { 256 };
     eprintln!("scalecheck: n={n} m={m} b={b}, {reads_count} reads");
 
+    let t_setup = Instant::now();
     // The target only matters for the rounding tables' contents.
     let target = Benchmark::Multiplier.table(Scale::Paper).expect("builds");
 
@@ -147,6 +141,7 @@ fn main() -> ExitCode {
     let reads: Vec<u32> = (0..reads_count)
         .map(|_| rng.random_range(0..(1u32 << n)))
         .collect();
+    let setup_secs = t_setup.elapsed().as_secs_f64();
 
     // --- Characterisation: one supervised item per architecture. ---
     let out_path = args.out_path("scalecheck_results.json");
@@ -183,14 +178,18 @@ fn main() -> ExitCode {
     let supervisor = args
         .supervisor(sweep_fp, &token)
         .expect("checkpoint dir usable");
-    let write_report = |rows: Vec<ScaleRow>, partial: bool| {
-        let report = ScaleReport {
-            schema: "dalut-scalecheck/v2".to_string(),
-            partial,
-            rows,
+    let write_report =
+        |rows: Vec<ScaleRow>, partial: bool, phases: PhaseTimings, estimates: &[EstimateRow]| {
+            let report = ScaleReport {
+                schema: "dalut-scalecheck/v3".to_string(),
+                partial,
+                rows,
+                phases,
+                estimates: estimates.to_vec(),
+            };
+            write_json(&out_path, &report)
         };
-        write_json(&out_path, &report)
-    };
+    let t_char = Instant::now();
     let outcome = supervisor.run(items, obs.observer(), |snapshot| {
         let rows: Vec<ScaleRow> = snapshot
             .completed
@@ -198,10 +197,15 @@ fn main() -> ExitCode {
             .filter_map(|r| r.result.clone())
             .collect();
         let partial = rows.len() < total;
-        if let Err(e) = write_report(rows, partial) {
+        let phases = PhaseTimings {
+            setup_secs,
+            ..PhaseTimings::default()
+        };
+        if let Err(e) = write_report(rows, partial, phases, &[]) {
             eprintln!("warning: partial results write failed: {e}");
         }
     });
+    let characterize_secs = t_char.elapsed().as_secs_f64();
     if let Some(signal) = shutdown::take_requested_signal() {
         obs.emit(&SearchEvent::ShutdownRequested {
             signal: signal.to_string(),
@@ -255,6 +259,7 @@ fn main() -> ExitCode {
     // architectures: what the configured function costs as a fixed-
     // function block instead of a reconfigurable fabric. Skipped when
     // the run was interrupted; reruns cheaply on resume. ---
+    let t_hard = Instant::now();
     if !partial && !token.is_cancelled() {
         let mut htable = dalut_bench::Table::new(&[
             "architecture (hardened)",
@@ -282,8 +287,62 @@ fn main() -> ExitCode {
         println!("Hardened configurations (constant-folded, dead logic removed):\n");
         println!("{}", htable.render());
     }
+    let hardened_secs = t_hard.elapsed().as_secs_f64();
+
+    // --- Estimator validation: the closed-form model (physical prior,
+    // no calibration pass) against the exact rows at the paper geometry.
+    // Area and delay are analytic and must agree to float precision;
+    // energy is the uncalibrated prior, so only indicative here. ---
+    let t_est = Instant::now();
+    let mut estimates = Vec::new();
+    if !partial {
+        let dist = InputDistribution::uniform(n).expect("valid width");
+        let families = [
+            ("DALTA", ArchStyle::Dalta, &dalta_cfg),
+            ("BTO-Normal", ArchStyle::BtoNormal, &bn_cfg),
+            ("BTO-Normal-ND", ArchStyle::BtoNormalNd, &bnnd_cfg),
+        ];
+        for (name, style, cfg) in families {
+            let Some(exact) = rows.iter().find(|r| r.arch == name) else {
+                continue;
+            };
+            let e = ResourceEstimator::new(style, dist.clone())
+                .with_clock(clock)
+                .estimate(cfg)
+                .expect("paper-geometry config estimates");
+            let rel = |est: f64, ex: f64| (est - ex).abs() / ex.max(f64::MIN_POSITIVE);
+            estimates.push(EstimateRow {
+                arch: name.to_string(),
+                area_um2: e.area_um2,
+                delay_ns: e.critical_path_ns,
+                energy_per_read_fj: e.energy_per_read_fj,
+                area_rel_err: rel(e.area_um2, exact.area_um2),
+                delay_rel_err: rel(e.critical_path_ns, exact.delay_ns),
+                energy_rel_err: rel(e.energy_per_read_fj, exact.energy_per_read_fj),
+            });
+        }
+        if !estimates.is_empty() {
+            println!("Closed-form estimator at paper geometry (uncalibrated prior):");
+            for e in &estimates {
+                println!(
+                    "  {}: area err {:.1e}, delay err {:.1e}, energy err {:.1}%",
+                    e.arch,
+                    e.area_rel_err,
+                    e.delay_rel_err,
+                    e.energy_rel_err * 100.0
+                );
+            }
+        }
+    }
+    let estimator_secs = t_est.elapsed().as_secs_f64();
+    let phases = PhaseTimings {
+        setup_secs,
+        characterize_secs,
+        hardened_secs,
+        estimator_secs,
+    };
     obs.finish().expect("flush trace");
-    write_report(rows, partial).expect("write results");
+    write_report(rows, partial, phases, &estimates).expect("write results");
     eprintln!(
         "wrote {}{}",
         out_path.display(),

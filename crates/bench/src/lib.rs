@@ -36,6 +36,7 @@ pub mod progress;
 pub mod report;
 pub mod setup;
 pub mod shutdown;
+pub mod signoff;
 pub mod stats;
 pub mod supervisor;
 
@@ -43,5 +44,6 @@ pub use args::HarnessArgs;
 pub use observation::Observation;
 pub use progress::StderrProgress;
 pub use report::{write_json, Table};
+pub use signoff::{signoff_sweep, EstimatorSummary, PointSignoff, SignoffBank};
 pub use stats::{geomean, RunStats};
 pub use supervisor::{ItemError, Strategy, SupervisorOutcome, SweepSupervisor, WorkItem};

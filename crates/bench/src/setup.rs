@@ -59,6 +59,20 @@ pub fn bssa_params(args: &HarnessArgs, n: usize) -> BsSaParams {
 /// The paper measures the energy of 1024 read operations.
 pub const ENERGY_READS: usize = 1024;
 
+/// Survivors the `--estimator prune` mode forwards to exact sign-off in
+/// the Fig. 6 mode-tradeoff sweep: enough to keep the reported Pareto
+/// front exact (the sweep has ~`m` points; the estimator's rank error is
+/// well under this margin) while skipping most netlist builds.
+pub const PRUNE_KEEP: usize = 6;
+
+/// Relative score margin added on top of [`PRUNE_KEEP`]: candidates
+/// estimated within 5 % of the `PRUNE_KEEP`-th cheapest also survive to
+/// exact sign-off. This absorbs model error at the pruning boundary —
+/// the calibrated energy error is ~1–3 %, so the true optimum cannot be
+/// estimated past the cutoff — at the cost of a few extra sign-offs
+/// only when candidates are nearly tied anyway.
+pub const PRUNE_MARGIN: f64 = 0.05;
+
 #[cfg(test)]
 mod tests {
     use super::*;

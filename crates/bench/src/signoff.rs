@@ -1,0 +1,363 @@
+//! Estimator-pruned exact sign-off for the sweep binaries.
+//!
+//! The Fig. 6 mode sweep (and any other candidate sweep) historically
+//! paid a full netlist build + 1024-read simulation per candidate. Under
+//! `--estimator prune` the flow becomes: score every candidate with the
+//! closed-form [`ResourceEstimator`], forward only the
+//! [`PRUNE_KEEP`](crate::setup::PRUNE_KEEP) analytically cheapest ones —
+//! plus near-ties within [`PRUNE_MARGIN`](crate::setup::PRUNE_MARGIN) of
+//! the cutoff, so boundary-level model error cannot drop the true
+//! optimum — (plus any caller-pinned references) to exact sign-off, and
+//! quote the
+//! estimator's numbers for the pruned remainder. `--estimator off`
+//! bypasses this module entirely (bit-identical legacy flow);
+//! `--estimator trust` skips exact sign-off for every candidate.
+//!
+//! Calibration coefficients are fitted once per run against a seeded
+//! design-of-experiments sweep ([`dalut_est::calibrate`]) and — when a
+//! `--checkpoint-dir` is set — persisted as `estimator_coeffs.json`
+//! (`dalut-est-coeffs/v1`) beside the sweep checkpoints, so a resumed
+//! run prunes with the model it started with.
+
+use std::path::{Path, PathBuf};
+
+use dalut_boolfn::InputDistribution;
+use dalut_core::{
+    select_survivors_with_margin, ApproxLutConfig, Observer, ResourceScorer, SearchEvent,
+};
+use dalut_est::{
+    calibrate_families, CalibrationOptions, CalibrationReport, CoeffStore, EstError, EstimatorMode,
+    ResourceEstimate, ResourceEstimator,
+};
+use dalut_hw::{characterize_observed, ArchStyle, InstanceCache};
+use dalut_netlist::CellLibrary;
+use serde::Serialize;
+
+/// File name of the persisted coefficient store inside a checkpoint
+/// directory.
+pub const COEFFS_FILE: &str = "estimator_coeffs.json";
+
+/// A calibrated estimator bank for one sweep: per-family coefficients,
+/// the shared instance memo-cache for the exact sign-offs, and the fit
+/// reports for the harness' JSON output.
+#[derive(Debug)]
+pub struct SignoffBank {
+    dist: InputDistribution,
+    lib: CellLibrary,
+    store: CoeffStore,
+    /// Fit/exactness reports of the families calibrated this run (empty
+    /// when every family was loaded from a persisted store).
+    pub reports: Vec<CalibrationReport>,
+    /// Memoized netlist builds, shared across all exact sign-offs.
+    pub cache: InstanceCache,
+}
+
+impl SignoffBank {
+    /// Prepares estimators for `styles`: loads `estimator_coeffs.json`
+    /// from `checkpoint_dir` when a valid store covering every family
+    /// exists, otherwise calibrates with `opts` (and persists the result
+    /// when a checkpoint directory is set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures ([`EstError`]).
+    pub fn prepare(
+        styles: &[ArchStyle],
+        dist: &InputDistribution,
+        lib: &CellLibrary,
+        opts: &CalibrationOptions,
+        checkpoint_dir: Option<&str>,
+    ) -> Result<Self, EstError> {
+        let path = checkpoint_dir.map(|d: &str| Path::new(d).join(COEFFS_FILE));
+        if let Some(store) = path.as_ref().and_then(|p| load_covering(p, styles, lib)) {
+            return Ok(Self {
+                dist: dist.clone(),
+                lib: lib.clone(),
+                store,
+                reports: Vec::new(),
+                cache: InstanceCache::new(),
+            });
+        }
+        let (store, reports) = calibrate_families(styles, dist, lib, opts)?;
+        if let Some(p) = &path {
+            if let Err(e) = store.save(p) {
+                eprintln!("warning: could not persist {}: {e}", p.display());
+            }
+        }
+        Ok(Self {
+            dist: dist.clone(),
+            lib: lib.clone(),
+            store,
+            reports,
+            cache: InstanceCache::new(),
+        })
+    }
+
+    /// The calibrated estimator for one family (physical prior if the
+    /// family was never calibrated).
+    #[must_use]
+    pub fn estimator(&self, style: ArchStyle) -> ResourceEstimator {
+        let est = ResourceEstimator::new(style, self.dist.clone()).with_library(self.lib.clone());
+        match self.store.get(style.name()) {
+            Some(set) => est.with_model(set.model),
+            None => est,
+        }
+    }
+
+    /// The persisted/in-memory coefficient store.
+    #[must_use]
+    pub fn store(&self) -> &CoeffStore {
+        &self.store
+    }
+}
+
+fn load_covering(path: &PathBuf, styles: &[ArchStyle], lib: &CellLibrary) -> Option<CoeffStore> {
+    let store = CoeffStore::load(path).ok()?;
+    if store.library != lib.name {
+        return None;
+    }
+    styles
+        .iter()
+        .all(|s| store.get(s.name()).is_some())
+        .then_some(store)
+}
+
+/// The estimator block embedded in a harness' JSON report when pruning
+/// was active.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EstimatorSummary {
+    /// `"prune"` or `"trust"`.
+    pub mode: String,
+    /// Candidates scored analytically.
+    pub candidates: usize,
+    /// Candidates that paid exact sign-off.
+    pub exact_signoffs: usize,
+    /// Fit/exactness reports of the families calibrated this run (empty
+    /// when coefficients were loaded from a persisted store).
+    pub calibration: Vec<CalibrationReport>,
+    /// Netlist-cache hits during the exact sign-offs.
+    pub cache_hits: u64,
+    /// Netlist-cache misses (builds performed).
+    pub cache_misses: u64,
+}
+
+impl SignoffBank {
+    /// The report block for a finished sweep.
+    #[must_use]
+    pub fn summary(
+        &self,
+        mode: EstimatorMode,
+        candidates: usize,
+        exact_signoffs: usize,
+    ) -> EstimatorSummary {
+        EstimatorSummary {
+            mode: mode.to_string(),
+            candidates,
+            exact_signoffs,
+            calibration: self.reports.clone(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// One sweep candidate's sign-off result: exact when it survived
+/// pruning, estimated otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointSignoff {
+    /// Energy per read, fJ — exact or estimated per `source`.
+    pub energy_per_read_fj: f64,
+    /// Critical-path delay, ns (analytic; exact for built survivors).
+    pub critical_path_ns: f64,
+    /// `"exact"` or `"estimated"`.
+    pub source: &'static str,
+    /// The full estimate (present for every candidate in prune/trust
+    /// modes — survivors keep it for estimate-vs-exact validation).
+    pub estimate: Option<ResourceEstimate>,
+}
+
+/// Signs off a homogeneous candidate sweep under the given estimator
+/// mode: estimates every candidate, prunes to the `keep` analytically
+/// cheapest plus [`PRUNE_MARGIN`](crate::setup::PRUNE_MARGIN) near-ties
+/// (`Prune`) or none at all (`Trust`), pays exact sign-off for
+/// survivors only, and emits [`SearchEvent::EstimateBatch`] /
+/// [`SearchEvent::PruneDecision`] so the metrics layer counts the work.
+///
+/// All candidates are quoted at the common `clock_period_ns`. Do not
+/// call this with [`EstimatorMode::Off`] — the legacy exact path should
+/// run unchanged instead.
+///
+/// # Panics
+///
+/// Panics when called with [`EstimatorMode::Off`], or if a surviving
+/// candidate fails to build or simulate (sweep candidates are
+/// mode-compatible by construction).
+pub fn signoff_sweep(
+    bank: &SignoffBank,
+    style: ArchStyle,
+    candidates: &[&ApproxLutConfig],
+    mode: EstimatorMode,
+    keep: usize,
+    clock_period_ns: f64,
+    reads: &[u32],
+    observer: &dyn Observer,
+) -> Vec<PointSignoff> {
+    assert!(
+        mode != EstimatorMode::Off,
+        "signoff_sweep is the pruned path; run the exact flow for --estimator off"
+    );
+    let est = bank.estimator(style).with_clock(clock_period_ns);
+    let estimates: Vec<ResourceEstimate> = candidates
+        .iter()
+        .map(|c| {
+            est.estimate(c)
+                .expect("sweep candidates are mode-compatible")
+        })
+        .collect();
+    observer.on_event(&SearchEvent::EstimateBatch {
+        arch: style.name().to_string(),
+        candidates: candidates.len(),
+    });
+
+    let survivors: Vec<usize> = match mode {
+        EstimatorMode::Trust => Vec::new(),
+        _ => select_survivors_with_margin(
+            &est as &dyn ResourceScorer,
+            candidates,
+            keep,
+            crate::setup::PRUNE_MARGIN,
+        ),
+    };
+    observer.on_event(&SearchEvent::PruneDecision {
+        candidates: candidates.len(),
+        kept: survivors.len(),
+        mode: mode.to_string(),
+    });
+
+    let mut out: Vec<PointSignoff> = estimates
+        .into_iter()
+        .map(|e| PointSignoff {
+            energy_per_read_fj: e.energy_per_read_fj,
+            critical_path_ns: e.critical_path_ns,
+            source: "estimated",
+            estimate: Some(e),
+        })
+        .collect();
+    for i in survivors {
+        let inst = bank
+            .cache
+            .get_or_build(candidates[i], style)
+            .expect("survivor builds");
+        let rep = characterize_observed(&inst, reads, &bank.lib, clock_period_ns, observer)
+            .expect("survivor simulates");
+        out[i].energy_per_read_fj = rep.energy_per_read_fj;
+        out[i].critical_path_ns = rep.critical_path_ns;
+        out[i].source = "exact";
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_core::MetricsRecorder;
+    use dalut_est::doe::synthetic_config;
+
+    fn bank(styles: &[ArchStyle]) -> SignoffBank {
+        let dist = InputDistribution::uniform(6).unwrap();
+        let lib = CellLibrary::nangate45();
+        let mut opts = CalibrationOptions::fast();
+        opts.samples = 6;
+        opts.reads = 64;
+        SignoffBank::prepare(styles, &dist, &lib, &opts, None).unwrap()
+    }
+
+    #[test]
+    fn prune_mode_signs_off_only_survivors() {
+        let b = bank(&[ArchStyle::BtoNormalNd]);
+        let configs: Vec<_> = (0..5)
+            .map(|i| synthetic_config(6, 2, 3, &[["bto", "normal", "nd"][i % 3]], 50 + i as u64))
+            .collect();
+        let refs: Vec<&ApproxLutConfig> = configs.iter().collect();
+        let reads: Vec<u32> = (0..64).collect();
+        let metrics = MetricsRecorder::new();
+        let points = signoff_sweep(
+            &b,
+            ArchStyle::BtoNormalNd,
+            &refs,
+            EstimatorMode::Prune,
+            2,
+            1.5,
+            &reads,
+            &metrics,
+        );
+        assert_eq!(points.len(), 5);
+        assert_eq!(points.iter().filter(|p| p.source == "exact").count(), 2);
+        assert!(points.iter().all(|p| p.estimate.is_some()));
+        assert!(points.iter().all(|p| p.energy_per_read_fj > 0.0));
+        let c = metrics.snapshot().counters;
+        assert_eq!(c.estimate_batches, 1);
+        assert_eq!(c.estimates_made, 5);
+        assert_eq!(c.prune_decisions, 1);
+        assert_eq!(c.candidates_pruned, 3);
+        // The two exact sign-offs were distinct configs: two cache misses.
+        assert_eq!(b.cache.misses(), 2);
+    }
+
+    #[test]
+    fn trust_mode_builds_nothing() {
+        let b = bank(&[ArchStyle::BtoNormal]);
+        let configs: Vec<_> = (0..3)
+            .map(|i| synthetic_config(6, 2, 3, &["bto", "normal"], 70 + i as u64))
+            .collect();
+        let refs: Vec<&ApproxLutConfig> = configs.iter().collect();
+        let reads: Vec<u32> = (0..32).collect();
+        let metrics = MetricsRecorder::new();
+        let points = signoff_sweep(
+            &b,
+            ArchStyle::BtoNormal,
+            &refs,
+            EstimatorMode::Trust,
+            2,
+            1.5,
+            &reads,
+            &metrics,
+        );
+        assert!(points.iter().all(|p| p.source == "estimated"));
+        assert_eq!(b.cache.misses() + b.cache.hits(), 0);
+    }
+
+    #[test]
+    fn prepare_persists_and_reloads_coefficients() {
+        let dir = std::env::temp_dir().join("dalut-signoff-coeffs-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap();
+        let dist = InputDistribution::uniform(6).unwrap();
+        let lib = CellLibrary::nangate45();
+        let mut opts = CalibrationOptions::fast();
+        opts.samples = 6;
+        opts.reads = 64;
+        let first =
+            SignoffBank::prepare(&[ArchStyle::BtoNormal], &dist, &lib, &opts, Some(dirs)).unwrap();
+        assert!(!first.reports.is_empty());
+        assert!(dir.join(COEFFS_FILE).exists());
+        // Second prepare loads the persisted store: no recalibration.
+        let second =
+            SignoffBank::prepare(&[ArchStyle::BtoNormal], &dist, &lib, &opts, Some(dirs)).unwrap();
+        assert!(second.reports.is_empty());
+        assert_eq!(second.store(), first.store());
+        // A store that does not cover the requested family recalibrates.
+        let third = SignoffBank::prepare(
+            &[ArchStyle::BtoNormal, ArchStyle::Dalta],
+            &dist,
+            &lib,
+            &opts,
+            Some(dirs),
+        )
+        .unwrap();
+        assert!(!third.reports.is_empty());
+        assert!(third.store().get("DALTA").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -243,6 +243,29 @@ impl InputDistribution {
         }
     }
 
+    /// Expected per-cycle toggle density of input bit `s` under i.i.d.
+    /// sampling from this distribution: with `p = P(bit s = 1)`, two
+    /// consecutive independent reads differ on the bit with probability
+    /// `2·p·(1 − p)`. Uniform inputs give the familiar 0.5.
+    ///
+    /// This is the activity factor analytic power models multiply against
+    /// per-cell switching energy, exported here so resource estimators can
+    /// predict dynamic power without simulating a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n`.
+    pub fn toggle_density(&self, s: usize) -> f64 {
+        let p = self.bit_marginal(s, true);
+        2.0 * p * (1.0 - p)
+    }
+
+    /// [`toggle_density`](Self::toggle_density) for every input bit, LSB
+    /// first (length `n`).
+    pub fn toggle_densities(&self) -> Vec<f64> {
+        (0..self.inputs()).map(|s| self.toggle_density(s)).collect()
+    }
+
     /// Materialises the probability vector (length `2^n`).
     pub fn to_vec(&self) -> Vec<f64> {
         match &self.kind {
@@ -357,6 +380,25 @@ mod tests {
         let (p, cond) = d.condition_on_bit(0, true);
         assert_eq!(p, 0.0);
         assert!((total(&cond) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_density_uniform_is_half() {
+        let d = InputDistribution::uniform(5).unwrap();
+        let t = d.toggle_densities();
+        assert_eq!(t.len(), 5);
+        for (s, &v) in t.iter().enumerate() {
+            assert!((v - 0.5).abs() < 1e-12, "bit {s}");
+        }
+    }
+
+    #[test]
+    fn toggle_density_tracks_marginal() {
+        // Bit 1 is always set (marginal 1.0): it never toggles. Bit 0 has
+        // marginal 0.75: density 2 · 0.75 · 0.25 = 0.375.
+        let d = InputDistribution::from_weights(vec![0.0, 0.0, 1.0, 3.0]).unwrap();
+        assert!((d.toggle_density(1) - 0.0).abs() < 1e-12);
+        assert!((d.toggle_density(0) - 0.375).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! The resource-scoring seam between the search stack and analytic cost
+//! models.
+//!
+//! The core search crates never build netlists — hardware cost enters the
+//! flow through this object-safe trait, implemented by the closed-form
+//! estimator in `dalut-est` (and by trivial scorers in tests). Keeping
+//! the trait here lets sweep drivers rank `ApproxLutConfig` candidates by
+//! predicted energy and forward only the survivors to exact netlist
+//! sign-off, without `dalut-core` depending on any hardware crate.
+
+use crate::config::ApproxLutConfig;
+
+/// Scores a candidate configuration's hardware cost analytically.
+///
+/// Lower is better. The absolute unit is implementation-defined (the
+/// `dalut-est` implementation returns femtojoules per read); pruning only
+/// relies on the *ranking* being faithful to exact sign-off.
+pub trait ResourceScorer: Send + Sync {
+    /// Predicted cost of `config`; lower is cheaper hardware.
+    fn score(&self, config: &ApproxLutConfig) -> f64;
+
+    /// Short label for reports and [`SearchEvent::EstimateBatch`]
+    /// (`arch`) attribution.
+    ///
+    /// [`SearchEvent::EstimateBatch`]: crate::observe::SearchEvent::EstimateBatch
+    fn label(&self) -> &str {
+        "scorer"
+    }
+}
+
+impl<T: ResourceScorer + ?Sized> ResourceScorer for &T {
+    fn score(&self, config: &ApproxLutConfig) -> f64 {
+        (**self).score(config)
+    }
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+/// Ranks `candidates` by a scorer and returns the indices of the `keep`
+/// cheapest, in ascending score order (ties broken by original index, so
+/// the selection is deterministic). `keep >= candidates.len()` keeps
+/// everything.
+pub fn select_survivors(
+    scorer: &dyn ResourceScorer,
+    candidates: &[&ApproxLutConfig],
+    keep: usize,
+) -> Vec<usize> {
+    select_survivors_with_margin(scorer, candidates, keep, 0.0)
+}
+
+/// Like [`select_survivors`], but additionally keeps every candidate
+/// whose score is within a relative `margin` of the `keep`-th best
+/// (score ≤ kth · (1 + margin)).
+///
+/// The margin absorbs model error at the pruning boundary: if the
+/// scorer's relative error is bounded by ε with `(1+ε)/(1−ε) ≤ 1 +
+/// margin`, the true optimum always survives, because its score can
+/// exceed the `keep`-th score by at most that factor. A `margin` of
+/// `0.0` reduces to a hard top-`keep` cut.
+pub fn select_survivors_with_margin(
+    scorer: &dyn ResourceScorer,
+    candidates: &[&ApproxLutConfig],
+    keep: usize,
+    margin: f64,
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, scorer.score(c)))
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    if keep < scored.len() && keep > 0 {
+        let cutoff = scored[keep - 1].1 * (1.0 + margin.max(0.0));
+        scored.retain(|&(_, s)| s <= cutoff);
+    } else {
+        scored.truncate(keep);
+    }
+    let mut kept: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BitConfig;
+    use dalut_boolfn::Partition;
+    use dalut_decomp::{AnyDecomp, BtoDecomp};
+
+    struct TableBitsScorer;
+    impl ResourceScorer for TableBitsScorer {
+        fn score(&self, config: &ApproxLutConfig) -> f64 {
+            config
+                .bits()
+                .iter()
+                .map(|b| b.decomp.table_bits() as f64)
+                .sum()
+        }
+        fn label(&self) -> &str {
+            "table-bits"
+        }
+    }
+
+    fn config_with_bound(b: usize) -> ApproxLutConfig {
+        let part = Partition::new(4, (1u32 << b) - 1).unwrap();
+        let decomp = AnyDecomp::Bto(BtoDecomp::new(part, vec![false; part.cols()]).unwrap());
+        ApproxLutConfig::new(
+            4,
+            1,
+            vec![BitConfig {
+                bit: 0,
+                decomp,
+                expected_error: 0.0,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn survivors_are_cheapest_in_index_order() {
+        let configs = [
+            config_with_bound(3),
+            config_with_bound(1),
+            config_with_bound(2),
+        ];
+        let refs: Vec<&ApproxLutConfig> = configs.iter().collect();
+        let kept = select_survivors(&TableBitsScorer, &refs, 2);
+        // Cheapest two are b=1 (index 1) and b=2 (index 2), reported in
+        // ascending index order.
+        assert_eq!(kept, vec![1, 2]);
+        assert_eq!(TableBitsScorer.label(), "table-bits");
+    }
+
+    #[test]
+    fn margin_keeps_near_ties_past_the_cutoff() {
+        // BTO table bits are 2^b, so scores are 8, 2, 4. With keep=1 a
+        // hard cut keeps only b=1; a 120% margin (cutoff 2·2.2 = 4.4)
+        // also keeps b=2, while b=3 stays pruned.
+        let configs = [
+            config_with_bound(3),
+            config_with_bound(1),
+            config_with_bound(2),
+        ];
+        let refs: Vec<&ApproxLutConfig> = configs.iter().collect();
+        assert_eq!(
+            select_survivors_with_margin(&TableBitsScorer, &refs, 1, 0.0),
+            vec![1]
+        );
+        assert_eq!(
+            select_survivors_with_margin(&TableBitsScorer, &refs, 1, 1.2),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn keep_larger_than_pool_keeps_all() {
+        let configs = [config_with_bound(1), config_with_bound(2)];
+        let refs: Vec<&ApproxLutConfig> = configs.iter().collect();
+        assert_eq!(select_survivors(&TableBitsScorer, &refs, 10), vec![0, 1]);
+    }
+}

@@ -58,6 +58,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod dalta;
 pub mod error;
+pub mod estimate;
 pub mod observe;
 pub mod outcome;
 pub mod parallel;
@@ -79,6 +80,7 @@ pub use config::{ApproxLutConfig, BitConfig, BitMode};
 #[allow(deprecated)]
 pub use dalta::{run_dalta, run_dalta_budgeted};
 pub use error::DalutError;
+pub use estimate::{select_survivors, select_survivors_with_margin, ResourceScorer};
 pub use observe::{
     CounterSnapshot, HistogramSnapshot, JsonlTraceWriter, MetricsRecorder, MetricsSnapshot,
     MultiObserver, NoopObserver, Observer, PhaseSnapshot, RecordingObserver, SearchEvent,

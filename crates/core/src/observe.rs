@@ -170,6 +170,25 @@ pub enum SearchEvent {
         /// Lane-word blocks evaluated (1 for scalar runs).
         blocks: u64,
     },
+    /// An analytic resource estimator scored a batch of candidate
+    /// configurations without building netlists.
+    EstimateBatch {
+        /// Architecture family label (e.g. `"dalta"`, `"bto-normal"`).
+        arch: String,
+        /// Candidates estimated in this batch.
+        candidates: usize,
+    },
+    /// A pruning stage split estimated candidates into survivors (which
+    /// pay exact sign-off) and pruned candidates (which keep their
+    /// estimate).
+    PruneDecision {
+        /// Candidates considered.
+        candidates: usize,
+        /// Survivors kept for exact sign-off.
+        kept: usize,
+        /// Estimator mode label: `"prune"` or `"trust"`.
+        mode: String,
+    },
     /// A fault-injection sweep advanced.
     FaultSweepProgress {
         /// Architecture label being swept.
@@ -452,6 +471,19 @@ pub struct CounterSnapshot {
     /// Cycles simulated across all `SimBatch` events.
     #[serde(default)]
     pub sim_cycles: u64,
+    /// `EstimateBatch` events.
+    #[serde(default)]
+    pub estimate_batches: u64,
+    /// Candidates estimated across all `EstimateBatch` events.
+    #[serde(default)]
+    pub estimates_made: u64,
+    /// `PruneDecision` events.
+    #[serde(default)]
+    pub prune_decisions: u64,
+    /// Candidates dropped (considered − kept) across all `PruneDecision`
+    /// events.
+    #[serde(default)]
+    pub candidates_pruned: u64,
     /// `FaultSweepProgress` events.
     pub fault_progress: u64,
     /// `CheckpointSaved` events.
@@ -543,6 +575,10 @@ pub struct MetricsRecorder {
     task_batches: AtomicU64,
     sim_batches: AtomicU64,
     sim_cycles: AtomicU64,
+    estimate_batches: AtomicU64,
+    estimates_made: AtomicU64,
+    prune_decisions: AtomicU64,
+    candidates_pruned: AtomicU64,
     fault_progress: AtomicU64,
     checkpoints_saved: AtomicU64,
     checkpoints_loaded: AtomicU64,
@@ -594,6 +630,10 @@ impl MetricsRecorder {
             task_batches: AtomicU64::new(0),
             sim_batches: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
+            estimate_batches: AtomicU64::new(0),
+            estimates_made: AtomicU64::new(0),
+            prune_decisions: AtomicU64::new(0),
+            candidates_pruned: AtomicU64::new(0),
             fault_progress: AtomicU64::new(0),
             checkpoints_saved: AtomicU64::new(0),
             checkpoints_loaded: AtomicU64::new(0),
@@ -634,6 +674,10 @@ impl MetricsRecorder {
             task_batches: ld(&self.task_batches),
             sim_batches: ld(&self.sim_batches),
             sim_cycles: ld(&self.sim_cycles),
+            estimate_batches: ld(&self.estimate_batches),
+            estimates_made: ld(&self.estimates_made),
+            prune_decisions: ld(&self.prune_decisions),
+            candidates_pruned: ld(&self.candidates_pruned),
             fault_progress: ld(&self.fault_progress),
             checkpoints_saved: ld(&self.checkpoints_saved),
             checkpoints_loaded: ld(&self.checkpoints_loaded),
@@ -735,6 +779,19 @@ impl Observer for MetricsRecorder {
             SearchEvent::SimBatch { cycles, .. } => {
                 add(&self.sim_batches, 1);
                 add(&self.sim_cycles, *cycles);
+            }
+            SearchEvent::EstimateBatch { candidates, .. } => {
+                add(&self.estimate_batches, 1);
+                add(&self.estimates_made, *candidates as u64);
+            }
+            SearchEvent::PruneDecision {
+                candidates, kept, ..
+            } => {
+                add(&self.prune_decisions, 1);
+                add(
+                    &self.candidates_pruned,
+                    candidates.saturating_sub(*kept) as u64,
+                );
             }
             SearchEvent::FaultSweepProgress { .. } => add(&self.fault_progress, 1),
             SearchEvent::CheckpointSaved { .. } => add(&self.checkpoints_saved, 1),
@@ -918,6 +975,42 @@ mod tests {
         assert_eq!(snap.phases.len(), 1);
         assert_eq!(snap.phases[0].name, "beam");
         assert_eq!(snap.phases[0].iterations, 1);
+    }
+
+    #[test]
+    fn recorder_counts_estimator_events() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&SearchEvent::EstimateBatch {
+            arch: "bto-normal".into(),
+            candidates: 7,
+        });
+        rec.on_event(&SearchEvent::EstimateBatch {
+            arch: "dalta".into(),
+            candidates: 1,
+        });
+        rec.on_event(&SearchEvent::PruneDecision {
+            candidates: 8,
+            kept: 3,
+            mode: "prune".into(),
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.estimate_batches, 2);
+        assert_eq!(snap.counters.estimates_made, 8);
+        assert_eq!(snap.counters.prune_decisions, 1);
+        assert_eq!(snap.counters.candidates_pruned, 5);
+    }
+
+    #[test]
+    fn estimator_events_serialise_with_snake_case_tags() {
+        let e = SearchEvent::PruneDecision {
+            candidates: 4,
+            kept: 2,
+            mode: "trust".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"prune_decision\""));
+        let back: SearchEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
     }
 
     #[test]

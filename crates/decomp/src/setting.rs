@@ -415,6 +415,42 @@ impl AnyDecomp {
             Self::NonDisjoint(_) => "nd",
         }
     }
+
+    /// Bits of bound-table (rank-LUT) storage this decomposition programs:
+    /// `2^b` for every mode (the ND shapes fold the shared bit into the
+    /// bound address, see [`NonDisjointDecomp::bound_table`]).
+    #[inline]
+    pub fn bound_table_bits(&self) -> usize {
+        1usize << self.partition().bound_size()
+    }
+
+    /// Bits of *active* free-table storage: `2^(f+1)` per enabled free
+    /// table (the `φ` output widens the free address by one). BTO gates
+    /// its free table off entirely (0), normal enables one, non-disjoint
+    /// enables both conditional halves.
+    #[inline]
+    pub fn free_table_bits(&self) -> usize {
+        let per_table = 1usize << (self.partition().free_size() + 1);
+        per_table * self.active_free_tables()
+    }
+
+    /// Number of free tables the mode leaves clocked: 0 (BTO), 1 (normal)
+    /// or 2 (non-disjoint).
+    #[inline]
+    pub fn active_free_tables(&self) -> usize {
+        match self {
+            Self::Bto(_) => 0,
+            Self::Normal(_) => 1,
+            Self::NonDisjoint(_) => 2,
+        }
+    }
+
+    /// Total active table bits, the decomposition-level cost driver the
+    /// analytic resource estimator keys on.
+    #[inline]
+    pub fn table_bits(&self) -> usize {
+        self.bound_table_bits() + self.free_table_bits()
+    }
 }
 
 /// A scored decomposition setting `s = (E, ω, V, T)` (paper §III-A): the
@@ -688,6 +724,29 @@ mod tests {
         for x in 0..16u32 {
             assert_eq!(col[x as usize], d.eval_bit(x));
         }
+    }
+
+    #[test]
+    fn table_bits_by_mode() {
+        // n = 4, b = 2, f = 2: bound 2^2 = 4, free per table 2^3 = 8.
+        let normal = AnyDecomp::Normal(example1());
+        assert_eq!(normal.bound_table_bits(), 4);
+        assert_eq!(normal.active_free_tables(), 1);
+        assert_eq!(normal.free_table_bits(), 8);
+        assert_eq!(normal.table_bits(), 12);
+
+        let p = Partition::new(4, 0b1100).unwrap();
+        let bto = AnyDecomp::Bto(BtoDecomp::new(p, vec![false, true, true, false]).unwrap());
+        assert_eq!(bto.bound_table_bits(), 4);
+        assert_eq!(bto.free_table_bits(), 0);
+        assert_eq!(bto.table_bits(), 4);
+
+        // n = 5, b = 3, f = 2: bound 2^3 = 8, free 2 × 2^3 = 16.
+        let nd = AnyDecomp::NonDisjoint(make_nd());
+        assert_eq!(nd.bound_table_bits(), 8);
+        assert_eq!(nd.active_free_tables(), 2);
+        assert_eq!(nd.free_table_bits(), 16);
+        assert_eq!(nd.table_bits(), 24);
     }
 
     #[test]

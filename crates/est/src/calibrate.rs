@@ -1,0 +1,396 @@
+//! Coefficient calibration against exact netlist sign-off.
+//!
+//! [`calibrate`] runs a seeded design-of-experiments sweep per
+//! architecture family — synthetic configurations spanning the mode
+//! mixes and bound-set sizes the searches produce — builds each one
+//! exactly, measures its [`PowerReport`](dalut_netlist::PowerReport)
+//! over reads drawn from the input distribution, and least-squares fits
+//! the [`SwitchingModel`] on the residual the closed-form features
+//! cannot pin down (DFF-tree mux switching). The same pass
+//! cross-checks that the analytic area / delay / clock / leakage agree
+//! with sign-off to numerical precision, and reports how well the
+//! fitted total energy ranks candidates.
+
+use dalut_boolfn::InputDistribution;
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::CellLibrary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::doe::synthetic_config;
+use crate::features::ConfigFeatures;
+use crate::model::{CoeffSet, CoeffStore, EstError, ResourceEstimator, SwitchingModel};
+
+/// Geometry and budget of one calibration sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalibrationOptions {
+    /// Input bits `n` of the DoE configurations.
+    pub inputs: usize,
+    /// Output bits `m`.
+    pub outputs: usize,
+    /// Centre bound-set size; the DoE cycles `b − 1 ..= b + 1` (clamped).
+    pub bound: usize,
+    /// DoE configurations to sign off per family.
+    pub samples: usize,
+    /// Reads measured per configuration.
+    pub reads: usize,
+    /// Seed for partitions, table contents and read traces.
+    pub seed: u64,
+}
+
+impl CalibrationOptions {
+    /// A test-sized sweep (`n = 6`): seconds, not minutes.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            inputs: 6,
+            outputs: 3,
+            bound: 3,
+            samples: 10,
+            reads: 128,
+            seed: 7,
+        }
+    }
+
+    /// Options matched to a sweep's geometry: the DoE runs at the
+    /// sweep's input width and bound size (a few output bits are enough
+    /// — each configuration is one fit observation either way).
+    #[must_use]
+    pub fn for_width(n: usize, b: usize) -> Self {
+        Self {
+            inputs: n,
+            outputs: 4.min(n),
+            bound: b.clamp(2, n.saturating_sub(1).max(2)),
+            samples: 12,
+            reads: 256,
+            seed: 7,
+        }
+    }
+
+    /// The paper's Fig. 5/6 geometry (`n = 16, b = 9`).
+    #[must_use]
+    pub fn paper_point() -> Self {
+        Self {
+            inputs: 16,
+            outputs: 16,
+            bound: 9,
+            samples: 12,
+            reads: 256,
+            seed: 7,
+        }
+    }
+}
+
+/// Fit quality and exactness cross-checks of one family's calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Architecture family calibrated.
+    pub family: String,
+    /// DoE configurations signed off.
+    pub samples: usize,
+    /// The fitted model.
+    pub model: SwitchingModel,
+    /// Mean absolute switching residual, fJ/read.
+    pub switching_mean_abs_err_fj: f64,
+    /// Worst relative switching residual.
+    pub switching_max_rel_err: f64,
+    /// Mean relative total-energy error.
+    pub energy_mean_rel_err: f64,
+    /// Worst relative total-energy error.
+    pub energy_max_rel_err: f64,
+    /// Spearman rank correlation of estimated vs exact total energy
+    /// across the DoE (pruning fidelity).
+    pub rank_correlation: f64,
+    /// Worst absolute area deviation from sign-off, µm² (exactness
+    /// check; ~0).
+    pub area_max_abs_err_um2: f64,
+    /// Worst absolute critical-path deviation, ns (~0).
+    pub delay_max_abs_err_ns: f64,
+    /// Worst relative clock-energy deviation (~0).
+    pub clock_max_rel_err: f64,
+    /// Worst relative leakage-energy deviation (~0).
+    pub leakage_max_rel_err: f64,
+}
+
+/// Draws `count` reads i.i.d. from `dist` by inverse-CDF sampling.
+#[must_use]
+pub fn sample_reads(dist: &InputDistribution, count: usize, rng: &mut StdRng) -> Vec<u32> {
+    let n = dist.inputs();
+    let mut cdf = Vec::with_capacity(1 << n);
+    let mut acc = 0.0f64;
+    for x in 0..1u32 << n {
+        acc += dist.prob(x);
+        cdf.push(acc);
+    }
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * acc;
+            cdf.partition_point(|&c| c < u).min((1 << n) - 1) as u32
+        })
+        .collect()
+}
+
+/// The per-family DoE mode mixes (cycled per sample).
+fn mode_mixes(style: ArchStyle) -> &'static [&'static [&'static str]] {
+    match style {
+        ArchStyle::Dalta => &[&["normal"]],
+        ArchStyle::BtoNormal => &[
+            &["normal"],
+            &["bto"],
+            &["bto", "normal"],
+            &["normal", "normal", "bto"],
+        ],
+        ArchStyle::BtoNormalNd => &[
+            &["normal"],
+            &["nd"],
+            &["bto", "normal", "nd"],
+            &["normal", "nd"],
+            &["bto", "nd"],
+        ],
+    }
+}
+
+/// Calibrates one family: DoE sweep, exact sign-off, coefficient fit,
+/// exactness cross-checks.
+///
+/// # Errors
+///
+/// Returns an error if a DoE configuration fails to build or simulate.
+pub fn calibrate(
+    style: ArchStyle,
+    dist: &InputDistribution,
+    lib: &CellLibrary,
+    opts: &CalibrationOptions,
+) -> Result<(SwitchingModel, CalibrationReport), EstError> {
+    let (n, m) = (opts.inputs, opts.outputs);
+    let mixes = mode_mixes(style);
+    let mut rows: Vec<[f64; 4]> = Vec::with_capacity(opts.samples);
+    let mut switching: Vec<f64> = Vec::with_capacity(opts.samples);
+    let mut feats_all: Vec<ConfigFeatures> = Vec::with_capacity(opts.samples);
+    let mut exact_energy: Vec<f64> = Vec::with_capacity(opts.samples);
+    let mut clocks: Vec<f64> = Vec::with_capacity(opts.samples);
+
+    let mut area_err = 0.0f64;
+    let mut delay_err = 0.0f64;
+    let mut clock_err = 0.0f64;
+    let mut leak_err = 0.0f64;
+
+    for i in 0..opts.samples {
+        // ND folds one bound variable, so keep b ≥ 2; always leave a
+        // non-empty free set.
+        let b = (opts.bound + i % 3).saturating_sub(1).clamp(2, n - 1);
+        let modes = mixes[i % mixes.len()];
+        let seed = opts.seed.wrapping_mul(1000).wrapping_add(i as u64);
+        let config = synthetic_config(n, m, b, modes, seed);
+
+        let feats = ConfigFeatures::extract(&config, style, dist, lib)?;
+        let clock = feats.critical_path_ns * 1.05;
+        let inst = build_approx_lut(&config, style)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE571);
+        let reads = sample_reads(dist, opts.reads, &mut rng);
+        let rep = characterize(&inst, &reads, lib, clock)?;
+
+        let cycles = rep.power.cycles as f64;
+        area_err = area_err.max((feats.area_um2 - rep.area_um2).abs());
+        delay_err = delay_err.max((feats.critical_path_ns - rep.critical_path_ns).abs());
+        let exact_clock = rep.power.clock_energy_fj / cycles;
+        clock_err = clock_err.max(rel_err(feats.clock_fj_per_read, exact_clock));
+        let exact_leak = rep.power.leakage_energy_fj / cycles;
+        leak_err = leak_err.max(rel_err(feats.leakage_fj_per_read(clock), exact_leak));
+
+        rows.push([
+            1.0,
+            feats.exact_switching_fj,
+            feats.bound_tree_activity,
+            feats.free_tree_activity,
+        ]);
+        switching.push(rep.power.switching_energy_fj / cycles);
+        exact_energy.push(rep.energy_per_read_fj);
+        clocks.push(clock);
+        feats_all.push(feats);
+    }
+
+    let model = SwitchingModel::fit(&rows, &switching, SwitchingModel::physical_default(lib));
+
+    let mut sw_abs = 0.0f64;
+    let mut sw_rel_max = 0.0f64;
+    let mut en_rel_sum = 0.0f64;
+    let mut en_rel_max = 0.0f64;
+    let mut predicted: Vec<f64> = Vec::with_capacity(opts.samples);
+    for ((f, &y), (&e, &clock)) in feats_all
+        .iter()
+        .zip(&switching)
+        .zip(exact_energy.iter().zip(&clocks))
+    {
+        let p = model.predict_fj(f);
+        sw_abs += (p - y).abs();
+        sw_rel_max = sw_rel_max.max(rel_err(p, y));
+        let total = p + f.clock_fj_per_read + f.leakage_fj_per_read(clock);
+        let r = rel_err(total, e);
+        en_rel_sum += r;
+        en_rel_max = en_rel_max.max(r);
+        predicted.push(total);
+    }
+    let count = opts.samples.max(1) as f64;
+
+    let report = CalibrationReport {
+        family: style.name().to_string(),
+        samples: opts.samples,
+        model,
+        switching_mean_abs_err_fj: sw_abs / count,
+        switching_max_rel_err: sw_rel_max,
+        energy_mean_rel_err: en_rel_sum / count,
+        energy_max_rel_err: en_rel_max,
+        rank_correlation: spearman(&predicted, &exact_energy),
+        area_max_abs_err_um2: area_err,
+        delay_max_abs_err_ns: delay_err,
+        clock_max_rel_err: clock_err,
+        leakage_max_rel_err: leak_err,
+    };
+    Ok((model, report))
+}
+
+/// Calibrates several families into one [`CoeffStore`].
+///
+/// # Errors
+///
+/// Propagates the first family's calibration failure.
+pub fn calibrate_families(
+    styles: &[ArchStyle],
+    dist: &InputDistribution,
+    lib: &CellLibrary,
+    opts: &CalibrationOptions,
+) -> Result<(CoeffStore, Vec<CalibrationReport>), EstError> {
+    let mut store = CoeffStore::new(&lib.name);
+    let mut reports = Vec::with_capacity(styles.len());
+    for &style in styles {
+        let (model, report) = calibrate(style, dist, lib, opts)?;
+        store.insert(CoeffSet {
+            family: style.name().to_string(),
+            model,
+            samples: report.samples,
+            switching_mean_abs_err_fj: report.switching_mean_abs_err_fj,
+            energy_max_rel_err: report.energy_max_rel_err,
+        });
+        reports.push(report);
+    }
+    Ok((store, reports))
+}
+
+impl ResourceEstimator {
+    /// A calibrated estimator: runs [`calibrate`] for the family and
+    /// installs the fitted model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn calibrated(
+        style: ArchStyle,
+        dist: InputDistribution,
+        lib: CellLibrary,
+        opts: &CalibrationOptions,
+    ) -> Result<(Self, CalibrationReport), EstError> {
+        let (model, report) = calibrate(style, &dist, &lib, opts)?;
+        let est = Self::new(style, dist).with_library(lib).with_model(model);
+        Ok((est, report))
+    }
+}
+
+fn rel_err(predicted: f64, exact: f64) -> f64 {
+    if exact.abs() < 1e-12 {
+        predicted.abs()
+    } else {
+        (predicted - exact).abs() / exact.abs()
+    }
+}
+
+/// Spearman rank correlation (ranks by sort position, ties broken by
+/// index — adequate for continuous energies).
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in ra.iter().zip(&rb) {
+        num += (x - mean) * (y - mean);
+        da += (x - mean).powi(2);
+        db += (y - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0; v.len()];
+    for (pos, &i) in idx.iter().enumerate() {
+        r[i] = pos as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sampling_covers_the_domain() {
+        let dist = InputDistribution::uniform(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let reads = sample_reads(&dist, 512, &mut rng);
+        assert!(reads.iter().all(|&x| x < 16));
+        // All 16 values should appear in 512 uniform draws.
+        let mut seen = [false; 16];
+        for &x in &reads {
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn skewed_sampling_respects_probabilities() {
+        // Mass concentrated on x = 3.
+        let mut w = vec![0.01; 8];
+        w[3] = 10.0;
+        let dist = InputDistribution::from_weights(w).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let reads = sample_reads(&dist, 400, &mut rng);
+        let hits = reads.iter().filter(|&&x| x == 3).count();
+        assert!(hits > 350, "{hits} of 400 draws hit the 99% mass point");
+    }
+
+    #[test]
+    fn calibration_is_accurate_on_the_fast_geometry() {
+        let opts = CalibrationOptions::fast();
+        let dist = InputDistribution::uniform(opts.inputs).unwrap();
+        let lib = CellLibrary::nangate45();
+        let (_, report) = calibrate(ArchStyle::BtoNormal, &dist, &lib, &opts).unwrap();
+        // Structural quantities are exact by construction.
+        assert!(report.area_max_abs_err_um2 < 1e-6, "{report:?}");
+        assert!(report.delay_max_abs_err_ns < 1e-9, "{report:?}");
+        assert!(report.clock_max_rel_err < 1e-9, "{report:?}");
+        assert!(report.leakage_max_rel_err < 1e-9, "{report:?}");
+        // The fitted energy model must rank candidates faithfully.
+        assert!(report.rank_correlation > 0.8, "{report:?}");
+        assert!(report.energy_mean_rel_err < 0.10, "{report:?}");
+    }
+
+    #[test]
+    fn spearman_detects_perfect_and_inverted_order() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Synthetic design-of-experiments configurations.
+//!
+//! Calibration (and the `scalecheck` harness) need architecture mappings
+//! at arbitrary geometries without running a search: energy, area and
+//! latency depend on the decomposition's *structure* and the tables'
+//! switching activity, not on which Boolean function they happen to hold.
+//! Random patterns/row types give realistic activity; the mode mix and
+//! bound-set size span the feature space the switching model is fitted
+//! over.
+
+use dalut_boolfn::Partition;
+use dalut_core::{ApproxLutConfig, BitConfig};
+use dalut_decomp::{AnyDecomp, BtoDecomp, DisjointDecomp, NonDisjointDecomp, RowType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic per-bit decomposition at the given geometry: a random
+/// `b`-of-`n` partition with random pattern/type vectors. `mode` is one
+/// of `"bto"`, `"normal"` or `"nd"`.
+///
+/// # Panics
+///
+/// Panics on an unknown mode string, or on geometries no decomposition
+/// exists for (`nd` needs `b ≥ 2` so a bound variable can be shared).
+pub fn synthetic_bit(bit: usize, n: usize, b: usize, mode: &str, rng: &mut StdRng) -> BitConfig {
+    let part = Partition::random(n, b, rng);
+    let pattern: Vec<bool> = (0..part.cols()).map(|_| rng.random()).collect();
+    let decomp = match mode {
+        "bto" => AnyDecomp::Bto(BtoDecomp::new(part, pattern).expect("dims")),
+        "normal" => {
+            let types: Vec<RowType> = (0..part.rows())
+                .map(|_| RowType::from_code(rng.random_range(1..=4)).expect("code"))
+                .collect();
+            AnyDecomp::Normal(DisjointDecomp::new(part, pattern, types).expect("dims"))
+        }
+        "nd" => {
+            let s = part.bound_vars()[0] as usize;
+            let reduced_bound = dalut_decomp::reduce_mask(part.bound_mask() & !(1u32 << s), s);
+            let reduced = Partition::new(n - 1, reduced_bound).expect("valid");
+            let mk_half = |rng: &mut StdRng| {
+                let pat: Vec<bool> = (0..reduced.cols()).map(|_| rng.random()).collect();
+                let types: Vec<RowType> = (0..reduced.rows())
+                    .map(|_| RowType::from_code(rng.random_range(1..=4)).expect("code"))
+                    .collect();
+                DisjointDecomp::new(reduced, pat, types).expect("dims")
+            };
+            let (h0, h1) = (mk_half(rng), mk_half(rng));
+            AnyDecomp::NonDisjoint(NonDisjointDecomp::new(part, s, h0, h1).expect("valid"))
+        }
+        other => unreachable!("unknown mode {other}"),
+    };
+    BitConfig {
+        bit,
+        decomp,
+        expected_error: 0.0,
+    }
+}
+
+/// A synthetic `n`-input / `m`-output configuration whose bits cycle
+/// through `modes` (see [`synthetic_bit`]), deterministically seeded.
+///
+/// # Panics
+///
+/// Panics if `modes` is empty or a bit geometry is invalid.
+pub fn synthetic_config(
+    n: usize,
+    m: usize,
+    b: usize,
+    modes: &[&str],
+    seed: u64,
+) -> ApproxLutConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bits = (0..m)
+        .map(|k| synthetic_bit(k, n, b, modes[k % modes.len()], &mut rng))
+        .collect();
+    ApproxLutConfig::new(n, m, bits).expect("valid synthetic config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_core::BitMode;
+
+    #[test]
+    fn modes_cycle_and_seed_is_deterministic() {
+        let a = synthetic_config(6, 4, 3, &["bto", "normal"], 42);
+        let b = synthetic_config(6, 4, 3, &["bto", "normal"], 42);
+        assert_eq!(a, b);
+        assert_eq!(a.mode_counts(), (2, 2, 0));
+        assert_eq!(a.bits()[0].mode(), BitMode::Bto);
+        assert_eq!(a.bits()[1].mode(), BitMode::Normal);
+    }
+
+    #[test]
+    fn nd_bits_fold_a_shared_variable() {
+        let c = synthetic_config(6, 2, 3, &["nd"], 3);
+        assert_eq!(c.mode_counts(), (0, 0, 2));
+        // The decomposition still spans all n variables.
+        assert_eq!(c.bits()[0].decomp.partition().n(), 6);
+    }
+}

@@ -1,0 +1,319 @@
+//! Closed-form structural features of an architecture mapping.
+//!
+//! [`ConfigFeatures::extract`] predicts, without building a netlist, the
+//! exact cell counts, area, critical path, leakage and clock energy that
+//! [`build_approx_lut`](dalut_hw::build_approx_lut) +
+//! [`characterize`](dalut_hw::characterize) would report, plus the
+//! switching-activity features the calibrated part of the model is fitted
+//! on. The derivation mirrors the builders gate for gate:
+//!
+//! * **Routing box** (per bit): `n·(2^s − 1)` mux2 cells in `s =
+//!   ⌈log₂ n⌉` levels with *constant* selects — each tree node statically
+//!   forwards one input variable, so its expected toggle rate equals that
+//!   variable's [toggle density](InputDistribution::toggle_density) and
+//!   its switching energy is exact in expectation.
+//! * **Bound table**: `2^b` DFFs (root domain) + a `2^b − 1` mux tree
+//!   whose selects are the routed bound variables. Mux outputs here
+//!   depend on the stored pattern, so their activity is summarised as a
+//!   level-weighted select-toggle feature and calibrated.
+//! * **Free tables**: `2^(f+1)` DFFs + `2^(f+1) − 1` muxes each, one
+//!   table (BTO-Normal) or two (BTO-Normal-ND) per bit, plus `f + 1`
+//!   enable AND2s per gated address bus. A gated-off bus holds its tree
+//!   static (zero switching); an enabled bus forwards `φ` and the routed
+//!   free variables, whose toggle densities are exact — `φ`'s follows
+//!   from the stored bound pattern and the input distribution.
+//! * **Mode/output muxes**: 0 (DALTA), 1 (BTO-Normal) or 3
+//!   (BTO-Normal-ND) extra mux2 per bit.
+//!
+//! Area, delay, leakage and clock energy follow *exactly* from these
+//! counts and the [`CellLibrary`]; only DFF-tree mux switching needs the
+//! fitted coefficients in [`SwitchingModel`](crate::SwitchingModel).
+
+use dalut_boolfn::InputDistribution;
+use dalut_core::ApproxLutConfig;
+use dalut_decomp::AnyDecomp;
+use dalut_hw::{ArchStyle, HwError};
+use dalut_netlist::{CellKind, CellLibrary};
+
+/// Analytic structural summary of one `(config, style)` mapping under an
+/// input distribution: exact counts/area/delay/leakage/clock plus the
+/// switching features the calibrated model consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFeatures {
+    /// Architecture family name ([`ArchStyle::name`]).
+    pub family: &'static str,
+    /// Total mux2 cells (routing + table trees + mode muxes).
+    pub mux2: usize,
+    /// Total DFF cells (all table entries, gated or not).
+    pub dff: usize,
+    /// Total AND2 cells (address-bus clock-gating enables).
+    pub and2: usize,
+    /// Gated (non-root) clock domains instantiated, enabled or not.
+    pub gated_domains: usize,
+    /// Total cell area plus one ICG per gated domain, µm² — matches
+    /// [`area_um2`](dalut_netlist::area_um2) exactly.
+    pub area_um2: f64,
+    /// Longest register-to-output path, ns — matches
+    /// [`critical_path_ns`](dalut_netlist::critical_path_ns) exactly.
+    pub critical_path_ns: f64,
+    /// Total leakage of every instantiated cell, nW (leakage accrues
+    /// regardless of clock gating).
+    pub leakage_nw: f64,
+    /// Clock-tree energy per read: clock-pin energy of every DFF in an
+    /// *enabled* domain plus one ICG per enabled gated domain, fJ.
+    pub clock_fj_per_read: f64,
+    /// Exact expected switching energy per read of the statically-selected
+    /// cells (routing muxes and enabled address AND2s), fJ.
+    pub exact_switching_fj: f64,
+    /// Level-weighted select toggle density of the bound-table mux trees:
+    /// `Σ_bits Σ_k 2^(b−1−k) · t(x_{B,k})` — the expected number of
+    /// bound-tree muxes whose select input flips per read.
+    pub bound_tree_activity: f64,
+    /// Same feature for the *enabled* free-table trees, with `φ`'s exact
+    /// toggle density driving the widest level.
+    pub free_tree_activity: f64,
+}
+
+impl ConfigFeatures {
+    /// Extracts the features of mapping `config` onto `style`, with read
+    /// inputs drawn i.i.d. from `dist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnsupportedMode`] when a bit's mode cannot be
+    /// realised by `style` — exactly when
+    /// [`build_approx_lut`](dalut_hw::build_approx_lut) would refuse.
+    pub fn extract(
+        config: &ApproxLutConfig,
+        style: ArchStyle,
+        dist: &InputDistribution,
+        lib: &CellLibrary,
+    ) -> Result<Self, HwError> {
+        let n = config.inputs();
+        let sel_bits = n.next_power_of_two().trailing_zeros() as usize;
+        let t = dist.toggle_densities();
+        let mux = lib.params(CellKind::Mux2);
+        let and = lib.params(CellKind::And2);
+        let dff = lib.params(CellKind::Dff);
+        let (free_tables_built, gated_buses, out_muxes) = match style {
+            ArchStyle::Dalta => (1usize, 0usize, 0usize),
+            ArchStyle::BtoNormal => (1, 1, 1),
+            ArchStyle::BtoNormalNd => (2, 2, 3),
+        };
+
+        let mut f = Self {
+            family: style.name(),
+            mux2: 0,
+            dff: 0,
+            and2: 0,
+            gated_domains: 0,
+            area_um2: 0.0,
+            critical_path_ns: 0.0,
+            leakage_nw: 0.0,
+            clock_fj_per_read: 0.0,
+            exact_switching_fj: 0.0,
+            bound_tree_activity: 0.0,
+            free_tree_activity: 0.0,
+        };
+
+        for bc in config.bits() {
+            if !style.supports(bc.mode()) {
+                return Err(HwError::UnsupportedMode {
+                    style: style.name(),
+                    bit: bc.bit,
+                    mode: bc.decomp.mode_name(),
+                });
+            }
+            let part = bc.decomp.partition();
+            let (b, fr) = (part.bound_size(), part.free_size());
+            let bound_vars = part.bound_vars();
+            let free_vars = part.free_vars();
+
+            // Routing box: n trees of 2^sel_bits leaves with constant
+            // selects. The node at level k, position p forwards leaf
+            // `(p << (k+1)) | (src mod 2^(k+1))`; leaves beyond n pad
+            // with input 0.
+            f.mux2 += n * ((1 << sel_bits) - 1);
+            for &src in &dalut_hw::routing::bound_first_permutation(part) {
+                for k in 0..sel_bits {
+                    let low = src & ((1 << (k + 1)) - 1);
+                    for p in 0..1usize << (sel_bits - 1 - k) {
+                        let leaf = (p << (k + 1)) | low;
+                        let var = if leaf < n { leaf } else { 0 };
+                        f.exact_switching_fj += mux.switch_energy_fj * t[var];
+                    }
+                }
+            }
+
+            // Bound table: 2^b root-domain DFFs + mux tree; level k is
+            // selected by routed bound variable k.
+            f.dff += 1 << b;
+            f.mux2 += (1 << b) - 1;
+            f.clock_fj_per_read += (1 << b) as f64 * lib.dff_clock_energy_fj;
+            for (k, &v) in bound_vars.iter().enumerate() {
+                f.bound_tree_activity += (1u64 << (b - 1 - k)) as f64 * t[v as usize];
+            }
+
+            // φ's exact toggle density from the programmed bound
+            // pattern. Under a uniform distribution every column is
+            // equally likely (each has exactly 2^(n−b) preimages), so q
+            // is the fraction of true entries — O(2^b) instead of the
+            // O(2^n) marginal.
+            let contents = bound_contents(&bc.decomp);
+            let q: f64 = if dist.is_uniform() {
+                contents.iter().filter(|&&v| v).count() as f64 / contents.len() as f64
+            } else {
+                (0..1u32 << n)
+                    .filter(|&x| contents[part.col_of(x) as usize])
+                    .map(|x| dist.prob(x))
+                    .sum()
+            };
+            let t_phi = 2.0 * q * (1.0 - q);
+
+            // Free tables: every style instantiates them; activity only
+            // accrues on the tables the mode leaves enabled.
+            let per_table = 1usize << (fr + 1);
+            f.dff += free_tables_built * per_table;
+            f.mux2 += free_tables_built * (per_table - 1);
+            f.and2 += gated_buses * (fr + 1);
+            f.mux2 += out_muxes;
+            f.gated_domains += gated_buses;
+
+            let line_sum: f64 = t_phi + free_vars.iter().map(|&v| t[v as usize]).sum::<f64>();
+            let active_tables = bc.decomp.active_free_tables();
+            if gated_buses > 0 {
+                // Enabled AND2s forward their line; gated ones hold 0.
+                f.exact_switching_fj += active_tables as f64 * and.switch_energy_fj * line_sum;
+            }
+            let mut tree_levels = t_phi * (1u64 << fr) as f64;
+            for (k, &v) in free_vars.iter().enumerate() {
+                tree_levels += (1u64 << (fr - 1 - k)) as f64 * t[v as usize];
+            }
+            f.free_tree_activity += active_tables as f64 * tree_levels;
+            let active_domains = match style {
+                ArchStyle::Dalta => {
+                    // DALTA's free table is ungated, in the root domain.
+                    f.clock_fj_per_read += per_table as f64 * lib.dff_clock_energy_fj;
+                    0
+                }
+                ArchStyle::BtoNormal | ArchStyle::BtoNormalNd => active_tables,
+            };
+            f.clock_fj_per_read += active_domains as f64
+                * (per_table as f64 * lib.dff_clock_energy_fj + lib.icg_energy_fj);
+
+            // Timing: routed select arrival s·d_mux; bound tree launches
+            // from clk-to-Q; the free address goes through the gate AND2
+            // (when present); then the per-style output mux stack.
+            let routed = sel_bits as f64 * mux.delay_ns;
+            let bound_out = routed.max(lib.dff_clk_to_q_ns) + b as f64 * mux.delay_ns;
+            let gate = if gated_buses > 0 { and.delay_ns } else { 0.0 };
+            let free_out = bound_out + gate + (fr + 1) as f64 * mux.delay_ns;
+            let y = free_out + out_muxes as f64 * mux.delay_ns;
+            f.critical_path_ns = f.critical_path_ns.max(y);
+        }
+
+        f.leakage_nw = f.mux2 as f64 * mux.leakage_nw
+            + f.dff as f64 * dff.leakage_nw
+            + f.and2 as f64 * and.leakage_nw;
+        f.area_um2 = f.mux2 as f64 * mux.area_um2
+            + f.dff as f64 * dff.area_um2
+            + f.and2 as f64 * and.area_um2
+            + f.gated_domains as f64 * lib.icg_area_um2;
+        Ok(f)
+    }
+
+    /// Leakage energy per read at the given clock period, fJ
+    /// (`nW × ns = 10⁻³ fJ`).
+    #[must_use]
+    pub fn leakage_fj_per_read(&self, clock_period_ns: f64) -> f64 {
+        self.leakage_nw * clock_period_ns * 1e-3
+    }
+}
+
+/// The bound-table contents the builders program for each mode (normal:
+/// the pattern; BTO: the pattern with the free side zeroed; ND: the
+/// shared-variable-folded table).
+fn bound_contents(decomp: &AnyDecomp) -> Vec<bool> {
+    match decomp {
+        AnyDecomp::Normal(d) => d.bound_table().to_vec(),
+        AnyDecomp::Bto(d) => d.pattern().to_vec(),
+        AnyDecomp::NonDisjoint(d) => d.bound_table(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doe::synthetic_config;
+    use dalut_hw::build_approx_lut;
+    use dalut_netlist::{area_um2, critical_path_ns, CellKind};
+
+    fn check_exact_counts(config: &ApproxLutConfig, style: ArchStyle) {
+        let lib = CellLibrary::nangate45();
+        let dist = InputDistribution::uniform(config.inputs()).unwrap();
+        let feats = ConfigFeatures::extract(config, style, &dist, &lib).unwrap();
+        let inst = build_approx_lut(config, style).unwrap();
+        let nl = inst.netlist();
+        let count = |kind: CellKind| {
+            nl.kind_counts()
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map_or(0, |&(_, c)| c)
+        };
+        assert_eq!(feats.mux2, count(CellKind::Mux2), "{style:?} mux2");
+        assert_eq!(feats.dff, count(CellKind::Dff), "{style:?} dff");
+        assert_eq!(feats.and2, count(CellKind::And2), "{style:?} and2");
+        assert_eq!(
+            feats.gated_domains + 1,
+            nl.domains().len(),
+            "{style:?} domains"
+        );
+        let area = area_um2(nl, &lib);
+        assert!(
+            (feats.area_um2 - area).abs() < 1e-6,
+            "{style:?} area {} vs {area}",
+            feats.area_um2
+        );
+        let delay = critical_path_ns(nl, &lib).unwrap();
+        assert!(
+            (feats.critical_path_ns - delay).abs() < 1e-9,
+            "{style:?} delay {} vs {delay}",
+            feats.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn counts_area_delay_match_built_netlists() {
+        for (style, modes) in [
+            (ArchStyle::Dalta, vec!["normal"]),
+            (ArchStyle::BtoNormal, vec!["bto", "normal"]),
+            (ArchStyle::BtoNormalNd, vec!["bto", "normal", "nd"]),
+        ] {
+            let config = synthetic_config(7, 6, 3, &modes, 11);
+            check_exact_counts(&config, style);
+        }
+    }
+
+    #[test]
+    fn unsupported_mode_is_refused_like_the_builder() {
+        let config = synthetic_config(6, 3, 2, &["nd"], 5);
+        let dist = InputDistribution::uniform(6).unwrap();
+        let lib = CellLibrary::nangate45();
+        let err = ConfigFeatures::extract(&config, ArchStyle::Dalta, &dist, &lib);
+        assert!(matches!(err, Err(HwError::UnsupportedMode { .. })));
+        assert!(build_approx_lut(&config, ArchStyle::Dalta).is_err());
+    }
+
+    #[test]
+    fn bto_bits_have_no_free_tree_activity() {
+        let dist = InputDistribution::uniform(6).unwrap();
+        let lib = CellLibrary::nangate45();
+        let bto = synthetic_config(6, 2, 3, &["bto"], 9);
+        let feats = ConfigFeatures::extract(&bto, ArchStyle::BtoNormal, &dist, &lib).unwrap();
+        assert_eq!(feats.free_tree_activity, 0.0);
+        // Gated domains exist (area) but none are clocked beyond the root.
+        assert_eq!(feats.gated_domains, 2);
+        let root_only = feats.dff as f64; // all DFFs instantiated
+        assert!(feats.clock_fj_per_read < root_only * lib.dff_clock_energy_fj);
+    }
+}

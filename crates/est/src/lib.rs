@@ -1,0 +1,62 @@
+//! # dalut-est
+//!
+//! Closed-form resource estimation for decomposition-based approximate
+//! LUTs: predicts the power / area / delay that exact netlist sign-off
+//! ([`dalut_hw::characterize`]) would report, directly from the
+//! decomposition parameters — bound-set size, table bits, per-bit mode
+//! mix and the input distribution's toggle densities — without building
+//! a netlist. Sweep drivers use it to prune: every candidate is scored
+//! analytically, and only the cheapest survivors pay gate-level
+//! construction and simulation.
+//!
+//! The model is exact where the structure allows it and calibrated where
+//! it does not:
+//!
+//! * **Exact**: cell counts, area, critical path, leakage, clock-tree
+//!   energy, and the switching of every statically-selected cell
+//!   (routing muxes, enable AND2s) — see [`ConfigFeatures`].
+//! * **Calibrated**: the data-dependent switching of the DFF-table mux
+//!   trees, fitted per architecture family by [`calibrate`] against a
+//!   seeded design-of-experiments sweep of exact sign-offs, and
+//!   persisted as a [`CoeffStore`] (`dalut-est-coeffs/v1`) next to sweep
+//!   checkpoints.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::InputDistribution;
+//! use dalut_est::{doe::synthetic_config, ResourceEstimator};
+//! use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+//! use dalut_netlist::CellLibrary;
+//!
+//! let dist = InputDistribution::uniform(6).unwrap();
+//! let config = synthetic_config(6, 3, 3, &["bto", "normal"], 1);
+//! let est = ResourceEstimator::new(ArchStyle::BtoNormal, dist);
+//! let e = est.estimate(&config).unwrap();
+//!
+//! // Area and delay agree with exact sign-off to numerical precision.
+//! let inst = build_approx_lut(&config, ArchStyle::BtoNormal).unwrap();
+//! let reads: Vec<u32> = (0..64).collect();
+//! let lib = CellLibrary::nangate45();
+//! let exact = characterize(&inst, &reads, &lib, e.clock_period_ns).unwrap();
+//! assert!((e.area_um2 - exact.area_um2).abs() < 1e-6);
+//! assert!((e.critical_path_ns - exact.critical_path_ns).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod calibrate;
+pub mod doe;
+pub mod features;
+pub mod model;
+
+pub use calibrate::{
+    calibrate, calibrate_families, sample_reads, CalibrationOptions, CalibrationReport,
+};
+pub use features::ConfigFeatures;
+pub use model::{
+    CoeffSet, CoeffStore, EstError, EstimateProvenance, EstimatorMode, ResourceEstimate,
+    ResourceEstimator, SwitchingModel, COEFFS_SCHEMA,
+};

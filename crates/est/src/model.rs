@@ -1,0 +1,666 @@
+//! The calibrated resource model and its persistence.
+//!
+//! Area, delay, leakage and clock energy come *exactly* from
+//! [`ConfigFeatures`]; the only data-dependent quantity is the switching
+//! energy of the DFF-tree muxes, which [`SwitchingModel`] predicts as a
+//! linear combination of the activity features and whose coefficients
+//! [`calibrate`](crate::calibrate) fits against exact
+//! netlist sign-off. Coefficients are serialised as a
+//! [`CoeffStore`] (`dalut-est-coeffs/v1`) next to sweep checkpoints so a
+//! resumed run prunes with the same model it started with.
+
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use dalut_boolfn::InputDistribution;
+use dalut_core::{atomic_write, ApproxLutConfig, ResourceScorer};
+use dalut_hw::{ArchStyle, HwError};
+use dalut_netlist::CellLibrary;
+use serde::{Deserialize, Serialize};
+
+use crate::features::ConfigFeatures;
+
+/// Schema tag of the serialised coefficient store.
+pub const COEFFS_SCHEMA: &str = "dalut-est-coeffs/v1";
+
+/// Errors of the estimation layer: hardware-mapping refusals, exact
+/// sign-off failures during calibration, and coefficient-store I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EstError {
+    /// The configuration cannot be mapped onto the architecture.
+    Hw(HwError),
+    /// Exact sign-off failed while calibrating.
+    Netlist(dalut_netlist::NetlistError),
+    /// Coefficient store I/O failed.
+    Io(std::io::Error),
+    /// Coefficient store (de)serialisation failed.
+    Json(serde_json::Error),
+    /// The coefficient store has an unknown schema tag.
+    Schema {
+        /// The tag found in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for EstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hw(e) => write!(f, "estimator: {e}"),
+            Self::Netlist(e) => write!(f, "estimator sign-off: {e}"),
+            Self::Io(e) => write!(f, "coefficient store: {e}"),
+            Self::Json(e) => write!(f, "coefficient store: {e}"),
+            Self::Schema { found } => {
+                write!(
+                    f,
+                    "coefficient store schema {found:?}, expected {COEFFS_SCHEMA:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstError {}
+
+impl From<HwError> for EstError {
+    fn from(e: HwError) -> Self {
+        Self::Hw(e)
+    }
+}
+impl From<dalut_netlist::NetlistError> for EstError {
+    fn from(e: dalut_netlist::NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+impl From<std::io::Error> for EstError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+impl From<serde_json::Error> for EstError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// How a sweep driver uses the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EstimatorMode {
+    /// Never estimate: every candidate pays exact sign-off (bit-identical
+    /// to the pre-estimator flow).
+    Off,
+    /// Rank candidates analytically, exact sign-off only for the
+    /// cheapest survivors; pruned points keep their estimated metrics.
+    #[default]
+    Prune,
+    /// Analytic metrics only — no exact sign-off at all (fastest,
+    /// calibration-accuracy numbers).
+    Trust,
+}
+
+impl EstimatorMode {
+    /// The flag spellings accepted by `--estimator`.
+    pub const CHOICES: &'static str = "off|prune|trust";
+}
+
+impl FromStr for EstimatorMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Self::Off),
+            "prune" => Ok(Self::Prune),
+            "trust" => Ok(Self::Trust),
+            other => Err(format!(
+                "unknown estimator mode {other:?} (expected {})",
+                Self::CHOICES
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Prune => "prune",
+            Self::Trust => "trust",
+        })
+    }
+}
+
+/// Linear switching-energy model, fJ per read:
+/// `c₀ + c₁·exact + c₂·bound_activity + c₃·free_activity` with the three
+/// feature terms from [`ConfigFeatures`]. Coefficients are clamped
+/// non-negative so predicted energy is monotone in the activity features
+/// (and therefore in active table bits).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingModel {
+    /// Per-read intercept `c₀`, fJ (window transients, output muxes).
+    pub intercept_fj: f64,
+    /// Scale `c₁` on the exactly-computed switching term (≈ 1).
+    pub exact_scale: f64,
+    /// Energy `c₂` per expected bound-tree select toggle, fJ.
+    pub bound_fj: f64,
+    /// Energy `c₃` per expected free-tree select toggle, fJ.
+    pub free_fj: f64,
+}
+
+impl SwitchingModel {
+    /// Uncalibrated physical prior: the exact term at unit scale, and
+    /// each expected select toggle re-evaluating one mux output
+    /// half the time.
+    #[must_use]
+    pub fn physical_default(lib: &CellLibrary) -> Self {
+        let mux_fj = lib.params(dalut_netlist::CellKind::Mux2).switch_energy_fj;
+        Self {
+            intercept_fj: 0.0,
+            exact_scale: 1.0,
+            bound_fj: 0.5 * mux_fj,
+            free_fj: 0.5 * mux_fj,
+        }
+    }
+
+    /// Predicted switching energy per read for extracted features, fJ.
+    #[must_use]
+    pub fn predict_fj(&self, f: &ConfigFeatures) -> f64 {
+        (self.intercept_fj
+            + self.exact_scale * f.exact_switching_fj
+            + self.bound_fj * f.bound_tree_activity
+            + self.free_fj * f.free_tree_activity)
+            .max(0.0)
+    }
+
+    /// Least-squares fit of the four coefficients on feature rows
+    /// `[1, exact, bound, free]` against observed switching energies,
+    /// with negative coefficients clamped to zero (and the fit repeated
+    /// on the remaining terms). Falls back to `fallback` if the system
+    /// is degenerate.
+    #[must_use]
+    pub fn fit(rows: &[[f64; 4]], targets: &[f64], fallback: Self) -> Self {
+        let mut active = [true; 4];
+        loop {
+            let Some(c) = solve_least_squares(rows, targets, &active) else {
+                return fallback;
+            };
+            // Clamp the most negative coefficient and refit without it.
+            let worst = (0..4)
+                .filter(|&j| active[j] && c[j] < 0.0)
+                .min_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap_or(std::cmp::Ordering::Equal));
+            match worst {
+                Some(j) => active[j] = false,
+                None => {
+                    return Self {
+                        intercept_fj: c[0],
+                        exact_scale: c[1],
+                        bound_fj: c[2],
+                        free_fj: c[3],
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solves the normal equations over the active columns; inactive columns
+/// get coefficient 0. Returns `None` when the (ridge-stabilised) system
+/// is still singular.
+fn solve_least_squares(rows: &[[f64; 4]], targets: &[f64], active: &[bool; 4]) -> Option<[f64; 4]> {
+    let cols: Vec<usize> = (0..4).filter(|&j| active[j]).collect();
+    let k = cols.len();
+    if k == 0 || rows.len() < k {
+        return None;
+    }
+    // Normal equations AᵀA c = Aᵀy with a tiny ridge for stability.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &y) in rows.iter().zip(targets) {
+        for (i, &ci) in cols.iter().enumerate() {
+            aty[i] += row[ci] * y;
+            for (j, &cj) in cols.iter().enumerate() {
+                ata[i][j] += row[ci] * row[cj];
+            }
+        }
+    }
+    let ridge = 1e-9 * (0..k).map(|i| ata[i][i]).fold(1.0f64, |m, d| m.max(d));
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&a, &b| {
+                ata[a][col]
+                    .abs()
+                    .partial_cmp(&ata[b][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(col);
+        if ata[pivot][col].abs() < 1e-30 {
+            return None;
+        }
+        ata.swap(col, pivot);
+        aty.swap(col, pivot);
+        for r in col + 1..k {
+            let factor = ata[r][col] / ata[col][col];
+            for c in col..k {
+                ata[r][c] -= factor * ata[col][c];
+            }
+            aty[r] -= factor * aty[col];
+        }
+    }
+    let mut sol = vec![0.0f64; k];
+    for i in (0..k).rev() {
+        let mut v = aty[i];
+        for j in i + 1..k {
+            v -= ata[i][j] * sol[j];
+        }
+        sol[i] = v / ata[i][i];
+    }
+    let mut full = [0.0f64; 4];
+    for (i, &c) in cols.iter().enumerate() {
+        full[c] = sol[i];
+    }
+    Some(full)
+}
+
+/// Where an estimate's clock period came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ClockSource {
+    /// Derived from the analytic critical path (`delay × 1.05`, the
+    /// benches' margin).
+    DelayDerived,
+    /// A sweep-wide clock imposed with
+    /// [`ResourceEstimator::with_clock`].
+    Override,
+}
+
+/// Term-by-term provenance of one estimate — which model produced it and
+/// how the energy decomposes, for reports and post-hoc audits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateProvenance {
+    /// Architecture family the model was selected for.
+    pub family: String,
+    /// `false` while the physical prior is in use, `true` after
+    /// [`calibrate`](crate::calibrate) or a loaded [`CoeffStore`].
+    pub calibrated: bool,
+    /// Where the clock period came from.
+    pub clock_source: ClockSource,
+    /// Exactly-computed switching term after scaling, fJ/read.
+    pub exact_term_fj: f64,
+    /// Calibrated bound-tree term, fJ/read.
+    pub bound_term_fj: f64,
+    /// Calibrated free-tree term, fJ/read.
+    pub free_term_fj: f64,
+    /// Model intercept, fJ/read.
+    pub intercept_fj: f64,
+}
+
+/// One closed-form resource estimate: the quantities exact sign-off
+/// would report, predicted without building a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Total area, µm² (exact).
+    pub area_um2: f64,
+    /// Critical-path delay, ns (exact).
+    pub critical_path_ns: f64,
+    /// Clock period the energy is quoted at, ns.
+    pub clock_period_ns: f64,
+    /// Modelled switching energy per read, fJ.
+    pub switching_fj: f64,
+    /// Clock-tree energy per read, fJ (exact).
+    pub clock_fj: f64,
+    /// Leakage energy per read at the clock period, fJ (exact).
+    pub leakage_fj: f64,
+    /// Total predicted energy per read, fJ.
+    pub energy_per_read_fj: f64,
+    /// How this estimate was produced.
+    pub provenance: EstimateProvenance,
+}
+
+/// The closed-form estimator for one architecture family: extracts
+/// [`ConfigFeatures`] and applies the (calibrated) [`SwitchingModel`].
+///
+/// Implements [`ResourceScorer`], so sweep drivers can rank candidates
+/// with [`select_survivors`](dalut_core::select_survivors) and pay exact
+/// sign-off only for the cheapest.
+#[derive(Debug, Clone)]
+pub struct ResourceEstimator {
+    style: ArchStyle,
+    dist: InputDistribution,
+    lib: CellLibrary,
+    model: SwitchingModel,
+    calibrated: bool,
+    clock_ns: Option<f64>,
+}
+
+impl ResourceEstimator {
+    /// An uncalibrated estimator (physical-prior switching model) over
+    /// the Nangate45 library.
+    #[must_use]
+    pub fn new(style: ArchStyle, dist: InputDistribution) -> Self {
+        let lib = CellLibrary::nangate45();
+        let model = SwitchingModel::physical_default(&lib);
+        Self {
+            style,
+            dist,
+            lib,
+            model,
+            calibrated: false,
+            clock_ns: None,
+        }
+    }
+
+    /// Replaces the cell library (resets to the physical prior unless a
+    /// calibrated model is installed afterwards).
+    #[must_use]
+    pub fn with_library(mut self, lib: CellLibrary) -> Self {
+        self.model = SwitchingModel::physical_default(&lib);
+        self.calibrated = false;
+        self.lib = lib;
+        self
+    }
+
+    /// Installs fitted switching coefficients.
+    #[must_use]
+    pub fn with_model(mut self, model: SwitchingModel) -> Self {
+        self.model = model;
+        self.calibrated = true;
+        self
+    }
+
+    /// Quotes every estimate at a fixed sweep-wide clock period instead
+    /// of each candidate's own `delay × 1.05`.
+    #[must_use]
+    pub fn with_clock(mut self, clock_period_ns: f64) -> Self {
+        self.clock_ns = Some(clock_period_ns);
+        self
+    }
+
+    /// The architecture family this estimator models.
+    #[must_use]
+    pub fn style(&self) -> ArchStyle {
+        self.style
+    }
+
+    /// The cell library estimates are quoted in.
+    #[must_use]
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// The current switching model.
+    #[must_use]
+    pub fn model(&self) -> SwitchingModel {
+        self.model
+    }
+
+    /// Whether fitted (rather than prior) coefficients are installed.
+    #[must_use]
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Estimates area, delay and per-read energy of `config` on this
+    /// family — closed-form, no netlist is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnsupportedMode`] exactly when the builder
+    /// would refuse the mapping.
+    pub fn estimate(&self, config: &ApproxLutConfig) -> Result<ResourceEstimate, HwError> {
+        let f = ConfigFeatures::extract(config, self.style, &self.dist, &self.lib)?;
+        let (clock_period_ns, clock_source) = match self.clock_ns {
+            Some(c) => (c, ClockSource::Override),
+            None => (f.critical_path_ns * 1.05, ClockSource::DelayDerived),
+        };
+        let switching_fj = self.model.predict_fj(&f);
+        let leakage_fj = f.leakage_fj_per_read(clock_period_ns);
+        let energy = switching_fj + f.clock_fj_per_read + leakage_fj;
+        Ok(ResourceEstimate {
+            area_um2: f.area_um2,
+            critical_path_ns: f.critical_path_ns,
+            clock_period_ns,
+            switching_fj,
+            clock_fj: f.clock_fj_per_read,
+            leakage_fj,
+            energy_per_read_fj: energy,
+            provenance: EstimateProvenance {
+                family: f.family.to_string(),
+                calibrated: self.calibrated,
+                clock_source,
+                exact_term_fj: self.model.exact_scale * f.exact_switching_fj,
+                bound_term_fj: self.model.bound_fj * f.bound_tree_activity,
+                free_term_fj: self.model.free_fj * f.free_tree_activity,
+                intercept_fj: self.model.intercept_fj,
+            },
+        })
+    }
+}
+
+impl ResourceScorer for ResourceEstimator {
+    fn score(&self, config: &ApproxLutConfig) -> f64 {
+        self.estimate(config)
+            .map_or(f64::INFINITY, |e| e.energy_per_read_fj)
+    }
+    fn label(&self) -> &str {
+        self.style.name()
+    }
+}
+
+/// Fitted coefficients for one family plus the fit quality they were
+/// accepted at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoeffSet {
+    /// Architecture family name ([`ArchStyle::name`]).
+    pub family: String,
+    /// The fitted switching model.
+    pub model: SwitchingModel,
+    /// DoE samples the fit used.
+    pub samples: usize,
+    /// Mean absolute switching-energy residual over the DoE, fJ/read.
+    pub switching_mean_abs_err_fj: f64,
+    /// Worst relative total-energy error over the DoE.
+    pub energy_max_rel_err: f64,
+}
+
+/// The serialised coefficient store (`dalut-est-coeffs/v1`), written next
+/// to sweep checkpoints so resumed runs prune with the model they started
+/// with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoeffStore {
+    /// Schema tag ([`COEFFS_SCHEMA`]).
+    pub schema: String,
+    /// Cell-library name the coefficients were fitted against.
+    pub library: String,
+    /// One coefficient set per calibrated family.
+    pub families: Vec<CoeffSet>,
+}
+
+impl CoeffStore {
+    /// An empty store for the named library.
+    #[must_use]
+    pub fn new(library: &str) -> Self {
+        Self {
+            schema: COEFFS_SCHEMA.to_string(),
+            library: library.to_string(),
+            families: Vec::new(),
+        }
+    }
+
+    /// Inserts (or replaces) a family's coefficients.
+    pub fn insert(&mut self, set: CoeffSet) {
+        match self.families.iter_mut().find(|s| s.family == set.family) {
+            Some(slot) => *slot = set,
+            None => self.families.push(set),
+        }
+    }
+
+    /// Coefficients for a family, if calibrated.
+    #[must_use]
+    pub fn get(&self, family: &str) -> Option<&CoeffSet> {
+        self.families.iter().find(|s| s.family == family)
+    }
+
+    /// Atomically writes the store as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on serialisation or I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EstError> {
+        let json = serde_json::to_vec_pretty(self)?;
+        atomic_write(path, &json)?;
+        Ok(())
+    }
+
+    /// Loads and schema-checks a store.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or parse failure, or an unknown schema.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, EstError> {
+        let bytes = std::fs::read(path)?;
+        let store: Self = serde_json::from_slice(&bytes)?;
+        if store.schema != COEFFS_SCHEMA {
+            return Err(EstError::Schema {
+                found: store.schema,
+            });
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doe::synthetic_config;
+
+    #[test]
+    fn estimator_mode_round_trips() {
+        for (s, m) in [
+            ("off", EstimatorMode::Off),
+            ("prune", EstimatorMode::Prune),
+            ("trust", EstimatorMode::Trust),
+        ] {
+            assert_eq!(s.parse::<EstimatorMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("exact".parse::<EstimatorMode>().is_err());
+        assert_eq!(EstimatorMode::default(), EstimatorMode::Prune);
+    }
+
+    #[test]
+    fn fit_recovers_planted_nonnegative_coefficients() {
+        let truth = [3.0, 1.1, 0.8, 0.6];
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..24usize {
+            let r = [
+                1.0,
+                (i % 5) as f64 + 0.5,
+                ((i * 7) % 11) as f64,
+                ((i * 3) % 13) as f64 * 0.5,
+            ];
+            ys.push(truth[0] + truth[1] * r[1] + truth[2] * r[2] + truth[3] * r[3]);
+            rows.push(r);
+        }
+        let lib = CellLibrary::nangate45();
+        let m = SwitchingModel::fit(&rows, &ys, SwitchingModel::physical_default(&lib));
+        assert!((m.intercept_fj - truth[0]).abs() < 1e-6);
+        assert!((m.exact_scale - truth[1]).abs() < 1e-6);
+        assert!((m.bound_fj - truth[2]).abs() < 1e-6);
+        assert!((m.free_fj - truth[3]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_clamps_negative_coefficients_to_zero() {
+        // free term planted strongly negative: the clamp must zero it
+        // rather than predict negative energies.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..16usize {
+            let r = [1.0, (i % 4) as f64, ((i * 5) % 7) as f64, (i % 3) as f64];
+            ys.push(2.0 + 1.0 * r[1] + 0.5 * r[2] - 3.0 * r[3]);
+            rows.push(r);
+        }
+        let lib = CellLibrary::nangate45();
+        let m = SwitchingModel::fit(&rows, &ys, SwitchingModel::physical_default(&lib));
+        assert_eq!(m.free_fj, 0.0);
+        assert!(m.exact_scale >= 0.0 && m.bound_fj >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_fit_falls_back_to_prior() {
+        let lib = CellLibrary::nangate45();
+        let prior = SwitchingModel::physical_default(&lib);
+        let m = SwitchingModel::fit(&[], &[], prior);
+        assert_eq!(m, prior);
+    }
+
+    #[test]
+    fn estimate_carries_provenance_and_positive_terms() {
+        let dist = InputDistribution::uniform(6).unwrap();
+        let est = ResourceEstimator::new(ArchStyle::BtoNormalNd, dist);
+        let config = synthetic_config(6, 3, 3, &["bto", "normal", "nd"], 21);
+        let e = est.estimate(&config).unwrap();
+        assert!(e.area_um2 > 0.0 && e.critical_path_ns > 0.0);
+        assert!(e.energy_per_read_fj > 0.0);
+        assert!(!e.provenance.calibrated);
+        assert_eq!(e.provenance.family, "BTO-Normal-ND");
+        assert_eq!(e.provenance.clock_source, ClockSource::DelayDerived);
+        let fixed = ResourceEstimator::new(
+            ArchStyle::BtoNormalNd,
+            InputDistribution::uniform(6).unwrap(),
+        )
+        .with_clock(2.0);
+        let e2 = fixed.estimate(&config).unwrap();
+        assert_eq!(e2.clock_period_ns, 2.0);
+        assert_eq!(e2.provenance.clock_source, ClockSource::Override);
+    }
+
+    #[test]
+    fn scorer_ranks_unsupported_configs_last() {
+        let dist = InputDistribution::uniform(6).unwrap();
+        let est = ResourceEstimator::new(ArchStyle::Dalta, dist);
+        let nd = synthetic_config(6, 2, 3, &["nd"], 4);
+        assert_eq!(est.score(&nd), f64::INFINITY);
+        assert_eq!(est.label(), "DALTA");
+        let ok = synthetic_config(6, 2, 3, &["normal"], 4);
+        assert!(est.score(&ok).is_finite());
+    }
+
+    #[test]
+    fn coeff_store_round_trips_and_checks_schema() {
+        let dir = std::env::temp_dir().join("dalut-est-coeffs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("estimator_coeffs.json");
+        let mut store = CoeffStore::new("nangate45-inspired");
+        store.insert(CoeffSet {
+            family: "DALTA".to_string(),
+            model: SwitchingModel {
+                intercept_fj: 1.0,
+                exact_scale: 1.0,
+                bound_fj: 0.7,
+                free_fj: 0.7,
+            },
+            samples: 12,
+            switching_mean_abs_err_fj: 0.5,
+            energy_max_rel_err: 0.01,
+        });
+        store.save(&path).unwrap();
+        let loaded = CoeffStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        assert!(loaded.get("DALTA").is_some());
+        assert!(loaded.get("BTO-Normal").is_none());
+
+        let bad = dir.join("bad_coeffs.json");
+        std::fs::write(&bad, br#"{"schema":"nope/v0","library":"x","families":[]}"#).unwrap();
+        assert!(matches!(
+            CoeffStore::load(&bad),
+            Err(EstError::Schema { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! Accuracy contract of the closed-form resource estimator.
+//!
+//! Three layers of guarantees, in decreasing strength:
+//!
+//! 1. **Exactness** — area, delay, clock and leakage are *derived*, not
+//!    fitted: they must match exact netlist sign-off to numerical
+//!    precision at every geometry.
+//! 2. **Calibration bounds** — the fitted switching model must keep the
+//!    total-energy error small and rank candidates faithfully on its
+//!    design-of-experiments sweep.
+//! 3. **Monotonicity** — per-bit mode upgrades (BTO → Normal → ND)
+//!    activate strictly more table bits on the same fabric, so the
+//!    estimate must never get cheaper (property-tested over seeds).
+//!
+//! Determinism tests back the harness: fixed seeds give bitwise-stable
+//! estimates and coefficients, so `--estimator prune` reruns reproduce
+//! the same pruning decisions and `--estimator off` stays bit-identical
+//! run over run.
+
+use dalut_boolfn::InputDistribution;
+use dalut_core::{select_survivors, ApproxLutConfig};
+use dalut_est::doe::synthetic_config;
+use dalut_est::{calibrate, CalibrationOptions, ConfigFeatures, ResourceEstimator};
+use dalut_hw::{build_approx_lut, characterize, ArchStyle};
+use dalut_netlist::{area_um2, critical_path_ns, CellLibrary};
+use proptest::prelude::*;
+
+fn styles_with_modes() -> [(ArchStyle, Vec<&'static str>); 3] {
+    [
+        (ArchStyle::Dalta, vec!["normal"]),
+        (ArchStyle::BtoNormal, vec!["bto", "normal"]),
+        (ArchStyle::BtoNormalNd, vec!["bto", "normal", "nd"]),
+    ]
+}
+
+#[test]
+fn area_and_delay_are_exact_across_geometries() {
+    let lib = CellLibrary::nangate45();
+    for (style, modes) in styles_with_modes() {
+        for (n, m, b) in [(6usize, 3usize, 2usize), (7, 4, 3), (8, 4, 5)] {
+            for seed in [1u64, 2, 3] {
+                let config = synthetic_config(n, m, b, &modes, seed);
+                let dist = InputDistribution::uniform(n).unwrap();
+                let feats = ConfigFeatures::extract(&config, style, &dist, &lib).unwrap();
+                let inst = build_approx_lut(&config, style).unwrap();
+                let area = area_um2(inst.netlist(), &lib);
+                let delay = critical_path_ns(inst.netlist(), &lib).unwrap();
+                assert!(
+                    (feats.area_um2 - area).abs() < 1e-6,
+                    "{style:?} n={n} b={b} seed={seed}: area {} vs {area}",
+                    feats.area_um2
+                );
+                assert!(
+                    (feats.critical_path_ns - delay).abs() < 1e-9,
+                    "{style:?} n={n} b={b} seed={seed}: delay {} vs {delay}",
+                    feats.critical_path_ns
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn calibration_error_bounds_hold_per_family() {
+    let opts = CalibrationOptions::for_width(8, 4);
+    let dist = InputDistribution::uniform(opts.inputs).unwrap();
+    let lib = CellLibrary::nangate45();
+    for (style, _) in styles_with_modes() {
+        let (_, report) = calibrate(style, &dist, &lib, &opts).unwrap();
+        // Derived quantities: exact to numerical precision.
+        assert!(report.area_max_abs_err_um2 < 1e-6, "{report:?}");
+        assert!(report.delay_max_abs_err_ns < 1e-9, "{report:?}");
+        assert!(report.clock_max_rel_err < 1e-9, "{report:?}");
+        assert!(report.leakage_max_rel_err < 1e-9, "{report:?}");
+        // Fitted switching: the total energy stays close and, more
+        // importantly for pruning, ranks the DoE faithfully — except
+        // when the family's DoE energies cluster so tightly (DALTA has
+        // no mode mix) that rank flips among near-ties are harmless.
+        assert!(report.energy_mean_rel_err < 0.10, "{report:?}");
+        assert!(
+            report.rank_correlation > 0.8 || report.energy_max_rel_err < 0.05,
+            "{report:?}"
+        );
+    }
+}
+
+#[test]
+fn calibration_and_estimates_are_deterministic() {
+    let opts = CalibrationOptions::fast();
+    let dist = InputDistribution::uniform(opts.inputs).unwrap();
+    let lib = CellLibrary::nangate45();
+    let (m1, r1) = calibrate(ArchStyle::BtoNormal, &dist, &lib, &opts).unwrap();
+    let (m2, r2) = calibrate(ArchStyle::BtoNormal, &dist, &lib, &opts).unwrap();
+    assert_eq!(m1, m2, "same options must fit bitwise-identical models");
+    assert_eq!(r1, r2);
+
+    let est = ResourceEstimator::new(ArchStyle::BtoNormal, dist).with_model(m1);
+    let config = synthetic_config(6, 3, 3, &["bto", "normal"], 17);
+    let e1 = est.estimate(&config).unwrap();
+    let e2 = est.estimate(&config).unwrap();
+    assert_eq!(e1, e2, "estimates must be bitwise-stable");
+}
+
+/// The calibrated pruning flow must not lose meaningful energy: over a
+/// candidate pool, the best exact-signed survivor is within 1 % of the
+/// global exact optimum (the same bound CI enforces on
+/// `BENCH_estimator.json`).
+#[test]
+fn pruned_best_stays_within_one_percent_of_exact_best() {
+    let n = 6usize;
+    let dist = InputDistribution::uniform(n).unwrap();
+    let lib = CellLibrary::nangate45();
+    let mut opts = CalibrationOptions::fast();
+    opts.samples = 8;
+    opts.reads = 64;
+    let (model, _) = calibrate(ArchStyle::BtoNormalNd, &dist, &lib, &opts).unwrap();
+    let est = ResourceEstimator::new(ArchStyle::BtoNormalNd, dist.clone()).with_model(model);
+
+    let candidates: Vec<ApproxLutConfig> = (0..10)
+        .map(|i| synthetic_config(n, 3, 3, &["bto", "normal", "nd"], 100 + i))
+        .collect();
+    let refs: Vec<&ApproxLutConfig> = candidates.iter().collect();
+    let reads: Vec<u32> = (0..128u32).map(|i| (i * 13) % (1 << n)).collect();
+    let clock = refs
+        .iter()
+        .map(|c| est.estimate(c).unwrap().critical_path_ns)
+        .fold(0.0f64, f64::max)
+        * 1.05;
+    let exact = |c: &ApproxLutConfig| {
+        let inst = build_approx_lut(c, ArchStyle::BtoNormalNd).unwrap();
+        characterize(&inst, &reads, &lib, clock)
+            .unwrap()
+            .energy_per_read_fj
+    };
+    let best_exact = refs.iter().map(|c| exact(c)).fold(f64::INFINITY, f64::min);
+    let est_clocked = est.with_clock(clock);
+    let survivors = select_survivors(&est_clocked, &refs, 4);
+    let best_pruned = survivors
+        .iter()
+        .map(|&i| exact(refs[i]))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_pruned <= best_exact * 1.01,
+        "pruned best {best_pruned} vs exact best {best_exact}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Upgrading a bit's mode (BTO → Normal → ND) on the reconfigurable
+    /// BTO-Normal-ND fabric changes *which* table bits are active, not
+    /// the fabric itself: area and delay are unchanged bitwise, while
+    /// the estimated energy is strictly monotone in the active table
+    /// bits (0, 2^(f+1), 2^(f+2) extra clocked DFFs per bit).
+    #[test]
+    fn mode_upgrades_keep_fabric_and_raise_energy(seed: u64) {
+        let (n, m, b) = (7usize, 3usize, 3usize);
+        let dist = InputDistribution::uniform(n).unwrap();
+        let est = ResourceEstimator::new(ArchStyle::BtoNormalNd, dist);
+        let bto = est.estimate(&synthetic_config(n, m, b, &["bto"], seed)).unwrap();
+        let normal = est.estimate(&synthetic_config(n, m, b, &["normal"], seed)).unwrap();
+        let nd = est.estimate(&synthetic_config(n, m, b, &["nd"], seed)).unwrap();
+        prop_assert_eq!(bto.area_um2, normal.area_um2);
+        prop_assert_eq!(normal.area_um2, nd.area_um2);
+        prop_assert_eq!(bto.critical_path_ns, normal.critical_path_ns);
+        prop_assert_eq!(normal.critical_path_ns, nd.critical_path_ns);
+        prop_assert!(bto.clock_fj < normal.clock_fj);
+        prop_assert!(normal.clock_fj < nd.clock_fj);
+        prop_assert!(bto.energy_per_read_fj < normal.energy_per_read_fj);
+        prop_assert!(normal.energy_per_read_fj < nd.energy_per_read_fj);
+    }
+
+    /// Estimated energy is never negative and always finite for
+    /// arbitrary synthetic configurations and the prior model.
+    #[test]
+    fn estimates_are_finite_and_nonnegative(seed: u64, b in 2usize..=4) {
+        let n = 6usize;
+        let dist = InputDistribution::uniform(n).unwrap();
+        let est = ResourceEstimator::new(ArchStyle::BtoNormalNd, dist);
+        let config = synthetic_config(n, 2, b, &["bto", "normal", "nd"], seed);
+        let e = est.estimate(&config).unwrap();
+        prop_assert!(e.energy_per_read_fj.is_finite());
+        prop_assert!(e.energy_per_read_fj >= 0.0);
+        prop_assert!(e.switching_fj >= 0.0);
+    }
+}

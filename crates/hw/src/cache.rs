@@ -1,0 +1,166 @@
+//! Memoized netlist construction for sweep drivers.
+//!
+//! Pruned sweeps repeatedly sign off the same survivor configuration —
+//! the unpruned baseline, re-characterization under a different clock, a
+//! resumed run replaying an item. [`InstanceCache`] keys built
+//! [`ArchInstance`]s by an FNV-1a fingerprint of `(style, config)` (the
+//! same hashing the checkpoint `WorkKey` machinery uses) so repeated
+//! sign-offs of one survivor don't pay gate construction twice.
+//!
+//! The cache stores instances behind `Arc`, so entries stay alive for as
+//! long as any caller holds one; it is `Sync` and safe to share across
+//! sweep worker threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dalut_core::{fingerprint, ApproxLutConfig};
+
+use crate::arch::{build_approx_lut, ArchStyle, HwError};
+use crate::instance::ArchInstance;
+
+/// A thread-safe memo table from `(style, config)` fingerprints to built
+/// architecture instances.
+#[derive(Debug, Default)]
+pub struct InstanceCache {
+    map: Mutex<HashMap<u64, Arc<ArchInstance>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl InstanceCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The FNV-1a fingerprint used as the cache key: the architecture
+    /// style name plus the canonical JSON serialisation of the
+    /// configuration.
+    #[must_use]
+    pub fn config_fingerprint(config: &ApproxLutConfig, style: ArchStyle) -> u64 {
+        let json = serde_json::to_string(config).unwrap_or_default();
+        fingerprint(&format!("{}/{json}", style.name()))
+    }
+
+    /// Returns the cached instance for `(config, style)`, building (and
+    /// caching) it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HwError`] from [`build_approx_lut`] on a miss; build
+    /// failures are not cached.
+    pub fn get_or_build(
+        &self,
+        config: &ApproxLutConfig,
+        style: ArchStyle,
+    ) -> Result<Arc<ArchInstance>, HwError> {
+        let key = Self::config_fingerprint(config, style);
+        if let Some(hit) = self.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        // Build outside the lock: construction is the expensive part and
+        // other keys should not serialise behind it. A racing builder of
+        // the same key wastes one build but both callers get one entry.
+        let built = Arc::new(build_approx_lut(config, style)?);
+        let entry = self
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&built))
+            .clone();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Cache hits served so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= builds attempted, minus failed builds) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct instances currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no instances.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<ArchInstance>>> {
+        // A panic while holding the map lock leaves only a possibly
+        // part-filled memo table; the data stays valid, so recover it.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_boolfn::TruthTable;
+    use dalut_core::{ApproxLutBuilder, BsSaParams};
+
+    fn sample_config() -> ApproxLutConfig {
+        let target = TruthTable::from_fn(6, 3, |x| (x * 3) >> 3 & 0x7).unwrap();
+        ApproxLutBuilder::new(&target)
+            .bs_sa(BsSaParams::fast())
+            .run()
+            .unwrap()
+            .config
+    }
+
+    #[test]
+    fn second_build_is_a_hit_and_shares_the_instance() {
+        let cache = InstanceCache::new();
+        let config = sample_config();
+        let a = cache.get_or_build(&config, ArchStyle::BtoNormal).unwrap();
+        let b = cache.get_or_build(&config, ArchStyle::BtoNormal).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn styles_key_separately() {
+        let cache = InstanceCache::new();
+        let config = sample_config();
+        let bn = cache.get_or_build(&config, ArchStyle::BtoNormal).unwrap();
+        let dalta = cache.get_or_build(&config, ArchStyle::Dalta);
+        // DALTA may reject BTO/ND modes; when it builds it must be a
+        // distinct entry.
+        if let Ok(dalta) = dalta {
+            assert!(!Arc::ptr_eq(&bn, &dalta));
+            assert_eq!(cache.len(), 2);
+        }
+        assert_ne!(
+            InstanceCache::config_fingerprint(&config, ArchStyle::BtoNormal),
+            InstanceCache::config_fingerprint(&config, ArchStyle::Dalta),
+        );
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = InstanceCache::new();
+        let config = sample_config();
+        let (bto, _, nd) = config.mode_counts();
+        if bto + nd > 0 {
+            // DALTA supports only Normal bits, so this config fails.
+            assert!(cache.get_or_build(&config, ArchStyle::Dalta).is_err());
+            assert_eq!(cache.len(), 0);
+            assert_eq!(cache.misses(), 0);
+        }
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arch;
+pub mod cache;
 pub mod fault;
 pub mod instance;
 pub mod lut;
@@ -45,6 +46,7 @@ pub mod rounding;
 pub mod routing;
 
 pub use arch::{build_approx_lut, ArchStyle, HwError};
+pub use cache::InstanceCache;
 pub use fault::{fault_report, fault_report_scalar, FaultCampaign, FaultModel, FaultReport};
 pub use instance::{characterize, characterize_observed, ArchInstance, ArchReport};
 pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};

@@ -17,6 +17,7 @@
 //! | [`core`] | the BS-SA search, DALTA baseline, mode selection, trade-off sweeps |
 //! | [`netlist`] | gate-level netlists, simulation, power/timing/area, Verilog export |
 //! | [`hw`] | DALTA / BTO-Normal / BTO-Normal-ND / rounding hardware models |
+//! | [`est`] | closed-form power/area/delay estimation, calibrated sweep pruning |
 //! | [`benchfns`] | the paper's ten benchmark functions |
 //!
 //! The facade re-exports the high-level API so `use dalut::prelude::*`
@@ -66,6 +67,7 @@ pub use dalut_benchfns as benchfns;
 pub use dalut_boolfn as boolfn;
 pub use dalut_core as core;
 pub use dalut_decomp as decomp;
+pub use dalut_est as est;
 pub use dalut_hw as hw;
 pub use dalut_netlist as netlist;
 
@@ -88,9 +90,10 @@ pub mod prelude {
         pattern_to_minterms, reduce_index, AnyDecomp, DisjointDecomp, KernelStats, LsbFill,
         NonDisjointDecomp, OptParams, RowType,
     };
+    pub use dalut_est::{CalibrationOptions, EstimatorMode, ResourceEstimate, ResourceEstimator};
     pub use dalut_hw::{
         build_approx_lut, characterize, fault_report, ArchInstance, ArchReport, ArchStyle,
-        FaultModel, FaultReport,
+        FaultModel, FaultReport, InstanceCache,
     };
     pub use dalut_netlist::{to_verilog, CellLibrary, Netlist, Simulator};
 }
