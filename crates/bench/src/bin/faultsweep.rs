@@ -1,8 +1,8 @@
 //! Fault-injection sweep over the five Fig. 5 architectures: corrupts
 //! the stored sub-table/configuration bits of each built instance at
-//! increasing upset probabilities (plus one stuck-at and one burst
-//! campaign) and reports the MED / error-rate degradation relative to
-//! each instance's own fault-free behaviour.
+//! increasing upset probabilities (plus one stuck-at, one burst and one
+//! transient campaign) and reports the MED / error-rate degradation
+//! relative to each instance's own fault-free behaviour.
 //!
 //! Writes `results/fault_sweep.json` at the repository root. The
 //! configuration searches run under a wall-clock budget, so the sweep
@@ -82,7 +82,7 @@ fn choose_q(target: &TruthTable, dist: &InputDistribution, dalta_med: f64) -> us
 }
 
 /// Runs one architecture's full fault campaign (SEU sweep + stuck-at +
-/// burst). Deterministic given (`base_seed`, `ai`), so a replayed item
+/// burst + transient). Deterministic given (`base_seed`, `ai`), so a replayed item
 /// reproduces the interrupted run's numbers exactly.
 fn sweep_arch(
     name: &str,
@@ -104,10 +104,14 @@ fn sweep_arch(
         probability: 1e-2,
         length: 4,
     });
+    models.push(FaultModel::Transient {
+        probability: 1e-2,
+        duration: 16,
+    });
     let total = models.len();
     // The fault-free golden outputs depend only on the instance, so the
     // exhaustive baseline simulation is hoisted out of the model loop:
-    // one campaign serves all seven corruption models.
+    // one campaign serves all eight corruption models.
     let campaign = FaultCampaign::new(inst).map_err(|e| ItemError::Failed(e.to_string()))?;
     let mut reports = Vec::new();
     for (mi, model) in models.iter().enumerate() {

@@ -1,0 +1,578 @@
+//! Fleet simulation of the self-correcting runtime controller: a fleet
+//! of live approximate-LUT instances served under a time-varying input
+//! distribution and a scheduled fault campaign, compared across three
+//! arms —
+//!
+//! * `controlled` — starts on the cheapest pre-compiled variant with
+//!   the full scrub / upgrade / relax policy enabled;
+//! * `uncontrolled` — identical start, monitoring only (no corrective
+//!   actions): the baseline that shows what drift and faults cost;
+//! * `pinned-max` — pinned to the most accurate variant, actions off:
+//!   the energy ceiling the controller should undercut.
+//!
+//! The variant ladder comes from the paper's own machinery: one
+//! budgeted BS-SA search under the BTO-Normal-ND policy, a `mode_sweep`
+//! over the recorded per-bit alternatives, a Pareto filter, and gate
+//! -level energy characterisation of three spread frontier points.
+//!
+//! Writes `results/fleet_sim.json` (full per-epoch telemetry) and a
+//! `BENCH_fleet.json` summary next to it. Accepts the usual harness
+//! flags; each (arm, instance) pair is one supervised work item, so an
+//! interrupted run leaves a valid partial-marked report and
+//! `--checkpoint-dir ... --resume` completes it bit-identically (no
+//! wall-clock state enters any record).
+//!
+//! Run with `cargo run -p dalut-bench --release --bin fleetsim`.
+
+use dalut_bench::report::{f3, write_json};
+use dalut_bench::setup::bssa_params;
+use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
+use dalut_bench::{shutdown, HarnessArgs, Observation, Table};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::{InputDistribution, TruthTable};
+use dalut_core::checkpoint::{fingerprint, WorkKey, WorkRecord};
+use dalut_core::{
+    mode_sweep, pareto_front, ApproxLutBuilder, ArchPolicy, CancelToken, MetricsSnapshot, Observer,
+    RunBudget, SearchEvent, Termination, TradeoffPoint,
+};
+use dalut_hw::{ArchStyle, FaultModel};
+use dalut_netlist::CellLibrary;
+use dalut_runtime::{ControlTotals, Controller, EpochReport, ErrorSlo, Variant, VariantBank};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Epochs simulated per fleet instance.
+const EPOCHS: usize = 80;
+/// Instances per arm.
+const FLEET: usize = 4;
+/// Epoch at which the workload drifts from uniform to a concentrated
+/// Gaussian, and back.
+const DRIFT_ON: usize = 16;
+const DRIFT_OFF: usize = 36;
+/// Epoch of the scheduled burst fault (hits every arm identically).
+const BURST_AT: usize = 44;
+/// Epoch of the scheduled SEU shower.
+const SEU_AT: usize = 64;
+/// Wall-clock budget for the configuration search.
+const SEARCH_DEADLINE: Duration = Duration::from_secs(60);
+/// Clock period used for energy characterisation (ns).
+const CLOCK_NS: f64 = 1.5;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Arm {
+    Controlled,
+    Uncontrolled,
+    PinnedMax,
+}
+
+impl Arm {
+    const ALL: [Arm; 3] = [Arm::Controlled, Arm::Uncontrolled, Arm::PinnedMax];
+
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Controlled => "controlled",
+            Arm::Uncontrolled => "uncontrolled",
+            Arm::PinnedMax => "pinned-max",
+        }
+    }
+
+    fn actions(self) -> bool {
+        matches!(self, Arm::Controlled)
+    }
+
+    fn start(self, bank: &VariantBank) -> usize {
+        match self {
+            Arm::PinnedMax => bank.len() - 1,
+            _ => 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VariantInfo {
+    label: String,
+    expected_med: f64,
+    /// True MED under the drift-phase (Gaussian) distribution.
+    med_drift: f64,
+    energy_per_read_fj: f64,
+    mode_counts: (usize, usize, usize),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct InstanceRun {
+    arm: String,
+    instance: usize,
+    totals: ControlTotals,
+    epochs: Vec<EpochReport>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArmSummary {
+    arm: String,
+    violation_rate: f64,
+    mean_err: f64,
+    energy_fj: f64,
+    scrubs: u64,
+    upgrades: u64,
+    relaxes: u64,
+    writes: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Summary {
+    arms: Vec<ArmSummary>,
+    /// Controlled fleet's mean error stayed within the SLO target.
+    controlled_within_slo: bool,
+    /// Uncontrolled fleet's mean error broke the SLO target.
+    uncontrolled_violates: bool,
+    /// Controlled strictly beats uncontrolled on violation rate.
+    violation_rate_improved: bool,
+    energy_saved_vs_pinned_fj: f64,
+    energy_saved_vs_pinned_frac: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetReport {
+    schema: String,
+    benchmark: String,
+    scale_bits: usize,
+    seed: u64,
+    epochs: usize,
+    instances_per_arm: usize,
+    slo: ErrorSlo,
+    variants: Vec<VariantInfo>,
+    partial: bool,
+    runs: Vec<InstanceRun>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    summary: Option<Summary>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    metrics: Option<MetricsSnapshot>,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchSummary {
+    schema: String,
+    benchmark: String,
+    scale_bits: usize,
+    seed: u64,
+    slo_target: f64,
+    summary: Summary,
+}
+
+/// The drift-phase workload: reads linger where the cheapest variant's
+/// approximation is weakest (weight `err(x) + 0.25`), the adversarial
+/// version of a deployed table's operating point shifting into a region
+/// the error budget was spent on.
+fn drift_dist(target: &TruthTable, cheap: &dalut_core::ApproxLutConfig) -> InputDistribution {
+    let weights: Vec<f64> = (0..1u32 << target.inputs())
+        .map(|x| (f64::from(target.eval(x)) - f64::from(cheap.eval(x))).abs() + 0.25)
+        .collect();
+    InputDistribution::from_weights(weights).expect("positive weights")
+}
+
+/// Runs one fleet instance for `EPOCHS` epochs under the shared drift
+/// and fault schedule. Deterministic given (`seed`, `arm`, `idx`).
+fn run_instance(
+    arm: Arm,
+    idx: usize,
+    target: &TruthTable,
+    bank: &VariantBank,
+    slo: &ErrorSlo,
+    drift: &InputDistribution,
+    base_seed: u64,
+    cancel: &CancelToken,
+    observer: &dyn Observer,
+) -> Result<InstanceRun, ItemError> {
+    let n = target.inputs();
+    let uniform = InputDistribution::uniform(n).map_err(|e| ItemError::Failed(e.to_string()))?;
+    let mut ctl = Controller::new(target, uniform.clone(), bank, arm.start(bank), slo.clone())
+        .map_err(|e| ItemError::Failed(e.to_string()))?
+        .with_actions(arm.actions());
+    // One stream for workload sampling, separate deterministic streams
+    // per fault event, so the sampled reads are identical across arms.
+    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(idx as u64));
+    let mut epochs = Vec::with_capacity(EPOCHS);
+    for epoch in 0..EPOCHS {
+        if cancel.is_cancelled() {
+            return Err(ItemError::Cancelled);
+        }
+        if epoch == DRIFT_ON {
+            ctl.set_distribution(drift.clone())
+                .map_err(|e| ItemError::Failed(e.to_string()))?;
+        }
+        if epoch == DRIFT_OFF {
+            ctl.set_distribution(uniform.clone())
+                .map_err(|e| ItemError::Failed(e.to_string()))?;
+        }
+        if epoch == BURST_AT {
+            let mut frng = StdRng::seed_from_u64(base_seed ^ 0xB0057 ^ (idx as u64) << 8);
+            ctl.inject(
+                &FaultModel::Burst {
+                    probability: 0.02,
+                    length: 8,
+                },
+                &mut frng,
+            )
+            .map_err(|e| ItemError::Failed(e.to_string()))?;
+        }
+        if epoch == SEU_AT {
+            let mut frng = StdRng::seed_from_u64(base_seed ^ 0x5E0 ^ (idx as u64) << 8);
+            ctl.inject(&FaultModel::Seu { probability: 0.05 }, &mut frng)
+                .map_err(|e| ItemError::Failed(e.to_string()))?;
+        }
+        let report = ctl
+            .step(&mut rng, observer)
+            .map_err(|e| ItemError::Failed(e.to_string()))?;
+        epochs.push(report);
+    }
+    Ok(InstanceRun {
+        arm: arm.name().to_string(),
+        instance: idx,
+        totals: ctl.totals().clone(),
+        epochs,
+    })
+}
+
+/// Picks up to three spread points (cheapest, middle, most accurate)
+/// from the Pareto frontier and keeps only those forming a valid
+/// ladder (energy strictly up, error not up).
+fn pick_points(front: &[TradeoffPoint]) -> Vec<&TradeoffPoint> {
+    let mut picks: Vec<&TradeoffPoint> = Vec::new();
+    for i in [0, front.len() / 2, front.len() - 1] {
+        let p = &front[i];
+        if picks
+            .last()
+            .is_none_or(|l| p.active_free_tables > l.active_free_tables && p.med <= l.med)
+        {
+            picks.push(p);
+        }
+    }
+    picks
+}
+
+fn summarize(slo: &ErrorSlo, runs: &[InstanceRun]) -> Summary {
+    let arm_total = |name: &str| -> ControlTotals {
+        let mut acc = ControlTotals::default();
+        for r in runs.iter().filter(|r| r.arm == name) {
+            acc.epochs += r.totals.epochs;
+            acc.violated_epochs += r.totals.violated_epochs;
+            acc.scrubs += r.totals.scrubs;
+            acc.bits_repaired += r.totals.bits_repaired;
+            acc.upgrades += r.totals.upgrades;
+            acc.relaxes += r.totals.relaxes;
+            acc.writes += r.totals.writes;
+            acc.energy_fj += r.totals.energy_fj;
+            acc.err_sum += r.totals.err_sum;
+        }
+        acc
+    };
+    let arms: Vec<ArmSummary> = Arm::ALL
+        .iter()
+        .map(|a| {
+            let t = arm_total(a.name());
+            ArmSummary {
+                arm: a.name().to_string(),
+                violation_rate: t.violation_rate(),
+                mean_err: t.mean_err(),
+                energy_fj: t.energy_fj,
+                scrubs: t.scrubs,
+                upgrades: t.upgrades,
+                relaxes: t.relaxes,
+                writes: t.writes,
+            }
+        })
+        .collect();
+    let by = |name: &str| arms.iter().find(|a| a.arm == name).expect("arm present");
+    let (ctl, unc, pin) = (by("controlled"), by("uncontrolled"), by("pinned-max"));
+    let saved = pin.energy_fj - ctl.energy_fj;
+    Summary {
+        controlled_within_slo: ctl.mean_err <= slo.target,
+        uncontrolled_violates: unc.mean_err > slo.target,
+        violation_rate_improved: ctl.violation_rate < unc.violation_rate,
+        energy_saved_vs_pinned_fj: saved,
+        energy_saved_vs_pinned_frac: if pin.energy_fj > 0.0 {
+            saved / pin.energy_fj
+        } else {
+            0.0
+        },
+        arms,
+    }
+}
+
+fn run() -> Result<Termination, Box<dyn std::error::Error>> {
+    let args = HarnessArgs::from_env();
+    let obs = Observation::from_args(&args)?;
+    let token = CancelToken::new();
+    shutdown::install(&token);
+    let scale_bits = args.scale_bits.min(8);
+    let target = Benchmark::Cos.table(Scale::Reduced(scale_bits))?;
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n)?;
+    let budget = match args.budget_secs {
+        Some(_) => args.budget(),
+        None => RunBudget::unlimited().with_deadline(SEARCH_DEADLINE),
+    }
+    .with_cancel(&token);
+    eprintln!("fleetsim: {} at {n} bits", Benchmark::Cos.name());
+
+    // --- One BS-SA search under the all-modes policy gives the per-bit
+    // alternatives the variant ladder is swept from.
+    let mut bp = bssa_params(&args, n);
+    bp.search.seed = args.seed;
+    let outcome = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .bs_sa(bp)
+        .policy(ArchPolicy::bto_normal_nd_paper())
+        .budget(budget)
+        .observer(obs.observer())
+        .run()?;
+    if outcome.termination.is_early() {
+        eprintln!("  note: search stopped early ({:?})", outcome.termination);
+    }
+    let options = outcome
+        .mode_options
+        .as_ref()
+        .ok_or("BS-SA recorded no per-bit mode options")?;
+    let sweep = mode_sweep(&target, &dist, options)?;
+    let front = pareto_front(&sweep);
+    let picks = pick_points(&front);
+    eprintln!(
+        "  frontier: {} points, using {} variants",
+        front.len(),
+        picks.len()
+    );
+
+    // --- Characterise the picked points into the hot-swap bank.
+    let lib = CellLibrary::nangate45();
+    let char_reads: Vec<u32> = (0..512u32).map(|i| i % (1u32 << n)).collect();
+    let drift = drift_dist(&target, &picks[0].config);
+    let mut variants = Vec::new();
+    let mut infos = Vec::new();
+    for (vi, p) in picks.iter().enumerate() {
+        let label = format!("pareto-{vi}");
+        let v = Variant::characterized(
+            &label,
+            p.config.clone(),
+            ArchStyle::BtoNormalNd,
+            p.med,
+            &lib,
+            CLOCK_NS,
+            &char_reads,
+        )?;
+        infos.push(VariantInfo {
+            label,
+            expected_med: p.med,
+            med_drift: p.config.med(&target, &drift)?,
+            energy_per_read_fj: v.energy_per_read_fj(),
+            mode_counts: p.mode_counts,
+        });
+        variants.push(v);
+    }
+    // Measured energies should rise along the frontier (more active free
+    // tables); drop any point the measurement reorders so the ladder
+    // invariant holds.
+    let mut ladder: Vec<Variant> = Vec::new();
+    for (v, info) in variants.into_iter().zip(&infos) {
+        let ok = ladder.last().is_none_or(|l: &Variant| {
+            v.energy_per_read_fj() > l.energy_per_read_fj() && v.expected_med() <= l.expected_med()
+        });
+        if ok {
+            ladder.push(v);
+        } else {
+            eprintln!(
+                "  note: dropping {} — measured energy out of order",
+                info.label
+            );
+        }
+    }
+    let infos: Vec<VariantInfo> = infos
+        .into_iter()
+        .filter(|i| ladder.iter().any(|v| v.label() == i.label))
+        .collect();
+    let bank = VariantBank::new(ladder)?;
+
+    // The SLO: comfortable margin over the cheapest variant's nominal
+    // error under the design (uniform) distribution, so a healthy fleet
+    // on the cheapest variant sits inside it and a faulted or drifted
+    // one does not. The formula is recorded in the report.
+    let target_err = 1.3 * bank.get(0).expected_med() + 2.0;
+    let slo = ErrorSlo {
+        samples_per_epoch: 256,
+        epoch_reads: 1024,
+        // A fault spike is any jump past the target itself; drift's
+        // epoch-to-epoch deltas stay well below it.
+        fault_jump: target_err,
+        // A wider relax band than the default, so the controller steps
+        // back down once the drift phase passes.
+        relax_margin: 0.6,
+        ..ErrorSlo::new(target_err)
+    };
+    for i in &infos {
+        eprintln!(
+            "  variant {}: med {} (drift {}), {} fJ/read, modes {:?}",
+            i.label,
+            f3(i.expected_med),
+            f3(i.med_drift),
+            f3(i.energy_per_read_fj),
+            i.mode_counts
+        );
+    }
+    eprintln!("  SLO target {} (window {})", f3(slo.target), slo.window);
+
+    let out_path = args.out_path(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fleet_sim.json"
+    ));
+    let bench_path = out_path.with_file_name("BENCH_fleet.json");
+    let write_report = |runs: Vec<InstanceRun>, partial: bool, metrics: Option<MetricsSnapshot>| {
+        let summary = (!partial).then(|| summarize(&slo, &runs));
+        let report = FleetReport {
+            schema: "dalut-fleetsim/v1".to_string(),
+            benchmark: Benchmark::Cos.name().to_string(),
+            scale_bits,
+            seed: args.seed,
+            epochs: EPOCHS,
+            instances_per_arm: FLEET,
+            slo: slo.clone(),
+            variants: infos.clone(),
+            partial,
+            runs,
+            summary,
+            metrics,
+        };
+        write_json(&out_path, &report)
+    };
+    if token.is_cancelled() {
+        if let Some(signal) = shutdown::take_requested_signal() {
+            obs.emit(&SearchEvent::ShutdownRequested {
+                signal: signal.to_string(),
+            });
+        }
+        obs.finish()?;
+        write_report(Vec::new(), true, obs.metrics_snapshot())?;
+        eprintln!("wrote {} (partial)", out_path.display());
+        return Ok(Termination::Cancelled);
+    }
+
+    // --- The fleet: one supervised item per (arm, instance). ---
+    let scale_label = format!("reduced-{scale_bits}");
+    let items: Vec<WorkItem<'_, InstanceRun>> = Arm::ALL
+        .iter()
+        .flat_map(|&arm| (0..FLEET).map(move |idx| (arm, idx)))
+        .map(|(arm, idx)| {
+            let (token, target, bank, slo, drift) = (&token, &target, &bank, &slo, &drift);
+            WorkItem::new(
+                WorkKey::new(
+                    Benchmark::Cos.name(),
+                    &format!("{}/{idx}", arm.name()),
+                    args.seed,
+                    &scale_label,
+                    &(EPOCHS, FLEET, BURST_AT, SEU_AT),
+                ),
+                vec![Strategy::new(arm.name(), move |o: &dyn Observer| {
+                    run_instance(arm, idx, target, bank, slo, drift, args.seed, token, o)
+                })],
+            )
+        })
+        .collect();
+    let total = items.len();
+    let fleet_fp = fingerprint(&format!(
+        "fleetsim/{scale_label}/seed{}/epochs{EPOCHS}/fleet{FLEET}",
+        args.seed
+    ));
+    let supervisor = args.supervisor(fleet_fp, &token)?;
+    let to_runs = |records: &[WorkRecord<InstanceRun>]| -> Vec<InstanceRun> {
+        records.iter().filter_map(|r| r.result.clone()).collect()
+    };
+    let outcome = supervisor.run(items, obs.observer(), |snapshot| {
+        if let Err(e) = write_report(
+            to_runs(&snapshot.completed),
+            snapshot.completed.len() < total,
+            None,
+        ) {
+            eprintln!("warning: partial results write failed: {e}");
+        }
+    });
+    if let Some(signal) = shutdown::take_requested_signal() {
+        obs.emit(&SearchEvent::ShutdownRequested {
+            signal: signal.to_string(),
+        });
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "fleetsim: resumed {} of {total} fleet instances from checkpoint",
+            outcome.resumed
+        );
+    }
+
+    let runs = to_runs(&outcome.records);
+    let partial = !outcome.is_complete();
+    if !partial {
+        let summary = summarize(&slo, &runs);
+        let mut table = Table::new(&[
+            "arm",
+            "violation-rate",
+            "mean-err",
+            "energy (fJ)",
+            "scrubs",
+            "upgrades",
+            "relaxes",
+        ]);
+        for a in &summary.arms {
+            table.row(vec![
+                a.arm.clone(),
+                f3(a.violation_rate),
+                f3(a.mean_err),
+                format!("{:.3e}", a.energy_fj),
+                a.scrubs.to_string(),
+                a.upgrades.to_string(),
+                a.relaxes.to_string(),
+            ]);
+        }
+        println!(
+            "\nFleet of {FLEET} instances/arm, {EPOCHS} epochs, SLO target {}.\n",
+            f3(slo.target)
+        );
+        println!("{}", table.render());
+        println!(
+            "energy saved vs pinned-max: {:.3e} fJ ({:.1}%)",
+            summary.energy_saved_vs_pinned_fj,
+            100.0 * summary.energy_saved_vs_pinned_frac
+        );
+        let bench = BenchSummary {
+            schema: "dalut-fleetbench/v1".to_string(),
+            benchmark: Benchmark::Cos.name().to_string(),
+            scale_bits,
+            seed: args.seed,
+            slo_target: slo.target,
+            summary,
+        };
+        write_json(&bench_path, &bench)?;
+        eprintln!("wrote {}", bench_path.display());
+    }
+    obs.finish()?;
+    write_report(runs, partial, obs.metrics_snapshot())?;
+    eprintln!(
+        "wrote {}{}",
+        out_path.display(),
+        if partial { " (partial)" } else { "" }
+    );
+    Ok(outcome.termination)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(Termination::Completed) => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("fleetsim: interrupted — resume with --checkpoint-dir ... --resume");
+            ExitCode::from(130)
+        }
+        Err(e) => {
+            eprintln!("fleetsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -96,6 +96,22 @@ impl Observer for StderrProgress {
             SearchEvent::ShutdownRequested { signal } => self.line(&format!(
                 "{signal} received — cancelling, will flush checkpoint and partial results"
             )),
+            SearchEvent::SloViolated { observed, target } => self.line(&format!(
+                "SLO violated: windowed error {observed:.4} > target {target:.4}"
+            )),
+            SearchEvent::FaultSuspected { jump, threshold } => self.line(&format!(
+                "fault suspected: error jump {jump:.4} > threshold {threshold:.4}"
+            )),
+            SearchEvent::ScrubCompleted { repaired_bits } => {
+                self.line(&format!("scrub completed: {repaired_bits} bits repaired"));
+            }
+            SearchEvent::VariantSwapped { from, to, upgrade } => self.line(&format!(
+                "variant {} {from} -> {to}",
+                if *upgrade { "upgrade" } else { "relax" }
+            )),
+            SearchEvent::SloRecovered { observed, target } => self.line(&format!(
+                "SLO recovered: windowed error {observed:.4} <= target {target:.4}"
+            )),
             // Hot-path events: too frequent for a line-per-event sink.
             _ => {}
         }

@@ -237,6 +237,48 @@ pub enum SearchEvent {
         /// Signal name (e.g. `"SIGINT"`).
         signal: String,
     },
+    /// A runtime controller's windowed observed error rose above its SLO
+    /// target (emitted once on entering violation, not per epoch).
+    SloViolated {
+        /// Windowed mean observed error at the violation.
+        observed: f64,
+        /// The SLO error target that was exceeded.
+        target: f64,
+    },
+    /// A runtime controller saw a sudden epoch-to-epoch error jump and
+    /// suspects corrupted configuration memory (as opposed to gradual
+    /// input-distribution drift).
+    FaultSuspected {
+        /// The epoch-to-epoch error jump that fired the detector.
+        jump: f64,
+        /// The jump threshold it exceeded.
+        threshold: f64,
+    },
+    /// A scrub pass rewrote the live configuration memory back to its
+    /// golden contents through the writable-DFF path.
+    ScrubCompleted {
+        /// Stored bits whose value the scrub corrected (0 means the
+        /// memory was already golden — the suspected fault was drift).
+        repaired_bits: usize,
+    },
+    /// A runtime controller hot-swapped the live instance to another
+    /// pre-compiled configuration variant.
+    VariantSwapped {
+        /// Label of the variant being left.
+        from: String,
+        /// Label of the variant now serving.
+        to: String,
+        /// `true` for an accuracy upgrade, `false` for an energy relax.
+        upgrade: bool,
+    },
+    /// A runtime controller's windowed observed error fell back under
+    /// its SLO target after a violation.
+    SloRecovered {
+        /// Windowed mean observed error at recovery.
+        observed: f64,
+        /// The SLO error target.
+        target: f64,
+    },
 }
 
 /// A sink for [`SearchEvent`]s.
@@ -496,6 +538,27 @@ pub struct CounterSnapshot {
     pub items_degraded: u64,
     /// `ShutdownRequested` events.
     pub shutdowns_requested: u64,
+    /// `SloViolated` events (violation entries, not violating epochs).
+    #[serde(default)]
+    pub slo_violations: u64,
+    /// `FaultSuspected` events.
+    #[serde(default)]
+    pub faults_suspected: u64,
+    /// `ScrubCompleted` events.
+    #[serde(default)]
+    pub scrubs_completed: u64,
+    /// Stored bits corrected across all `ScrubCompleted` events.
+    #[serde(default)]
+    pub bits_scrubbed: u64,
+    /// `VariantSwapped` events with `upgrade == true`.
+    #[serde(default)]
+    pub variant_upgrades: u64,
+    /// `VariantSwapped` events with `upgrade == false`.
+    #[serde(default)]
+    pub variant_relaxes: u64,
+    /// `SloRecovered` events.
+    #[serde(default)]
+    pub slo_recoveries: u64,
 }
 
 /// Aggregated effort attributed to one named phase.
@@ -585,6 +648,13 @@ pub struct MetricsRecorder {
     items_retried: AtomicU64,
     items_degraded: AtomicU64,
     shutdowns_requested: AtomicU64,
+    slo_violations: AtomicU64,
+    faults_suspected: AtomicU64,
+    scrubs_completed: AtomicU64,
+    bits_scrubbed: AtomicU64,
+    variant_upgrades: AtomicU64,
+    variant_relaxes: AtomicU64,
+    slo_recoveries: AtomicU64,
     hist_batch_evaluated: Histogram,
     hist_kernel_alternations: Histogram,
     kernel_at_creation: KernelStats,
@@ -640,6 +710,13 @@ impl MetricsRecorder {
             items_retried: AtomicU64::new(0),
             items_degraded: AtomicU64::new(0),
             shutdowns_requested: AtomicU64::new(0),
+            slo_violations: AtomicU64::new(0),
+            faults_suspected: AtomicU64::new(0),
+            scrubs_completed: AtomicU64::new(0),
+            bits_scrubbed: AtomicU64::new(0),
+            variant_upgrades: AtomicU64::new(0),
+            variant_relaxes: AtomicU64::new(0),
+            slo_recoveries: AtomicU64::new(0),
             hist_batch_evaluated: Histogram::default(),
             hist_kernel_alternations: Histogram::default(),
             kernel_at_creation: kernel_stats::global(),
@@ -684,6 +761,13 @@ impl MetricsRecorder {
             items_retried: ld(&self.items_retried),
             items_degraded: ld(&self.items_degraded),
             shutdowns_requested: ld(&self.shutdowns_requested),
+            slo_violations: ld(&self.slo_violations),
+            faults_suspected: ld(&self.faults_suspected),
+            scrubs_completed: ld(&self.scrubs_completed),
+            bits_scrubbed: ld(&self.bits_scrubbed),
+            variant_upgrades: ld(&self.variant_upgrades),
+            variant_relaxes: ld(&self.variant_relaxes),
+            slo_recoveries: ld(&self.slo_recoveries),
         };
         let cache_hit_rate = if counters.neighbours_requested == 0 {
             0.0
@@ -799,6 +883,20 @@ impl Observer for MetricsRecorder {
             SearchEvent::ItemRetried { .. } => add(&self.items_retried, 1),
             SearchEvent::ItemDegraded { .. } => add(&self.items_degraded, 1),
             SearchEvent::ShutdownRequested { .. } => add(&self.shutdowns_requested, 1),
+            SearchEvent::SloViolated { .. } => add(&self.slo_violations, 1),
+            SearchEvent::FaultSuspected { .. } => add(&self.faults_suspected, 1),
+            SearchEvent::ScrubCompleted { repaired_bits } => {
+                add(&self.scrubs_completed, 1);
+                add(&self.bits_scrubbed, *repaired_bits as u64);
+            }
+            SearchEvent::VariantSwapped { upgrade, .. } => {
+                if *upgrade {
+                    add(&self.variant_upgrades, 1);
+                } else {
+                    add(&self.variant_relaxes, 1);
+                }
+            }
+            SearchEvent::SloRecovered { .. } => add(&self.slo_recoveries, 1),
             // Future event kinds default to uncounted (the enum is
             // non-exhaustive for downstream crates).
             #[allow(unreachable_patterns)]
@@ -998,6 +1096,43 @@ mod tests {
         assert_eq!(snap.counters.estimates_made, 8);
         assert_eq!(snap.counters.prune_decisions, 1);
         assert_eq!(snap.counters.candidates_pruned, 5);
+    }
+
+    #[test]
+    fn recorder_counts_controller_events() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&SearchEvent::SloViolated {
+            observed: 3.0,
+            target: 2.0,
+        });
+        rec.on_event(&SearchEvent::FaultSuspected {
+            jump: 5.0,
+            threshold: 1.0,
+        });
+        rec.on_event(&SearchEvent::ScrubCompleted { repaired_bits: 12 });
+        rec.on_event(&SearchEvent::ScrubCompleted { repaired_bits: 0 });
+        rec.on_event(&SearchEvent::VariantSwapped {
+            from: "bto".into(),
+            to: "nd".into(),
+            upgrade: true,
+        });
+        rec.on_event(&SearchEvent::VariantSwapped {
+            from: "nd".into(),
+            to: "bto".into(),
+            upgrade: false,
+        });
+        rec.on_event(&SearchEvent::SloRecovered {
+            observed: 1.0,
+            target: 2.0,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.slo_violations, 1);
+        assert_eq!(snap.counters.faults_suspected, 1);
+        assert_eq!(snap.counters.scrubs_completed, 2);
+        assert_eq!(snap.counters.bits_scrubbed, 12);
+        assert_eq!(snap.counters.variant_upgrades, 1);
+        assert_eq!(snap.counters.variant_relaxes, 1);
+        assert_eq!(snap.counters.slo_recoveries, 1);
     }
 
     #[test]

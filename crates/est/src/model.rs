@@ -242,12 +242,14 @@ fn solve_least_squares(rows: &[[f64; 4]], targets: &[f64], active: &[bool; 4]) -
         }
         ata.swap(col, pivot);
         aty.swap(col, pivot);
-        for r in col + 1..k {
-            let factor = ata[r][col] / ata[col][col];
-            for c in col..k {
-                ata[r][c] -= factor * ata[col][c];
+        let (pivot_rows, rest) = ata.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (r, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot_row[col];
+            for (cell, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * p;
             }
-            aty[r] -= factor * aty[col];
+            aty[col + 1 + r] -= factor * aty[col];
         }
     }
     let mut sol = vec![0.0f64; k];

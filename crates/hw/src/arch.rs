@@ -63,6 +63,22 @@ pub enum HwError {
     /// The underlying netlist rejected the instance (e.g. a
     /// combinational cycle found when building a simulator).
     Netlist(dalut_netlist::NetlistError),
+    /// A runtime rewrite addressed an output bit for which the instance
+    /// records no bound-table layout (the bit is out of range, or the
+    /// instance is a rounding baseline / hardened netlist without
+    /// rewritable tables).
+    NoBoundTable {
+        /// The output bit addressed.
+        bit: usize,
+    },
+    /// A runtime rewrite supplied contents whose length does not match
+    /// the table being written.
+    TableShape {
+        /// Entries the table holds.
+        expected: usize,
+        /// Entries the caller supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -76,6 +92,12 @@ impl fmt::Display for HwError {
                 write!(f, "invalid fault model: {detail}")
             }
             Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::NoBoundTable { bit } => {
+                write!(f, "no rewritable bound table recorded for output bit {bit}")
+            }
+            Self::TableShape { expected, got } => {
+                write!(f, "table holds {expected} entries but {got} were supplied")
+            }
         }
     }
 }
@@ -95,11 +117,14 @@ impl From<dalut_netlist::NetlistError> for HwError {
     }
 }
 
-/// Result of building one output bit: its net plus bookkeeping.
+/// Result of building one output bit: its net plus bookkeeping. Every
+/// builder pushes the bound-table presets first, so `bound_len` prefix
+/// entries of `presets` are the bit's rewritable bound table.
 struct BitBlock {
     y: NetId,
     presets: Vec<(NetId, bool)>,
     disabled: Vec<DomainId>,
+    bound_len: usize,
 }
 
 fn mode_name(d: &AnyDecomp) -> &'static str {
@@ -129,11 +154,13 @@ fn dalta_bit(
     free_addr.extend_from_slice(&routed[b..]);
     let free = dff_lut(nl, &d.free_table(), &free_addr, ROOT_DOMAIN);
     let mut presets = bound.presets;
+    let bound_len = presets.len();
     presets.extend(free.presets);
     Ok(BitBlock {
         y: free.output,
         presets,
         disabled: Vec::new(),
+        bound_len,
     })
 }
 
@@ -179,6 +206,7 @@ fn bto_normal_bit(
     let y = nl.mux2(bound.output, free.output, mode);
 
     let mut presets = bound.presets;
+    let bound_len = presets.len();
     presets.extend(free.presets);
     Ok(BitBlock {
         y,
@@ -188,6 +216,7 @@ fn bto_normal_bit(
         } else {
             Vec::new()
         },
+        bound_len,
     })
 }
 
@@ -263,6 +292,7 @@ fn bto_normal_nd_bit(
     let y = nl.mux2(bound.output, nd_or_normal, mode1);
 
     let mut presets = bound.presets;
+    let bound_len = presets.len();
     presets.extend(lut0.presets);
     presets.extend(lut1.presets);
     let disabled = match (mode1v, mode2v) {
@@ -274,6 +304,7 @@ fn bto_normal_nd_bit(
         y,
         presets,
         disabled,
+        bound_len,
     })
 }
 
@@ -295,6 +326,7 @@ pub fn build_approx_lut(
     let x = nl.input_bus("x", config.inputs());
     let mut presets = Vec::new();
     let mut disabled = Vec::new();
+    let mut bound_ranges = Vec::new();
     for bc in config.bits() {
         let block = match style {
             ArchStyle::Dalta => dalta_bit(&mut nl, &x, &bc.decomp, bc.bit)?,
@@ -302,16 +334,15 @@ pub fn build_approx_lut(
             ArchStyle::BtoNormalNd => bto_normal_nd_bit(&mut nl, &x, &bc.decomp, bc.bit)?,
         };
         nl.output(format!("y[{}]", bc.bit), block.y);
+        let start = presets.len();
+        bound_ranges.push(start..start + block.bound_len);
         presets.extend(block.presets);
         disabled.extend(block.disabled);
     }
-    Ok(ArchInstance::new(
-        nl,
-        presets,
-        disabled,
-        config.inputs(),
-        config.outputs(),
-    ))
+    Ok(
+        ArchInstance::new(nl, presets, disabled, config.inputs(), config.outputs())
+            .with_bound_ranges(bound_ranges),
+    )
 }
 
 #[cfg(test)]

@@ -61,6 +61,20 @@ pub enum FaultModel {
         /// Number of consecutive bits one burst flips (at least 1).
         length: usize,
     },
+    /// Transient (intermittent) upsets: every stored bit flips
+    /// independently with the given probability, but the corruption
+    /// self-clears after `duration` reads — the fault appears, persists
+    /// for `duration` cycles of the trial, then the affected DFFs revert
+    /// to their stored values. Reads after the window see the fault-free
+    /// instance, so campaign error figures measure *recovery*, diluted
+    /// over the full exhaustive read sequence.
+    Transient {
+        /// Per-bit flip probability in `[0, 1]`.
+        probability: f64,
+        /// Reads the corruption persists for before clearing (at
+        /// least 1).
+        duration: u64,
+    },
 }
 
 impl FaultModel {
@@ -71,6 +85,7 @@ impl FaultModel {
             Self::Seu { .. } => "seu",
             Self::StuckAt { .. } => "stuck-at",
             Self::Burst { .. } => "burst",
+            Self::Transient { .. } => "transient",
         }
     }
 
@@ -80,7 +95,19 @@ impl FaultModel {
         match *self {
             Self::Seu { probability }
             | Self::StuckAt { probability, .. }
-            | Self::Burst { probability, .. } => probability,
+            | Self::Burst { probability, .. }
+            | Self::Transient { probability, .. } => probability,
+        }
+    }
+
+    /// How many reads of a trial the corruption persists for: `None`
+    /// means it lasts the whole trial (only [`FaultModel::Transient`]
+    /// clears early).
+    #[must_use]
+    pub fn persistence(&self) -> Option<u64> {
+        match *self {
+            Self::Transient { duration, .. } => Some(duration),
+            _ => None,
         }
     }
 
@@ -102,6 +129,11 @@ impl FaultModel {
                 detail: "burst length must be at least 1".to_string(),
             });
         }
+        if let Self::Transient { duration: 0, .. } = self {
+            return Err(HwError::InvalidFaultModel {
+                detail: "transient duration must be at least 1 read".to_string(),
+            });
+        }
         Ok(())
     }
 
@@ -112,7 +144,7 @@ impl FaultModel {
     pub fn apply(&self, stored: &mut [(NetId, bool)], rng: &mut StdRng) -> usize {
         let mut changed = 0;
         match *self {
-            Self::Seu { probability } => {
+            Self::Seu { probability } | Self::Transient { probability, .. } => {
                 for (_, v) in stored.iter_mut() {
                     if rng.random_bool(probability) {
                         *v = !*v;
@@ -176,6 +208,12 @@ pub struct FaultReport {
     pub med: f64,
     /// Worst absolute error distance observed in any read.
     pub max_ed: u32,
+    /// Reads per trial evaluated while the fault was active: present
+    /// only for self-clearing models ([`FaultModel::Transient`]), where
+    /// reads after the window revert to fault-free behaviour. Additive
+    /// schema field — absent for persistent models.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faulty_reads: Option<u64>,
 }
 
 /// A prepared fault campaign against one instance.
@@ -272,6 +310,11 @@ impl<'a> FaultCampaign<'a> {
             });
         }
         let mut rng = StdRng::seed_from_u64(seed);
+        let words = self.golden.len() as u64;
+        // Self-clearing models only corrupt the first `active` reads of a
+        // trial; everything after reverts to the golden outputs, so those
+        // reads need no simulation at all (they count in the denominator).
+        let active = model.persistence().map_or(words, |d| d.min(words));
         let mut flipped_bits = 0usize;
         let mut wrong = 0u64;
         let mut sum_ed = 0.0f64;
@@ -282,11 +325,18 @@ impl<'a> FaultCampaign<'a> {
             let mut stored = self.inst.presets().to_vec();
             flipped_bits += model.apply(&mut stored, &mut rng);
             let mut sim = self.inst.batch_simulator_with_presets(&stored)?;
+            let mut base = 0u64;
             for (block_in, golden) in self.addresses.chunks(LANES).zip(self.golden.chunks(LANES)) {
+                if base >= active {
+                    break;
+                }
                 let outs = &mut outs[..block_in.len()];
                 self.inst.read_block(&mut sim, block_in, outs);
                 blocks += 1;
-                for (&y, &g) in outs.iter().zip(golden) {
+                for (lane, (&y, &g)) in outs.iter().zip(golden).enumerate() {
+                    if base + lane as u64 >= active {
+                        break;
+                    }
                     if y != g {
                         wrong += 1;
                         let ed = g.abs_diff(y);
@@ -294,9 +344,10 @@ impl<'a> FaultCampaign<'a> {
                         max_ed = max_ed.max(ed);
                     }
                 }
+                base += block_in.len() as u64;
             }
         }
-        let reads = self.golden.len() as u64 * trials as u64;
+        let reads = words * trials as u64;
         if observer.enabled() {
             observer.on_event(&SearchEvent::SimBatch {
                 engine: "batch".to_string(),
@@ -313,6 +364,7 @@ impl<'a> FaultCampaign<'a> {
             error_rate: wrong as f64 / reads as f64,
             med: sum_ed / reads as f64,
             max_ed,
+            faulty_reads: model.persistence().map(|_| active),
         })
     }
 }
@@ -382,6 +434,9 @@ pub fn fault_report_scalar(
     let golden: Vec<u32> = (0..words).map(|x| inst.read(&mut sim, x)).collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
+    let active = model
+        .persistence()
+        .map_or(u64::from(words), |d| d.min(u64::from(words)));
     let mut flipped_bits = 0usize;
     let mut wrong = 0u64;
     let mut sum_ed = 0.0f64;
@@ -390,7 +445,7 @@ pub fn fault_report_scalar(
         let mut stored = inst.presets().to_vec();
         flipped_bits += model.apply(&mut stored, &mut rng);
         let mut sim = inst.simulator_with_presets(&stored)?;
-        for (x, &g) in golden.iter().enumerate() {
+        for (x, &g) in golden.iter().enumerate().take(active as usize) {
             let y = inst.read(&mut sim, x as u32);
             if y != g {
                 wrong += 1;
@@ -411,6 +466,7 @@ pub fn fault_report_scalar(
         error_rate: wrong as f64 / reads as f64,
         med: sum_ed / reads as f64,
         max_ed,
+        faulty_reads: model.persistence().map(|_| active),
     })
 }
 
@@ -510,6 +566,10 @@ mod tests {
                 probability: 0.1,
                 length: 0,
             },
+            FaultModel::Transient {
+                probability: 0.1,
+                duration: 0,
+            },
         ] {
             assert!(matches!(
                 fault_report(&inst, &model, 1, 0),
@@ -535,11 +595,65 @@ mod tests {
                 probability: 0.05,
                 length: 3,
             },
+            FaultModel::Transient {
+                probability: 0.2,
+                duration: 7,
+            },
+            FaultModel::Transient {
+                probability: 0.2,
+                duration: 64,
+            },
+            FaultModel::Transient {
+                probability: 0.2,
+                duration: 65,
+            },
         ] {
             let fast = fault_report(&inst, &model, 5, 42).unwrap();
             let slow = fault_report_scalar(&inst, &model, 5, 42).unwrap();
             assert_eq!(fast, slow, "batched vs scalar diverged for {model:?}");
         }
+    }
+
+    #[test]
+    fn transient_fault_clears_after_its_window() {
+        let inst = inst();
+        let words = 1u64 << inst.inputs();
+        // A whole-trial transient behaves exactly like an SEU of the same
+        // probability and seed — only the report labelling differs.
+        let seu = fault_report(&inst, &FaultModel::Seu { probability: 0.3 }, 4, 11).unwrap();
+        let full = fault_report(
+            &inst,
+            &FaultModel::Transient {
+                probability: 0.3,
+                duration: words,
+            },
+            4,
+            11,
+        )
+        .unwrap();
+        assert_eq!(full.model, "transient");
+        assert_eq!(full.faulty_reads, Some(words));
+        assert_eq!(seu.faulty_reads, None);
+        assert_eq!(
+            (full.error_rate, full.med, full.max_ed),
+            (seu.error_rate, seu.med, seu.max_ed)
+        );
+        // A short window dilutes the damage: errors can only come from
+        // the first `duration` reads of each trial.
+        let short = fault_report(
+            &inst,
+            &FaultModel::Transient {
+                probability: 0.3,
+                duration: 3,
+            },
+            4,
+            11,
+        )
+        .unwrap();
+        assert_eq!(short.faulty_reads, Some(3));
+        assert_eq!(short.flipped_bits, full.flipped_bits);
+        assert!(short.error_rate <= 4.0 * 3.0 / (words as f64 * 4.0));
+        assert!(short.med <= full.med);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! A built architecture instance and its characterisation (area, timing,
 //! energy per read — the paper's Fig. 5 metrics).
 
+use crate::arch::HwError;
 use dalut_core::{NoopObserver, Observer, SearchEvent};
 use dalut_netlist::{
     area_um2, critical_path_ns, power_report, BatchSimulator, CellLibrary, DomainId, NetId,
     Netlist, NetlistError, PowerReport, Simulator, LANES,
 };
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// A fully built hardware instance: netlist plus the ROM presets and
 /// clock-gating choices that realise one configuration.
@@ -17,6 +19,10 @@ pub struct ArchInstance {
     disabled: Vec<DomainId>,
     inputs: usize,
     outputs: usize,
+    /// Per-output-bit range into `presets` holding that bit's bound
+    /// table (the runtime-rewritable region). Empty for instances built
+    /// without a recorded layout (rounding baselines, hardened copies).
+    bound_ranges: Vec<Range<usize>>,
 }
 
 impl ArchInstance {
@@ -33,7 +39,13 @@ impl ArchInstance {
             disabled,
             inputs,
             outputs,
+            bound_ranges: Vec::new(),
         }
+    }
+
+    pub(crate) fn with_bound_ranges(mut self, bound_ranges: Vec<Range<usize>>) -> Self {
+        self.bound_ranges = bound_ranges;
+        self
     }
 
     /// The underlying netlist.
@@ -64,6 +76,67 @@ impl ArchInstance {
         &self.presets
     }
 
+    /// The range into [`presets`](Self::presets) holding output bit
+    /// `bit`'s bound table — the region the DFF write port can rewrite
+    /// at runtime ([`rewrite_bound_table`](Self::rewrite_bound_table)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::NoBoundTable`] if the instance records no
+    /// bound-table layout for that bit (out of range, or a rounding
+    /// baseline / hardened copy).
+    pub fn bound_table_range(&self, bit: usize) -> Result<Range<usize>, HwError> {
+        self.bound_ranges
+            .get(bit)
+            .cloned()
+            .ok_or(HwError::NoBoundTable { bit })
+    }
+
+    /// Reads back the stored bound-table contents of output bit `bit`,
+    /// in bound-column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::NoBoundTable`] as
+    /// [`bound_table_range`](Self::bound_table_range).
+    pub fn bound_table(&self, bit: usize) -> Result<Vec<bool>, HwError> {
+        let range = self.bound_table_range(bit)?;
+        Ok(self.presets[range].iter().map(|&(_, v)| v).collect())
+    }
+
+    /// Rewrites output bit `bit`'s bound table in place through the
+    /// writable-DFF path — the library form of the
+    /// `runtime_reprogram` example's write loop. Only differing entries
+    /// are written (a diff write, as a runtime controller would issue);
+    /// returns the number of single-bit writes performed.
+    ///
+    /// The instance keeps serving its other tables untouched: the next
+    /// [`simulator`](Self::simulator) / [`batch_simulator`](Self::batch_simulator)
+    /// loads the new contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::NoBoundTable`] if no layout is recorded for
+    /// `bit`, and [`HwError::TableShape`] if `pattern` does not match
+    /// the table's entry count.
+    pub fn rewrite_bound_table(&mut self, bit: usize, pattern: &[bool]) -> Result<usize, HwError> {
+        let range = self.bound_table_range(bit)?;
+        if pattern.len() != range.len() {
+            return Err(HwError::TableShape {
+                expected: range.len(),
+                got: pattern.len(),
+            });
+        }
+        let mut writes = 0;
+        for (slot, &v) in self.presets[range].iter_mut().zip(pattern) {
+            if slot.1 != v {
+                slot.1 = v;
+                writes += 1;
+            }
+        }
+        Ok(writes)
+    }
+
     /// Returns a *hardened* copy: the netlist run through constant
     /// propagation and dead-cell elimination
     /// ([`dalut_netlist::optimize`]), with the ROM presets carried over.
@@ -84,6 +157,10 @@ impl ArchInstance {
             disabled: self.disabled.clone(),
             inputs: self.inputs,
             outputs: self.outputs,
+            // Optimisation may drop preset DFFs, invalidating recorded
+            // table offsets — a hardened copy models fixed-function
+            // synthesis and is not runtime-rewritable.
+            bound_ranges: Vec::new(),
         }
     }
 
@@ -432,6 +509,74 @@ mod tests {
         for x in 0..64u32 {
             assert_eq!(hard.read(&mut sim, x), cfg.eval(x));
         }
+    }
+
+    #[test]
+    fn bound_table_readback_and_rewrite() {
+        use dalut_core::{ApproxLutConfig, BitConfig};
+        use dalut_decomp::{AnyDecomp, BtoDecomp};
+        // Two pure-BTO bits: each output is its bound table directly, so
+        // a rewrite is observable on every read.
+        let p = dalut_boolfn::Partition::new(6, 0b000111).unwrap();
+        let pat_a: Vec<bool> = (0..8).map(|c| c % 2 == 0).collect();
+        let pat_b: Vec<bool> = (0..8).map(|c| c % 3 == 0).collect();
+        let bits = (0..2usize)
+            .map(|bit| BitConfig {
+                bit,
+                decomp: AnyDecomp::Bto(BtoDecomp::new(p, pat_a.clone()).unwrap()),
+                expected_error: 0.0,
+            })
+            .collect();
+        let cfg = ApproxLutConfig::new(6, 2, bits).unwrap();
+        let mut inst = build_approx_lut(&cfg, ArchStyle::BtoNormal).unwrap();
+        assert_eq!(inst.bound_table(0).unwrap(), pat_a);
+        assert_eq!(inst.bound_table(1).unwrap(), pat_a);
+
+        let expected_writes = pat_a.iter().zip(&pat_b).filter(|(x, y)| x != y).count();
+        assert_eq!(
+            inst.rewrite_bound_table(1, &pat_b).unwrap(),
+            expected_writes
+        );
+        // A second identical rewrite is a no-op diff write.
+        assert_eq!(inst.rewrite_bound_table(1, &pat_b).unwrap(), 0);
+        assert_eq!(inst.bound_table(0).unwrap(), pat_a);
+        assert_eq!(inst.bound_table(1).unwrap(), pat_b);
+
+        // The next simulator serves the rewritten contents: bit 0 still
+        // follows pat_a, bit 1 now follows pat_b.
+        let mut sim = inst.simulator().unwrap();
+        for x in 0..64u32 {
+            let col = (x & 7) as usize;
+            let y = inst.read(&mut sim, x);
+            assert_eq!(y & 1 == 1, pat_a[col], "bit 0 at x={x:06b}");
+            assert_eq!(y >> 1 & 1 == 1, pat_b[col], "bit 1 at x={x:06b}");
+        }
+    }
+
+    #[test]
+    fn rewrite_rejects_bad_bits_and_shapes() {
+        let (mut inst, _) = instance(7);
+        let m = inst.outputs();
+        assert!(matches!(
+            inst.bound_table(m),
+            Err(crate::HwError::NoBoundTable { .. })
+        ));
+        let entries = inst.bound_table(0).unwrap().len();
+        assert!(matches!(
+            inst.rewrite_bound_table(0, &vec![true; entries + 1]),
+            Err(crate::HwError::TableShape { .. })
+        ));
+        // Rounding baselines and hardened copies record no layout.
+        let g = dalut_boolfn::TruthTable::from_fn(6, 3, |x| x & 7).unwrap();
+        let round = crate::rounding::build_round_out(&g, 1);
+        assert!(matches!(
+            round.bound_table(0),
+            Err(crate::HwError::NoBoundTable { bit: 0 })
+        ));
+        assert!(matches!(
+            inst.hardened().bound_table(0),
+            Err(crate::HwError::NoBoundTable { bit: 0 })
+        ));
     }
 
     #[test]

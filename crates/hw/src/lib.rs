@@ -42,6 +42,7 @@ pub mod cache;
 pub mod fault;
 pub mod instance;
 pub mod lut;
+pub mod reprogram;
 pub mod rounding;
 pub mod routing;
 
@@ -50,4 +51,5 @@ pub use cache::InstanceCache;
 pub use fault::{fault_report, fault_report_scalar, FaultCampaign, FaultModel, FaultReport};
 pub use instance::{characterize, characterize_observed, ArchInstance, ArchReport};
 pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};
+pub use reprogram::WritableBoundTable;
 pub use rounding::{build_round_in, build_round_out, round_in_table, round_out_table};

@@ -1,0 +1,200 @@
+//! Runtime reprogramming of a bound table through its DFF write port.
+//!
+//! The paper's tables are "RAMs consisting of D flip-flops", so a built
+//! instance can be *rewritten* in place instead of resynthesised. This
+//! module packages the gate-level flow the `runtime_reprogram` example
+//! pioneered — a writable bound table with an address decoder and
+//! single-bit write port — as a reusable [`WritableBoundTable`], and is
+//! the hardware grounding for [`ArchInstance::rewrite_bound_table`]
+//! (which models the same diff-write sequence at the preset level).
+//!
+//! ```
+//! use dalut_boolfn::Partition;
+//! use dalut_hw::WritableBoundTable;
+//!
+//! let part = Partition::new(4, 0b1100).unwrap();
+//! let hw = WritableBoundTable::new(4, part, &[false, true, true, false]).unwrap();
+//! let mut sim = hw.simulator().unwrap();
+//! assert_eq!(hw.read_all(&mut sim), vec![false, true, true, false]);
+//! let writes = hw.reprogram(&mut sim, &[true, true, false, false]).unwrap();
+//! assert_eq!(writes, 2);
+//! assert_eq!(hw.read_all(&mut sim), vec![true, true, false, false]);
+//! ```
+//!
+//! [`ArchInstance::rewrite_bound_table`]: crate::ArchInstance::rewrite_bound_table
+
+use crate::arch::HwError;
+use crate::lut::dff_lut_writable;
+use dalut_boolfn::Partition;
+use dalut_netlist::{Netlist, Simulator, ROOT_DOMAIN};
+
+/// A standalone writable bound table: one `2^b`-entry DFF-RAM LUT
+/// addressed by the bound variables of `part`, with a single-bit write
+/// port (`wdata`/`wen`/`waddr` inputs) for in-place reprogramming.
+///
+/// Input word layout for [`Simulator::eval_word`]:
+/// `[x (n bits) | wdata | wen | waddr (b bits)]`, LSB first.
+#[derive(Debug)]
+pub struct WritableBoundTable {
+    nl: Netlist,
+    presets: Vec<(dalut_netlist::NetId, bool)>,
+    n: usize,
+    bound_vars: Vec<u32>,
+}
+
+impl WritableBoundTable {
+    /// Builds the hardware: routing from the `n` input bits to the bound
+    /// columns of `part`, the writable LUT, and the write-port pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::TableShape`] unless `init` holds exactly
+    /// `2^bound_size` entries.
+    pub fn new(n: usize, part: Partition, init: &[bool]) -> Result<Self, HwError> {
+        let b = part.bound_size();
+        if init.len() != 1 << b {
+            return Err(HwError::TableShape {
+                expected: 1 << b,
+                got: init.len(),
+            });
+        }
+        let mut nl = Netlist::new("reprogrammable_bound_table");
+        let x = nl.input_bus("x", n);
+        let wdata = nl.input("wdata");
+        let wen = nl.input("wen");
+        let waddr = nl.input_bus("waddr", b);
+        let bound_vars = part.bound_vars();
+        let bound_nets: Vec<_> = bound_vars.iter().map(|&v| x[v as usize]).collect();
+        let lut = dff_lut_writable(&mut nl, init, &bound_nets, wdata, wen, &waddr, ROOT_DOMAIN);
+        nl.output("y", lut.output);
+        Ok(Self {
+            nl,
+            presets: lut.presets,
+            n,
+            bound_vars,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Number of table entries (`2^bound_size`).
+    pub fn entries(&self) -> usize {
+        1 << self.bound_vars.len()
+    }
+
+    /// Creates a simulator with the initial contents loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::Netlist`] if the netlist cannot be simulated.
+    pub fn simulator(&self) -> Result<Simulator<'_>, HwError> {
+        let mut sim = Simulator::new(&self.nl)?;
+        for &(q, v) in &self.presets {
+            sim.preset_dff(q, v)?;
+        }
+        Ok(sim)
+    }
+
+    /// Reads the stored bit for one bound column (a read cycle with the
+    /// write port idle).
+    pub fn read_bit(&self, sim: &mut Simulator<'_>, column: u64) -> bool {
+        // Column bit j drives bound variable j of x; `y` is the only
+        // output, so `eval_word` returns it in bit 0.
+        let mut word = 0u64;
+        for (j, &v) in self.bound_vars.iter().enumerate() {
+            word |= ((column >> j) & 1) << v;
+        }
+        sim.eval_word(word) == 1
+    }
+
+    /// Reads back the whole table, in bound-column order.
+    pub fn read_all(&self, sim: &mut Simulator<'_>) -> Vec<bool> {
+        (0..self.entries() as u64)
+            .map(|c| self.read_bit(sim, c))
+            .collect()
+    }
+
+    /// Writes one bit: a cycle with `wen` high, the write address
+    /// selecting `entry` and `wdata` carrying `value`.
+    pub fn write_bit(&self, sim: &mut Simulator<'_>, entry: u64, value: bool) {
+        let w = (u64::from(value) << self.n) | (1u64 << (self.n + 1)) | (entry << (self.n + 2));
+        sim.eval_word(w);
+    }
+
+    /// Reprograms the table to `pattern` with a diff write — only
+    /// entries whose stored value differs are written. Returns the
+    /// number of single-bit write cycles issued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::TableShape`] unless `pattern` covers every
+    /// entry.
+    pub fn reprogram(&self, sim: &mut Simulator<'_>, pattern: &[bool]) -> Result<usize, HwError> {
+        if pattern.len() != self.entries() {
+            return Err(HwError::TableShape {
+                expected: self.entries(),
+                got: pattern.len(),
+            });
+        }
+        let mut writes = 0;
+        for (entry, &v) in pattern.iter().enumerate() {
+            if self.read_bit(sim, entry as u64) != v {
+                self.write_bit(sim, entry as u64, v);
+                writes += 1;
+            }
+        }
+        Ok(writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let part = Partition::new(6, 0b111000).unwrap();
+        assert!(matches!(
+            WritableBoundTable::new(6, part, &[true; 4]),
+            Err(HwError::TableShape {
+                expected: 8,
+                got: 4
+            })
+        ));
+        let hw = WritableBoundTable::new(6, part, &[false; 8]).unwrap();
+        let mut sim = hw.simulator().unwrap();
+        assert!(matches!(
+            hw.reprogram(&mut sim, &[true; 3]),
+            Err(HwError::TableShape { .. })
+        ));
+    }
+
+    #[test]
+    fn serves_then_rewrites_in_place() {
+        let part = Partition::new(6, 0b111000).unwrap();
+        let a: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let hw = WritableBoundTable::new(6, part, &a).unwrap();
+        let mut sim = hw.simulator().unwrap();
+        assert_eq!(hw.read_all(&mut sim), a);
+        let expected = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert_eq!(hw.reprogram(&mut sim, &b).unwrap(), expected);
+        assert_eq!(hw.read_all(&mut sim), b);
+        // Reprogramming to the same contents is free.
+        assert_eq!(hw.reprogram(&mut sim, &b).unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_do_not_disturb_storage() {
+        let part = Partition::new(4, 0b0011).unwrap();
+        let pat = vec![true, false, false, true];
+        let hw = WritableBoundTable::new(4, part, &pat).unwrap();
+        let mut sim = hw.simulator().unwrap();
+        for _ in 0..3 {
+            assert_eq!(hw.read_all(&mut sim), pat);
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! The online error-SLO controller.
+
+use crate::error::RuntimeError;
+use crate::slo::ErrorSlo;
+use crate::variant::{Variant, VariantBank};
+use dalut_boolfn::{InputDistribution, TruthTable};
+use dalut_core::{Observer, SearchEvent};
+use dalut_hw::FaultModel;
+use dalut_netlist::{NetId, LANES};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What the controller did in one epoch (at most one action per epoch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ControlAction {
+    /// Monitoring only.
+    None,
+    /// A suspected fault triggered a configuration scrub.
+    Scrubbed {
+        /// Stored bits corrected back to the variant's golden contents.
+        repaired_bits: usize,
+    },
+    /// Hot-swapped to the next, more accurate variant.
+    Upgraded {
+        /// Label served before the swap.
+        from: String,
+        /// Label serving after the swap.
+        to: String,
+    },
+    /// Hot-swapped back to the next cheaper variant.
+    Relaxed {
+        /// Label served before the swap.
+        from: String,
+        /// Label serving after the swap.
+        to: String,
+    },
+}
+
+/// One epoch of controller telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based, monotonically increasing).
+    pub epoch: u64,
+    /// This epoch's sampled mean absolute error.
+    pub observed_err: f64,
+    /// Windowed mean error after folding in this epoch.
+    pub window_err: f64,
+    /// Whether the windowed error exceeded the SLO target this epoch.
+    pub violated: bool,
+    /// The action taken (after the measurement).
+    pub action: ControlAction,
+    /// Ladder index of the variant serving at the end of the epoch.
+    pub variant_index: usize,
+    /// Label of the variant serving at the end of the epoch.
+    pub variant: String,
+    /// Configuration bits written this epoch (scrub repairs or a swap).
+    pub writes: u64,
+    /// Energy charged to this epoch: served reads at the pre-action
+    /// variant's per-read energy, plus configuration writes.
+    pub energy_fj: f64,
+}
+
+/// Running totals across every epoch a controller has stepped.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControlTotals {
+    /// Epochs stepped.
+    pub epochs: u64,
+    /// Epochs whose windowed error violated the SLO.
+    pub violated_epochs: u64,
+    /// Scrub actions taken.
+    pub scrubs: u64,
+    /// Stored bits corrected across all scrubs.
+    pub bits_repaired: u64,
+    /// Upgrade swaps taken.
+    pub upgrades: u64,
+    /// Relax swaps taken.
+    pub relaxes: u64,
+    /// Total configuration bits written.
+    pub writes: u64,
+    /// Total energy charged (fJ).
+    pub energy_fj: f64,
+    /// Sum of per-epoch observed errors (for the mean).
+    pub err_sum: f64,
+}
+
+impl ControlTotals {
+    /// Fraction of epochs in violation (0 if none stepped).
+    pub fn violation_rate(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.violated_epochs as f64 / self.epochs as f64
+        }
+    }
+
+    /// Mean of the per-epoch observed errors (0 if none stepped).
+    pub fn mean_err(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.err_sum / self.epochs as f64
+        }
+    }
+}
+
+/// An online controller wrapping one live approximate-LUT instance.
+///
+/// Per [`step`](Self::step) the controller samples reads from the live
+/// input distribution, measures the served error against the golden
+/// target on the batched simulator, and reacts under its
+/// [`ErrorSlo`] policy: a sudden error jump is treated as a suspected
+/// storage fault and *scrubbed* (the stored bits diff-written back to
+/// the serving variant's golden contents); sustained drift above the
+/// target *upgrades* to the next, more accurate pre-compiled variant;
+/// ample margin *relaxes* back down the ladder. Every transition is
+/// emitted as a [`SearchEvent`] so the existing observer/metrics stack
+/// counts it.
+///
+/// The controller holds no wall-clock state — two controllers stepped
+/// with equal seeds and scripts produce bit-identical reports.
+#[derive(Debug)]
+pub struct Controller<'a> {
+    target: TruthTable,
+    dist: InputDistribution,
+    cdf: Vec<f64>,
+    bank: &'a VariantBank,
+    slo: ErrorSlo,
+    current: usize,
+    stored: Vec<(NetId, bool)>,
+    window: VecDeque<f64>,
+    prev_err: Option<f64>,
+    dwell: usize,
+    epoch: u64,
+    in_violation: bool,
+    actions_enabled: bool,
+    totals: ControlTotals,
+}
+
+impl<'a> Controller<'a> {
+    /// Attaches a controller to `bank`, serving variant `start` with the
+    /// golden configuration loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidSlo`] on a bad policy, or
+    /// [`RuntimeError::InvalidRequest`] if `start` is out of range or
+    /// `target`/`dist` do not match the bank's interface.
+    pub fn new(
+        target: &TruthTable,
+        dist: InputDistribution,
+        bank: &'a VariantBank,
+        start: usize,
+        slo: ErrorSlo,
+    ) -> Result<Self, RuntimeError> {
+        slo.validate()?;
+        if start >= bank.len() {
+            return Err(RuntimeError::InvalidRequest {
+                detail: format!(
+                    "start index {start} out of range for {} variants",
+                    bank.len()
+                ),
+            });
+        }
+        let inst = bank.get(start).instance();
+        if target.inputs() != inst.inputs() || target.outputs() != inst.outputs() {
+            return Err(RuntimeError::InvalidRequest {
+                detail: format!(
+                    "target is {}x{} but the bank serves {}x{}",
+                    target.inputs(),
+                    target.outputs(),
+                    inst.inputs(),
+                    inst.outputs()
+                ),
+            });
+        }
+        if dist.inputs() != target.inputs() {
+            return Err(RuntimeError::InvalidRequest {
+                detail: format!(
+                    "distribution covers {} input bits, target has {}",
+                    dist.inputs(),
+                    target.inputs()
+                ),
+            });
+        }
+        let cdf = cumulative(&dist);
+        let stored = inst.presets().to_vec();
+        Ok(Self {
+            target: target.clone(),
+            dist,
+            cdf,
+            bank,
+            slo,
+            current: start,
+            stored,
+            window: VecDeque::new(),
+            prev_err: None,
+            dwell: 0,
+            epoch: 0,
+            in_violation: false,
+            actions_enabled: true,
+            totals: ControlTotals::default(),
+        })
+    }
+
+    /// Enables or disables corrective actions. With actions off the
+    /// controller still measures, windows and reports violations — the
+    /// "uncontrolled" baseline arm — but never scrubs or swaps, so the
+    /// served hardware stays bit-identical to an unmanaged instance.
+    #[must_use]
+    pub fn with_actions(mut self, enabled: bool) -> Self {
+        self.actions_enabled = enabled;
+        self
+    }
+
+    /// Replaces the live input distribution (workload drift).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidRequest`] on a width mismatch.
+    pub fn set_distribution(&mut self, dist: InputDistribution) -> Result<(), RuntimeError> {
+        if dist.inputs() != self.target.inputs() {
+            return Err(RuntimeError::InvalidRequest {
+                detail: format!(
+                    "distribution covers {} input bits, target has {}",
+                    dist.inputs(),
+                    self.target.inputs()
+                ),
+            });
+        }
+        self.cdf = cumulative(&dist);
+        self.dist = dist;
+        Ok(())
+    }
+
+    /// Applies a fault model to the *live* stored bits (the copy the
+    /// controller serves from), returning how many flipped. The golden
+    /// per-variant contents are untouched — that is what scrubbing
+    /// restores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Hw`] if the model's parameters are
+    /// invalid.
+    pub fn inject(&mut self, model: &FaultModel, rng: &mut StdRng) -> Result<usize, RuntimeError> {
+        model.validate()?;
+        Ok(model.apply(&mut self.stored, rng))
+    }
+
+    /// Diff-writes the stored bits back to the serving variant's golden
+    /// contents, returning the number of corrected bits.
+    pub fn scrub(&mut self) -> usize {
+        let golden = self.bank.get(self.current).instance().presets();
+        let mut repaired = 0;
+        for (slot, &(q, v)) in self.stored.iter_mut().zip(golden) {
+            debug_assert_eq!(slot.0, q, "scrub must target the same DFFs");
+            if slot.1 != v {
+                slot.1 = v;
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    /// Number of stored bits currently differing from the serving
+    /// variant's golden contents.
+    pub fn corrupted_bits(&self) -> usize {
+        let golden = self.bank.get(self.current).instance().presets();
+        self.stored
+            .iter()
+            .zip(golden)
+            .filter(|(s, g)| s.1 != g.1)
+            .count()
+    }
+
+    /// Ladder index of the serving variant.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// The serving variant.
+    pub fn current_variant(&self) -> &Variant {
+        self.bank.get(self.current)
+    }
+
+    /// The policy in force.
+    pub fn slo(&self) -> &ErrorSlo {
+        &self.slo
+    }
+
+    /// Epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Running totals.
+    pub fn totals(&self) -> &ControlTotals {
+        &self.totals
+    }
+
+    /// Exhaustively reads every input through the *live* stored bits —
+    /// the bit-exactness oracle for scrub and idleness tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Netlist`] if the instance cannot be
+    /// simulated.
+    pub fn read_all(&self) -> Result<Vec<u32>, RuntimeError> {
+        let inst = self.bank.get(self.current).instance();
+        let mut sim = inst.batch_simulator_with_presets(&self.stored)?;
+        let len = 1usize << inst.inputs();
+        let mut out = vec![0u32; len];
+        let reads: Vec<u32> = (0..len as u32).collect();
+        for (rc, oc) in reads.chunks(LANES).zip(out.chunks_mut(LANES)) {
+            inst.read_block(&mut sim, rc, oc);
+        }
+        Ok(out)
+    }
+
+    /// Runs one epoch: sample, measure, detect, react. Returns the
+    /// epoch's telemetry; emits [`SearchEvent`]s on the observer for
+    /// every detection and transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Netlist`] if the serving instance cannot
+    /// be simulated.
+    pub fn step(
+        &mut self,
+        rng: &mut StdRng,
+        observer: &dyn Observer,
+    ) -> Result<EpochReport, RuntimeError> {
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        // Measure: sample reads from the live distribution and compare
+        // the served outputs against the golden target.
+        let samples: Vec<u32> = (0..self.slo.samples_per_epoch)
+            .map(|_| self.sample(rng))
+            .collect();
+        let observed = self.sampled_error(&samples)?;
+        let jump = self.prev_err.map_or(0.0, |p| observed - p);
+        self.prev_err = Some(observed);
+        if self.window.len() == self.slo.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(observed);
+        let window_err = self.window.iter().sum::<f64>() / self.window.len() as f64;
+
+        // Detect: violation entry/exit with edge-triggered events.
+        let violated = window_err > self.slo.target;
+        if observer.enabled() {
+            if violated && !self.in_violation {
+                observer.on_event(&SearchEvent::SloViolated {
+                    observed: window_err,
+                    target: self.slo.target,
+                });
+            }
+            if !violated && self.in_violation {
+                observer.on_event(&SearchEvent::SloRecovered {
+                    observed: window_err,
+                    target: self.slo.target,
+                });
+            }
+        }
+        self.in_violation = violated;
+
+        // Energy for the epoch's served reads is charged at the variant
+        // that actually served them (pre-action).
+        let serving_fj =
+            self.slo.epoch_reads as f64 * self.bank.get(self.current).energy_per_read_fj();
+        let mut writes = 0u64;
+        let mut action = ControlAction::None;
+
+        if self.actions_enabled {
+            // React, at most once per epoch, in priority order: a sudden
+            // jump means the stored bits are suspect — scrub before
+            // spending energy on an upgrade the fault would waste.
+            if jump > self.slo.fault_jump {
+                if observer.enabled() {
+                    observer.on_event(&SearchEvent::FaultSuspected {
+                        jump,
+                        threshold: self.slo.fault_jump,
+                    });
+                }
+                let repaired = self.scrub();
+                if observer.enabled() {
+                    observer.on_event(&SearchEvent::ScrubCompleted {
+                        repaired_bits: repaired,
+                    });
+                }
+                writes += repaired as u64;
+                self.totals.scrubs += 1;
+                self.totals.bits_repaired += repaired as u64;
+                if repaired > 0 {
+                    // The measurement described damaged hardware; start
+                    // the monitor fresh on the repaired instance.
+                    self.reset_monitor();
+                    self.dwell = 0;
+                    action = ControlAction::Scrubbed {
+                        repaired_bits: repaired,
+                    };
+                } else {
+                    // Clean storage: the jump is genuine drift, fall
+                    // through to the swap logic below.
+                    action = ControlAction::Scrubbed { repaired_bits: 0 };
+                }
+            }
+            let scrub_repaired =
+                matches!(action, ControlAction::Scrubbed { repaired_bits } if repaired_bits > 0);
+            if !scrub_repaired && violated && self.dwell >= self.slo.min_dwell {
+                if self.current + 1 < self.bank.len() {
+                    let from = self.bank.get(self.current).label().to_owned();
+                    writes += self.swap(self.current + 1);
+                    let to = self.bank.get(self.current).label().to_owned();
+                    if observer.enabled() {
+                        observer.on_event(&SearchEvent::VariantSwapped {
+                            from: from.clone(),
+                            to: to.clone(),
+                            upgrade: true,
+                        });
+                    }
+                    self.totals.upgrades += 1;
+                    action = ControlAction::Upgraded { from, to };
+                }
+            } else if !scrub_repaired
+                && !violated
+                && matches!(action, ControlAction::None)
+                && self.window.len() == self.slo.window
+                && self.dwell >= self.slo.min_dwell
+                && self.current > 0
+                && window_err < self.slo.target * self.slo.relax_margin
+            {
+                // Relax only after a shadow evaluation: replay this
+                // epoch's samples through the cheaper variant's golden
+                // configuration and step down only if *it* would also
+                // sit inside the hysteresis band on the live workload.
+                // (A nominal-error heuristic here thrashes under drift:
+                // the design-distribution MED says nothing about the
+                // distribution currently being served.)
+                let shadow = self.shadow_error(self.current - 1, &samples)?;
+                if shadow < self.slo.target * self.slo.relax_margin {
+                    let from = self.bank.get(self.current).label().to_owned();
+                    writes += self.swap(self.current - 1);
+                    let to = self.bank.get(self.current).label().to_owned();
+                    if observer.enabled() {
+                        observer.on_event(&SearchEvent::VariantSwapped {
+                            from: from.clone(),
+                            to: to.clone(),
+                            upgrade: false,
+                        });
+                    }
+                    self.totals.relaxes += 1;
+                    action = ControlAction::Relaxed { from, to };
+                }
+            }
+        }
+        match action {
+            ControlAction::None | ControlAction::Scrubbed { repaired_bits: 0 } => self.dwell += 1,
+            _ => {}
+        }
+
+        let energy_fj = serving_fj + writes as f64 * self.slo.write_energy_fj;
+        self.totals.epochs += 1;
+        self.totals.violated_epochs += u64::from(violated);
+        self.totals.writes += writes;
+        self.totals.energy_fj += energy_fj;
+        self.totals.err_sum += observed;
+
+        Ok(EpochReport {
+            epoch,
+            observed_err: observed,
+            window_err,
+            violated,
+            action,
+            variant_index: self.current,
+            variant: self.bank.get(self.current).label().to_owned(),
+            writes,
+            energy_fj,
+        })
+    }
+
+    /// Hot-swap: load variant `to`'s golden contents into the live
+    /// stored bits. Modelled as a full configuration rewrite, so the
+    /// write count is the fabric's preset footprint.
+    fn swap(&mut self, to: usize) -> u64 {
+        self.stored = self.bank.get(to).instance().presets().to_vec();
+        self.current = to;
+        self.reset_monitor();
+        self.dwell = 0;
+        self.stored.len() as u64
+    }
+
+    fn reset_monitor(&mut self) {
+        self.window.clear();
+        self.prev_err = None;
+        // `in_violation` is left alone: recovery is reported from the
+        // next measurement, not assumed.
+    }
+
+    /// Draws one input code by inverse-CDF sampling.
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let r: f64 = rng.random();
+        self.cdf.partition_point(|&c| c <= r) as u32
+    }
+
+    /// Mean absolute served error over `samples`, measured on the
+    /// batched simulator with the live stored bits loaded.
+    fn sampled_error(&self, samples: &[u32]) -> Result<f64, RuntimeError> {
+        self.measured_error(self.current, &self.stored, samples)
+    }
+
+    /// Shadow evaluation: the error variant `index` *would* serve on
+    /// `samples`, measured from its golden (uncorrupted) configuration.
+    fn shadow_error(&self, index: usize, samples: &[u32]) -> Result<f64, RuntimeError> {
+        let presets = self.bank.get(index).instance().presets().to_vec();
+        self.measured_error(index, &presets, samples)
+    }
+
+    fn measured_error(
+        &self,
+        index: usize,
+        presets: &[(NetId, bool)],
+        samples: &[u32],
+    ) -> Result<f64, RuntimeError> {
+        let inst = self.bank.get(index).instance();
+        let mut sim = inst.batch_simulator_with_presets(presets)?;
+        let mut out = vec![0u32; samples.len()];
+        for (rc, oc) in samples.chunks(LANES).zip(out.chunks_mut(LANES)) {
+            inst.read_block(&mut sim, rc, oc);
+        }
+        let total: f64 = samples
+            .iter()
+            .zip(&out)
+            .map(|(&x, &y)| (f64::from(self.target.eval(x)) - f64::from(y)).abs())
+            .sum();
+        Ok(total / samples.len() as f64)
+    }
+}
+
+/// Cumulative distribution over the input codes, for inverse sampling.
+/// `cdf[x]` is `P(X <= x)`; the final entry is clamped to cover 1.0.
+fn cumulative(dist: &InputDistribution) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = dist
+        .to_vec()
+        .into_iter()
+        .map(|p| {
+            acc += p;
+            acc
+        })
+        .collect();
+    if let Some(last) = cdf.last_mut() {
+        *last = f64::INFINITY;
+    }
+    cdf
+}

@@ -1,0 +1,79 @@
+//! Typed errors for the runtime controller.
+
+use dalut_boolfn::BoolFnError;
+use dalut_hw::HwError;
+use dalut_netlist::NetlistError;
+use std::fmt;
+
+/// Errors raised while building or driving a [`Controller`].
+///
+/// [`Controller`]: crate::Controller
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// An [`ErrorSlo`](crate::ErrorSlo) field is out of range.
+    InvalidSlo {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A [`VariantBank`](crate::VariantBank) violates its invariants
+    /// (empty, mismatched interfaces, or a non-monotone ladder).
+    InvalidBank {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A controller request was inconsistent with its configuration
+    /// (bad start index, mismatched distribution width, …).
+    InvalidRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A hardware-model error (building instances, rewriting tables).
+    Hw(HwError),
+    /// A netlist simulation error.
+    Netlist(NetlistError),
+    /// A Boolean-function layer error (distributions, truth tables).
+    BoolFn(BoolFnError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSlo { detail } => write!(f, "invalid SLO: {detail}"),
+            Self::InvalidBank { detail } => write!(f, "invalid variant bank: {detail}"),
+            Self::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
+            Self::Hw(e) => write!(f, "hardware error: {e}"),
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::BoolFn(e) => write!(f, "boolean function error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Hw(e) => Some(e),
+            Self::Netlist(e) => Some(e),
+            Self::BoolFn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwError> for RuntimeError {
+    fn from(e: HwError) -> Self {
+        Self::Hw(e)
+    }
+}
+
+impl From<NetlistError> for RuntimeError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+impl From<BoolFnError> for RuntimeError {
+    fn from(e: BoolFnError) -> Self {
+        Self::BoolFn(e)
+    }
+}

@@ -1,0 +1,68 @@
+//! # dalut-runtime
+//!
+//! Self-correcting runtime reconfiguration for the paper's approximate
+//! LUT architectures: an online controller that keeps a *live* instance
+//! inside an error service-level objective while it is being served —
+//! under workload drift and storage faults — by exploiting exactly the
+//! reconfigurability the DATE 2023 architecture exists to provide.
+//!
+//! The pieces:
+//!
+//! * [`ErrorSlo`] — the objective plus the detection/hysteresis policy
+//!   (window, dwell, fault-jump threshold, relax band);
+//! * [`Variant`] / [`VariantBank`] — pre-compiled operating points on
+//!   one physical fabric, ordered cheapest-first, each annotated with
+//!   nominal error and measured serving energy;
+//! * [`Controller`] — per epoch, samples reads from the live input
+//!   distribution, measures served error on the 64-way batched
+//!   simulator against the golden target, and reacts: *scrub* (restore
+//!   corrupted configuration bits through the writable-DFF path),
+//!   *upgrade* (hot-swap to a more accurate variant on SLO violation),
+//!   *relax* (swap back down once margin recovers). Every detection and
+//!   transition is emitted as a
+//!   [`SearchEvent`](dalut_core::SearchEvent), so the existing
+//!   observer, metrics and progress stack narrates and counts the
+//!   controller for free.
+//!
+//! The controller is deterministic given its RNG: it holds no
+//! wall-clock state, so fixed-seed fleets replay bit-identically —
+//! which is what makes the `fleetsim` bench's kill+resume guarantee and
+//! the `controller_behavior` test suite possible.
+//!
+//! ## Example
+//!
+//! ```
+//! use dalut_boolfn::{InputDistribution, TruthTable};
+//! use dalut_core::{ApproxLutBuilder, BsSaParams, NoopObserver};
+//! use dalut_hw::ArchStyle;
+//! use dalut_runtime::{Controller, ErrorSlo, Variant, VariantBank};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let target = TruthTable::from_fn(6, 3, |x| (x >> 3) ^ (x & 7)).unwrap();
+//! let outcome = ApproxLutBuilder::new(&target)
+//!     .bs_sa(BsSaParams::fast())
+//!     .run()
+//!     .unwrap();
+//! // A one-variant bank: monitoring only, no swap headroom.
+//! let v = Variant::new("only", outcome.config, ArchStyle::BtoNormal, outcome.med, 1.0).unwrap();
+//! let bank = VariantBank::new(vec![v]).unwrap();
+//! let dist = InputDistribution::uniform(6).unwrap();
+//! let mut ctl = Controller::new(&target, dist, &bank, 0, ErrorSlo::new(4.0)).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let report = ctl.step(&mut rng, &NoopObserver).unwrap();
+//! assert_eq!(report.epoch, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod error;
+pub mod slo;
+pub mod variant;
+
+pub use controller::{ControlAction, ControlTotals, Controller, EpochReport};
+pub use error::RuntimeError;
+pub use slo::ErrorSlo;
+pub use variant::{Variant, VariantBank};

@@ -1,0 +1,162 @@
+//! The error service-level objective and controller policy knobs.
+
+use crate::error::RuntimeError;
+use serde::{Deserialize, Serialize};
+
+/// The error SLO a [`Controller`](crate::Controller) enforces, plus the
+/// detection and hysteresis policy around it.
+///
+/// The controller estimates the mean absolute output error once per
+/// *epoch* from `samples_per_epoch` reads drawn from the live input
+/// distribution, then averages the last `window` epochs. The windowed
+/// mean crossing `target` is an SLO violation; an epoch-to-epoch jump
+/// above `fault_jump` is treated as a suspected storage fault (drift is
+/// gradual, upsets are sudden). `min_dwell` epochs must pass between
+/// reconfigurations so one noisy epoch cannot make the controller
+/// thrash, and the controller only relaxes to a cheaper variant once the
+/// windowed error has fallen below `relax_margin · target` — the
+/// hysteresis band that keeps upgrade/relax cycles apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSlo {
+    /// Maximum acceptable windowed mean absolute error.
+    pub target: f64,
+    /// Relax only when the windowed error is below `relax_margin · target`
+    /// (exclusive band edge, `0 < relax_margin < 1`).
+    pub relax_margin: f64,
+    /// Number of epochs in the sliding error window (`>= 1`).
+    pub window: usize,
+    /// Minimum epochs between reconfigurations (dwell-time hysteresis).
+    pub min_dwell: usize,
+    /// Epoch-to-epoch error jump that flags a suspected fault and
+    /// triggers a scrub.
+    pub fault_jump: f64,
+    /// Reads sampled per epoch for the error estimate (`>= 1`).
+    pub samples_per_epoch: usize,
+    /// Reads served per epoch, for the energy ledger.
+    pub epoch_reads: u64,
+    /// Energy charged per single-bit configuration write (fJ), for
+    /// scrubs and hot-swaps.
+    pub write_energy_fj: f64,
+}
+
+impl ErrorSlo {
+    /// A policy with conventional defaults for the given error target:
+    /// half-target relax band, 4-epoch window, 2-epoch dwell, fault jump
+    /// at `4 · target`, 256 samples and 1024 served reads per epoch,
+    /// 10 fJ per configuration write.
+    pub fn new(target: f64) -> Self {
+        Self {
+            target,
+            relax_margin: 0.5,
+            window: 4,
+            min_dwell: 2,
+            fault_jump: 4.0 * target,
+            samples_per_epoch: 256,
+            epoch_reads: 1024,
+            write_energy_fj: 10.0,
+        }
+    }
+
+    /// Checks every field is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidSlo`] naming the offending field.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        let bad = |detail: String| Err(RuntimeError::InvalidSlo { detail });
+        if !(self.target.is_finite() && self.target > 0.0) {
+            return bad(format!(
+                "target {} must be finite and positive",
+                self.target
+            ));
+        }
+        if !(self.relax_margin.is_finite() && self.relax_margin > 0.0 && self.relax_margin < 1.0) {
+            return bad(format!(
+                "relax_margin {} must lie strictly between 0 and 1",
+                self.relax_margin
+            ));
+        }
+        if self.window == 0 {
+            return bad("window must hold at least one epoch".into());
+        }
+        if !(self.fault_jump.is_finite() && self.fault_jump > 0.0) {
+            return bad(format!(
+                "fault_jump {} must be finite and positive",
+                self.fault_jump
+            ));
+        }
+        if self.samples_per_epoch == 0 {
+            return bad("samples_per_epoch must be at least 1".into());
+        }
+        if self.epoch_reads == 0 {
+            return bad("epoch_reads must be at least 1".into());
+        }
+        if !(self.write_energy_fj.is_finite() && self.write_energy_fj >= 0.0) {
+            return bad(format!(
+                "write_energy_fj {} must be finite and non-negative",
+                self.write_energy_fj
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ErrorSlo::new(2.5).validate().is_ok());
+    }
+
+    #[test]
+    fn each_field_is_checked() {
+        let ok = ErrorSlo::new(1.0);
+        let cases: Vec<ErrorSlo> = vec![
+            ErrorSlo {
+                target: 0.0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                target: f64::NAN,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                relax_margin: 0.0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                relax_margin: 1.0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                window: 0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                fault_jump: 0.0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                samples_per_epoch: 0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                epoch_reads: 0,
+                ..ok.clone()
+            },
+            ErrorSlo {
+                write_energy_fj: -1.0,
+                ..ok.clone()
+            },
+        ];
+        for (i, slo) in cases.iter().enumerate() {
+            assert!(
+                matches!(slo.validate(), Err(RuntimeError::InvalidSlo { .. })),
+                "case {i} should be rejected"
+            );
+        }
+        assert!(ok.validate().is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! Pre-compiled configuration variants and the ordered bank the
+//! controller hot-swaps between.
+
+use crate::error::RuntimeError;
+use dalut_core::ApproxLutConfig;
+use dalut_hw::{build_approx_lut, characterize, ArchInstance, ArchStyle};
+use dalut_netlist::CellLibrary;
+
+/// One pre-compiled operating point: an [`ApproxLutConfig`] built into a
+/// live [`ArchInstance`], annotated with its nominal error and measured
+/// serving energy.
+///
+/// Variants destined for the same [`VariantBank`] must be built in the
+/// same [`ArchStyle`] so a hot-swap is a pure configuration-memory
+/// rewrite — [`ArchStyle::BtoNormalNd`] realises every
+/// [`BitMode`](dalut_core::BitMode) and is the natural choice.
+#[derive(Debug)]
+pub struct Variant {
+    label: String,
+    config: ApproxLutConfig,
+    expected_med: f64,
+    energy_per_read_fj: f64,
+    inst: ArchInstance,
+}
+
+impl Variant {
+    /// Builds a variant with a caller-supplied energy figure (e.g. from a
+    /// previous characterisation run or an estimator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Hw`] if the configuration cannot be built
+    /// in `style`, or [`RuntimeError::InvalidBank`] if the annotations
+    /// are not finite and non-negative.
+    pub fn new(
+        label: impl Into<String>,
+        config: ApproxLutConfig,
+        style: ArchStyle,
+        expected_med: f64,
+        energy_per_read_fj: f64,
+    ) -> Result<Self, RuntimeError> {
+        if !(expected_med.is_finite() && expected_med >= 0.0) {
+            return Err(RuntimeError::InvalidBank {
+                detail: format!("expected_med {expected_med} must be finite and non-negative"),
+            });
+        }
+        if !(energy_per_read_fj.is_finite() && energy_per_read_fj >= 0.0) {
+            return Err(RuntimeError::InvalidBank {
+                detail: format!(
+                    "energy_per_read_fj {energy_per_read_fj} must be finite and non-negative"
+                ),
+            });
+        }
+        let inst = build_approx_lut(&config, style)?;
+        Ok(Self {
+            label: label.into(),
+            config,
+            expected_med,
+            energy_per_read_fj,
+            inst,
+        })
+    }
+
+    /// Builds a variant and measures its serving energy by simulating
+    /// `reads` against `lib` at `clock_period_ns` — the same measurement
+    /// [`characterize`] reports in the paper-reproduction benches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Hw`] if the configuration cannot be
+    /// built, or [`RuntimeError::Netlist`] if it cannot be simulated.
+    pub fn characterized(
+        label: impl Into<String>,
+        config: ApproxLutConfig,
+        style: ArchStyle,
+        expected_med: f64,
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+        reads: &[u32],
+    ) -> Result<Self, RuntimeError> {
+        let inst = build_approx_lut(&config, style)?;
+        let report = characterize(&inst, reads, lib, clock_period_ns)?;
+        Self::new(
+            label,
+            config,
+            style,
+            expected_med,
+            report.energy_per_read_fj,
+        )
+    }
+
+    /// Display label (e.g. `"bto7"` or `"pareto-2"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The logical configuration this variant realises.
+    pub fn config(&self) -> &ApproxLutConfig {
+        &self.config
+    }
+
+    /// Nominal mean error distance under the design distribution.
+    pub fn expected_med(&self) -> f64 {
+        self.expected_med
+    }
+
+    /// Measured (or estimated) serving energy per read, in fJ.
+    pub fn energy_per_read_fj(&self) -> f64 {
+        self.energy_per_read_fj
+    }
+
+    /// The live hardware instance.
+    pub fn instance(&self) -> &ArchInstance {
+        &self.inst
+    }
+}
+
+/// An ordered ladder of variants, cheapest-and-least-accurate first.
+///
+/// The bank is the controller's reconfiguration space: index `i + 1`
+/// must cost strictly more energy per read and promise no worse nominal
+/// error than index `i`, so "upgrade" always means "spend energy to buy
+/// accuracy" and "relax" the reverse.
+#[derive(Debug)]
+pub struct VariantBank {
+    variants: Vec<Variant>,
+}
+
+impl VariantBank {
+    /// Validates the ladder and wraps it.
+    ///
+    /// Variants may differ in stored-bit footprint (a partition change
+    /// resizes the tables); a hot-swap is modelled as a full rewrite of
+    /// the destination variant's configuration memory, so the swap cost
+    /// is always well-defined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidBank`] if `variants` is empty, the
+    /// interfaces disagree, the energy ladder is not strictly
+    /// increasing, or the nominal error is not non-increasing.
+    pub fn new(variants: Vec<Variant>) -> Result<Self, RuntimeError> {
+        let bad = |detail: String| Err(RuntimeError::InvalidBank { detail });
+        let Some(first) = variants.first() else {
+            return bad("a variant bank needs at least one variant".into());
+        };
+        let (n, m) = (first.inst.inputs(), first.inst.outputs());
+        for pair in variants.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if b.inst.inputs() != n || b.inst.outputs() != m {
+                return bad(format!(
+                    "variant {} has interface {}x{}, expected {}x{}",
+                    b.label,
+                    b.inst.inputs(),
+                    b.inst.outputs(),
+                    n,
+                    m
+                ));
+            }
+            if b.energy_per_read_fj <= a.energy_per_read_fj {
+                return bad(format!(
+                    "energy must strictly increase along the ladder: {} ({} fJ) after {} ({} fJ)",
+                    b.label, b.energy_per_read_fj, a.label, a.energy_per_read_fj
+                ));
+            }
+            if b.expected_med > a.expected_med {
+                return bad(format!(
+                    "nominal error must not increase along the ladder: {} ({}) after {} ({})",
+                    b.label, b.expected_med, a.label, a.expected_med
+                ));
+            }
+        }
+        Ok(Self { variants })
+    }
+
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Always `false` — construction rejects empty banks.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The variant at ladder position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> &Variant {
+        &self.variants[index]
+    }
+
+    /// All variants, cheapest first.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+}

@@ -1,16 +1,25 @@
 //! Runtime reprogramming: the paper's tables are "RAMs consisting of D
 //! flip-flops", so one physical approximate LUT can be *rewritten* to
-//! serve different functions. This example builds a writable bound table
-//! in hardware, serves a BTO-mode `cos` approximation, then reprograms
-//! the same silicon to an `erf` approximation — no rebuild, only writes.
+//! serve different functions. This example reprograms the same silicon
+//! from a BTO-mode `cos` approximation to an `erf` approximation — no
+//! rebuild, only writes — at both levels the library models it:
+//!
+//! 1. gate level, through [`WritableBoundTable`]'s address decoder and
+//!    single-bit write port, and
+//! 2. instance level, through [`ArchInstance::rewrite_bound_table`],
+//!    the preset-space diff write a runtime controller issues (this is
+//!    what `dalut-runtime`'s scrub/hot-swap paths are built on).
 //!
 //! ```sh
 //! cargo run --release --example runtime_reprogram
 //! ```
+//!
+//! [`WritableBoundTable`]: dalut::hw::WritableBoundTable
+//! [`ArchInstance::rewrite_bound_table`]: dalut::hw::ArchInstance::rewrite_bound_table
 
-use dalut::decomp::{bit_costs, opt_for_part_bto, LsbFill};
-use dalut::hw::dff_lut_writable;
-use dalut::netlist::{Netlist, Simulator, ROOT_DOMAIN};
+use dalut::core::{ApproxLutConfig, BitConfig};
+use dalut::decomp::{bit_costs, opt_for_part_bto, AnyDecomp, BtoDecomp, LsbFill};
+use dalut::hw::{build_approx_lut, ArchStyle, WritableBoundTable};
 use dalut::prelude::*;
 
 const N: usize = 8;
@@ -26,6 +35,16 @@ fn bto_pattern(bench: Benchmark, part: Partition) -> (f64, Vec<bool>) {
     (err, bto.pattern().to_vec())
 }
 
+/// A one-bit BTO configuration storing `pattern` under `part`.
+fn one_bit_config(part: Partition, pattern: &[bool]) -> ApproxLutConfig {
+    let bits = vec![BitConfig {
+        bit: 0,
+        decomp: AnyDecomp::Bto(BtoDecomp::new(part, pattern.to_vec()).expect("shape")),
+        expected_error: 0.0,
+    }];
+    ApproxLutConfig::new(N, 1, bits).expect("valid")
+}
+
 fn main() {
     // One shared physical geometry: bound set = the 5 high input bits
     // (the coarse value of x, which is what a single-output-bit BTO
@@ -35,64 +54,42 @@ fn main() {
     let (err_erf, pat_erf) = bto_pattern(Benchmark::Erf, part);
     println!("cos MSB BTO error: {err_cos:.4}; erf MSB BTO error: {err_erf:.4}");
 
-    // Hardware: one writable 32-entry bound table.
-    let mut nl = Netlist::new("reprogrammable_bound_table");
-    let x = nl.input_bus("x", N);
-    let wdata = nl.input("wdata");
-    let wen = nl.input("wen");
-    let waddr = nl.input_bus("waddr", part.bound_size());
-    let bound_nets: Vec<_> = part.bound_vars().iter().map(|&v| x[v as usize]).collect();
-    let lut = dff_lut_writable(
-        &mut nl,
-        &pat_cos,
-        &bound_nets,
-        wdata,
-        wen,
-        &waddr,
-        ROOT_DOMAIN,
-    );
-    nl.output("y", lut.output);
+    // --- Gate level: one writable 32-entry bound table. ---------------
+    let hw = WritableBoundTable::new(N, part, &pat_cos).expect("builds");
     println!(
         "hardware: {} cells, {} storage DFFs (writable)",
-        nl.cell_count(),
-        nl.total_dffs()
+        hw.netlist().cell_count(),
+        hw.netlist().total_dffs()
     );
-
-    let mut sim = Simulator::new(&nl).expect("acyclic");
-    for &(q, v) in &lut.presets {
-        sim.preset_dff(q, v).expect("LUT presets target DFFs");
-    }
-
-    // Input word layout: [x | wdata | wen | waddr].
-    let b = part.bound_size();
-    let low_free = part.free_size() as u64; // bound bits sit above the free bits
-    let read_bit = |sim: &mut Simulator, col: u64| -> bool {
-        // y is the only output, so eval_word returns it in bit 0; the
-        // bound column occupies the high input bits.
-        sim.eval_word(col << low_free) == 1
-    };
-    let write_bit = |sim: &mut Simulator, addr: u64, v: bool| {
-        let w = (u64::from(v) << N) | (1u64 << (N + 1)) | (addr << (N + 2));
-        sim.eval_word(w);
-    };
+    let mut sim = hw.simulator().expect("acyclic");
 
     // Phase 1: serving cos.
-    let serving_cos: Vec<bool> = (0..1u64 << b).map(|c| read_bit(&mut sim, c)).collect();
-    assert_eq!(serving_cos, pat_cos, "hardware serves the cos pattern");
+    assert_eq!(hw.read_all(&mut sim), pat_cos, "serves the cos pattern");
     println!(
         "phase 1: serving cos MSB — verified on all {} bound columns",
-        1 << b
+        hw.entries()
     );
 
     // Phase 2: reprogram in-place to erf (write only the differing bits).
-    let mut writes = 0;
-    for (addr, (&old, &new)) in pat_cos.iter().zip(&pat_erf).enumerate() {
-        if old != new {
-            write_bit(&mut sim, addr as u64, new);
-            writes += 1;
-        }
-    }
-    let serving_erf: Vec<bool> = (0..1u64 << b).map(|c| read_bit(&mut sim, c)).collect();
-    assert_eq!(serving_erf, pat_erf, "hardware now serves the erf pattern");
+    let writes = hw.reprogram(&mut sim, &pat_erf).expect("shape");
+    assert_eq!(hw.read_all(&mut sim), pat_erf, "now serves the erf pattern");
     println!("phase 2: reprogrammed to erf MSB with {writes} single-bit writes — verified");
+
+    // --- Instance level: the same diff write in preset space. ---------
+    // This is the path a runtime controller takes: it never touches the
+    // netlist, only the stored contents of a built instance.
+    let mut inst =
+        build_approx_lut(&one_bit_config(part, &pat_cos), ArchStyle::BtoNormal).expect("builds");
+    let inst_writes = inst.rewrite_bound_table(0, &pat_erf).expect("shape");
+    assert_eq!(
+        inst_writes, writes,
+        "instance-level diff write matches the gate-level write count"
+    );
+    assert_eq!(inst.bound_table(0).expect("bit 0"), pat_erf);
+    // Rewriting to the contents already stored is free.
+    assert_eq!(inst.rewrite_bound_table(0, &pat_erf).expect("shape"), 0);
+    println!(
+        "phase 3: ArchInstance::rewrite_bound_table issued the same {inst_writes} writes — \
+         the runtime controller's scrub/hot-swap primitive"
+    );
 }

@@ -18,6 +18,7 @@
 //! | [`netlist`] | gate-level netlists, simulation, power/timing/area, Verilog export |
 //! | [`hw`] | DALTA / BTO-Normal / BTO-Normal-ND / rounding hardware models |
 //! | [`est`] | closed-form power/area/delay estimation, calibrated sweep pruning |
+//! | [`runtime`] | online error-SLO controller: drift/fault detection, scrub, hot-swap |
 //! | [`benchfns`] | the paper's ten benchmark functions |
 //!
 //! The facade re-exports the high-level API so `use dalut::prelude::*`
@@ -70,6 +71,7 @@ pub use dalut_decomp as decomp;
 pub use dalut_est as est;
 pub use dalut_hw as hw;
 pub use dalut_netlist as netlist;
+pub use dalut_runtime as runtime;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -96,4 +98,5 @@ pub mod prelude {
         FaultModel, FaultReport, InstanceCache,
     };
     pub use dalut_netlist::{to_verilog, CellLibrary, Netlist, Simulator};
+    pub use dalut_runtime::{Controller, ErrorSlo, RuntimeError, Variant, VariantBank};
 }
