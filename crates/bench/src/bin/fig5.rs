@@ -12,7 +12,9 @@
 //! `fig5_results.json` with the benchmarks finished so far.
 
 use dalut_bench::report::{f3, write_json};
-use dalut_bench::setup::{bound_size, bssa_params, dalta_params, round_in_w, ENERGY_READS};
+use dalut_bench::setup::{
+    benchfns_resolver, bound_size, bssa_spec, dalta_spec, round_in_w, ENERGY_READS,
+};
 use dalut_bench::signoff::{EstimatorSummary, SignoffBank};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{geomean, shutdown, HarnessArgs, Observation, Table};
@@ -118,11 +120,12 @@ fn bench_row(
     // best of 10); BS-SA runs once "thanks to its high stability".
     let mut best_dalta = None;
     for run in 0..args.effective_runs() {
-        let mut dp = dalta_params(args, n);
-        dp.search.seed = args.seed + 1000 * run as u64;
-        let out = ApproxLutBuilder::new(&target)
-            .distribution(dist.clone())
-            .dalta(dp)
+        let seed = args.seed + 1000 * run as u64;
+        let spec = dalta_spec(args, bench, scale, seed)
+            .canonicalize(&benchfns_resolver())
+            .map_err(|e| fail(&e))?;
+        let out = ApproxLutBuilder::from_spec(&spec)
+            .map_err(|e| fail(&e))?
             .budget(budget.clone())
             .observer(observer)
             .run()
@@ -138,13 +141,12 @@ fn bench_row(
         }
     }
     let dalta = best_dalta.ok_or_else(|| ItemError::Failed("no dalta run".into()))?;
-    let mut bp = bssa_params(args, n);
-    bp.search.seed = args.seed;
     let search = |policy: ArchPolicy| -> Result<dalut_core::SearchOutcome, ItemError> {
-        let out = ApproxLutBuilder::new(&target)
-            .distribution(dist.clone())
-            .bs_sa(bp)
-            .policy(policy)
+        let spec = bssa_spec(args, bench, scale, policy, args.seed)
+            .canonicalize(&benchfns_resolver())
+            .map_err(|e| fail(&e))?;
+        let out = ApproxLutBuilder::from_spec(&spec)
+            .map_err(|e| fail(&e))?
             .budget(budget.clone())
             .observer(observer)
             .run()

@@ -24,7 +24,7 @@
 //!
 //! Run with `cargo run -p dalut-bench --release --bin fleetsim`.
 
-use dalut_bench::report::{f3, write_json};
+use dalut_bench::report::{f3, write_versioned_json, Versioned};
 use dalut_bench::setup::bssa_params;
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation, Table};
@@ -136,7 +136,6 @@ struct Summary {
 
 #[derive(Debug, Serialize)]
 struct FleetReport {
-    schema: String,
     benchmark: String,
     scale_bits: usize,
     seed: u64,
@@ -152,14 +151,21 @@ struct FleetReport {
     metrics: Option<MetricsSnapshot>,
 }
 
+impl Versioned for FleetReport {
+    const SCHEMA: &'static str = "dalut-fleetsim/v1";
+}
+
 #[derive(Debug, Serialize)]
 struct BenchSummary {
-    schema: String,
     benchmark: String,
     scale_bits: usize,
     seed: u64,
     slo_target: f64,
     summary: Summary,
+}
+
+impl Versioned for BenchSummary {
+    const SCHEMA: &'static str = "dalut-fleetbench/v1";
 }
 
 /// The drift-phase workload: reads linger where the cheapest variant's
@@ -430,7 +436,6 @@ fn run() -> Result<Termination, Box<dyn std::error::Error>> {
     let write_report = |runs: Vec<InstanceRun>, partial: bool, metrics: Option<MetricsSnapshot>| {
         let summary = (!partial).then(|| summarize(&slo, &runs));
         let report = FleetReport {
-            schema: "dalut-fleetsim/v1".to_string(),
             benchmark: Benchmark::Cos.name().to_string(),
             scale_bits,
             seed: args.seed,
@@ -443,7 +448,7 @@ fn run() -> Result<Termination, Box<dyn std::error::Error>> {
             summary,
             metrics,
         };
-        write_json(&out_path, &report)
+        write_versioned_json(&out_path, &report)
     };
     if token.is_cancelled() {
         if let Some(signal) = shutdown::take_requested_signal() {
@@ -543,14 +548,13 @@ fn run() -> Result<Termination, Box<dyn std::error::Error>> {
             100.0 * summary.energy_saved_vs_pinned_frac
         );
         let bench = BenchSummary {
-            schema: "dalut-fleetbench/v1".to_string(),
             benchmark: Benchmark::Cos.name().to_string(),
             scale_bits,
             seed: args.seed,
             slo_target: slo.target,
             summary,
         };
-        write_json(&bench_path, &bench)?;
+        write_versioned_json(&bench_path, &bench)?;
         eprintln!("wrote {}", bench_path.display());
     }
     obs.finish()?;

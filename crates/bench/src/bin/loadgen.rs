@@ -1,0 +1,536 @@
+//! `loadgen` — drives a `dalut-serve` instance with thousands of
+//! concurrent mixed hit/miss requests and writes `BENCH_serve.json`.
+//!
+//! Each connection pipelines submissions with a bounded window of
+//! outstanding requests, so the fleet sustains `connections × window`
+//! in-flight requests (the default 64 × 16 = 1024) while per-request
+//! latency stays attributable: a cache-hit response never waits behind
+//! more than `window - 1` frames on its own connection.
+//!
+//! The request mix is `warm + cold` distinct [`JobSpec`]s. Warm specs
+//! are submitted once up front on a separate connection (the cold path,
+//! measured separately), so during the flood every request for them is
+//! a pure cache hit; cold specs are first seen mid-flood, exercising
+//! the leader/follower coalescing path. Requests cycle over the specs,
+//! offset per connection.
+//!
+//! Besides latency percentiles the run checks the server's byte-identity
+//! guarantee: every `outcome` section observed for a fingerprint — cold,
+//! coalesced or cached, on any connection — must be byte-identical to
+//! the first one seen. Any mismatch, dropped response or error frame
+//! fails the run (non-zero exit).
+//!
+//! With no `--addr`, an in-process server is spawned on a free port
+//! (in-memory cache), so `loadgen` is self-contained; point `--addr` at
+//! a separately started `dalut-serve` to exercise a persistent cache.
+
+use dalut_bench::report::{write_versioned_json, Versioned};
+use dalut_core::{
+    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DistributionSpec, EstimatorMode, FunctionSource,
+    JobSpec,
+};
+use dalut_serve::{outcome_section, AdmissionLimits, ClientFrame, Server, ServerConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a reader waits on a silent socket before declaring the
+/// remaining responses dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    window: usize,
+    requests: usize,
+    warm: usize,
+    cold: usize,
+    workers: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            connections: 64,
+            window: 16,
+            requests: 6400,
+            warm: 6,
+            cold: 2,
+            workers: 4,
+            seed: 42,
+            out: PathBuf::from("BENCH_serve.json"),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--connections N] [--window N] \
+         [--requests N] [--warm N] [--cold N] [--workers N] [--seed N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| usage_missing(name));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")),
+            "--connections" => args.connections = parse_num(&val("--connections")),
+            "--window" => args.window = parse_num(&val("--window")),
+            "--requests" => args.requests = parse_num(&val("--requests")),
+            "--warm" => args.warm = val("--warm").parse().unwrap_or_else(|_| usage()),
+            "--cold" => args.cold = val("--cold").parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = parse_num(&val("--workers")),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            _ => usage(),
+        }
+    }
+    if args.warm + args.cold == 0 || args.requests == 0 {
+        usage();
+    }
+    args
+}
+
+fn usage_missing(name: &str) -> String {
+    eprintln!("missing value for {name}");
+    usage()
+}
+
+fn parse_num(s: &str) -> usize {
+    match s.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage(),
+    }
+}
+
+/// One distinct search job: the cheapest spec in the suite (6-bit cos,
+/// fast BS-SA parameters), made distinct by its seed so each index has
+/// its own fingerprint and cache entry.
+fn make_spec(seed: u64) -> JobSpec {
+    let mut params = BsSaParams::fast();
+    params.search.seed = seed;
+    params.search.threads = 1;
+    JobSpec {
+        function: FunctionSource::Benchmark {
+            name: "cos".to_string(),
+            scale_bits: 6,
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm: Algorithm::BsSa(params),
+        policy: ArchPolicy::NormalOnly,
+        budget: BudgetSpec::unlimited(),
+        estimator: EstimatorMode::Off,
+    }
+}
+
+fn submit_frame(id: u64, spec: &JobSpec) -> String {
+    serde_json::to_string(&ClientFrame::Submit {
+        id,
+        client: None,
+        stream: false,
+        spec: Box::new(spec.clone()),
+    })
+    .expect("submit frame serialises")
+}
+
+/// Scans `line` for a top-level `"key":<digits>` field. Result and
+/// error frames put `id` right after `type`, well before the spliced
+/// outcome, so the first occurrence is the frame's own field.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn frame_fingerprint(line: &str) -> Option<&str> {
+    let at = line.find("\"fingerprint\":\"")? + "\"fingerprint\":\"".len();
+    line.get(at..at + 32)
+}
+
+/// Per-connection measurements, merged after the flood.
+#[derive(Default)]
+struct ConnReport {
+    hit_ms: Vec<f64>,
+    miss_ms: Vec<f64>,
+    received: usize,
+    errors: usize,
+    /// First outcome section seen per fingerprint on this connection.
+    outcomes: HashMap<String, String>,
+    mismatches: usize,
+    elapsed_secs: f64,
+}
+
+/// Records an observed outcome section, counting byte mismatches
+/// against the first observation for the same fingerprint.
+fn record_outcome(outcomes: &mut HashMap<String, String>, mismatches: &mut usize, line: &str) {
+    let (Some(fp), Some(outcome)) = (frame_fingerprint(line), outcome_section(line)) else {
+        return;
+    };
+    match outcomes.get(fp) {
+        Some(first) if first != outcome => *mismatches += 1,
+        Some(_) => {}
+        None => {
+            outcomes.insert(fp.to_string(), outcome.to_string());
+        }
+    }
+}
+
+/// Submits each warm spec once on a dedicated connection and waits for
+/// the cold-path responses, returning their latencies and outcomes.
+fn warmup(addr: &str, specs: &[JobSpec], warm: usize) -> std::io::Result<ConnReport> {
+    let mut report = ConnReport::default();
+    if warm == 0 {
+        return Ok(report);
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut write_half = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?; // hello
+
+    let mut sent = Vec::with_capacity(warm);
+    for (i, spec) in specs.iter().take(warm).enumerate() {
+        let frame = submit_frame(i as u64, spec);
+        sent.push(Instant::now());
+        write_half.write_all(frame.as_bytes())?;
+        write_half.write_all(b"\n")?;
+    }
+    while report.received < warm {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let Some(id) = field_u64(&line, "id") else {
+            continue;
+        };
+        if line.contains("\"type\":\"result\"") {
+            report.received += 1;
+            report
+                .miss_ms
+                .push(sent[id as usize].elapsed().as_secs_f64() * 1e3);
+            record_outcome(&mut report.outcomes, &mut report.mismatches, &line);
+        } else if line.contains("\"type\":\"error\"") {
+            report.received += 1;
+            report.errors += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// One flood connection: pipelines `frames` with at most `window`
+/// outstanding, measuring per-response latency from the moment each
+/// frame hits the socket.
+fn flood_connection(
+    addr: &str,
+    frames: Vec<String>,
+    is_hit: Vec<bool>,
+    window: usize,
+    barrier: &Barrier,
+    inflight: &AtomicI64,
+    peak: &AtomicI64,
+) -> std::io::Result<ConnReport> {
+    let total = frames.len();
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut write_half = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut hello = String::new();
+    reader.read_line(&mut hello)?;
+
+    let sends: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; total]));
+    let outstanding = Arc::new(AtomicI64::new(0));
+
+    barrier.wait();
+    let start = Instant::now();
+
+    let reader_handle = {
+        let sends = Arc::clone(&sends);
+        let outstanding = Arc::clone(&outstanding);
+        std::thread::spawn(move || {
+            let mut report = ConnReport::default();
+            let mut line = String::new();
+            while report.received < total {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break, // EOF or timeout: rest counts as dropped
+                    Ok(_) => {}
+                }
+                let is_result = line.contains("\"type\":\"result\"");
+                let is_error = line.contains("\"type\":\"error\"");
+                if !is_result && !is_error {
+                    continue;
+                }
+                let Some(id) = field_u64(&line, "id") else {
+                    continue;
+                };
+                let sent = sends.lock().expect("sends lock")[id as usize].take();
+                report.received += 1;
+                outstanding.fetch_sub(1, Ordering::Relaxed);
+                if is_error {
+                    report.errors += 1;
+                    continue;
+                }
+                if let Some(sent) = sent {
+                    let ms = sent.elapsed().as_secs_f64() * 1e3;
+                    if is_hit[id as usize] {
+                        report.hit_ms.push(ms);
+                    } else {
+                        report.miss_ms.push(ms);
+                    }
+                }
+                record_outcome(&mut report.outcomes, &mut report.mismatches, &line);
+            }
+            report
+        })
+    };
+
+    for (i, frame) in frames.iter().enumerate() {
+        while outstanding.load(Ordering::Relaxed) >= window as i64 {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+        sends.lock().expect("sends lock")[i] = Some(Instant::now());
+        outstanding.fetch_add(1, Ordering::Relaxed);
+        let now = inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        peak.fetch_max(now, Ordering::Relaxed);
+        write_half.write_all(frame.as_bytes())?;
+        write_half.write_all(b"\n")?;
+    }
+
+    let mut report = reader_handle.join().expect("reader thread");
+    // Undo counted-but-unanswered requests so the gauge stays honest.
+    inflight.fetch_sub(total as i64 - report.received as i64, Ordering::Relaxed);
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+#[derive(Serialize, Default)]
+struct LatencyStats {
+    count: usize,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+impl LatencyStats {
+    fn of(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let pct = |p: f64| samples[((p * (samples.len() - 1) as f64).round()) as usize];
+        Self {
+            count: samples.len(),
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p99_ms: pct(0.99),
+            max_ms: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    connections: usize,
+    window: usize,
+    requests: usize,
+    warm_specs: usize,
+    cold_specs: usize,
+    peak_inflight: i64,
+    cache_hit: LatencyStats,
+    miss: LatencyStats,
+    warmup_cold: LatencyStats,
+    throughput_rps: f64,
+    fairness_spread: f64,
+    errors: usize,
+    dropped: usize,
+    byte_identical: bool,
+}
+
+impl Versioned for ServeBenchReport {
+    const SCHEMA: &'static str = "dalut-servebench/v1";
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // No --addr: self-contained run against an in-process server.
+    let (addr, server) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.workers,
+                cache_dir: None,
+                limits: AdmissionLimits::default(),
+            })
+            .expect("bind in-process server");
+            let addr = server.local_addr().expect("local addr").to_string();
+            let token = server.shutdown_token();
+            let handle = std::thread::spawn(move || server.run());
+            (addr, Some((token, handle)))
+        }
+    };
+
+    let total_specs = args.warm + args.cold;
+    let specs: Vec<JobSpec> = (0..total_specs)
+        .map(|s| make_spec(args.seed + s as u64))
+        .collect();
+
+    eprintln!("loadgen: warming {} spec(s) on {addr}", args.warm);
+    let warm_report = warmup(&addr, &specs, args.warm).expect("warmup connection");
+    if warm_report.received < args.warm {
+        eprintln!(
+            "loadgen: warmup incomplete ({}/{})",
+            warm_report.received, args.warm
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Pre-serialise every connection's frames so the flood measures the
+    // server, not the client's JSON encoder.
+    let per_conn: Vec<usize> = (0..args.connections)
+        .map(|c| {
+            args.requests / args.connections + usize::from(c < args.requests % args.connections)
+        })
+        .collect();
+    let batches: Vec<(Vec<String>, Vec<bool>)> = (0..args.connections)
+        .map(|c| {
+            (0..per_conn[c])
+                .map(|i| {
+                    let spec_idx = (c + i) % total_specs;
+                    (
+                        submit_frame(i as u64, &specs[spec_idx]),
+                        spec_idx < args.warm,
+                    )
+                })
+                .unzip()
+        })
+        .collect();
+
+    eprintln!(
+        "loadgen: flooding {} request(s) over {} connection(s), window {}",
+        args.requests, args.connections, args.window
+    );
+    let barrier = Arc::new(Barrier::new(args.connections));
+    let inflight = Arc::new(AtomicI64::new(0));
+    let peak = Arc::new(AtomicI64::new(0));
+    let flood_start = Instant::now();
+    let handles: Vec<_> = batches
+        .into_iter()
+        .map(|(frames, is_hit)| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let inflight = Arc::clone(&inflight);
+            let peak = Arc::clone(&peak);
+            let window = args.window;
+            std::thread::spawn(move || {
+                flood_connection(&addr, frames, is_hit, window, &barrier, &inflight, &peak)
+            })
+        })
+        .collect();
+    let reports: Vec<ConnReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("connection thread").expect("connection io"))
+        .collect();
+    let flood_secs = flood_start.elapsed().as_secs_f64();
+
+    // Merge: cross-connection byte-identity anchors on the warmup's
+    // cold outcomes, so a cached response must match the cold path.
+    let mut outcomes = warm_report.outcomes;
+    let mut mismatches = warm_report.mismatches;
+    let mut hit_ms = Vec::new();
+    let mut miss_ms = Vec::new();
+    let (mut received, mut errors) = (0, 0);
+    let mut elapsed = Vec::new();
+    for mut r in reports {
+        mismatches += r.mismatches;
+        for (fp, outcome) in r.outcomes.drain() {
+            match outcomes.get(&fp) {
+                Some(first) if *first != outcome => mismatches += 1,
+                Some(_) => {}
+                None => {
+                    outcomes.insert(fp, outcome);
+                }
+            }
+        }
+        hit_ms.append(&mut r.hit_ms);
+        miss_ms.append(&mut r.miss_ms);
+        received += r.received;
+        errors += r.errors;
+        elapsed.push(r.elapsed_secs);
+    }
+    let dropped = args.requests - received;
+    let spread = match elapsed.iter().copied().reduce(f64::min) {
+        Some(min) if min > 0.0 => elapsed.iter().copied().fold(0.0, f64::max) / min,
+        _ => 1.0,
+    };
+
+    let report = ServeBenchReport {
+        connections: args.connections,
+        window: args.window,
+        requests: args.requests,
+        warm_specs: args.warm,
+        cold_specs: args.cold,
+        peak_inflight: peak.load(Ordering::Relaxed),
+        cache_hit: LatencyStats::of(hit_ms),
+        miss: LatencyStats::of(miss_ms),
+        warmup_cold: LatencyStats::of(warm_report.miss_ms),
+        throughput_rps: if flood_secs > 0.0 {
+            received as f64 / flood_secs
+        } else {
+            0.0
+        },
+        fairness_spread: spread,
+        errors: errors + warm_report.errors,
+        dropped,
+        byte_identical: mismatches == 0,
+    };
+
+    println!(
+        "loadgen: {} responses in {:.2}s ({:.0} rps), peak in-flight {}",
+        received, flood_secs, report.throughput_rps, report.peak_inflight
+    );
+    println!(
+        "  cache-hit p50 {:.3} ms  p99 {:.3} ms  ({} samples)",
+        report.cache_hit.p50_ms, report.cache_hit.p99_ms, report.cache_hit.count
+    );
+    println!(
+        "  miss      p50 {:.3} ms  p99 {:.3} ms  ({} samples)",
+        report.miss.p50_ms, report.miss.p99_ms, report.miss.count
+    );
+    println!(
+        "  fairness spread {:.2}x  errors {}  dropped {}  byte-identical {}",
+        report.fairness_spread, report.errors, report.dropped, report.byte_identical
+    );
+    write_versioned_json(&args.out, &report).expect("write BENCH_serve.json");
+    println!("wrote {}", args.out.display());
+
+    if let Some((token, handle)) = server {
+        token.cancel();
+        handle.join().expect("server thread").expect("server run");
+    }
+
+    if report.errors > 0 || report.dropped > 0 || !report.byte_identical {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

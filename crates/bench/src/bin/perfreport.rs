@@ -13,18 +13,18 @@
 //! plus `--resume` skip searches that already finished, and
 //! SIGINT/SIGTERM leaves a partial-marked report (exit nonzero).
 
-use dalut_bench::report::write_json;
+use dalut_bench::report::{write_versioned_json, Versioned};
 use dalut_bench::setup::{
-    bound_size, bssa_params, dalta_params, round_in_w, ENERGY_READS, PRUNE_KEEP,
+    benchfns_resolver, bound_size, bssa_spec, dalta_spec, round_in_w, ENERGY_READS, PRUNE_KEEP,
 };
 use dalut_bench::signoff::{signoff_sweep, SignoffBank};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{shutdown, HarnessArgs, Observation};
 use dalut_benchfns::{Benchmark, Scale};
-use dalut_boolfn::{InputDistribution, Partition, TruthTable};
+use dalut_boolfn::{InputDistribution, Partition};
 use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
-    ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BsSaParams, CancelToken, DaltaParams,
+    ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BsSaParams, CancelToken, DaltaParams, JobSpec,
     MetricsSnapshot, Observer, RunBudget, SearchEvent, Termination,
 };
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
@@ -66,7 +66,6 @@ struct SearchRow {
 
 #[derive(Debug, Serialize)]
 struct Report {
-    schema: String,
     seed: u64,
     threads: usize,
     /// `true` when the search section was interrupted mid-sweep.
@@ -75,6 +74,10 @@ struct Report {
     search: Vec<SearchRow>,
     #[serde(skip_serializing_if = "Option::is_none")]
     metrics: Option<MetricsSnapshot>,
+}
+
+impl Versioned for Report {
+    const SCHEMA: &'static str = "dalut-perfreport/v2";
 }
 
 /// Times `f` over enough iterations for a stable per-call figure
@@ -156,11 +159,14 @@ struct SimRow {
 
 #[derive(Debug, Serialize)]
 struct SimReport {
-    schema: String,
     seed: u64,
     benchmark: String,
     scale_bits: usize,
     rows: Vec<SimRow>,
+}
+
+impl Versioned for SimReport {
+    const SCHEMA: &'static str = "dalut-simreport/v1";
 }
 
 /// Times the power/accuracy sign-off simulation (scalar vs batched) on
@@ -249,7 +255,6 @@ fn sim_section(args: &HarnessArgs) -> SimReport {
         rows.push(row);
     }
     SimReport {
-        schema: "dalut-simreport/v1".to_string(),
         seed: args.seed,
         benchmark: Benchmark::Cos.name().to_string(),
         scale_bits,
@@ -291,7 +296,6 @@ struct SweepComparison {
 /// The estimator subsystem's tracked numbers (`BENCH_estimator.json`).
 #[derive(Debug, Serialize)]
 struct EstimatorReport {
-    schema: String,
     seed: u64,
     /// Throughput at the paper's (n=16, b=9) working point.
     paper_point: ThroughputRow,
@@ -299,6 +303,10 @@ struct EstimatorReport {
     calibration: Vec<CalibrationReport>,
     /// Off-vs-prune mini-sweep over synthetic candidates.
     sweep: SweepComparison,
+}
+
+impl Versioned for EstimatorReport {
+    const SCHEMA: &'static str = "dalut-estreport/v1";
 }
 
 /// Times the closed-form estimator against exact sign-off, fits the
@@ -427,7 +435,6 @@ fn estimator_section(args: &HarnessArgs, observer: &dyn Observer) -> EstimatorRe
         sweep.best_energy_rel_delta * 100.0
     );
     EstimatorReport {
-        schema: "dalut-estreport/v1".to_string(),
         seed: args.seed,
         paper_point,
         calibration: bank.reports.clone(),
@@ -435,38 +442,27 @@ fn estimator_section(args: &HarnessArgs, observer: &dyn Observer) -> EstimatorRe
     }
 }
 
-/// One prepared search workload (benchmark × algorithm).
-struct SearchSpec {
+/// One prepared search workload: its labels plus the canonical
+/// [`JobSpec`] — the same description a `dalut-serve` client submits,
+/// so the timing rows measure exactly what the server would run.
+struct SearchWorkload {
     bench: Benchmark,
     algorithm: &'static str,
+    spec: JobSpec,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn search_once(
-    spec: &SearchSpec,
-    target: &TruthTable,
-    dist: &InputDistribution,
+    workload: &SearchWorkload,
     scale_bits: usize,
-    seed: u64,
-    args: &HarnessArgs,
     budget: &RunBudget,
     observer: &dyn Observer,
 ) -> Result<SearchRow, ItemError> {
-    let n = target.inputs();
-    let builder = ApproxLutBuilder::new(target).distribution(dist.clone());
-    let builder = match spec.algorithm {
-        "dalta" => {
-            let mut dp = dalta_params(args, n);
-            dp.search.seed = seed;
-            builder.dalta(dp)
-        }
-        _ => {
-            let mut bp = bssa_params(args, n);
-            bp.search.seed = seed;
-            builder.bs_sa(bp).policy(ArchPolicy::NormalOnly)
-        }
-    };
-    let out = builder
+    let spec = workload
+        .spec
+        .canonicalize(&benchfns_resolver())
+        .map_err(|e| ItemError::Failed(e.to_string()))?;
+    let out = ApproxLutBuilder::from_spec(&spec)
+        .map_err(|e| ItemError::Failed(e.to_string()))?
         .budget(budget.clone())
         .observer(observer)
         .run()
@@ -476,15 +472,15 @@ fn search_once(
     }
     eprintln!(
         "search {} {}: {:.2}s (med {:.3})",
-        spec.bench.name(),
-        spec.algorithm,
+        workload.bench.name(),
+        workload.algorithm,
         out.elapsed.as_secs_f64(),
         out.med,
     );
     Ok(SearchRow {
-        benchmark: spec.bench.name().to_string(),
+        benchmark: workload.bench.name().to_string(),
         scale_bits,
-        algorithm: spec.algorithm.to_string(),
+        algorithm: workload.algorithm.to_string(),
         med: out.med,
         seconds: out.elapsed.as_secs_f64(),
         iterations: out.iterations,
@@ -513,38 +509,42 @@ fn main() -> std::process::ExitCode {
     let scale = Scale::Reduced(scale_bits);
     let scale_label = format!("reduced-{scale_bits}");
     let budget = args.budget().with_cancel(&token);
-    let specs: Vec<SearchSpec> = [Benchmark::Cos, Benchmark::BrentKung]
+    let workloads: Vec<SearchWorkload> = [Benchmark::Cos, Benchmark::BrentKung]
         .into_iter()
         .flat_map(|bench| {
-            ["dalta", "bs-sa"]
-                .into_iter()
-                .map(move |algorithm| SearchSpec { bench, algorithm })
+            [
+                ("dalta", dalta_spec(&args, bench, scale, args.seed)),
+                (
+                    "bs-sa",
+                    bssa_spec(&args, bench, scale, ArchPolicy::NormalOnly, args.seed),
+                ),
+            ]
+            .into_iter()
+            .map(move |(algorithm, spec)| SearchWorkload {
+                bench,
+                algorithm,
+                spec,
+            })
         })
         .collect();
-    let prepared: Vec<(TruthTable, InputDistribution)> = specs
+    let items: Vec<WorkItem<'_, SearchRow>> = workloads
         .iter()
-        .map(|s| {
-            let target = s.bench.table(scale).expect("benchmark builds");
-            let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
-            (target, dist)
-        })
-        .collect();
-    let items: Vec<WorkItem<'_, SearchRow>> = specs
-        .iter()
-        .zip(&prepared)
-        .map(|(spec, (target, dist))| {
-            let (args, budget) = (&args, &budget);
+        .map(|workload| {
+            let budget = &budget;
             WorkItem::new(
+                // The spec carries every result-shaping knob (params,
+                // budget, policy), so it is the checkpoint key.
                 WorkKey::new(
-                    spec.bench.name(),
-                    spec.algorithm,
+                    workload.bench.name(),
+                    workload.algorithm,
                     args.seed,
                     &scale_label,
-                    &args.budget_secs,
+                    &workload.spec,
                 ),
-                vec![Strategy::new(spec.algorithm, move |o: &dyn Observer| {
-                    search_once(spec, target, dist, scale_bits, args.seed, args, budget, o)
-                })],
+                vec![Strategy::new(
+                    workload.algorithm,
+                    move |o: &dyn Observer| search_once(workload, scale_bits, budget, o),
+                )],
             )
         })
         .collect();
@@ -573,7 +573,6 @@ fn main() -> std::process::ExitCode {
     }
 
     let report = Report {
-        schema: "dalut-perfreport/v2".to_string(),
         seed: args.seed,
         threads: args.threads,
         partial: !outcome.is_complete(),
@@ -593,18 +592,18 @@ fn main() -> std::process::ExitCode {
         eprintln!("perfreport: cannot flush trace: {e}");
         return std::process::ExitCode::FAILURE;
     }
-    if let Err(e) = write_json(&path, &report) {
+    if let Err(e) = write_versioned_json(&path, &report) {
         eprintln!("perfreport: cannot write {}: {e}", path.display());
         return std::process::ExitCode::FAILURE;
     }
     let sim_path = path.with_file_name("BENCH_sim.json");
-    if let Err(e) = write_json(&sim_path, &sim) {
+    if let Err(e) = write_versioned_json(&sim_path, &sim) {
         eprintln!("perfreport: cannot write {}: {e}", sim_path.display());
         return std::process::ExitCode::FAILURE;
     }
     eprintln!("wrote {}", sim_path.display());
     let est_path = path.with_file_name("BENCH_estimator.json");
-    if let Err(e) = write_json(&est_path, &est_report) {
+    if let Err(e) = write_versioned_json(&est_path, &est_report) {
         eprintln!("perfreport: cannot write {}: {e}", est_path.display());
         return std::process::ExitCode::FAILURE;
     }

@@ -12,14 +12,13 @@
 //! down with best-so-far results (exit nonzero, JSON marked partial).
 
 use dalut_bench::report::{f2, write_json};
-use dalut_bench::setup::{bssa_params, dalta_params};
+use dalut_bench::setup::{benchfns_resolver, bssa_spec, dalta_spec};
 use dalut_bench::supervisor::{ItemError, Strategy, WorkItem};
 use dalut_bench::{geomean, shutdown, HarnessArgs, Observation, RunStats, Table};
 use dalut_benchfns::Benchmark;
-use dalut_boolfn::{InputDistribution, TruthTable};
 use dalut_core::checkpoint::{fingerprint, WorkKey, WorkRecord};
 use dalut_core::{
-    ApproxLutBuilder, ArchPolicy, CancelToken, Observer, RunBudget, SearchEvent, Termination,
+    ApproxLutBuilder, ArchPolicy, CancelToken, JobSpec, Observer, SearchEvent, Termination,
 };
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -54,19 +53,22 @@ struct Table2Report {
 /// One benchmark prepared for the sweep.
 struct Prepared {
     name: String,
-    target: TruthTable,
-    dist: InputDistribution,
 }
 
+/// Runs one job described by its canonical [`JobSpec`] — the same type
+/// `dalut-serve` accepts over the wire, so a sweep cell here and a
+/// server submission with the same spec produce the same outcome.
 fn search_once(
-    target: &TruthTable,
-    dist: &InputDistribution,
-    builder: impl FnOnce(ApproxLutBuilder<'_>) -> ApproxLutBuilder<'_>,
-    budget: &RunBudget,
+    spec: &JobSpec,
+    token: &CancelToken,
     observer: &dyn Observer,
 ) -> Result<RunResult, ItemError> {
-    let out = builder(ApproxLutBuilder::new(target).distribution(dist.clone()))
-        .budget(budget.clone())
+    let canonical = spec
+        .canonicalize(&benchfns_resolver())
+        .map_err(|e| ItemError::Failed(e.to_string()))?;
+    let out = ApproxLutBuilder::from_spec(&canonical)
+        .map_err(|e| ItemError::Failed(e.to_string()))?
+        .budget(canonical.budget.to_budget().with_cancel(token))
         .observer(observer)
         .run()
         .map_err(|e| ItemError::Failed(e.to_string()))?;
@@ -131,59 +133,56 @@ fn main() -> ExitCode {
         if args.full { " (paper parameters)" } else { "" }
     );
 
-    let prepared: Vec<Prepared> = Benchmark::all()
+    let benches: Vec<Benchmark> = Benchmark::all()
         .into_iter()
         .filter(|bench| {
             args.only
                 .as_ref()
                 .is_none_or(|only| bench.name().eq_ignore_ascii_case(only))
         })
-        .map(|bench| {
-            let target = bench.table(scale).expect("benchmark builds");
-            let dist = InputDistribution::uniform(target.inputs()).expect("valid width");
-            Prepared {
-                name: bench.name().to_string(),
-                target,
-                dist,
-            }
+        .collect();
+    let prepared: Vec<Prepared> = benches
+        .iter()
+        .map(|bench| Prepared {
+            name: bench.name().to_string(),
         })
         .collect();
 
     let scale_label = format!("{scale:?}");
-    let budget = args.budget().with_cancel(&token);
-    let mut items: Vec<WorkItem<'_, RunResult>> = Vec::new();
-    for p in &prepared {
+    // Each sweep cell is one JobSpec: the same description a client
+    // would send to dalut-serve. Specs are built once and owned by a
+    // side vector so the item closures can borrow them.
+    let mut specs: Vec<(JobSpec, JobSpec)> = Vec::new();
+    for &bench in &benches {
         for run in 0..runs {
             let seed = args.seed + 1000 * run as u64;
-            let mut dp = dalta_params(&args, p.target.inputs());
-            dp.search.seed = seed;
-            let mut bp = bssa_params(&args, p.target.inputs());
-            bp.search.seed = seed;
-
-            let b = &budget;
+            specs.push((
+                dalta_spec(&args, bench, scale, seed),
+                bssa_spec(&args, bench, scale, ArchPolicy::NormalOnly, seed),
+            ));
+        }
+    }
+    let mut items: Vec<WorkItem<'_, RunResult>> = Vec::new();
+    for (i, &bench) in benches.iter().enumerate() {
+        for run in 0..runs {
+            let seed = args.seed + 1000 * run as u64;
+            let (dspec, bspec) = &specs[i * runs + run];
+            let tok = &token;
             items.push(WorkItem::new(
-                WorkKey::new(&p.name, "dalta", seed, &scale_label, &dp),
+                WorkKey::new(bench.name(), "dalta", seed, &scale_label, dspec),
                 vec![Strategy::new("dalta", move |o: &dyn Observer| {
-                    search_once(&p.target, &p.dist, |bld| bld.dalta(dp), b, o)
+                    search_once(dspec, tok, o)
                 })],
             ));
             // Table II compares the normal mode only (as the paper does,
             // since DALTA has no other mode). BS-SA degrades to the
             // DALTA baseline after repeated failure.
             items.push(WorkItem::new(
-                WorkKey::new(&p.name, "bs-sa", seed, &scale_label, &bp),
+                WorkKey::new(bench.name(), "bs-sa", seed, &scale_label, bspec),
                 vec![
-                    Strategy::new("bs-sa", move |o: &dyn Observer| {
-                        search_once(
-                            &p.target,
-                            &p.dist,
-                            |bld| bld.bs_sa(bp).policy(ArchPolicy::NormalOnly),
-                            b,
-                            o,
-                        )
-                    }),
+                    Strategy::new("bs-sa", move |o: &dyn Observer| search_once(bspec, tok, o)),
                     Strategy::new("dalta-baseline", move |o: &dyn Observer| {
-                        search_once(&p.target, &p.dist, |bld| bld.dalta(dp), b, o)
+                        search_once(dspec, tok, o)
                     }),
                 ],
             ));

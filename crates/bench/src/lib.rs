@@ -24,26 +24,28 @@
 //! the run's `CancelToken` so a best-so-far results file is always
 //! written ([`shutdown`]).
 
-// `deny` rather than `forbid`: the `shutdown` module registers POSIX
-// signal handlers, which needs one audited `unsafe` block.
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod observation;
 pub mod progress;
 pub mod report;
 pub mod setup;
-pub mod shutdown;
 pub mod signoff;
 pub mod stats;
 pub mod supervisor;
 
+/// Re-exported from `dalut-serve`, where the handler moved so the
+/// server's drain path and the harness binaries share one
+/// implementation.
+pub use dalut_serve::shutdown;
+
 pub use args::HarnessArgs;
 pub use observation::Observation;
 pub use progress::StderrProgress;
-pub use report::{write_json, Table};
+pub use report::{write_json, write_versioned_json, Table, Versioned};
 pub use signoff::{signoff_sweep, EstimatorSummary, PointSignoff, SignoffBank};
 pub use stats::{geomean, RunStats};
 pub use supervisor::{ItemError, Strategy, SupervisorOutcome, SweepSupervisor, WorkItem};

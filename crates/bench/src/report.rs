@@ -79,6 +79,59 @@ pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::R
     dalut_core::checkpoint::atomic_write(path, json.as_bytes())
 }
 
+/// A report type with a stable, versioned schema tag.
+///
+/// Implementors drop their hand-rolled `schema: String` field;
+/// [`write_versioned_json`] injects `Self::SCHEMA` as the report's
+/// first key instead, so the tag can never drift from the type or be
+/// forgotten at a construction site.
+pub trait Versioned {
+    /// The `"schema"` value, e.g. `"dalut-fleetsim/v1"`. Bump the
+    /// suffix on any breaking change to the report's shape.
+    const SCHEMA: &'static str;
+}
+
+/// [`write_json`], with the type's [`Versioned::SCHEMA`] injected as
+/// the leading `"schema"` key. Produces byte-identical output to a
+/// struct that declared `schema` as its first field.
+///
+/// # Errors
+///
+/// As [`write_json`]; additionally if `value` does not serialise to a
+/// JSON object (versioned reports must be objects).
+pub fn write_versioned_json<T: Serialize + Versioned>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> std::io::Result<()> {
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let json = inject_schema(T::SCHEMA, &body).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "versioned report did not serialise to a JSON object",
+        )
+    })?;
+    dalut_core::checkpoint::atomic_write(path, json.as_bytes())
+}
+
+/// Splices `"schema": <schema>` in as the first key of a
+/// pretty-printed JSON object; `None` if `body` is not an object.
+fn inject_schema(schema: &str, body: &str) -> Option<String> {
+    let rest = body.strip_prefix('{')?;
+    body.ends_with('}').then_some(())?;
+    if rest.trim_start_matches(['\n', ' ']).starts_with('}') {
+        // Empty object: the schema is the only key.
+        Some(format!("{{\n  \"schema\": \"{schema}\"\n}}"))
+    } else if let Some(fields) = rest.strip_prefix('\n') {
+        // Pretty-printed: first field follows on its own line.
+        Some(format!("{{\n  \"schema\": \"{schema}\",\n{fields}"))
+    } else {
+        // Compact object (e.g. a stubbed JSON library): same splice
+        // without the layout.
+        Some(format!("{{\"schema\":\"{schema}\",{rest}"))
+    }
+}
+
 /// Formats a float with 2 decimals (table cells).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -182,6 +235,65 @@ mod tests {
         std::fs::write(dir.join("not_a_dir"), b"x").unwrap();
         let p = dir.join("not_a_dir").join("r.json");
         assert!(write_json(&p, &1u32).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inject_schema_matches_a_declared_first_field() {
+        #[derive(Serialize)]
+        struct WithField {
+            schema: String,
+            x: u32,
+        }
+        #[derive(Serialize)]
+        struct Without {
+            x: u32,
+        }
+        let declared = serde_json::to_string_pretty(&WithField {
+            schema: "dalut-test/v1".to_string(),
+            x: 7,
+        })
+        .unwrap();
+        let injected = inject_schema(
+            "dalut-test/v1",
+            &serde_json::to_string_pretty(&Without { x: 7 }).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(injected, declared);
+    }
+
+    #[test]
+    fn inject_schema_handles_empty_and_compact_objects() {
+        assert_eq!(
+            inject_schema("s/v1", "{}").unwrap(),
+            "{\n  \"schema\": \"s/v1\"\n}"
+        );
+        assert_eq!(
+            inject_schema("s/v1", "{\"x\":1}").unwrap(),
+            "{\"schema\":\"s/v1\",\"x\":1}"
+        );
+        assert!(inject_schema("s/v1", "[1,2]").is_none());
+    }
+
+    #[test]
+    fn versioned_write_puts_schema_first() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        impl Versioned for R {
+            const SCHEMA: &'static str = "dalut-test/v9";
+        }
+        let dir = unique_temp_dir("versioned");
+        let p = dir.join("r.json");
+        write_versioned_json(&p, &R { x: 3 }).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(text.contains("\"schema\": \"dalut-test/v9\""), "{text}");
+        assert_eq!(back["x"], 3.0);
+        assert!(text
+            .trim_start_matches(['{', '\n', ' '])
+            .starts_with("\"schema\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,8 +1,19 @@
 //! Parameter derivation for the harness: paper-exact values under
-//! `--full`, proportionally scaled values otherwise.
+//! `--full`, proportionally scaled values otherwise — plus the
+//! [`JobSpec`] constructors turning those parameters into the canonical
+//! work description the binaries and the `dalut-serve` server share.
 
 use crate::args::HarnessArgs;
-use dalut_core::{BsSaParams, DaltaParams, SearchParams};
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_core::{
+    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DaltaParams, DistributionSpec, FunctionSource,
+    JobSpec, SearchParams,
+};
+
+/// The resolver the harness uses for named benchmark sources: the ten
+/// paper benchmarks (re-exported from `dalut-serve`, so a spec built
+/// here resolves identically in-process and on the server).
+pub use dalut_serve::benchfns_resolver;
 
 /// Bound-set size for a given input width: the paper's `b = 9` at
 /// `n = 16`, scaled proportionally (and clamped to a valid 0 < b < n).
@@ -54,6 +65,49 @@ pub fn bssa_params(args: &HarnessArgs, n: usize) -> BsSaParams {
         stall_limit: 3,
         round1_fill: dalut_decomp::LsbFill::Predictive,
     }
+}
+
+/// The shared core of the spec constructors below: a named-benchmark
+/// function source under the uniform distribution, with the budget and
+/// estimator mode the harness arguments select.
+fn job_spec(args: &HarnessArgs, bench: Benchmark, scale: Scale, algorithm: Algorithm) -> JobSpec {
+    JobSpec {
+        function: FunctionSource::Benchmark {
+            name: bench.name().to_string(),
+            scale_bits: scale.input_bits(),
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm,
+        policy: ArchPolicy::NormalOnly,
+        budget: BudgetSpec::from_budget(&args.budget()),
+        estimator: args.estimator,
+    }
+}
+
+/// The canonical [`JobSpec`] for one DALTA-baseline run of `bench` at
+/// `scale` under the harness arguments, seeded with `seed`.
+#[must_use]
+pub fn dalta_spec(args: &HarnessArgs, bench: Benchmark, scale: Scale, seed: u64) -> JobSpec {
+    let mut params = dalta_params(args, scale.input_bits());
+    params.search.seed = seed;
+    job_spec(args, bench, scale, Algorithm::Dalta(params))
+}
+
+/// The canonical [`JobSpec`] for one BS-SA run of `bench` at `scale`
+/// under `policy`, seeded with `seed`.
+#[must_use]
+pub fn bssa_spec(
+    args: &HarnessArgs,
+    bench: Benchmark,
+    scale: Scale,
+    policy: ArchPolicy,
+    seed: u64,
+) -> JobSpec {
+    let mut params = bssa_params(args, scale.input_bits());
+    params.search.seed = seed;
+    let mut spec = job_spec(args, bench, scale, Algorithm::BsSa(params));
+    spec.policy = policy;
+    spec
 }
 
 /// The paper measures the energy of 1024 read operations.

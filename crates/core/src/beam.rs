@@ -5,7 +5,7 @@
 use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
 use crate::error::DalutError;
-use crate::observe::{observe_kernel, Observer, SearchEvent, NOOP};
+use crate::observe::{observe_kernel, Observer, SearchEvent};
 use crate::outcome::{BitModeOptions, SearchOutcome};
 use crate::params::{ArchPolicy, BsSaParams};
 use crate::sa::{find_best_settings_observed, DecompMode};
@@ -141,8 +141,8 @@ fn fill_unassigned(
     Ok(g_hat)
 }
 
-/// Runs the BS-SA search and configures the architecture given by
-/// `policy`.
+/// The BS-SA search engine behind [`ApproxLutBuilder`]
+/// (crate::pipeline::ApproxLutBuilder), with an [`Observer`] attached.
 ///
 /// Round 1 is a beam search over the output bits from the MSB down: for
 /// every sequence in the beam, `FindBestSettings` (Algorithm 2) proposes
@@ -151,64 +151,15 @@ fn fill_unassigned(
 /// Rounds 2..R re-optimise each bit greedily against the materialised
 /// approximation; in the **final** round the best BTO / ND settings are
 /// also computed and the paper's `δ`/`δ'` rule picks each bit's operating
-/// mode.
-///
-/// Runs with an unlimited budget; see [`run_bs_sa_budgeted`] for
-/// deadline-, iteration- and cancellation-bounded runs.
-///
-/// # Errors
-///
-/// Returns an error on shape mismatch between `target` and `dist`, or if
-/// `params.search.bound_size` is not in `1..target.inputs()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ApproxLutBuilder::new(target).distribution(dist).bs_sa(params).policy(policy).run()`"
-)]
-pub fn run_bs_sa(
-    target: &TruthTable,
-    dist: &InputDistribution,
-    params: &BsSaParams,
-    policy: ArchPolicy,
-) -> Result<SearchOutcome, DalutError> {
-    crate::pipeline::ApproxLutBuilder::new(target)
-        .distribution(dist.clone())
-        .bs_sa(*params)
-        .policy(policy)
-        .run()
-}
-
-/// [`run_bs_sa`] under an execution [`RunBudget`].
-///
-/// The budget is checked at per-bit optimisation boundaries (and, inside
-/// each `FindBestSettings` call, at SA chain-step boundaries), so RNG
-/// streams are consumed exactly as in an unbudgeted run: a run that
-/// finishes within its budget returns a byte-identical
-/// [`SearchOutcome`] (modulo `elapsed`). When the budget trips, the
-/// search stops where it is, completes any not-yet-assigned bits with a
-/// cheap deterministic fill, and returns whichever of {current state,
-/// best completed round} has the lower true MED — tagged with the
-/// appropriate [`Termination`](crate::budget::Termination).
-///
-/// # Errors
-///
-/// Returns an error on shape mismatch between `target` and `dist`, or if
-/// `params.search.bound_size` is not in `1..target.inputs()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ApproxLutBuilder::new(target).distribution(dist).bs_sa(params).policy(policy).budget(budget).run()`"
-)]
-pub fn run_bs_sa_budgeted(
-    target: &TruthTable,
-    dist: &InputDistribution,
-    params: &BsSaParams,
-    policy: ArchPolicy,
-    budget: &RunBudget,
-) -> Result<SearchOutcome, DalutError> {
-    bs_sa_engine(target, dist, params, policy, budget, &NOOP)
-}
-
-/// The BS-SA search engine behind [`ApproxLutBuilder`]
-/// (crate::pipeline::ApproxLutBuilder), with an [`Observer`] attached.
+/// mode. The budget is checked at per-bit optimisation boundaries (and,
+/// inside each `FindBestSettings` call, at SA chain-step boundaries), so
+/// RNG streams are consumed exactly as in an unbudgeted run: a run that
+/// finishes within its budget returns a byte-identical [`SearchOutcome`]
+/// (modulo `elapsed`). When the budget trips, the search stops where it
+/// is, completes any not-yet-assigned bits with a cheap deterministic
+/// fill, and returns whichever of {current state, best completed round}
+/// has the lower true MED — tagged with the appropriate
+/// [`Termination`](crate::budget::Termination).
 pub(crate) fn bs_sa_engine(
     target: &TruthTable,
     dist: &InputDistribution,
@@ -511,9 +462,9 @@ pub(crate) fn bs_sa_engine(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated free-function shims too
 mod tests {
     use super::*;
+    use crate::pipeline::ApproxLutBuilder;
     use dalut_boolfn::builder::random_table;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -524,6 +475,36 @@ mod tests {
             random_table(n, m, &mut rng).unwrap(),
             InputDistribution::uniform(n).unwrap(),
         )
+    }
+
+    // Thin builder wrappers so the tests below read like the old
+    // free-function call sites.
+    fn run_bs_sa(
+        target: &TruthTable,
+        dist: &InputDistribution,
+        params: &BsSaParams,
+        policy: ArchPolicy,
+    ) -> Result<SearchOutcome, DalutError> {
+        ApproxLutBuilder::new(target)
+            .distribution(dist.clone())
+            .bs_sa(*params)
+            .policy(policy)
+            .run()
+    }
+
+    fn run_bs_sa_budgeted(
+        target: &TruthTable,
+        dist: &InputDistribution,
+        params: &BsSaParams,
+        policy: ArchPolicy,
+        budget: &RunBudget,
+    ) -> Result<SearchOutcome, DalutError> {
+        ApproxLutBuilder::new(target)
+            .distribution(dist.clone())
+            .bs_sa(*params)
+            .policy(policy)
+            .budget(budget.clone())
+            .run()
     }
 
     #[test]

@@ -81,14 +81,13 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// FNV-1a hash of a string: the stable fingerprint for configuration
 /// parameters inside a [`WorkKey`] and for whole-sweep fingerprints.
+///
+/// A thin delegate to [`fnv1a_64`](crate::spec::fnv1a_64); the FNV
+/// machinery itself lives in [`spec`](crate::spec), where the 128-bit
+/// variant backs [`FunctionFingerprint`](crate::FunctionFingerprint).
 #[must_use]
 pub fn fingerprint(s: &str) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    crate::spec::fnv1a_64(s.as_bytes())
 }
 
 // ---------------------------------------------------------------------

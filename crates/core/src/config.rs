@@ -57,11 +57,15 @@ impl BitConfig {
 ///
 /// ```
 /// use dalut_boolfn::{InputDistribution, TruthTable};
-/// use dalut_core::{run_dalta, DaltaParams};
+/// use dalut_core::{ApproxLutBuilder, DaltaParams};
 ///
 /// let g = TruthTable::from_fn(6, 3, |x| (x >> 3) ^ (x & 7)).unwrap();
 /// let dist = InputDistribution::uniform(6).unwrap();
-/// let outcome = run_dalta(&g, &dist, &DaltaParams::fast()).unwrap();
+/// let outcome = ApproxLutBuilder::new(&g)
+///     .distribution(dist)
+///     .dalta(DaltaParams::fast())
+///     .run()
+///     .unwrap();
 /// let approx = outcome.config.to_truth_table();
 /// assert_eq!(approx.inputs(), 6);
 /// ```

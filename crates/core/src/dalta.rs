@@ -4,7 +4,7 @@
 use crate::budget::{BudgetTimer, RunBudget};
 use crate::config::{ApproxLutConfig, BitConfig};
 use crate::error::DalutError;
-use crate::observe::{observe_kernel, Observer, SearchEvent, NOOP};
+use crate::observe::{observe_kernel, Observer, SearchEvent};
 use crate::outcome::SearchOutcome;
 use crate::parallel::try_run_tasks;
 use crate::params::DaltaParams;
@@ -39,7 +39,8 @@ pub(crate) fn draw_partitions(
     out
 }
 
-/// Runs the DALTA baseline algorithm.
+/// The DALTA baseline engine behind `ApproxLutBuilder`, with an
+/// [`Observer`] attached.
 ///
 /// Bits are optimised from the MSB down, for `R` rounds. In the first
 /// round the not-yet-optimised LSBs are their accurate versions (DALTA's
@@ -47,47 +48,6 @@ pub(crate) fn draw_partitions(
 /// it starts as a copy of the target. For each bit, `P` random partitions
 /// are evaluated with `OptForPart` (in parallel over
 /// `params.search.threads` workers) and the best is kept greedily.
-///
-/// Runs with an unlimited budget; see [`run_dalta_budgeted`] for
-/// deadline-, iteration- and cancellation-bounded runs.
-///
-/// # Errors
-///
-/// Returns an error on shape mismatch between `target` and `dist`, or if
-/// `params.search.bound_size` is not in `1..target.inputs()`.
-///
-/// # Examples
-///
-/// ```
-/// use dalut_boolfn::{InputDistribution, TruthTable};
-/// use dalut_core::{ApproxLutBuilder, DaltaParams};
-///
-/// let g = TruthTable::from_fn(6, 3, |x| (x / 9) % 8).unwrap();
-/// let dist = InputDistribution::uniform(6).unwrap();
-/// let outcome = ApproxLutBuilder::new(&g)
-///     .distribution(dist)
-///     .dalta(DaltaParams::fast())
-///     .run()
-///     .unwrap();
-/// assert_eq!(outcome.config.outputs(), 3);
-/// assert!(outcome.med.is_finite());
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ApproxLutBuilder::new(target).distribution(dist).dalta(params).run()`"
-)]
-pub fn run_dalta(
-    target: &TruthTable,
-    dist: &InputDistribution,
-    params: &DaltaParams,
-) -> Result<SearchOutcome, DalutError> {
-    crate::pipeline::ApproxLutBuilder::new(target)
-        .distribution(dist.clone())
-        .dalta(*params)
-        .run()
-}
-
-/// [`run_dalta`] under an execution [`RunBudget`].
 ///
 /// The budget is checked between per-bit optimisation steps only, so a
 /// run that finishes within its budget is byte-identical to an
@@ -97,26 +57,6 @@ pub fn run_dalta(
 /// lower true MED. Worker-task panics are isolated per candidate
 /// partition: the failed candidates drop out of their bit's pool and the
 /// run completes with [`Termination::TaskFailed`](crate::Termination).
-///
-/// # Errors
-///
-/// Returns an error on shape mismatch between `target` and `dist`, or if
-/// `params.search.bound_size` is not in `1..target.inputs()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ApproxLutBuilder::new(target).distribution(dist).dalta(params).budget(budget).run()`"
-)]
-pub fn run_dalta_budgeted(
-    target: &TruthTable,
-    dist: &InputDistribution,
-    params: &DaltaParams,
-    budget: &RunBudget,
-) -> Result<SearchOutcome, DalutError> {
-    dalta_engine(target, dist, params, budget, &NOOP)
-}
-
-/// The DALTA engine behind `ApproxLutBuilder`, with an [`Observer`]
-/// attached.
 pub(crate) fn dalta_engine(
     target: &TruthTable,
     dist: &InputDistribution,
@@ -299,9 +239,9 @@ pub(crate) fn dalta_engine(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated free-function shims too
 mod tests {
     use super::*;
+    use crate::pipeline::ApproxLutBuilder;
     use dalut_boolfn::builder::random_table;
 
     fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
@@ -310,6 +250,19 @@ mod tests {
             random_table(n, m, &mut rng).unwrap(),
             InputDistribution::uniform(n).unwrap(),
         )
+    }
+
+    // Thin builder wrapper so the tests below read like the old
+    // free-function call sites.
+    fn run_dalta(
+        target: &TruthTable,
+        dist: &InputDistribution,
+        params: &DaltaParams,
+    ) -> Result<SearchOutcome, DalutError> {
+        ApproxLutBuilder::new(target)
+            .distribution(dist.clone())
+            .dalta(*params)
+            .run()
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum DalutError {
     InvalidParams(String),
     /// A worker task panicked and exhausted its retries.
     Task(TaskPanic),
+    /// A [`JobSpec`](crate::JobSpec) could not be resolved or realised
+    /// (unknown benchmark name, mismatched weight vector, unresolved
+    /// function source where a table is required).
+    Spec(String),
 }
 
 impl fmt::Display for DalutError {
@@ -35,6 +39,7 @@ impl fmt::Display for DalutError {
             Self::Decomp(e) => write!(f, "decomposition error: {e}"),
             Self::InvalidParams(msg) => write!(f, "invalid search parameters: {msg}"),
             Self::Task(e) => write!(f, "worker task failed: {e}"),
+            Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
         }
     }
 }
@@ -45,7 +50,7 @@ impl std::error::Error for DalutError {
             Self::BoolFn(e) => Some(e),
             Self::Decomp(e) => Some(e),
             Self::Task(e) => Some(e),
-            Self::InvalidParams(_) => None,
+            Self::InvalidParams(_) | Self::Spec(_) => None,
         }
     }
 }

@@ -9,6 +9,59 @@
 //! sign-off, without `dalut-core` depending on any hardware crate.
 
 use crate::config::ApproxLutConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a sweep driver uses the resource estimator.
+///
+/// Lives here (not in `dalut-est`) so that [`JobSpec`](crate::JobSpec)
+/// can carry the mode as a semantic field without the core crate
+/// depending on the estimator implementation; `dalut-est` re-exports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EstimatorMode {
+    /// Never estimate: every candidate pays exact sign-off (bit-identical
+    /// to the pre-estimator flow).
+    Off,
+    /// Rank candidates analytically, exact sign-off only for the
+    /// cheapest survivors; pruned points keep their estimated metrics.
+    #[default]
+    Prune,
+    /// Analytic metrics only — no exact sign-off at all (fastest,
+    /// calibration-accuracy numbers).
+    Trust,
+}
+
+impl EstimatorMode {
+    /// The flag spellings accepted by `--estimator`.
+    pub const CHOICES: &'static str = "off|prune|trust";
+}
+
+impl FromStr for EstimatorMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Self::Off),
+            "prune" => Ok(Self::Prune),
+            "trust" => Ok(Self::Trust),
+            other => Err(format!(
+                "unknown estimator mode {other:?} (expected {})",
+                Self::CHOICES
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Prune => "prune",
+            Self::Trust => "trust",
+        })
+    }
+}
 
 /// Scores a candidate configuration's hardware cost analytically.
 ///

@@ -65,22 +65,19 @@ pub mod parallel;
 pub mod params;
 pub mod pipeline;
 pub mod sa;
+pub mod spec;
 pub mod tradeoff;
 pub mod visited;
 
 pub use analysis::{error_breakdown, BitErrorReport, ErrorBreakdown};
-#[allow(deprecated)]
-pub use beam::{run_bs_sa, run_bs_sa_budgeted};
 pub use budget::{BudgetTimer, CancelToken, RunBudget, Termination};
 pub use checkpoint::{
     atomic_write, crc32, fingerprint, CheckpointStore, Degradation, LoadedCheckpoint,
     SweepSnapshot, WorkKey, WorkRecord,
 };
 pub use config::{ApproxLutConfig, BitConfig, BitMode};
-#[allow(deprecated)]
-pub use dalta::{run_dalta, run_dalta_budgeted};
 pub use error::DalutError;
-pub use estimate::{select_survivors, select_survivors_with_margin, ResourceScorer};
+pub use estimate::{select_survivors, select_survivors_with_margin, EstimatorMode, ResourceScorer};
 pub use observe::{
     CounterSnapshot, HistogramSnapshot, JsonlTraceWriter, MetricsRecorder, MetricsSnapshot,
     MultiObserver, NoopObserver, Observer, PhaseSnapshot, RecordingObserver, SearchEvent,
@@ -90,4 +87,8 @@ pub use outcome::{BitModeOptions, SearchOutcome};
 pub use params::{ArchPolicy, BsSaParams, DaltaParams, SearchParams};
 pub use pipeline::{Algorithm, ApproxLutBuilder, SearchConfig};
 pub use sa::{find_best_settings, DecompMode};
+pub use spec::{
+    fnv1a_128, fnv1a_64, BudgetSpec, DistributionSpec, FunctionFingerprint, FunctionResolver,
+    FunctionSource, JobSpec, NoResolver, JOBSPEC_SCHEMA,
+};
 pub use tradeoff::{mode_sweep, pareto_front, TradeoffPoint};

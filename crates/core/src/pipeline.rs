@@ -51,9 +51,9 @@ impl Default for SearchConfig {
 }
 
 /// Fluent builder for approximating a function with a decomposition-based
-/// LUT. This is the single entrypoint to both search algorithms; the
-/// older `run_dalta(...)` / `run_bs_sa(...)` free functions are
-/// deprecated shims over it.
+/// LUT. This is the single entrypoint to both search algorithms; wire- or
+/// disk-borne work arrives as a [`JobSpec`](crate::JobSpec) and enters
+/// through [`from_spec`](Self::from_spec).
 ///
 /// # Examples
 ///
@@ -112,6 +112,63 @@ impl<'a> ApproxLutBuilder<'a> {
             dist: None,
             config: SearchConfig::default(),
             observer: &NOOP,
+        }
+    }
+
+    /// Starts a builder from a canonical [`JobSpec`](crate::JobSpec),
+    /// borrowing its truth table: the distribution is realised and the
+    /// algorithm, policy and budget are taken from the spec (its
+    /// estimator mode is ignored — the in-process builder never
+    /// estimates). The same spec always configures the same search, so
+    /// `from_spec(&b.to_spec())` reproduces `b`'s outcome bit-for-bit at
+    /// a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DalutError::Spec`] if the spec's function source is an
+    /// unresolved benchmark name (canonicalize it first with
+    /// [`JobSpec::canonicalize`](crate::JobSpec::canonicalize)), or a
+    /// realisation error for an invalid distribution.
+    pub fn from_spec(spec: &'a crate::spec::JobSpec) -> Result<Self, DalutError> {
+        let crate::spec::FunctionSource::Table { table } = &spec.function else {
+            return Err(DalutError::Spec(
+                "function source is an unresolved benchmark; canonicalize the spec \
+                 with a FunctionResolver first"
+                    .into(),
+            ));
+        };
+        let dist = spec.distribution.realize(table.inputs())?;
+        Ok(Self {
+            target: table,
+            dist: Some(dist),
+            config: spec.search_config(),
+            observer: &NOOP,
+        })
+    }
+
+    /// The canonical [`JobSpec`](crate::JobSpec) describing this
+    /// builder's configured search: explicit truth table, the realised
+    /// distribution, and the algorithm/policy/budget as set. Any
+    /// cancellation token on the budget is dropped (it cannot cross the
+    /// wire), and the estimator mode is
+    /// [`EstimatorMode::Off`](crate::EstimatorMode::Off) — the builder
+    /// never estimates.
+    #[must_use]
+    pub fn to_spec(&self) -> crate::spec::JobSpec {
+        crate::spec::JobSpec {
+            function: crate::spec::FunctionSource::Table {
+                table: self.target.clone(),
+            },
+            distribution: self
+                .dist
+                .as_ref()
+                .map_or(crate::spec::DistributionSpec::Uniform, |d| {
+                    crate::spec::DistributionSpec::from_distribution(d)
+                }),
+            algorithm: self.config.algorithm,
+            policy: self.config.policy,
+            budget: crate::spec::BudgetSpec::from_budget(&self.config.budget),
+            estimator: crate::estimate::EstimatorMode::Off,
         }
     }
 
@@ -292,25 +349,33 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_builder() {
-        #![allow(deprecated)]
+    fn spec_round_trip_reproduces_the_builder_run() {
         let target = TruthTable::from_fn(6, 2, |x| (x * 7) % 4).unwrap();
-        let dist = InputDistribution::uniform(6).unwrap();
-        let via_shim = crate::dalta::run_dalta(&target, &dist, &DaltaParams::fast()).unwrap();
-        let via_builder = ApproxLutBuilder::new(&target)
-            .distribution(dist.clone())
-            .dalta(DaltaParams::fast())
-            .run()
-            .unwrap();
-        assert_eq!(via_shim.config, via_builder.config);
-        let via_shim =
-            crate::beam::run_bs_sa(&target, &dist, &BsSaParams::fast(), ArchPolicy::NormalOnly)
-                .unwrap();
-        let via_builder = ApproxLutBuilder::new(&target)
-            .distribution(dist)
-            .bs_sa(BsSaParams::fast())
-            .run()
-            .unwrap();
-        assert_eq!(via_shim.config, via_builder.config);
+        let builder = ApproxLutBuilder::new(&target).bs_sa(BsSaParams::fast());
+        let spec = builder.to_spec();
+        let direct = builder.run().unwrap();
+        let via_spec = ApproxLutBuilder::from_spec(&spec).unwrap().run().unwrap();
+        assert_eq!(direct.config, via_spec.config);
+        assert_eq!(direct.med.to_bits(), via_spec.med.to_bits());
+        assert_eq!(direct.iterations, via_spec.iterations);
+    }
+
+    #[test]
+    fn from_spec_rejects_unresolved_benchmarks() {
+        let spec = crate::spec::JobSpec {
+            function: crate::spec::FunctionSource::Benchmark {
+                name: "cos".into(),
+                scale_bits: 6,
+            },
+            distribution: crate::spec::DistributionSpec::Uniform,
+            algorithm: Algorithm::BsSa(BsSaParams::fast()),
+            policy: ArchPolicy::NormalOnly,
+            budget: crate::spec::BudgetSpec::unlimited(),
+            estimator: crate::estimate::EstimatorMode::Off,
+        };
+        assert!(matches!(
+            ApproxLutBuilder::from_spec(&spec),
+            Err(DalutError::Spec(_))
+        ));
     }
 }

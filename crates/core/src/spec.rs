@@ -1,0 +1,756 @@
+//! Wire-ready job specifications: the canonical, serialisable
+//! description of one search request.
+//!
+//! A [`JobSpec`] bundles everything that determines a search result —
+//! the target function, the input distribution, the algorithm and its
+//! parameters, the architecture policy, the execution budget and the
+//! estimator mode — into one serde-round-trippable value. It is the
+//! single way work is described on the wire (`dalut-serve` requests),
+//! on disk (cache entries) and across the bench bins, replacing each
+//! bin's ad-hoc argument plumbing.
+//!
+//! ## Canonical form and fingerprints
+//!
+//! Two specs are *semantically equal* when they determine the same
+//! search: same resolved truth table, same realised input
+//! probabilities, same algorithm parameters (excluding the
+//! [`threads`](crate::SearchParams::threads) execution knob, which the
+//! engines are deterministic over), same policy, budget and estimator
+//! mode. [`JobSpec::canonicalize`] rewrites a spec into the normal form
+//! that makes this equality syntactic — named benchmarks resolve to
+//! their truth tables, distributions to their realised probability
+//! vectors (with the uniform vector collapsed to
+//! [`DistributionSpec::Uniform`]) — and [`JobSpec::fingerprint`] hashes
+//! that form into a 128-bit [`FunctionFingerprint`]. Semantically equal
+//! specs therefore collide (and, modulo FNV collisions, only they do),
+//! which is exactly the key a content-addressed configuration cache
+//! needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+use crate::budget::RunBudget;
+use crate::error::DalutError;
+use crate::estimate::EstimatorMode;
+use crate::params::ArchPolicy;
+use crate::pipeline::{Algorithm, SearchConfig};
+use dalut_boolfn::{InputDistribution, TruthTable};
+
+// ---------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------
+
+/// FNV-1a (64-bit) hash of `bytes`: the stable fingerprint used by
+/// checkpoint [`WorkKey`](crate::WorkKey)s and whole-sweep fingerprints.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a (128-bit) hash of `bytes`, returned as `(hi, lo)` words.
+///
+/// Backs [`FunctionFingerprint`]: at 128 bits, accidental collisions
+/// between distinct canonical specs are out of reach for any realistic
+/// cache population.
+#[must_use]
+pub fn fnv1a_128(bytes: &[u8]) -> (u64, u64) {
+    const OFFSET: u128 = 0x6C62_272E_07BB_0142_62B8_2175_6295_C58D;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    ((h >> 64) as u64, h as u64)
+}
+
+// ---------------------------------------------------------------------
+// FunctionFingerprint
+// ---------------------------------------------------------------------
+
+/// The 128-bit content address of a canonical [`JobSpec`].
+///
+/// Stored as two `u64` words (`serde_json` cannot represent `u128`);
+/// displays and parses as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionFingerprint {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl FunctionFingerprint {
+    /// Fingerprints raw bytes (FNV-1a 128).
+    #[must_use]
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let (hi, lo) = fnv1a_128(bytes);
+        Self { hi, lo }
+    }
+}
+
+impl fmt::Display for FunctionFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl FromStr for FunctionFingerprint {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(format!(
+                "fingerprint must be 32 hex digits, got {}",
+                s.len()
+            ));
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|e| e.to_string())?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|e| e.to_string())?;
+        Ok(Self { hi, lo })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Function source
+// ---------------------------------------------------------------------
+
+/// Where the target function comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FunctionSource {
+    /// An explicit truth table (the canonical form).
+    Table {
+        /// The target function.
+        table: TruthTable,
+    },
+    /// A named benchmark function at a given input width, resolved
+    /// through a [`FunctionResolver`] (e.g. the `dalut-benchfns` suite).
+    Benchmark {
+        /// Benchmark name (e.g. `"cos"`, `"sqrt"`).
+        name: String,
+        /// Input width in bits the benchmark is scaled to.
+        scale_bits: usize,
+    },
+}
+
+/// Resolves named benchmark functions into truth tables.
+///
+/// `dalut-core` deliberately knows nothing about concrete benchmark
+/// suites; anything that can turn a `(name, scale_bits)` pair into a
+/// [`TruthTable`] — the `dalut-benchfns` suite, a test fixture, a
+/// closure — implements this trait.
+pub trait FunctionResolver {
+    /// Builds the truth table for `name` at `scale_bits` input bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown names or unsupported scales.
+    fn resolve(&self, name: &str, scale_bits: usize) -> Result<TruthTable, DalutError>;
+}
+
+impl<F> FunctionResolver for F
+where
+    F: Fn(&str, usize) -> Result<TruthTable, DalutError>,
+{
+    fn resolve(&self, name: &str, scale_bits: usize) -> Result<TruthTable, DalutError> {
+        self(name, scale_bits)
+    }
+}
+
+/// A resolver that rejects every name: for contexts (tests, pure-table
+/// services) where benchmark sources must already be resolved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoResolver;
+
+impl FunctionResolver for NoResolver {
+    fn resolve(&self, name: &str, _scale_bits: usize) -> Result<TruthTable, DalutError> {
+        Err(DalutError::Spec(format!(
+            "no function resolver available for benchmark {name:?}"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distribution spec
+// ---------------------------------------------------------------------
+
+/// A serialisable description of the input distribution.
+///
+/// Unlike [`InputDistribution`], a `DistributionSpec` does not know the
+/// input width — [`realize`](DistributionSpec::realize) materialises it
+/// against the resolved function's width, so one spec fragment works
+/// across scales.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DistributionSpec {
+    /// Uniform over all `2^n` inputs (the canonical form of any
+    /// distribution whose realised probabilities are all equal).
+    #[default]
+    Uniform,
+    /// Discretised Gaussian (see [`InputDistribution::gaussian`]).
+    Gaussian {
+        /// Mean as a fraction of the code range.
+        mean_frac: f64,
+        /// Standard deviation as a fraction of the code range.
+        sigma_frac: f64,
+    },
+    /// Explicit non-negative weights, length `2^n` (normalised on
+    /// realisation).
+    Weights {
+        /// One weight per input code.
+        weights: Vec<f64>,
+    },
+}
+
+impl DistributionSpec {
+    /// Materialises the distribution for an `inputs`-bit function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or a weight vector whose
+    /// length is not `2^inputs`.
+    pub fn realize(&self, inputs: usize) -> Result<InputDistribution, DalutError> {
+        match self {
+            Self::Uniform => Ok(InputDistribution::uniform(inputs)?),
+            Self::Gaussian {
+                mean_frac,
+                sigma_frac,
+            } => Ok(InputDistribution::gaussian(
+                inputs,
+                *mean_frac,
+                *sigma_frac,
+            )?),
+            Self::Weights { weights } => {
+                if weights.len() != 1usize << inputs {
+                    return Err(DalutError::Spec(format!(
+                        "weight vector length {} does not match 2^{inputs} inputs",
+                        weights.len()
+                    )));
+                }
+                Ok(InputDistribution::from_weights(weights.clone())?)
+            }
+        }
+    }
+
+    /// The spec describing an already-materialised distribution:
+    /// `Uniform` for the lazily-represented uniform distribution,
+    /// explicit probabilities otherwise.
+    #[must_use]
+    pub fn from_distribution(dist: &InputDistribution) -> Self {
+        if dist.is_uniform() {
+            Self::Uniform
+        } else {
+            Self::Weights {
+                weights: dist.to_vec(),
+            }
+        }
+    }
+
+    /// The canonical form at a given width: realised probabilities, with
+    /// the all-equal vector collapsed back to `Uniform` so semantically
+    /// identical specs compare (and fingerprint) equal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`realize`](Self::realize) errors.
+    pub fn canonicalize(&self, inputs: usize) -> Result<Self, DalutError> {
+        let dist = self.realize(inputs)?;
+        if dist.is_uniform() {
+            return Ok(Self::Uniform);
+        }
+        // Normalisation is iterated to a fixpoint so canonicalisation is
+        // idempotent at the bit level: once the probabilities sum to
+        // exactly 1.0, another normalisation pass divides by 1.0 and is
+        // the identity. Convergence takes one or two passes in practice;
+        // the bound is a safety net.
+        let mut probs = dist.to_vec();
+        for _ in 0..8 {
+            let renorm = InputDistribution::from_weights(probs.clone())?.to_vec();
+            if renorm
+                .iter()
+                .zip(&probs)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            {
+                break;
+            }
+            probs = renorm;
+        }
+        let uniform = 1.0 / probs.len() as f64;
+        if probs.iter().all(|p| p.to_bits() == uniform.to_bits()) {
+            Ok(Self::Uniform)
+        } else {
+            Ok(Self::Weights { weights: probs })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budget spec
+// ---------------------------------------------------------------------
+
+/// The serialisable face of [`RunBudget`].
+///
+/// Deadlines are carried as whole milliseconds (service-level
+/// granularity); the in-process-only [`CancelToken`](crate::CancelToken)
+/// does not cross the wire — hosts attach their own on admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock limit in milliseconds (`None` = unlimited).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+    /// Iteration cap (`None` = unlimited).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_iterations: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// No limits.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// The [`RunBudget`] this spec describes (no cancellation token).
+    #[must_use]
+    pub fn to_budget(&self) -> RunBudget {
+        RunBudget {
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            max_iterations: self.max_iterations,
+            cancel: None,
+        }
+    }
+
+    /// The spec describing `budget` (dropping any cancellation token,
+    /// which cannot be serialised; sub-millisecond deadline precision is
+    /// rounded down).
+    #[must_use]
+    pub fn from_budget(budget: &RunBudget) -> Self {
+        Self {
+            deadline_ms: budget.deadline.map(|d| d.as_millis() as u64),
+            max_iterations: budget.max_iterations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JobSpec
+// ---------------------------------------------------------------------
+
+/// Schema tag for serialised job specs.
+pub const JOBSPEC_SCHEMA: &str = "dalut-jobspec/v1";
+
+/// The canonical, serialisable description of one search job.
+///
+/// See the [module docs](self) for the canonical form and the
+/// fingerprint contract. Construct directly, or from a configured
+/// builder via [`ApproxLutBuilder::to_spec`]; run one via
+/// [`ApproxLutBuilder::from_spec`].
+///
+/// [`ApproxLutBuilder::to_spec`]: crate::ApproxLutBuilder::to_spec
+/// [`ApproxLutBuilder::from_spec`]: crate::ApproxLutBuilder::from_spec
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The target function.
+    pub function: FunctionSource,
+    /// The input distribution (default: uniform).
+    #[serde(default)]
+    pub distribution: DistributionSpec,
+    /// The search algorithm and its parameters.
+    pub algorithm: Algorithm,
+    /// The architecture policy (ignored by the DALTA baseline).
+    pub policy: ArchPolicy,
+    /// The execution budget (default: unlimited).
+    #[serde(default)]
+    pub budget: BudgetSpec,
+    /// How sweep drivers should use the resource estimator for this job
+    /// (ignored by the in-process builder, which never estimates).
+    #[serde(default)]
+    pub estimator: EstimatorMode,
+}
+
+impl JobSpec {
+    /// The resolved truth table: a clone for an explicit table, a
+    /// resolver call for a named benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolver errors.
+    pub fn resolve_table(&self, resolver: &dyn FunctionResolver) -> Result<TruthTable, DalutError> {
+        match &self.function {
+            FunctionSource::Table { table } => Ok(table.clone()),
+            FunctionSource::Benchmark { name, scale_bits } => resolver.resolve(name, *scale_bits),
+        }
+    }
+
+    /// True if the spec is already in canonical form (explicit table,
+    /// canonical distribution).
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        let FunctionSource::Table { table } = &self.function else {
+            return false;
+        };
+        matches!(
+            self.distribution.canonicalize(table.inputs()),
+            Ok(ref c) if *c == self.distribution
+        )
+    }
+
+    /// Rewrites the spec into canonical form: the benchmark source is
+    /// resolved to its truth table and the distribution to its realised
+    /// probabilities (uniform collapsed). Semantically equal specs have
+    /// equal canonical forms; [`fingerprint`](Self::fingerprint) hashes
+    /// this form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolver and distribution errors.
+    pub fn canonicalize(&self, resolver: &dyn FunctionResolver) -> Result<Self, DalutError> {
+        let table = self.resolve_table(resolver)?;
+        let distribution = self.distribution.canonicalize(table.inputs())?;
+        Ok(Self {
+            function: FunctionSource::Table { table },
+            distribution,
+            ..self.clone()
+        })
+    }
+
+    /// The 128-bit content address of this job: the FNV-1a hash of the
+    /// canonical form's semantic fields. Collides exactly for
+    /// semantically equal specs (same resolved function, realised
+    /// distribution, algorithm parameters — excluding the `threads`
+    /// execution knob — policy, budget and estimator mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates canonicalisation errors.
+    pub fn fingerprint(
+        &self,
+        resolver: &dyn FunctionResolver,
+    ) -> Result<FunctionFingerprint, DalutError> {
+        let canonical = if self.is_canonical() {
+            self.clone()
+        } else {
+            self.canonicalize(resolver)?
+        };
+        Ok(FunctionFingerprint::of_bytes(
+            canonical.canonical_text().as_bytes(),
+        ))
+    }
+
+    /// The in-process [`SearchConfig`] this spec describes (budget
+    /// without a cancellation token — attach one via
+    /// [`RunBudget::with_cancel`] if the host needs to cancel).
+    #[must_use]
+    pub fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            algorithm: self.algorithm,
+            policy: self.policy,
+            budget: self.budget.to_budget(),
+        }
+    }
+
+    /// The byte string [`fingerprint`](Self::fingerprint) hashes. Only
+    /// meaningful on canonical specs; floats are rendered as exact bit
+    /// patterns so the text is stable across platforms and formatting
+    /// changes.
+    fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        debug_assert!(self.is_canonical(), "canonical_text on non-canonical spec");
+        let mut s = String::from(JOBSPEC_SCHEMA);
+        match &self.function {
+            FunctionSource::Table { table } => {
+                let _ = write!(s, ";fn:{}:{}:", table.inputs(), table.outputs());
+                for v in table.values() {
+                    let _ = write!(s, "{v:x},");
+                }
+            }
+            FunctionSource::Benchmark { name, scale_bits } => {
+                let _ = write!(s, ";fn:bench:{name}:{scale_bits}");
+            }
+        }
+        match &self.distribution {
+            DistributionSpec::Uniform => s.push_str(";dist:uniform"),
+            DistributionSpec::Gaussian {
+                mean_frac,
+                sigma_frac,
+            } => {
+                let _ = write!(
+                    s,
+                    ";dist:gaussian:{:x}:{:x}",
+                    mean_frac.to_bits(),
+                    sigma_frac.to_bits()
+                );
+            }
+            DistributionSpec::Weights { weights } => {
+                s.push_str(";dist:weights:");
+                for w in weights {
+                    let _ = write!(s, "{:x},", w.to_bits());
+                }
+            }
+        }
+        match &self.algorithm {
+            Algorithm::Dalta(p) => {
+                let _ = write!(
+                    s,
+                    ";alg:dalta:{}:{}:{}:{}:{}",
+                    p.search.bound_size,
+                    p.search.rounds,
+                    p.search.initial_patterns,
+                    p.search.seed,
+                    p.partition_limit
+                );
+            }
+            Algorithm::BsSa(p) => {
+                let _ = write!(
+                    s,
+                    ";alg:bssa:{}:{}:{}:{}:{}:{}:{}:{:x}:{:x}:{}:{}:{:?}",
+                    p.search.bound_size,
+                    p.search.rounds,
+                    p.search.initial_patterns,
+                    p.search.seed,
+                    p.partition_limit,
+                    p.beam_width,
+                    p.neighbors,
+                    p.initial_temp.to_bits(),
+                    p.alpha.to_bits(),
+                    p.sa_processes,
+                    p.stall_limit,
+                    p.round1_fill
+                );
+            }
+        }
+        match self.policy {
+            ArchPolicy::NormalOnly => s.push_str(";policy:normal"),
+            ArchPolicy::BtoNormal { delta } => {
+                let _ = write!(s, ";policy:bto:{:x}", delta.to_bits());
+            }
+            ArchPolicy::BtoNormalNd { delta, delta_prime } => {
+                let _ = write!(
+                    s,
+                    ";policy:btond:{:x}:{:x}",
+                    delta.to_bits(),
+                    delta_prime.to_bits()
+                );
+            }
+        }
+        let _ = write!(
+            s,
+            ";budget:{}:{}",
+            self.budget
+                .deadline_ms
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+            self.budget
+                .max_iterations
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+        );
+        let _ = write!(s, ";est:{}", self.estimator);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BsSaParams, DaltaParams, SearchParams};
+
+    fn table() -> TruthTable {
+        TruthTable::from_fn(4, 2, |x| x % 4).unwrap()
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            function: FunctionSource::Table { table: table() },
+            distribution: DistributionSpec::Uniform,
+            algorithm: Algorithm::BsSa(BsSaParams::fast()),
+            policy: ArchPolicy::NormalOnly,
+            budget: BudgetSpec::unlimited(),
+            estimator: EstimatorMode::Off,
+        }
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // FNV-1a reference: the empty string hashes to the offset basis,
+        // "a" to 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn fnv128_distinguishes_inputs_and_is_stable() {
+        let a = fnv1a_128(b"abc");
+        assert_eq!(a, fnv1a_128(b"abc"));
+        assert_ne!(a, fnv1a_128(b"abd"));
+        assert_eq!(
+            fnv1a_128(b""),
+            (0x6C62_272E_07BB_0142, 0x62B8_2175_6295_C58D)
+        );
+    }
+
+    #[test]
+    fn fingerprint_displays_and_parses_hex() {
+        let fp = FunctionFingerprint::of_bytes(b"hello");
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(text.parse::<FunctionFingerprint>().unwrap(), fp);
+        assert!("xyz".parse::<FunctionFingerprint>().is_err());
+        assert!("0".repeat(31).parse::<FunctionFingerprint>().is_err());
+    }
+
+    #[test]
+    fn equal_weights_canonicalize_to_uniform() {
+        let w = DistributionSpec::Weights {
+            weights: vec![3.0; 16],
+        };
+        assert_eq!(w.canonicalize(4).unwrap(), DistributionSpec::Uniform);
+        let skew = DistributionSpec::Weights {
+            weights: (0..16).map(|i| 1.0 + i as f64).collect(),
+        };
+        assert!(matches!(
+            skew.canonicalize(4).unwrap(),
+            DistributionSpec::Weights { .. }
+        ));
+    }
+
+    #[test]
+    fn gaussian_and_equivalent_weights_share_a_fingerprint() {
+        let gauss = JobSpec {
+            distribution: DistributionSpec::Gaussian {
+                mean_frac: 0.5,
+                sigma_frac: 0.2,
+            },
+            ..spec()
+        };
+        let realized = DistributionSpec::Gaussian {
+            mean_frac: 0.5,
+            sigma_frac: 0.2,
+        }
+        .realize(4)
+        .unwrap();
+        let weights = JobSpec {
+            distribution: DistributionSpec::Weights {
+                weights: realized.to_vec(),
+            },
+            ..spec()
+        };
+        assert_eq!(
+            gauss.fingerprint(&NoResolver).unwrap(),
+            weights.fingerprint(&NoResolver).unwrap()
+        );
+    }
+
+    #[test]
+    fn semantic_fields_change_the_fingerprint() {
+        let base = spec().fingerprint(&NoResolver).unwrap();
+        let mut p = BsSaParams::fast();
+        p.search = SearchParams::fast().with_seed(7);
+        let cases = [
+            JobSpec {
+                algorithm: Algorithm::BsSa(p),
+                ..spec()
+            },
+            JobSpec {
+                algorithm: Algorithm::Dalta(DaltaParams::fast()),
+                ..spec()
+            },
+            JobSpec {
+                policy: ArchPolicy::bto_normal_paper(),
+                ..spec()
+            },
+            JobSpec {
+                budget: BudgetSpec {
+                    deadline_ms: Some(5),
+                    max_iterations: None,
+                },
+                ..spec()
+            },
+            JobSpec {
+                estimator: EstimatorMode::Trust,
+                ..spec()
+            },
+            JobSpec {
+                distribution: DistributionSpec::Gaussian {
+                    mean_frac: 0.5,
+                    sigma_frac: 0.2,
+                },
+                ..spec()
+            },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert_ne!(
+                c.fingerprint(&NoResolver).unwrap(),
+                base,
+                "case {i} should differ"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_are_an_execution_knob_not_a_semantic_field() {
+        let mut p = BsSaParams::fast();
+        p.search.threads = 8;
+        let threaded = JobSpec {
+            algorithm: Algorithm::BsSa(p),
+            ..spec()
+        };
+        assert_eq!(
+            threaded.fingerprint(&NoResolver).unwrap(),
+            spec().fingerprint(&NoResolver).unwrap()
+        );
+    }
+
+    #[test]
+    fn benchmark_sources_resolve_through_the_resolver() {
+        let job = JobSpec {
+            function: FunctionSource::Benchmark {
+                name: "square".into(),
+                scale_bits: 4,
+            },
+            ..spec()
+        };
+        let resolver = |name: &str, bits: usize| {
+            assert_eq!(name, "square");
+            TruthTable::from_fn(bits, 2, |x| (x * x) % 4).map_err(DalutError::from)
+        };
+        let canonical = job.canonicalize(&resolver).unwrap();
+        assert!(canonical.is_canonical());
+        assert!(!job.is_canonical());
+        // The named form and its resolved form address the same entry.
+        assert_eq!(
+            job.fingerprint(&resolver).unwrap(),
+            canonical.fingerprint(&NoResolver).unwrap()
+        );
+        // NoResolver refuses names.
+        assert!(job.fingerprint(&NoResolver).is_err());
+    }
+
+    #[test]
+    fn budget_spec_round_trips_through_run_budget() {
+        let spec = BudgetSpec {
+            deadline_ms: Some(1500),
+            max_iterations: Some(42),
+        };
+        let budget = spec.to_budget();
+        assert_eq!(budget.deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(budget.max_iterations, Some(42));
+        assert!(budget.cancel.is_none());
+        assert_eq!(BudgetSpec::from_budget(&budget), spec);
+        assert!(BudgetSpec::unlimited().to_budget().is_unlimited());
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_a_spec_error() {
+        let w = DistributionSpec::Weights {
+            weights: vec![1.0; 8],
+        };
+        assert!(matches!(w.realize(4), Err(DalutError::Spec(_))));
+        assert!(w.realize(3).is_ok());
+    }
+}

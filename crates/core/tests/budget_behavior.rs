@@ -2,14 +2,11 @@
 //! iteration caps and cooperative cancellation across the full search
 //! stack (builder → beam/DALTA → SA).
 
-// The free-function shims stay covered until they are removed.
-#![allow(deprecated)]
-
 use dalut_boolfn::builder::random_table;
 use dalut_boolfn::{metrics, InputDistribution, TruthTable};
 use dalut_core::{
-    run_bs_sa, run_bs_sa_budgeted, run_dalta, run_dalta_budgeted, ApproxLutBuilder, ArchPolicy,
-    BsSaParams, CancelToken, DaltaParams, RunBudget, Termination,
+    ApproxLutBuilder, ArchPolicy, BsSaParams, CancelToken, DaltaParams, DalutError, RunBudget,
+    SearchOutcome, Termination,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -22,6 +19,60 @@ fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
         random_table(n, m, &mut rng).unwrap(),
         InputDistribution::uniform(n).unwrap(),
     )
+}
+
+// Thin builder wrappers so the assertions below read like the old
+// free-function call sites.
+fn run_bs_sa(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .bs_sa(*params)
+        .policy(policy)
+        .run()
+}
+
+fn run_bs_sa_budgeted(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+    budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .bs_sa(*params)
+        .policy(policy)
+        .budget(budget.clone())
+        .run()
+}
+
+fn run_dalta(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &DaltaParams,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .dalta(*params)
+        .run()
+}
+
+fn run_dalta_budgeted(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &DaltaParams,
+    budget: &RunBudget,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .dalta(*params)
+        .budget(budget.clone())
+        .run()
 }
 
 /// The returned config must decode everywhere and the reported MED must

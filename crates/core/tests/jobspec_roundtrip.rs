@@ -1,0 +1,202 @@
+//! Property tests for the [`JobSpec`] API contract:
+//!
+//! 1. `from_spec(to_spec(b))` configures the same search as `b` — at a
+//!    fixed seed the two runs produce bit-identical [`SearchOutcome`]s.
+//! 2. [`JobSpec::fingerprint`] is a *semantic* content address: two
+//!    specs collide exactly when they are semantically equal, across
+//!    every syntactic form (named benchmark vs. resolved table, weight
+//!    vectors vs. the collapsed uniform), and every semantic field —
+//!    including the input distribution and the estimator mode — feeds
+//!    the hash, while pure execution knobs (`threads`) do not.
+
+use dalut_boolfn::TruthTable;
+use dalut_core::{
+    Algorithm, ApproxLutBuilder, ArchPolicy, BsSaParams, BudgetSpec, DalutError, DistributionSpec,
+    EstimatorMode, FunctionSource, JobSpec, NoResolver, SearchOutcome,
+};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random truth table: `n` inputs, `n` outputs.
+fn arb_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(0u32..(1 << n), 1 << n)
+        .prop_map(move |values| TruthTable::from_values(n, n, values).expect("valid table"))
+}
+
+fn bssa(seed: u64) -> BsSaParams {
+    let mut params = BsSaParams::fast();
+    params.search.seed = seed;
+    params
+}
+
+/// A canonical spec over an explicit table, parameterised on the knobs
+/// the properties vary.
+fn spec_of(table: &TruthTable, seed: u64, policy: ArchPolicy) -> JobSpec {
+    JobSpec {
+        function: FunctionSource::Table {
+            table: table.clone(),
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm: Algorithm::BsSa(bssa(seed)),
+        policy,
+        budget: BudgetSpec::unlimited(),
+        estimator: EstimatorMode::Off,
+    }
+}
+
+fn run(spec: &JobSpec) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::from_spec(spec)?.run()
+}
+
+/// A toy resolver for benchmark-form specs: `"tri"` maps to a triangle
+/// wave, every other name is rejected.
+fn tri_resolver() -> impl Fn(&str, usize) -> Result<TruthTable, DalutError> {
+    |name, bits| {
+        if name != "tri" {
+            return Err(DalutError::Spec(format!("unknown benchmark {name:?}")));
+        }
+        let max = (1u32 << bits) - 1;
+        let values = (0..1u32 << bits)
+            .map(|x| max.min(2 * x.min(max - x.min(max))))
+            .collect();
+        TruthTable::from_values(bits, bits, values).map_err(DalutError::from)
+    }
+}
+
+proptest! {
+    // Each case runs multiple full searches; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Round-tripping a builder through its spec reproduces the outcome
+    /// bit for bit, both starting from a builder (`to_spec`) and from a
+    /// canonical spec (`to_spec(from_spec(s)) == s`-behaviour).
+    #[test]
+    fn from_spec_of_to_spec_is_bit_identical(
+        table in arb_table(5),
+        seed in 0u64..1000,
+        normal_only in any::<bool>(),
+    ) {
+        let policy = if normal_only {
+            ArchPolicy::NormalOnly
+        } else {
+            ArchPolicy::BtoNormal { delta: 0.01 }
+        };
+        let mut direct = ApproxLutBuilder::new(&table)
+            .bs_sa(bssa(seed))
+            .policy(policy)
+            .run()
+            .expect("direct run");
+        let spec = ApproxLutBuilder::new(&table)
+            .bs_sa(bssa(seed))
+            .policy(policy)
+            .to_spec();
+        prop_assert!(spec.is_canonical());
+        let mut via_spec = run(&spec).expect("spec run");
+        // `elapsed` is wall clock, the one field that legitimately
+        // differs between two identical runs; mask it out.
+        direct.elapsed = std::time::Duration::ZERO;
+        via_spec.elapsed = std::time::Duration::ZERO;
+        prop_assert_eq!(&direct, &via_spec);
+        // Bit-identical, not merely PartialEq-equal: the rendered debug
+        // forms (which print every float) match exactly.
+        prop_assert_eq!(format!("{direct:?}"), format!("{via_spec:?}"));
+
+        // And the round trip is stable: from_spec's builder re-emits an
+        // equal spec, so fingerprints agree.
+        let re_emitted = ApproxLutBuilder::from_spec(&spec).expect("from_spec").to_spec();
+        prop_assert_eq!(
+            spec.fingerprint(&NoResolver).expect("fp"),
+            re_emitted.fingerprint(&NoResolver).expect("fp")
+        );
+    }
+
+    /// Fingerprints collide exactly for semantically equal specs: any
+    /// change to the table, the seed or the policy separates them, and
+    /// syntactically different but semantically equal forms (explicit
+    /// uniform weights vs. `Uniform`, different `threads`) collide.
+    #[test]
+    fn fingerprint_separates_semantics(
+        table in arb_table(4),
+        seed in 0u64..1000,
+    ) {
+        let base = spec_of(&table, seed, ArchPolicy::NormalOnly);
+        let fp = |s: &JobSpec| s.fingerprint(&NoResolver).expect("fingerprint");
+
+        // Reflexive: a clone collides.
+        prop_assert_eq!(fp(&base), fp(&base.clone()));
+
+        // `threads` is an execution knob, not semantics.
+        let mut threaded = base.clone();
+        if let Algorithm::BsSa(p) = &mut threaded.algorithm { p.search.threads = 8; }
+        prop_assert_eq!(fp(&base), fp(&threaded));
+
+        // Explicit all-equal weights canonicalise back to Uniform.
+        let mut weighted = base.clone();
+        weighted.distribution = DistributionSpec::Weights {
+            weights: vec![1.0; 1 << table.inputs()],
+        };
+        prop_assert_eq!(fp(&base), fp(&weighted));
+
+        // Each semantic field separates.
+        let mut reseeded = base.clone();
+        if let Algorithm::BsSa(p) = &mut reseeded.algorithm { p.search.seed = seed + 1; }
+        prop_assert!(fp(&base) != fp(&reseeded));
+
+        let mut skewed = base.clone();
+        skewed.distribution = DistributionSpec::Gaussian { mean_frac: 0.5, sigma_frac: 0.2 };
+        prop_assert!(fp(&base) != fp(&skewed));
+
+        let mut estimated = base.clone();
+        estimated.estimator = EstimatorMode::Trust;
+        prop_assert!(fp(&base) != fp(&estimated));
+
+        let mut budgeted = base.clone();
+        budgeted.budget = BudgetSpec { deadline_ms: Some(1000), ..base.budget };
+        prop_assert!(fp(&base) != fp(&budgeted));
+
+        let mut approx = base.clone();
+        approx.policy = ArchPolicy::BtoNormal { delta: 0.01 };
+        prop_assert!(fp(&base) != fp(&approx));
+    }
+
+    /// A mutated table value always changes the fingerprint.
+    #[test]
+    fn fingerprint_tracks_table_contents(
+        table in arb_table(4),
+        flip in 0usize..16,
+    ) {
+        let base = spec_of(&table, 7, ArchPolicy::NormalOnly);
+        let mut values = table.values().to_vec();
+        values[flip] ^= 1;
+        let mutated_table =
+            TruthTable::from_values(table.inputs(), table.outputs(), values).expect("valid table");
+        let mutated = spec_of(&mutated_table, 7, ArchPolicy::NormalOnly);
+        prop_assert!(base.fingerprint(&NoResolver).expect("fp") != mutated.fingerprint(&NoResolver).expect("fp"));
+    }
+}
+
+/// A benchmark-form spec and its hand-resolved table form collide: the
+/// fingerprint addresses the resolved function, not its spelling.
+#[test]
+fn benchmark_and_table_forms_collide() {
+    let resolver = tri_resolver();
+    let named = JobSpec {
+        function: FunctionSource::Benchmark {
+            name: "tri".to_string(),
+            scale_bits: 5,
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm: Algorithm::BsSa(bssa(3)),
+        policy: ArchPolicy::NormalOnly,
+        budget: BudgetSpec::unlimited(),
+        estimator: EstimatorMode::Off,
+    };
+    let table = resolver("tri", 5).expect("resolve");
+    let explicit = spec_of(&table, 3, ArchPolicy::NormalOnly);
+    assert_eq!(
+        named.fingerprint(&resolver).expect("fp"),
+        explicit.fingerprint(&NoResolver).expect("fp"),
+    );
+    // And an unresolved benchmark without a resolver is a spec error.
+    assert!(named.fingerprint(&NoResolver).is_err());
+    assert!(ApproxLutBuilder::from_spec(&named).is_err());
+}

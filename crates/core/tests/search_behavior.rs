@@ -1,12 +1,10 @@
 //! Behavioural tests of the search algorithms across module boundaries.
 
-// The free-function shims stay covered until they are removed.
-#![allow(deprecated)]
-
 use dalut_boolfn::builder::random_table;
 use dalut_boolfn::{InputDistribution, TruthTable};
 use dalut_core::{
-    find_best_settings, run_bs_sa, run_dalta, ArchPolicy, BsSaParams, DaltaParams, DecompMode,
+    find_best_settings, ApproxLutBuilder, ArchPolicy, BsSaParams, DaltaParams, DalutError,
+    DecompMode, SearchOutcome,
 };
 use dalut_decomp::{bit_costs, LsbFill};
 use rand::rngs::StdRng;
@@ -18,6 +16,32 @@ fn problem(seed: u64, n: usize, m: usize) -> (TruthTable, InputDistribution) {
         random_table(n, m, &mut rng).unwrap(),
         InputDistribution::uniform(n).unwrap(),
     )
+}
+
+// Thin builder wrappers so the assertions below read like the old
+// free-function call sites.
+fn run_bs_sa(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &BsSaParams,
+    policy: ArchPolicy,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .bs_sa(*params)
+        .policy(policy)
+        .run()
+}
+
+fn run_dalta(
+    target: &TruthTable,
+    dist: &InputDistribution,
+    params: &DaltaParams,
+) -> Result<SearchOutcome, DalutError> {
+    ApproxLutBuilder::new(target)
+        .distribution(dist.clone())
+        .dalta(*params)
+        .run()
 }
 
 /// With the incumbent-seeded refinement, each later round of BS-SA can

@@ -11,7 +11,6 @@
 
 use std::fmt;
 use std::path::Path;
-use std::str::FromStr;
 
 use dalut_boolfn::InputDistribution;
 use dalut_core::{atomic_write, ApproxLutConfig, ResourceScorer};
@@ -84,51 +83,9 @@ impl From<serde_json::Error> for EstError {
     }
 }
 
-/// How a sweep driver uses the estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum EstimatorMode {
-    /// Never estimate: every candidate pays exact sign-off (bit-identical
-    /// to the pre-estimator flow).
-    Off,
-    /// Rank candidates analytically, exact sign-off only for the
-    /// cheapest survivors; pruned points keep their estimated metrics.
-    #[default]
-    Prune,
-    /// Analytic metrics only — no exact sign-off at all (fastest,
-    /// calibration-accuracy numbers).
-    Trust,
-}
-
-impl EstimatorMode {
-    /// The flag spellings accepted by `--estimator`.
-    pub const CHOICES: &'static str = "off|prune|trust";
-}
-
-impl FromStr for EstimatorMode {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "off" => Ok(Self::Off),
-            "prune" => Ok(Self::Prune),
-            "trust" => Ok(Self::Trust),
-            other => Err(format!(
-                "unknown estimator mode {other:?} (expected {})",
-                Self::CHOICES
-            )),
-        }
-    }
-}
-
-impl fmt::Display for EstimatorMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Self::Off => "off",
-            Self::Prune => "prune",
-            Self::Trust => "trust",
-        })
-    }
-}
+// `EstimatorMode` moved to `dalut_core::estimate` so `JobSpec` can carry
+// it as a semantic field; re-exported here for backwards compatibility.
+pub use dalut_core::EstimatorMode;
 
 /// Linear switching-energy model, fJ per read:
 /// `c₀ + c₁·exact + c₂·bound_activity + c₃·free_activity` with the three

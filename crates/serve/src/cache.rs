@@ -1,0 +1,241 @@
+//! The content-addressed configuration cache.
+//!
+//! Finished [`SearchOutcome`](dalut_core::SearchOutcome)s are stored as
+//! the *exact JSON text* the cold search path produced, keyed by the
+//! job's [`FunctionFingerprint`]. Serving the stored bytes back —
+//! rather than a re-serialisation of a deserialised copy — is what makes
+//! a cache hit byte-identical to the cold response.
+//!
+//! When a directory is configured, every insert also lands on disk as
+//! `<32-hex-fingerprint>.json` via
+//! [`atomic_write`](dalut_core::atomic_write) (write to a temp file,
+//! fsync, rename), so a kill at any instant leaves either the complete
+//! entry or nothing — never a partial file — and a restarted server
+//! reloads the directory warm.
+//!
+//! Entries use a small hand-assembled envelope instead of serde:
+//!
+//! ```text
+//! {"schema":"dalut-servecache/v1","fingerprint":"<32 hex>","outcome":<json>}
+//! ```
+//!
+//! Hand-rolled encode/decode keeps the outcome bytes verbatim and keeps
+//! the cache readable even in environments where the JSON library is
+//! stubbed out (the offline build container).
+
+use dalut_core::{atomic_write, FunctionFingerprint};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Schema tag of on-disk cache entries.
+pub const CACHE_SCHEMA: &str = "dalut-servecache/v1";
+
+/// A content-addressed map from [`FunctionFingerprint`] to the cached
+/// outcome's serialised JSON, optionally persisted to a directory.
+///
+/// Shared-read, exclusive-write: lookups take a read lock and clone an
+/// `Arc<str>`, so thousands of concurrent hits never contend on the
+/// entry bytes themselves.
+#[derive(Debug)]
+pub struct ConfigCache {
+    dir: Option<PathBuf>,
+    entries: RwLock<HashMap<FunctionFingerprint, Arc<str>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConfigCache {
+    /// An in-memory-only cache (nothing survives the process).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (creating if needed) a disk-backed cache, loading every
+    /// valid `*.json` entry already present. Files that fail validation
+    /// — wrong schema, fingerprint mismatch with their name, truncated
+    /// envelope — are skipped, not deleted: a newer server version may
+    /// still understand them.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = HashMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(named) = stem.parse::<FunctionFingerprint>() else {
+                continue;
+            };
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Some((fp, outcome)) = decode_entry(&text) {
+                if fp == named {
+                    entries.insert(fp, Arc::from(outcome));
+                }
+            }
+        }
+        Ok(Self {
+            dir: Some(dir),
+            entries: RwLock::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up the cached outcome JSON for `fp`, counting the hit or
+    /// miss.
+    #[must_use]
+    pub fn get(&self, fp: &FunctionFingerprint) -> Option<Arc<str>> {
+        let found = self.entries.read().expect("cache lock").get(fp).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or replaces) the outcome JSON for `fp`, persisting it
+    /// when disk-backed. Returns the shared bytes now in the cache.
+    ///
+    /// An I/O failure while persisting is reported but the in-memory
+    /// entry still lands — the server keeps answering, merely without
+    /// restart durability for this entry.
+    pub fn insert(&self, fp: FunctionFingerprint, outcome_json: &str) -> io::Result<Arc<str>> {
+        let shared: Arc<str> = Arc::from(outcome_json);
+        self.entries
+            .write()
+            .expect("cache lock")
+            .insert(fp, Arc::clone(&shared));
+        if let Some(dir) = &self.dir {
+            atomic_write(
+                dir.join(format!("{fp}.json")),
+                encode_entry(&fp, outcome_json).as_bytes(),
+            )?;
+        }
+        Ok(shared)
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counted since this process opened the cache.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The backing directory, when disk-backed.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+/// Assembles the on-disk envelope around verbatim outcome bytes.
+fn encode_entry(fp: &FunctionFingerprint, outcome_json: &str) -> String {
+    format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"{fp}\",\"outcome\":{outcome_json}}}")
+}
+
+/// Inverse of [`encode_entry`]; `None` for anything that is not a
+/// complete, current-schema envelope.
+fn decode_entry(text: &str) -> Option<(FunctionFingerprint, &str)> {
+    let text = text.trim();
+    let prefix = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"");
+    let rest = text.strip_prefix(prefix.as_str())?;
+    let (hex, rest) = rest.split_at_checked(32)?;
+    let fp = hex.parse::<FunctionFingerprint>().ok()?;
+    let outcome = rest.strip_prefix("\",\"outcome\":")?.strip_suffix('}')?;
+    // Cheap structural sanity so a truncated-then-renamed file can't
+    // smuggle garbage into responses.
+    (outcome.starts_with('{') && outcome.ends_with('}')).then_some((fp, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(hi: u64, lo: u64) -> FunctionFingerprint {
+        FunctionFingerprint { hi, lo }
+    }
+
+    #[test]
+    fn envelope_round_trips_verbatim() {
+        let f = fp(0xDEAD_BEEF, 42);
+        let outcome = r#"{"med":1.25,"nested":{"a":[1,2,3]}}"#;
+        let enc = encode_entry(&f, outcome);
+        let (back_fp, back_outcome) = decode_entry(&enc).expect("decodes");
+        assert_eq!(back_fp, f);
+        assert_eq!(back_outcome, outcome);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_or_truncated_entries() {
+        let f = fp(1, 2);
+        let good = encode_entry(&f, "{\"x\":1}");
+        assert!(decode_entry(&good[..good.len() - 3]).is_none(), "truncated");
+        assert!(decode_entry("{\"schema\":\"other/v9\"}").is_none());
+        assert!(decode_entry("").is_none());
+    }
+
+    #[test]
+    fn in_memory_get_insert_and_counters() {
+        let cache = ConfigCache::in_memory();
+        let f = fp(7, 9);
+        assert!(cache.get(&f).is_none());
+        cache.insert(f, "{\"ok\":true}").unwrap();
+        assert_eq!(cache.get(&f).as_deref(), Some("{\"ok\":true}"));
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_backed_cache_survives_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("dalut-serve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fp(0x1234, 0x5678);
+        let outcome = r#"{"med":0.5}"#;
+        {
+            let cache = ConfigCache::open(&dir).unwrap();
+            assert!(cache.is_empty());
+            cache.insert(f, outcome).unwrap();
+        }
+        // A stray partial/garbage file must not poison the reload.
+        std::fs::write(dir.join("not-a-fingerprint.json"), "junk").unwrap();
+        std::fs::write(
+            dir.join(format!("{}.json", fp(9, 9))),
+            "{\"schema\":\"dalut-servecache/v1\",\"finge", // truncated
+        )
+        .unwrap();
+        let reopened = ConfigCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.get(&f).as_deref(), Some(outcome));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

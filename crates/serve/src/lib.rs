@@ -1,0 +1,47 @@
+//! # dalut-serve
+//!
+//! Decomposition-as-a-service: a long-running server that accepts
+//! [`JobSpec`](dalut_core::JobSpec)s over a line-delimited JSON protocol,
+//! schedules budgeted searches across a worker pool with admission
+//! control and per-client fairness, streams
+//! [`SearchEvent`](dalut_core::SearchEvent) progress frames, and fronts
+//! everything with a content-addressed cache of finished configurations
+//! keyed by [`FunctionFingerprint`](dalut_core::FunctionFingerprint).
+//!
+//! The stack is deliberately dependency-free: a `std::net` TCP listener
+//! with one lightweight thread per connection and a fixed worker pool,
+//! rather than an async runtime, because the container the reproduction
+//! builds in ships no external crates. The protocol, scheduling and
+//! cache layers are runtime-agnostic — an async front-end can replace
+//! [`server`] without touching them.
+//!
+//! - [`protocol`] — client/server frame types and the byte-splice
+//!   assembly that keeps cached responses byte-identical to cold ones.
+//! - [`cache`] — the content-addressed [`ConfigCache`]: in-memory map
+//!   plus crash-safe on-disk entries that survive a kill+restart.
+//! - [`scheduler`] — admission control, per-client round-robin
+//!   fairness, in-flight coalescing and the worker pool.
+//! - [`server`] — the TCP front-end and connection threads.
+//! - [`shutdown`] — async-signal-safe SIGINT/SIGTERM handling (moved
+//!   here from `dalut-bench`, which re-exports it).
+
+// `deny` rather than `forbid`: the `shutdown` module registers POSIX
+// signal handlers, which needs one audited `unsafe` block.
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod shutdown;
+
+pub use cache::{ConfigCache, CACHE_SCHEMA};
+pub use protocol::{
+    outcome_section, result_frame, ClientFrame, ServerFrame, ServerStats, PROTOCOL_SCHEMA,
+};
+pub use scheduler::{
+    benchfns_resolver, AdmissionLimits, CollectSink, ResponseSink, Scheduler, SubmitOutcome,
+};
+pub use server::{Server, ServerConfig};

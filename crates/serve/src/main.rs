@@ -1,0 +1,121 @@
+//! The `dalut-serve` binary: bind, install signal handlers, run.
+//!
+//! ```text
+//! dalut-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+//!             [--max-inflight N] [--max-queued-per-client N]
+//! ```
+//!
+//! Prints one `dalut-serve listening on <addr>` line to stdout once the
+//! listener is bound (the CI smoke test and `loadgen` wait for it), then
+//! serves until SIGINT/SIGTERM. The first signal starts a graceful
+//! drain — accepted jobs still get result frames, the on-disk cache
+//! stays complete — and the process exits 0; a second signal hard-exits
+//! 130.
+
+use dalut_serve::shutdown;
+use dalut_serve::{AdmissionLimits, Server, ServerConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("dalut-serve: {message}");
+            eprintln!(
+                "usage: dalut-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
+                 [--max-inflight N] [--max-queued-per-client N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dalut-serve: bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let token = server.shutdown_token();
+    shutdown::install(&token);
+
+    match server.local_addr() {
+        Ok(addr) => {
+            // Parsed by loadgen and the CI smoke test: flush so a piped
+            // stdout delivers it before the first connection arrives.
+            println!(
+                "dalut-serve listening on {addr} (workers={}, cache={})",
+                config.workers,
+                config
+                    .cache_dir
+                    .as_deref()
+                    .map_or_else(|| "memory".to_string(), |d| d.display().to_string()),
+            );
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("dalut-serve: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match server.run() {
+        Ok(()) => {
+            if let Some(signal) = shutdown::take_requested_signal() {
+                eprintln!("dalut-serve: {signal} received, drained cleanly");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dalut-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut limits = AdmissionLimits::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--workers" => {
+                config.workers = parse_num(&value("--workers")?, "--workers")?;
+            }
+            "--max-inflight" => {
+                limits.max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")?;
+            }
+            "--max-queued-per-client" => {
+                limits.max_queued_per_client = parse_num(
+                    &value("--max-queued-per-client")?,
+                    "--max-queued-per-client",
+                )?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    config.limits = limits;
+    Ok(config)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    let n: usize = text
+        .parse()
+        .map_err(|_| format!("{flag}: '{text}' is not a number"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}

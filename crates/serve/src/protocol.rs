@@ -1,0 +1,169 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every frame is one JSON object on one line. Clients send
+//! [`ClientFrame`]s; the server answers with [`ServerFrame`]s plus
+//! *result frames*, which are assembled by [`result_frame`] rather than
+//! serde so the serialised
+//! [`SearchOutcome`](dalut_core::SearchOutcome) bytes can be spliced in
+//! verbatim: the cache stores exactly the text the cold path produced,
+//! making a cached response's outcome section byte-identical to the
+//! cold response — the property `loadgen` and the serve tests assert.
+//!
+//! ```text
+//! client → server
+//!   {"type":"submit","id":1,"client":"alice","stream":false,"spec":{...}}
+//!   {"type":"cancel","id":1}
+//!   {"type":"stats"}
+//!
+//! server → client
+//!   {"type":"hello","schema":"dalut-serve/v1","workers":4,"cached_entries":17}
+//!   {"type":"event","id":1,"event":{"type":"round_finished",...}}
+//!   {"type":"result","id":1,"cached":true,"fingerprint":"…32 hex…","outcome":{...}}
+//!   {"type":"error","id":1,"message":"..."}
+//!   {"type":"stats","stats":{...}}
+//! ```
+
+use dalut_core::{FunctionFingerprint, JobSpec, SearchEvent};
+use serde::{Deserialize, Serialize};
+
+/// Protocol schema tag, sent in the hello frame.
+pub const PROTOCOL_SCHEMA: &str = "dalut-serve/v1";
+
+/// A frame sent by a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ClientFrame {
+    /// Submit one job. `id` is client-chosen and echoed on every frame
+    /// concerning this job; `client` names the fairness bucket (defaults
+    /// to a per-connection identity); `stream` requests progress events.
+    Submit {
+        /// Client-chosen request id, echoed back.
+        id: u64,
+        /// Fairness-bucket name (optional; defaults per connection).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        client: Option<String>,
+        /// Stream `SearchEvent` progress frames for this job.
+        #[serde(default)]
+        stream: bool,
+        /// The work itself (boxed: a spec dwarfs the other variants).
+        spec: Box<JobSpec>,
+    },
+    /// Best-effort cancellation of a previously submitted job (same
+    /// connection, same `id`). The job still gets a result frame — a
+    /// truthful best-so-far outcome with `termination: "Cancelled"`.
+    Cancel {
+        /// The id from the submit frame.
+        id: u64,
+    },
+    /// Request a server statistics frame.
+    Stats,
+}
+
+/// A serde-built frame sent by the server (result frames are assembled
+/// by [`result_frame`] instead — see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ServerFrame {
+    /// First frame on every connection.
+    Hello {
+        /// [`PROTOCOL_SCHEMA`].
+        schema: String,
+        /// Search worker threads.
+        workers: usize,
+        /// Entries warm in the config cache.
+        cached_entries: usize,
+    },
+    /// One search progress event for a streaming job.
+    Event {
+        /// The submit id.
+        id: u64,
+        /// The event.
+        event: SearchEvent,
+    },
+    /// The job failed or was refused (parse error, admission limit,
+    /// invalid spec, drain in progress).
+    Error {
+        /// The submit id (0 when the frame could not be parsed).
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Server statistics snapshot.
+    Stats {
+        /// The counters.
+        stats: ServerStats,
+    },
+}
+
+/// Scheduler counters reported by the stats frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Jobs accepted for execution (cold leaders).
+    pub submitted: u64,
+    /// Jobs answered straight from the config cache.
+    pub cache_hits: u64,
+    /// Jobs coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Jobs refused by admission control or drain.
+    pub rejected: u64,
+    /// Searches finished (however terminated).
+    pub completed: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Searches currently running on workers.
+    pub running: u64,
+}
+
+/// Assembles a result frame, splicing `outcome_json` in verbatim so the
+/// outcome bytes are identical whether they come from a fresh search,
+/// the in-memory cache, the on-disk cache or a coalesced leader.
+#[must_use]
+pub fn result_frame(
+    id: u64,
+    cached: bool,
+    fingerprint: &FunctionFingerprint,
+    outcome_json: &str,
+) -> String {
+    format!(
+        "{{\"type\":\"result\",\"id\":{id},\"cached\":{cached},\
+         \"fingerprint\":\"{fingerprint}\",\"outcome\":{outcome_json}}}"
+    )
+}
+
+/// The verbatim outcome bytes of a [`result_frame`]: everything between
+/// the `"outcome":` key and the frame's closing brace. Byte-identity of
+/// cached vs cold responses is asserted over this section (the `cached`
+/// flag itself necessarily differs).
+#[must_use]
+pub fn outcome_section(frame: &str) -> Option<&str> {
+    const KEY: &str = "\"outcome\":";
+    let start = frame.find(KEY)? + KEY.len();
+    let end = frame.rfind('}')?;
+    (start <= end).then(|| &frame[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_frames_splice_outcome_bytes_verbatim() {
+        let fp = FunctionFingerprint { hi: 1, lo: 2 };
+        let outcome = r#"{"med":0.5,"elapsed":{"secs":1,"nanos":0}}"#;
+        let cold = result_frame(7, false, &fp, outcome);
+        let warm = result_frame(8, true, &fp, outcome);
+        assert!(cold.starts_with("{\"type\":\"result\",\"id\":7,\"cached\":false,"));
+        assert!(warm.contains("\"cached\":true"));
+        assert_eq!(outcome_section(&cold), Some(outcome));
+        assert_eq!(outcome_section(&cold), outcome_section(&warm));
+        // One line, one object.
+        assert!(!cold.contains('\n'));
+        assert!(cold.ends_with('}'));
+    }
+
+    #[test]
+    fn outcome_section_handles_malformed_frames() {
+        assert_eq!(outcome_section("{\"type\":\"error\"}"), None);
+        assert_eq!(outcome_section(""), None);
+    }
+}

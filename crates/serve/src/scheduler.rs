@@ -1,0 +1,722 @@
+//! Admission control, per-client fairness and the search worker pool.
+//!
+//! The [`Scheduler`] sits between the connection threads (which parse
+//! frames and call [`Scheduler::submit`]) and a fixed pool of worker
+//! threads running [`ApproxLutBuilder`] searches. A submitted job takes
+//! one of four paths, decided under a single state lock:
+//!
+//! 1. **Cache hit** — the job's fingerprint is in the [`ConfigCache`];
+//!    the stored bytes are replayed immediately on the *caller's*
+//!    thread, so hits never queue behind searches.
+//! 2. **Coalesce** — an identical job (same fingerprint) is already
+//!    queued or running; this submission becomes a *follower* and gets a
+//!    copy of the leader's result bytes when it finishes.
+//! 3. **Queue** — the job joins its client's FIFO queue. Workers pull
+//!    clients round-robin, so a client that floods the server only ever
+//!    holds one worker-turn per rotation and cannot starve others.
+//! 4. **Reject** — the server is draining, the spec is invalid, or an
+//!    admission limit is exceeded; the caller gets an error frame and
+//!    nothing is queued.
+
+use crate::cache::ConfigCache;
+use crate::protocol::{result_frame, ServerStats};
+use dalut_core::{
+    ApproxLutBuilder, CancelToken, DalutError, FunctionFingerprint, FunctionResolver, JobSpec,
+    Observer, SearchEvent, Termination,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A destination for server→client frames (one per connection; tests
+/// and `loadgen` use [`CollectSink`]).
+pub trait ResponseSink: Send + Sync {
+    /// Delivers one frame (a single line of JSON, no trailing newline).
+    /// Best-effort: a sink whose connection died just drops frames.
+    fn send(&self, frame: &str);
+}
+
+/// A [`ResponseSink`] that appends every frame to a vector; used by the
+/// in-process tests and by `loadgen`'s response accounting.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    frames: Mutex<Vec<String>>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every frame delivered so far.
+    #[must_use]
+    pub fn frames(&self) -> Vec<String> {
+        self.frames.lock().expect("sink lock").clone()
+    }
+}
+
+impl ResponseSink for CollectSink {
+    fn send(&self, frame: &str) {
+        self.frames
+            .lock()
+            .expect("sink lock")
+            .push(frame.to_string());
+    }
+}
+
+/// Back-pressure limits enforced at submission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Cap on jobs accepted but not yet finished (queued + running +
+    /// followers). Cache hits do not count — they finish inline.
+    pub max_inflight: usize,
+    /// Cap on one client's queued jobs; an aggressive client hits this
+    /// long before it can exhaust `max_inflight` for everyone.
+    pub max_queued_per_client: usize,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        Self {
+            max_inflight: 4096,
+            max_queued_per_client: 1024,
+        }
+    }
+}
+
+/// How [`Scheduler::submit`] disposed of a job.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Answered inline from the config cache.
+    CacheHit,
+    /// Attached as a follower to an identical queued/running job.
+    Coalesced,
+    /// Queued for a worker; the token cancels this job specifically.
+    Queued(CancelToken),
+    /// Refused (invalid spec, admission limit, or draining); an error
+    /// frame was already sent.
+    Rejected,
+}
+
+/// One accepted, not-yet-run job.
+struct Job {
+    /// Scheduler-internal sequence number (unique across all clients;
+    /// keys the active-token map — client-chosen `id`s may collide).
+    seq: u64,
+    id: u64,
+    stream: bool,
+    spec: JobSpec,
+    fp: FunctionFingerprint,
+    sink: Arc<dyn ResponseSink>,
+    cancel: CancelToken,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("fp", &self.fp)
+            .field("stream", &self.stream)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A coalesced submission waiting for its leader's bytes.
+struct Follower {
+    id: u64,
+    sink: Arc<dyn ResponseSink>,
+}
+
+/// Everything the state lock guards.
+#[derive(Default)]
+struct State {
+    /// FIFO of queued jobs per fairness bucket.
+    queues: HashMap<String, VecDeque<Job>>,
+    /// Round-robin rotation of buckets with queued work.
+    rotation: VecDeque<String>,
+    /// Total queued jobs across all buckets.
+    queued: usize,
+    /// Jobs currently executing on workers.
+    running: usize,
+    /// Followers per queued-or-running fingerprint. Presence of a key
+    /// means a leader exists, even with no followers yet.
+    inflight: HashMap<FunctionFingerprint, Vec<Follower>>,
+    /// Cancel tokens of currently running jobs, keyed by `Job::seq`
+    /// (for drain).
+    active: HashMap<u64, CancelToken>,
+    /// No new work accepted; workers exit once the queues empty.
+    draining: bool,
+}
+
+/// The job scheduler: admission control, fairness, coalescing and the
+/// worker pool. Shared via `Arc` between connection threads and
+/// workers.
+pub struct Scheduler {
+    cache: Arc<ConfigCache>,
+    limits: AdmissionLimits,
+    resolver: Box<dyn FunctionResolver + Send + Sync>,
+    state: Mutex<State>,
+    /// Signalled on enqueue and on drain.
+    work_ready: Condvar,
+    /// Signalled whenever the scheduler may have gone idle.
+    idle: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_seq: AtomicU64,
+    submitted: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("limits", &self.limits)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler over `cache`, resolving named benchmark sources with
+    /// `resolver`. Call [`spawn_workers`](Self::spawn_workers) before
+    /// submitting.
+    #[must_use]
+    pub fn new(
+        cache: Arc<ConfigCache>,
+        limits: AdmissionLimits,
+        resolver: Box<dyn FunctionResolver + Send + Sync>,
+    ) -> Self {
+        Self {
+            cache,
+            limits,
+            resolver,
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+            next_seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts `n` worker threads pulling from the queues.
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) {
+        let mut workers = self.workers.lock().expect("workers lock");
+        for i in 0..n.max(1) {
+            let sched = Arc::clone(self);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dalut-worker-{i}"))
+                    .spawn(move || sched.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    /// Submits one job on behalf of `client` (the fairness bucket).
+    /// Result/error frames go to `sink`; see [`SubmitOutcome`] for the
+    /// four paths. Runs cache hits inline on the calling thread.
+    pub fn submit(
+        &self,
+        client: &str,
+        id: u64,
+        stream: bool,
+        spec: &JobSpec,
+        sink: Arc<dyn ResponseSink>,
+    ) -> SubmitOutcome {
+        // Canonicalise first: the fingerprint, the cache key and the
+        // runnable (table-form) spec all come from the canonical form.
+        let canonical = match spec.canonicalize(self.resolver.as_ref()) {
+            Ok(c) => c,
+            Err(e) => return self.reject(id, &sink, &format!("invalid job spec: {e}")),
+        };
+        let fp = match canonical.fingerprint(self.resolver.as_ref()) {
+            Ok(fp) => fp,
+            Err(e) => return self.reject(id, &sink, &format!("invalid job spec: {e}")),
+        };
+
+        if let Some(bytes) = self.cache.get(&fp) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            sink.send(&result_frame(id, true, &fp, &bytes));
+            return SubmitOutcome::CacheHit;
+        }
+
+        let cancel = CancelToken::new();
+        {
+            let mut state = self.state.lock().expect("state lock");
+            if state.draining {
+                drop(state);
+                return self.reject(id, &sink, "server is draining; job refused");
+            }
+            if let Some(followers) = state.inflight.get_mut(&fp) {
+                followers.push(Follower {
+                    id,
+                    sink: Arc::clone(&sink),
+                });
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return SubmitOutcome::Coalesced;
+            }
+            if state.queued + state.running >= self.limits.max_inflight {
+                drop(state);
+                return self.reject(id, &sink, "admission limit: server at max in-flight jobs");
+            }
+            let queue = state.queues.entry(client.to_string()).or_default();
+            if queue.len() >= self.limits.max_queued_per_client {
+                drop(state);
+                return self.reject(id, &sink, "admission limit: client queue full");
+            }
+            if queue.is_empty() {
+                state.rotation.push_back(client.to_string());
+            }
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            state
+                .queues
+                .get_mut(client)
+                .expect("queue exists")
+                .push_back(Job {
+                    seq,
+                    id,
+                    stream,
+                    spec: canonical,
+                    fp,
+                    sink,
+                    cancel: cancel.clone(),
+                });
+            state.queued += 1;
+            state.inflight.insert(fp, Vec::new());
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.work_ready.notify_one();
+        SubmitOutcome::Queued(cancel)
+    }
+
+    /// Refuses new submissions and cancels every queued and running
+    /// job's token; in-flight searches return their best-so-far outcome
+    /// with `Termination::Cancelled`. Pair with
+    /// [`wait_idle`](Self::wait_idle) +
+    /// [`join_workers`](Self::join_workers) for a full stop.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("state lock");
+        state.draining = true;
+        for queue in state.queues.values() {
+            for job in queue {
+                job.cancel.cancel();
+            }
+        }
+        for token in state.active.values() {
+            token.cancel();
+        }
+        drop(state);
+        self.work_ready.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Blocks until no job is queued or running.
+    pub fn wait_idle(&self) {
+        let mut state = self.state.lock().expect("state lock");
+        while state.queued > 0 || state.running > 0 {
+            state = self.idle.wait(state).expect("state lock");
+        }
+    }
+
+    /// Joins the worker threads. Only returns promptly after
+    /// [`drain`](Self::drain); without it workers keep waiting for work.
+    pub fn join_workers(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// A snapshot of the scheduler's counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let (queued, running) = {
+            let state = self.state.lock().expect("state lock");
+            (state.queued as u64, state.running as u64)
+        };
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queued,
+            running,
+        }
+    }
+
+    /// The config cache this scheduler answers hits from.
+    #[must_use]
+    pub fn cache(&self) -> &ConfigCache {
+        &self.cache
+    }
+
+    fn reject(&self, id: u64, sink: &Arc<dyn ResponseSink>, message: &str) -> SubmitOutcome {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        sink.send(&error_frame(id, message));
+        SubmitOutcome::Rejected
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("state lock");
+                loop {
+                    if let Some(job) = next_job(&mut state) {
+                        state.queued -= 1;
+                        state.running += 1;
+                        state.active.insert(job.seq, job.cancel.clone());
+                        break job;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                    state = self.work_ready.wait(state).expect("state lock");
+                }
+            };
+            self.run_job(job);
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        let budget = job.spec.budget.to_budget().with_cancel(&job.cancel);
+        let streamer = StreamObserver {
+            id: job.id,
+            sink: Arc::clone(&job.sink),
+        };
+        let run = ApproxLutBuilder::from_spec(&job.spec).and_then(|b| {
+            let b = b.budget(budget);
+            if job.stream { b.observer(&streamer) } else { b }.run()
+        });
+
+        let followers = {
+            let mut state = self.state.lock().expect("state lock");
+            state.inflight.remove(&job.fp).unwrap_or_default()
+        };
+
+        match run.and_then(|outcome| {
+            serde_json::to_string(&outcome)
+                .map(|json| (outcome, json))
+                .map_err(|e| DalutError::Spec(format!("outcome serialisation failed: {e}")))
+        }) {
+            Ok((outcome, json)) => {
+                // Only completed searches are worth replaying to future
+                // clients; a budget-clipped or cancelled outcome would
+                // pollute the cache with avoidably poor configurations.
+                let bytes: Arc<str> = if outcome.termination == Termination::Completed {
+                    self.cache
+                        .insert(job.fp, &json)
+                        .unwrap_or_else(|_| Arc::from(json.as_str()))
+                } else {
+                    Arc::from(json.as_str())
+                };
+                job.sink.send(&result_frame(job.id, false, &job.fp, &bytes));
+                for follower in followers {
+                    follower
+                        .sink
+                        .send(&result_frame(follower.id, true, &job.fp, &bytes));
+                }
+            }
+            Err(e) => {
+                let message = format!("search failed: {e}");
+                job.sink.send(&error_frame(job.id, &message));
+                for follower in followers {
+                    follower.sink.send(&error_frame(follower.id, &message));
+                }
+            }
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+
+        let mut state = self.state.lock().expect("state lock");
+        state.running -= 1;
+        state.active.remove(&job.seq);
+        if state.queued == 0 && state.running == 0 {
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// Pops the next job round-robin across client buckets.
+fn next_job(state: &mut State) -> Option<Job> {
+    let client = state.rotation.pop_front()?;
+    let queue = state.queues.get_mut(&client).expect("rotation entry");
+    let job = queue.pop_front().expect("non-empty queue in rotation");
+    if queue.is_empty() {
+        state.queues.remove(&client);
+    } else {
+        state.rotation.push_back(client);
+    }
+    Some(job)
+}
+
+/// Forwards search progress as event frames. The event bytes are
+/// spliced (not re-wrapped through serde enums) so a streaming job adds
+/// no per-event allocation beyond the serialised event itself.
+struct StreamObserver {
+    id: u64,
+    sink: Arc<dyn ResponseSink>,
+}
+
+impl Observer for StreamObserver {
+    fn on_event(&self, event: &SearchEvent) {
+        if let Ok(json) = serde_json::to_string(event) {
+            self.sink.send(&format!(
+                "{{\"type\":\"event\",\"id\":{},\"event\":{json}}}",
+                self.id
+            ));
+        }
+    }
+}
+
+/// An error frame, assembled by hand for the same reason as
+/// [`result_frame`]: it must be emittable even where the JSON library
+/// is stubbed, and `message` never contains characters needing escapes
+/// beyond quotes/backslashes, which are escaped here.
+fn error_frame(id: u64, message: &str) -> String {
+    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{{\"type\":\"error\",\"id\":{id},\"message\":\"{escaped}\"}}")
+}
+
+/// The standard resolver for named [`FunctionSource::Benchmark`]
+/// sources: the ten paper benchmarks from `dalut-benchfns`, at
+/// `Scale::Paper` for 16-bit scale and `Scale::Reduced` otherwise.
+///
+/// [`FunctionSource::Benchmark`]: dalut_core::FunctionSource::Benchmark
+#[must_use]
+pub fn benchfns_resolver() -> impl FunctionResolver + Send + Sync + Copy + 'static {
+    |name: &str, scale_bits: usize| {
+        use dalut_benchfns::{Benchmark, Scale};
+        let bench: Benchmark = name.parse().map_err(|e: String| DalutError::Spec(e))?;
+        let scale = if scale_bits == 16 {
+            Scale::Paper
+        } else {
+            Scale::Reduced(scale_bits)
+        };
+        bench.table(scale).map_err(DalutError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalut_core::{
+        Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DistributionSpec, EstimatorMode,
+        FunctionSource,
+    };
+
+    fn spec(seed: u64) -> JobSpec {
+        let mut params = BsSaParams::fast();
+        params.search.seed = seed;
+        JobSpec {
+            function: FunctionSource::Benchmark {
+                name: "cos".into(),
+                scale_bits: 6,
+            },
+            distribution: DistributionSpec::Uniform,
+            algorithm: Algorithm::BsSa(params),
+            policy: ArchPolicy::NormalOnly,
+            budget: BudgetSpec::unlimited(),
+            estimator: EstimatorMode::Off,
+        }
+    }
+
+    fn scheduler(limits: AdmissionLimits) -> Arc<Scheduler> {
+        Arc::new(Scheduler::new(
+            Arc::new(ConfigCache::in_memory()),
+            limits,
+            Box::new(benchfns_resolver()),
+        ))
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        // Three clients with unequal backlogs: the rotation must
+        // interleave them rather than serving the flooder first.
+        let sched = scheduler(AdmissionLimits::default());
+        let sink = Arc::new(CollectSink::new());
+        let mut order = Vec::new();
+        {
+            let mut state = sched.state.lock().unwrap();
+            for (client, jobs) in [("flood", 3), ("a", 1), ("b", 1)] {
+                for i in 0..jobs {
+                    if state
+                        .queues
+                        .entry(client.to_string())
+                        .or_default()
+                        .is_empty()
+                    {
+                        state.rotation.push_back(client.to_string());
+                    }
+                    state.queues.get_mut(client).unwrap().push_back(Job {
+                        seq: i,
+                        id: i,
+                        stream: false,
+                        spec: spec(0),
+                        fp: FunctionFingerprint {
+                            hi: i,
+                            lo: client.len() as u64,
+                        },
+                        sink: sink.clone(),
+                        cancel: CancelToken::new(),
+                    });
+                    state.queued += 1;
+                }
+            }
+            while let Some(job) = next_job(&mut state) {
+                state.queued -= 1;
+                order.push(job.fp.lo);
+            }
+        }
+        // lo encodes the client name length: flood=5, a/b=1.
+        assert_eq!(order, vec![5, 1, 1, 5, 5]);
+    }
+
+    #[test]
+    fn admission_rejects_beyond_limits() {
+        let sched = scheduler(AdmissionLimits {
+            max_inflight: 2,
+            max_queued_per_client: 1,
+        });
+        let sink: Arc<dyn ResponseSink> = Arc::new(CollectSink::new());
+        // No workers: jobs stay queued, exercising the limits.
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(1), sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        // Same client, distinct spec: per-client cap.
+        assert!(matches!(
+            sched.submit("a", 2, false, &spec(2), sink.clone()),
+            SubmitOutcome::Rejected
+        ));
+        // Other client fills the global cap.
+        assert!(matches!(
+            sched.submit("b", 3, false, &spec(3), sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        assert!(matches!(
+            sched.submit("c", 4, false, &spec(4), sink.clone()),
+            SubmitOutcome::Rejected
+        ));
+        assert_eq!(sched.stats().rejected, 2);
+        assert_eq!(sched.stats().queued, 2);
+    }
+
+    #[test]
+    fn identical_inflight_specs_coalesce() {
+        let sched = scheduler(AdmissionLimits::default());
+        let sink: Arc<dyn ResponseSink> = Arc::new(CollectSink::new());
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(7), sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        // Same semantic job from another client coalesces; a different
+        // seed does not.
+        assert!(matches!(
+            sched.submit("b", 2, false, &spec(7), sink.clone()),
+            SubmitOutcome::Coalesced
+        ));
+        assert!(matches!(
+            sched.submit("b", 3, false, &spec(8), sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        assert_eq!(sched.stats().coalesced, 1);
+        assert_eq!(sched.stats().queued, 2);
+    }
+
+    #[test]
+    fn draining_scheduler_refuses_new_work() {
+        let sched = scheduler(AdmissionLimits::default());
+        let sink: Arc<dyn ResponseSink> = Arc::new(CollectSink::new());
+        sched.drain();
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(1), sink.clone()),
+            SubmitOutcome::Rejected
+        ));
+        sched.wait_idle(); // returns immediately: nothing queued
+        sched.join_workers();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_an_error_frame() {
+        let sched = scheduler(AdmissionLimits::default());
+        let sink = Arc::new(CollectSink::new());
+        let mut bad = spec(1);
+        bad.function = FunctionSource::Benchmark {
+            name: "no-such-benchmark".into(),
+            scale_bits: 6,
+        };
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert!(matches!(
+            sched.submit("a", 9, false, &bad, dyn_sink),
+            SubmitOutcome::Rejected
+        ));
+        let frames = sink.frames();
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains("\"type\":\"error\""));
+        assert!(frames[0].contains("\"id\":9"));
+        assert!(frames[0].contains("no-such-benchmark"));
+    }
+
+    #[test]
+    fn error_frames_escape_quotes() {
+        let frame = error_frame(1, "unknown benchmark 'x\"y'");
+        assert!(frame.contains("x\\\"y"));
+        assert!(frame.starts_with('{') && frame.ends_with('}'));
+    }
+
+    #[test]
+    fn end_to_end_run_hits_cache_second_time() {
+        let sched = scheduler(AdmissionLimits::default());
+        sched.spawn_workers(2);
+        let sink = Arc::new(CollectSink::new());
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(5), dyn_sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        sched.wait_until_completed(1);
+        let cold = sink.frames();
+        let cold_result = cold
+            .iter()
+            .find(|f| f.contains("\"type\":\"result\""))
+            .expect("cold result frame");
+        assert!(cold_result.contains("\"cached\":false"));
+
+        // Identical job again: inline cache hit with identical outcome
+        // bytes.
+        assert!(matches!(
+            sched.submit("b", 2, false, &spec(5), dyn_sink),
+            SubmitOutcome::CacheHit
+        ));
+        let frames = sink.frames();
+        let warm_result = frames.last().expect("warm frame");
+        assert!(warm_result.contains("\"cached\":true"));
+        assert_eq!(
+            crate::protocol::outcome_section(cold_result),
+            crate::protocol::outcome_section(warm_result),
+            "cache hit must replay the cold bytes verbatim"
+        );
+        sched.drain();
+        sched.wait_idle();
+        sched.join_workers();
+    }
+
+    impl Scheduler {
+        /// Test helper: spin until `n` jobs have completed.
+        fn wait_until_completed(&self, n: u64) {
+            while self.completed.load(Ordering::Relaxed) < n {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The TCP front-end: listener, connection threads and the drain path.
+//!
+//! One lightweight thread per connection reads newline-delimited
+//! [`ClientFrame`]s and hands submissions to the shared [`Scheduler`];
+//! responses are written through a mutex-guarded clone of the stream, so
+//! worker threads deliver result frames directly without a hop back to
+//! the connection thread. The accept loop polls a [`CancelToken`]
+//! (typically wired to SIGINT via [`shutdown::install`]) and on
+//! cancellation performs a graceful drain: stop accepting, refuse new
+//! submissions, cancel running searches (each still yields a best-so-far
+//! result frame), wait for the pool to go idle, then return `Ok(())`.
+//!
+//! [`shutdown::install`]: crate::shutdown::install
+
+use crate::cache::ConfigCache;
+use crate::protocol::{ClientFrame, ServerStats, PROTOCOL_SCHEMA};
+use crate::scheduler::{
+    benchfns_resolver, AdmissionLimits, ResponseSink, Scheduler, SubmitOutcome,
+};
+use dalut_core::CancelToken;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked loops re-check the shutdown token.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Search worker threads.
+    pub workers: usize,
+    /// Directory for the persistent config cache; `None` keeps the
+    /// cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Admission-control limits.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_dir: None,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// A bound, ready-to-run server. Create with [`Server::bind`], then
+/// call [`run`](Server::run), which blocks until the shutdown token
+/// trips and the drain finishes.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    workers: usize,
+    shutdown: CancelToken,
+    next_conn: AtomicU64,
+}
+
+impl Server {
+    /// Binds the listener, opens (or creates) the cache and starts the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and cache-directory I/O errors.
+    pub fn bind(config: &ServerConfig) -> io::Result<Self> {
+        let cache = Arc::new(match &config.cache_dir {
+            Some(dir) => ConfigCache::open(dir)?,
+            None => ConfigCache::in_memory(),
+        });
+        let scheduler = Arc::new(Scheduler::new(
+            cache,
+            config.limits,
+            Box::new(benchfns_resolver()),
+        ));
+        scheduler.spawn_workers(config.workers);
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            scheduler,
+            workers: config.workers,
+            shutdown: CancelToken::new(),
+            next_conn: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (useful with port `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpListener::local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A clone of the token that stops the server; wire it to
+    /// [`shutdown::install`](crate::shutdown::install) or cancel it
+    /// from another thread.
+    #[must_use]
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// The scheduler, for in-process inspection (stats, cache counters).
+    #[must_use]
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Accepts connections until the shutdown token trips, then drains:
+    /// refuses new work, cancels running searches, waits for every
+    /// accepted job's result frame to be delivered and joins the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (`WouldBlock` and interrupts
+    /// are retried).
+    pub fn run(self) -> io::Result<()> {
+        while !self.shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+                    let scheduler = Arc::clone(&self.scheduler);
+                    let shutdown = self.shutdown.clone();
+                    let workers = self.workers;
+                    let _ = std::thread::Builder::new()
+                        .name(format!("dalut-conn-{conn}"))
+                        .spawn(move || {
+                            let _ = serve_connection(&scheduler, stream, conn, workers, &shutdown);
+                        });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Graceful drain: every job accepted before the signal still
+        // gets its result frame (cancelled searches report best-so-far)
+        // and the cache never gains a partial on-disk entry, because
+        // entries are written atomically and only for completed runs.
+        self.scheduler.drain();
+        self.scheduler.wait_idle();
+        self.scheduler.join_workers();
+        Ok(())
+    }
+}
+
+/// A [`ResponseSink`] writing newline-terminated frames to one
+/// connection. Write errors mark the sink dead and later frames are
+/// dropped — a vanished client must not take a worker down with it.
+struct TcpSink {
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl TcpSink {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Mutex::new(Some(stream)),
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSink").finish_non_exhaustive()
+    }
+}
+
+impl ResponseSink for TcpSink {
+    fn send(&self, frame: &str) {
+        let mut guard = self.stream.lock().expect("sink lock");
+        if let Some(stream) = guard.as_mut() {
+            let ok = stream
+                .write_all(frame.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .and_then(|()| stream.flush())
+                .is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
+    }
+}
+
+/// Reads frames off one connection until EOF or shutdown.
+fn serve_connection(
+    scheduler: &Arc<Scheduler>,
+    stream: TcpStream,
+    conn: u64,
+    workers: usize,
+    shutdown: &CancelToken,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    let write_half = stream.try_clone()?;
+    let sink: Arc<TcpSink> = Arc::new(TcpSink::new(write_half));
+    sink.send(&hello_frame(workers, scheduler.cache().len()));
+
+    let default_client = format!("conn-{conn}");
+    // Tokens of this connection's queued jobs, for cancel frames.
+    let mut submitted: HashMap<u64, CancelToken> = HashMap::new();
+    let mut reader = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.is_cancelled() {
+            return Ok(()); // drain path delivers remaining result frames
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    let line = line.trim();
+                    if !line.is_empty() {
+                        handle_frame(scheduler, line, &default_client, &sink, &mut submitted);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Dispatches one parsed line.
+fn handle_frame(
+    scheduler: &Arc<Scheduler>,
+    line: &str,
+    default_client: &str,
+    sink: &Arc<TcpSink>,
+    submitted: &mut HashMap<u64, CancelToken>,
+) {
+    match serde_json::from_str::<ClientFrame>(line) {
+        Ok(ClientFrame::Submit {
+            id,
+            client,
+            stream,
+            spec,
+        }) => {
+            let bucket = client.as_deref().unwrap_or(default_client);
+            let dyn_sink: Arc<dyn ResponseSink> = Arc::clone(sink) as Arc<dyn ResponseSink>;
+            if let SubmitOutcome::Queued(token) =
+                scheduler.submit(bucket, id, stream, &spec, dyn_sink)
+            {
+                submitted.insert(id, token);
+            }
+        }
+        Ok(ClientFrame::Cancel { id }) => {
+            if let Some(token) = submitted.remove(&id) {
+                token.cancel();
+            }
+        }
+        Ok(ClientFrame::Stats) => sink.send(&stats_frame(&scheduler.stats())),
+        Err(e) => sink.send(&format!(
+            "{{\"type\":\"error\",\"id\":0,\"message\":\"unparseable frame: {}\"}}",
+            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+        )),
+    }
+}
+
+/// The hello frame, hand-assembled so its bytes are stable and
+/// emittable even where the JSON library is stubbed.
+fn hello_frame(workers: usize, cached_entries: usize) -> String {
+    format!(
+        "{{\"type\":\"hello\",\"schema\":\"{PROTOCOL_SCHEMA}\",\
+         \"workers\":{workers},\"cached_entries\":{cached_entries}}}"
+    )
+}
+
+/// The stats frame, hand-assembled for the same reason.
+fn stats_frame(s: &ServerStats) -> String {
+    format!(
+        "{{\"type\":\"stats\",\"stats\":{{\"submitted\":{},\"cache_hits\":{},\
+         \"coalesced\":{},\"rejected\":{},\"completed\":{},\"queued\":{},\"running\":{}}}}}",
+        s.submitted, s.cache_hits, s.coalesced, s.rejected, s.completed, s.queued, s.running
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_and_stats_frames_are_single_json_lines() {
+        let hello = hello_frame(4, 17);
+        assert!(hello.contains("\"schema\":\"dalut-serve/v1\""));
+        assert!(hello.contains("\"workers\":4"));
+        assert!(hello.contains("\"cached_entries\":17"));
+        assert!(!hello.contains('\n'));
+
+        let stats = stats_frame(&ServerStats {
+            submitted: 1,
+            cache_hits: 2,
+            coalesced: 3,
+            rejected: 4,
+            completed: 5,
+            queued: 6,
+            running: 7,
+        });
+        for needle in [
+            "\"submitted\":1",
+            "\"cache_hits\":2",
+            "\"coalesced\":3",
+            "\"rejected\":4",
+            "\"completed\":5",
+            "\"queued\":6",
+            "\"running\":7",
+        ] {
+            assert!(stats.contains(needle), "{stats} missing {needle}");
+        }
+        assert!(!stats.contains('\n'));
+    }
+
+    #[test]
+    fn bind_picks_a_free_port_and_reports_it() {
+        let server = Server::bind(&ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        // Stop immediately: trip the token before run() so the accept
+        // loop drains and returns on its first poll.
+        server.shutdown_token().cancel();
+        server.run().unwrap();
+    }
+}

@@ -1,4 +1,7 @@
-//! Graceful-shutdown signal handling for the harness binaries.
+//! Graceful-shutdown signal handling for the server and harness binaries.
+//!
+//! Lives here (rather than in `dalut-bench`, which re-exports it) so the
+//! server's drain path and the benchmark binaries share one handler.
 //!
 //! [`install`] registers a process-level SIGINT/SIGTERM handler wired to
 //! the run's [`CancelToken`]: the **first** signal trips the token, so the

@@ -79,14 +79,11 @@ pub mod prelude {
     pub use dalut_boolfn::{builder::QuantizedFn, InputDistribution, Partition, TruthTable};
     pub use dalut_core::{
         mode_sweep, Algorithm, ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BitMode, BsSaParams,
-        CancelToken, DaltaParams, DalutError, JsonlTraceWriter, MetricsRecorder, MetricsSnapshot,
-        MultiObserver, NoopObserver, Observer, RecordingObserver, RunBudget, SearchConfig,
-        SearchEvent, SearchOutcome, SearchParams, Termination, TraceRecord,
+        BudgetSpec, CancelToken, DaltaParams, DalutError, DistributionSpec, FunctionFingerprint,
+        FunctionResolver, FunctionSource, JobSpec, JsonlTraceWriter, MetricsRecorder,
+        MetricsSnapshot, MultiObserver, NoopObserver, Observer, RecordingObserver, RunBudget,
+        SearchConfig, SearchEvent, SearchOutcome, SearchParams, Termination, TraceRecord,
     };
-    // The deprecated free-function shims stay importable so existing
-    // callers keep compiling (with a deprecation warning at the use site).
-    #[allow(deprecated)]
-    pub use dalut_core::{run_bs_sa, run_dalta};
     pub use dalut_decomp::{
         bit_costs, exact_decompose, opt_for_part, opt_for_part_bto, opt_for_part_nd,
         pattern_to_minterms, reduce_index, AnyDecomp, DisjointDecomp, KernelStats, LsbFill,
