@@ -1,0 +1,448 @@
+//! `chaosbench` — drives mixed traffic at a `dalut-serve` instance
+//! through the fault-injecting [`ChaosProxy`] and writes
+//! `BENCH_chaos.json` (`dalut-chaosbench/v1`).
+//!
+//! Two phases. First a **fault-free baseline**: every spec is submitted
+//! over a clean connection and its verified outcome bytes recorded per
+//! fingerprint. In self-contained mode (no `--addr`) the baseline runs
+//! against its own throwaway in-process server, so the chaos phase
+//! recomputes every search from scratch — with `threads = 1` and a
+//! fixed seed the BS-SA search is bit-deterministic, so an honest
+//! server must reproduce the baseline bytes exactly. With `--addr` the
+//! baseline runs directly against the external server (the chaos phase
+//! then exercises its cache path).
+//!
+//! Then the **chaos phase**: a fresh server (or the external one) is
+//! fronted by a [`ChaosProxy`] running the full fault menu — connection
+//! drops, byte corruption, slow-loris stalls, partial writes, duplicate
+//! delivery — under a fixed seed, and a fleet of retrying
+//! [`DalutClient`]s pushes every spec through it repeatedly. The client
+//! stack verifies each response end to end (CRC + fingerprint); this
+//! harness additionally cross-checks completed outcome bytes against
+//! the baseline.
+//!
+//! The run fails (non-zero exit) if the server dies, any completed
+//! response differs from the baseline, or any request fails to
+//! eventually complete. A top-up loop keeps submitting until every
+//! fault type has fired at least once, so a CI run with a fixed seed
+//! always exercises the whole menu.
+
+use dalut_bench::report::{write_versioned_json, Versioned};
+use dalut_client::{ClientConfig, ClientError, ClientResult, DalutClient, FaultClass};
+use dalut_core::{
+    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DalutError, DistributionSpec, EstimatorMode,
+    FunctionSource, JobSpec,
+};
+use dalut_serve::{ChaosPlan, ChaosProxy, ChaosSnapshot, Server, ServerConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct Args {
+    addr: Option<String>,
+    jobs: usize,
+    clients: usize,
+    repeat: usize,
+    workers: usize,
+    seed: u64,
+    request_timeout_ms: u64,
+    out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            jobs: 4,
+            clients: 4,
+            repeat: 3,
+            workers: 4,
+            seed: 42,
+            request_timeout_ms: 30_000,
+            out: PathBuf::from("BENCH_chaos.json"),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaosbench [--addr HOST:PORT] [--jobs N] [--clients N] [--repeat N] \
+         [--workers N] [--seed N] [--request-timeout-ms MS] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")),
+            "--jobs" => args.jobs = parse_num(&val("--jobs")),
+            "--clients" => args.clients = parse_num(&val("--clients")),
+            "--repeat" => args.repeat = parse_num(&val("--repeat")),
+            "--workers" => args.workers = parse_num(&val("--workers")),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--request-timeout-ms" => {
+                args.request_timeout_ms = parse_num(&val("--request-timeout-ms")) as u64;
+            }
+            "--out" => args.out = PathBuf::from(val("--out")),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str) -> usize {
+    match s.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage(),
+    }
+}
+
+/// One distinct, cheap, bit-deterministic search job per seed: 6-bit
+/// cos under fast BS-SA parameters with a single search thread.
+fn make_spec(seed: u64) -> JobSpec {
+    let mut params = BsSaParams::fast();
+    params.search.seed = seed;
+    params.search.threads = 1;
+    JobSpec {
+        function: FunctionSource::Benchmark {
+            name: "cos".to_string(),
+            scale_bits: 6,
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm: Algorithm::BsSa(params),
+        policy: ArchPolicy::NormalOnly,
+        budget: BudgetSpec::unlimited(),
+        estimator: EstimatorMode::Off,
+    }
+}
+
+fn fail(context: &str, e: &dyn std::fmt::Display) -> ExitCode {
+    eprintln!("chaosbench: {context}: {e}");
+    ExitCode::FAILURE
+}
+
+/// A running in-process server with its drain handle.
+struct InProcess {
+    addr: String,
+    token: dalut_core::CancelToken,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_server(workers: usize) -> Result<InProcess, DalutError> {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr()?.to_string();
+    let token = server.shutdown_token();
+    let handle = std::thread::spawn(move || server.run());
+    Ok(InProcess {
+        addr,
+        token,
+        handle,
+    })
+}
+
+impl InProcess {
+    /// Drains the server; `true` when the run loop exited cleanly —
+    /// i.e. the server survived everything thrown at it.
+    fn stop(self) -> bool {
+        self.token.cancel();
+        matches!(self.handle.join(), Ok(Ok(())))
+    }
+}
+
+/// A client with policy tuned for the chaos run.
+fn chaos_client(addr: &str, seed: u64, request_timeout_ms: u64) -> DalutClient {
+    let mut config = ClientConfig::new(addr);
+    config.seed = seed;
+    config.max_attempts = 12;
+    config.backoff_base_ms = 20;
+    config.backoff_cap_ms = 1_000;
+    config.connect_timeout = Duration::from_secs(5);
+    config.request_timeout = Duration::from_millis(request_timeout_ms);
+    DalutClient::new(config)
+}
+
+/// Submits every spec once over a clean connection, returning the
+/// fingerprint → outcome-bytes map that anchors byte-identity.
+fn run_baseline(
+    addr: &str,
+    specs: &[JobSpec],
+    request_timeout_ms: u64,
+) -> Result<HashMap<String, String>, ClientError> {
+    let mut client = chaos_client(addr, 0, request_timeout_ms);
+    let mut baseline = HashMap::new();
+    for spec in specs {
+        let result = client.submit(spec)?;
+        baseline.insert(result.fingerprint, result.outcome_json);
+    }
+    Ok(baseline)
+}
+
+/// What one chaos-phase worker thread saw.
+#[derive(Default)]
+struct ClientReport {
+    completed: Vec<ClientResult>,
+    failures: Vec<ClientError>,
+}
+
+#[derive(Serialize)]
+struct ChaosBenchReport {
+    seed: u64,
+    jobs: usize,
+    clients: usize,
+    requests: usize,
+    completed: usize,
+    eventual_completion_rate: f64,
+    wrong_answers: usize,
+    byte_identical: bool,
+    server_alive: bool,
+    total_attempts: u64,
+    total_retries: u64,
+    /// Proxy-side injection counts, per fault type.
+    injected: HashMap<String, u64>,
+    /// Client-side recovery counts, per observed fault class.
+    recovered: HashMap<String, u64>,
+    proxy_connections: u64,
+    proxy_chunks: u64,
+    failures: Vec<String>,
+}
+
+impl Versioned for ChaosBenchReport {
+    const SCHEMA: &'static str = "dalut-chaosbench/v1";
+}
+
+fn injected_map(snap: &ChaosSnapshot) -> HashMap<String, u64> {
+    HashMap::from([
+        ("drop".to_string(), snap.drops),
+        ("corrupt".to_string(), snap.corruptions),
+        ("stall".to_string(), snap.stalls),
+        ("partial".to_string(), snap.partials),
+        ("duplicate".to_string(), snap.duplicates),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let specs: Vec<JobSpec> = (0..args.jobs)
+        .map(|i| make_spec(args.seed.wrapping_add(i as u64)))
+        .collect();
+
+    // Phase 1: fault-free baseline. Self-contained mode uses a
+    // throwaway twin server so the chaos phase recomputes every search.
+    let (baseline, upstream, chaos_server) = match &args.addr {
+        Some(addr) => {
+            eprintln!("chaosbench: baseline against external server {addr}");
+            match run_baseline(addr, &specs, args.request_timeout_ms) {
+                Ok(baseline) => (baseline, addr.clone(), None),
+                Err(e) => return fail("baseline", &e),
+            }
+        }
+        None => {
+            let twin = match start_server(args.workers) {
+                Ok(twin) => twin,
+                Err(e) => return fail("bind baseline server", &e),
+            };
+            eprintln!("chaosbench: baseline against twin server {}", twin.addr);
+            let baseline = match run_baseline(&twin.addr, &specs, args.request_timeout_ms) {
+                Ok(baseline) => baseline,
+                Err(e) => return fail("baseline", &e),
+            };
+            if !twin.stop() {
+                return fail("baseline server", &"did not drain cleanly");
+            }
+            let chaos = match start_server(args.workers) {
+                Ok(chaos) => chaos,
+                Err(e) => return fail("bind chaos server", &e),
+            };
+            let addr = chaos.addr.clone();
+            (baseline, addr, Some(chaos))
+        }
+    };
+
+    // Phase 2: the full fault menu between the clients and the server.
+    let plan = ChaosPlan::full(args.seed);
+    let proxy = match ChaosProxy::start(&upstream, plan) {
+        Ok(proxy) => proxy,
+        Err(e) => return fail("start chaos proxy", &e),
+    };
+    let proxy_addr = proxy.addr().to_string();
+    eprintln!(
+        "chaosbench: proxy {proxy_addr} → {upstream}, {} client(s) × {} request(s)",
+        args.clients,
+        args.jobs * args.repeat
+    );
+
+    let planned = args.clients * args.jobs * args.repeat;
+    let reports: Mutex<Vec<ClientReport>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..args.clients {
+            let specs = &specs;
+            let reports = &reports;
+            let proxy_addr = proxy_addr.as_str();
+            scope.spawn(move || {
+                let mut client = chaos_client(
+                    proxy_addr,
+                    args.seed ^ (c as u64 + 1),
+                    args.request_timeout_ms,
+                );
+                let mut report = ClientReport::default();
+                for r in 0..args.repeat {
+                    for s in 0..specs.len() {
+                        // Offset the spec order per client and round so
+                        // the fleet mixes hits and coalesced misses.
+                        let spec = &specs[(s + c + r) % specs.len()];
+                        match client.submit(spec) {
+                            Ok(result) => report.completed.push(result),
+                            Err(e) => report.failures.push(e),
+                        }
+                    }
+                }
+                reports.lock().expect("reports lock").push(report);
+            });
+        }
+    });
+    let mut reports = reports.into_inner().expect("reports lock");
+
+    // Top-up: keep pushing single requests until every fault type has
+    // fired, so a fixed-seed CI run always covers the whole menu.
+    let mut extra_requests = 0usize;
+    {
+        let mut top_up = chaos_client(&proxy_addr, args.seed ^ 0xDEAD, args.request_timeout_ms);
+        let mut extra = ClientReport::default();
+        while extra_requests < 200 {
+            let snap = proxy.stats();
+            let menu_complete = snap.drops > 0
+                && snap.corruptions > 0
+                && snap.stalls > 0
+                && snap.partials > 0
+                && snap.duplicates > 0;
+            if menu_complete {
+                break;
+            }
+            let spec = &specs[extra_requests % specs.len()];
+            match top_up.submit(spec) {
+                Ok(result) => extra.completed.push(result),
+                Err(e) => extra.failures.push(e),
+            }
+            extra_requests += 1;
+        }
+        reports.push(extra);
+    }
+    let requests = planned + extra_requests;
+
+    // Aggregate and cross-check against the baseline.
+    let mut completed = 0usize;
+    let mut wrong_answers = 0usize;
+    let mut total_attempts = 0u64;
+    let mut total_retries = 0u64;
+    let mut recovered: HashMap<String, u64> = FaultClass::all()
+        .iter()
+        .map(|c| (c.as_str().to_string(), 0))
+        .collect();
+    let mut failures: Vec<String> = Vec::new();
+    for report in &reports {
+        for result in &report.completed {
+            completed += 1;
+            total_attempts += u64::from(result.attempts);
+            total_retries += result.retries.len() as u64;
+            for class in &result.retries {
+                *recovered.entry(class.as_str().to_string()).or_insert(0) += 1;
+            }
+            match baseline.get(&result.fingerprint) {
+                Some(expected) if *expected == result.outcome_json => {}
+                Some(_) => wrong_answers += 1,
+                None => wrong_answers += 1, // fingerprint outside the baseline set
+            }
+        }
+        for failure in &report.failures {
+            total_attempts += u64::from(match failure {
+                ClientError::RetriesExhausted { attempts, .. } => *attempts,
+                _ => 1,
+            });
+            failures.push(failure.to_string());
+        }
+    }
+
+    let snap = proxy.stop();
+    let server_alive = match chaos_server {
+        Some(server) => server.stop(),
+        // External server: alive iff a clean connection still answers.
+        None => run_baseline(&upstream, &specs[..1], args.request_timeout_ms).is_ok(),
+    };
+
+    let report = ChaosBenchReport {
+        seed: args.seed,
+        jobs: args.jobs,
+        clients: args.clients,
+        requests,
+        completed,
+        eventual_completion_rate: if requests > 0 {
+            completed as f64 / requests as f64
+        } else {
+            1.0
+        },
+        wrong_answers,
+        byte_identical: wrong_answers == 0,
+        server_alive,
+        total_attempts,
+        total_retries,
+        injected: injected_map(&snap),
+        recovered,
+        proxy_connections: snap.connections,
+        proxy_chunks: snap.chunks,
+        failures,
+    };
+
+    println!(
+        "chaosbench: {}/{} completed ({:.1}%), {} wrong, {} retries over {} attempts",
+        report.completed,
+        report.requests,
+        report.eventual_completion_rate * 100.0,
+        report.wrong_answers,
+        report.total_retries,
+        report.total_attempts
+    );
+    println!(
+        "  injected: drop {} corrupt {} stall {} partial {} duplicate {} \
+         ({} connections, {} chunks)",
+        snap.drops,
+        snap.corruptions,
+        snap.stalls,
+        snap.partials,
+        snap.duplicates,
+        snap.connections,
+        snap.chunks
+    );
+    println!(
+        "  server alive: {}  byte-identical: {}",
+        report.server_alive, report.byte_identical
+    );
+    if let Err(e) = write_versioned_json(&args.out, &report) {
+        return fail("write report", &e);
+    }
+    println!("wrote {}", args.out.display());
+
+    if !report.server_alive || report.wrong_answers > 0 || report.completed < report.requests {
+        for failure in report.failures.iter().take(8) {
+            eprintln!("chaosbench: failure: {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

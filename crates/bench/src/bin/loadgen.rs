@@ -26,10 +26,10 @@
 
 use dalut_bench::report::{write_versioned_json, Versioned};
 use dalut_core::{
-    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DistributionSpec, EstimatorMode, FunctionSource,
-    JobSpec,
+    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DalutError, DistributionSpec, EstimatorMode,
+    FunctionSource, JobSpec,
 };
-use dalut_serve::{outcome_section, AdmissionLimits, ClientFrame, Server, ServerConfig};
+use dalut_serve::{outcome_section, ClientFrame, Server, ServerConfig};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -136,14 +136,22 @@ fn make_spec(seed: u64) -> JobSpec {
     }
 }
 
-fn submit_frame(id: u64, spec: &JobSpec) -> String {
+fn submit_frame(id: u64, spec: &JobSpec) -> Result<String, DalutError> {
     serde_json::to_string(&ClientFrame::Submit {
         id,
         client: None,
         stream: false,
         spec: Box::new(spec.clone()),
     })
-    .expect("submit frame serialises")
+    .map_err(|e| DalutError::Spec(format!("submit frame serialisation failed: {e}")))
+}
+
+/// Prints a typed error and returns the failure exit code: an
+/// unreachable server or a connection dying mid-run must exit nonzero,
+/// never panic.
+fn fail(context: &str, e: &DalutError) -> ExitCode {
+    eprintln!("loadgen: {context}: {e}");
+    ExitCode::FAILURE
 }
 
 /// Scans `line` for a top-level `"key":<digits>` field. Result and
@@ -208,7 +216,8 @@ fn warmup(addr: &str, specs: &[JobSpec], warm: usize) -> std::io::Result<ConnRep
 
     let mut sent = Vec::with_capacity(warm);
     for (i, spec) in specs.iter().take(warm).enumerate() {
-        let frame = submit_frame(i as u64, spec);
+        let frame = submit_frame(i as u64, spec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         sent.push(Instant::now());
         write_half.write_all(frame.as_bytes())?;
         write_half.write_all(b"\n")?;
@@ -376,14 +385,19 @@ fn main() -> ExitCode {
     let (addr, server) = match &args.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let server = Server::bind(&ServerConfig {
+            let server = match Server::bind(&ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: args.workers,
                 cache_dir: None,
-                limits: AdmissionLimits::default(),
-            })
-            .expect("bind in-process server");
-            let addr = server.local_addr().expect("local addr").to_string();
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => return fail("bind in-process server", &e.into()),
+            };
+            let addr = match server.local_addr() {
+                Ok(addr) => addr.to_string(),
+                Err(e) => return fail("local addr", &e.into()),
+            };
             let token = server.shutdown_token();
             let handle = std::thread::spawn(move || server.run());
             (addr, Some((token, handle)))
@@ -396,7 +410,10 @@ fn main() -> ExitCode {
         .collect();
 
     eprintln!("loadgen: warming {} spec(s) on {addr}", args.warm);
-    let warm_report = warmup(&addr, &specs, args.warm).expect("warmup connection");
+    let warm_report = match warmup(&addr, &specs, args.warm) {
+        Ok(report) => report,
+        Err(e) => return fail("warmup connection", &e.into()),
+    };
     if warm_report.received < args.warm {
         eprintln!(
             "loadgen: warmup incomplete ({}/{})",
@@ -412,19 +429,20 @@ fn main() -> ExitCode {
             args.requests / args.connections + usize::from(c < args.requests % args.connections)
         })
         .collect();
-    let batches: Vec<(Vec<String>, Vec<bool>)> = (0..args.connections)
-        .map(|c| {
-            (0..per_conn[c])
-                .map(|i| {
-                    let spec_idx = (c + i) % total_specs;
-                    (
-                        submit_frame(i as u64, &specs[spec_idx]),
-                        spec_idx < args.warm,
-                    )
-                })
-                .unzip()
-        })
-        .collect();
+    let mut batches: Vec<(Vec<String>, Vec<bool>)> = Vec::with_capacity(args.connections);
+    for c in 0..args.connections {
+        let mut frames = Vec::with_capacity(per_conn[c]);
+        let mut hits = Vec::with_capacity(per_conn[c]);
+        for i in 0..per_conn[c] {
+            let spec_idx = (c + i) % total_specs;
+            match submit_frame(i as u64, &specs[spec_idx]) {
+                Ok(frame) => frames.push(frame),
+                Err(e) => return fail("pre-serialise frames", &e),
+            }
+            hits.push(spec_idx < args.warm);
+        }
+        batches.push((frames, hits));
+    }
 
     eprintln!(
         "loadgen: flooding {} request(s) over {} connection(s), window {}",
@@ -447,10 +465,21 @@ fn main() -> ExitCode {
             })
         })
         .collect();
-    let reports: Vec<ConnReport> = handles
-        .into_iter()
-        .map(|h| h.join().expect("connection thread").expect("connection io"))
-        .collect();
+    let mut reports: Vec<ConnReport> = Vec::with_capacity(handles.len());
+    let mut conn_failures = 0usize;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(report)) => reports.push(report),
+            Ok(Err(e)) => {
+                eprintln!("loadgen: connection died: {}", DalutError::from(e));
+                conn_failures += 1;
+            }
+            Err(_) => {
+                eprintln!("loadgen: connection thread panicked");
+                conn_failures += 1;
+            }
+        }
+    }
     let flood_secs = flood_start.elapsed().as_secs_f64();
 
     // Merge: cross-connection byte-identity anchors on the warmup's
@@ -521,15 +550,24 @@ fn main() -> ExitCode {
         "  fairness spread {:.2}x  errors {}  dropped {}  byte-identical {}",
         report.fairness_spread, report.errors, report.dropped, report.byte_identical
     );
-    write_versioned_json(&args.out, &report).expect("write BENCH_serve.json");
+    if let Err(e) = write_versioned_json(&args.out, &report) {
+        return fail("write report", &e.into());
+    }
     println!("wrote {}", args.out.display());
 
     if let Some((token, handle)) = server {
         token.cancel();
-        handle.join().expect("server thread").expect("server run");
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return fail("server run", &e.into()),
+            Err(_) => {
+                eprintln!("loadgen: server thread panicked");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
-    if report.errors > 0 || report.dropped > 0 || !report.byte_identical {
+    if conn_failures > 0 || report.errors > 0 || report.dropped > 0 || !report.byte_identical {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,588 @@
+//! # dalut-client
+//!
+//! A fault-tolerant client for the `dalut-serve` line protocol: the
+//! piece that turns a chaotic network into an at-most-annoying one.
+//!
+//! [`DalutClient::submit`] drives one job to completion through any
+//! number of connection drops, corrupted lines, stalls and overload
+//! sheds:
+//!
+//! * **Reconnection** — every retryable failure tears the connection
+//!   down and dials again, resynchronising the line protocol (after a
+//!   corrupted line, the only safe recovery point is a fresh hello).
+//! * **Per-request timeout** — an attempt that produces no classifiable
+//!   answer within [`ClientConfig::request_timeout`] is abandoned and
+//!   retried.
+//! * **Classification** — server rejects carry a typed
+//!   [`RejectCode`](dalut_serve::RejectCode) and an explicit
+//!   `retryable` flag; the client honours both, so an `invalid_spec`
+//!   fails fast while an `overloaded` backs off and retries.
+//! * **Capped, seeded backoff** — exponential from
+//!   [`backoff_base_ms`](ClientConfig::backoff_base_ms), capped, with
+//!   deterministic seed-derived jitter (a fleet of clients with
+//!   distinct seeds desynchronises; a test with a fixed seed
+//!   reproduces). A server `retry_after_ms` hint takes precedence when
+//!   it is larger.
+//! * **End-to-end verification** — the expected
+//!   [`FunctionFingerprint`](dalut_core::FunctionFingerprint) is
+//!   computed *locally* before submission; a result frame must match it
+//!   AND carry a valid CRC-32 over `id|fingerprint|outcome` before its
+//!   bytes are surfaced. A flipped byte anywhere in the response is a
+//!   retry, never a wrong answer.
+//! * **Idempotent resubmission** — the server's cache is keyed by
+//!   fingerprint, so a retry of a job whose first attempt actually
+//!   completed server-side is a free cache hit with byte-identical
+//!   outcome bytes.
+//!
+//! The client is deliberately synchronous and single-request (one job
+//! in flight per client; run several clients for parallelism), matching
+//! the thread-per-connection server. Response parsing is the serve
+//! crate's panic-free hand-rolled scanners, so a hostile byte stream
+//! can never panic the client either.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use dalut_core::{JobSpec, NoResolver};
+use dalut_serve::protocol::{escape_json, parse_error_frame, parse_result_frame};
+use dalut_serve::{benchfns_resolver, RejectCode, SplitMix64};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads re-check their deadline.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Connection and retry policy.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Fairness-bucket name sent with every submit (`None` uses the
+    /// server's per-connection default).
+    pub client_name: Option<String>,
+    /// Deadline for dialling + reading the hello frame.
+    pub connect_timeout: Duration,
+    /// Deadline for one submit attempt to produce a classifiable
+    /// answer. Size it to the search budget, not the network.
+    pub request_timeout: Duration,
+    /// Total attempts per [`submit`](DalutClient::submit) (first try
+    /// included) before giving up with
+    /// [`ClientError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// First backoff step; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling (before jitter).
+    pub backoff_cap_ms: u64,
+    /// Seeds the jitter stream; distinct per client in a fleet.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// A sensible default policy against `addr`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            client_name: None,
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(120),
+            max_attempts: 8,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Why an attempt (or a whole submit) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Dial, write or read failure — the connection is gone.
+    Io(String),
+    /// The request deadline passed without a classifiable answer.
+    Timeout,
+    /// The server refused the job with a typed error frame.
+    Rejected {
+        /// The machine-readable cause, when recognised.
+        code: Option<RejectCode>,
+        /// The server's own retryability claim.
+        retryable: bool,
+        /// Back-off hint attached to overload sheds.
+        retry_after_ms: Option<u64>,
+        /// The human-readable message.
+        message: String,
+    },
+    /// A response line failed verification: CRC mismatch, fingerprint
+    /// mismatch, or an unclassifiable (corrupted) line.
+    Corrupt(String),
+    /// The spec failed local canonicalisation or serialisation —
+    /// submitting it cannot help.
+    Spec(String),
+    /// Every attempt failed; carries the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether another attempt may succeed.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        match self {
+            Self::Io(_) | Self::Timeout | Self::Corrupt(_) => true,
+            Self::Rejected { retryable, .. } => *retryable,
+            Self::Spec(_) | Self::RetriesExhausted { .. } => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "i/o failure: {msg}"),
+            Self::Timeout => write!(f, "request timed out"),
+            Self::Rejected { code, message, .. } => match code {
+                Some(code) => write!(f, "rejected ({code}): {message}"),
+                None => write!(f, "rejected: {message}"),
+            },
+            Self::Corrupt(msg) => write!(f, "corrupt response: {msg}"),
+            Self::Spec(msg) => write!(f, "invalid spec: {msg}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The fault class a retry recovered from, for chaos accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultClass {
+    /// Connection refused, reset, or closed mid-exchange.
+    ConnectionLost,
+    /// No classifiable answer within the request deadline.
+    Timeout,
+    /// CRC/fingerprint mismatch or unclassifiable line.
+    Corrupt,
+    /// A retryable server reject (overload shed, drain, panic...).
+    Rejected,
+}
+
+impl FaultClass {
+    /// A stable lower-case name, used as a JSON key by `chaosbench`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::ConnectionLost => "connection_lost",
+            Self::Timeout => "timeout",
+            Self::Corrupt => "corrupt",
+            Self::Rejected => "rejected",
+        }
+    }
+
+    /// Every class, in report order.
+    #[must_use]
+    pub fn all() -> [Self; 4] {
+        [
+            Self::ConnectionLost,
+            Self::Timeout,
+            Self::Corrupt,
+            Self::Rejected,
+        ]
+    }
+}
+
+impl From<&ClientError> for FaultClass {
+    fn from(e: &ClientError) -> Self {
+        match e {
+            ClientError::Timeout => Self::Timeout,
+            ClientError::Corrupt(_) => Self::Corrupt,
+            ClientError::Rejected { .. } => Self::Rejected,
+            _ => Self::ConnectionLost,
+        }
+    }
+}
+
+/// A verified answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResult {
+    /// The verbatim outcome JSON (CRC- and fingerprint-verified).
+    pub outcome_json: String,
+    /// Whether the server answered from its cache.
+    pub cached: bool,
+    /// The job fingerprint (32-hex), equal to the locally computed one.
+    pub fingerprint: String,
+    /// Attempts this submit took (1 = first try succeeded).
+    pub attempts: u32,
+    /// The fault class each retry recovered from, in order.
+    pub retries: Vec<FaultClass>,
+}
+
+/// One open connection with its line buffer.
+struct Conn {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Conn {
+    /// Dials, arms socket timeouts and waits for the hello line.
+    fn open(config: &ClientConfig) -> Result<Self, ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        let addr = config
+            .addr
+            .to_socket_addrs()
+            .map_err(io)?
+            .next()
+            .ok_or_else(|| ClientError::Io(format!("{} resolves to nothing", config.addr)))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(io)?;
+        stream.set_read_timeout(Some(POLL)).map_err(io)?;
+        stream
+            .set_write_timeout(Some(config.connect_timeout))
+            .map_err(io)?;
+        let mut conn = Self {
+            stream,
+            pending: Vec::new(),
+        };
+        let hello = conn.read_line(Instant::now() + config.connect_timeout)?;
+        if !hello.trim_start().starts_with("{\"type\":\"hello\"") {
+            return Err(ClientError::Corrupt(format!(
+                "expected hello frame, got: {}",
+                &hello[..hello.len().min(80)]
+            )));
+        }
+        Ok(conn)
+    }
+
+    /// Sends one newline-terminated frame.
+    fn send_line(&mut self, frame: &str) -> Result<(), ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        self.stream.write_all(frame.as_bytes()).map_err(io)?;
+        self.stream.write_all(b"\n").map_err(io)?;
+        self.stream.flush().map_err(io)
+    }
+
+    /// Reads the next complete line, or fails with `Timeout` at the
+    /// deadline / `Io` on EOF and socket errors.
+    fn read_line(&mut self, deadline: Instant) -> Result<String, ClientError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Io("connection closed by server".into())),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn").finish_non_exhaustive()
+    }
+}
+
+/// The reconnecting, retrying client. One job in flight at a time.
+#[derive(Debug)]
+pub struct DalutClient {
+    config: ClientConfig,
+    conn: Option<Conn>,
+    rng: SplitMix64,
+    next_id: u64,
+}
+
+impl DalutClient {
+    /// A client over `config`; nothing is dialled until the first
+    /// [`submit`](Self::submit).
+    #[must_use]
+    pub fn new(config: ClientConfig) -> Self {
+        let rng = SplitMix64::new(config.seed);
+        Self {
+            config,
+            conn: None,
+            rng,
+            next_id: 1,
+        }
+    }
+
+    /// Convenience: a default-policy client against `addr`.
+    #[must_use]
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Self::new(ClientConfig::new(addr))
+    }
+
+    /// Drives `spec` to a verified answer, retrying retryable failures
+    /// with capped jittered backoff (honouring server `retry_after_ms`
+    /// hints) up to [`ClientConfig::max_attempts`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Spec`] when the spec fails locally (fatal);
+    /// the first fatal server reject; or
+    /// [`ClientError::RetriesExhausted`] wrapping the final retryable
+    /// failure.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<ClientResult, ClientError> {
+        // The expected fingerprint is computed locally, BEFORE anything
+        // touches the network: the trust anchor for response
+        // verification.
+        let canonical = spec
+            .canonicalize(&benchfns_resolver())
+            .map_err(|e| ClientError::Spec(e.to_string()))?;
+        let expected_fp = canonical
+            .fingerprint(&NoResolver)
+            .map_err(|e| ClientError::Spec(e.to_string()))?
+            .to_string();
+        let spec_json = serde_json::to_string(spec)
+            .map_err(|e| ClientError::Spec(format!("spec serialisation failed: {e}")))?;
+
+        let mut retries: Vec<FaultClass> = Vec::new();
+        let mut last: Option<ClientError> = None;
+        for attempt in 1..=self.config.max_attempts.max(1) {
+            if attempt > 1 {
+                let hint = match &last {
+                    Some(ClientError::Rejected { retry_after_ms, .. }) => *retry_after_ms,
+                    _ => None,
+                };
+                std::thread::sleep(self.backoff(attempt - 1, hint));
+            }
+            match self.attempt(&spec_json, &expected_fp) {
+                Ok(mut result) => {
+                    result.attempts = attempt;
+                    result.retries = retries;
+                    return Ok(result);
+                }
+                Err(e) if e.retryable() => {
+                    // Resync from a fresh connection: after corruption
+                    // or loss, mid-stream state is untrustworthy.
+                    self.conn = None;
+                    retries.push(FaultClass::from(&e));
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: self.config.max_attempts.max(1),
+            last: Box::new(last.unwrap_or(ClientError::Timeout)),
+        })
+    }
+
+    /// The fault classes recovered from across this client's lifetime
+    /// would live here; per-submit accounting is in [`ClientResult`].
+    #[must_use]
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// One wire attempt: ensure a connection, submit under a fresh id,
+    /// scan lines until the deadline for a verifiable answer.
+    fn attempt(&mut self, spec_json: &str, expected_fp: &str) -> Result<ClientResult, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(&self.config)?);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let client_field = self
+            .config
+            .client_name
+            .as_deref()
+            .map_or_else(String::new, |name| {
+                format!("\"client\":\"{}\",", escape_json(name))
+            });
+        let frame = format!(
+            "{{\"type\":\"submit\",\"id\":{id},{client_field}\"stream\":false,\
+             \"spec\":{spec_json}}}"
+        );
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        conn.send_line(&frame)?;
+
+        let deadline = Instant::now() + self.config.request_timeout;
+        loop {
+            let line = conn.read_line(deadline)?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(result) = parse_result_frame(trimmed) {
+                if result.id != id {
+                    continue; // stale or duplicated delivery — ignore
+                }
+                if !result.crc_ok() {
+                    return Err(ClientError::Corrupt(
+                        "result frame failed its CRC check".into(),
+                    ));
+                }
+                if result.fingerprint != expected_fp {
+                    return Err(ClientError::Corrupt(format!(
+                        "result fingerprint {} != expected {expected_fp}",
+                        result.fingerprint
+                    )));
+                }
+                return Ok(ClientResult {
+                    outcome_json: result.outcome.to_string(),
+                    cached: result.cached,
+                    fingerprint: result.fingerprint.to_string(),
+                    attempts: 0,
+                    retries: Vec::new(),
+                });
+            }
+            if let Some(reject) = parse_error_frame(trimmed) {
+                // id 0 is a connection-level reject (bad frame — our
+                // submit may have been corrupted in transit).
+                if reject.id != id && reject.id != 0 {
+                    continue;
+                }
+                return Err(ClientError::Rejected {
+                    code: reject.code,
+                    retryable: reject.retryable,
+                    retry_after_ms: reject.retry_after_ms,
+                    message: reject.message.to_string(),
+                });
+            }
+            if trimmed.starts_with("{\"type\":\"hello\"")
+                || trimmed.starts_with("{\"type\":\"event\"")
+                || trimmed.starts_with("{\"type\":\"stats\"")
+            {
+                continue; // benign interleaved frames (or duplicated hello)
+            }
+            return Err(ClientError::Corrupt(format!(
+                "unclassifiable line: {}",
+                &trimmed[..trimmed.len().min(80)]
+            )));
+        }
+    }
+
+    /// Capped exponential backoff with seed-derived jitter in
+    /// `[0.5, 1.5)×`; a larger server hint wins.
+    fn backoff(&mut self, retry: u32, server_hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .config
+            .backoff_base_ms
+            .saturating_mul(1u64 << retry.min(16));
+        let capped = exp.min(self.config.backoff_cap_ms).max(1);
+        let jitter = 0.5 + self.rng.next_f64();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let mut ms = (capped as f64 * jitter) as u64;
+        if let Some(hint) = server_hint_ms {
+            ms = ms.max(hint);
+        }
+        Duration::from_millis(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_honours_hints() {
+        let mut config = ClientConfig::new("127.0.0.1:1");
+        config.backoff_base_ms = 100;
+        config.backoff_cap_ms = 1_000;
+        config.seed = 7;
+        let mut client = DalutClient::new(config.clone());
+        let first = client.backoff(0, None);
+        // Jitter keeps it within [0.5, 1.5)× the nominal step.
+        assert!((50..150).contains(&(first.as_millis() as u64)), "{first:?}");
+        let deep = client.backoff(10, None);
+        assert!(
+            deep.as_millis() as u64 <= 1_500,
+            "cap (plus jitter) must bound growth: {deep:?}"
+        );
+        let hinted = client.backoff(0, Some(4_000));
+        assert!(hinted.as_millis() as u64 >= 4_000, "{hinted:?}");
+
+        // Same seed, same jitter stream.
+        let mut twin = DalutClient::new(config);
+        assert_eq!(twin.backoff(0, None), first);
+    }
+
+    #[test]
+    fn error_classification_is_fixed() {
+        assert!(ClientError::Io("x".into()).retryable());
+        assert!(ClientError::Timeout.retryable());
+        assert!(ClientError::Corrupt("x".into()).retryable());
+        assert!(!ClientError::Spec("x".into()).retryable());
+        let shed = ClientError::Rejected {
+            code: Some(RejectCode::Overloaded),
+            retryable: true,
+            retry_after_ms: Some(500),
+            message: "busy".into(),
+        };
+        assert!(shed.retryable());
+        assert_eq!(FaultClass::from(&shed), FaultClass::Rejected);
+        let fatal = ClientError::Rejected {
+            code: Some(RejectCode::InvalidSpec),
+            retryable: false,
+            retry_after_ms: None,
+            message: "bad".into(),
+        };
+        assert!(!fatal.retryable());
+        assert_eq!(
+            FaultClass::from(&ClientError::Io("x".into())),
+            FaultClass::ConnectionLost
+        );
+        assert_eq!(FaultClass::from(&ClientError::Timeout), FaultClass::Timeout);
+        assert_eq!(
+            FaultClass::from(&ClientError::Corrupt("x".into())),
+            FaultClass::Corrupt
+        );
+    }
+
+    #[test]
+    fn unreachable_server_exhausts_retries_with_connection_faults() {
+        // A port nobody listens on: every attempt is an Io failure.
+        let mut config = ClientConfig::new("127.0.0.1:9");
+        config.max_attempts = 2;
+        config.backoff_base_ms = 1;
+        config.backoff_cap_ms = 2;
+        config.connect_timeout = Duration::from_millis(200);
+        let mut client = DalutClient::new(config);
+        let spec = test_spec(1);
+        match client.submit(&spec) {
+            Err(ClientError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 2);
+                assert!(matches!(*last, ClientError::Io(_)), "{last}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    fn test_spec(seed: u64) -> JobSpec {
+        use dalut_core::{
+            Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DistributionSpec, EstimatorMode,
+            FunctionSource,
+        };
+        let mut params = BsSaParams::fast();
+        params.search.seed = seed;
+        JobSpec {
+            function: FunctionSource::Benchmark {
+                name: "cos".to_string(),
+                scale_bits: 6,
+            },
+            distribution: DistributionSpec::Uniform,
+            algorithm: Algorithm::BsSa(params),
+            policy: ArchPolicy::NormalOnly,
+            budget: BudgetSpec::unlimited(),
+            estimator: EstimatorMode::Off,
+        }
+    }
+}

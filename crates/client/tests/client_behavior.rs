@@ -1,0 +1,313 @@
+//! Behaviour of the retrying client against scripted fault sequences
+//! and a real chaos-proxied server.
+//!
+//! The scripted tests run a bare `TcpListener` speaking the line
+//! protocol by hand — no serde on the server side — so the retry loop,
+//! reconnection, CRC/fingerprint verification and backoff-hint paths
+//! are all exercised under the offline serde stub too. Only the final
+//! end-to-end test (a real `dalut-serve` behind a `ChaosProxy`) needs
+//! a real JSON parser and skips itself under the stub.
+
+use dalut_client::{ClientConfig, ClientError, DalutClient, FaultClass};
+use dalut_core::{
+    Algorithm, ArchPolicy, BsSaParams, BudgetSpec, DistributionSpec, EstimatorMode,
+    FunctionFingerprint, FunctionSource, JobSpec, NoResolver,
+};
+use dalut_serve::protocol::field_u64;
+use dalut_serve::{
+    benchfns_resolver, reject_frame, result_frame, ChaosPlan, ChaosProxy, RejectCode, Server,
+    ServerConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn serde_is_stubbed() -> bool {
+    serde_json::from_str::<u64>("1").is_err()
+}
+
+/// A cheap, bit-deterministic spec, distinct per seed.
+fn spec(seed: u64) -> JobSpec {
+    let mut params = BsSaParams::fast();
+    params.search.seed = seed;
+    params.search.threads = 1;
+    JobSpec {
+        function: FunctionSource::Benchmark {
+            name: "cos".to_string(),
+            scale_bits: 6,
+        },
+        distribution: DistributionSpec::Uniform,
+        algorithm: Algorithm::BsSa(params),
+        policy: ArchPolicy::NormalOnly,
+        budget: BudgetSpec::unlimited(),
+        estimator: EstimatorMode::Off,
+    }
+}
+
+/// The fingerprint the client will expect for `spec` — computed the
+/// same way the client does, so a scripted server can forge valid (or
+/// deliberately invalid) responses.
+fn fingerprint_of(spec: &JobSpec) -> FunctionFingerprint {
+    spec.canonicalize(&benchfns_resolver())
+        .expect("canonicalize")
+        .fingerprint(&NoResolver)
+        .expect("fingerprint")
+}
+
+/// Fast-retry client policy so fault tests finish in milliseconds.
+fn test_config(addr: &str) -> ClientConfig {
+    let mut config = ClientConfig::new(addr);
+    config.connect_timeout = Duration::from_secs(5);
+    config.request_timeout = Duration::from_secs(5);
+    config.max_attempts = 4;
+    config.backoff_base_ms = 1;
+    config.backoff_cap_ms = 5;
+    config.seed = 7;
+    config
+}
+
+const HELLO: &str = "{\"type\":\"hello\",\"protocol\":\"dalut-serve/v1\"}";
+
+/// Accepts one connection, sends the hello, and hands the socket to
+/// the script.
+fn scripted_connection(
+    listener: &TcpListener,
+    script: impl FnOnce(&mut TcpStream, &mut BufReader<TcpStream>),
+) {
+    let (mut stream, _) = listener.accept().expect("accept");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream
+        .write_all(format!("{HELLO}\n").as_bytes())
+        .expect("hello");
+    script(&mut stream, &mut reader);
+}
+
+fn read_submit_id(reader: &mut BufReader<TcpStream>) -> u64 {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read submit");
+    assert!(!line.is_empty(), "client closed before submitting");
+    field_u64(&line, "id").expect("submit id")
+}
+
+fn send_line(stream: &mut TcpStream, frame: &str) {
+    stream.write_all(frame.as_bytes()).expect("write frame");
+    stream.write_all(b"\n").expect("write newline");
+}
+
+#[test]
+fn fatal_rejects_fail_fast_without_retry() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            send_line(
+                stream,
+                &reject_frame(id, RejectCode::InvalidSpec, None, "scripted: bad spec"),
+            );
+        });
+    });
+
+    let mut client = DalutClient::new(test_config(&addr));
+    match client.submit(&spec(1)) {
+        Err(ClientError::Rejected {
+            code,
+            retryable,
+            message,
+            ..
+        }) => {
+            assert_eq!(code, Some(RejectCode::InvalidSpec));
+            assert!(!retryable, "invalid_spec must be fatal");
+            assert!(message.contains("bad spec"), "{message}");
+        }
+        other => panic!("expected fatal reject, got {other:?}"),
+    }
+    server.join().expect("scripted server");
+}
+
+#[test]
+fn reconnects_after_connection_drop_and_completes() {
+    let target = spec(2);
+    let fp = fingerprint_of(&target);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        // First connection: hello, then hang up before answering.
+        scripted_connection(&listener, |_stream, reader| {
+            let _ = read_submit_id(reader);
+        });
+        // Second connection: answer properly.
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            send_line(stream, &result_frame(id, false, &fp, "{\"iterations\":3}"));
+        });
+    });
+
+    let mut client = DalutClient::new(test_config(&addr));
+    let result = client.submit(&target).expect("eventual completion");
+    assert_eq!(result.attempts, 2);
+    assert_eq!(result.retries, vec![FaultClass::ConnectionLost]);
+    assert_eq!(result.outcome_json, "{\"iterations\":3}");
+    assert!(!result.cached);
+    server.join().expect("scripted server");
+}
+
+#[test]
+fn corrupt_frames_are_rejected_and_retried() {
+    let target = spec(3);
+    let fp = fingerprint_of(&target);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fp_for_server = fp;
+    let server = std::thread::spawn(move || {
+        // First connection: a result whose outcome was tampered with
+        // after the CRC was computed — exactly what a flipped byte on
+        // the wire produces.
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            let good = result_frame(id, false, &fp_for_server, "{\"iterations\":3}");
+            let tampered = good.replace("\"iterations\":3", "\"iterations\":7");
+            send_line(stream, &tampered);
+        });
+        // Second connection: a stale-id frame (duplicate delivery from
+        // a previous life) followed by the real answer.
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            send_line(
+                stream,
+                &result_frame(id + 1000, false, &fp_for_server, "{\"iterations\":9}"),
+            );
+            send_line(
+                stream,
+                &result_frame(id, true, &fp_for_server, "{\"iterations\":3}"),
+            );
+        });
+    });
+
+    let mut client = DalutClient::new(test_config(&addr));
+    let result = client.submit(&target).expect("eventual completion");
+    assert_eq!(result.attempts, 2);
+    assert_eq!(result.retries, vec![FaultClass::Corrupt]);
+    assert_eq!(result.outcome_json, "{\"iterations\":3}");
+    assert!(result.cached, "second answer was scripted as a cache hit");
+    assert_eq!(result.fingerprint, fp.to_string());
+    server.join().expect("scripted server");
+}
+
+#[test]
+fn overload_sheds_back_off_by_the_server_hint() {
+    let target = spec(4);
+    let fp = fingerprint_of(&target);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            send_line(
+                stream,
+                &reject_frame(id, RejectCode::Overloaded, Some(300), "scripted: shed"),
+            );
+        });
+        scripted_connection(&listener, |stream, reader| {
+            let id = read_submit_id(reader);
+            send_line(stream, &result_frame(id, false, &fp, "{\"iterations\":1}"));
+        });
+    });
+
+    let mut client = DalutClient::new(test_config(&addr));
+    let start = Instant::now();
+    let result = client.submit(&target).expect("eventual completion");
+    assert_eq!(result.attempts, 2);
+    assert_eq!(result.retries, vec![FaultClass::Rejected]);
+    assert!(
+        start.elapsed() >= Duration::from_millis(300),
+        "the 300ms retry_after hint must be honoured: {:?}",
+        start.elapsed()
+    );
+    server.join().expect("scripted server");
+}
+
+#[test]
+fn wrong_fingerprint_exhausts_retries_as_corrupt() {
+    let target = spec(5);
+    let wrong_fp = fingerprint_of(&spec(6)); // a different job's fingerprint
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            scripted_connection(&listener, |stream, reader| {
+                let id = read_submit_id(reader);
+                // CRC-valid frame, but for the wrong function: an
+                // end-to-end check the transport CRC alone cannot make.
+                send_line(
+                    stream,
+                    &result_frame(id, false, &wrong_fp, "{\"iterations\":1}"),
+                );
+            });
+        }
+    });
+
+    let mut config = test_config(&addr);
+    config.max_attempts = 2;
+    let mut client = DalutClient::new(config);
+    match client.submit(&target) {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 2);
+            assert!(matches!(*last, ClientError::Corrupt(_)), "{last}");
+        }
+        other => panic!("expected exhaustion on fingerprint mismatch, got {other:?}"),
+    }
+    server.join().expect("scripted server");
+}
+
+/// The full stack under injected faults: a real server behind a
+/// `ChaosProxy` running the complete fault menu. Every submit must
+/// eventually complete with outcome bytes identical to a fault-free
+/// run against the same server.
+#[test]
+fn chaos_proxied_submits_complete_byte_identical() {
+    if serde_is_stubbed() {
+        eprintln!("skipped: stubbed serde_json cannot parse client frames");
+        return;
+    }
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let token = server.shutdown_token();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Fault-free baseline, directly against the server.
+    let mut direct = DalutClient::new(test_config(&addr));
+    let baseline = direct.submit(&spec(30)).expect("fault-free submit");
+    assert_eq!(baseline.attempts, 1);
+
+    // The same job plus a fresh one, through the full fault menu.
+    let proxy = ChaosProxy::start(&addr, ChaosPlan::full(99)).expect("proxy");
+    let mut config = test_config(&proxy.addr().to_string());
+    config.max_attempts = 12;
+    config.request_timeout = Duration::from_secs(30);
+    let mut chaotic = DalutClient::new(config);
+    let replay = chaotic.submit(&spec(30)).expect("chaos submit (warm)");
+    assert_eq!(
+        replay.outcome_json, baseline.outcome_json,
+        "chaos-path bytes must match the fault-free run"
+    );
+    let cold = chaotic.submit(&spec(31)).expect("chaos submit (cold)");
+    assert_eq!(cold.fingerprint, fingerprint_of(&spec(31)).to_string());
+
+    let snapshot = proxy.stop();
+    assert!(snapshot.connections > 0);
+    token.cancel();
+    handle
+        .join()
+        .expect("server thread")
+        .expect("server survived the chaos run");
+}

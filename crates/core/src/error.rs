@@ -30,6 +30,10 @@ pub enum DalutError {
     /// (unknown benchmark name, mismatched weight vector, unresolved
     /// function source where a table is required).
     Spec(String),
+    /// An I/O operation failed (unreachable server, connection lost
+    /// mid-run, unwritable output). Carries the rendered `io::Error`
+    /// text so the taxonomy stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl fmt::Display for DalutError {
@@ -40,6 +44,7 @@ impl fmt::Display for DalutError {
             Self::InvalidParams(msg) => write!(f, "invalid search parameters: {msg}"),
             Self::Task(e) => write!(f, "worker task failed: {e}"),
             Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -50,8 +55,14 @@ impl std::error::Error for DalutError {
             Self::BoolFn(e) => Some(e),
             Self::Decomp(e) => Some(e),
             Self::Task(e) => Some(e),
-            Self::InvalidParams(_) | Self::Spec(_) => None,
+            Self::InvalidParams(_) | Self::Spec(_) | Self::Io(_) => None,
         }
+    }
+}
+
+impl From<std::io::Error> for DalutError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
     }
 }
 

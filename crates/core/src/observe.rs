@@ -279,6 +279,32 @@ pub enum SearchEvent {
         /// The SLO error target.
         target: f64,
     },
+    /// A serving-layer admission controller shed a job under overload,
+    /// attaching a back-off hint to the reject frame.
+    OverloadShed {
+        /// Jobs queued at the shed decision.
+        queued: usize,
+        /// Jobs running at the shed decision.
+        running: usize,
+        /// The `retry_after_ms` hint attached to the reject.
+        retry_after_ms: u64,
+    },
+    /// A job fingerprint crossed the panic threshold and entered the
+    /// poison quarantine: further submissions are fast-rejected instead
+    /// of re-run.
+    JobQuarantined {
+        /// 32-hex display form of the quarantined fingerprint.
+        fingerprint: String,
+        /// Panics observed for this fingerprint so far.
+        panics: u32,
+    },
+    /// A persistent-cache entry failed validation (checksum mismatch,
+    /// name/fingerprint disagreement) and was quarantined on disk rather
+    /// than served.
+    CacheEntryCorrupt {
+        /// File name of the quarantined entry.
+        file: String,
+    },
 }
 
 /// A sink for [`SearchEvent`]s.
@@ -559,6 +585,15 @@ pub struct CounterSnapshot {
     /// `SloRecovered` events.
     #[serde(default)]
     pub slo_recoveries: u64,
+    /// `OverloadShed` events.
+    #[serde(default)]
+    pub overload_sheds: u64,
+    /// `JobQuarantined` events.
+    #[serde(default)]
+    pub jobs_quarantined: u64,
+    /// `CacheEntryCorrupt` events.
+    #[serde(default)]
+    pub cache_entries_corrupt: u64,
 }
 
 /// Aggregated effort attributed to one named phase.
@@ -655,6 +690,9 @@ pub struct MetricsRecorder {
     variant_upgrades: AtomicU64,
     variant_relaxes: AtomicU64,
     slo_recoveries: AtomicU64,
+    overload_sheds: AtomicU64,
+    jobs_quarantined: AtomicU64,
+    cache_entries_corrupt: AtomicU64,
     hist_batch_evaluated: Histogram,
     hist_kernel_alternations: Histogram,
     kernel_at_creation: KernelStats,
@@ -717,6 +755,9 @@ impl MetricsRecorder {
             variant_upgrades: AtomicU64::new(0),
             variant_relaxes: AtomicU64::new(0),
             slo_recoveries: AtomicU64::new(0),
+            overload_sheds: AtomicU64::new(0),
+            jobs_quarantined: AtomicU64::new(0),
+            cache_entries_corrupt: AtomicU64::new(0),
             hist_batch_evaluated: Histogram::default(),
             hist_kernel_alternations: Histogram::default(),
             kernel_at_creation: kernel_stats::global(),
@@ -768,6 +809,9 @@ impl MetricsRecorder {
             variant_upgrades: ld(&self.variant_upgrades),
             variant_relaxes: ld(&self.variant_relaxes),
             slo_recoveries: ld(&self.slo_recoveries),
+            overload_sheds: ld(&self.overload_sheds),
+            jobs_quarantined: ld(&self.jobs_quarantined),
+            cache_entries_corrupt: ld(&self.cache_entries_corrupt),
         };
         let cache_hit_rate = if counters.neighbours_requested == 0 {
             0.0
@@ -897,6 +941,9 @@ impl Observer for MetricsRecorder {
                 }
             }
             SearchEvent::SloRecovered { .. } => add(&self.slo_recoveries, 1),
+            SearchEvent::OverloadShed { .. } => add(&self.overload_sheds, 1),
+            SearchEvent::JobQuarantined { .. } => add(&self.jobs_quarantined, 1),
+            SearchEvent::CacheEntryCorrupt { .. } => add(&self.cache_entries_corrupt, 1),
             // Future event kinds default to uncounted (the enum is
             // non-exhaustive for downstream crates).
             #[allow(unreachable_patterns)]
@@ -1133,6 +1180,30 @@ mod tests {
         assert_eq!(snap.counters.variant_upgrades, 1);
         assert_eq!(snap.counters.variant_relaxes, 1);
         assert_eq!(snap.counters.slo_recoveries, 1);
+    }
+
+    #[test]
+    fn recorder_counts_serving_hardening_events() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&SearchEvent::OverloadShed {
+            queued: 100,
+            running: 4,
+            retry_after_ms: 1200,
+        });
+        rec.on_event(&SearchEvent::JobQuarantined {
+            fingerprint: "00".repeat(16),
+            panics: 2,
+        });
+        rec.on_event(&SearchEvent::CacheEntryCorrupt {
+            file: "deadbeef.json".into(),
+        });
+        rec.on_event(&SearchEvent::CacheEntryCorrupt {
+            file: "cafebabe.json".into(),
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.overload_sheds, 1);
+        assert_eq!(snap.counters.jobs_quarantined, 1);
+        assert_eq!(snap.counters.cache_entries_corrupt, 2);
     }
 
     #[test]

@@ -16,22 +16,64 @@
 //! Entries use a small hand-assembled envelope instead of serde:
 //!
 //! ```text
-//! {"schema":"dalut-servecache/v1","fingerprint":"<32 hex>","outcome":<json>}
+//! {"schema":"dalut-servecache/v2","fingerprint":"<32 hex>","crc":<u32>,"outcome":<json>}
 //! ```
+//!
+//! The `crc` is a CRC-32 over the verbatim outcome bytes, the same
+//! checksum the checkpoint layer uses, so a bit-flip on disk is detected
+//! at reload instead of being served to clients. v1 envelopes (no
+//! checksum) are still *read* for compatibility; every write is v2.
+//!
+//! Reload never trusts its inputs: entries that fail their checksum or
+//! whose embedded fingerprint disagrees with their file name are
+//! **quarantined** (renamed `*.quarantined`, so the next identical job
+//! simply misses, re-runs and atomically rewrites the entry); files that
+//! are not cache entries at all are skipped in place. Both populations
+//! are counted in the [`CacheLoadReport`] surfaced by the hello frame
+//! and the stats frame. And when the directory itself cannot be created,
+//! read or written, the cache **degrades to memory-only** instead of
+//! refusing to serve: [`ConfigCache::open`] is infallible by design.
 //!
 //! Hand-rolled encode/decode keeps the outcome bytes verbatim and keeps
 //! the cache readable even in environments where the JSON library is
 //! stubbed out (the offline build container).
 
-use dalut_core::{atomic_write, FunctionFingerprint};
+use dalut_core::{atomic_write, crc32, FunctionFingerprint};
 use std::collections::HashMap;
-use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Schema tag of on-disk cache entries.
-pub const CACHE_SCHEMA: &str = "dalut-servecache/v1";
+/// Schema tag written on new on-disk cache entries.
+pub const CACHE_SCHEMA: &str = "dalut-servecache/v2";
+
+/// The checksum-less predecessor, still accepted on read.
+const CACHE_SCHEMA_V1: &str = "dalut-servecache/v1";
+
+/// What [`ConfigCache::open`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries loaded warm.
+    pub loaded: u64,
+    /// Files skipped in place: unreadable, misnamed, or not a cache
+    /// envelope at all (a newer server version may still understand
+    /// them, so they are not touched).
+    pub skipped_unparsable: u64,
+    /// Entries quarantined: structurally ours but checksum-failed,
+    /// truncated, or fingerprint-mismatched. Renamed `*.quarantined` so
+    /// the next identical job regenerates them.
+    pub skipped_corrupt: u64,
+    /// File names of the quarantined entries.
+    pub quarantined_files: Vec<String>,
+}
+
+impl CacheLoadReport {
+    /// Total files the reload refused to serve (unparsable + corrupt).
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped_unparsable + self.skipped_corrupt
+    }
+}
 
 /// A content-addressed map from [`FunctionFingerprint`] to the cached
 /// outcome's serialised JSON, optionally persisted to a directory.
@@ -45,6 +87,11 @@ pub struct ConfigCache {
     entries: RwLock<HashMap<FunctionFingerprint, Arc<str>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Set when persistence has been abandoned (directory unusable at
+    /// open, or a later write failed): the cache keeps answering from
+    /// memory but stops touching disk.
+    degraded: AtomicBool,
+    load_report: CacheLoadReport,
 }
 
 impl ConfigCache {
@@ -56,44 +103,79 @@ impl ConfigCache {
             entries: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            load_report: CacheLoadReport::default(),
         }
     }
 
     /// Opens (creating if needed) a disk-backed cache, loading every
-    /// valid `*.json` entry already present. Files that fail validation
-    /// — wrong schema, fingerprint mismatch with their name, truncated
-    /// envelope — are skipped, not deleted: a newer server version may
-    /// still understand them.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+    /// valid `*.json` entry already present. Never fails: entries that
+    /// fail validation are quarantined or skipped (see
+    /// [`CacheLoadReport`]), and a directory that cannot be created or
+    /// read yields a memory-only [degraded](Self::degraded) cache
+    /// instead of an error — the server keeps serving either way.
+    #[must_use]
+    pub fn open(dir: impl AsRef<Path>) -> Self {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        if std::fs::create_dir_all(&dir).is_err() {
+            return Self {
+                dir: None,
+                degraded: AtomicBool::new(true),
+                ..Self::in_memory()
+            };
+        }
         let mut entries = HashMap::new();
-        for entry in std::fs::read_dir(&dir)? {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("json") {
-                continue;
-            }
-            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+        let mut report = CacheLoadReport::default();
+        let Ok(listing) = std::fs::read_dir(&dir) else {
+            return Self {
+                dir: None,
+                degraded: AtomicBool::new(true),
+                ..Self::in_memory()
+            };
+        };
+        for entry in listing {
+            let Ok(entry) = entry else {
+                report.skipped_unparsable += 1;
                 continue;
             };
-            let Ok(named) = stem.parse::<FunctionFingerprint>() else {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue; // temp files, quarantined entries, strangers
+            }
+            let named = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.parse::<FunctionFingerprint>().ok());
+            let Some(named) = named else {
+                report.skipped_unparsable += 1;
                 continue;
             };
             let Ok(text) = std::fs::read_to_string(&path) else {
+                report.skipped_unparsable += 1;
                 continue;
             };
-            if let Some((fp, outcome)) = decode_entry(&text) {
-                if fp == named {
+            match decode_entry(&text) {
+                Decoded::Valid(fp, outcome) if fp == named => {
                     entries.insert(fp, Arc::from(outcome));
+                    report.loaded += 1;
                 }
+                // A valid envelope under the wrong name is as untrustworthy
+                // as a failed checksum: quarantine, do not serve.
+                Decoded::Valid(..) | Decoded::Corrupt => {
+                    report.skipped_corrupt += 1;
+                    report.quarantined_files.push(quarantine(&path));
+                }
+                Decoded::Foreign => report.skipped_unparsable += 1,
             }
         }
-        Ok(Self {
+        Self {
             dir: Some(dir),
             entries: RwLock::new(entries),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        })
+            degraded: AtomicBool::new(false),
+            load_report: report,
+        }
     }
 
     /// Looks up the cached outcome JSON for `fp`, counting the hit or
@@ -111,22 +193,28 @@ impl ConfigCache {
     /// Inserts (or replaces) the outcome JSON for `fp`, persisting it
     /// when disk-backed. Returns the shared bytes now in the cache.
     ///
-    /// An I/O failure while persisting is reported but the in-memory
-    /// entry still lands — the server keeps answering, merely without
-    /// restart durability for this entry.
-    pub fn insert(&self, fp: FunctionFingerprint, outcome_json: &str) -> io::Result<Arc<str>> {
+    /// Insertion cannot fail: an I/O error while persisting flips the
+    /// cache into [degraded](Self::degraded) memory-only mode — the
+    /// in-memory entry still lands and the server keeps answering,
+    /// merely without restart durability from that point on.
+    pub fn insert(&self, fp: FunctionFingerprint, outcome_json: &str) -> Arc<str> {
         let shared: Arc<str> = Arc::from(outcome_json);
         self.entries
             .write()
             .expect("cache lock")
             .insert(fp, Arc::clone(&shared));
         if let Some(dir) = &self.dir {
-            atomic_write(
-                dir.join(format!("{fp}.json")),
-                encode_entry(&fp, outcome_json).as_bytes(),
-            )?;
+            if !self.degraded.load(Ordering::Relaxed)
+                && atomic_write(
+                    dir.join(format!("{fp}.json")),
+                    encode_entry(&fp, outcome_json).as_bytes(),
+                )
+                .is_err()
+            {
+                self.degraded.store(true, Ordering::Relaxed);
+            }
         }
-        Ok(shared)
+        shared
     }
 
     /// Number of cached entries.
@@ -150,6 +238,20 @@ impl ConfigCache {
         )
     }
 
+    /// What [`open`](Self::open) found on disk (empty for
+    /// [`in_memory`](Self::in_memory) caches).
+    #[must_use]
+    pub fn load_report(&self) -> &CacheLoadReport {
+        &self.load_report
+    }
+
+    /// True when persistence has been abandoned and the cache serves
+    /// from memory only.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// The backing directory, when disk-backed.
     #[must_use]
     pub fn dir(&self) -> Option<&Path> {
@@ -157,23 +259,117 @@ impl ConfigCache {
     }
 }
 
-/// Assembles the on-disk envelope around verbatim outcome bytes.
-fn encode_entry(fp: &FunctionFingerprint, outcome_json: &str) -> String {
-    format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"{fp}\",\"outcome\":{outcome_json}}}")
+/// Moves a failed-validation entry out of the serving set (rename to
+/// `<name>.quarantined`, falling back to removal), returning its file
+/// name for the load report. Best-effort: on a read-only directory the
+/// file stays, but it was never loaded, so it is still never served.
+fn quarantine(path: &Path) -> String {
+    let name = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let mut target = path.as_os_str().to_owned();
+    target.push(".quarantined");
+    if std::fs::rename(path, &target).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    name
 }
 
-/// Inverse of [`encode_entry`]; `None` for anything that is not a
-/// complete, current-schema envelope.
-fn decode_entry(text: &str) -> Option<(FunctionFingerprint, &str)> {
+/// Assembles the on-disk envelope around verbatim outcome bytes,
+/// checksummed with the same CRC-32 the checkpoint layer uses.
+fn encode_entry(fp: &FunctionFingerprint, outcome_json: &str) -> String {
+    let crc = crc32(outcome_json.as_bytes());
+    format!(
+        "{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"{fp}\",\
+         \"crc\":{crc},\"outcome\":{outcome_json}}}"
+    )
+}
+
+/// How [`decode_entry`] classified a file's bytes.
+#[derive(Debug, PartialEq, Eq)]
+enum Decoded<'a> {
+    /// A complete envelope whose checksum (v2) or structure (v1) holds.
+    Valid(FunctionFingerprint, &'a str),
+    /// Claims to be ours but is damaged: truncated, checksum-failed, or
+    /// malformed past the schema tag.
+    Corrupt,
+    /// Not a cache envelope of any known schema.
+    Foreign,
+}
+
+/// Inverse of [`encode_entry`], accepting both the current checksummed
+/// v2 envelope and the legacy v1 layout.
+fn decode_entry(text: &str) -> Decoded<'_> {
     let text = text.trim();
-    let prefix = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"");
-    let rest = text.strip_prefix(prefix.as_str())?;
-    let (hex, rest) = rest.split_at_checked(32)?;
-    let fp = hex.parse::<FunctionFingerprint>().ok()?;
-    let outcome = rest.strip_prefix("\",\"outcome\":")?.strip_suffix('}')?;
-    // Cheap structural sanity so a truncated-then-renamed file can't
-    // smuggle garbage into responses.
-    (outcome.starts_with('{') && outcome.ends_with('}')).then_some((fp, outcome))
+    let v2 = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"");
+    if let Some(rest) = text.strip_prefix(v2.as_str()) {
+        return decode_v2(rest);
+    }
+    let v1 = format!("{{\"schema\":\"{CACHE_SCHEMA_V1}\",\"fingerprint\":\"");
+    if let Some(rest) = text.strip_prefix(v1.as_str()) {
+        return decode_v1(rest);
+    }
+    // Anything claiming the cache's schema family but not matching a
+    // full envelope prefix is damage (e.g. truncation inside the
+    // header), not a foreign file.
+    if text.starts_with("{\"schema\":\"dalut-servecache/") {
+        return Decoded::Corrupt;
+    }
+    Decoded::Foreign
+}
+
+/// Decodes everything after the v2 schema prefix: `<32 hex>","crc":<n>,
+/// "outcome":<json>}` with the CRC verified over the outcome bytes.
+fn decode_v2(rest: &str) -> Decoded<'_> {
+    let Some((hex, rest)) = rest.split_at_checked(32) else {
+        return Decoded::Corrupt;
+    };
+    let Ok(fp) = hex.parse::<FunctionFingerprint>() else {
+        return Decoded::Corrupt;
+    };
+    let Some(rest) = rest.strip_prefix("\",\"crc\":") else {
+        return Decoded::Corrupt;
+    };
+    let digits = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    let Ok(crc) = rest[..digits].parse::<u32>() else {
+        return Decoded::Corrupt;
+    };
+    let Some(outcome) = rest[digits..]
+        .strip_prefix(",\"outcome\":")
+        .and_then(|o| o.strip_suffix('}'))
+    else {
+        return Decoded::Corrupt;
+    };
+    if crc32(outcome.as_bytes()) == crc {
+        Decoded::Valid(fp, outcome)
+    } else {
+        Decoded::Corrupt
+    }
+}
+
+/// Decodes everything after the legacy v1 schema prefix; no checksum,
+/// so only the structural sanity check from v1 applies.
+fn decode_v1(rest: &str) -> Decoded<'_> {
+    let Some((hex, rest)) = rest.split_at_checked(32) else {
+        return Decoded::Corrupt;
+    };
+    let Ok(fp) = hex.parse::<FunctionFingerprint>() else {
+        return Decoded::Corrupt;
+    };
+    let Some(outcome) = rest
+        .strip_prefix("\",\"outcome\":")
+        .and_then(|o| o.strip_suffix('}'))
+    else {
+        return Decoded::Corrupt;
+    };
+    if outcome.starts_with('{') && outcome.ends_with('}') {
+        Decoded::Valid(fp, outcome)
+    } else {
+        Decoded::Corrupt
+    }
 }
 
 #[cfg(test)]
@@ -184,23 +380,59 @@ mod tests {
         FunctionFingerprint { hi, lo }
     }
 
+    fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dalut-serve-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn envelope_round_trips_verbatim() {
         let f = fp(0xDEAD_BEEF, 42);
         let outcome = r#"{"med":1.25,"nested":{"a":[1,2,3]}}"#;
         let enc = encode_entry(&f, outcome);
-        let (back_fp, back_outcome) = decode_entry(&enc).expect("decodes");
+        assert!(enc.contains("\"schema\":\"dalut-servecache/v2\""));
+        let Decoded::Valid(back_fp, back_outcome) = decode_entry(&enc) else {
+            panic!("fresh envelope must decode: {enc}");
+        };
         assert_eq!(back_fp, f);
         assert_eq!(back_outcome, outcome);
     }
 
     #[test]
-    fn decode_rejects_foreign_or_truncated_entries() {
+    fn decode_classifies_corrupt_vs_foreign() {
         let f = fp(1, 2);
         let good = encode_entry(&f, "{\"x\":1}");
-        assert!(decode_entry(&good[..good.len() - 3]).is_none(), "truncated");
-        assert!(decode_entry("{\"schema\":\"other/v9\"}").is_none());
-        assert!(decode_entry("").is_none());
+        assert_eq!(decode_entry(&good[..good.len() - 3]), Decoded::Corrupt);
+        assert_eq!(decode_entry("{\"schema\":\"other/v9\"}"), Decoded::Foreign);
+        assert_eq!(decode_entry(""), Decoded::Foreign);
+        assert_eq!(decode_entry("not json at all"), Decoded::Foreign);
+
+        // A flipped byte inside the outcome fails the checksum.
+        let flipped = good.replace("\"x\":1", "\"x\":7");
+        assert_eq!(decode_entry(&flipped), Decoded::Corrupt);
+    }
+
+    #[test]
+    fn v1_entries_are_still_readable() {
+        let f = fp(3, 4);
+        let v1 = format!(
+            "{{\"schema\":\"dalut-servecache/v1\",\"fingerprint\":\"{f}\",\
+             \"outcome\":{{\"med\":0.5}}}}"
+        );
+        let Decoded::Valid(back, outcome) = decode_entry(&v1) else {
+            panic!("v1 envelope must stay readable: {v1}");
+        };
+        assert_eq!(back, f);
+        assert_eq!(outcome, "{\"med\":0.5}");
+        // Truncated v1 is corrupt, not foreign.
+        assert_eq!(decode_entry(&v1[..v1.len() - 4]), Decoded::Corrupt);
     }
 
     #[test]
@@ -208,34 +440,92 @@ mod tests {
         let cache = ConfigCache::in_memory();
         let f = fp(7, 9);
         assert!(cache.get(&f).is_none());
-        cache.insert(f, "{\"ok\":true}").unwrap();
+        cache.insert(f, "{\"ok\":true}");
         assert_eq!(cache.get(&f).as_deref(), Some("{\"ok\":true}"));
         assert_eq!(cache.counters(), (1, 1));
         assert_eq!(cache.len(), 1);
+        assert!(!cache.degraded());
+        assert_eq!(cache.load_report().skipped(), 0);
     }
 
     #[test]
-    fn disk_backed_cache_survives_reopen() {
-        let dir =
-            std::env::temp_dir().join(format!("dalut-serve-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn disk_backed_cache_survives_reopen_and_reports_skips() {
+        let dir = unique_dir("reopen");
         let f = fp(0x1234, 0x5678);
         let outcome = r#"{"med":0.5}"#;
         {
-            let cache = ConfigCache::open(&dir).unwrap();
+            let cache = ConfigCache::open(&dir);
             assert!(cache.is_empty());
-            cache.insert(f, outcome).unwrap();
+            cache.insert(f, outcome);
         }
         // A stray partial/garbage file must not poison the reload.
         std::fs::write(dir.join("not-a-fingerprint.json"), "junk").unwrap();
         std::fs::write(
             dir.join(format!("{}.json", fp(9, 9))),
-            "{\"schema\":\"dalut-servecache/v1\",\"finge", // truncated
+            "{\"schema\":\"dalut-servecache/v2\",\"finge", // truncated
         )
         .unwrap();
-        let reopened = ConfigCache::open(&dir).unwrap();
+        let reopened = ConfigCache::open(&dir);
         assert_eq!(reopened.len(), 1);
         assert_eq!(reopened.get(&f).as_deref(), Some(outcome));
+        let report = reopened.load_report();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.skipped_unparsable, 1, "{report:?}");
+        assert_eq!(report.skipped_corrupt, 1, "{report:?}");
+        assert_eq!(report.quarantined_files.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_quarantined_then_regenerated() {
+        let dir = unique_dir("bitflip");
+        let f = fp(0xAB, 0xCD);
+        let outcome = r#"{"med":0.125,"iterations":64}"#;
+        {
+            let cache = ConfigCache::open(&dir);
+            cache.insert(f, outcome);
+        }
+        // Flip one bit in the stored outcome bytes.
+        let path = dir.join(format!("{f}.json"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.len() - 5; // inside the outcome section
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Reload: the damaged entry must be quarantined, not served.
+        let cache = ConfigCache::open(&dir);
+        assert!(cache.get(&f).is_none(), "corrupt entry must not be served");
+        assert_eq!(cache.load_report().skipped_corrupt, 1);
+        assert!(!path.exists(), "entry should be renamed out of the way");
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "quarantined"))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+
+        // Regeneration: the next insert rewrites the entry in place and
+        // a further reload serves it again.
+        cache.insert(f, outcome);
+        let healed = ConfigCache::open(&dir);
+        assert_eq!(healed.get(&f).as_deref(), Some(outcome));
+        assert_eq!(healed.load_report().skipped_corrupt, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unusable_directory_degrades_to_memory_only() {
+        // A path that cannot be a directory: a file stands in its place.
+        let blocker =
+            std::env::temp_dir().join(format!("dalut-serve-cache-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"occupied").unwrap();
+        let cache = ConfigCache::open(&blocker);
+        assert!(cache.degraded(), "file-in-the-way must degrade");
+        assert!(cache.dir().is_none());
+        // Still serves from memory.
+        let f = fp(1, 1);
+        cache.insert(f, "{\"ok\":1}");
+        assert_eq!(cache.get(&f).as_deref(), Some("{\"ok\":1}"));
+        std::fs::remove_file(&blocker).unwrap();
     }
 }

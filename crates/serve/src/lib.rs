@@ -15,13 +15,19 @@
 //! cache layers are runtime-agnostic — an async front-end can replace
 //! [`server`] without touching them.
 //!
-//! - [`protocol`] — client/server frame types and the byte-splice
-//!   assembly that keeps cached responses byte-identical to cold ones.
+//! - [`protocol`] — client/server frame types, the byte-splice assembly
+//!   that keeps cached responses byte-identical to cold ones, CRC'd
+//!   result frames, typed reject codes and panic-free response parsers.
 //! - [`cache`] — the content-addressed [`ConfigCache`]: in-memory map
-//!   plus crash-safe on-disk entries that survive a kill+restart.
+//!   plus crash-safe, CRC-checksummed on-disk entries that survive a
+//!   kill+restart, quarantine corruption and degrade to memory-only.
 //! - [`scheduler`] — admission control, per-client round-robin
-//!   fairness, in-flight coalescing and the worker pool.
-//! - [`server`] — the TCP front-end and connection threads.
+//!   fairness, in-flight coalescing, the worker pool, panic isolation
+//!   with poison quarantine, and overload shedding.
+//! - [`server`] — the TCP front-end and connection threads, with frame
+//!   length caps, frame deadlines and idle timeouts.
+//! - [`chaos`] — a deterministic fault-injecting proxy ([`ChaosProxy`])
+//!   for testing everything above under injected failure.
 //! - [`shutdown`] — async-signal-safe SIGINT/SIGTERM handling (moved
 //!   here from `dalut-bench`, which re-exports it).
 
@@ -32,14 +38,18 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod shutdown;
 
-pub use cache::{ConfigCache, CACHE_SCHEMA};
+pub use cache::{CacheLoadReport, ConfigCache, CACHE_SCHEMA};
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosSnapshot, ChaosStats, SplitMix64};
 pub use protocol::{
-    outcome_section, result_frame, ClientFrame, ServerFrame, ServerStats, PROTOCOL_SCHEMA,
+    outcome_section, parse_error_frame, parse_result_frame, reject_frame, result_frame,
+    result_frame_crc, ClientFrame, ParsedReject, ParsedResult, RejectCode, ServerFrame,
+    ServerStats, PROTOCOL_SCHEMA,
 };
 pub use scheduler::{
     benchfns_resolver, AdmissionLimits, CollectSink, ResponseSink, Scheduler, SubmitOutcome,

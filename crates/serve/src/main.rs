@@ -3,6 +3,8 @@
 //! ```text
 //! dalut-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!             [--max-inflight N] [--max-queued-per-client N]
+//!             [--max-frame-len BYTES] [--frame-deadline-ms MS]
+//!             [--idle-timeout-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
 //! Prints one `dalut-serve listening on <addr>` line to stdout once the
@@ -25,7 +27,8 @@ fn main() -> ExitCode {
             eprintln!("dalut-serve: {message}");
             eprintln!(
                 "usage: dalut-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
-                 [--max-inflight N] [--max-queued-per-client N]"
+                 [--max-inflight N] [--max-queued-per-client N] [--max-frame-len BYTES] \
+                 [--frame-deadline-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]"
             );
             return ExitCode::from(2);
         }
@@ -102,6 +105,27 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String
                     &value("--max-queued-per-client")?,
                     "--max-queued-per-client",
                 )?;
+            }
+            "--max-frame-len" => {
+                config.max_frame_len = parse_num(&value("--max-frame-len")?, "--max-frame-len")?;
+            }
+            "--frame-deadline-ms" => {
+                config.frame_deadline = std::time::Duration::from_millis(parse_num(
+                    &value("--frame-deadline-ms")?,
+                    "--frame-deadline-ms",
+                )? as u64);
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(parse_num(
+                    &value("--idle-timeout-ms")?,
+                    "--idle-timeout-ms",
+                )? as u64);
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = std::time::Duration::from_millis(parse_num(
+                    &value("--write-timeout-ms")?,
+                    "--write-timeout-ms",
+                )? as u64);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }

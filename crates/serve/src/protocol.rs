@@ -9,6 +9,13 @@
 //! making a cached response's outcome section byte-identical to the
 //! cold response — the property `loadgen` and the serve tests assert.
 //!
+//! Result frames carry an end-to-end CRC-32 over `id|fingerprint|outcome`
+//! so a client can detect bytes corrupted in transit (or by a faulty
+//! proxy) without trusting TCP alone; error frames carry a
+//! machine-readable [`RejectCode`] plus an explicit `retryable` flag and
+//! an optional `retry_after_ms` back-off hint, so clients classify
+//! failures without string-matching messages.
+//!
 //! ```text
 //! client → server
 //!   {"type":"submit","id":1,"client":"alice","stream":false,"spec":{...}}
@@ -16,14 +23,23 @@
 //!   {"type":"stats"}
 //!
 //! server → client
-//!   {"type":"hello","schema":"dalut-serve/v1","workers":4,"cached_entries":17}
+//!   {"type":"hello","schema":"dalut-serve/v1","workers":4,"cached_entries":17,
+//!    "cache_skipped":0,"degraded":false}
 //!   {"type":"event","id":1,"event":{"type":"round_finished",...}}
-//!   {"type":"result","id":1,"cached":true,"fingerprint":"…32 hex…","outcome":{...}}
-//!   {"type":"error","id":1,"message":"..."}
+//!   {"type":"result","id":1,"cached":true,"fingerprint":"…32 hex…",
+//!    "crc":123456789,"outcome":{...}}
+//!   {"type":"error","id":1,"code":"overloaded","retryable":true,
+//!    "retry_after_ms":800,"message":"..."}
 //!   {"type":"stats","stats":{...}}
 //! ```
+//!
+//! The response-side parsers in this module ([`parse_result_frame`],
+//! [`parse_error_frame`]) are hand-rolled scanners rather than serde:
+//! they must classify *corrupted* lines without panicking, and they must
+//! work in environments where the JSON library is stubbed (the offline
+//! build container).
 
-use dalut_core::{FunctionFingerprint, JobSpec, SearchEvent};
+use dalut_core::{crc32, FunctionFingerprint, JobSpec, SearchEvent};
 use serde::{Deserialize, Serialize};
 
 /// Protocol schema tag, sent in the hello frame.
@@ -72,6 +88,13 @@ pub enum ServerFrame {
         workers: usize,
         /// Entries warm in the config cache.
         cached_entries: usize,
+        /// Cache files skipped at open (unparsable + checksum-failed).
+        #[serde(default)]
+        cache_skipped: u64,
+        /// True when the cache fell back to memory-only mode because its
+        /// directory was unreadable or unwritable.
+        #[serde(default)]
+        degraded: bool,
     },
     /// One search progress event for a streaming job.
     Event {
@@ -85,6 +108,15 @@ pub enum ServerFrame {
     Error {
         /// The submit id (0 when the frame could not be parsed).
         id: u64,
+        /// Machine-readable cause (a [`RejectCode`] string).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        code: Option<String>,
+        /// Whether resubmitting the identical job may succeed.
+        #[serde(default)]
+        retryable: bool,
+        /// Back-off hint attached to overload sheds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        retry_after_ms: Option<u64>,
         /// Human-readable cause.
         message: String,
     },
@@ -112,6 +144,120 @@ pub struct ServerStats {
     pub queued: u64,
     /// Searches currently running on workers.
     pub running: u64,
+    /// Jobs shed by overload control (subset of `rejected`).
+    #[serde(default)]
+    pub shed: u64,
+    /// Fingerprints quarantined after repeated worker panics.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Worker panics caught and converted to error frames.
+    #[serde(default)]
+    pub panics: u64,
+    /// Connection-level frame rejects (unparsable or over-length lines).
+    #[serde(default)]
+    pub frame_rejects: u64,
+    /// Cache files skipped at open as unparsable (not ours / unreadable).
+    #[serde(default)]
+    pub cache_skipped_unparsable: u64,
+    /// Cache files quarantined at open for failing their checksum.
+    #[serde(default)]
+    pub cache_skipped_corrupt: u64,
+}
+
+/// Machine-readable cause carried by server error frames, classifying
+/// each reject as retryable (transient server state: resubmitting the
+/// identical job may succeed) or fatal (deterministic: it will not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RejectCode {
+    /// The line was not a parseable client frame — possibly corrupted in
+    /// transit, so a clean resend may succeed.
+    BadFrame,
+    /// A line exceeded the server's frame-length cap.
+    FrameTooLong,
+    /// A partial line stalled past the server's frame deadline
+    /// (slow-loris defence) — the connection is closed after this frame.
+    Deadline,
+    /// Admission control shed the job under overload; the frame carries
+    /// a `retry_after_ms` hint.
+    Overloaded,
+    /// The server is draining for shutdown.
+    Draining,
+    /// The spec failed canonicalisation or validation.
+    InvalidSpec,
+    /// The job's fingerprint is poison-quarantined after repeated worker
+    /// panics; it is fast-rejected instead of re-run.
+    Quarantined,
+    /// The worker running this job panicked (first offences are
+    /// retryable; repeat offenders become [`RejectCode::Quarantined`]).
+    Panic,
+    /// The search itself returned a typed error.
+    SearchFailed,
+}
+
+impl RejectCode {
+    /// The wire string for this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BadFrame => "bad_frame",
+            Self::FrameTooLong => "frame_too_long",
+            Self::Deadline => "deadline",
+            Self::Overloaded => "overloaded",
+            Self::Draining => "draining",
+            Self::InvalidSpec => "invalid_spec",
+            Self::Quarantined => "quarantined",
+            Self::Panic => "panic",
+            Self::SearchFailed => "search_failed",
+        }
+    }
+
+    /// Parses a wire string back into a code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_frame" => Self::BadFrame,
+            "frame_too_long" => Self::FrameTooLong,
+            "deadline" => Self::Deadline,
+            "overloaded" => Self::Overloaded,
+            "draining" => Self::Draining,
+            "invalid_spec" => Self::InvalidSpec,
+            "quarantined" => Self::Quarantined,
+            "panic" => Self::Panic,
+            "search_failed" => Self::SearchFailed,
+            _ => return None,
+        })
+    }
+
+    /// Whether resubmitting the identical job may succeed.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            Self::BadFrame | Self::Deadline | Self::Overloaded | Self::Draining | Self::Panic
+        )
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Escapes quotes and backslashes for splicing into a hand-assembled
+/// JSON string value (control characters are not expected in any frame
+/// field, and messages are built server-side from error `Display`s).
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The CRC-32 every result frame carries: over `id|fingerprint|outcome`
+/// so corrupting any of the three (or the CRC itself) is detectable.
+#[must_use]
+pub fn result_frame_crc(id: u64, fingerprint_hex: &str, outcome_json: &str) -> u32 {
+    crc32(format!("{id}|{fingerprint_hex}|{outcome_json}").as_bytes())
 }
 
 /// Assembles a result frame, splicing `outcome_json` in verbatim so the
@@ -124,9 +270,31 @@ pub fn result_frame(
     fingerprint: &FunctionFingerprint,
     outcome_json: &str,
 ) -> String {
+    let fp = fingerprint.to_string();
+    let crc = result_frame_crc(id, &fp, outcome_json);
     format!(
         "{{\"type\":\"result\",\"id\":{id},\"cached\":{cached},\
-         \"fingerprint\":\"{fingerprint}\",\"outcome\":{outcome_json}}}"
+         \"fingerprint\":\"{fp}\",\"crc\":{crc},\"outcome\":{outcome_json}}}"
+    )
+}
+
+/// Assembles an error frame by hand for the same reason as
+/// [`result_frame`]: it must be emittable even where the JSON library is
+/// stubbed. `retryable` is derived from the code; `retry_after_ms` is
+/// attached only when given (overload sheds).
+#[must_use]
+pub fn reject_frame(
+    id: u64,
+    code: RejectCode,
+    retry_after_ms: Option<u64>,
+    message: &str,
+) -> String {
+    let hint = retry_after_ms.map_or_else(String::new, |ms| format!("\"retry_after_ms\":{ms},"));
+    format!(
+        "{{\"type\":\"error\",\"id\":{id},\"code\":\"{code}\",\"retryable\":{},\
+         {hint}\"message\":\"{}\"}}",
+        code.retryable(),
+        escape_json(message),
     )
 }
 
@@ -140,6 +308,133 @@ pub fn outcome_section(frame: &str) -> Option<&str> {
     let start = frame.find(KEY)? + KEY.len();
     let end = frame.rfind('}')?;
     (start <= end).then(|| &frame[start..end])
+}
+
+/// A result frame picked apart by [`parse_result_frame`]. Borrows the
+/// line; call [`crc_ok`](Self::crc_ok) before trusting the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResult<'a> {
+    /// The echoed submit id.
+    pub id: u64,
+    /// Whether the server answered from its cache.
+    pub cached: bool,
+    /// The job fingerprint, as its 32-hex display form.
+    pub fingerprint: &'a str,
+    /// The frame's claimed CRC-32 (see [`result_frame_crc`]).
+    pub crc: u32,
+    /// The verbatim outcome JSON.
+    pub outcome: &'a str,
+}
+
+impl ParsedResult<'_> {
+    /// Recomputes the CRC over the parsed fields and compares it with
+    /// the frame's claim; `false` means the line was corrupted somewhere
+    /// between the scheduler and this parser.
+    #[must_use]
+    pub fn crc_ok(&self) -> bool {
+        result_frame_crc(self.id, self.fingerprint, self.outcome) == self.crc
+    }
+}
+
+/// An error frame picked apart by [`parse_error_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedReject<'a> {
+    /// The echoed submit id (0 for connection-level rejects).
+    pub id: u64,
+    /// The machine-readable cause, when the frame carried a known code.
+    pub code: Option<RejectCode>,
+    /// Whether the server marked the reject retryable. Frames without
+    /// the flag fall back to the code's classification, else fatal.
+    pub retryable: bool,
+    /// Back-off hint, when the server attached one.
+    pub retry_after_ms: Option<u64>,
+    /// The human-readable message (up to its first unescaped quote).
+    pub message: &'a str,
+}
+
+/// Parses a result frame without serde and without panicking on any
+/// input. Returns `None` for lines that are not structurally a result
+/// frame; a `Some` still needs [`ParsedResult::crc_ok`] before the
+/// outcome bytes can be trusted.
+#[must_use]
+pub fn parse_result_frame(line: &str) -> Option<ParsedResult<'_>> {
+    let line = line.trim();
+    if !line.starts_with("{\"type\":\"result\"") {
+        return None;
+    }
+    Some(ParsedResult {
+        id: field_u64(line, "id")?,
+        cached: field_bool(line, "cached")?,
+        fingerprint: field_str(line, "fingerprint")?,
+        crc: u32::try_from(field_u64(line, "crc")?).ok()?,
+        outcome: outcome_section(line)?,
+    })
+}
+
+/// Parses an error frame without serde and without panicking on any
+/// input. Returns `None` for lines that are not structurally an error
+/// frame.
+#[must_use]
+pub fn parse_error_frame(line: &str) -> Option<ParsedReject<'_>> {
+    let line = line.trim();
+    if !line.starts_with("{\"type\":\"error\"") {
+        return None;
+    }
+    let code = field_str(line, "code").and_then(RejectCode::parse);
+    let retryable =
+        field_bool(line, "retryable").unwrap_or_else(|| code.is_some_and(RejectCode::retryable));
+    Some(ParsedReject {
+        id: field_u64(line, "id")?,
+        code,
+        retryable,
+        retry_after_ms: field_u64(line, "retry_after_ms"),
+        message: field_str(line, "message").unwrap_or(""),
+    })
+}
+
+/// Scans `frame` for `"key":<digits>`. First occurrence wins, which is
+/// the frame's own field for every [`ServerFrame`] layout (outcome
+/// bytes, which could echo a key, come last).
+#[must_use]
+pub fn field_u64(frame: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = frame.find(&pat)? + pat.len();
+    let end = frame[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(frame.len(), |i| start + i);
+    frame[start..end].parse().ok()
+}
+
+/// Scans `frame` for `"key":true|false`.
+#[must_use]
+pub fn field_bool(frame: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let rest = &frame[frame.find(&pat)? + pat.len()..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Scans `frame` for `"key":"<value>"`, returning the raw (still
+/// escaped) value up to its first unescaped quote.
+#[must_use]
+pub fn field_str<'a>(frame: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = frame.find(&pat)? + pat.len();
+    let bytes = frame.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&frame[start..i]),
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -165,5 +460,94 @@ mod tests {
     fn outcome_section_handles_malformed_frames() {
         assert_eq!(outcome_section("{\"type\":\"error\"}"), None);
         assert_eq!(outcome_section(""), None);
+    }
+
+    #[test]
+    fn result_frame_crc_round_trips_and_detects_corruption() {
+        let fp = FunctionFingerprint { hi: 3, lo: 9 };
+        let frame = result_frame(42, false, &fp, r#"{"med":0.25,"iterations":10}"#);
+        let parsed = parse_result_frame(&frame).expect("parses");
+        assert_eq!(parsed.id, 42);
+        assert!(!parsed.cached);
+        assert_eq!(parsed.fingerprint, fp.to_string());
+        assert!(parsed.crc_ok(), "fresh frame must verify: {frame}");
+
+        // Flip one byte inside the outcome: the CRC must catch it.
+        let corrupted = frame.replace("0.25", "0.35");
+        let parsed = parse_result_frame(&corrupted).expect("still structurally a result");
+        assert!(!parsed.crc_ok(), "corrupted outcome must fail: {corrupted}");
+
+        // Corrupting the id is equally detectable (the CRC binds it).
+        let reid = frame.replace("\"id\":42", "\"id\":43");
+        let parsed = parse_result_frame(&reid).expect("parses");
+        assert!(!parsed.crc_ok());
+    }
+
+    #[test]
+    fn reject_frames_carry_code_retryable_and_hint() {
+        let shed = reject_frame(5, RejectCode::Overloaded, Some(800), "at capacity");
+        assert!(shed.contains("\"code\":\"overloaded\""), "{shed}");
+        assert!(shed.contains("\"retryable\":true"), "{shed}");
+        assert!(shed.contains("\"retry_after_ms\":800"), "{shed}");
+        let parsed = parse_error_frame(&shed).expect("parses");
+        assert_eq!(parsed.id, 5);
+        assert_eq!(parsed.code, Some(RejectCode::Overloaded));
+        assert!(parsed.retryable);
+        assert_eq!(parsed.retry_after_ms, Some(800));
+        assert_eq!(parsed.message, "at capacity");
+
+        let fatal = reject_frame(6, RejectCode::InvalidSpec, None, "unknown benchmark \"x\"");
+        assert!(!fatal.contains("retry_after_ms"), "{fatal}");
+        let parsed = parse_error_frame(&fatal).expect("parses");
+        assert!(!parsed.retryable);
+        assert_eq!(parsed.code, Some(RejectCode::InvalidSpec));
+        // The escaped quote stays inside the message scan.
+        assert_eq!(parsed.message, "unknown benchmark \\\"x\\\"");
+    }
+
+    #[test]
+    fn reject_codes_round_trip_their_wire_strings() {
+        for code in [
+            RejectCode::BadFrame,
+            RejectCode::FrameTooLong,
+            RejectCode::Deadline,
+            RejectCode::Overloaded,
+            RejectCode::Draining,
+            RejectCode::InvalidSpec,
+            RejectCode::Quarantined,
+            RejectCode::Panic,
+            RejectCode::SearchFailed,
+        ] {
+            assert_eq!(RejectCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(RejectCode::parse("no_such_code"), None);
+    }
+
+    #[test]
+    fn parsers_return_none_on_garbage_without_panicking() {
+        for line in [
+            "",
+            "garbage",
+            "{\"type\":\"result\"}",
+            "{\"type\":\"result\",\"id\":",
+            "{\"type\":\"error\"}",
+            "{\"type\":\"hello\",\"schema\":\"x\"}",
+            "\u{7f}\u{0}binary\u{ff}",
+            "{\"type\":\"result\",\"id\":99999999999999999999999999}",
+        ] {
+            let _ = parse_result_frame(line);
+            let _ = parse_error_frame(line);
+            let _ = field_u64(line, "id");
+            let _ = field_bool(line, "cached");
+            let _ = field_str(line, "fingerprint");
+        }
+        assert!(parse_result_frame("{\"type\":\"result\"}").is_none());
+        // An error frame with no id field is not classifiable.
+        assert!(parse_error_frame("{\"type\":\"error\"}").is_none());
+        // Legacy error frames (id + message only) still classify: fatal.
+        let legacy = parse_error_frame("{\"type\":\"error\",\"id\":3,\"message\":\"m\"}")
+            .expect("legacy error frame parses");
+        assert!(!legacy.retryable);
+        assert_eq!(legacy.code, None);
     }
 }

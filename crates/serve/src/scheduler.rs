@@ -19,15 +19,22 @@
 //!    nothing is queued.
 
 use crate::cache::ConfigCache;
-use crate::protocol::{result_frame, ServerStats};
+use crate::protocol::{reject_frame, result_frame, RejectCode, ServerStats};
 use dalut_core::{
     ApproxLutBuilder, CancelToken, DalutError, FunctionFingerprint, FunctionResolver, JobSpec,
     Observer, SearchEvent, Termination,
 };
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Panics observed for one fingerprint before it is quarantined: the
+/// first panic is treated as possibly transient (the client may retry),
+/// the second proves the job itself is poison and further submissions
+/// are fast-rejected instead of re-run.
+const POISON_THRESHOLD: u32 = 2;
 
 /// A destination for server→client frames (one per connection; tests
 /// and `loadgen` use [`CollectSink`]).
@@ -147,6 +154,9 @@ struct State {
     /// Cancel tokens of currently running jobs, keyed by `Job::seq`
     /// (for drain).
     active: HashMap<u64, CancelToken>,
+    /// Worker panics per fingerprint; at [`POISON_THRESHOLD`] the
+    /// fingerprint is quarantined and fast-rejected.
+    poisoned: HashMap<FunctionFingerprint, u32>,
     /// No new work accepted; workers exit once the queues empty.
     draining: bool,
 }
@@ -158,18 +168,25 @@ pub struct Scheduler {
     cache: Arc<ConfigCache>,
     limits: AdmissionLimits,
     resolver: Box<dyn FunctionResolver + Send + Sync>,
+    observer: Arc<dyn Observer>,
     state: Mutex<State>,
     /// Signalled on enqueue and on drain.
     work_ready: Condvar,
     /// Signalled whenever the scheduler may have gone idle.
     idle: Condvar,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Worker threads spawned, for the shed back-off estimate.
+    pool_size: AtomicU64,
     next_seq: AtomicU64,
     submitted: AtomicU64,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
+    quarantined: AtomicU64,
+    panics: AtomicU64,
+    frame_rejects: AtomicU64,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -183,34 +200,48 @@ impl std::fmt::Debug for Scheduler {
 
 impl Scheduler {
     /// A scheduler over `cache`, resolving named benchmark sources with
-    /// `resolver`. Call [`spawn_workers`](Self::spawn_workers) before
-    /// submitting.
+    /// `resolver` and reporting operational events (overload sheds,
+    /// quarantines, corrupt cache entries) to `observer`. Call
+    /// [`spawn_workers`](Self::spawn_workers) before submitting.
     #[must_use]
     pub fn new(
         cache: Arc<ConfigCache>,
         limits: AdmissionLimits,
         resolver: Box<dyn FunctionResolver + Send + Sync>,
+        observer: Arc<dyn Observer>,
     ) -> Self {
+        if observer.enabled() {
+            for file in &cache.load_report().quarantined_files {
+                observer.on_event(&SearchEvent::CacheEntryCorrupt { file: file.clone() });
+            }
+        }
         Self {
             cache,
             limits,
             resolver,
+            observer,
             state: Mutex::new(State::default()),
             work_ready: Condvar::new(),
             idle: Condvar::new(),
             workers: Mutex::new(Vec::new()),
+            pool_size: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            frame_rejects: AtomicU64::new(0),
         }
     }
 
     /// Starts `n` worker threads pulling from the queues.
     pub fn spawn_workers(self: &Arc<Self>, n: usize) {
         let mut workers = self.workers.lock().expect("workers lock");
+        self.pool_size.fetch_add(n.max(1) as u64, Ordering::Relaxed);
         for i in 0..n.max(1) {
             let sched = Arc::clone(self);
             workers.push(
@@ -237,11 +268,17 @@ impl Scheduler {
         // runnable (table-form) spec all come from the canonical form.
         let canonical = match spec.canonicalize(self.resolver.as_ref()) {
             Ok(c) => c,
-            Err(e) => return self.reject(id, &sink, &format!("invalid job spec: {e}")),
+            Err(e) => {
+                let msg = format!("invalid job spec: {e}");
+                return self.reject(id, &sink, RejectCode::InvalidSpec, None, &msg);
+            }
         };
         let fp = match canonical.fingerprint(self.resolver.as_ref()) {
             Ok(fp) => fp,
-            Err(e) => return self.reject(id, &sink, &format!("invalid job spec: {e}")),
+            Err(e) => {
+                let msg = format!("invalid job spec: {e}");
+                return self.reject(id, &sink, RejectCode::InvalidSpec, None, &msg);
+            }
         };
 
         if let Some(bytes) = self.cache.get(&fp) {
@@ -255,7 +292,18 @@ impl Scheduler {
             let mut state = self.state.lock().expect("state lock");
             if state.draining {
                 drop(state);
-                return self.reject(id, &sink, "server is draining; job refused");
+                return self.reject(
+                    id,
+                    &sink,
+                    RejectCode::Draining,
+                    None,
+                    "server is draining; job refused",
+                );
+            }
+            if state.poisoned.get(&fp).copied().unwrap_or(0) >= POISON_THRESHOLD {
+                drop(state);
+                let msg = format!("fingerprint {fp} is quarantined after repeated worker panics");
+                return self.reject(id, &sink, RejectCode::Quarantined, None, &msg);
             }
             if let Some(followers) = state.inflight.get_mut(&fp) {
                 followers.push(Follower {
@@ -266,13 +314,27 @@ impl Scheduler {
                 return SubmitOutcome::Coalesced;
             }
             if state.queued + state.running >= self.limits.max_inflight {
+                let (queued, running) = (state.queued, state.running);
                 drop(state);
-                return self.reject(id, &sink, "admission limit: server at max in-flight jobs");
+                return self.shed(
+                    id,
+                    &sink,
+                    queued,
+                    running,
+                    "admission limit: server at max in-flight jobs",
+                );
             }
             let queue = state.queues.entry(client.to_string()).or_default();
             if queue.len() >= self.limits.max_queued_per_client {
+                let (queued, running) = (state.queued, state.running);
                 drop(state);
-                return self.reject(id, &sink, "admission limit: client queue full");
+                return self.shed(
+                    id,
+                    &sink,
+                    queued,
+                    running,
+                    "admission limit: client queue full",
+                );
             }
             if queue.is_empty() {
                 state.rotation.push_back(client.to_string());
@@ -344,6 +406,7 @@ impl Scheduler {
             let state = self.state.lock().expect("state lock");
             (state.queued as u64, state.running as u64)
         };
+        let report = self.cache.load_report();
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -352,7 +415,19 @@ impl Scheduler {
             completed: self.completed.load(Ordering::Relaxed),
             queued,
             running,
+            shed: self.shed.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            frame_rejects: self.frame_rejects.load(Ordering::Relaxed),
+            cache_skipped_unparsable: report.skipped_unparsable,
+            cache_skipped_corrupt: report.skipped_corrupt,
         }
+    }
+
+    /// Counts one connection-level frame reject (unparsable or
+    /// over-length line); the connection layer sends its own frame.
+    pub fn note_frame_reject(&self) {
+        self.frame_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The config cache this scheduler answers hits from.
@@ -361,10 +436,47 @@ impl Scheduler {
         &self.cache
     }
 
-    fn reject(&self, id: u64, sink: &Arc<dyn ResponseSink>, message: &str) -> SubmitOutcome {
+    fn reject(
+        &self,
+        id: u64,
+        sink: &Arc<dyn ResponseSink>,
+        code: RejectCode,
+        retry_after_ms: Option<u64>,
+        message: &str,
+    ) -> SubmitOutcome {
         self.rejected.fetch_add(1, Ordering::Relaxed);
-        sink.send(&error_frame(id, message));
+        sink.send(&reject_frame(id, code, retry_after_ms, message));
         SubmitOutcome::Rejected
+    }
+
+    /// An overload reject: attaches a deterministic `retry_after_ms`
+    /// back-off hint sized to the current backlog and emits an
+    /// [`OverloadShed`](SearchEvent::OverloadShed) event.
+    fn shed(
+        &self,
+        id: u64,
+        sink: &Arc<dyn ResponseSink>,
+        queued: usize,
+        running: usize,
+        message: &str,
+    ) -> SubmitOutcome {
+        let workers = self.pool_size.load(Ordering::Relaxed).max(1) as usize;
+        let retry_after_ms = retry_after_hint(queued, running, workers);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if self.observer.enabled() {
+            self.observer.on_event(&SearchEvent::OverloadShed {
+                queued,
+                running,
+                retry_after_ms,
+            });
+        }
+        self.reject(
+            id,
+            sink,
+            RejectCode::Overloaded,
+            Some(retry_after_ms),
+            message,
+        )
     }
 
     fn worker_loop(&self) {
@@ -394,9 +506,13 @@ impl Scheduler {
             id: job.id,
             sink: Arc::clone(&job.sink),
         };
-        let run = ApproxLutBuilder::from_spec(&job.spec).and_then(|b| {
-            let b = b.budget(budget);
-            if job.stream { b.observer(&streamer) } else { b }.run()
+        // The search runs isolated: a panic in a kernel takes down this
+        // job, not the worker thread or the server.
+        let run = isolated(|| {
+            ApproxLutBuilder::from_spec(&job.spec).and_then(|b| {
+                let b = b.budget(budget);
+                if job.stream { b.observer(&streamer) } else { b }.run()
+            })
         });
 
         let followers = {
@@ -404,6 +520,27 @@ impl Scheduler {
             state.inflight.remove(&job.fp).unwrap_or_default()
         };
 
+        match run {
+            Ok(run) => self.finish_job(&job, followers, run),
+            Err(panic_msg) => self.poison_job(&job, &followers, &panic_msg),
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+
+        let mut state = self.state.lock().expect("state lock");
+        state.running -= 1;
+        state.active.remove(&job.seq);
+        if state.queued == 0 && state.running == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Delivers a non-panicking run's result or typed error frames.
+    fn finish_job(
+        &self,
+        job: &Job,
+        followers: Vec<Follower>,
+        run: Result<dalut_core::SearchOutcome, DalutError>,
+    ) {
         match run.and_then(|outcome| {
             serde_json::to_string(&outcome)
                 .map(|json| (outcome, json))
@@ -414,9 +551,7 @@ impl Scheduler {
                 // clients; a budget-clipped or cancelled outcome would
                 // pollute the cache with avoidably poor configurations.
                 let bytes: Arc<str> = if outcome.termination == Termination::Completed {
-                    self.cache
-                        .insert(job.fp, &json)
-                        .unwrap_or_else(|_| Arc::from(json.as_str()))
+                    self.cache.insert(job.fp, &json)
                 } else {
                     Arc::from(json.as_str())
                 };
@@ -429,21 +564,78 @@ impl Scheduler {
             }
             Err(e) => {
                 let message = format!("search failed: {e}");
-                job.sink.send(&error_frame(job.id, &message));
+                job.sink.send(&reject_frame(
+                    job.id,
+                    RejectCode::SearchFailed,
+                    None,
+                    &message,
+                ));
                 for follower in followers {
-                    follower.sink.send(&error_frame(follower.id, &message));
+                    follower.sink.send(&reject_frame(
+                        follower.id,
+                        RejectCode::SearchFailed,
+                        None,
+                        &message,
+                    ));
                 }
             }
         }
-        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
 
-        let mut state = self.state.lock().expect("state lock");
-        state.running -= 1;
-        state.active.remove(&job.seq);
-        if state.queued == 0 && state.running == 0 {
-            self.idle.notify_all();
+    /// Books a worker panic against the job's fingerprint and answers
+    /// with a `panic` (retryable) or, once the fingerprint crosses
+    /// [`POISON_THRESHOLD`], a `quarantined` (fatal) reject.
+    fn poison_job(&self, job: &Job, followers: &[Follower], panic_msg: &str) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        let panics = {
+            let mut state = self.state.lock().expect("state lock");
+            let n = state.poisoned.entry(job.fp).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let code = if panics >= POISON_THRESHOLD {
+            if panics == POISON_THRESHOLD {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                if self.observer.enabled() {
+                    self.observer.on_event(&SearchEvent::JobQuarantined {
+                        fingerprint: job.fp.to_string(),
+                        panics,
+                    });
+                }
+            }
+            RejectCode::Quarantined
+        } else {
+            RejectCode::Panic
+        };
+        let message = format!("worker panicked running job: {panic_msg}");
+        job.sink.send(&reject_frame(job.id, code, None, &message));
+        for follower in followers {
+            follower
+                .sink
+                .send(&reject_frame(follower.id, code, None, &message));
         }
     }
+}
+
+/// Runs `f` inside `catch_unwind`, converting a panic into its message.
+/// `AssertUnwindSafe` is sound here because a panicking search's partial
+/// state is discarded wholesale — nothing it touched is observed after.
+fn isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// A deterministic back-off hint for shed jobs: the backlog a worker
+/// would have to clear before new work runs, at a nominal 100 ms per
+/// job, clamped to a sane window.
+fn retry_after_hint(queued: usize, running: usize, workers: usize) -> u64 {
+    let backlog = (queued + running) as u64;
+    (backlog * 100 / workers.max(1) as u64).clamp(200, 30_000)
 }
 
 /// Pops the next job round-robin across client buckets.
@@ -476,15 +668,6 @@ impl Observer for StreamObserver {
             ));
         }
     }
-}
-
-/// An error frame, assembled by hand for the same reason as
-/// [`result_frame`]: it must be emittable even where the JSON library
-/// is stubbed, and `message` never contains characters needing escapes
-/// beyond quotes/backslashes, which are escaped here.
-fn error_frame(id: u64, message: &str) -> String {
-    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
-    format!("{{\"type\":\"error\",\"id\":{id},\"message\":\"{escaped}\"}}")
 }
 
 /// The standard resolver for named [`FunctionSource::Benchmark`]
@@ -535,6 +718,7 @@ mod tests {
             Arc::new(ConfigCache::in_memory()),
             limits,
             Box::new(benchfns_resolver()),
+            Arc::new(dalut_core::NoopObserver),
         ))
     }
 
@@ -668,10 +852,134 @@ mod tests {
     }
 
     #[test]
-    fn error_frames_escape_quotes() {
-        let frame = error_frame(1, "unknown benchmark 'x\"y'");
-        assert!(frame.contains("x\\\"y"));
-        assert!(frame.starts_with('{') && frame.ends_with('}'));
+    fn rejects_carry_machine_readable_codes() {
+        let sched = scheduler(AdmissionLimits {
+            max_inflight: 1,
+            max_queued_per_client: 1,
+        });
+        let sink = Arc::new(CollectSink::new());
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(1), dyn_sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        assert!(matches!(
+            sched.submit("b", 2, false, &spec(2), dyn_sink),
+            SubmitOutcome::Rejected
+        ));
+        let frames = sink.frames();
+        let shed = frames.last().expect("reject frame");
+        let parsed = crate::protocol::parse_error_frame(shed).expect("parses");
+        assert_eq!(parsed.code, Some(crate::protocol::RejectCode::Overloaded));
+        assert!(parsed.retryable, "{shed}");
+        let hint = parsed.retry_after_ms.expect("shed frames carry a hint");
+        assert!((200..=30_000).contains(&hint), "{shed}");
+        assert_eq!(sched.stats().shed, 1);
+    }
+
+    #[test]
+    fn overload_sheds_emit_observable_events() {
+        let recorder = Arc::new(dalut_core::RecordingObserver::new());
+        let sched = Arc::new(Scheduler::new(
+            Arc::new(ConfigCache::in_memory()),
+            AdmissionLimits {
+                max_inflight: 1,
+                max_queued_per_client: 1,
+            },
+            Box::new(benchfns_resolver()),
+            recorder.clone(),
+        ));
+        let sink: Arc<dyn ResponseSink> = Arc::new(CollectSink::new());
+        assert!(matches!(
+            sched.submit("a", 1, false, &spec(1), sink.clone()),
+            SubmitOutcome::Queued(_)
+        ));
+        assert!(matches!(
+            sched.submit("b", 2, false, &spec(2), sink),
+            SubmitOutcome::Rejected
+        ));
+        assert!(
+            recorder
+                .events()
+                .iter()
+                .any(|e| matches!(e, SearchEvent::OverloadShed { .. })),
+            "shed must reach the observer: {:?}",
+            recorder.events()
+        );
+    }
+
+    #[test]
+    fn poisoned_fingerprints_are_fast_rejected() {
+        let sched = scheduler(AdmissionLimits::default());
+        let sink = Arc::new(CollectSink::new());
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        let the_spec = spec(3);
+        let fp = the_spec
+            .canonicalize(&benchfns_resolver())
+            .unwrap()
+            .fingerprint(&dalut_core::NoResolver)
+            .unwrap();
+        // Book two panics against the fingerprint, as poison_job would.
+        {
+            let mut state = sched.state.lock().unwrap();
+            state.poisoned.insert(fp, POISON_THRESHOLD);
+        }
+        assert!(matches!(
+            sched.submit("a", 5, false, &the_spec, dyn_sink),
+            SubmitOutcome::Rejected
+        ));
+        let frames = sink.frames();
+        let parsed = crate::protocol::parse_error_frame(&frames[0]).expect("parses");
+        assert_eq!(parsed.code, Some(crate::protocol::RejectCode::Quarantined));
+        assert!(!parsed.retryable, "quarantine is fatal: {}", frames[0]);
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_quarantined_at_threshold() {
+        let sched = scheduler(AdmissionLimits::default());
+        let sink = Arc::new(CollectSink::new());
+        // Drive poison_job directly with a synthetic job twice: the
+        // first answer is a retryable panic, the second a quarantine.
+        let make_job = |id| Job {
+            seq: id,
+            id,
+            stream: false,
+            spec: spec(4),
+            fp: FunctionFingerprint { hi: 77, lo: 88 },
+            sink: sink.clone(),
+            cancel: CancelToken::new(),
+        };
+        sched.poison_job(&make_job(1), &[], "kernel index out of bounds");
+        sched.poison_job(&make_job(2), &[], "kernel index out of bounds");
+        let frames = sink.frames();
+        assert_eq!(frames.len(), 2);
+        let first = crate::protocol::parse_error_frame(&frames[0]).expect("parses");
+        assert_eq!(first.code, Some(crate::protocol::RejectCode::Panic));
+        assert!(first.retryable);
+        let second = crate::protocol::parse_error_frame(&frames[1]).expect("parses");
+        assert_eq!(second.code, Some(crate::protocol::RejectCode::Quarantined));
+        assert!(!second.retryable);
+        let stats = sched.stats();
+        assert_eq!(stats.panics, 2);
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn isolated_converts_panics_to_messages() {
+        assert_eq!(isolated(|| 42), Ok(42));
+        let err = isolated(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert!(err.contains("boom 7"), "{err}");
+        let err = isolated(|| -> u32 { panic!("static boom") }).unwrap_err();
+        assert!(err.contains("static boom"), "{err}");
+    }
+
+    #[test]
+    fn retry_after_hint_scales_with_backlog_and_clamps() {
+        assert_eq!(retry_after_hint(0, 0, 4), 200);
+        assert_eq!(retry_after_hint(40, 4, 4), 1100);
+        assert_eq!(retry_after_hint(100_000, 0, 1), 30_000);
+        // Zero workers must not divide by zero.
+        assert_eq!(retry_after_hint(10, 0, 0), 1000);
     }
 
     #[test]

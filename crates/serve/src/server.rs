@@ -13,18 +13,18 @@
 //! [`shutdown::install`]: crate::shutdown::install
 
 use crate::cache::ConfigCache;
-use crate::protocol::{ClientFrame, ServerStats, PROTOCOL_SCHEMA};
+use crate::protocol::{reject_frame, ClientFrame, RejectCode, ServerStats, PROTOCOL_SCHEMA};
 use crate::scheduler::{
     benchfns_resolver, AdmissionLimits, ResponseSink, Scheduler, SubmitOutcome,
 };
-use dalut_core::CancelToken;
+use dalut_core::{CancelToken, NoopObserver};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked loops re-check the shutdown token.
 const POLL: Duration = Duration::from_millis(25);
@@ -41,6 +41,23 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Admission-control limits.
     pub limits: AdmissionLimits,
+    /// Longest line accepted from a client; a connection exceeding it
+    /// gets a typed `frame_too_long` reject and is closed, so a hostile
+    /// newline-free stream can never grow the buffer without bound.
+    pub max_frame_len: usize,
+    /// Longest a *partial* line may stall before the connection is
+    /// closed with a typed `deadline` reject (slow-loris defence).
+    /// Clients waiting between frames are unaffected — the deadline
+    /// only arms while an incomplete line is buffered.
+    pub frame_deadline: Duration,
+    /// Longest a connection may sit with no bytes in either direction
+    /// before it is closed. Long searches keep their connection alive
+    /// through the result write; pick this well above search time.
+    pub idle_timeout: Duration,
+    /// Per-write socket timeout: a client that stops draining its
+    /// receive window stalls a worker for at most this long before the
+    /// sink is marked dead and its frames are dropped.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +67,10 @@ impl Default for ServerConfig {
             workers: 4,
             cache_dir: None,
             limits: AdmissionLimits::default(),
+            max_frame_len: 4 << 20,
+            frame_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(600),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -61,27 +82,29 @@ impl Default for ServerConfig {
 pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
-    workers: usize,
+    config: ServerConfig,
     shutdown: CancelToken,
     next_conn: AtomicU64,
 }
 
 impl Server {
     /// Binds the listener, opens (or creates) the cache and starts the
-    /// worker pool.
+    /// worker pool. An unusable cache directory does not fail the bind:
+    /// the cache degrades to memory-only and the hello frame says so.
     ///
     /// # Errors
     ///
-    /// Propagates socket and cache-directory I/O errors.
+    /// Propagates socket I/O errors.
     pub fn bind(config: &ServerConfig) -> io::Result<Self> {
         let cache = Arc::new(match &config.cache_dir {
-            Some(dir) => ConfigCache::open(dir)?,
+            Some(dir) => ConfigCache::open(dir),
             None => ConfigCache::in_memory(),
         });
         let scheduler = Arc::new(Scheduler::new(
             cache,
             config.limits,
             Box::new(benchfns_resolver()),
+            Arc::new(NoopObserver),
         ));
         scheduler.spawn_workers(config.workers);
         let listener = TcpListener::bind(&config.addr)?;
@@ -89,7 +112,7 @@ impl Server {
         Ok(Self {
             listener,
             scheduler,
-            workers: config.workers,
+            config: config.clone(),
             shutdown: CancelToken::new(),
             next_conn: AtomicU64::new(0),
         })
@@ -133,11 +156,11 @@ impl Server {
                     let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
                     let scheduler = Arc::clone(&self.scheduler);
                     let shutdown = self.shutdown.clone();
-                    let workers = self.workers;
+                    let config = self.config.clone();
                     let _ = std::thread::Builder::new()
                         .name(format!("dalut-conn-{conn}"))
                         .spawn(move || {
-                            let _ = serve_connection(&scheduler, stream, conn, workers, &shutdown);
+                            let _ = serve_connection(&scheduler, stream, conn, &config, &shutdown);
                         });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -157,17 +180,38 @@ impl Server {
 }
 
 /// A [`ResponseSink`] writing newline-terminated frames to one
-/// connection. Write errors mark the sink dead and later frames are
-/// dropped — a vanished client must not take a worker down with it.
+/// connection. Write errors (including write-timeout expiry against a
+/// client that stopped draining) mark the sink dead and later frames
+/// are dropped — a vanished client must not take a worker down with it.
 struct TcpSink {
-    stream: Mutex<Option<TcpStream>>,
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    stream: Option<TcpStream>,
+    last_write: Instant,
 }
 
 impl TcpSink {
     fn new(stream: TcpStream) -> Self {
         Self {
-            stream: Mutex::new(Some(stream)),
+            inner: Mutex::new(SinkInner {
+                stream: Some(stream),
+                last_write: Instant::now(),
+            }),
         }
+    }
+
+    /// When the last successful write finished (connection start if
+    /// none); feeds the idle-timeout check so a connection waiting on a
+    /// long search is not "idle" while results are still flowing.
+    fn last_write(&self) -> Instant {
+        self.inner.lock().expect("sink lock").last_write
+    }
+
+    /// Whether the write side has been marked dead.
+    fn is_dead(&self) -> bool {
+        self.inner.lock().expect("sink lock").stream.is_none()
     }
 }
 
@@ -179,32 +223,36 @@ impl std::fmt::Debug for TcpSink {
 
 impl ResponseSink for TcpSink {
     fn send(&self, frame: &str) {
-        let mut guard = self.stream.lock().expect("sink lock");
-        if let Some(stream) = guard.as_mut() {
+        let mut guard = self.inner.lock().expect("sink lock");
+        if let Some(stream) = guard.stream.as_mut() {
             let ok = stream
                 .write_all(frame.as_bytes())
                 .and_then(|()| stream.write_all(b"\n"))
                 .and_then(|()| stream.flush())
                 .is_ok();
-            if !ok {
-                *guard = None;
+            if ok {
+                guard.last_write = Instant::now();
+            } else {
+                guard.stream = None;
             }
         }
     }
 }
 
-/// Reads frames off one connection until EOF or shutdown.
+/// Reads frames off one connection until EOF, shutdown, or one of the
+/// hardening limits trips (frame length, frame deadline, idle timeout).
 fn serve_connection(
     scheduler: &Arc<Scheduler>,
     stream: TcpStream,
     conn: u64,
-    workers: usize,
+    config: &ServerConfig,
     shutdown: &CancelToken,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     let write_half = stream.try_clone()?;
+    write_half.set_write_timeout(Some(config.write_timeout))?;
     let sink: Arc<TcpSink> = Arc::new(TcpSink::new(write_half));
-    sink.send(&hello_frame(workers, scheduler.cache().len()));
+    sink.send(&hello_frame(config.workers, scheduler.cache()));
 
     let default_client = format!("conn-{conn}");
     // Tokens of this connection's queued jobs, for cancel frames.
@@ -212,6 +260,9 @@ fn serve_connection(
     let mut reader = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut last_read = Instant::now();
+    // Arms when `pending` first becomes a non-empty partial line.
+    let mut partial_since: Option<Instant> = None;
     loop {
         if shutdown.is_cancelled() {
             return Ok(()); // drain path delivers remaining result frames
@@ -219,6 +270,7 @@ fn serve_connection(
         match reader.read(&mut chunk) {
             Ok(0) => return Ok(()), // client closed
             Ok(n) => {
+                last_read = Instant::now();
                 pending.extend_from_slice(&chunk[..n]);
                 while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = pending.drain(..=pos).collect();
@@ -228,12 +280,78 @@ fn serve_connection(
                         handle_frame(scheduler, line, &default_client, &sink, &mut submitted);
                     }
                 }
+                // Bound the buffer: a newline-free stream past the cap
+                // is rejected and dropped before it can grow further.
+                if pending.len() > config.max_frame_len {
+                    scheduler.note_frame_reject();
+                    reject_and_close(
+                        &mut reader,
+                        sink.as_ref(),
+                        &reject_frame(
+                            0,
+                            RejectCode::FrameTooLong,
+                            None,
+                            &format!("frame exceeds max length {}", config.max_frame_len),
+                        ),
+                    );
+                    return Ok(());
+                }
+                partial_since = if pending.is_empty() {
+                    None
+                } else {
+                    partial_since.or_else(|| Some(Instant::now()))
+                };
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
                     || e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
+        }
+        // Slow-loris: a partial line that stalls past the deadline.
+        if partial_since.is_some_and(|since| since.elapsed() > config.frame_deadline) {
+            scheduler.note_frame_reject();
+            reject_and_close(
+                &mut reader,
+                sink.as_ref(),
+                &reject_frame(
+                    0,
+                    RejectCode::Deadline,
+                    None,
+                    "partial frame stalled past the frame deadline",
+                ),
+            );
+            return Ok(());
+        }
+        // Idle: no bytes in either direction for the whole window (a
+        // connection waiting on a long search stays alive through its
+        // result write), or a write side already marked dead.
+        if sink.is_dead() || last_read.max(sink.last_write()).elapsed() > config.idle_timeout {
+            return Ok(());
+        }
+    }
+}
+
+/// Gracefully closes an abusive connection after a terminal reject:
+/// half-closes the write side, then drains and discards whatever the
+/// client is still sending, for a bounded window. Without the drain,
+/// closing with unread bytes in the receive buffer makes the kernel
+/// answer with a reset that can destroy the reject frame before the
+/// client reads it.
+fn reject_and_close(reader: &mut TcpStream, sink: &TcpSink, frame: &str) {
+    sink.send(frame);
+    let _ = reader.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sunk = [0u8; 4096];
+    while Instant::now() < deadline {
+        match reader.read(&mut sunk) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
         }
     }
 }
@@ -267,19 +385,31 @@ fn handle_frame(
             }
         }
         Ok(ClientFrame::Stats) => sink.send(&stats_frame(&scheduler.stats())),
-        Err(e) => sink.send(&format!(
-            "{{\"type\":\"error\",\"id\":0,\"message\":\"unparseable frame: {}\"}}",
-            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
-        )),
+        Err(e) => {
+            scheduler.note_frame_reject();
+            sink.send(&reject_frame(
+                0,
+                RejectCode::BadFrame,
+                None,
+                &format!("unparseable frame: {e}"),
+            ));
+        }
     }
 }
 
 /// The hello frame, hand-assembled so its bytes are stable and
-/// emittable even where the JSON library is stubbed.
-fn hello_frame(workers: usize, cached_entries: usize) -> String {
+/// emittable even where the JSON library is stubbed. Advertises the
+/// cache's reload health alongside its entry count, so a client (or an
+/// operator with `nc`) can see skipped entries and degraded mode
+/// without a stats round trip.
+fn hello_frame(workers: usize, cache: &ConfigCache) -> String {
     format!(
         "{{\"type\":\"hello\",\"schema\":\"{PROTOCOL_SCHEMA}\",\
-         \"workers\":{workers},\"cached_entries\":{cached_entries}}}"
+         \"workers\":{workers},\"cached_entries\":{},\
+         \"cache_skipped\":{},\"degraded\":{}}}",
+        cache.len(),
+        cache.load_report().skipped(),
+        cache.degraded(),
     )
 }
 
@@ -287,8 +417,22 @@ fn hello_frame(workers: usize, cached_entries: usize) -> String {
 fn stats_frame(s: &ServerStats) -> String {
     format!(
         "{{\"type\":\"stats\",\"stats\":{{\"submitted\":{},\"cache_hits\":{},\
-         \"coalesced\":{},\"rejected\":{},\"completed\":{},\"queued\":{},\"running\":{}}}}}",
-        s.submitted, s.cache_hits, s.coalesced, s.rejected, s.completed, s.queued, s.running
+         \"coalesced\":{},\"rejected\":{},\"completed\":{},\"queued\":{},\"running\":{},\
+         \"shed\":{},\"quarantined\":{},\"panics\":{},\"frame_rejects\":{},\
+         \"cache_skipped_unparsable\":{},\"cache_skipped_corrupt\":{}}}}}",
+        s.submitted,
+        s.cache_hits,
+        s.coalesced,
+        s.rejected,
+        s.completed,
+        s.queued,
+        s.running,
+        s.shed,
+        s.quarantined,
+        s.panics,
+        s.frame_rejects,
+        s.cache_skipped_unparsable,
+        s.cache_skipped_corrupt,
     )
 }
 
@@ -298,10 +442,17 @@ mod tests {
 
     #[test]
     fn hello_and_stats_frames_are_single_json_lines() {
-        let hello = hello_frame(4, 17);
+        let cache = ConfigCache::in_memory();
+        cache.insert(
+            dalut_core::FunctionFingerprint { hi: 1, lo: 2 },
+            "{\"x\":1}",
+        );
+        let hello = hello_frame(4, &cache);
         assert!(hello.contains("\"schema\":\"dalut-serve/v1\""));
         assert!(hello.contains("\"workers\":4"));
-        assert!(hello.contains("\"cached_entries\":17"));
+        assert!(hello.contains("\"cached_entries\":1"));
+        assert!(hello.contains("\"cache_skipped\":0"));
+        assert!(hello.contains("\"degraded\":false"));
         assert!(!hello.contains('\n'));
 
         let stats = stats_frame(&ServerStats {
@@ -312,6 +463,12 @@ mod tests {
             completed: 5,
             queued: 6,
             running: 7,
+            shed: 8,
+            quarantined: 9,
+            panics: 10,
+            frame_rejects: 11,
+            cache_skipped_unparsable: 12,
+            cache_skipped_corrupt: 13,
         });
         for needle in [
             "\"submitted\":1",
@@ -321,6 +478,12 @@ mod tests {
             "\"completed\":5",
             "\"queued\":6",
             "\"running\":7",
+            "\"shed\":8",
+            "\"quarantined\":9",
+            "\"panics\":10",
+            "\"frame_rejects\":11",
+            "\"cache_skipped_unparsable\":12",
+            "\"cache_skipped_corrupt\":13",
         ] {
             assert!(stats.contains(needle), "{stats} missing {needle}");
         }

@@ -1,0 +1,249 @@
+//! Robustness of the serving stack under hostile input: fuzzed frame
+//! parsing, a fuzzed server read loop, frame-length caps, slow-loris
+//! deadlines and idle timeouts.
+//!
+//! Everything here is serde-free on the attacking side — the tests
+//! write raw bytes at the server — so the whole suite runs under the
+//! offline serde stub too (where every frame is simply unparsable,
+//! which is exactly the hostile case).
+
+use dalut_serve::protocol::{field_bool, field_str, field_u64};
+use dalut_serve::{
+    outcome_section, parse_error_frame, parse_result_frame, RejectCode, Server, ServerConfig,
+};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct RunningServer {
+    addr: String,
+    token: dalut_core::CancelToken,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_server(config: ServerConfig) -> RunningServer {
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let token = server.shutdown_token();
+    let handle = std::thread::spawn(move || server.run());
+    RunningServer {
+        addr,
+        token,
+        handle,
+    }
+}
+
+impl RunningServer {
+    fn stop(self) {
+        self.token.cancel();
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("clean drain");
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line
+}
+
+/// A fresh connection still answering with a hello frame is the
+/// liveness probe: whatever the previous connection did, the server
+/// must keep serving.
+fn assert_alive(addr: &str) {
+    let (_stream, mut reader) = connect(addr);
+    let hello = read_line(&mut reader);
+    assert!(
+        hello.contains("\"type\":\"hello\""),
+        "server no longer serving: {hello:?}"
+    );
+}
+
+proptest! {
+    /// The hand-rolled response parsers accept arbitrary text without
+    /// panicking — they are the client's first line of defence against
+    /// corrupted bytes.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_text(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_result_frame(&text);
+        let _ = parse_error_frame(&text);
+        let _ = outcome_section(&text);
+        let _ = field_u64(&text, "id");
+        let _ = field_bool(&text, "cached");
+        let _ = field_str(&text, "message");
+        let _ = RejectCode::parse(&text);
+    }
+
+    /// Parsing near-miss frames — result/error prefixes followed by
+    /// garbage — never panics either, and never fabricates a valid
+    /// frame with a passing CRC.
+    #[test]
+    fn parsers_never_panic_on_prefixed_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let tail = String::from_utf8_lossy(&bytes).into_owned();
+        for prefix in ["{\"type\":\"result\",", "{\"type\":\"error\",", "{\"type\":\"result\""] {
+            let line = format!("{prefix}{tail}");
+            if let Some(result) = parse_result_frame(&line) {
+                // A parse may succeed on crafted garbage, but the CRC
+                // binds id+fingerprint+outcome — random tails fail it.
+                let _ = result.crc_ok();
+            }
+            let _ = parse_error_frame(&line);
+        }
+    }
+}
+
+/// Arbitrary byte lines at the server produce typed `bad_frame` rejects
+/// (or a clean disconnect) — never a crash. The liveness probe at the
+/// end proves the server outlived the abuse.
+#[test]
+fn server_survives_garbage_lines() {
+    let server = start_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_dir: None,
+        ..ServerConfig::default()
+    });
+
+    // A deterministic spread of hostile lines: binary, truncated JSON,
+    // deep nesting, null bytes, huge numbers, non-UTF-8.
+    let attacks: Vec<Vec<u8>> = vec![
+        b"\x00\x01\x02\xff\xfe garbage".to_vec(),
+        b"{\"type\":\"submit\"".to_vec(),
+        b"{\"type\":\"submit\",\"id\":99999999999999999999999999}".to_vec(),
+        vec![b'{'; 512],
+        b"null".to_vec(),
+        b"{\"type\":\"result\",\"id\":1,\"cached\":true}".to_vec(),
+        vec![0xC3, 0x28, 0xA0, 0xA1], // invalid UTF-8 sequences
+    ];
+    for attack in &attacks {
+        let (mut stream, mut reader) = connect(&server.addr);
+        let hello = read_line(&mut reader);
+        assert!(hello.contains("\"type\":\"hello\""), "{hello:?}");
+        stream.write_all(attack).expect("write attack");
+        stream.write_all(b"\n").expect("write newline");
+        // Either a typed reject arrives or the server closed the
+        // connection; both are acceptable, panicking is not.
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+            assert!(
+                line.contains("\"type\":\"error\"") || line.contains("\"type\":\"result\""),
+                "unexpected frame for {attack:?}: {line:?}"
+            );
+            if let Some(reject) = parse_error_frame(line.trim()) {
+                assert_eq!(reject.code, Some(RejectCode::BadFrame), "{line:?}");
+                assert!(reject.retryable, "bad_frame must be retryable: {line:?}");
+            }
+        }
+    }
+    // An empty line is silently skipped, not answered and not fatal.
+    {
+        let (mut stream, mut reader) = connect(&server.addr);
+        read_line(&mut reader); // hello
+        stream.write_all(b"\n\n").expect("write empty lines");
+    }
+    assert_alive(&server.addr);
+    server.stop();
+}
+
+/// A frame longer than `max_frame_len` is rejected with a typed
+/// `frame_too_long` error and a closed connection — the unbounded-read
+/// OOM vector is gone.
+#[test]
+fn oversized_frames_get_typed_reject() {
+    let server = start_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_dir: None,
+        max_frame_len: 4 * 1024,
+        ..ServerConfig::default()
+    });
+    let (mut stream, mut reader) = connect(&server.addr);
+    read_line(&mut reader); // hello
+
+    // 64 KiB without a newline: far over the 4 KiB cap.
+    let blob = vec![b'x'; 64 * 1024];
+    // The server may close mid-write once the cap trips; that's fine.
+    let _ = stream.write_all(&blob);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read reject");
+    let reject = parse_error_frame(response.trim()).expect("typed reject");
+    assert_eq!(reject.code, Some(RejectCode::FrameTooLong), "{response:?}");
+    assert!(!reject.retryable, "oversized frames are not retryable");
+
+    // The connection is closed afterwards (EOF).
+    let mut rest = String::new();
+    let n = reader.read_to_string(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection should be closed: {rest:?}");
+
+    assert_alive(&server.addr);
+    server.stop();
+}
+
+/// A slow-loris connection — a partial frame that never completes —
+/// is cut off at the frame deadline with a typed `deadline` reject.
+#[test]
+fn slow_loris_partial_frame_hits_deadline() {
+    let server = start_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_dir: None,
+        frame_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let (mut stream, mut reader) = connect(&server.addr);
+    read_line(&mut reader); // hello
+
+    stream
+        .write_all(b"{\"type\":\"submit\",\"id\":1,")
+        .expect("partial write");
+    let start = Instant::now();
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read reject");
+    let reject = parse_error_frame(response.trim()).expect("typed reject");
+    assert_eq!(reject.code, Some(RejectCode::Deadline), "{response:?}");
+    assert!(reject.retryable, "a deadline kill invites a clean retry");
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "deadline should fire near 200ms, not at the idle timeout"
+    );
+
+    assert_alive(&server.addr);
+    server.stop();
+}
+
+/// A connection that goes completely quiet is reaped at the idle
+/// timeout, freeing its thread.
+#[test]
+fn idle_connections_are_reaped() {
+    let server = start_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_dir: None,
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let (_stream, mut reader) = connect(&server.addr);
+    read_line(&mut reader); // hello
+
+    // No traffic: the server should close the socket (EOF) soon after
+    // the idle timeout, well within the read timeout.
+    let mut rest = String::new();
+    let n = reader.read_to_string(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "idle connection should be closed: {rest:?}");
+
+    assert_alive(&server.addr);
+    server.stop();
+}

@@ -20,6 +20,8 @@
 //! | [`est`] | closed-form power/area/delay estimation, calibrated sweep pruning |
 //! | [`runtime`] | online error-SLO controller: drift/fault detection, scrub, hot-swap |
 //! | [`benchfns`] | the paper's ten benchmark functions |
+//! | [`serve`] | the decomposition-as-a-service TCP server, config cache and chaos proxy |
+//! | [`client`] | reconnecting, retrying line-protocol client with end-to-end verification |
 //!
 //! The facade re-exports the high-level API so `use dalut::prelude::*`
 //! is enough for most applications. [`ApproxLutBuilder`]
@@ -66,12 +68,14 @@
 
 pub use dalut_benchfns as benchfns;
 pub use dalut_boolfn as boolfn;
+pub use dalut_client as client;
 pub use dalut_core as core;
 pub use dalut_decomp as decomp;
 pub use dalut_est as est;
 pub use dalut_hw as hw;
 pub use dalut_netlist as netlist;
 pub use dalut_runtime as runtime;
+pub use dalut_serve as serve;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
