@@ -3,9 +3,18 @@
 //! number is measured on).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dalut_bench::setup::round_in_w;
+use dalut_benchfns::{Benchmark, Scale};
+use dalut_boolfn::InputDistribution;
+use dalut_core::{ApproxLutBuilder, ArchPolicy, BsSaParams, DaltaParams, NoopObserver};
 use dalut_hw::lut::dff_lut;
+use dalut_hw::{
+    build_approx_lut, build_round_in, build_round_out, ArchInstance, ArchStyle, SimOptions,
+    CHUNK_CYCLES,
+};
 use dalut_netlist::{
-    area_um2, critical_path_ns, BatchSimulator, CellLibrary, Netlist, Simulator, LANES, ROOT_DOMAIN,
+    area_um2, critical_path_ns, BatchSimulator, CellLibrary, Netlist, SimBackend, Simulator, LANES,
+    ROOT_DOMAIN,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,13 +101,107 @@ fn bench_fast_vs_scalar(c: &mut Criterion) {
                                 *word |= ((x >> bit) & 1) << lane;
                             }
                         }
-                        sim.step_block(&in_words, block.len(), &mut out_words);
+                        sim.step_block(&in_words, block.len(), &mut out_words)
+                            .expect("well-formed block");
                         acc ^= out_words[0];
                     }
                     acc
                 })
             },
         );
+    }
+    group.finish();
+}
+
+/// The five Fig. 5 architectures at a reduced width, found with the
+/// cheap `fast()` parameter sets — configuration quality is irrelevant
+/// here, only netlist shape matters.
+fn fig5_instances() -> Vec<(&'static str, ArchInstance)> {
+    let scale_bits = 6usize;
+    let target = Benchmark::Cos
+        .table(Scale::Reduced(scale_bits))
+        .expect("benchmark builds");
+    let n = target.inputs();
+    let dist = InputDistribution::uniform(n).expect("valid width");
+    let dalta = ApproxLutBuilder::new(&target)
+        .distribution(dist.clone())
+        .dalta(DaltaParams::fast())
+        .run()
+        .expect("search");
+    let search = |policy: ArchPolicy| {
+        ApproxLutBuilder::new(&target)
+            .distribution(dist.clone())
+            .bs_sa(BsSaParams::fast())
+            .policy(policy)
+            .run()
+            .expect("search")
+    };
+    let bn = search(ArchPolicy::bto_normal_paper());
+    let bnnd = search(ArchPolicy::bto_normal_nd_paper());
+    vec![
+        ("RoundOut", build_round_out(&target, 1)),
+        ("RoundIn", build_round_in(&target, round_in_w(n))),
+        (
+            "DALTA",
+            build_approx_lut(&dalta.config, ArchStyle::Dalta).expect("build"),
+        ),
+        (
+            "BTO-Normal",
+            build_approx_lut(&bn.config, ArchStyle::BtoNormal).expect("build"),
+        ),
+        (
+            "BTO-Normal-ND",
+            build_approx_lut(&bnnd.config, ArchStyle::BtoNormalNd).expect("build"),
+        ),
+    ]
+}
+
+/// The compiled wide engines (64/256/512-bit words) against each other
+/// and the block-parallel chunked path on the five Fig. 5
+/// architectures — the engines `--sim-backend` chooses between. Every
+/// variant returns bit-identical outputs and power; only speed differs.
+fn bench_wide_vs_u64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_wide_vs_u64");
+    group.sample_size(10);
+    const CYCLES: usize = 1024;
+    let lib = CellLibrary::nangate45();
+    for (name, inst) in fig5_instances() {
+        let n = inst.inputs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let reads: Vec<u32> = (0..CYCLES)
+            .map(|_| rng.random_range(0..(1u32 << n)))
+            .collect();
+        let clock = critical_path_ns(inst.netlist(), &lib).expect("acyclic") * 1.05;
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        let engines = SimBackend::all_wide()
+            .into_iter()
+            .map(|backend| {
+                (
+                    backend.to_string(),
+                    SimOptions {
+                        backend,
+                        threads: 1,
+                        chunk_cycles: CHUNK_CYCLES,
+                    },
+                )
+            })
+            // Chunked: small chunks so 1024 reads split across workers.
+            .chain(std::iter::once((
+                "chunked".to_string(),
+                SimOptions {
+                    backend: SimBackend::Auto,
+                    threads: 2,
+                    chunk_cycles: 128,
+                },
+            )));
+        for (engine, opts) in engines {
+            group.bench_with_input(BenchmarkId::new(engine, name), &opts, |b, opts| {
+                b.iter(|| {
+                    inst.measure_with(&reads, &lib, clock, opts, &NoopObserver)
+                        .expect("sim")
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -144,6 +247,7 @@ criterion_group!(
     benches,
     bench_sim,
     bench_fast_vs_scalar,
+    bench_wide_vs_u64,
     bench_analysis,
     bench_opt
 );

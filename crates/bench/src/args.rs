@@ -14,6 +14,8 @@ use dalut_benchfns::Scale;
 use dalut_core::checkpoint::CheckpointStore;
 use dalut_core::{CancelToken, RunBudget};
 use dalut_est::EstimatorMode;
+use dalut_hw::{set_default_sim_options, SimOptions, CHUNK_CYCLES};
+use dalut_netlist::SimBackend;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -62,6 +64,10 @@ pub struct HarnessArgs {
     /// flow), `prune` (default) signs off only the analytically cheapest
     /// survivors, `trust` skips exact sign-off entirely.
     pub estimator: EstimatorMode,
+    /// Sign-off simulation engine: `scalar`, `u64`, `w256`, `w512` or
+    /// `auto` (default; widest backend the CPU supports). Every backend
+    /// is bit-identical — this flag only changes speed.
+    pub sim_backend: SimBackend,
 }
 
 impl Default for HarnessArgs {
@@ -86,6 +92,7 @@ impl Default for HarnessArgs {
             resume: false,
             max_retries: 2,
             estimator: EstimatorMode::default(),
+            sim_backend: SimBackend::Auto,
         }
     }
 }
@@ -93,7 +100,7 @@ impl Default for HarnessArgs {
 const USAGE: &str = "usage: [--full] [--scale BITS] [--runs N] [--seed N] [--threads N] \
 [--only NAME] [--budget-secs S] [--out PATH] [--trace PATH] [--metrics] [--progress] \
 [--harden] [--vcd PATH] [--arch NAME] [--checkpoint-dir DIR] [--resume] [--max-retries N] \
-[--estimator off|prune|trust]";
+[--estimator off|prune|trust] [--sim-backend scalar|u64|w256|w512|auto]";
 
 impl HarnessArgs {
     /// Parses the shared flag set from an iterator of arguments.
@@ -146,6 +153,12 @@ impl HarnessArgs {
                         ))?
                         .parse()?
                 }
+                "--sim-backend" => {
+                    out.sim_backend = args
+                        .next()
+                        .ok_or("--sim-backend needs an engine (scalar|u64|w256|w512|auto)")?
+                        .parse()?
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -154,14 +167,31 @@ impl HarnessArgs {
     }
 
     /// Parses the process arguments, exiting with the usage string on
-    /// error.
+    /// error, and installs the parsed [`SimOptions`] as the process
+    /// default so every sign-off simulation in the binary honours
+    /// `--sim-backend`/`--threads`.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(a) => {
+                set_default_sim_options(a.sim_options());
+                a
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// The simulation options these arguments select: engine from
+    /// `--sim-backend`, block-parallel workers from `--threads`, fixed
+    /// [`CHUNK_CYCLES`] chunking (so results never depend on the thread
+    /// count).
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            backend: self.sim_backend,
+            threads: self.threads,
+            chunk_cycles: CHUNK_CYCLES,
         }
     }
 
@@ -353,6 +383,29 @@ mod tests {
         }
         assert!(parse(&["--estimator"]).is_err());
         assert!(parse(&["--estimator", "exact"]).is_err());
+    }
+
+    #[test]
+    fn sim_backend_flag_parses_and_defaults_to_auto() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.sim_backend, SimBackend::Auto);
+        for (s, b) in [
+            ("scalar", SimBackend::Scalar),
+            ("u64", SimBackend::U64),
+            ("w256", SimBackend::W256),
+            ("w512", SimBackend::W512),
+            ("auto", SimBackend::Auto),
+        ] {
+            assert_eq!(parse(&["--sim-backend", s]).unwrap().sim_backend, b);
+        }
+        assert!(parse(&["--sim-backend"]).is_err());
+        assert!(parse(&["--sim-backend", "avx"]).is_err());
+        let opts = parse(&["--sim-backend", "w256", "--threads", "3"])
+            .unwrap()
+            .sim_options();
+        assert_eq!(opts.backend, SimBackend::W256);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.chunk_cycles, CHUNK_CYCLES);
     }
 
     #[test]

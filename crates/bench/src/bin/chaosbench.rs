@@ -10,7 +10,9 @@
 //! fixed seed the BS-SA search is bit-deterministic, so an honest
 //! server must reproduce the baseline bytes exactly. With `--addr` the
 //! baseline runs directly against the external server (the chaos phase
-//! then exercises its cache path).
+//! then exercises its cache path). `--skip-warmup` skips the baseline
+//! phase; byte-identity then anchors on the first completed chaos-phase
+//! response per fingerprint.
 //!
 //! Then the **chaos phase**: a fresh server (or the external one) is
 //! fronted by a [`ChaosProxy`] running the full fault menu — connection
@@ -49,6 +51,7 @@ struct Args {
     workers: usize,
     seed: u64,
     request_timeout_ms: u64,
+    skip_warmup: bool,
     out: PathBuf,
 }
 
@@ -62,6 +65,7 @@ impl Default for Args {
             workers: 4,
             seed: 42,
             request_timeout_ms: 30_000,
+            skip_warmup: false,
             out: PathBuf::from("BENCH_chaos.json"),
         }
     }
@@ -70,7 +74,7 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: chaosbench [--addr HOST:PORT] [--jobs N] [--clients N] [--repeat N] \
-         [--workers N] [--seed N] [--request-timeout-ms MS] [--out PATH]"
+         [--workers N] [--seed N] [--request-timeout-ms MS] [--skip-warmup] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -95,6 +99,7 @@ fn parse_args() -> Args {
             "--request-timeout-ms" => {
                 args.request_timeout_ms = parse_num(&val("--request-timeout-ms")) as u64;
             }
+            "--skip-warmup" => args.skip_warmup = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             _ => usage(),
         }
@@ -245,33 +250,52 @@ fn main() -> ExitCode {
 
     // Phase 1: fault-free baseline. Self-contained mode uses a
     // throwaway twin server so the chaos phase recomputes every search.
-    let (baseline, upstream, chaos_server) = match &args.addr {
-        Some(addr) => {
-            eprintln!("chaosbench: baseline against external server {addr}");
-            match run_baseline(addr, &specs, args.request_timeout_ms) {
-                Ok(baseline) => (baseline, addr.clone(), None),
-                Err(e) => return fail("baseline", &e),
+    // `--skip-warmup` drops the phase entirely; byte-identity then
+    // anchors on the first completed chaos-phase response per
+    // fingerprint (searches stay bit-deterministic, so any divergence
+    // between retries/clients is still caught).
+    let (mut baseline, upstream, chaos_server) = if args.skip_warmup {
+        eprintln!("chaosbench: --skip-warmup: anchoring on first completed responses");
+        match &args.addr {
+            Some(addr) => (HashMap::new(), addr.clone(), None),
+            None => {
+                let chaos = match start_server(args.workers) {
+                    Ok(chaos) => chaos,
+                    Err(e) => return fail("bind chaos server", &e),
+                };
+                let addr = chaos.addr.clone();
+                (HashMap::new(), addr, Some(chaos))
             }
         }
-        None => {
-            let twin = match start_server(args.workers) {
-                Ok(twin) => twin,
-                Err(e) => return fail("bind baseline server", &e),
-            };
-            eprintln!("chaosbench: baseline against twin server {}", twin.addr);
-            let baseline = match run_baseline(&twin.addr, &specs, args.request_timeout_ms) {
-                Ok(baseline) => baseline,
-                Err(e) => return fail("baseline", &e),
-            };
-            if !twin.stop() {
-                return fail("baseline server", &"did not drain cleanly");
+    } else {
+        match &args.addr {
+            Some(addr) => {
+                eprintln!("chaosbench: baseline against external server {addr}");
+                match run_baseline(addr, &specs, args.request_timeout_ms) {
+                    Ok(baseline) => (baseline, addr.clone(), None),
+                    Err(e) => return fail("baseline", &e),
+                }
             }
-            let chaos = match start_server(args.workers) {
-                Ok(chaos) => chaos,
-                Err(e) => return fail("bind chaos server", &e),
-            };
-            let addr = chaos.addr.clone();
-            (baseline, addr, Some(chaos))
+            None => {
+                let twin = match start_server(args.workers) {
+                    Ok(twin) => twin,
+                    Err(e) => return fail("bind baseline server", &e),
+                };
+                eprintln!("chaosbench: baseline against twin server {}", twin.addr);
+                let baseline = match run_baseline(&twin.addr, &specs, args.request_timeout_ms) {
+                    Ok(baseline) => baseline,
+                    Err(e) => return fail("baseline", &e),
+                };
+                if !twin.stop() {
+                    return fail("baseline server", &"did not drain cleanly");
+                }
+                let chaos = match start_server(args.workers) {
+                    Ok(chaos) => chaos,
+                    Err(e) => return fail("bind chaos server", &e),
+                };
+                let addr = chaos.addr.clone();
+                (baseline, addr, Some(chaos))
+            }
         }
     };
 
@@ -367,6 +391,11 @@ fn main() -> ExitCode {
             match baseline.get(&result.fingerprint) {
                 Some(expected) if *expected == result.outcome_json => {}
                 Some(_) => wrong_answers += 1,
+                // Under --skip-warmup the first completed response for a
+                // fingerprint becomes the anchor.
+                None if args.skip_warmup => {
+                    baseline.insert(result.fingerprint.clone(), result.outcome_json.clone());
+                }
                 None => wrong_answers += 1, // fingerprint outside the baseline set
             }
         }

@@ -216,10 +216,8 @@ fn bench_row(
         &|x| bnnd.config.eval(x),
     ];
     let sample = &reads[..reads.len().min(LANES)];
-    let mut outs = vec![0u32; sample.len()];
     for ((inst, _), model) in instances.iter().zip(models) {
-        let mut sim = inst.batch_simulator().expect("acyclic");
-        inst.read_block(&mut sim, sample, &mut outs);
+        let outs = inst.read_sequence(sample).expect("acyclic");
         for (&x, &y) in sample.iter().zip(&outs) {
             assert_eq!(y, model(x), "hardware sign-off failed");
         }

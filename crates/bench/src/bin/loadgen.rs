@@ -12,7 +12,10 @@
 //! measured separately), so during the flood every request for them is
 //! a pure cache hit; cold specs are first seen mid-flood, exercising
 //! the leader/follower coalescing path. Requests cycle over the specs,
-//! offset per connection.
+//! offset per connection. `--skip-warmup` skips the pre-submission
+//! phase entirely: every spec is then first seen mid-flood and
+//! byte-identity anchors on the first completed response per
+//! fingerprint.
 //!
 //! Besides latency percentiles the run checks the server's byte-identity
 //! guarantee: every `outcome` section observed for a fingerprint — cold,
@@ -53,6 +56,7 @@ struct Args {
     cold: usize,
     workers: usize,
     seed: u64,
+    skip_warmup: bool,
     out: PathBuf,
 }
 
@@ -67,6 +71,7 @@ impl Default for Args {
             cold: 2,
             workers: 4,
             seed: 42,
+            skip_warmup: false,
             out: PathBuf::from("BENCH_serve.json"),
         }
     }
@@ -75,7 +80,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--connections N] [--window N] \
-         [--requests N] [--warm N] [--cold N] [--workers N] [--seed N] [--out PATH]"
+         [--requests N] [--warm N] [--cold N] [--workers N] [--seed N] \
+         [--skip-warmup] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -94,6 +100,7 @@ fn parse_args() -> Args {
             "--cold" => args.cold = val("--cold").parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = parse_num(&val("--workers")),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--skip-warmup" => args.skip_warmup = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             _ => usage(),
         }
@@ -409,18 +416,28 @@ fn main() -> ExitCode {
         .map(|s| make_spec(args.seed + s as u64))
         .collect();
 
-    eprintln!("loadgen: warming {} spec(s) on {addr}", args.warm);
-    let warm_report = match warmup(&addr, &specs, args.warm) {
-        Ok(report) => report,
-        Err(e) => return fail("warmup connection", &e.into()),
+    // `--skip-warmup`: no spec is pre-submitted, so every spec is first
+    // seen mid-flood (all-coalescing stress). Byte-identity then anchors
+    // on the first completed response observed per fingerprint instead
+    // of the warmup's cold outcomes.
+    let warm_report = if args.skip_warmup {
+        eprintln!("loadgen: --skip-warmup: all specs first seen mid-flood");
+        ConnReport::default()
+    } else {
+        eprintln!("loadgen: warming {} spec(s) on {addr}", args.warm);
+        let report = match warmup(&addr, &specs, args.warm) {
+            Ok(report) => report,
+            Err(e) => return fail("warmup connection", &e.into()),
+        };
+        if report.received < args.warm {
+            eprintln!(
+                "loadgen: warmup incomplete ({}/{})",
+                report.received, args.warm
+            );
+            return ExitCode::FAILURE;
+        }
+        report
     };
-    if warm_report.received < args.warm {
-        eprintln!(
-            "loadgen: warmup incomplete ({}/{})",
-            warm_report.received, args.warm
-        );
-        return ExitCode::FAILURE;
-    }
 
     // Pre-serialise every connection's frames so the flood measures the
     // server, not the client's JSON encoder.
@@ -439,7 +456,9 @@ fn main() -> ExitCode {
                 Ok(frame) => frames.push(frame),
                 Err(e) => return fail("pre-serialise frames", &e),
             }
-            hits.push(spec_idx < args.warm);
+            // Without the warmup no spec is pre-cached, so every
+            // latency sample is honestly a miss/coalesced hit.
+            hits.push(!args.skip_warmup && spec_idx < args.warm);
         }
         batches.push((frames, hits));
     }

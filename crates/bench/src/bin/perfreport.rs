@@ -25,15 +25,16 @@ use dalut_boolfn::{InputDistribution, Partition};
 use dalut_core::checkpoint::{fingerprint, WorkKey};
 use dalut_core::{
     ApproxLutBuilder, ApproxLutConfig, ArchPolicy, BsSaParams, CancelToken, DaltaParams, JobSpec,
-    MetricsSnapshot, Observer, RunBudget, SearchEvent, Termination,
+    MetricsSnapshot, NoopObserver, Observer, RunBudget, SearchEvent, Termination,
 };
 use dalut_decomp::{bit_costs, opt_for_part, opt_for_part_ref, LsbFill, OptParams};
 use dalut_est::doe::synthetic_config;
 use dalut_est::{CalibrationOptions, CalibrationReport, EstimatorMode, ResourceEstimator};
 use dalut_hw::{
     build_approx_lut, build_round_in, build_round_out, characterize, ArchInstance, ArchStyle,
+    SimOptions, CHUNK_CYCLES,
 };
-use dalut_netlist::{critical_path_ns, CellKind, CellLibrary};
+use dalut_netlist::{critical_path_ns, detected_isa, CellKind, CellLibrary, SimBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -141,19 +142,22 @@ fn kernel_section(args: &HarnessArgs) -> Vec<KernelRow> {
         .collect()
 }
 
-/// One simulation-throughput row: the scalar engine vs the batched
-/// 64-way engine over the same instance and read trace.
+/// One simulation-throughput row: one engine on one architecture over
+/// the shared read trace, referenced against the scalar engine.
 #[derive(Debug, Serialize)]
 struct SimRow {
     arch: String,
+    /// Engine name: `scalar`, `u64`, `w256`, `w512` or `chunked`
+    /// (block-parallel stimulus on the auto-resolved wide engine).
+    backend: String,
     cells: usize,
     dffs: usize,
     reads: usize,
-    scalar_cps: f64,
-    batched_cps: f64,
-    speedup: f64,
-    /// `true` when outputs and the full `PowerReport` matched
-    /// bit-for-bit between the two engines.
+    cycles_per_sec: f64,
+    speedup_vs_scalar: f64,
+    speedup_vs_u64: f64,
+    /// `true` when outputs and the full `PowerReport` matched the
+    /// scalar engine bit-for-bit.
     power_match: bool,
 }
 
@@ -162,17 +166,22 @@ struct SimReport {
     seed: u64,
     benchmark: String,
     scale_bits: usize,
+    /// Widest SIMD feature the CPU reports: `avx512f`, `avx2` or
+    /// `portable`. Every wide backend runs everywhere (portable
+    /// fallback); this records which code path the wide rows took.
+    detected_isa: String,
     rows: Vec<SimRow>,
 }
 
 impl Versioned for SimReport {
-    const SCHEMA: &'static str = "dalut-simreport/v1";
+    const SCHEMA: &'static str = "dalut-simreport/v2";
 }
 
-/// Times the power/accuracy sign-off simulation (scalar vs batched) on
-/// the five Fig. 5 architectures. Configuration quality is irrelevant
-/// here — only netlist shape matters — so the searches use the cheap
-/// `fast()` parameter sets.
+/// Times the power/accuracy sign-off simulation — scalar baseline, the
+/// 64/256/512-bit compiled engines and the block-parallel chunked path
+/// — on the five Fig. 5 architectures. Configuration quality is
+/// irrelevant here — only netlist shape matters — so the searches use
+/// the cheap `fast()` parameter sets.
 fn sim_section(args: &HarnessArgs) -> SimReport {
     let scale_bits = args.scale_bits.min(8);
     let target = Benchmark::Cos
@@ -220,44 +229,87 @@ fn sim_section(args: &HarnessArgs) -> SimReport {
     let reads: Vec<u32> = (0..ENERGY_READS)
         .map(|_| rng.random_range(0..(1u32 << n)))
         .collect();
+    // Engine matrix: the scalar baseline, every wide backend (all run
+    // on any CPU — unsupported ISAs fall back to the portable path) and
+    // the block-parallel chunked path. The chunk size is shrunk so the
+    // 1024-read trace actually splits into several chunks.
+    let wide_opts = |backend| SimOptions {
+        backend,
+        threads: 1,
+        chunk_cycles: CHUNK_CYCLES,
+    };
+    let chunked_opts = SimOptions {
+        backend: SimBackend::Auto,
+        threads: 2,
+        chunk_cycles: 128,
+    };
+    let engines: Vec<(String, SimOptions)> = SimBackend::all_wide()
+        .into_iter()
+        .map(|b| (b.to_string(), wide_opts(b)))
+        .chain(std::iter::once(("chunked".to_string(), chunked_opts)))
+        .collect();
     let mut rows = Vec::new();
     for (name, inst) in &instances {
         let clock = critical_path_ns(inst.netlist(), &lib).expect("acyclic") * 1.05;
+        let cells = inst.netlist().cells().len();
+        let dffs = inst
+            .netlist()
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::Dff)
+            .count();
         let (scalar_outs, scalar_power) = inst.measure_scalar(&reads, &lib, clock).expect("sim");
-        let (batch_outs, batch_power) = inst.measure(&reads, &lib, clock).expect("sim");
-        let power_match = scalar_outs == batch_outs && scalar_power == batch_power;
         let (scalar_ns, _) = time_ns(|| {
             std::hint::black_box(inst.measure_scalar(&reads, &lib, clock)).expect("sim");
         });
-        let (batched_ns, _) = time_ns(|| {
-            std::hint::black_box(inst.measure(&reads, &lib, clock)).expect("sim");
-        });
         let cps = |ns: f64| reads.len() as f64 * 1e9 / ns;
-        let row = SimRow {
+        rows.push(SimRow {
             arch: (*name).to_string(),
-            cells: inst.netlist().cells().len(),
-            dffs: inst
-                .netlist()
-                .cells()
-                .iter()
-                .filter(|c| c.kind == CellKind::Dff)
-                .count(),
+            backend: "scalar".to_string(),
+            cells,
+            dffs,
             reads: reads.len(),
-            scalar_cps: cps(scalar_ns),
-            batched_cps: cps(batched_ns),
-            speedup: scalar_ns / batched_ns,
-            power_match,
-        };
-        eprintln!(
-            "sim {name}: scalar {:.2e} cyc/s, batched {:.2e} cyc/s, speedup {:.2}x, match={}",
-            row.scalar_cps, row.batched_cps, row.speedup, row.power_match
-        );
-        rows.push(row);
+            cycles_per_sec: cps(scalar_ns),
+            speedup_vs_scalar: 1.0,
+            speedup_vs_u64: f64::NAN,
+            power_match: true,
+        });
+        let mut u64_ns = f64::NAN;
+        for (engine, opts) in &engines {
+            let (outs, power) = inst
+                .measure_with(&reads, &lib, clock, opts, &NoopObserver)
+                .expect("sim");
+            let power_match = outs == scalar_outs && power == scalar_power;
+            let (ns, _) = time_ns(|| {
+                std::hint::black_box(inst.measure_with(&reads, &lib, clock, opts, &NoopObserver))
+                    .expect("sim");
+            });
+            if engine == "u64" {
+                u64_ns = ns;
+            }
+            let row = SimRow {
+                arch: (*name).to_string(),
+                backend: engine.clone(),
+                cells,
+                dffs,
+                reads: reads.len(),
+                cycles_per_sec: cps(ns),
+                speedup_vs_scalar: scalar_ns / ns,
+                speedup_vs_u64: u64_ns / ns,
+                power_match,
+            };
+            eprintln!(
+                "sim {name} [{engine}]: {:.2e} cyc/s, {:.2}x vs scalar, {:.2}x vs u64, match={}",
+                row.cycles_per_sec, row.speedup_vs_scalar, row.speedup_vs_u64, row.power_match
+            );
+            rows.push(row);
+        }
     }
     SimReport {
         seed: args.seed,
         benchmark: Benchmark::Cos.name().to_string(),
         scale_bits,
+        detected_isa: detected_isa().to_string(),
         rows,
     }
 }

@@ -24,8 +24,9 @@
 
 use crate::arch::HwError;
 use crate::instance::ArchInstance;
+use crate::simopt::default_sim_options;
 use dalut_core::{NoopObserver, Observer, SearchEvent};
-use dalut_netlist::{NetId, LANES};
+use dalut_netlist::{CompiledNetlist, NetId, SimBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -219,7 +220,7 @@ pub struct FaultReport {
 /// A prepared fault campaign against one instance.
 ///
 /// Construction computes the fault-free ("golden") exhaustive outputs
-/// once on the batched 64-way engine; every subsequent
+/// once on the process-default simulation backend; every subsequent
 /// [`report`](Self::report) — across fault models *and* probabilities —
 /// reuses them, so a sweep pays for the baseline exactly once per
 /// architecture instead of once per campaign.
@@ -230,6 +231,12 @@ pub struct FaultCampaign<'a> {
     /// The exhaustive address sequence `0..2^n`, packed into lane blocks
     /// once at construction.
     addresses: Vec<u32>,
+    /// The lowered netlist, compiled once and reused by every trial.
+    compiled: CompiledNetlist,
+    /// The engine the campaign runs on: the process-default backend,
+    /// resolved at construction (`Scalar` routes every trial through
+    /// the scalar reference engine).
+    backend: SimBackend,
 }
 
 impl<'a> FaultCampaign<'a> {
@@ -252,15 +259,26 @@ impl<'a> FaultCampaign<'a> {
         }
         let words = 1u32 << inst.inputs();
         let addresses: Vec<u32> = (0..words).collect();
-        let mut sim = inst.batch_simulator()?;
-        let mut golden = vec![0u32; words as usize];
-        for (block_in, block_out) in addresses.chunks(LANES).zip(golden.chunks_mut(LANES)) {
-            inst.read_block(&mut sim, block_in, block_out);
-        }
+        let compiled = inst.compile()?;
+        let backend = default_sim_options().backend.resolve();
+        let golden = if backend == SimBackend::Scalar {
+            let mut sim = inst.simulator()?;
+            addresses.iter().map(|&x| inst.read(&mut sim, x)).collect()
+        } else {
+            let mut sim = inst.wide_simulator(&compiled, backend)?;
+            let lanes = sim.lanes_per_block();
+            let mut golden = vec![0u32; words as usize];
+            for (block_in, block_out) in addresses.chunks(lanes).zip(golden.chunks_mut(lanes)) {
+                inst.read_block_wide(&mut sim, block_in, block_out)?;
+            }
+            golden
+        };
         Ok(Self {
             inst,
             golden,
             addresses,
+            compiled,
+            backend,
         })
     }
 
@@ -270,8 +288,8 @@ impl<'a> FaultCampaign<'a> {
     }
 
     /// Runs one campaign: `trials` independent corruptions of the stored
-    /// bits under `model`, each evaluated exhaustively on the batched
-    /// engine against the hoisted baseline.
+    /// bits under `model`, each evaluated exhaustively on the
+    /// campaign's backend against the hoisted baseline.
     ///
     /// Deterministic in `seed`: equal arguments give an identical report,
     /// bit-identical to the scalar engine's.
@@ -320,18 +338,44 @@ impl<'a> FaultCampaign<'a> {
         let mut sum_ed = 0.0f64;
         let mut max_ed = 0u32;
         let mut blocks = 0u64;
-        let mut outs = [0u32; LANES];
+        let lanes = if self.backend == SimBackend::Scalar {
+            1
+        } else {
+            self.backend.lanes()
+        };
+        let mut outs = vec![0u32; lanes];
         for _ in 0..trials {
             let mut stored = self.inst.presets().to_vec();
             flipped_bits += model.apply(&mut stored, &mut rng);
-            let mut sim = self.inst.batch_simulator_with_presets(&stored)?;
+            let mut scalar_sim = if self.backend == SimBackend::Scalar {
+                Some(self.inst.simulator_with_presets(&stored)?)
+            } else {
+                None
+            };
+            let mut wide_sim = if self.backend == SimBackend::Scalar {
+                None
+            } else {
+                Some(self.inst.wide_simulator_with_presets(
+                    &self.compiled,
+                    self.backend,
+                    &stored,
+                )?)
+            };
             let mut base = 0u64;
-            for (block_in, golden) in self.addresses.chunks(LANES).zip(self.golden.chunks(LANES)) {
+            for (block_in, golden) in self.addresses.chunks(lanes).zip(self.golden.chunks(lanes)) {
                 if base >= active {
                     break;
                 }
                 let outs = &mut outs[..block_in.len()];
-                self.inst.read_block(&mut sim, block_in, outs);
+                match (&mut scalar_sim, &mut wide_sim) {
+                    (Some(sim), _) => {
+                        for (slot, &x) in outs.iter_mut().zip(block_in) {
+                            *slot = self.inst.read(sim, x);
+                        }
+                    }
+                    (None, Some(sim)) => self.inst.read_block_wide(sim, block_in, outs)?,
+                    (None, None) => unreachable!("one engine is always constructed"),
+                }
                 blocks += 1;
                 for (lane, (&y, &g)) in outs.iter().zip(golden).enumerate() {
                     if base + lane as u64 >= active {
@@ -350,7 +394,7 @@ impl<'a> FaultCampaign<'a> {
         let reads = words * trials as u64;
         if observer.enabled() {
             observer.on_event(&SearchEvent::SimBatch {
-                engine: "batch".to_string(),
+                engine: self.backend.to_string(),
                 cycles: reads,
                 blocks,
             });

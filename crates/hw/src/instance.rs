@@ -2,10 +2,13 @@
 //! energy per read — the paper's Fig. 5 metrics).
 
 use crate::arch::HwError;
+use crate::simopt::{default_sim_options, SimOptions};
+use dalut_core::parallel::run_tasks;
 use dalut_core::{NoopObserver, Observer, SearchEvent};
 use dalut_netlist::{
-    area_um2, critical_path_ns, power_report, BatchSimulator, CellLibrary, DomainId, NetId,
-    Netlist, NetlistError, PowerReport, Simulator, LANES,
+    area_um2, critical_path_ns, merge_chunk_stats, power_report, BatchSimulator, CellLibrary,
+    ChunkStats, CompiledNetlist, DomainId, NetId, Netlist, NetlistError, PowerReport, SimBackend,
+    Simulator, WideSimulator, LANES,
 };
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -245,17 +248,32 @@ impl ArchInstance {
     /// toggle/activity statistics) are bit-identical to calling
     /// [`read`](Self::read) per element on a scalar simulator.
     ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadLaneCount`] if `reads` is empty or
+    /// longer than [`LANES`], and [`NetlistError::PortWidthMismatch`]
+    /// if `out` differs in length from `reads`.
+    ///
     /// # Panics
     ///
-    /// Panics if `reads` is empty or longer than [`LANES`], `out` differs
-    /// in length, or the instance interface exceeds 64 bits either way.
-    pub fn read_block(&self, sim: &mut BatchSimulator<'_>, reads: &[u32], out: &mut [u32]) {
+    /// Panics if the instance interface exceeds 64 bits either way.
+    pub fn read_block(
+        &self,
+        sim: &mut BatchSimulator<'_>,
+        reads: &[u32],
+        out: &mut [u32],
+    ) -> Result<(), NetlistError> {
         let lanes = reads.len();
-        assert!(
-            (1..=LANES).contains(&lanes),
-            "a read block holds 1..={LANES} reads"
-        );
-        assert_eq!(out.len(), lanes, "one output per read");
+        if !(1..=LANES).contains(&lanes) {
+            return Err(NetlistError::BadLaneCount { lanes, max: LANES });
+        }
+        if out.len() != lanes {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "output",
+                expected: lanes,
+                got: out.len(),
+            });
+        }
         assert!(
             self.inputs <= 64 && self.outputs <= 64,
             "read_block supports interfaces up to 64 bits"
@@ -272,7 +290,7 @@ impl ArchInstance {
             &in_words[..self.inputs],
             lanes,
             &mut out_words[..self.outputs],
-        );
+        )?;
         for (l, slot) in out.iter_mut().enumerate() {
             let mut y = 0u32;
             for (k, word) in out_words[..self.outputs].iter().enumerate() {
@@ -280,11 +298,157 @@ impl ArchInstance {
             }
             *slot = y;
         }
+        Ok(())
+    }
+
+    /// Lowers the instance's netlist into the compiled
+    /// structure-of-arrays form the wide engines run on. Compile once,
+    /// then instantiate any number of [`WideSimulator`]s (or chunk
+    /// workers) over the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn compile(&self) -> Result<CompiledNetlist, NetlistError> {
+        CompiledNetlist::compile(&self.netlist)
+    }
+
+    /// Creates a wide (compiled-engine) simulator for `backend` with
+    /// ROM contents preset and gated domains disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a preset targets a non-DFF net.
+    pub fn wide_simulator<'c>(
+        &self,
+        compiled: &'c CompiledNetlist,
+        backend: SimBackend,
+    ) -> Result<WideSimulator<'c>, NetlistError> {
+        self.wide_simulator_with_presets(compiled, backend, &self.presets)
+    }
+
+    /// Like [`wide_simulator`](Self::wide_simulator), but loads the
+    /// caller's copy of the stored bits — the wide entry point for
+    /// fault injection and the runtime error monitors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a preset targets a non-DFF net.
+    pub fn wide_simulator_with_presets<'c>(
+        &self,
+        compiled: &'c CompiledNetlist,
+        backend: SimBackend,
+        presets: &[(NetId, bool)],
+    ) -> Result<WideSimulator<'c>, NetlistError> {
+        let mut sim = WideSimulator::new(compiled, backend);
+        for &(q, v) in presets {
+            sim.preset_dff(q, v)?;
+        }
+        for &d in &self.disabled {
+            sim.set_domain_enabled(d, false);
+        }
+        Ok(sim)
+    }
+
+    /// Performs up to [`WideSimulator::lanes_per_block`] read
+    /// operations as one wide lane block; the generalisation of
+    /// [`read_block`](Self::read_block) to any backend width. Results
+    /// and activity statistics are bit-identical to the scalar engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadLaneCount`] /
+    /// [`NetlistError::PortWidthMismatch`] on malformed calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance interface exceeds 64 bits either way.
+    pub fn read_block_wide(
+        &self,
+        sim: &mut WideSimulator<'_>,
+        reads: &[u32],
+        out: &mut [u32],
+    ) -> Result<(), NetlistError> {
+        let lanes = reads.len();
+        let max = sim.lanes_per_block();
+        if !(1..=max).contains(&lanes) {
+            return Err(NetlistError::BadLaneCount { lanes, max });
+        }
+        if out.len() != lanes {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "output",
+                expected: lanes,
+                got: out.len(),
+            });
+        }
+        assert!(
+            self.inputs <= 64 && self.outputs <= 64,
+            "read_block_wide supports interfaces up to 64 bits"
+        );
+        let limbs = sim.limbs_per_word();
+        let mut in_words = vec![0u64; self.inputs * limbs];
+        for (l, &x) in reads.iter().enumerate() {
+            let x = u64::from(x);
+            for k in 0..self.inputs {
+                in_words[k * limbs + l / 64] |= ((x >> k) & 1) << (l % 64);
+            }
+        }
+        let mut out_words = vec![0u64; self.outputs * limbs];
+        sim.step_block(&in_words, lanes, &mut out_words)?;
+        for (l, slot) in out.iter_mut().enumerate() {
+            let mut y = 0u32;
+            for k in 0..self.outputs {
+                y |= (((out_words[k * limbs + l / 64] >> (l % 64)) & 1) as u32) << k;
+            }
+            *slot = y;
+        }
+        Ok(())
+    }
+
+    /// Simulates `reads` with the process-default backend and returns
+    /// the outputs only (no power report) — the entry point for
+    /// functional checks and the runtime controller's error monitors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn read_sequence(&self, reads: &[u32]) -> Result<Vec<u32>, NetlistError> {
+        self.read_sequence_with_presets(&self.presets, reads)
+    }
+
+    /// [`read_sequence`](Self::read_sequence) over the caller's copy of
+    /// the stored bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn read_sequence_with_presets(
+        &self,
+        presets: &[(NetId, bool)],
+        reads: &[u32],
+    ) -> Result<Vec<u32>, NetlistError> {
+        let backend = default_sim_options().backend;
+        let mut outs = vec![0u32; reads.len()];
+        if backend == SimBackend::Scalar {
+            let mut sim = self.simulator_with_presets(presets)?;
+            for (slot, &x) in outs.iter_mut().zip(reads) {
+                *slot = self.read(&mut sim, x);
+            }
+            return Ok(outs);
+        }
+        let compiled = self.compile()?;
+        let mut sim = self.wide_simulator_with_presets(&compiled, backend, presets)?;
+        let lanes = sim.lanes_per_block();
+        for (block_in, block_out) in reads.chunks(lanes).zip(outs.chunks_mut(lanes)) {
+            self.read_block_wide(&mut sim, block_in, block_out)?;
+        }
+        Ok(outs)
     }
 
     /// Simulates the given read sequence and returns the outputs plus the
-    /// energy report. Runs on the batched 64-way engine; outputs and the
-    /// report are bit-identical to [`measure_scalar`](Self::measure_scalar).
+    /// energy report. Runs on the process-default simulation backend;
+    /// outputs and the report are bit-identical to
+    /// [`measure_scalar`](Self::measure_scalar) on every backend.
     ///
     /// # Errors
     ///
@@ -299,7 +463,10 @@ impl ArchInstance {
     }
 
     /// [`measure`](Self::measure) with an [`Observer`]: emits one
-    /// [`SearchEvent::SimBatch`] summarising the blocks simulated.
+    /// [`SearchEvent::SimBatch`] summarising the blocks simulated. Runs
+    /// with the process-default [`SimOptions`]
+    /// (see [`default_sim_options`]); use
+    /// [`measure_with`](Self::measure_with) for per-call control.
     ///
     /// # Errors
     ///
@@ -311,22 +478,123 @@ impl ArchInstance {
         clock_period_ns: f64,
         observer: &dyn Observer,
     ) -> Result<(Vec<u32>, PowerReport), NetlistError> {
-        let mut sim = self.batch_simulator()?;
-        let mut outs = vec![0u32; reads.len()];
-        let mut blocks = 0u64;
-        for (block_in, block_out) in reads.chunks(LANES).zip(outs.chunks_mut(LANES)) {
-            self.read_block(&mut sim, block_in, block_out);
-            blocks += 1;
+        self.measure_with(
+            reads,
+            lib,
+            clock_period_ns,
+            &default_sim_options(),
+            observer,
+        )
+    }
+
+    /// Simulates `reads` under explicit [`SimOptions`]: the scalar
+    /// reference, any wide backend, or — when `opts.threads > 1`, the
+    /// netlist is [chunk-parallel safe](CompiledNetlist::chunk_parallel_safe)
+    /// and the trace spans at least two chunks — block-parallel
+    /// stimulus over the worker pool with exact carry stitching.
+    /// Outputs and the report are bit-identical across every path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn measure_with(
+        &self,
+        reads: &[u32],
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+        opts: &SimOptions,
+        observer: &dyn Observer,
+    ) -> Result<(Vec<u32>, PowerReport), NetlistError> {
+        let backend = opts.backend.resolve();
+        if backend == SimBackend::Scalar {
+            let result = self.measure_scalar(reads, lib, clock_period_ns)?;
+            if observer.enabled() {
+                observer.on_event(&SearchEvent::SimBatch {
+                    engine: "scalar".to_string(),
+                    cycles: reads.len() as u64,
+                    blocks: reads.len() as u64,
+                });
+            }
+            return Ok(result);
         }
+
+        let compiled = self.compile()?;
+        let mut enabled = vec![true; self.netlist.domains().len()];
+        for d in &self.disabled {
+            enabled[d.index()] = false;
+        }
+        let chunk = opts.chunk_cycles.max(1);
+        let chunked =
+            opts.threads > 1 && reads.len() >= 2 * chunk && compiled.chunk_parallel_safe(&enabled);
+        let (outs, report, blocks) = if chunked {
+            self.measure_chunked(reads, lib, clock_period_ns, &compiled, backend, opts)?
+        } else {
+            let mut sim = self.wide_simulator(&compiled, backend)?;
+            let lanes = sim.lanes_per_block();
+            let mut outs = vec![0u32; reads.len()];
+            let mut blocks = 0u64;
+            for (block_in, block_out) in reads.chunks(lanes).zip(outs.chunks_mut(lanes)) {
+                self.read_block_wide(&mut sim, block_in, block_out)?;
+                blocks += 1;
+            }
+            let report = power_report(&self.netlist, &sim, lib, clock_period_ns);
+            (outs, report, blocks)
+        };
         if observer.enabled() {
             observer.on_event(&SearchEvent::SimBatch {
-                engine: "batch".to_string(),
+                engine: backend.to_string(),
                 cycles: reads.len() as u64,
                 blocks,
             });
         }
-        let report = power_report(&self.netlist, &sim, lib, clock_period_ns);
         Ok((outs, report))
+    }
+
+    /// The block-parallel path of [`measure_with`](Self::measure_with):
+    /// fixed-size stimulus chunks fan out over the worker pool, each on
+    /// its own wide simulator, and the per-chunk activity is merged
+    /// with exact carry stitching. Chunk boundaries depend only on
+    /// `opts.chunk_cycles`, never on the thread count, so results are
+    /// bit-identical at any parallelism level.
+    fn measure_chunked(
+        &self,
+        reads: &[u32],
+        lib: &CellLibrary,
+        clock_period_ns: f64,
+        compiled: &CompiledNetlist,
+        backend: SimBackend,
+        opts: &SimOptions,
+    ) -> Result<(Vec<u32>, PowerReport, u64), NetlistError> {
+        type ChunkResult = Result<(Vec<u32>, ChunkStats, u64), NetlistError>;
+        let chunk = opts.chunk_cycles.max(1);
+        let tasks: Vec<_> = reads
+            .chunks(chunk)
+            .map(|chunk_reads| {
+                move || -> ChunkResult {
+                    let mut sim = self.wide_simulator(compiled, backend)?;
+                    let lanes = sim.lanes_per_block();
+                    let mut outs = vec![0u32; chunk_reads.len()];
+                    let mut blocks = 0u64;
+                    for (bi, bo) in chunk_reads.chunks(lanes).zip(outs.chunks_mut(lanes)) {
+                        self.read_block_wide(&mut sim, bi, bo)?;
+                        blocks += 1;
+                    }
+                    Ok((outs, sim.chunk_stats(), blocks))
+                }
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(reads.len());
+        let mut stats = Vec::new();
+        let mut blocks = 0u64;
+        for slot in run_tasks(tasks, opts.threads) {
+            let (chunk_outs, chunk_stats, chunk_blocks) = slot?;
+            outs.extend(chunk_outs);
+            stats.push(chunk_stats);
+            blocks += chunk_blocks;
+        }
+        let merged = merge_chunk_stats(compiled, &stats);
+        let report = power_report(&self.netlist, &merged, lib, clock_period_ns);
+        Ok((outs, report, blocks))
     }
 
     /// The scalar (one-cycle-at-a-time) reference for
@@ -601,17 +869,74 @@ mod tests {
         inst.measure_observed(&reads, &lib, 1.0, &obs).unwrap();
         let events = obs.events();
         assert_eq!(events.len(), 1);
+        // The default backend is `auto`, which resolves per CPU — the
+        // event must name the resolved wide backend and count its
+        // (width-dependent) blocks.
+        let resolved = SimBackend::Auto.resolve();
         match &events[0] {
             SearchEvent::SimBatch {
                 engine,
                 cycles,
                 blocks,
             } => {
-                assert_eq!(engine, "batch");
+                assert_eq!(engine, &resolved.to_string());
                 assert_eq!(*cycles, 65);
-                assert_eq!(*blocks, 2);
+                assert_eq!(*blocks, 65u64.div_ceil(resolved.lanes() as u64));
             }
             other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_backend_measures_identically() {
+        let (inst, _) = instance(9);
+        let lib = CellLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(13);
+        let reads: Vec<u32> = (0..300).map(|_| rng.random_range(0..64)).collect();
+        let (ref_outs, ref_power) = inst.measure_scalar(&reads, &lib, 1.0).unwrap();
+        for backend in SimBackend::all_wide() {
+            let opts = SimOptions {
+                backend,
+                ..SimOptions::default()
+            };
+            let (outs, power) = inst
+                .measure_with(&reads, &lib, 1.0, &opts, &NoopObserver)
+                .unwrap();
+            assert_eq!(outs, ref_outs, "{backend}: outputs diverged");
+            assert_eq!(power, ref_power, "{backend}: power diverged");
+        }
+        // Explicit scalar routing through measure_with matches too.
+        let opts = SimOptions {
+            backend: SimBackend::Scalar,
+            ..SimOptions::default()
+        };
+        let (outs, power) = inst
+            .measure_with(&reads, &lib, 1.0, &opts, &NoopObserver)
+            .unwrap();
+        assert_eq!((outs, power), (ref_outs, ref_power));
+    }
+
+    #[test]
+    fn chunk_parallel_measure_is_bit_identical() {
+        let (inst, _) = instance(10);
+        let lib = CellLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(17);
+        let reads: Vec<u32> = (0..1000).map(|_| rng.random_range(0..64)).collect();
+        let (ref_outs, ref_power) = inst.measure_scalar(&reads, &lib, 1.0).unwrap();
+        // A LUT instance is all ROM bits, so the chunk path engages.
+        let compiled = inst.compile().unwrap();
+        assert!(compiled.chunk_parallel_safe(&[true; 64][..inst.netlist().domains().len()]));
+        for threads in [2usize, 3, 7] {
+            let opts = SimOptions {
+                backend: SimBackend::Auto,
+                threads,
+                chunk_cycles: 128, // small chunks so several actually form
+            };
+            let (outs, power) = inst
+                .measure_with(&reads, &lib, 1.0, &opts, &NoopObserver)
+                .unwrap();
+            assert_eq!(outs, ref_outs, "{threads} threads: outputs diverged");
+            assert_eq!(power, ref_power, "{threads} threads: power diverged");
         }
     }
 

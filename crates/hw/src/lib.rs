@@ -45,6 +45,7 @@ pub mod lut;
 pub mod reprogram;
 pub mod rounding;
 pub mod routing;
+pub mod simopt;
 
 pub use arch::{build_approx_lut, ArchStyle, HwError};
 pub use cache::InstanceCache;
@@ -53,3 +54,4 @@ pub use instance::{characterize, characterize_observed, ArchInstance, ArchReport
 pub use lut::{dff_lut, dff_lut_multi, dff_lut_writable, gate_address, LutInstance, WritableLut};
 pub use reprogram::WritableBoundTable;
 pub use rounding::{build_round_in, build_round_out, round_in_table, round_out_table};
+pub use simopt::{default_sim_options, set_default_sim_options, SimOptions, CHUNK_CYCLES};

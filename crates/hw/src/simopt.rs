@@ -1,0 +1,68 @@
+//! Process-wide simulation options for the sign-off path.
+//!
+//! Harness binaries parse `--sim-backend` (and `--threads`) once and
+//! install the result here with [`set_default_sim_options`]; every
+//! measurement that doesn't take explicit options —
+//! [`characterize`](crate::characterize), fault campaigns, the runtime
+//! controller's error monitors — picks the process default up via
+//! [`default_sim_options`]. This threads the backend choice through
+//! the whole call graph without widening a dozen signatures, while
+//! [`ArchInstance::measure_with`](crate::ArchInstance::measure_with)
+//! remains the explicit entry point for callers that need per-call
+//! control.
+//!
+//! Every backend is bit-identical (the differential equivalence suites
+//! are the gate), so the options only ever change speed, never any
+//! measured number.
+
+use dalut_netlist::SimBackend;
+use std::sync::Mutex;
+
+/// Stimulus cycles per independent chunk when the block-parallel path
+/// runs. Fixed — never derived from the thread count — so the chunk
+/// boundaries, and therefore the exact stitched toggle sums, are
+/// identical at any parallelism level.
+pub const CHUNK_CYCLES: usize = 4096;
+
+/// How the sign-off simulations should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Engine choice (`Auto` resolves per CPU; see
+    /// [`SimBackend::resolve`]).
+    pub backend: SimBackend,
+    /// Worker threads for block-parallel stimulus. `1` disables
+    /// chunking entirely; higher values only take effect on
+    /// chunk-parallel-safe netlists with enough stimulus (at least two
+    /// chunks of [`CHUNK_CYCLES`]).
+    pub threads: usize,
+    /// Cycles per chunk for the block-parallel path.
+    pub chunk_cycles: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            backend: SimBackend::Auto,
+            threads: 1,
+            chunk_cycles: CHUNK_CYCLES,
+        }
+    }
+}
+
+static DEFAULT: Mutex<SimOptions> = Mutex::new(SimOptions {
+    backend: SimBackend::Auto,
+    threads: 1,
+    chunk_cycles: CHUNK_CYCLES,
+});
+
+/// Installs the process-wide default simulation options (called once
+/// by harness binaries after argument parsing).
+pub fn set_default_sim_options(opts: SimOptions) {
+    *DEFAULT.lock().unwrap_or_else(|e| e.into_inner()) = opts;
+}
+
+/// The current process-wide default simulation options.
+#[must_use]
+pub fn default_sim_options() -> SimOptions {
+    *DEFAULT.lock().unwrap_or_else(|e| e.into_inner())
+}

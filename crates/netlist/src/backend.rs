@@ -1,0 +1,278 @@
+//! Simulation backend selection and the width-erased wide simulator.
+//!
+//! The sign-off harnesses pick an engine with `--sim-backend
+//! {scalar,u64,w256,w512,auto}` ([`SimBackend`]): `scalar` is the
+//! cycle-at-a-time reference [`Simulator`](crate::sim::Simulator), the
+//! rest are [`CompiledSimulator`] widths (64/256/512 lanes per block).
+//! Every wide backend is available on every machine — the kernel body
+//! is portable array code — and runtime CPU detection only decides
+//! which instruction-set compilation of that body runs
+//! ([`detect_isa`]), so `auto` resolves to the widest word the CPU can
+//! vectorize natively without ever changing results.
+
+use crate::compiled::{ChunkStats, CompiledNetlist, CompiledSimulator, Isa};
+use crate::netlist::{DomainId, NetlistError};
+use crate::power::Activity;
+use crate::wide::{W256, W512, W64};
+use crate::NetId;
+use std::fmt;
+use std::str::FromStr;
+
+/// A simulation engine choice for the sign-off path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimBackend {
+    /// Cycle-at-a-time scalar reference engine.
+    Scalar,
+    /// Compiled engine, 64 lanes per block (one `u64` limb).
+    U64,
+    /// Compiled engine, 256 lanes per block (four limbs).
+    W256,
+    /// Compiled engine, 512 lanes per block (eight limbs).
+    W512,
+    /// The widest word the CPU vectorizes natively (see
+    /// [`SimBackend::resolve`]).
+    Auto,
+}
+
+impl SimBackend {
+    /// Resolves `Auto` to a concrete backend for this CPU: `w512` with
+    /// AVX-512F, `w256` with AVX2, `u64` otherwise. Concrete choices
+    /// pass through unchanged.
+    pub fn resolve(self) -> SimBackend {
+        match self {
+            SimBackend::Auto => match detect_isa() {
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx512 => SimBackend::W512,
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx2 => SimBackend::W256,
+                Isa::Portable => SimBackend::U64,
+            },
+            other => other,
+        }
+    }
+
+    /// Lanes (stimulus cycles) per block for the resolved backend;
+    /// `scalar` steps one cycle at a time.
+    pub fn lanes(self) -> usize {
+        match self.resolve() {
+            SimBackend::Scalar => 1,
+            SimBackend::U64 => 64,
+            SimBackend::W256 => 256,
+            SimBackend::W512 => 512,
+            SimBackend::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    /// The three wide (compiled-engine) backends, narrowest first.
+    pub fn all_wide() -> [SimBackend; 3] {
+        [SimBackend::U64, SimBackend::W256, SimBackend::W512]
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimBackend::Scalar => "scalar",
+            SimBackend::U64 => "u64",
+            SimBackend::W256 => "w256",
+            SimBackend::W512 => "w512",
+            SimBackend::Auto => "auto",
+        })
+    }
+}
+
+impl FromStr for SimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(SimBackend::Scalar),
+            "u64" => Ok(SimBackend::U64),
+            "w256" => Ok(SimBackend::W256),
+            "w512" => Ok(SimBackend::W512),
+            "auto" => Ok(SimBackend::Auto),
+            other => Err(format!(
+                "unknown sim backend '{other}' (expected scalar, u64, w256, w512 or auto)"
+            )),
+        }
+    }
+}
+
+/// Detects the best instruction set the CPU supports for the compiled
+/// kernel. The result only affects speed, never values.
+pub(crate) fn detect_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Isa::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Isa::Avx2;
+        }
+    }
+    Isa::Portable
+}
+
+/// Human-readable name of the instruction set the compiled kernels
+/// will run with on this machine (`"avx512f"`, `"avx2"` or
+/// `"portable"`); reported in `BENCH_sim.json` so CI logs show what a
+/// given run exercised.
+pub fn detected_isa() -> &'static str {
+    match detect_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => "avx512f",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => "avx2",
+        Isa::Portable => "portable",
+    }
+}
+
+/// A width-erased [`CompiledSimulator`]: one enum over the three
+/// [`WideWord`] widths, exposing a uniform limb-slice API so harness
+/// code can hold "some wide engine" chosen at runtime by
+/// [`SimBackend`].
+#[derive(Debug)]
+pub enum WideSimulator<'a> {
+    /// 64 lanes per block.
+    U64(CompiledSimulator<'a, W64>),
+    /// 256 lanes per block.
+    W256(CompiledSimulator<'a, W256>),
+    /// 512 lanes per block.
+    W512(CompiledSimulator<'a, W512>),
+}
+
+macro_rules! each_width {
+    ($self:expr, $sim:ident => $body:expr) => {
+        match $self {
+            WideSimulator::U64($sim) => $body,
+            WideSimulator::W256($sim) => $body,
+            WideSimulator::W512($sim) => $body,
+        }
+    };
+}
+
+impl<'a> WideSimulator<'a> {
+    /// Creates a simulator for `backend` (`Auto` resolves per
+    /// [`SimBackend::resolve`]; `Scalar` is not a wide engine and maps
+    /// to `U64` — callers wanting the scalar reference use
+    /// [`Simulator`](crate::sim::Simulator) directly).
+    pub fn new(compiled: &'a CompiledNetlist, backend: SimBackend) -> Self {
+        match backend.resolve() {
+            SimBackend::W256 => WideSimulator::W256(CompiledSimulator::new(compiled)),
+            SimBackend::W512 => WideSimulator::W512(CompiledSimulator::new(compiled)),
+            _ => WideSimulator::U64(CompiledSimulator::new(compiled)),
+        }
+    }
+
+    /// Like [`WideSimulator::new`] but pinned to the portable kernel
+    /// compilation, ignoring CPU feature detection (differential-test
+    /// coverage for machines without AVX).
+    pub fn new_portable(compiled: &'a CompiledNetlist, backend: SimBackend) -> Self {
+        match backend.resolve() {
+            SimBackend::W256 => WideSimulator::W256(CompiledSimulator::new_portable(compiled)),
+            SimBackend::W512 => WideSimulator::W512(CompiledSimulator::new_portable(compiled)),
+            _ => WideSimulator::U64(CompiledSimulator::new_portable(compiled)),
+        }
+    }
+
+    /// Lanes (stimulus cycles) per block.
+    pub fn lanes_per_block(&self) -> usize {
+        each_width!(self, s => s.lanes_per_block())
+    }
+
+    /// `u64` limbs per lane word (`lanes_per_block() / 64`).
+    pub fn limbs_per_word(&self) -> usize {
+        self.lanes_per_block() / 64
+    }
+
+    /// Presets a DFF's stored value before simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotADff`] if `net` is not a DFF.
+    pub fn preset_dff(&mut self, net: NetId, value: bool) -> Result<(), NetlistError> {
+        each_width!(self, s => s.preset_dff(net, value))
+    }
+
+    /// Enables or disables a clock domain between blocks.
+    pub fn set_domain_enabled(&mut self, domain: DomainId, enabled: bool) {
+        each_width!(self, s => s.set_domain_enabled(domain, enabled));
+    }
+
+    /// Steps `lanes` cycles at once; buffers hold `limbs_per_word()`
+    /// words per port (see [`CompiledSimulator::step_block`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadLaneCount`] /
+    /// [`NetlistError::PortWidthMismatch`] on malformed calls.
+    pub fn step_block(
+        &mut self,
+        inputs: &[u64],
+        lanes: usize,
+        out: &mut [u64],
+    ) -> Result<(), NetlistError> {
+        each_width!(self, s => s.step_block(inputs, lanes, out))
+    }
+
+    /// All per-net toggle counters.
+    pub fn toggles(&self) -> &[u64] {
+        each_width!(self, s => s.toggles())
+    }
+
+    /// Cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        each_width!(self, s => s.cycles())
+    }
+
+    /// Clocked cycles accumulated per domain.
+    pub fn domain_active_cycles(&self) -> &[u64] {
+        each_width!(self, s => s.domain_active_cycles())
+    }
+
+    /// Extracts chunk statistics for
+    /// [`merge_chunk_stats`](crate::compiled::merge_chunk_stats).
+    pub fn chunk_stats(&self) -> ChunkStats {
+        each_width!(self, s => s.chunk_stats())
+    }
+}
+
+impl Activity for WideSimulator<'_> {
+    fn toggles(&self) -> &[u64] {
+        WideSimulator::toggles(self)
+    }
+    fn cycles(&self) -> u64 {
+        WideSimulator::cycles(self)
+    }
+    fn domain_active_cycles(&self) -> &[u64] {
+        WideSimulator::domain_active_cycles(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_strings_round_trip() {
+        for b in [
+            SimBackend::Scalar,
+            SimBackend::U64,
+            SimBackend::W256,
+            SimBackend::W512,
+            SimBackend::Auto,
+        ] {
+            assert_eq!(b.to_string().parse::<SimBackend>(), Ok(b));
+        }
+        assert!("gpu".parse::<SimBackend>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_wide_backend() {
+        let resolved = SimBackend::Auto.resolve();
+        assert_ne!(resolved, SimBackend::Auto);
+        assert_ne!(resolved, SimBackend::Scalar);
+        assert!(SimBackend::all_wide().contains(&resolved));
+        assert_eq!(resolved.lanes() % 64, 0);
+    }
+}

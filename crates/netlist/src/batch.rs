@@ -64,7 +64,7 @@ pub const LANES: usize = 64;
 /// let mut batch = BatchSimulator::new(&nl).unwrap();
 /// let mut out = [0u64; 1];
 /// // Lanes are cycles: a = 0,1,0,1  b = 0,0,1,1  ->  y = 0,1,1,0.
-/// batch.step_block(&[0b1010, 0b1100], 4, &mut out);
+/// batch.step_block(&[0b1010, 0b1100], 4, &mut out).unwrap();
 /// assert_eq!(out[0], 0b0110);
 /// assert_eq!(batch.cycles(), 4);
 /// ```
@@ -159,19 +159,36 @@ impl<'a> BatchSimulator<'a> {
     /// `k`'s lane word. A final ragged block (`lanes < 64`) counts
     /// exactly `lanes` cycles and no phantom toggles.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `lanes` is 0 or exceeds [`LANES`], or the slice lengths
-    /// differ from the port counts.
-    pub fn step_block(&mut self, inputs: &[u64], lanes: usize, out: &mut [u64]) {
-        assert!((1..=LANES).contains(&lanes), "lanes must be in 1..={LANES}");
+    /// Returns [`NetlistError::BadLaneCount`] if `lanes` is 0 or exceeds
+    /// [`LANES`], and [`NetlistError::PortWidthMismatch`] if a slice
+    /// length differs from the port count. The simulator state is
+    /// untouched on error.
+    pub fn step_block(
+        &mut self,
+        inputs: &[u64],
+        lanes: usize,
+        out: &mut [u64],
+    ) -> Result<(), NetlistError> {
+        if !(1..=LANES).contains(&lanes) {
+            return Err(NetlistError::BadLaneCount { lanes, max: LANES });
+        }
         let ports = self.netlist.inputs();
-        assert_eq!(inputs.len(), ports.len(), "primary input count mismatch");
-        assert_eq!(
-            out.len(),
-            self.netlist.outputs().len(),
-            "primary output count mismatch"
-        );
+        if inputs.len() != ports.len() {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "input",
+                expected: ports.len(),
+                got: inputs.len(),
+            });
+        }
+        if out.len() != self.netlist.outputs().len() {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "output",
+                expected: self.netlist.outputs().len(),
+                got: out.len(),
+            });
+        }
         let mask = if lanes == LANES {
             u64::MAX
         } else {
@@ -274,6 +291,7 @@ impl<'a> BatchSimulator<'a> {
                 self.words[i]
             };
         }
+        Ok(())
     }
 
     /// Total toggles of net `net` so far.
@@ -345,7 +363,9 @@ mod tests {
                     *word |= u64::from(stimulus[cursor + l][k]) << l;
                 }
             }
-            batch.step_block(&words, lanes, &mut batch_out);
+            batch
+                .step_block(&words, lanes, &mut batch_out)
+                .expect("well-formed block");
             for l in 0..lanes {
                 let scalar_out = scalar.step(&stimulus[cursor + l]);
                 for (k, &s) in scalar_out.iter().enumerate() {
@@ -425,8 +445,8 @@ mod tests {
         let mut batch = BatchSimulator::new(&nl).unwrap();
         batch.preset_dff(q0, true).unwrap();
         let mut out = [0u64; 2];
-        batch.step_block(&[], 64, &mut out);
-        batch.step_block(&[], 7, &mut out);
+        batch.step_block(&[], 64, &mut out).unwrap();
+        batch.step_block(&[], 7, &mut out).unwrap();
         assert_eq!(out[0], 0x7F); // all 7 lanes high
         assert_eq!(out[1], 0);
         assert_eq!(batch.toggle_count(q0), 0);
@@ -473,18 +493,47 @@ mod tests {
         assert_parity(&nl, &stim, &[]);
         let mut batch = BatchSimulator::new(&nl).unwrap();
         let mut out = [0u64; 1];
-        batch.step_block(&[0], 64, &mut out);
-        batch.step_block(&[u64::MAX], 64, &mut out);
+        batch.step_block(&[0], 64, &mut out).unwrap();
+        batch.step_block(&[u64::MAX], 64, &mut out).unwrap();
         assert_eq!(batch.toggle_count(y), 1);
     }
 
     #[test]
-    #[should_panic(expected = "lanes must be in 1..=")]
-    fn zero_lanes_is_rejected() {
+    fn malformed_blocks_are_typed_errors() {
         let mut nl = Netlist::new("z");
         let a = nl.input("a");
         nl.output("y", a);
         let mut batch = BatchSimulator::new(&nl).unwrap();
-        batch.step_block(&[0], 0, &mut [0]);
+        assert_eq!(
+            batch.step_block(&[0], 0, &mut [0]),
+            Err(NetlistError::BadLaneCount { lanes: 0, max: 64 })
+        );
+        assert_eq!(
+            batch.step_block(&[0], LANES + 1, &mut [0]),
+            Err(NetlistError::BadLaneCount {
+                lanes: LANES + 1,
+                max: 64
+            })
+        );
+        assert_eq!(
+            batch.step_block(&[0, 0], 4, &mut [0]),
+            Err(NetlistError::PortWidthMismatch {
+                role: "input",
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            batch.step_block(&[0], 4, &mut []),
+            Err(NetlistError::PortWidthMismatch {
+                role: "output",
+                expected: 1,
+                got: 0
+            })
+        );
+        // Rejected calls leave the engine untouched.
+        assert_eq!(batch.cycles(), 0);
+        assert!(batch.step_block(&[0b1], 1, &mut [0]).is_ok());
+        assert_eq!(batch.cycles(), 1);
     }
 }

@@ -1,0 +1,769 @@
+//! Compiled structure-of-arrays simulation: level-scheduled gate runs
+//! over [`WideWord`] lane bundles.
+//!
+//! [`CompiledNetlist`] lowers the per-gate `Vec<Cell>` graph once into
+//! flat tables — operand indices in structure-of-arrays form, sorted
+//! into topological *levels* and grouped into maximal same-kind
+//! [`Run`]s — so a combinational settle pass is a handful of
+//! branch-light loops over contiguous arrays instead of a per-cell
+//! `match`. [`CompiledSimulator`] then replays the exact semantics of
+//! [`BatchSimulator`](crate::batch::BatchSimulator) (DESIGN.md §10)
+//! over any [`WideWord`] width: the carry-linked toggle formula, the
+//! per-domain clock accounting, the DFF lane fixpoint and the
+//! post-edge output visibility rule are all word-width-generic, so
+//! every backend is bit-identical to the scalar reference by the same
+//! argument, lane counts merely growing from 64 to 256/512.
+//!
+//! # Chunk-parallel stimulus
+//!
+//! When every DFF is either a self-loop ROM bit (`D = Q`, the dominant
+//! case in the paper's LUT architectures: state never changes after
+//! preset) or lives in a disabled clock domain (frozen broadcast), any
+//! net's settled value at cycle `c` depends only on the cycle-`c`
+//! primary inputs and the constant presets. Contiguous stimulus chunks
+//! are then independent: each chunk runs on its own
+//! [`CompiledSimulator`], and the only cross-chunk coupling is the
+//! toggle comparison between the last cycle of chunk `k` and the first
+//! cycle of chunk `k + 1`. [`merge_chunk_stats`] performs that exact
+//! *carry stitching*: per-chunk toggle counters are summed, and one
+//! extra toggle is added per counted net per boundary where the
+//! recorded last/first values differ — precisely the toggle the
+//! sequential run would have counted via its carry bit. Enabled ROM
+//! DFF next-state streams are constant, so their stitch term is always
+//! zero, and disabled DFFs are never counted; both match the
+//! sequential engines. Because toggle counters are exact integer sums,
+//! the merged [`Activity`] is bit-identical at any chunk count and any
+//! thread count. [`CompiledNetlist::chunk_parallel_safe`] is the gate.
+
+use crate::cell::CellKind;
+use crate::netlist::{DomainId, Netlist, NetlistError};
+use crate::power::Activity;
+use crate::wide::WideWord;
+use crate::NetId;
+
+/// A maximal span of same-kind cells in the level-sorted instruction
+/// stream; evaluated as one tight loop with a single kind dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    kind: CellKind,
+    start: u32,
+    len: u32,
+}
+
+/// One DFF's lowered slots.
+#[derive(Debug, Clone, Copy)]
+struct DffSlot {
+    /// Net (== cell index) of the DFF itself.
+    net: u32,
+    /// Net feeding the D input.
+    d: u32,
+    /// Clock-domain index.
+    domain: u16,
+    /// True when `d == net` (a preset ROM bit).
+    self_loop: bool,
+}
+
+/// One primary output's lowered slot.
+#[derive(Debug, Clone, Copy)]
+struct OutSlot {
+    /// Net the port reads.
+    net: u32,
+    /// Net whose word is visible post-edge: the D input for an enabled
+    /// DFF, the net itself otherwise.
+    d: u32,
+    /// Clock-domain index (meaningful only when `is_dff`).
+    domain: u16,
+    is_dff: bool,
+}
+
+/// A netlist lowered to flat structure-of-arrays tables, sorted into
+/// topological levels with same-kind runs.
+///
+/// Compile once (per netlist) with [`CompiledNetlist::compile`], then
+/// instantiate any number of [`CompiledSimulator`]s over it — one per
+/// backend width, or one per stimulus chunk for parallel runs.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    n_cells: usize,
+    n_domains: usize,
+    /// Level-sorted same-kind instruction runs.
+    runs: Vec<Run>,
+    /// Destination net per instruction (parallel to `a`/`b`/`c`).
+    dst: Vec<u32>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    c: Vec<u32>,
+    /// Const1 cell indices (Const0 words stay zero and need no pass).
+    const1: Vec<u32>,
+    /// Net per primary input, in port order.
+    input_nets: Vec<u32>,
+    /// Output slots in port order.
+    outputs: Vec<OutSlot>,
+    /// All DFFs in ascending net order.
+    dffs: Vec<DffSlot>,
+    /// All non-DFF cell indices (the unconditionally counted toggles).
+    counted: Vec<u32>,
+    /// Number of combinational levels in the schedule.
+    levels: usize,
+}
+
+impl CompiledNetlist {
+    /// Lowers `netlist` into the flat level-scheduled form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        let cells = netlist.cells();
+        let n = cells.len();
+
+        // Topological level per net: sources (inputs, constants, DFF
+        // outputs) are level 0; a combinational cell sits one past its
+        // deepest operand. `order` is a valid topological order of the
+        // combinational cells, so one pass suffices.
+        let mut level = vec![0u32; n];
+        for &i in &order {
+            let cell = &cells[i as usize];
+            let deepest = cell
+                .inputs()
+                .iter()
+                .map(|inp| level[inp.index()])
+                .max()
+                .unwrap_or(0);
+            level[i as usize] = deepest + 1;
+        }
+
+        // Sort the combinational cells by (level, kind, index): levels
+        // keep the order topological, kind grouping maximises run
+        // length, index keeps the schedule deterministic.
+        let mut sched: Vec<u32> = order.clone();
+        sched.sort_by_key(|&i| (level[i as usize], cells[i as usize].kind as u8, i));
+
+        let mut dst = Vec::with_capacity(sched.len());
+        let mut a = Vec::with_capacity(sched.len());
+        let mut b = Vec::with_capacity(sched.len());
+        let mut c = Vec::with_capacity(sched.len());
+        let mut runs: Vec<Run> = Vec::new();
+        for &i in &sched {
+            let cell = &cells[i as usize];
+            let ins = cell.inputs();
+            match runs.last_mut() {
+                Some(run) if run.kind == cell.kind => run.len += 1,
+                _ => runs.push(Run {
+                    kind: cell.kind,
+                    start: dst.len() as u32,
+                    len: 1,
+                }),
+            }
+            dst.push(i);
+            a.push(ins.first().map_or(0, |x| x.index() as u32));
+            b.push(ins.get(1).map_or(0, |x| x.index() as u32));
+            c.push(ins.get(2).map_or(0, |x| x.index() as u32));
+        }
+
+        let mut const1 = Vec::new();
+        let mut dffs = Vec::new();
+        let mut counted = Vec::with_capacity(n);
+        for (i, cell) in cells.iter().enumerate() {
+            match cell.kind {
+                CellKind::Const1 => {
+                    const1.push(i as u32);
+                    counted.push(i as u32);
+                }
+                CellKind::Dff => {
+                    let d = cell.inputs()[0].index() as u32;
+                    dffs.push(DffSlot {
+                        net: i as u32,
+                        d,
+                        domain: cell.domain() as u16,
+                        self_loop: d == i as u32,
+                    });
+                }
+                _ => counted.push(i as u32),
+            }
+        }
+
+        let outputs = netlist
+            .outputs()
+            .iter()
+            .map(|(_, net)| {
+                let i = net.index();
+                let cell = &cells[i];
+                if cell.kind == CellKind::Dff {
+                    OutSlot {
+                        net: i as u32,
+                        d: cell.inputs()[0].index() as u32,
+                        domain: cell.domain() as u16,
+                        is_dff: true,
+                    }
+                } else {
+                    OutSlot {
+                        net: i as u32,
+                        d: i as u32,
+                        domain: 0,
+                        is_dff: false,
+                    }
+                }
+            })
+            .collect();
+
+        // `sched` is level-sorted, so the last entry carries the depth.
+        let levels = sched.last().map_or(0, |&i| level[i as usize] as usize);
+
+        Ok(Self {
+            n_cells: n,
+            n_domains: netlist.domains().len(),
+            runs,
+            dst,
+            a,
+            b,
+            c,
+            const1,
+            input_nets: netlist
+                .inputs()
+                .iter()
+                .map(|(_, net)| net.index() as u32)
+                .collect(),
+            outputs,
+            dffs,
+            counted,
+            levels,
+        })
+    }
+
+    /// Number of cells in the source netlist.
+    pub fn cell_count(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Number of combinational levels in the schedule.
+    pub fn level_count(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of same-kind instruction runs in the schedule.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when contiguous stimulus chunks are independent given the
+    /// presets and the supplied per-domain enables: every DFF is either
+    /// a self-loop ROM bit or clock-gated off. See the module docs for
+    /// why this licenses block-parallel simulation with carry
+    /// stitching.
+    pub fn chunk_parallel_safe(&self, enabled: &[bool]) -> bool {
+        self.dffs
+            .iter()
+            .all(|d| d.self_loop || !enabled.get(d.domain as usize).copied().unwrap_or(true))
+    }
+}
+
+/// Which instruction set the hot block-step loop is compiled for.
+/// Selected once at simulator construction from runtime CPU detection;
+/// every variant runs the identical portable kernel body, so results
+/// never depend on the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Isa {
+    /// The portable body as rustc compiles it for the baseline target.
+    Portable,
+    /// Body recompiled with AVX2 enabled (256-bit vector limb ops).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// Body recompiled with AVX-512F enabled (512-bit vector limb ops).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// Per-chunk simulation statistics plus the boundary values needed for
+/// exact carry stitching across chunk seams.
+#[derive(Debug, Clone)]
+pub struct ChunkStats {
+    /// Per-net toggle counters accumulated inside the chunk.
+    pub toggles: Vec<u64>,
+    /// Cycles simulated by the chunk.
+    pub cycles: u64,
+    /// Clocked cycles accumulated per domain inside the chunk.
+    pub active_cycles: Vec<u64>,
+    /// Per-net value at the chunk's first cycle (toggle-stream view:
+    /// the D input for enabled DFFs).
+    pub first: Vec<bool>,
+    /// Per-net value at the chunk's last cycle (the carry reference).
+    pub last: Vec<bool>,
+    /// Per-domain enables the chunk ran with.
+    pub enabled: Vec<bool>,
+}
+
+/// Summed-and-stitched activity from a set of chunk runs; implements
+/// [`Activity`] so a [`power_report`](crate::power::power_report) can
+/// be computed directly from a parallel simulation.
+#[derive(Debug, Clone)]
+pub struct MergedActivity {
+    toggles: Vec<u64>,
+    cycles: u64,
+    active_cycles: Vec<u64>,
+}
+
+impl Activity for MergedActivity {
+    fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    fn domain_active_cycles(&self) -> &[u64] {
+        &self.active_cycles
+    }
+}
+
+/// Merges chunk statistics from consecutive stimulus chunks (in
+/// stimulus order) into one exact activity record: counters are
+/// summed, then one toggle is added per counted net per chunk seam
+/// where the left chunk's last value differs from the right chunk's
+/// first value — the toggle a sequential run counts through its carry
+/// bit. Exactness requires [`CompiledNetlist::chunk_parallel_safe`];
+/// see the module docs for the argument.
+pub fn merge_chunk_stats(compiled: &CompiledNetlist, chunks: &[ChunkStats]) -> MergedActivity {
+    let mut merged = MergedActivity {
+        toggles: vec![0; compiled.n_cells],
+        cycles: 0,
+        active_cycles: vec![0; compiled.n_domains],
+    };
+    for chunk in chunks {
+        for (acc, &t) in merged.toggles.iter_mut().zip(&chunk.toggles) {
+            *acc += t;
+        }
+        for (acc, &a) in merged.active_cycles.iter_mut().zip(&chunk.active_cycles) {
+            *acc += a;
+        }
+        merged.cycles += chunk.cycles;
+    }
+    for pair in chunks.windows(2) {
+        let (left, right) = (&pair[0], &pair[1]);
+        for &i in &compiled.counted {
+            let i = i as usize;
+            merged.toggles[i] += u64::from(left.last[i] != right.first[i]);
+        }
+        for dff in &compiled.dffs {
+            if left.enabled[dff.domain as usize] {
+                let i = dff.net as usize;
+                merged.toggles[i] += u64::from(left.last[i] != right.first[i]);
+            }
+        }
+    }
+    merged
+}
+
+/// A wide-word simulator over a [`CompiledNetlist`].
+///
+/// Semantics are bit-identical to
+/// [`BatchSimulator`](crate::batch::BatchSimulator) — same toggle
+/// formula, clock accounting, DFF fixpoint and output visibility —
+/// generalised over the lane width `W`. The hot block step is
+/// dispatched once at construction to an instruction-set-specific
+/// compilation of the same portable body (AVX2/AVX-512 on x86-64 when
+/// the CPU has them), so wider words become genuine vector operations
+/// without any behavioural difference.
+#[derive(Debug)]
+pub struct CompiledSimulator<'a, W: WideWord> {
+    compiled: &'a CompiledNetlist,
+    isa: Isa,
+    /// Settled lane word per net (always masked to the current block).
+    words: Vec<W>,
+    /// Last visible lane of the previous block, per net.
+    carry: Vec<bool>,
+    /// First visible lane of the first block, per net (chunk stitching).
+    first: Vec<bool>,
+    /// Stored state per DFF net.
+    state: Vec<bool>,
+    toggles: Vec<u64>,
+    enabled: Vec<bool>,
+    active_cycles: Vec<u64>,
+    cycles: u64,
+    initialized: bool,
+    /// Two-phase commit scratch, parallel to `compiled.dffs`.
+    dff_next: Vec<W>,
+}
+
+impl<'a, W: WideWord> CompiledSimulator<'a, W> {
+    /// Creates a simulator with the best instruction set the CPU
+    /// supports; all nets start at 0, all domains enabled.
+    pub fn new(compiled: &'a CompiledNetlist) -> Self {
+        Self::with_isa(compiled, crate::backend::detect_isa())
+    }
+
+    /// Creates a simulator pinned to the portable (no explicit ISA
+    /// features) compilation of the kernel — the differential suite
+    /// uses this to cover the exact code path CI machines without AVX
+    /// run.
+    pub fn new_portable(compiled: &'a CompiledNetlist) -> Self {
+        Self::with_isa(compiled, Isa::Portable)
+    }
+
+    pub(crate) fn with_isa(compiled: &'a CompiledNetlist, isa: Isa) -> Self {
+        let n = compiled.n_cells;
+        Self {
+            compiled,
+            isa,
+            words: vec![W::zero(); n],
+            carry: vec![false; n],
+            first: vec![false; n],
+            state: vec![false; n],
+            toggles: vec![0; n],
+            enabled: vec![true; compiled.n_domains],
+            active_cycles: vec![0; compiled.n_domains],
+            cycles: 0,
+            initialized: false,
+            dff_next: vec![W::zero(); compiled.dffs.len()],
+        }
+    }
+
+    /// Lanes (stimulus cycles) per block for this width.
+    pub fn lanes_per_block(&self) -> usize {
+        W::LANES
+    }
+
+    /// Presets a DFF's stored value before simulation; broadcast across
+    /// all lanes, and also the net's toggle/stitch reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotADff`] if `net` is not a DFF.
+    pub fn preset_dff(&mut self, net: NetId, value: bool) -> Result<(), NetlistError> {
+        let i = net.index();
+        if self
+            .compiled
+            .dffs
+            .binary_search_by_key(&(i as u32), |d| d.net)
+            .is_err()
+        {
+            return Err(NetlistError::NotADff(i));
+        }
+        self.state[i] = value;
+        self.carry[i] = value;
+        Ok(())
+    }
+
+    /// Enables or disables a clock domain. May only be called between
+    /// blocks.
+    pub fn set_domain_enabled(&mut self, domain: DomainId, enabled: bool) {
+        self.enabled[domain.index()] = enabled;
+    }
+
+    /// Steps `lanes` clock cycles at once (`1..=W::LANES`).
+    ///
+    /// `inputs` carries `LIMBS` words per primary input — input `k`'s
+    /// limb `m` at `inputs[k * LIMBS + m]`, lane `l` of the block being
+    /// bit `l % 64` of limb `l / 64`. `out` receives the output lane
+    /// words in the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadLaneCount`] when `lanes` is outside
+    /// `1..=W::LANES` and [`NetlistError::PortWidthMismatch`] when a
+    /// buffer length disagrees with the port count.
+    pub fn step_block(
+        &mut self,
+        inputs: &[u64],
+        lanes: usize,
+        out: &mut [u64],
+    ) -> Result<(), NetlistError> {
+        if !(1..=W::LANES).contains(&lanes) {
+            return Err(NetlistError::BadLaneCount {
+                lanes,
+                max: W::LANES,
+            });
+        }
+        let want_in = self.compiled.input_nets.len() * W::LIMBS;
+        if inputs.len() != want_in {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "input",
+                expected: want_in,
+                got: inputs.len(),
+            });
+        }
+        let want_out = self.compiled.outputs.len() * W::LIMBS;
+        if out.len() != want_out {
+            return Err(NetlistError::PortWidthMismatch {
+                role: "output",
+                expected: want_out,
+                got: out.len(),
+            });
+        }
+        match self.isa {
+            Isa::Portable => self.step_block_body(inputs, lanes, out),
+            // SAFETY: the Isa variant is only ever constructed after
+            // `is_x86_feature_detected!` confirmed the feature (see
+            // `backend::detect_isa`), so the target-feature call is
+            // sound on this CPU.
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            Isa::Avx2 => unsafe { self.step_block_avx2(inputs, lanes, out) },
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            Isa::Avx512 => unsafe { self.step_block_avx512(inputs, lanes, out) },
+        }
+        Ok(())
+    }
+
+    /// The portable kernel body recompiled with AVX2 enabled.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_block_avx2(&mut self, inputs: &[u64], lanes: usize, out: &mut [u64]) {
+        self.step_block_body(inputs, lanes, out);
+    }
+
+    /// The portable kernel body recompiled with AVX-512F enabled.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn step_block_avx512(&mut self, inputs: &[u64], lanes: usize, out: &mut [u64]) {
+        self.step_block_body(inputs, lanes, out);
+    }
+
+    /// One block step; mirrors `BatchSimulator::step_block` exactly
+    /// (see that module's equivalence argument), with the per-cell
+    /// `match` replaced by the compiled run schedule. `inline(always)`
+    /// so each `#[target_feature]` wrapper gets its own ISA-specific
+    /// compilation of the whole body.
+    #[inline(always)]
+    fn step_block_body(&mut self, inputs: &[u64], lanes: usize, out: &mut [u64]) {
+        let cn = self.compiled;
+        let mask = W::lane_mask(lanes);
+
+        // Source words: inputs, constants, DFF broadcast states.
+        for (k, &net) in cn.input_nets.iter().enumerate() {
+            let mut w = W::zero();
+            for m in 0..W::LIMBS {
+                w.set_limb(m, inputs[k * W::LIMBS + m]);
+            }
+            self.words[net as usize] = w.and(mask);
+        }
+        for &i in &cn.const1 {
+            self.words[i as usize] = mask;
+        }
+        for dff in &cn.dffs {
+            self.words[dff.net as usize] = if self.state[dff.net as usize] {
+                mask
+            } else {
+                W::zero()
+            };
+        }
+
+        // Settle the block: run-scheduled combinational evaluation
+        // interleaved with two-phase DFF lane shifts until fixpoint.
+        let mut passes = 0usize;
+        loop {
+            passes += 1;
+            assert!(
+                passes <= W::LANES + 2,
+                "DFF lane fixpoint failed to converge (netlist bug)"
+            );
+            self.eval_runs(mask);
+            if cn.dffs.is_empty() {
+                break;
+            }
+            let mut changed = false;
+            for (k, dff) in cn.dffs.iter().enumerate() {
+                let i = dff.net as usize;
+                let q = if self.enabled[dff.domain as usize] {
+                    self.words[dff.d as usize].shl1(self.state[i]).and(mask)
+                } else {
+                    self.words[i] // frozen broadcast
+                };
+                changed |= q != self.words[i];
+                self.dff_next[k] = q;
+            }
+            if !changed {
+                break;
+            }
+            for (k, dff) in cn.dffs.iter().enumerate() {
+                self.words[dff.net as usize] = self.dff_next[k];
+            }
+        }
+
+        // Toggle counting + state/carry update: non-DFF nets first
+        // (unconditional), then enabled DFFs over their next-state
+        // stream. Identical formula to the u64 engine.
+        let record_first = !self.initialized;
+        for &i in &cn.counted {
+            let i = i as usize;
+            let w = self.words[i];
+            let mut diff = w.xor(w.shl1(self.carry[i])).and(mask);
+            if record_first {
+                diff = diff.clear_bit0(); // first-ever cycle: no predecessor
+                self.first[i] = w.bit(0);
+            }
+            self.toggles[i] += diff.count_ones();
+            self.carry[i] = w.bit(lanes - 1);
+        }
+        for dff in &cn.dffs {
+            if !self.enabled[dff.domain as usize] {
+                continue; // frozen: no toggles, reference unchanged
+            }
+            let i = dff.net as usize;
+            let w = self.words[dff.d as usize];
+            let mut diff = w.xor(w.shl1(self.carry[i])).and(mask);
+            if record_first {
+                diff = diff.clear_bit0();
+                self.first[i] = w.bit(0);
+            }
+            self.toggles[i] += diff.count_ones();
+            self.carry[i] = w.bit(lanes - 1);
+            self.state[i] = w.bit(lanes - 1);
+        }
+
+        for (d, &en) in self.enabled.iter().enumerate() {
+            if en {
+                self.active_cycles[d] += lanes as u64;
+            }
+        }
+        self.cycles += lanes as u64;
+        self.initialized = true;
+
+        // Post-edge output visibility, as in the scalar engine.
+        for (k, slot) in cn.outputs.iter().enumerate() {
+            let w = if slot.is_dff && self.enabled[slot.domain as usize] {
+                self.words[slot.d as usize]
+            } else {
+                self.words[slot.net as usize]
+            };
+            for m in 0..W::LIMBS {
+                out[k * W::LIMBS + m] = w.limb(m);
+            }
+        }
+    }
+
+    /// One combinational settle pass over the level-sorted run
+    /// schedule.
+    #[inline(always)]
+    fn eval_runs(&mut self, mask: W) {
+        let cn = self.compiled;
+        let words = &mut self.words;
+        for run in &cn.runs {
+            let span = run.start as usize..(run.start + run.len) as usize;
+            match run.kind {
+                CellKind::Inv => {
+                    for j in span {
+                        words[cn.dst[j] as usize] = words[cn.a[j] as usize].not().and(mask);
+                    }
+                }
+                CellKind::Buf => {
+                    for j in span {
+                        words[cn.dst[j] as usize] = words[cn.a[j] as usize];
+                    }
+                }
+                CellKind::And2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] =
+                            words[cn.a[j] as usize].and(words[cn.b[j] as usize]);
+                    }
+                }
+                CellKind::Or2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] =
+                            words[cn.a[j] as usize].or(words[cn.b[j] as usize]);
+                    }
+                }
+                CellKind::Nand2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] = words[cn.a[j] as usize]
+                            .and(words[cn.b[j] as usize])
+                            .not()
+                            .and(mask);
+                    }
+                }
+                CellKind::Nor2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] = words[cn.a[j] as usize]
+                            .or(words[cn.b[j] as usize])
+                            .not()
+                            .and(mask);
+                    }
+                }
+                CellKind::Xor2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] =
+                            words[cn.a[j] as usize].xor(words[cn.b[j] as usize]);
+                    }
+                }
+                CellKind::Xnor2 => {
+                    for j in span {
+                        words[cn.dst[j] as usize] = words[cn.a[j] as usize]
+                            .xor(words[cn.b[j] as usize])
+                            .not()
+                            .and(mask);
+                    }
+                }
+                // `!sel` spills ones above the mask, but `a` is masked.
+                CellKind::Mux2 => {
+                    for j in span {
+                        let sel = words[cn.c[j] as usize];
+                        words[cn.dst[j] as usize] = sel
+                            .and(words[cn.b[j] as usize])
+                            .or(sel.not().and(words[cn.a[j] as usize]));
+                    }
+                }
+                CellKind::Input | CellKind::Const0 | CellKind::Const1 | CellKind::Dff => {
+                    unreachable!("source cells are not in the run schedule")
+                }
+            }
+        }
+    }
+
+    /// Total toggles of net `net` so far.
+    pub fn toggle_count(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// All per-net toggle counters.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clocked cycles accumulated per domain.
+    pub fn domain_active_cycles(&self) -> &[u64] {
+        &self.active_cycles
+    }
+
+    /// Extracts the chunk's statistics and boundary values for
+    /// [`merge_chunk_stats`].
+    pub fn chunk_stats(&self) -> ChunkStats {
+        ChunkStats {
+            toggles: self.toggles.clone(),
+            cycles: self.cycles,
+            active_cycles: self.active_cycles.clone(),
+            first: self.first.clone(),
+            last: self.carry.clone(),
+            enabled: self.enabled.clone(),
+        }
+    }
+}
+
+impl<W: WideWord> Activity for CompiledSimulator<'_, W> {
+    fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    fn domain_active_cycles(&self) -> &[u64] {
+        &self.active_cycles
+    }
+}

@@ -37,10 +37,16 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the compiled engine's runtime ISA
+// dispatch needs narrowly-scoped `#[target_feature]` wrappers (see
+// `compiled.rs`), each carrying its own `#[allow(unsafe_code)]` and
+// safety argument. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod backend;
 pub mod batch;
 pub mod cell;
+pub mod compiled;
 pub mod equiv;
 pub mod library;
 pub mod netlist;
@@ -51,9 +57,14 @@ pub mod timing;
 pub mod vcd;
 pub mod verilog;
 pub mod vsim;
+pub mod wide;
 
+pub use backend::{detected_isa, SimBackend, WideSimulator};
 pub use batch::{BatchSimulator, LANES};
 pub use cell::{Cell, CellKind, NetId};
+pub use compiled::{
+    merge_chunk_stats, ChunkStats, CompiledNetlist, CompiledSimulator, MergedActivity,
+};
 pub use equiv::{equivalent_exhaustive, equivalent_random};
 pub use library::{CellLibrary, CellParams};
 pub use netlist::{DomainId, Netlist, NetlistError, ROOT_DOMAIN};
@@ -64,3 +75,4 @@ pub use timing::{area_um2, critical_path_ns};
 pub use vcd::VcdRecorder;
 pub use verilog::{to_verilog, to_verilog_with_presets};
 pub use vsim::{VerilogModule, VerilogSim};
+pub use wide::{WideWord, W256, W512, W64};

@@ -16,6 +16,23 @@ pub enum NetlistError {
     /// A DFF-only operation (e.g. a ROM preset) targeted the given
     /// non-DFF cell index.
     NotADff(usize),
+    /// A block-stepping call passed a lane count outside `1..=max`.
+    BadLaneCount {
+        /// The rejected lane count.
+        lanes: usize,
+        /// The engine's maximum lanes per block.
+        max: usize,
+    },
+    /// A stimulus or output buffer length disagreed with the engine's
+    /// expectation for the netlist's port list.
+    PortWidthMismatch {
+        /// Which buffer was malformed (`"input"` or `"output"`).
+        role: &'static str,
+        /// The expected buffer length.
+        expected: usize,
+        /// The supplied buffer length.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -26,6 +43,14 @@ impl fmt::Display for NetlistError {
             }
             Self::DuplicatePort(name) => write!(f, "duplicate port name '{name}'"),
             Self::NotADff(i) => write!(f, "cell {i} is not a DFF"),
+            Self::BadLaneCount { lanes, max } => {
+                write!(f, "lane count {lanes} outside 1..={max}")
+            }
+            Self::PortWidthMismatch {
+                role,
+                expected,
+                got,
+            } => write!(f, "{role} buffer holds {got} words, expected {expected}"),
         }
     }
 }

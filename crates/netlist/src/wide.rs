@@ -1,0 +1,199 @@
+//! Multi-limb lane words for the compiled simulator.
+//!
+//! A [`WideWord`] packs `64 × LIMBS` consecutive stimulus cycles into
+//! one value — the wide generalisation of the `u64` lane word used by
+//! [`BatchSimulator`](crate::batch::BatchSimulator). All operations are
+//! plain per-limb array ops: with one limb they compile to scalar `u64`
+//! instructions, with four or eight limbs they autovectorize to
+//! 256/512-bit vector ops when the enclosing function is compiled with
+//! AVX2/AVX-512 enabled (see
+//! [`CompiledSimulator`](crate::compiled::CompiledSimulator)'s
+//! runtime-dispatched `#[target_feature]` wrappers). No `std::simd`,
+//! no intrinsics in the kernel itself — the portable body is the only
+//! implementation, so every backend computes bit-identical words.
+
+/// A fixed-width bundle of simulation lanes (one bit per cycle).
+///
+/// Lane `l` lives in bit `l % 64` of limb `l / 64`. The only
+/// cross-limb operation is [`shl1`](WideWord::shl1), the
+/// one-lane-toward-older shift at the heart of the carry-linked toggle
+/// formula and the DFF lane fixpoint.
+pub trait WideWord: Copy + PartialEq + Send + Sync + 'static {
+    /// Stimulus cycles (lanes) carried per word.
+    const LANES: usize;
+    /// Number of `u64` limbs.
+    const LIMBS: usize;
+
+    /// The all-zero word.
+    fn zero() -> Self;
+    /// A word with the low `lanes` bits set (`1..=LANES`).
+    fn lane_mask(lanes: usize) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, other: Self) -> Self;
+    /// Bitwise complement (unmasked — callers re-mask inverting gate
+    /// outputs, exactly like the `u64` engine).
+    fn not(self) -> Self;
+    /// Shifts every lane one position up (toward newer cycles),
+    /// inserting `carry_in` at lane 0. Carries propagate across limbs.
+    fn shl1(self, carry_in: bool) -> Self;
+    /// Value of lane `i`.
+    fn bit(self, i: usize) -> bool;
+    /// Total number of set lanes.
+    fn count_ones(self) -> u64;
+    /// Clears lane 0 (masks the first-ever cycle out of a toggle diff).
+    fn clear_bit0(self) -> Self;
+    /// Limb `i` as a raw `u64` (lane I/O packing).
+    fn limb(self, i: usize) -> u64;
+    /// Overwrites limb `i` (lane I/O packing).
+    fn set_limb(&mut self, i: usize, value: u64);
+}
+
+impl<const L: usize> WideWord for [u64; L] {
+    const LANES: usize = 64 * L;
+    const LIMBS: usize = L;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        [0; L]
+    }
+
+    #[inline(always)]
+    fn lane_mask(lanes: usize) -> Self {
+        let mut out = [0u64; L];
+        for (m, limb) in out.iter_mut().enumerate() {
+            let lo = m * 64;
+            *limb = if lanes >= lo + 64 {
+                u64::MAX
+            } else if lanes <= lo {
+                0
+            } else {
+                (1u64 << (lanes - lo)) - 1
+            };
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        let mut out = [0u64; L];
+        for m in 0..L {
+            out[m] = self[m] & other[m];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        let mut out = [0u64; L];
+        for m in 0..L {
+            out[m] = self[m] | other[m];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        let mut out = [0u64; L];
+        for m in 0..L {
+            out[m] = self[m] ^ other[m];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut out = [0u64; L];
+        for m in 0..L {
+            out[m] = !self[m];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn shl1(self, carry_in: bool) -> Self {
+        let mut out = [0u64; L];
+        let mut carry = u64::from(carry_in);
+        for m in 0..L {
+            out[m] = (self[m] << 1) | carry;
+            carry = self[m] >> 63;
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn bit(self, i: usize) -> bool {
+        (self[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline(always)]
+    fn count_ones(self) -> u64 {
+        self.iter().map(|limb| u64::from(limb.count_ones())).sum()
+    }
+
+    #[inline(always)]
+    fn clear_bit0(self) -> Self {
+        let mut out = self;
+        out[0] &= !1;
+        out
+    }
+
+    #[inline(always)]
+    fn limb(self, i: usize) -> u64 {
+        self[i]
+    }
+
+    #[inline(always)]
+    fn set_limb(&mut self, i: usize, value: u64) {
+        self[i] = value;
+    }
+}
+
+/// One-limb word: the 64-lane compiled engine (same width as
+/// [`BatchSimulator`](crate::batch::BatchSimulator)).
+pub type W64 = [u64; 1];
+/// Four-limb word: 256 lanes per block.
+pub type W256 = [u64; 4];
+/// Eight-limb word: 512 lanes per block.
+pub type W512 = [u64; 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_mask_edges() {
+        assert_eq!(<W256 as WideWord>::lane_mask(1), [1, 0, 0, 0]);
+        assert_eq!(<W256 as WideWord>::lane_mask(64), [u64::MAX, 0, 0, 0]);
+        assert_eq!(<W256 as WideWord>::lane_mask(65), [u64::MAX, 1, 0, 0]);
+        assert_eq!(
+            <W256 as WideWord>::lane_mask(256),
+            [u64::MAX, u64::MAX, u64::MAX, u64::MAX]
+        );
+        assert_eq!(<W64 as WideWord>::lane_mask(3), [0b111]);
+    }
+
+    #[test]
+    fn shl1_carries_across_limbs() {
+        let w: W256 = [1u64 << 63, 0, 0, 0];
+        assert_eq!(w.shl1(true), [1, 1, 0, 0]);
+        let w: W256 = [u64::MAX, u64::MAX, 0, 0];
+        assert_eq!(w.shl1(false), [u64::MAX - 1, u64::MAX, 1, 0]);
+    }
+
+    #[test]
+    fn bit_and_counts_span_limbs() {
+        let mut w = <W512 as WideWord>::zero();
+        w.set_limb(7, 1u64 << 13);
+        assert!(w.bit(7 * 64 + 13));
+        assert!(!w.bit(0));
+        assert_eq!(w.count_ones(), 1);
+        assert_eq!(w.clear_bit0(), w);
+        let mut v = w;
+        v.set_limb(0, 1);
+        assert_eq!(v.clear_bit0(), w);
+    }
+}

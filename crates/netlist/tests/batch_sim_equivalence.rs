@@ -175,7 +175,9 @@ fn assert_equivalent(sc: &Scenario) {
                 *word |= u64::from(cycle[bit]) << lane;
             }
         }
-        batch.step_block(&in_words, block.len(), &mut out_words);
+        batch
+            .step_block(&in_words, block.len(), &mut out_words)
+            .expect("well-formed block");
         for lane in 0..block.len() {
             batch_outs.push(out_words.iter().map(|w| (w >> lane) & 1 == 1).collect());
         }

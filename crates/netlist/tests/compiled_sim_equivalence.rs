@@ -1,0 +1,385 @@
+//! Differential equivalence suite for the compiled SoA engine: every
+//! wide backend ([`WideSimulator`] at 64/256/512 lanes, with both the
+//! CPU-detected and the forced-portable kernel compilation) and the
+//! chunk-parallel merge path against the scalar [`Simulator`]
+//! reference and against each other.
+//!
+//! Random netlists with gated clock domains, DFF presets, injected
+//! preset faults and ragged (non-multiple-of-width) cycle counts must
+//! agree on every observable: per-cycle outputs, per-net toggle
+//! counts, per-domain active-cycle counts, total cycles and the full
+//! [`PowerReport`] derived from them.
+//!
+//! The seeded `#[test]`s carry the coverage in offline environments
+//! where the `proptest` dependency is stubbed; the `proptest` block
+//! widens the same check over the generator space.
+
+use dalut_netlist::{
+    merge_chunk_stats, power_report, Activity, CellKind, CellLibrary, CompiledNetlist, DomainId,
+    NetId, Netlist, PowerReport, SimBackend, Simulator, WideSimulator, ROOT_DOMAIN,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomly generated sequential netlist plus the knobs the engines
+/// are configured with.
+struct Scenario {
+    netlist: Netlist,
+    /// `(dff_net, value)` presets applied to every engine.
+    presets: Vec<(NetId, bool)>,
+    /// Domains gated off in every engine.
+    disabled: Vec<DomainId>,
+    /// One stimulus bit per input per cycle.
+    stimulus: Vec<Vec<bool>>,
+}
+
+/// Builds a random netlist: two extra clock domains, a mixed pool of
+/// combinational gates, DFFs (with feedback when `feedback` is true,
+/// i.e. counters and shift registers), ROM bits, random presets (some
+/// "faulted" by an extra flip) and outputs that deliberately include
+/// DFF nets so the post-edge output visibility rule is exercised.
+/// With `feedback` false every non-ROM DFF lands in a disabled domain,
+/// making the scenario chunk-parallel safe.
+fn scenario(seed: u64, cycles: usize, feedback: bool) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_inputs = rng.random_range(1..=5);
+    let mut nl = Netlist::new("rand");
+    let inputs = nl.input_bus("x", n_inputs);
+    let d1 = nl.add_domain("d1");
+    let d2 = nl.add_domain("d2");
+    let domains = [ROOT_DOMAIN, d1, d2];
+
+    let mut pool: Vec<NetId> = inputs.clone();
+    pool.push(nl.const0());
+    pool.push(nl.const1());
+    let mut dffs: Vec<NetId> = Vec::new();
+
+    let n_cells = rng.random_range(8..40);
+    for _ in 0..n_cells {
+        let pick = |rng: &mut StdRng, pool: &[NetId]| pool[rng.random_range(0..pool.len())];
+        let net = match rng.random_range(0..8) {
+            0 => {
+                let a = pick(&mut rng, &pool);
+                nl.inv(a)
+            }
+            1 => {
+                let (a, b, s) = (
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                );
+                nl.mux2(a, b, s)
+            }
+            2 => {
+                // Plain DFFs are only chunk-safe when frozen: without
+                // feedback allowed, pin them to the always-gated d1.
+                let d = pick(&mut rng, &pool);
+                let domain = if feedback {
+                    domains[rng.random_range(0..domains.len())]
+                } else {
+                    d1
+                };
+                let q = nl.dff(d, domain);
+                dffs.push(q);
+                q
+            }
+            3 => {
+                let q = nl.rom_bit(domains[rng.random_range(0..domains.len())]);
+                dffs.push(q);
+                q
+            }
+            _ => {
+                let kind = [
+                    CellKind::And2,
+                    CellKind::Or2,
+                    CellKind::Nand2,
+                    CellKind::Nor2,
+                    CellKind::Xor2,
+                    CellKind::Xnor2,
+                ][rng.random_range(0..6usize)];
+                let (a, b) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                nl.gate2(kind, a, b)
+            }
+        };
+        pool.push(net);
+    }
+    if feedback {
+        // Rewire some DFF inputs to late nets (tail of the pool),
+        // building counters / read-modify-write loops.
+        for &q in dffs.iter().take(dffs.len() / 2) {
+            let d = pool[rng.random_range(pool.len() / 2..pool.len())];
+            nl.rewire_dff_input(q, d);
+        }
+    }
+
+    for (i, _) in (0..rng.random_range(1..=4)).enumerate() {
+        let net = pool[rng.random_range(0..pool.len())];
+        nl.output(format!("y{i}"), net);
+    }
+    if let Some(&q) = dffs.first() {
+        nl.output("yq", q);
+    }
+
+    let mut presets: Vec<(NetId, bool)> = Vec::new();
+    for &q in &dffs {
+        if rng.random_bool(0.7) {
+            let v = rng.random();
+            presets.push((q, v));
+        }
+    }
+    if !presets.is_empty() && rng.random_bool(0.5) {
+        let k = rng.random_range(0..presets.len());
+        presets[k].1 = !presets[k].1;
+    }
+
+    let mut disabled: Vec<DomainId> = [d1, d2]
+        .into_iter()
+        .filter(|_| rng.random_bool(0.4))
+        .collect();
+    if !feedback && !disabled.contains(&d1) {
+        // The chunk-safety invariant: every plain DFF's domain is off.
+        disabled.push(d1);
+    }
+
+    let stimulus = (0..cycles)
+        .map(|_| (0..n_inputs).map(|_| rng.random()).collect())
+        .collect();
+
+    Scenario {
+        netlist: nl,
+        presets,
+        disabled,
+        stimulus,
+    }
+}
+
+/// Scalar reference run: per-cycle outputs plus the final activity.
+fn scalar_reference(sc: &Scenario) -> (Vec<Vec<bool>>, Vec<u64>, Vec<u64>, u64, PowerReport) {
+    let nl = &sc.netlist;
+    let mut scalar = Simulator::new(nl).expect("acyclic");
+    for &(q, v) in &sc.presets {
+        scalar.preset_dff(q, v).expect("preset targets a dff");
+    }
+    for &d in &sc.disabled {
+        scalar.set_domain_enabled(d, false);
+    }
+    let mut outs = Vec::with_capacity(sc.stimulus.len());
+    let mut row = vec![false; nl.outputs().len()];
+    for cycle in &sc.stimulus {
+        scalar.step_into(cycle, &mut row);
+        outs.push(row.clone());
+    }
+    let power = power_report(nl, &scalar, &CellLibrary::nangate45(), 1.0);
+    (
+        outs,
+        scalar.toggles().to_vec(),
+        scalar.domain_active_cycles().to_vec(),
+        scalar.cycles(),
+        power,
+    )
+}
+
+/// Drives `sim` over `stimulus` in maximal blocks with limb-packed
+/// I/O, returning the per-cycle outputs.
+fn drive_wide(sim: &mut WideSimulator, sc: &Scenario) -> Vec<Vec<bool>> {
+    let nl = &sc.netlist;
+    let (n_in, n_out) = (nl.inputs().len(), nl.outputs().len());
+    let limbs = sim.limbs_per_word();
+    let block = sim.lanes_per_block();
+    let mut in_words = vec![0u64; n_in * limbs];
+    let mut out_words = vec![0u64; n_out * limbs];
+    let mut outs = Vec::with_capacity(sc.stimulus.len());
+    for chunk in sc.stimulus.chunks(block) {
+        in_words.iter_mut().for_each(|w| *w = 0);
+        for (lane, cycle) in chunk.iter().enumerate() {
+            for (bit, &v) in cycle.iter().enumerate() {
+                in_words[bit * limbs + lane / 64] |= u64::from(v) << (lane % 64);
+            }
+        }
+        sim.step_block(&in_words, chunk.len(), &mut out_words)
+            .expect("well-formed block");
+        for lane in 0..chunk.len() {
+            outs.push(
+                (0..n_out)
+                    .map(|k| (out_words[k * limbs + lane / 64] >> (lane % 64)) & 1 == 1)
+                    .collect(),
+            );
+        }
+    }
+    outs
+}
+
+fn configure(sim: &mut WideSimulator, sc: &Scenario) {
+    for &(q, v) in &sc.presets {
+        sim.preset_dff(q, v).expect("preset targets a dff");
+    }
+    for &d in &sc.disabled {
+        sim.set_domain_enabled(d, false);
+    }
+}
+
+/// Runs the scenario on every wide backend (detected and portable
+/// kernels) and asserts every observable matches the scalar reference.
+fn assert_equivalent(sc: &Scenario) {
+    let nl = &sc.netlist;
+    let (ref_outs, ref_toggles, ref_active, ref_cycles, ref_power) = scalar_reference(sc);
+    let compiled = CompiledNetlist::compile(nl).expect("acyclic");
+    let lib = CellLibrary::nangate45();
+
+    for backend in SimBackend::all_wide() {
+        for portable in [false, true] {
+            let mut sim = if portable {
+                WideSimulator::new_portable(&compiled, backend)
+            } else {
+                WideSimulator::new(&compiled, backend)
+            };
+            configure(&mut sim, sc);
+            let outs = drive_wide(&mut sim, sc);
+            let tag = format!("backend {backend} (portable: {portable})");
+            assert_eq!(outs, ref_outs, "{tag}: per-cycle outputs diverged");
+            assert_eq!(sim.cycles(), ref_cycles, "{tag}: cycle counters diverged");
+            assert_eq!(
+                sim.domain_active_cycles(),
+                &ref_active[..],
+                "{tag}: active-cycle accounting diverged"
+            );
+            assert_eq!(
+                sim.toggles(),
+                &ref_toggles[..],
+                "{tag}: toggle counts diverged"
+            );
+            assert_eq!(
+                power_report(nl, &sim, &lib, 1.0),
+                ref_power,
+                "{tag}: PowerReport diverged"
+            );
+        }
+    }
+}
+
+/// Splits the stimulus into independent chunks, simulates each on its
+/// own engine, merges with exact carry stitching and asserts the
+/// result against the scalar reference.
+fn assert_chunked_equivalent(sc: &Scenario, backend: SimBackend, n_chunks: usize) {
+    let nl = &sc.netlist;
+    let (ref_outs, ref_toggles, ref_active, ref_cycles, ref_power) = scalar_reference(sc);
+    let compiled = CompiledNetlist::compile(nl).expect("acyclic");
+    let enabled: Vec<bool> = (0..nl.domains().len())
+        .map(|d| !sc.disabled.iter().any(|x| x.index() == d))
+        .collect();
+    assert!(
+        compiled.chunk_parallel_safe(&enabled),
+        "chunk scenario must be chunk-parallel safe"
+    );
+
+    // Deliberately uneven chunk sizes: ragged boundaries everywhere.
+    let per = sc.stimulus.len().div_ceil(n_chunks).max(1);
+    let mut outs = Vec::new();
+    let mut stats = Vec::new();
+    for chunk in sc.stimulus.chunks(per) {
+        let sub = Scenario {
+            netlist: sc.netlist.clone(),
+            presets: sc.presets.clone(),
+            disabled: sc.disabled.clone(),
+            stimulus: chunk.to_vec(),
+        };
+        let mut sim = WideSimulator::new(&compiled, backend);
+        configure(&mut sim, &sub);
+        outs.extend(drive_wide(&mut sim, &sub));
+        stats.push(sim.chunk_stats());
+    }
+    let merged = merge_chunk_stats(&compiled, &stats);
+    let tag = format!("chunked {backend} x{n_chunks}");
+    assert_eq!(outs, ref_outs, "{tag}: per-cycle outputs diverged");
+    assert_eq!(merged.cycles(), ref_cycles, "{tag}: cycles diverged");
+    assert_eq!(
+        merged.domain_active_cycles(),
+        &ref_active[..],
+        "{tag}: active-cycle accounting diverged"
+    );
+    assert_eq!(
+        merged.toggles(),
+        &ref_toggles[..],
+        "{tag}: stitched toggle counts diverged"
+    );
+    assert_eq!(
+        power_report(nl, &merged, &CellLibrary::nangate45(), 1.0),
+        ref_power,
+        "{tag}: PowerReport diverged"
+    );
+}
+
+/// Ragged cycle counts around every word boundary of every width —
+/// each carry path in the toggle accounting crosses one of these.
+const RAGGED: [usize; 10] = [1, 63, 64, 65, 127, 130, 255, 257, 511, 513];
+
+#[test]
+fn fifty_seeded_scenarios_match_scalar_on_every_backend() {
+    for seed in 0..50u64 {
+        let cycles = RAGGED[seed as usize % RAGGED.len()];
+        assert_equivalent(&scenario(seed, cycles, true));
+    }
+}
+
+#[test]
+fn multi_block_streams_match_scalar() {
+    for seed in [7u64, 21, 99, 1234] {
+        assert_equivalent(&scenario(seed, 3 * 512 + 17, true));
+    }
+}
+
+#[test]
+fn chunked_runs_stitch_exactly() {
+    for seed in 0..12u64 {
+        let sc = scenario(seed, 140 + 37 * seed as usize, false);
+        for n_chunks in [2usize, 3, 5] {
+            assert_chunked_equivalent(&sc, SimBackend::U64, n_chunks);
+        }
+        assert_chunked_equivalent(&sc, SimBackend::W256, 3);
+        assert_chunked_equivalent(&sc, SimBackend::W512, 2);
+    }
+}
+
+#[test]
+fn feedback_netlists_are_not_chunk_safe() {
+    // A counter bit (q = dff(!q)) must flunk the chunk-safety gate.
+    let mut nl = Netlist::new("tff");
+    let q = nl.rom_bit(ROOT_DOMAIN);
+    let nq = nl.inv(q);
+    nl.rewire_dff_input(q, nq);
+    nl.output("q", q);
+    let compiled = CompiledNetlist::compile(&nl).expect("acyclic");
+    assert!(!compiled.chunk_parallel_safe(&[true]));
+    // ...unless its clock domain is gated off.
+    assert!(compiled.chunk_parallel_safe(&[false]));
+}
+
+#[test]
+fn lowering_covers_every_combinational_cell() {
+    let sc = scenario(3, 64, true);
+    let compiled = CompiledNetlist::compile(&sc.netlist).expect("acyclic");
+    assert_eq!(compiled.cell_count(), sc.netlist.cell_count());
+    assert_eq!(compiled.input_count(), sc.netlist.inputs().len());
+    assert_eq!(compiled.output_count(), sc.netlist.outputs().len());
+    let comb = sc.netlist.topo_order().expect("acyclic").len();
+    assert!(compiled.run_count() <= comb);
+    assert!(comb == 0 || compiled.level_count() >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated scenario — gated domains, presets, faulted bits,
+    /// ragged lengths — is bit-identical across every backend.
+    #[test]
+    fn compiled_engine_is_equivalent(seed in 0u64..10_000, cycles in 1usize..600) {
+        assert_equivalent(&scenario(seed, cycles, true));
+    }
+
+    /// Any chunk-safe scenario stitches exactly at any chunk count.
+    #[test]
+    fn chunked_merge_is_exact(seed in 0u64..10_000, cycles in 2usize..400, chunks in 2usize..6) {
+        assert_chunked_equivalent(&scenario(seed, cycles, false), SimBackend::Auto, chunks);
+    }
+}

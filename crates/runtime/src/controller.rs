@@ -6,7 +6,7 @@ use crate::variant::{Variant, VariantBank};
 use dalut_boolfn::{InputDistribution, TruthTable};
 use dalut_core::{Observer, SearchEvent};
 use dalut_hw::FaultModel;
-use dalut_netlist::{NetId, LANES};
+use dalut_netlist::NetId;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -309,14 +309,9 @@ impl<'a> Controller<'a> {
     /// simulated.
     pub fn read_all(&self) -> Result<Vec<u32>, RuntimeError> {
         let inst = self.bank.get(self.current).instance();
-        let mut sim = inst.batch_simulator_with_presets(&self.stored)?;
         let len = 1usize << inst.inputs();
-        let mut out = vec![0u32; len];
         let reads: Vec<u32> = (0..len as u32).collect();
-        for (rc, oc) in reads.chunks(LANES).zip(out.chunks_mut(LANES)) {
-            inst.read_block(&mut sim, rc, oc);
-        }
-        Ok(out)
+        Ok(inst.read_sequence_with_presets(&self.stored, &reads)?)
     }
 
     /// Runs one epoch: sample, measure, detect, react. Returns the
@@ -507,7 +502,8 @@ impl<'a> Controller<'a> {
     }
 
     /// Mean absolute served error over `samples`, measured on the
-    /// batched simulator with the live stored bits loaded.
+    /// process-default simulation backend with the live stored bits
+    /// loaded.
     fn sampled_error(&self, samples: &[u32]) -> Result<f64, RuntimeError> {
         self.measured_error(self.current, &self.stored, samples)
     }
@@ -526,11 +522,7 @@ impl<'a> Controller<'a> {
         samples: &[u32],
     ) -> Result<f64, RuntimeError> {
         let inst = self.bank.get(index).instance();
-        let mut sim = inst.batch_simulator_with_presets(presets)?;
-        let mut out = vec![0u32; samples.len()];
-        for (rc, oc) in samples.chunks(LANES).zip(out.chunks_mut(LANES)) {
-            inst.read_block(&mut sim, rc, oc);
-        }
+        let out = inst.read_sequence_with_presets(presets, samples)?;
         let total: f64 = samples
             .iter()
             .zip(&out)
